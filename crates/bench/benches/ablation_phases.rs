@@ -1,0 +1,39 @@
+//! Ablation A2: dense vs sparse symbolic phase stores during
+//! Initialization.
+//!
+//! Sparse rows win when expressions stay short (QEC circuits); the dense
+//! bit-matrix wins when phases mix heavily (dense random circuits with
+//! noise) — the same trade-off the paper's conclusion anticipates for its
+//! data layouts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use symphase_bench::Workload;
+use symphase_circuit::generators::{repetition_code_memory, RepetitionCodeConfig};
+use symphase_core::{PhaseRepr, SymPhaseSampler};
+
+fn bench_phase_repr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/phase_repr_init");
+    g.sample_size(10);
+
+    let qec = repetition_code_memory(&RepetitionCodeConfig {
+        distance: 15,
+        rounds: 15,
+        data_error: 0.01,
+        measure_error: 0.01,
+    });
+    let dense_random = Workload::Fig3c.circuit(64, 7);
+
+    for (name, circuit) in [("repetition_d15", qec), ("fig3c_n64", dense_random)] {
+        g.bench_with_input(BenchmarkId::new("sparse", name), &circuit, |b, c| {
+            b.iter(|| SymPhaseSampler::with_repr(c, PhaseRepr::Sparse))
+        });
+        g.bench_with_input(BenchmarkId::new("dense", name), &circuit, |b, c| {
+            b.iter(|| SymPhaseSampler::with_repr(c, PhaseRepr::Dense))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_phase_repr);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation A1: the Sampling step's multiplication strategy.
+//!
+//! The paper uses a "sparse implementation of matrix multiplication" (§5);
+//! this bench compares it against a dense F₂ product on a sparse workload
+//! (repetition code) and a dense workload (Fig. 3c).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use symphase_bench::Workload;
+use symphase_circuit::generators::{repetition_code_memory, RepetitionCodeConfig};
+use symphase_core::{SamplingMethod, SymPhaseSampler};
+
+const SHOTS: usize = 10_000;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/sampling_method");
+    g.sample_size(10);
+
+    let qec = repetition_code_memory(&RepetitionCodeConfig {
+        distance: 15,
+        rounds: 15,
+        data_error: 0.01,
+        measure_error: 0.01,
+    });
+    let dense_random = Workload::Fig3c.circuit(64, 7);
+
+    for (name, circuit) in [("repetition_d15", qec), ("fig3c_n64", dense_random)] {
+        let sampler = SymPhaseSampler::new(&circuit);
+        // Warm the densified matrix outside the timing loop.
+        let _ = sampler.sample_with_method(64, &mut StdRng::seed_from_u64(0), SamplingMethod::DenseMatMul);
+        g.bench_function(BenchmarkId::new("sparse_rows", name), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sampler.sample_with_method(SHOTS, &mut rng, SamplingMethod::SparseRows))
+        });
+        g.bench_function(BenchmarkId::new("dense_matmul", name), |b| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| sampler.sample_with_method(SHOTS, &mut rng, SamplingMethod::DenseMatMul))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Fig. 2: the three stabilizer-tableau data layouts.
+//!
+//! Measures column-operation (gate) throughput, row-operation
+//! (measurement) throughput, and mode-switch (transpose) cost for the
+//! `chp.c` row-major layout, Stim's 8×8-block layout, and SymPhase's
+//! 512×512-block layout with local transposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use symphase_bitmat::layout::{ChpLayout, StimLayout, SymLayout512, TableauLayout};
+
+const SIZES: &[usize] = &[1024, 2048];
+
+fn col_ops<L: TableauLayout>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, size: usize) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut l = L::zeros(size, size);
+    l.fill_random(&mut rng);
+    l.ensure_col_mode();
+    g.bench_function(BenchmarkId::new(L::NAME, size), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let src = (i * 7919) % size;
+            let dst = (src + 1 + (i % (size - 1))) % size;
+            i += 1;
+            if src != dst {
+                l.xor_col_into(src, dst);
+            }
+        })
+    });
+}
+
+fn row_ops<L: TableauLayout>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, size: usize) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut l = L::zeros(size, size);
+    l.fill_random(&mut rng);
+    l.ensure_row_mode();
+    g.bench_function(BenchmarkId::new(L::NAME, size), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let src = (i * 104729) % size;
+            let dst = (src + 1 + (i % (size - 1))) % size;
+            i += 1;
+            if src != dst {
+                l.xor_row_into(src, dst);
+            }
+        })
+    });
+}
+
+fn switches<L: TableauLayout>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, size: usize) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut l = L::zeros(size, size);
+    l.fill_random(&mut rng);
+    g.bench_function(BenchmarkId::new(L::NAME, size), |b| {
+        b.iter(|| {
+            l.ensure_row_mode();
+            l.ensure_col_mode();
+        })
+    });
+}
+
+fn bench_col_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/col_op");
+    for &size in SIZES {
+        col_ops::<ChpLayout>(&mut g, size);
+        col_ops::<StimLayout>(&mut g, size);
+        col_ops::<SymLayout512>(&mut g, size);
+    }
+    g.finish();
+}
+
+fn bench_row_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/row_op");
+    for &size in SIZES {
+        row_ops::<ChpLayout>(&mut g, size);
+        row_ops::<StimLayout>(&mut g, size);
+        row_ops::<SymLayout512>(&mut g, size);
+    }
+    g.finish();
+}
+
+fn bench_switches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/mode_switch");
+    g.sample_size(10);
+    for &size in SIZES {
+        switches::<StimLayout>(&mut g, size);
+        switches::<SymLayout512>(&mut g, size);
+        // ChpLayout switches are no-ops; included as the zero baseline.
+        switches::<ChpLayout>(&mut g, size);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_col_ops, bench_row_ops, bench_switches);
+criterion_main!(benches);

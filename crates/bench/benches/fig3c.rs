@@ -1,0 +1,52 @@
+//! Fig. 3c: dense layered random circuits with per-qubit depolarizing noise.
+//!
+//! Benchmarks sampler initialization and 10,000-sample generation for the
+//! SymPhase sampler vs the Pauli-frame baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use symphase_bench::{Workload, PAPER_SHOTS};
+use symphase_core::SymPhaseSampler;
+use symphase_frame::FrameSampler;
+
+const WORKLOAD: Workload = Workload::Fig3c;
+const SIZES: &[usize] = &[32, 64, 96];
+
+fn bench_init(c: &mut Criterion) {
+    let mut g = c.benchmark_group(format!("{}/init", WORKLOAD.name()));
+    g.sample_size(10);
+    for &n in SIZES {
+        let circuit = WORKLOAD.circuit(n, 0xF16_3000 + n as u64);
+        g.bench_with_input(BenchmarkId::new("symphase", n), &circuit, |b, c| {
+            b.iter(|| SymPhaseSampler::with_repr(c, WORKLOAD.phase_repr()))
+        });
+        g.bench_with_input(BenchmarkId::new("frame", n), &circuit, |b, c| {
+            b.iter(|| FrameSampler::new(c))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group(format!("{}/sample10k", WORKLOAD.name()));
+    g.sample_size(10);
+    for &n in SIZES {
+        let circuit = WORKLOAD.circuit(n, 0xF16_3000 + n as u64);
+        let sym = SymPhaseSampler::with_repr(&circuit, WORKLOAD.phase_repr());
+        let frame = FrameSampler::new(&circuit);
+        g.bench_function(BenchmarkId::new("symphase", n), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sym.sample(PAPER_SHOTS, &mut rng))
+        });
+        g.bench_function(BenchmarkId::new("frame", n), |b| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| frame.sample(PAPER_SHOTS, &mut rng))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_init, bench_sampling);
+criterion_main!(benches);

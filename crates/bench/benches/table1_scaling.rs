@@ -1,0 +1,56 @@
+//! Table 1: sampling-cost dependence on the gate count `n_g`.
+//!
+//! A fixed measurement/noise skeleton gets extra gate-only layers appended;
+//! per Table 1, the frame baseline's per-shot cost grows with `n_g` while
+//! Algorithm 1's sampling step does not depend on it at all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use symphase_bench::table1_circuit;
+use symphase_core::SymPhaseSampler;
+use symphase_frame::FrameSampler;
+
+const N: usize = 48;
+const SHOTS: usize = 10_000;
+const EXTRA_LAYERS: &[usize] = &[0, 32, 128];
+
+fn bench_sampling_vs_gates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/sample10k_vs_gates");
+    g.sample_size(10);
+    for &extra in EXTRA_LAYERS {
+        let circuit = table1_circuit(N, extra, 11);
+        let gates = circuit.stats().gates;
+        let sym = SymPhaseSampler::new(&circuit);
+        let frame = FrameSampler::new(&circuit);
+        g.bench_function(BenchmarkId::new("symphase", gates), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sym.sample(SHOTS, &mut rng))
+        });
+        g.bench_function(BenchmarkId::new("frame", gates), |b| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| frame.sample(SHOTS, &mut rng))
+        });
+    }
+    g.finish();
+}
+
+fn bench_init_vs_gates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/init_vs_gates");
+    g.sample_size(10);
+    for &extra in EXTRA_LAYERS {
+        let circuit = table1_circuit(N, extra, 11);
+        let gates = circuit.stats().gates;
+        g.bench_with_input(BenchmarkId::new("symphase", gates), &circuit, |b, c| {
+            b.iter(|| SymPhaseSampler::new(c))
+        });
+        g.bench_with_input(BenchmarkId::new("frame", gates), &circuit, |b, c| {
+            b.iter(|| FrameSampler::new(c))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling_vs_gates, bench_init_vs_gates);
+criterion_main!(benches);

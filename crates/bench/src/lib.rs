@@ -1,0 +1,179 @@
+//! Shared workload definitions and timing helpers for the benchmark
+//! harness that regenerates every table and figure of the paper.
+//!
+//! The Criterion benches (`benches/fig3a.rs`, …) and the `experiments`
+//! binary both build their circuits through this crate so that DESIGN.md's
+//! experiment index points at one set of definitions.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use symphase_circuit::generators::{fig3a_circuit, fig3b_circuit, fig3c_circuit};
+use symphase_circuit::Circuit;
+use symphase_core::{PhaseRepr, SymPhaseSampler};
+use symphase_frame::FrameSampler;
+
+/// Number of samples the paper's Fig. 3 timing uses.
+pub const PAPER_SHOTS: usize = 10_000;
+
+/// Depolarizing strength used for the Fig. 3c workload (the paper does not
+/// state one; 0.001 is a typical circuit-level rate).
+pub const FIG3C_NOISE: f64 = 0.001;
+
+/// Which Fig. 3 workload family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Fig. 3a: 5 CNOT pairs per layer (sparse interaction).
+    Fig3a,
+    /// Fig. 3b: ⌊n/2⌋ CNOT pairs per layer (dense interaction).
+    Fig3b,
+    /// Fig. 3c: Fig. 3b plus per-qubit depolarizing each layer.
+    Fig3c,
+}
+
+impl Workload {
+    /// Builds the circuit for `n` qubits (and `n` layers).
+    pub fn circuit(self, n: usize, seed: u64) -> Circuit {
+        match self {
+            Workload::Fig3a => fig3a_circuit(n, seed),
+            Workload::Fig3b => fig3b_circuit(n, seed),
+            Workload::Fig3c => fig3c_circuit(n, FIG3C_NOISE, seed),
+        }
+    }
+
+    /// The phase representation each workload runs best with (the paper's
+    /// conclusion anticipates picking the representation per circuit):
+    /// sparse for the sparse-interaction family, dense otherwise.
+    pub fn phase_repr(self) -> PhaseRepr {
+        match self {
+            Workload::Fig3a => PhaseRepr::Sparse,
+            Workload::Fig3b | Workload::Fig3c => PhaseRepr::Dense,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Fig3a => "fig3a",
+            Workload::Fig3b => "fig3b",
+            Workload::Fig3c => "fig3c",
+        }
+    }
+}
+
+/// One measured data point of a Fig. 3 style comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct FigPoint {
+    /// Qubit (= layer) count.
+    pub n: usize,
+    /// Time to build the SymPhase sampler (Initialization).
+    pub symphase_init: Duration,
+    /// Time for SymPhase to generate the sample batch.
+    pub symphase_sample: Duration,
+    /// Time to build the frame sampler (reference sample).
+    pub frame_init: Duration,
+    /// Time for the frame baseline to generate the sample batch.
+    pub frame_sample: Duration,
+}
+
+/// Measures one point of a Fig. 3 comparison.
+pub fn measure_fig3_point(workload: Workload, n: usize, shots: usize) -> FigPoint {
+    let circuit = workload.circuit(n, 0xF16_3000 + n as u64);
+
+    let t = Instant::now();
+    let sym = SymPhaseSampler::with_repr(&circuit, workload.phase_repr());
+    let symphase_init = t.elapsed();
+    let mut rng = StdRng::seed_from_u64(1);
+    let t = Instant::now();
+    let s = sym.sample(shots, &mut rng);
+    let symphase_sample = t.elapsed();
+    std::hint::black_box(s.count_ones());
+
+    let t = Instant::now();
+    let frame = FrameSampler::new(&circuit);
+    let frame_init = t.elapsed();
+    let mut rng = StdRng::seed_from_u64(2);
+    let t = Instant::now();
+    let f = frame.sample(shots, &mut rng);
+    let frame_sample = t.elapsed();
+    std::hint::black_box(f.count_ones());
+
+    FigPoint {
+        n,
+        symphase_init,
+        symphase_sample,
+        frame_init,
+        frame_sample,
+    }
+}
+
+/// The Table 1 scaling workload: a fixed measurement/noise skeleton with a
+/// variable number of *extra* gate layers appended, so `n_g` sweeps while
+/// `n_m` and `n_p` stay fixed.
+pub fn table1_circuit(n: usize, extra_gate_layers: usize, seed: u64) -> Circuit {
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n as u32);
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    let layer = |c: &mut Circuit, rng: &mut StdRng, idx: &mut Vec<u32>| {
+        for q in 0..n as u32 {
+            if rng.random_bool(0.5) {
+                c.h(q);
+            } else {
+                c.s(q);
+            }
+        }
+        idx.shuffle(rng);
+        c.gate(symphase_circuit::Gate::Cx, &idx[..(n / 2) * 2]);
+    };
+    // Skeleton: a few entangling layers, noise sites, and measurements.
+    for _ in 0..4 {
+        layer(&mut c, &mut rng, &mut idx);
+        c.noise(symphase_circuit::NoiseChannel::XError(0.01), &[0]);
+        let q = rng.random_range(0..n as u32);
+        c.measure(q);
+    }
+    // Extra gate-only layers: these change n_g but not n_m or n_p.
+    for _ in 0..extra_gate_layers {
+        layer(&mut c, &mut rng, &mut idx);
+    }
+    c.measure_all();
+    c
+}
+
+/// Formats a [`Duration`] in seconds with 4 decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build() {
+        for w in [Workload::Fig3a, Workload::Fig3b, Workload::Fig3c] {
+            let c = w.circuit(16, 1);
+            assert_eq!(c.num_qubits(), 16);
+            assert!(c.num_measurements() > 16);
+        }
+    }
+
+    #[test]
+    fn table1_circuit_scales_gates_only() {
+        let a = table1_circuit(16, 0, 3);
+        let b = table1_circuit(16, 10, 3);
+        assert!(b.stats().gates > a.stats().gates + 100);
+        assert_eq!(a.stats().measurements, b.stats().measurements);
+        assert_eq!(a.stats().noise_symbols, b.stats().noise_symbols);
+    }
+
+    #[test]
+    fn measure_point_runs() {
+        let p = measure_fig3_point(Workload::Fig3a, 16, 100);
+        assert_eq!(p.n, 16);
+    }
+}

@@ -1,0 +1,214 @@
+//! Gaussian elimination over F₂.
+//!
+//! Used by the stabilizer-group verifier (checking that tableau rows stay
+//! independent generators) and by tests that validate sampled measurement
+//! distributions against the row space of the measurement matrix.
+
+use crate::{BitMatrix, BitVec};
+
+/// The result of reducing a matrix to row echelon form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Echelon {
+    /// The reduced matrix (in *reduced* row echelon form).
+    pub matrix: BitMatrix,
+    /// Pivot column of each non-zero row, in row order.
+    pub pivots: Vec<usize>,
+}
+
+impl Echelon {
+    /// Rank of the original matrix.
+    pub fn rank(&self) -> usize {
+        self.pivots.len()
+    }
+}
+
+/// Reduces `m` to reduced row echelon form.
+pub fn row_reduce(mut m: BitMatrix) -> Echelon {
+    let (rows, cols) = (m.rows(), m.cols());
+    let mut pivots = Vec::new();
+    let mut next_row = 0;
+    for col in 0..cols {
+        if next_row >= rows {
+            break;
+        }
+        // Find a pivot at or below next_row.
+        let Some(pivot) = (next_row..rows).find(|&r| m.get(r, col)) else {
+            continue;
+        };
+        m.swap_rows(next_row, pivot);
+        for r in 0..rows {
+            if r != next_row && m.get(r, col) {
+                m.xor_row_into(next_row, r);
+            }
+        }
+        pivots.push(col);
+        next_row += 1;
+    }
+    Echelon { matrix: m, pivots }
+}
+
+/// Rank of `m` over F₂.
+pub fn rank(m: &BitMatrix) -> usize {
+    row_reduce(m.clone()).rank()
+}
+
+/// Tests whether `v` lies in the row space of `m`.
+pub fn in_row_space(m: &BitMatrix, v: &BitVec) -> bool {
+    assert_eq!(m.cols(), v.len(), "dimension mismatch");
+    let mut aug = BitMatrix::zeros(m.rows() + 1, m.cols());
+    for r in 0..m.rows() {
+        aug.row_mut(r).copy_from_slice(m.row(r));
+    }
+    let last = m.rows();
+    for i in v.iter_ones() {
+        aug.set(last, i, true);
+    }
+    rank(&aug) == rank(m)
+}
+
+/// Solves `x · m = v` for a row vector `x` (i.e. expresses `v` as an XOR of
+/// rows of `m`), returning the set of row indices, or `None` when `v` is not
+/// in the row space.
+pub fn express_in_rows(m: &BitMatrix, v: &BitVec) -> Option<Vec<usize>> {
+    assert_eq!(m.cols(), v.len(), "dimension mismatch");
+    // Augment each row with an identity tag to track row combinations.
+    let (rows, cols) = (m.rows(), m.cols());
+    let mut work = BitMatrix::zeros(rows, cols + rows);
+    for r in 0..rows {
+        work.row_mut(r)[..m.stride()].copy_from_slice(m.row(r));
+        work.set(r, cols + r, true);
+    }
+    // Forward-eliminate v against the rows.
+    let reduced = row_reduce(work);
+    let mut target = BitVec::zeros(cols);
+    target.xor_assign(v);
+    let mut tag_acc = BitVec::zeros(rows);
+    for (row_idx, &p) in reduced.pivots.iter().enumerate() {
+        if p >= cols {
+            continue; // pivot in the tag region: row was dependent
+        }
+        if target.get(p) {
+            for c in 0..cols {
+                if reduced.matrix.get(row_idx, c) {
+                    target.flip(c);
+                }
+            }
+            for c in 0..rows {
+                if reduced.matrix.get(row_idx, cols + c) {
+                    tag_acc.flip(c);
+                }
+            }
+        }
+    }
+    if target.any() {
+        return None;
+    }
+    Some(tag_acc.iter_ones().collect())
+}
+
+/// A basis of the null space of `m` (vectors `x` with `m · x = 0`), one
+/// [`BitVec`] of length `m.cols()` per basis vector.
+pub fn nullspace(m: &BitMatrix) -> Vec<BitVec> {
+    let reduced = row_reduce(m.clone());
+    let cols = m.cols();
+    let pivot_set: std::collections::HashSet<usize> = reduced.pivots.iter().copied().collect();
+    let mut basis = Vec::new();
+    for free in 0..cols {
+        if pivot_set.contains(&free) {
+            continue;
+        }
+        let mut v = BitVec::zeros(cols);
+        v.set(free, true);
+        for (row_idx, &p) in reduced.pivots.iter().enumerate() {
+            if reduced.matrix.get(row_idx, free) {
+                v.set(p, true);
+            }
+        }
+        basis.push(v);
+    }
+    basis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_of_identity() {
+        assert_eq!(rank(&BitMatrix::identity(10)), 10);
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        let mut m = BitMatrix::zeros(3, 4);
+        m.set(0, 0, true);
+        m.set(1, 1, true);
+        // row 2 = row 0 ⊕ row 1
+        m.set(2, 0, true);
+        m.set(2, 1, true);
+        assert_eq!(rank(&m), 2);
+    }
+
+    #[test]
+    fn rank_bounds_random() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let m = BitMatrix::random(20, 67, &mut rng);
+        let r = rank(&m);
+        assert!(r <= 20);
+        assert_eq!(rank(&m.transpose()), r);
+    }
+
+    #[test]
+    fn in_row_space_detects_membership() {
+        let mut m = BitMatrix::zeros(2, 3);
+        m.set(0, 0, true);
+        m.set(0, 1, true);
+        m.set(1, 1, true);
+        m.set(1, 2, true);
+        let sum = BitVec::from_bools([true, false, true]); // row0 ⊕ row1
+        assert!(in_row_space(&m, &sum));
+        let not = BitVec::from_bools([false, false, true]);
+        assert!(!in_row_space(&m, &not));
+    }
+
+    #[test]
+    fn express_in_rows_finds_combination() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let m = BitMatrix::random(8, 30, &mut rng);
+        // Construct v as a random XOR of rows and recover the combination.
+        let select = BitVec::random(8, &mut rng);
+        let mut v = BitVec::zeros(30);
+        for r in select.iter_ones() {
+            v.xor_assign(&m.row_bitvec(r));
+        }
+        let combo = express_in_rows(&m, &v).expect("must be expressible");
+        let mut rebuilt = BitVec::zeros(30);
+        for r in combo {
+            rebuilt.xor_assign(&m.row_bitvec(r));
+        }
+        assert_eq!(rebuilt, v);
+    }
+
+    #[test]
+    fn nullspace_vectors_annihilate() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let m = BitMatrix::random(10, 25, &mut rng);
+        let basis = nullspace(&m);
+        assert_eq!(basis.len(), 25 - rank(&m));
+        for v in basis {
+            assert!(!m.mul_vec(&v).any(), "null space vector not annihilated");
+        }
+    }
+
+    #[test]
+    fn row_reduce_is_idempotent() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = BitMatrix::random(12, 18, &mut rng);
+        let e1 = row_reduce(m);
+        let e2 = row_reduce(e1.matrix.clone());
+        assert_eq!(e1.matrix, e2.matrix);
+        assert_eq!(e1.pivots, e2.pivots);
+    }
+}

@@ -1,0 +1,647 @@
+//! The three stabilizer-tableau memory layouts compared in Fig. 2 of the
+//! paper.
+//!
+//! A tableau simulator alternates between *column* operations (Clifford
+//! gates touch one or two qubit columns across all generator rows) and *row*
+//! operations (measurements multiply generator rows together). The layout of
+//! the backing bit-matrix decides which of the two is cheap:
+//!
+//! * [`ChpLayout`] (Fig. 2a) — plain row-major packed words, as in
+//!   Aaronson–Gottesman's `chp.c`. Row ops are contiguous word XORs; column
+//!   ops walk a strided bit per row.
+//! * [`StimLayout`] (Fig. 2b) — 8×8-bit blocks packed in `u64`s, block grid
+//!   column-major, as in Stim. Column ops are word ops over contiguous
+//!   blocks; before a batch of row ops the whole matrix is transposed (and
+//!   transposed back afterwards).
+//! * [`SymLayout512`] (Fig. 2d) — 512×512-bit blocks whose interior words
+//!   are stored column-major for gates; row batches only *locally* transpose
+//!   each block (Fig. 2c), never moving data between blocks, so rows become
+//!   piecewise-contiguous runs of 512 bits.
+//!
+//! All three implement [`TableauLayout`] so the `fig2_layout` bench can
+//! drive identical operation sequences through each.
+
+use rand::Rng;
+
+use crate::word::{split_index, Word};
+use crate::BitMatrix;
+
+/// Common interface over the Fig. 2 layouts.
+///
+/// Implementations may reorganize their storage when switching between
+/// column mode and row mode; the logical matrix is unchanged by mode
+/// switches.
+pub trait TableauLayout {
+    /// Layout name as used in the paper ("chp", "stim", "symphase").
+    const NAME: &'static str;
+
+    /// Creates a `rows × cols` zero matrix in column mode.
+    fn zeros(rows: usize, cols: usize) -> Self;
+
+    /// Number of rows.
+    fn rows(&self) -> usize;
+
+    /// Number of columns.
+    fn cols(&self) -> usize;
+
+    /// Reads entry `(r, c)` (any mode).
+    fn get(&self, r: usize, c: usize) -> bool;
+
+    /// Writes entry `(r, c)` (any mode).
+    fn set(&mut self, r: usize, c: usize, v: bool);
+
+    /// Reorganizes storage for a batch of column operations (no-op if
+    /// already in column mode).
+    fn ensure_col_mode(&mut self);
+
+    /// Reorganizes storage for a batch of row operations (no-op if already
+    /// in row mode).
+    fn ensure_row_mode(&mut self);
+
+    /// XORs column `src` into column `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range or `src == dst`.
+    fn xor_col_into(&mut self, src: usize, dst: usize);
+
+    /// XORs row `src` into row `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range or `src == dst`.
+    fn xor_row_into(&mut self, src: usize, dst: usize);
+
+    /// Fills with uniformly random bits (for benches/tests).
+    fn fill_random(&mut self, rng: &mut impl Rng)
+    where
+        Self: Sized,
+    {
+        for r in 0..self.rows() {
+            for c in 0..self.cols() {
+                self.set(r, c, rng.random());
+            }
+        }
+    }
+
+    /// Copies into a dense [`BitMatrix`] (for verification).
+    fn to_bitmatrix(&self) -> BitMatrix {
+        BitMatrix::from_fn(self.rows(), self.cols(), |r, c| self.get(r, c))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2a: chp.c row-major layout
+// ---------------------------------------------------------------------------
+
+/// Row-major packed layout of `chp.c` (paper Fig. 2a).
+#[derive(Clone, Debug)]
+pub struct ChpLayout {
+    m: BitMatrix,
+}
+
+impl TableauLayout for ChpLayout {
+    const NAME: &'static str = "chp";
+
+    fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            m: BitMatrix::zeros(rows, cols),
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.m.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.m.cols()
+    }
+
+    fn get(&self, r: usize, c: usize) -> bool {
+        self.m.get(r, c)
+    }
+
+    fn set(&mut self, r: usize, c: usize, v: bool) {
+        self.m.set(r, c, v);
+    }
+
+    fn ensure_col_mode(&mut self) {}
+
+    fn ensure_row_mode(&mut self) {}
+
+    fn xor_col_into(&mut self, src: usize, dst: usize) {
+        assert!(src < self.cols() && dst < self.cols(), "column out of range");
+        assert_ne!(src, dst, "column xor into itself");
+        let stride = self.m.stride();
+        let (ws, bs) = split_index(src);
+        let (wd, bd) = split_index(dst);
+        let data = self.m.words_mut();
+        for r in 0..data.len() / stride {
+            let bit = (data[r * stride + ws] >> bs) & 1;
+            data[r * stride + wd] ^= bit << bd;
+        }
+    }
+
+    fn xor_row_into(&mut self, src: usize, dst: usize) {
+        self.m.xor_row_into(src, dst);
+    }
+
+    fn to_bitmatrix(&self) -> BitMatrix {
+        self.m.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2b: Stim 8×8-block layout
+// ---------------------------------------------------------------------------
+
+/// Transposes an 8×8 bit-matrix packed in a `u64` (bit `(r, c)` at `r*8+c`).
+#[inline]
+pub fn transpose_8x8(x: Word) -> Word {
+    let mut x = x;
+    let t = (x ^ (x >> 7)) & 0x00AA_00AA_00AA_00AA;
+    x ^= t ^ (t << 7);
+    let t = (x ^ (x >> 14)) & 0x0000_CCCC_0000_CCCC;
+    x ^= t ^ (t << 14);
+    let t = (x ^ (x >> 28)) & 0x0000_0000_F0F0_F0F0;
+    x ^= t ^ (t << 28);
+    x
+}
+
+/// Stim's layout (paper Fig. 2b): `u64`s interpreted as 8×8 bit-matrices,
+/// block grid stored column-major. Row batches transpose the whole matrix.
+#[derive(Clone, Debug)]
+pub struct StimLayout {
+    /// Block grid, column-major: block `(br, bc)` at `bc * block_rows + br`.
+    blocks: Vec<Word>,
+    rows: usize,
+    cols: usize,
+    block_rows: usize,
+    block_cols: usize,
+    /// When `true`, storage holds the transpose and logical `(r, c)` maps to
+    /// physical `(c, r)`.
+    transposed: bool,
+}
+
+impl StimLayout {
+    #[inline]
+    fn block_index(&self, br: usize, bc: usize) -> usize {
+        bc * self.block_rows + br
+    }
+
+    /// Physical column XOR (operates on current storage orientation).
+    fn phys_xor_col(&mut self, src: usize, dst: usize) {
+        let (bcs, js) = (src / 8, src % 8);
+        let (bcd, jd) = (dst / 8, dst % 8);
+        const COL0: Word = 0x0101_0101_0101_0101;
+        for br in 0..self.block_rows {
+            let s = self.blocks[self.block_index(br, bcs)];
+            let bits = (s >> js) & COL0;
+            let d = &mut self.blocks[bc_index(bcd, self.block_rows, br)];
+            *d ^= bits << jd;
+        }
+    }
+
+    /// Physical row XOR (strided across block columns).
+    fn phys_xor_row(&mut self, src: usize, dst: usize) {
+        let (brs, rs) = (src / 8, src % 8);
+        let (brd, rd) = (dst / 8, dst % 8);
+        for bc in 0..self.block_cols {
+            let s = self.blocks[self.block_index(brs, bc)];
+            let byte = (s >> (rs * 8)) & 0xFF;
+            let d = &mut self.blocks[bc_index(bc, self.block_rows, brd)];
+            *d ^= byte << (rd * 8);
+        }
+    }
+
+    /// Transposes the stored matrix: each 8×8 block is bit-transposed and
+    /// the block grid is flipped about its diagonal.
+    fn transpose_storage(&mut self) {
+        let (old_brs, old_bcs) = (self.block_rows, self.block_cols);
+        let mut out = vec![0 as Word; self.blocks.len()];
+        for br in 0..old_brs {
+            for bc in 0..old_bcs {
+                let w = self.blocks[bc * old_brs + br];
+                // New grid has old_bcs block-rows; block (bc, br) in it.
+                out[br * old_bcs + bc] = transpose_8x8(w);
+            }
+        }
+        self.blocks = out;
+        self.block_rows = old_bcs;
+        self.block_cols = old_brs;
+        std::mem::swap(&mut self.rows, &mut self.cols);
+        self.transposed = !self.transposed;
+    }
+}
+
+#[inline]
+fn bc_index(bc: usize, block_rows: usize, br: usize) -> usize {
+    bc * block_rows + br
+}
+
+impl TableauLayout for StimLayout {
+    const NAME: &'static str = "stim";
+
+    fn zeros(rows: usize, cols: usize) -> Self {
+        let block_rows = rows.div_ceil(8);
+        let block_cols = cols.div_ceil(8);
+        Self {
+            blocks: vec![0; block_rows * block_cols],
+            rows,
+            cols,
+            block_rows,
+            block_cols,
+            transposed: false,
+        }
+    }
+
+    fn rows(&self) -> usize {
+        if self.transposed {
+            self.cols
+        } else {
+            self.rows
+        }
+    }
+
+    fn cols(&self) -> usize {
+        if self.transposed {
+            self.rows
+        } else {
+            self.cols
+        }
+    }
+
+    fn get(&self, r: usize, c: usize) -> bool {
+        let (r, c) = if self.transposed { (c, r) } else { (r, c) };
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        let w = self.blocks[self.block_index(r / 8, c / 8)];
+        (w >> ((r % 8) * 8 + (c % 8))) & 1 == 1
+    }
+
+    fn set(&mut self, r: usize, c: usize, v: bool) {
+        let (r, c) = if self.transposed { (c, r) } else { (r, c) };
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        let idx = self.block_index(r / 8, c / 8);
+        let bit = (r % 8) * 8 + (c % 8);
+        if v {
+            self.blocks[idx] |= 1 << bit;
+        } else {
+            self.blocks[idx] &= !(1 << bit);
+        }
+    }
+
+    fn ensure_col_mode(&mut self) {
+        if self.transposed {
+            self.transpose_storage();
+        }
+    }
+
+    fn ensure_row_mode(&mut self) {
+        if !self.transposed {
+            self.transpose_storage();
+        }
+    }
+
+    fn xor_col_into(&mut self, src: usize, dst: usize) {
+        assert!(src < self.cols() && dst < self.cols(), "column out of range");
+        assert_ne!(src, dst, "column xor into itself");
+        if self.transposed {
+            self.phys_xor_row(src, dst);
+        } else {
+            self.phys_xor_col(src, dst);
+        }
+    }
+
+    fn xor_row_into(&mut self, src: usize, dst: usize) {
+        assert!(src < self.rows() && dst < self.rows(), "row out of range");
+        assert_ne!(src, dst, "row xor into itself");
+        if self.transposed {
+            self.phys_xor_col(src, dst);
+        } else {
+            self.phys_xor_row(src, dst);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2d: SymPhase 512×512-block layout with local transposition
+// ---------------------------------------------------------------------------
+
+/// Bits per block edge in [`SymLayout512`].
+pub const SYM_BLOCK_BITS: usize = 512;
+/// Words per block row (512 bits / 64).
+const BLOCK_WORD_COLS: usize = SYM_BLOCK_BITS / 64;
+/// Words per block (512 × 8).
+const BLOCK_WORDS: usize = SYM_BLOCK_BITS * BLOCK_WORD_COLS;
+
+/// SymPhase's layout (paper Fig. 2d): 512×512-bit blocks; inside each block
+/// the 512×8 word grid is column-major in column mode and row-major in row
+/// mode. Switching modes transposes word *positions* inside each block only
+/// ("local transposition", Fig. 2c) — bits never cross block boundaries.
+#[derive(Clone, Debug)]
+pub struct SymLayout512 {
+    /// Blocks row-major in the grid; each block occupies [`BLOCK_WORDS`]
+    /// words.
+    blocks: Vec<Word>,
+    rows: usize,
+    cols: usize,
+    block_rows: usize,
+    block_cols: usize,
+    row_mode: bool,
+}
+
+impl SymLayout512 {
+    #[inline]
+    fn block_offset(&self, br: usize, bc: usize) -> usize {
+        (br * self.block_cols + bc) * BLOCK_WORDS
+    }
+
+    /// Index of word `(r, wc)` inside a block for the current mode.
+    #[inline]
+    fn word_in_block(&self, r: usize, wc: usize) -> usize {
+        if self.row_mode {
+            r * BLOCK_WORD_COLS + wc
+        } else {
+            wc * SYM_BLOCK_BITS + r
+        }
+    }
+
+    /// Locally transposes every block between the two word orders.
+    fn relayout_blocks(&mut self) {
+        let mut scratch = vec![0 as Word; BLOCK_WORDS];
+        let nblocks = self.block_rows * self.block_cols;
+        for b in 0..nblocks {
+            let base = b * BLOCK_WORDS;
+            let blk = &mut self.blocks[base..base + BLOCK_WORDS];
+            // Transpose the 512×8 word grid: (r, wc) col-major ↔ row-major.
+            for r in 0..SYM_BLOCK_BITS {
+                for wc in 0..BLOCK_WORD_COLS {
+                    let (from, to) = if self.row_mode {
+                        (r * BLOCK_WORD_COLS + wc, wc * SYM_BLOCK_BITS + r)
+                    } else {
+                        (wc * SYM_BLOCK_BITS + r, r * BLOCK_WORD_COLS + wc)
+                    };
+                    scratch[to] = blk[from];
+                }
+            }
+            blk.copy_from_slice(&scratch);
+        }
+        self.row_mode = !self.row_mode;
+    }
+}
+
+impl TableauLayout for SymLayout512 {
+    const NAME: &'static str = "symphase";
+
+    fn zeros(rows: usize, cols: usize) -> Self {
+        let block_rows = rows.div_ceil(SYM_BLOCK_BITS).max(1);
+        let block_cols = cols.div_ceil(SYM_BLOCK_BITS).max(1);
+        Self {
+            blocks: vec![0; block_rows * block_cols * BLOCK_WORDS],
+            rows,
+            cols,
+            block_rows,
+            block_cols,
+            row_mode: false,
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        let (br, bc) = (r / SYM_BLOCK_BITS, c / SYM_BLOCK_BITS);
+        let (ri, ci) = (r % SYM_BLOCK_BITS, c % SYM_BLOCK_BITS);
+        let w = self.blocks[self.block_offset(br, bc) + self.word_in_block(ri, ci / 64)];
+        (w >> (ci % 64)) & 1 == 1
+    }
+
+    fn set(&mut self, r: usize, c: usize, v: bool) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        let (br, bc) = (r / SYM_BLOCK_BITS, c / SYM_BLOCK_BITS);
+        let (ri, ci) = (r % SYM_BLOCK_BITS, c % SYM_BLOCK_BITS);
+        let idx = self.block_offset(br, bc) + self.word_in_block(ri, ci / 64);
+        if v {
+            self.blocks[idx] |= 1 << (ci % 64);
+        } else {
+            self.blocks[idx] &= !(1 << (ci % 64));
+        }
+    }
+
+    fn ensure_col_mode(&mut self) {
+        if self.row_mode {
+            self.relayout_blocks();
+        }
+    }
+
+    fn ensure_row_mode(&mut self) {
+        if !self.row_mode {
+            self.relayout_blocks();
+        }
+    }
+
+    fn xor_col_into(&mut self, src: usize, dst: usize) {
+        assert!(src < self.cols && dst < self.cols, "column out of range");
+        assert_ne!(src, dst, "column xor into itself");
+        self.ensure_col_mode();
+        let (bcs, cis) = (src / SYM_BLOCK_BITS, src % SYM_BLOCK_BITS);
+        let (bcd, cid) = (dst / SYM_BLOCK_BITS, dst % SYM_BLOCK_BITS);
+        let (wcs, js) = (cis / 64, (cis % 64) as u32);
+        let (wcd, jd) = (cid / 64, (cid % 64) as u32);
+        for br in 0..self.block_rows {
+            let src_base = self.block_offset(br, bcs) + wcs * SYM_BLOCK_BITS;
+            let dst_base = self.block_offset(br, bcd) + wcd * SYM_BLOCK_BITS;
+            if src_base == dst_base {
+                // Same word column: both bits live in the same words.
+                for r in 0..SYM_BLOCK_BITS {
+                    let w = self.blocks[src_base + r];
+                    let bit = (w >> js) & 1;
+                    self.blocks[dst_base + r] ^= bit << jd;
+                }
+            } else {
+                let (lo_base, hi_base, src_first) = if src_base < dst_base {
+                    (src_base, dst_base, true)
+                } else {
+                    (dst_base, src_base, false)
+                };
+                let (lo, hi) = self.blocks.split_at_mut(hi_base);
+                let lo = &mut lo[lo_base..lo_base + SYM_BLOCK_BITS];
+                let hi = &mut hi[..SYM_BLOCK_BITS];
+                if src_first {
+                    for r in 0..SYM_BLOCK_BITS {
+                        let bit = (lo[r] >> js) & 1;
+                        hi[r] ^= bit << jd;
+                    }
+                } else {
+                    for r in 0..SYM_BLOCK_BITS {
+                        let bit = (hi[r] >> js) & 1;
+                        lo[r] ^= bit << jd;
+                    }
+                }
+            }
+        }
+    }
+
+    fn xor_row_into(&mut self, src: usize, dst: usize) {
+        assert!(src < self.rows && dst < self.rows, "row out of range");
+        assert_ne!(src, dst, "row xor into itself");
+        self.ensure_row_mode();
+        let (brs, ris) = (src / SYM_BLOCK_BITS, src % SYM_BLOCK_BITS);
+        let (brd, rid) = (dst / SYM_BLOCK_BITS, dst % SYM_BLOCK_BITS);
+        for bc in 0..self.block_cols {
+            let src_base = self.block_offset(brs, bc) + ris * BLOCK_WORD_COLS;
+            let dst_base = self.block_offset(brd, bc) + rid * BLOCK_WORD_COLS;
+            if src_base == dst_base {
+                unreachable!("src == dst rows rejected above");
+            }
+            let (lo_base, hi_base, src_first) = if src_base < dst_base {
+                (src_base, dst_base, true)
+            } else {
+                (dst_base, src_base, false)
+            };
+            let (lo, hi) = self.blocks.split_at_mut(hi_base);
+            let lo = &mut lo[lo_base..lo_base + BLOCK_WORD_COLS];
+            let hi = &mut hi[..BLOCK_WORD_COLS];
+            if src_first {
+                for i in 0..BLOCK_WORD_COLS {
+                    hi[i] ^= lo[i];
+                }
+            } else {
+                for i in 0..BLOCK_WORD_COLS {
+                    lo[i] ^= hi[i];
+                }
+            }
+        }
+    }
+}
+
+// Re-exported so the bench can also exercise the raw kernel.
+pub use crate::transpose::transpose_64x64 as transpose_kernel_64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive_transpose_8(x: Word) -> Word {
+        let mut out = 0;
+        for r in 0..8 {
+            for c in 0..8 {
+                if (x >> (r * 8 + c)) & 1 == 1 {
+                    out |= 1 << (c * 8 + r);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn transpose_8x8_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..100 {
+            let x: Word = rand::Rng::random(&mut rng);
+            assert_eq!(transpose_8x8(x), naive_transpose_8(x));
+        }
+    }
+
+    fn exercise<L: TableauLayout>(rows: usize, cols: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layout = L::zeros(rows, cols);
+        layout.fill_random(&mut rng);
+        let mut reference = layout.to_bitmatrix();
+
+        // Mixed column/row operation sequence with mode switches.
+        for step in 0..60 {
+            if step % 20 < 12 {
+                let src = rand::Rng::random_range(&mut rng, 0..cols);
+                let mut dst = rand::Rng::random_range(&mut rng, 0..cols);
+                if dst == src {
+                    dst = (dst + 1) % cols;
+                }
+                layout.xor_col_into(src, dst);
+                for r in 0..rows {
+                    let v = reference.get(r, dst) ^ reference.get(r, src);
+                    reference.set(r, dst, v);
+                }
+            } else {
+                layout.ensure_row_mode();
+                let src = rand::Rng::random_range(&mut rng, 0..rows);
+                let mut dst = rand::Rng::random_range(&mut rng, 0..rows);
+                if dst == src {
+                    dst = (dst + 1) % rows;
+                }
+                layout.xor_row_into(src, dst);
+                reference.xor_row_into(src, dst);
+            }
+            if step % 20 == 11 {
+                layout.ensure_row_mode();
+            }
+            if step % 20 == 19 {
+                layout.ensure_col_mode();
+            }
+        }
+        layout.ensure_col_mode();
+        assert_eq!(layout.to_bitmatrix(), reference, "{} layout diverged", L::NAME);
+    }
+
+    #[test]
+    fn chp_layout_agrees_with_reference() {
+        exercise::<ChpLayout>(100, 130, 31);
+    }
+
+    #[test]
+    fn stim_layout_agrees_with_reference() {
+        exercise::<StimLayout>(100, 130, 32);
+        exercise::<StimLayout>(64, 64, 33);
+        exercise::<StimLayout>(17, 90, 34);
+    }
+
+    #[test]
+    fn sym_layout_agrees_with_reference() {
+        exercise::<SymLayout512>(100, 130, 35);
+        exercise::<SymLayout512>(600, 520, 36);
+    }
+
+    #[test]
+    fn stim_mode_switch_preserves_contents() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut l = StimLayout::zeros(50, 70);
+        l.fill_random(&mut rng);
+        let before = l.to_bitmatrix();
+        l.ensure_row_mode();
+        assert_eq!(l.to_bitmatrix(), before);
+        l.ensure_col_mode();
+        assert_eq!(l.to_bitmatrix(), before);
+    }
+
+    #[test]
+    fn sym_mode_switch_preserves_contents() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut l = SymLayout512::zeros(520, 600);
+        l.fill_random(&mut rng);
+        let before = l.to_bitmatrix();
+        l.ensure_row_mode();
+        assert_eq!(l.to_bitmatrix(), before);
+        l.ensure_col_mode();
+        assert_eq!(l.to_bitmatrix(), before);
+    }
+
+    #[test]
+    fn col_op_then_get_roundtrip_small() {
+        // Hand-checked miniature: set (0, 0), xor col 0 into col 1.
+        let mut l = SymLayout512::zeros(4, 4);
+        l.set(0, 0, true);
+        l.xor_col_into(0, 1);
+        assert!(l.get(0, 1));
+        assert!(l.get(0, 0));
+        l.xor_col_into(0, 1);
+        assert!(!l.get(0, 1));
+    }
+}

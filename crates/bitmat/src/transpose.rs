@@ -1,0 +1,181 @@
+//! Word-blocked bit-matrix transposition kernels.
+//!
+//! The 64×64 kernel is the classic recursive swap network (Hacker's Delight,
+//! §7-3, widened to 64-bit words). Full-matrix transposition tiles the matrix
+//! into 64×64 blocks, transposes each block with the kernel, and swaps the
+//! block grid — the same structure Stim and SymPhase use for switching the
+//! stabilizer tableau between row-major and column-major access (paper §4).
+
+use crate::word::Word;
+
+/// Transposes a 64×64 bit-matrix in place.
+///
+/// `a[r]` holds row `r`; bit `c` of `a[r]` (little-endian) is the element at
+/// `(r, c)`. After the call, `a[c]` bit `r` holds the old `(r, c)`.
+///
+/// ```
+/// let mut m = [0u64; 64];
+/// m[3] = 1 << 10;
+/// symphase_bitmat::transpose::transpose_64x64(&mut m);
+/// assert_eq!(m[10], 1 << 3);
+/// ```
+pub fn transpose_64x64(a: &mut [Word; 64]) {
+    // Recursive block-swap network (Hacker's Delight §7-3), adapted to the
+    // little-endian column convention used throughout this crate: at scale
+    // `j`, the high bits of row `k` swap with the low bits of row `k+j`.
+    let mut j: usize = 32;
+    let mut m: Word = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k: usize = 0;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k | j]) & m;
+            a[k | j] ^= t;
+            a[k] ^= t << j;
+            k = ((k | j) + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Transposes a rectangular bit-matrix given as row-major packed words.
+///
+/// `src` has `rows` rows of `src_stride` words each; the result has `cols`
+/// rows of `dst_stride` words. Both strides must cover the respective bit
+/// counts. Slack bits in `src` beyond `cols` are ignored; slack bits in the
+/// output are zero.
+///
+/// # Panics
+///
+/// Panics if the slices are too small for the described shapes.
+pub fn transpose_packed(
+    src: &[Word],
+    rows: usize,
+    cols: usize,
+    src_stride: usize,
+    dst: &mut [Word],
+    dst_stride: usize,
+) {
+    assert!(src_stride * 64 >= cols || rows == 0, "src stride too small");
+    assert!(dst_stride * 64 >= rows || cols == 0, "dst stride too small");
+    assert!(src.len() >= rows * src_stride, "src slice too small");
+    assert!(dst.len() >= cols * dst_stride, "dst slice too small");
+    dst.iter_mut().for_each(|w| *w = 0);
+
+    let block_rows = rows.div_ceil(64);
+    let block_cols = cols.div_ceil(64);
+    let mut block = [0 as Word; 64];
+    for br in 0..block_rows {
+        for bc in 0..block_cols {
+            // Gather the 64×64 block at (br, bc); rows beyond `rows` are zero.
+            for (i, b) in block.iter_mut().enumerate() {
+                let r = br * 64 + i;
+                *b = if r < rows { src[r * src_stride + bc] } else { 0 };
+            }
+            // Mask slack columns of the final block column so they cannot
+            // leak into the output as phantom rows.
+            if (bc + 1) * 64 > cols {
+                let valid = cols - bc * 64;
+                let mask = if valid == 64 { !0 } else { (1 << valid) - 1 };
+                for b in block.iter_mut() {
+                    *b &= mask;
+                }
+            }
+            transpose_64x64(&mut block);
+            // Scatter to the transposed block position (bc, br).
+            for (i, b) in block.iter().enumerate() {
+                let r = bc * 64 + i;
+                if r < cols {
+                    dst[r * dst_stride + br] = *b;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn naive_transpose_64(a: &[Word; 64]) -> [Word; 64] {
+        let mut out = [0; 64];
+        for r in 0..64 {
+            for c in 0..64 {
+                if (a[r] >> c) & 1 == 1 {
+                    out[c] |= 1 << r;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn kernel_matches_naive_on_random_input() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let mut a: [Word; 64] = [0; 64];
+            for w in a.iter_mut() {
+                *w = rng.random();
+            }
+            let expected = naive_transpose_64(&a);
+            let mut got = a;
+            transpose_64x64(&mut got);
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn kernel_is_involution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a: [Word; 64] = [0; 64];
+        for w in a.iter_mut() {
+            *w = rng.random();
+        }
+        let orig = a;
+        transpose_64x64(&mut a);
+        transpose_64x64(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn kernel_identity_fixed_point() {
+        let mut eye: [Word; 64] = [0; 64];
+        for (i, w) in eye.iter_mut().enumerate() {
+            *w = 1 << i;
+        }
+        let orig = eye;
+        transpose_64x64(&mut eye);
+        assert_eq!(eye, orig);
+    }
+
+    #[test]
+    fn packed_rectangular_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (rows, cols): (usize, usize) = (70, 130);
+        let src_stride = cols.div_ceil(64);
+        let dst_stride = rows.div_ceil(64);
+        let mut src = vec![0 as Word; rows * src_stride];
+        for w in src.iter_mut() {
+            *w = rng.random();
+        }
+        // Canonicalize slack bits of each row.
+        for r in 0..rows {
+            let last = &mut src[r * src_stride + src_stride - 1];
+            *last &= (1 << (cols % 64)) - 1;
+        }
+        let mut t = vec![0 as Word; cols * dst_stride];
+        transpose_packed(&src, rows, cols, src_stride, &mut t, dst_stride);
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = (src[r * src_stride + c / 64] >> (c % 64)) & 1;
+                let tr = (t[c * dst_stride + r / 64] >> (r % 64)) & 1;
+                assert_eq!(orig, tr, "mismatch at ({r},{c})");
+            }
+        }
+        let mut back = vec![0 as Word; rows * src_stride];
+        transpose_packed(&t, cols, rows, dst_stride, &mut back, src_stride);
+        assert_eq!(src, back);
+    }
+}

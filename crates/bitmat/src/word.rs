@@ -1,0 +1,111 @@
+//! Machine-word primitives shared by every packed-bit container.
+
+/// The machine word all packed-bit containers are built from.
+pub type Word = u64;
+
+/// Number of bits in a [`Word`].
+pub const WORD_BITS: usize = Word::BITS as usize;
+
+/// Number of words needed to store `bits` bits.
+///
+/// ```
+/// assert_eq!(symphase_bitmat::words_for(0), 0);
+/// assert_eq!(symphase_bitmat::words_for(64), 1);
+/// assert_eq!(symphase_bitmat::words_for(65), 2);
+/// ```
+#[inline]
+pub const fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+/// Mask selecting the valid bits of the last word of a `bits`-bit vector.
+///
+/// Returns the all-ones word when `bits` is a multiple of the word size
+/// (including zero), because in that case the final word has no slack.
+#[inline]
+pub const fn tail_mask(bits: usize) -> Word {
+    let rem = bits % WORD_BITS;
+    if rem == 0 {
+        !0
+    } else {
+        (1 << rem) - 1
+    }
+}
+
+/// Splits a bit index into `(word_index, bit_within_word)`.
+#[inline]
+pub const fn split_index(bit: usize) -> (usize, u32) {
+    (bit / WORD_BITS, (bit % WORD_BITS) as u32)
+}
+
+/// XORs `src` into `dst` word-by-word.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn xor_into(dst: &mut [Word], src: &[Word]) {
+    assert_eq!(dst.len(), src.len(), "xor_into length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= *s;
+    }
+}
+
+/// Total number of set bits in a word slice.
+#[inline]
+pub fn count_ones(words: &[Word]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(63), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+    }
+
+    #[test]
+    fn tail_mask_boundaries() {
+        assert_eq!(tail_mask(0), !0);
+        assert_eq!(tail_mask(1), 1);
+        assert_eq!(tail_mask(63), (1 << 63) - 1);
+        assert_eq!(tail_mask(64), !0);
+        assert_eq!(tail_mask(65), 1);
+    }
+
+    #[test]
+    fn split_index_examples() {
+        assert_eq!(split_index(0), (0, 0));
+        assert_eq!(split_index(63), (0, 63));
+        assert_eq!(split_index(64), (1, 0));
+        assert_eq!(split_index(130), (2, 2));
+    }
+
+    #[test]
+    fn xor_into_works() {
+        let mut a = [0b1100u64, 0b1010];
+        let b = [0b1010u64, 0b1010];
+        xor_into(&mut a, &b);
+        assert_eq!(a, [0b0110, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_into_length_mismatch_panics() {
+        let mut a = [0u64; 2];
+        xor_into(&mut a, &[0u64; 3]);
+    }
+
+    #[test]
+    fn count_ones_counts() {
+        assert_eq!(count_ones(&[0b101, 0b11, 0]), 4);
+        assert_eq!(count_ones(&[]), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Property tests for the F₂ linear-algebra substrate.
+
+use proptest::prelude::*;
+
+use symphase_bitmat::gauss::{express_in_rows, nullspace, rank, row_reduce};
+use symphase_bitmat::layout::{ChpLayout, StimLayout, SymLayout512, TableauLayout};
+use symphase_bitmat::{BitMatrix, BitVec, SparseBitVec};
+
+fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(BitVec::from_bools)
+}
+
+fn bitmatrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = BitMatrix> {
+    proptest::collection::vec(any::<bool>(), rows * cols).prop_map(move |bits| {
+        BitMatrix::from_fn(rows, cols, |r, c| bits[r * cols + c])
+    })
+}
+
+fn xor_matrices(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
+    BitMatrix::from_fn(a.rows(), a.cols(), |r, c| a.get(r, c) ^ b.get(r, c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bitvec_xor_is_involution(a in bitvec_strategy(150), b in bitvec_strategy(150)) {
+        let mut x = a.clone();
+        x.xor_assign(&b);
+        x.xor_assign(&b);
+        prop_assert_eq!(x, a);
+    }
+
+    #[test]
+    fn bitvec_xor_commutes(a in bitvec_strategy(130), b in bitvec_strategy(130)) {
+        let mut ab = a.clone();
+        ab.xor_assign(&b);
+        let mut ba = b.clone();
+        ba.xor_assign(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn bitvec_iter_ones_roundtrip(a in bitvec_strategy(200)) {
+        let rebuilt = BitVec::from_fn(200, |i| a.iter_ones().any(|j| j == i));
+        prop_assert_eq!(rebuilt, a.clone());
+        prop_assert_eq!(a.iter_ones().count(), a.count_ones());
+    }
+
+    #[test]
+    fn bitvec_parity_is_popcount_mod_2(a in bitvec_strategy(170)) {
+        prop_assert_eq!(a.parity(), a.count_ones() % 2 == 1);
+    }
+
+    #[test]
+    fn dot_is_bilinear(
+        a in bitvec_strategy(96),
+        b in bitvec_strategy(96),
+        c in bitvec_strategy(96),
+    ) {
+        let mut bc = b.clone();
+        bc.xor_assign(&c);
+        prop_assert_eq!(a.dot(&bc), a.dot(&b) ^ a.dot(&c));
+    }
+
+    #[test]
+    fn transpose_is_involution(m in bitmatrix_strategy(37, 75)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn mul_distributes_over_xor(
+        a in bitmatrix_strategy(9, 20),
+        b in bitmatrix_strategy(20, 13),
+        c in bitmatrix_strategy(20, 13),
+    ) {
+        let left = a.mul(&xor_matrices(&b, &c));
+        let right = xor_matrices(&a.mul(&b), &a.mul(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn transpose_reverses_products(
+        a in bitmatrix_strategy(8, 18),
+        b in bitmatrix_strategy(18, 11),
+    ) {
+        prop_assert_eq!(a.mul(&b).transpose(), b.transpose().mul(&a.transpose()));
+    }
+
+    #[test]
+    fn rank_is_transpose_invariant(m in bitmatrix_strategy(14, 29)) {
+        prop_assert_eq!(rank(&m), rank(&m.transpose()));
+    }
+
+    #[test]
+    fn rank_bounds(m in bitmatrix_strategy(12, 33)) {
+        let r = rank(&m);
+        prop_assert!(r <= 12);
+        let reduced = row_reduce(m.clone());
+        prop_assert_eq!(reduced.rank(), r);
+        // Pivots are strictly increasing columns.
+        for w in reduced.pivots.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn rank_nullity_theorem(m in bitmatrix_strategy(11, 27)) {
+        prop_assert_eq!(rank(&m) + nullspace(&m).len(), 27);
+    }
+
+    #[test]
+    fn express_in_rows_reconstructs(
+        m in bitmatrix_strategy(9, 24),
+        select in proptest::collection::vec(any::<bool>(), 9),
+    ) {
+        let mut v = BitVec::zeros(24);
+        for (r, &s) in select.iter().enumerate() {
+            if s {
+                v.xor_assign(&m.row_bitvec(r));
+            }
+        }
+        let combo = express_in_rows(&m, &v).expect("v is in the row space");
+        let mut rebuilt = BitVec::zeros(24);
+        for r in combo {
+            rebuilt.xor_assign(&m.row_bitvec(r));
+        }
+        prop_assert_eq!(rebuilt, v);
+    }
+
+    #[test]
+    fn sparse_tracks_dense(a in bitvec_strategy(180), b in bitvec_strategy(180)) {
+        let mut sa = SparseBitVec::from_bitvec(&a);
+        let sb = SparseBitVec::from_bitvec(&b);
+        sa.xor_assign(&sb);
+        let mut dense = a.clone();
+        dense.xor_assign(&b);
+        prop_assert_eq!(sa.to_bitvec(180), dense);
+    }
+
+    #[test]
+    fn sparse_eval_matches_dot(a in bitvec_strategy(140), assign in bitvec_strategy(140)) {
+        let s = SparseBitVec::from_bitvec(&a);
+        prop_assert_eq!(s.eval(&assign), a.dot(&assign));
+    }
+}
+
+/// Drives the same random operation schedule through a layout and a plain
+/// `BitMatrix`, then compares.
+fn layout_conformance<L: TableauLayout>(
+    rows: usize,
+    cols: usize,
+    ops: &[(bool, usize, usize, bool)],
+) {
+    let mut layout = L::zeros(rows, cols);
+    let mut reference = BitMatrix::zeros(rows, cols);
+    // Seed some content deterministically.
+    for r in 0..rows {
+        for c in 0..cols {
+            if (r * 31 + c * 17) % 5 == 0 {
+                layout.set(r, c, true);
+                reference.set(r, c, true);
+            }
+        }
+    }
+    for &(is_col, a, b, switch) in ops {
+        if is_col {
+            let (src, dst) = (a % cols, b % cols);
+            if src == dst {
+                continue;
+            }
+            layout.xor_col_into(src, dst);
+            for r in 0..rows {
+                let v = reference.get(r, dst) ^ reference.get(r, src);
+                reference.set(r, dst, v);
+            }
+        } else {
+            let (src, dst) = (a % rows, b % rows);
+            if src == dst {
+                continue;
+            }
+            layout.xor_row_into(src, dst);
+            reference.xor_row_into(src, dst);
+        }
+        if switch {
+            layout.ensure_row_mode();
+        } else {
+            layout.ensure_col_mode();
+        }
+    }
+    assert_eq!(layout.to_bitmatrix(), reference, "{} diverged", L::NAME);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn layouts_conform(
+        rows in 5usize..90,
+        cols in 5usize..90,
+        ops in proptest::collection::vec(
+            (any::<bool>(), any::<usize>(), any::<usize>(), any::<bool>()),
+            1..40,
+        ),
+    ) {
+        layout_conformance::<ChpLayout>(rows, cols, &ops);
+        layout_conformance::<StimLayout>(rows, cols, &ops);
+        layout_conformance::<SymLayout512>(rows, cols, &ops);
+    }
+}

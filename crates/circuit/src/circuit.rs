@@ -1,0 +1,479 @@
+//! The [`Circuit`] container and its builder API.
+
+use std::fmt;
+
+use crate::gate::{Gate, PauliKind};
+use crate::instruction::{Instruction, NoiseChannel};
+
+/// Aggregate size statistics of a circuit, matching the cost parameters of
+/// the paper's Table 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// `n_g`: number of elementary gate applications (a broadcast `H 0 1 2`
+    /// counts 3; `CX 0 1 2 3` counts 2).
+    pub gates: usize,
+    /// `n_m`: number of measurement outcomes recorded.
+    pub measurements: usize,
+    /// Number of reset operations (including the reset half of `MR`).
+    pub resets: usize,
+    /// Number of noise-channel applications (sites).
+    pub noise_sites: usize,
+    /// `n_p`: number of bit-symbols the noise introduces (each
+    /// `DEPOLARIZE1` site contributes 2, `DEPOLARIZE2` 4, `X/Y/Z_ERROR` 1).
+    pub noise_symbols: usize,
+    /// Number of detector annotations.
+    pub detectors: usize,
+    /// Number of distinct logical observables referenced.
+    pub observables: usize,
+    /// Number of classically-controlled Pauli applications.
+    pub feedback_ops: usize,
+}
+
+/// A stabilizer circuit: a qubit count plus a flat instruction list.
+///
+/// Qubit indices grow the circuit automatically (referencing qubit 7 in a
+/// 3-qubit circuit widens it to 8 qubits), mirroring Stim. Instructions are
+/// validated as they are appended; see [`Circuit::push`].
+///
+/// # Example
+///
+/// ```
+/// use symphase_circuit::{Circuit, NoiseChannel};
+///
+/// let mut c = Circuit::new(3);
+/// c.h(0).cx(0, 1).cx(1, 2);
+/// c.noise(NoiseChannel::Depolarize1(1e-3), &[0, 1, 2]);
+/// c.measure_all();
+/// assert_eq!(c.stats().gates, 3);
+/// assert_eq!(c.stats().measurements, 3);
+/// assert_eq!(c.stats().noise_symbols, 6);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Circuit {
+    num_qubits: u32,
+    instructions: Vec<Instruction>,
+    stats: CircuitStats,
+    max_observable: Option<u32>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        Self {
+            num_qubits,
+            ..Self::default()
+        }
+    }
+
+    /// Number of qubits (grows automatically when instructions reference
+    /// higher indices).
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The instruction list.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Size statistics (gate/measurement/noise counts).
+    pub fn stats(&self) -> CircuitStats {
+        self.stats
+    }
+
+    /// Number of measurement outcomes the circuit records.
+    pub fn num_measurements(&self) -> usize {
+        self.stats.measurements
+    }
+
+    /// Number of detectors declared.
+    pub fn num_detectors(&self) -> usize {
+        self.stats.detectors
+    }
+
+    /// Number of logical observables (max declared index + 1).
+    pub fn num_observables(&self) -> usize {
+        self.max_observable.map_or(0, |m| m as usize + 1)
+    }
+
+    /// Appends an instruction after validating it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the instruction is malformed: an odd number of targets
+    /// for a two-qubit gate or channel, a repeated qubit inside one pair, an
+    /// out-of-range noise probability, a non-negative record lookback, or a
+    /// lookback that reaches before the start of the measurement record.
+    /// Use [`Circuit::try_push`] for a fallible variant.
+    pub fn push(&mut self, instruction: Instruction) {
+        if let Err(msg) = self.try_push(instruction) {
+            panic!("{msg}");
+        }
+    }
+
+    /// Appends an instruction, reporting malformed instructions as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint (see
+    /// [`Circuit::push`]) and leaves the circuit unchanged.
+    pub fn try_push(&mut self, instruction: Instruction) -> Result<(), String> {
+        self.validate_instruction(&instruction)?;
+        self.num_qubits = self.num_qubits.max(instruction.max_qubit_bound());
+        match &instruction {
+            Instruction::Gate { gate, targets } => {
+                self.stats.gates += targets.len() / gate.arity();
+            }
+            Instruction::Measure { targets } => self.stats.measurements += targets.len(),
+            Instruction::Reset { targets } => self.stats.resets += targets.len(),
+            Instruction::MeasureReset { targets } => {
+                self.stats.measurements += targets.len();
+                self.stats.resets += targets.len();
+            }
+            Instruction::Noise { channel, targets } => {
+                let sites = targets.len() / channel.arity();
+                self.stats.noise_sites += sites;
+                self.stats.noise_symbols += sites * channel.symbols_per_application();
+            }
+            Instruction::Feedback { .. } => self.stats.feedback_ops += 1,
+            Instruction::Detector { .. } => self.stats.detectors += 1,
+            Instruction::ObservableInclude { index, .. } => {
+                self.max_observable = Some(self.max_observable.map_or(*index, |m| m.max(*index)));
+                self.stats.observables = self.num_observables();
+            }
+            Instruction::Tick => {}
+        }
+        self.instructions.push(instruction);
+        Ok(())
+    }
+
+    fn validate_instruction(&self, instruction: &Instruction) -> Result<(), String> {
+        match instruction {
+            Instruction::Gate { gate, targets } => {
+                if gate.arity() == 2 {
+                    if targets.len() % 2 != 0 {
+                        return Err(format!(
+                            "{} needs an even number of targets, got {}",
+                            gate.name(),
+                            targets.len()
+                        ));
+                    }
+                    for pair in targets.chunks_exact(2) {
+                        if pair[0] == pair[1] {
+                            return Err(format!("{} targets must differ", gate.name()));
+                        }
+                    }
+                }
+            }
+            Instruction::Noise { channel, targets } => {
+                if let Err(msg) = channel.validate() {
+                    return Err(format!("invalid {}: {msg}", channel.name()));
+                }
+                if channel.arity() == 2 {
+                    if targets.len() % 2 != 0 {
+                        return Err(format!("{} needs an even number of targets", channel.name()));
+                    }
+                    for pair in targets.chunks_exact(2) {
+                        if pair[0] == pair[1] {
+                            return Err(format!("{} targets must differ", channel.name()));
+                        }
+                    }
+                }
+            }
+            Instruction::Feedback { lookback, .. } => {
+                self.validate_lookback(*lookback)?;
+            }
+            Instruction::Detector { lookbacks } => {
+                for &l in lookbacks {
+                    self.validate_lookback(l)?;
+                }
+            }
+            Instruction::ObservableInclude { lookbacks, .. } => {
+                for &l in lookbacks {
+                    self.validate_lookback(l)?;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn validate_lookback(&self, lookback: i64) -> Result<(), String> {
+        if lookback >= 0 {
+            return Err(format!("record lookback must be negative, got {lookback}"));
+        }
+        let depth = (-lookback) as usize;
+        if depth > self.stats.measurements {
+            return Err(format!(
+                "rec[{lookback}] reaches before the start of the record ({} measurements so far)",
+                self.stats.measurements
+            ));
+        }
+        Ok(())
+    }
+
+    /// Appends all instructions of `other`, remapping nothing (qubit indices
+    /// are shared).
+    pub fn append(&mut self, other: &Circuit) {
+        for inst in &other.instructions {
+            self.push(inst.clone());
+        }
+    }
+
+    // -- builder helpers ---------------------------------------------------
+
+    /// Applies `gate` to `targets` (broadcast).
+    pub fn gate(&mut self, gate: Gate, targets: &[u32]) -> &mut Self {
+        self.push(Instruction::Gate {
+            gate,
+            targets: targets.to_vec(),
+        });
+        self
+    }
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: u32) -> &mut Self {
+        self.gate(Gate::H, &[q])
+    }
+
+    /// Phase gate on `q`.
+    pub fn s(&mut self, q: u32) -> &mut Self {
+        self.gate(Gate::S, &[q])
+    }
+
+    /// Pauli X on `q`.
+    pub fn x(&mut self, q: u32) -> &mut Self {
+        self.gate(Gate::X, &[q])
+    }
+
+    /// Pauli Y on `q`.
+    pub fn y(&mut self, q: u32) -> &mut Self {
+        self.gate(Gate::Y, &[q])
+    }
+
+    /// Pauli Z on `q`.
+    pub fn z(&mut self, q: u32) -> &mut Self {
+        self.gate(Gate::Z, &[q])
+    }
+
+    /// CNOT with control `c` and target `t`.
+    pub fn cx(&mut self, c: u32, t: u32) -> &mut Self {
+        self.gate(Gate::Cx, &[c, t])
+    }
+
+    /// Controlled-Z between `a` and `b`.
+    pub fn cz(&mut self, a: u32, b: u32) -> &mut Self {
+        self.gate(Gate::Cz, &[a, b])
+    }
+
+    /// Swap of `a` and `b`.
+    pub fn swap(&mut self, a: u32, b: u32) -> &mut Self {
+        self.gate(Gate::Swap, &[a, b])
+    }
+
+    /// Measures `q` in the computational basis; returns the measurement
+    /// record index of the outcome.
+    pub fn measure(&mut self, q: u32) -> usize {
+        let idx = self.stats.measurements;
+        self.push(Instruction::Measure { targets: vec![q] });
+        idx
+    }
+
+    /// Measures several qubits; outcomes are recorded in target order.
+    pub fn measure_many(&mut self, targets: &[u32]) -> &mut Self {
+        self.push(Instruction::Measure {
+            targets: targets.to_vec(),
+        });
+        self
+    }
+
+    /// Measures every qubit in index order.
+    pub fn measure_all(&mut self) -> &mut Self {
+        let targets: Vec<u32> = (0..self.num_qubits).collect();
+        self.measure_many(&targets)
+    }
+
+    /// Resets `q` to `|0⟩`.
+    pub fn reset(&mut self, q: u32) -> &mut Self {
+        self.push(Instruction::Reset { targets: vec![q] });
+        self
+    }
+
+    /// Measures and resets `q`; returns the record index.
+    pub fn measure_reset(&mut self, q: u32) -> usize {
+        let idx = self.stats.measurements;
+        self.push(Instruction::MeasureReset { targets: vec![q] });
+        idx
+    }
+
+    /// Applies a noise channel to `targets` (broadcast; pairs for two-qubit
+    /// channels).
+    pub fn noise(&mut self, channel: NoiseChannel, targets: &[u32]) -> &mut Self {
+        self.push(Instruction::Noise {
+            channel,
+            targets: targets.to_vec(),
+        });
+        self
+    }
+
+    /// Applies `pauli` to `target` iff measurement `rec[lookback]` was 1.
+    pub fn feedback(&mut self, pauli: PauliKind, lookback: i64, target: u32) -> &mut Self {
+        self.push(Instruction::Feedback {
+            pauli,
+            lookback,
+            target,
+        });
+        self
+    }
+
+    /// Declares a detector over the given record lookbacks.
+    pub fn detector(&mut self, lookbacks: &[i64]) -> &mut Self {
+        self.push(Instruction::Detector {
+            lookbacks: lookbacks.to_vec(),
+        });
+        self
+    }
+
+    /// Adds record lookbacks to logical observable `index`.
+    pub fn observable_include(&mut self, index: u32, lookbacks: &[i64]) -> &mut Self {
+        self.push(Instruction::ObservableInclude {
+            index,
+            lookbacks: lookbacks.to_vec(),
+        });
+        self
+    }
+
+    /// Appends a `TICK` layer marker.
+    pub fn tick(&mut self) -> &mut Self {
+        self.push(Instruction::Tick);
+        self
+    }
+
+    /// Returns a copy with every noise instruction removed (the noiseless
+    /// reference circuit used to compute reference samples).
+    pub fn without_noise(&self) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits);
+        for inst in &self.instructions {
+            if !matches!(inst, Instruction::Noise { .. }) {
+                out.push(inst.clone());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for inst in &self.instructions {
+            writeln!(f, "{inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_stats() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let m0 = c.measure(0);
+        let m1 = c.measure(1);
+        assert_eq!((m0, m1), (0, 1));
+        let s = c.stats();
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.measurements, 2);
+    }
+
+    #[test]
+    fn qubit_count_grows() {
+        let mut c = Circuit::new(1);
+        c.cx(0, 5);
+        assert_eq!(c.num_qubits(), 6);
+    }
+
+    #[test]
+    fn broadcast_counting() {
+        let mut c = Circuit::new(4);
+        c.gate(Gate::H, &[0, 1, 2]);
+        c.gate(Gate::Cx, &[0, 1, 2, 3]);
+        assert_eq!(c.stats().gates, 5);
+        c.noise(NoiseChannel::Depolarize2(0.01), &[0, 1, 2, 3]);
+        assert_eq!(c.stats().noise_sites, 2);
+        assert_eq!(c.stats().noise_symbols, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "even number of targets")]
+    fn odd_two_qubit_targets_panics() {
+        Circuit::new(3).gate(Gate::Cx, &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets must differ")]
+    fn equal_pair_panics() {
+        Circuit::new(2).cx(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_noise_probability_panics() {
+        Circuit::new(1).noise(NoiseChannel::XError(2.0), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the start")]
+    fn lookback_too_deep_panics() {
+        let mut c = Circuit::new(2);
+        c.measure(0);
+        c.detector(&[-2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn non_negative_lookback_panics() {
+        let mut c = Circuit::new(2);
+        c.measure(0);
+        c.feedback(PauliKind::X, 0, 1);
+    }
+
+    #[test]
+    fn without_noise_strips_channels() {
+        let mut c = Circuit::new(2);
+        c.h(0).noise(NoiseChannel::XError(0.1), &[0]).cx(0, 1);
+        c.measure_all();
+        let clean = c.without_noise();
+        assert_eq!(clean.stats().noise_sites, 0);
+        assert_eq!(clean.stats().gates, 2);
+        assert_eq!(clean.stats().measurements, 2);
+    }
+
+    #[test]
+    fn observables_count_max_index() {
+        let mut c = Circuit::new(1);
+        c.measure(0);
+        c.observable_include(2, &[-1]);
+        assert_eq!(c.num_observables(), 3);
+    }
+
+    #[test]
+    fn display_roundtrips_through_lines() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c.measure_all();
+        let text = c.to_string();
+        assert_eq!(text, "H 0\nCX 0 1\nM 0 1\n");
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1);
+        a.append(&b);
+        assert_eq!(a.stats().gates, 2);
+    }
+}

@@ -1,0 +1,19 @@
+//! Benchmark and example circuit generators.
+//!
+//! * [`random_layered`] — the layered random interaction circuits of the
+//!   paper's evaluation (Fig. 3a–3c).
+//! * [`repetition_code`] — repetition-code memory circuits with detectors
+//!   and a logical observable.
+//! * [`surface_code`] — rotated surface-code memory circuits.
+//! * [`named`] — small named circuits (Bell pair, GHZ, teleportation with
+//!   feedback).
+
+pub mod named;
+pub mod random_layered;
+pub mod repetition_code;
+pub mod surface_code;
+
+pub use named::{bell_pair, ghz, teleportation};
+pub use random_layered::{fig3a_circuit, fig3b_circuit, fig3c_circuit, LayeredCircuitConfig, PairsPerLayer};
+pub use repetition_code::{repetition_code_memory, RepetitionCodeConfig};
+pub use surface_code::{surface_code_memory, SurfaceCodeConfig};

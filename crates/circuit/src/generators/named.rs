@@ -1,0 +1,84 @@
+//! Small named circuits used by examples and tests.
+
+use crate::{Circuit, PauliKind};
+
+/// A Bell-pair circuit: `H 0; CX 0 1; M 0 1`. The two outcomes are random
+/// but always equal.
+pub fn bell_pair() -> Circuit {
+    let mut c = Circuit::new(2);
+    c.h(0).cx(0, 1);
+    c.measure_many(&[0, 1]);
+    c
+}
+
+/// An `n`-qubit GHZ circuit measured in the computational basis: all `n`
+/// outcomes are random but identical.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn ghz(n: u32) -> Circuit {
+    assert!(n >= 2, "GHZ needs at least two qubits");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    c.measure_all();
+    c
+}
+
+/// Quantum teleportation with classically-controlled corrections (the
+/// dynamic-circuit workload of paper §6).
+///
+/// Qubit 0 carries the state `S·H|0⟩`; it is teleported onto qubit 2 through
+/// a Bell pair on qubits 1–2 and Pauli corrections conditioned on the two
+/// measurement outcomes. The circuit finally undoes the preparation on
+/// qubit 2 and measures it: the last outcome is always 0 when teleportation
+/// works.
+pub fn teleportation() -> Circuit {
+    let mut c = Circuit::new(3);
+    // Prepare the message |ψ⟩ = S·H|0⟩ on qubit 0.
+    c.h(0).s(0);
+    // Bell pair on qubits 1, 2.
+    c.h(1).cx(1, 2);
+    // Bell measurement of qubits 0, 1.
+    c.cx(0, 1).h(0);
+    c.measure(0); // rec[-2] at correction time
+    c.measure(1); // rec[-1] at correction time
+    // Corrections: X^{m1} then Z^{m0} on the receiver.
+    c.feedback(PauliKind::X, -1, 2);
+    c.feedback(PauliKind::Z, -2, 2);
+    // Undo the preparation (S·H)⁻¹ = H·S† and verify.
+    c.gate(crate::Gate::SDag, &[2]);
+    c.h(2);
+    c.measure(2); // deterministic 0
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_pair_shape() {
+        let c = bell_pair();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.stats().measurements, 2);
+    }
+
+    #[test]
+    fn ghz_shape() {
+        let c = ghz(5);
+        assert_eq!(c.num_qubits(), 5);
+        assert_eq!(c.stats().gates, 5);
+        assert_eq!(c.stats().measurements, 5);
+    }
+
+    #[test]
+    fn teleportation_has_feedback() {
+        let c = teleportation();
+        assert_eq!(c.stats().feedback_ops, 2);
+        assert_eq!(c.stats().measurements, 3);
+    }
+}

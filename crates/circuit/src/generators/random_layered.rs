@@ -1,0 +1,238 @@
+//! Layered random interaction circuits (paper §5, Fig. 3a–3c).
+//!
+//! Each circuit has `n` qubits and `layers` layers. Every layer:
+//!
+//! 1. applies `H`, `S`, or `I` (chosen uniformly per qubit; identity
+//!    applications are elided so gate counts match the paper's),
+//! 2. applies CNOTs to randomly chosen disjoint qubit pairs,
+//! 3. optionally applies single-qubit depolarizing noise to every qubit
+//!    (Fig. 3c),
+//! 4. measures a random 5% of the qubits.
+//!
+//! Every qubit is measured once more at the end of the circuit.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{Circuit, Gate, NoiseChannel};
+
+/// How many CNOT pairs each layer applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairsPerLayer {
+    /// A fixed number of pairs (Fig. 3a uses 5).
+    Fixed(usize),
+    /// `⌊n/2⌋` pairs — every qubit participates (Fig. 3b/3c).
+    HalfOfQubits,
+}
+
+impl PairsPerLayer {
+    fn count(self, qubits: usize) -> usize {
+        match self {
+            PairsPerLayer::Fixed(k) => k.min(qubits / 2),
+            PairsPerLayer::HalfOfQubits => qubits / 2,
+        }
+    }
+}
+
+/// Configuration of a layered random interaction circuit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayeredCircuitConfig {
+    /// Number of qubits `n`.
+    pub qubits: usize,
+    /// Number of layers (the paper uses `layers == qubits`).
+    pub layers: usize,
+    /// CNOT pairs per layer.
+    pub cnot_pairs: PairsPerLayer,
+    /// Fraction of qubits measured per layer (paper: 0.05).
+    pub measure_fraction: f64,
+    /// Per-qubit single-qubit depolarizing strength per layer (Fig. 3c).
+    pub depolarize: Option<f64>,
+    /// RNG seed for the circuit structure.
+    pub seed: u64,
+}
+
+impl LayeredCircuitConfig {
+    /// Generates the circuit described by this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits < 2` or `measure_fraction` is outside `[0, 1]`.
+    pub fn generate(&self) -> Circuit {
+        assert!(self.qubits >= 2, "need at least 2 qubits");
+        assert!(
+            (0.0..=1.0).contains(&self.measure_fraction),
+            "measure_fraction out of range"
+        );
+        let n = self.qubits;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut circuit = Circuit::new(n as u32);
+        let mut indices: Vec<u32> = (0..n as u32).collect();
+        let per_layer_measured = ((n as f64 * self.measure_fraction).round() as usize).max(1);
+
+        for _ in 0..self.layers {
+            // 1. Random single-qubit gates (identity elided).
+            let mut h_targets = Vec::new();
+            let mut s_targets = Vec::new();
+            for q in 0..n as u32 {
+                match rng.random_range(0..3) {
+                    0 => h_targets.push(q),
+                    1 => s_targets.push(q),
+                    _ => {}
+                }
+            }
+            if !h_targets.is_empty() {
+                circuit.gate(Gate::H, &h_targets);
+            }
+            if !s_targets.is_empty() {
+                circuit.gate(Gate::S, &s_targets);
+            }
+
+            // 2. Disjoint random CNOT pairs.
+            let pairs = self.cnot_pairs.count(n);
+            if pairs > 0 {
+                indices.shuffle(&mut rng);
+                circuit.gate(Gate::Cx, &indices[..2 * pairs]);
+            }
+
+            // 3. Optional depolarizing noise on every qubit (Fig. 3c).
+            if let Some(p) = self.depolarize {
+                let all: Vec<u32> = (0..n as u32).collect();
+                circuit.noise(NoiseChannel::Depolarize1(p), &all);
+            }
+
+            // 4. Measure a random subset.
+            indices.shuffle(&mut rng);
+            let mut measured: Vec<u32> = indices[..per_layer_measured].to_vec();
+            measured.sort_unstable();
+            circuit.measure_many(&measured);
+        }
+
+        circuit.measure_all();
+        circuit
+    }
+}
+
+/// The Fig. 3a workload: 5 CNOT pairs per layer, no noise.
+pub fn fig3a_circuit(n: usize, seed: u64) -> Circuit {
+    LayeredCircuitConfig {
+        qubits: n,
+        layers: n,
+        cnot_pairs: PairsPerLayer::Fixed(5),
+        measure_fraction: 0.05,
+        depolarize: None,
+        seed,
+    }
+    .generate()
+}
+
+/// The Fig. 3b workload: `⌊n/2⌋` CNOT pairs per layer, no noise.
+pub fn fig3b_circuit(n: usize, seed: u64) -> Circuit {
+    LayeredCircuitConfig {
+        qubits: n,
+        layers: n,
+        cnot_pairs: PairsPerLayer::HalfOfQubits,
+        measure_fraction: 0.05,
+        depolarize: None,
+        seed,
+    }
+    .generate()
+}
+
+/// The Fig. 3c workload: Fig. 3b plus per-qubit depolarizing noise each
+/// layer.
+pub fn fig3c_circuit(n: usize, depolarize: f64, seed: u64) -> Circuit {
+    LayeredCircuitConfig {
+        qubits: n,
+        layers: n,
+        cnot_pairs: PairsPerLayer::HalfOfQubits,
+        measure_fraction: 0.05,
+        depolarize: Some(depolarize),
+        seed,
+    }
+    .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3a_shape() {
+        let n = 40;
+        let c = fig3a_circuit(n, 7);
+        let s = c.stats();
+        assert_eq!(c.num_qubits(), n as u32);
+        // Per layer: 2 measured (5% of 40); final sweep measures all.
+        assert_eq!(s.measurements, n * 2 + n);
+        assert_eq!(s.noise_sites, 0);
+        // Gates: ~2n/3 single-qubit per layer + 5 CNOTs per layer.
+        let expected = n * (2 * n / 3 + 5);
+        assert!(
+            (s.gates as f64) > 0.8 * expected as f64 && (s.gates as f64) < 1.2 * expected as f64,
+            "gate count {} far from expectation {expected}",
+            s.gates
+        );
+    }
+
+    #[test]
+    fn fig3b_has_half_n_pairs() {
+        let c = fig3b_circuit(20, 3);
+        // Count CX targets in the first layer's CX instruction.
+        let cx = c
+            .instructions()
+            .iter()
+            .find_map(|i| match i {
+                crate::Instruction::Gate { gate: Gate::Cx, targets } => Some(targets.len()),
+                _ => None,
+            })
+            .expect("has a CX layer");
+        assert_eq!(cx, 20);
+    }
+
+    #[test]
+    fn fig3c_noise_accounting() {
+        let n = 16;
+        let c = fig3c_circuit(n, 0.01, 1);
+        let s = c.stats();
+        assert_eq!(s.noise_sites, n * n);
+        assert_eq!(s.noise_symbols, 2 * n * n);
+    }
+
+    #[test]
+    fn cnot_pairs_are_disjoint() {
+        let c = fig3b_circuit(30, 11);
+        for inst in c.instructions() {
+            if let crate::Instruction::Gate { gate: Gate::Cx, targets } = inst {
+                let mut seen = std::collections::HashSet::new();
+                for t in targets {
+                    assert!(seen.insert(*t), "qubit {t} reused within a CNOT layer");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        assert_eq!(fig3a_circuit(12, 5), fig3a_circuit(12, 5));
+        assert_ne!(fig3a_circuit(12, 5), fig3a_circuit(12, 6));
+    }
+
+    #[test]
+    fn fixed_pairs_clamped_to_available_qubits() {
+        let c = LayeredCircuitConfig {
+            qubits: 4,
+            layers: 1,
+            cnot_pairs: PairsPerLayer::Fixed(10),
+            measure_fraction: 0.05,
+            depolarize: None,
+            seed: 0,
+        }
+        .generate();
+        for inst in c.instructions() {
+            if let crate::Instruction::Gate { gate: Gate::Cx, targets } = inst {
+                assert!(targets.len() <= 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Repetition-code memory circuits with detectors and a logical observable.
+//!
+//! The distance-`d` repetition code protects one logical bit against `X`
+//! errors with `d` data qubits and `d − 1` ancillas. Data qubits sit at even
+//! indices `0, 2, …, 2(d−1)`; ancilla `i` (odd index `2i+1`) compares data
+//! qubits `2i` and `2i+2`.
+
+use crate::{Circuit, NoiseChannel};
+
+/// Configuration of a repetition-code memory experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RepetitionCodeConfig {
+    /// Code distance (number of data qubits), at least 2.
+    pub distance: usize,
+    /// Number of stabilizer-measurement rounds, at least 1.
+    pub rounds: usize,
+    /// Probability of an `X` error on every data qubit before each round
+    /// (phenomenological data noise).
+    pub data_error: f64,
+    /// Probability of flipping each ancilla right before it is measured
+    /// (measurement noise).
+    pub measure_error: f64,
+}
+
+impl Default for RepetitionCodeConfig {
+    fn default() -> Self {
+        Self {
+            distance: 3,
+            rounds: 3,
+            data_error: 0.01,
+            measure_error: 0.0,
+        }
+    }
+}
+
+/// Generates a repetition-code memory circuit with detectors and the
+/// logical-Z observable.
+///
+/// # Panics
+///
+/// Panics if `distance < 2` or `rounds < 1`.
+///
+/// # Example
+///
+/// ```
+/// use symphase_circuit::generators::{repetition_code_memory, RepetitionCodeConfig};
+///
+/// let c = repetition_code_memory(&RepetitionCodeConfig {
+///     distance: 3,
+///     rounds: 2,
+///     data_error: 0.01,
+///     measure_error: 0.0,
+/// });
+/// assert_eq!(c.num_qubits(), 5);
+/// assert_eq!(c.num_detectors(), 2 * 2 + 2); // per-round + final comparisons
+/// assert_eq!(c.num_observables(), 1);
+/// ```
+pub fn repetition_code_memory(config: &RepetitionCodeConfig) -> Circuit {
+    assert!(config.distance >= 2, "distance must be at least 2");
+    assert!(config.rounds >= 1, "need at least one round");
+    let d = config.distance;
+    let num_anc = d - 1;
+    let data: Vec<u32> = (0..d as u32).map(|i| 2 * i).collect();
+    let anc: Vec<u32> = (0..num_anc as u32).map(|i| 2 * i + 1).collect();
+    let mut c = Circuit::new((2 * d - 1) as u32);
+
+    // Start in |0…0⟩ explicitly, as a real experiment would.
+    let all: Vec<u32> = (0..(2 * d - 1) as u32).collect();
+    c.push(crate::Instruction::Reset { targets: all });
+
+    for round in 0..config.rounds {
+        if config.data_error > 0.0 {
+            c.noise(NoiseChannel::XError(config.data_error), &data);
+        }
+        // Parity transfer: ancilla i accumulates data 2i ⊕ data 2i+2.
+        let mut cx_left = Vec::with_capacity(2 * num_anc);
+        let mut cx_right = Vec::with_capacity(2 * num_anc);
+        for i in 0..num_anc as u32 {
+            cx_left.extend_from_slice(&[2 * i, 2 * i + 1]);
+            cx_right.extend_from_slice(&[2 * i + 2, 2 * i + 1]);
+        }
+        c.gate(crate::Gate::Cx, &cx_left);
+        c.gate(crate::Gate::Cx, &cx_right);
+        if config.measure_error > 0.0 {
+            c.noise(NoiseChannel::XError(config.measure_error), &anc);
+        }
+        c.push(crate::Instruction::MeasureReset {
+            targets: anc.clone(),
+        });
+        // Detectors: first round ancillas are deterministic 0; later rounds
+        // compare against the previous round.
+        for i in 0..num_anc as i64 {
+            let this = -(num_anc as i64) + i;
+            if round == 0 {
+                c.detector(&[this]);
+            } else {
+                c.detector(&[this, this - num_anc as i64]);
+            }
+        }
+        c.tick();
+    }
+
+    // Final data measurement; compare data parities against the last
+    // ancilla round.
+    c.measure_many(&data);
+    for i in 0..num_anc as i64 {
+        let data_a = -(d as i64) + i;
+        let data_b = data_a + 1;
+        let last_anc = -(d as i64) - (num_anc as i64) + i;
+        c.detector(&[data_a, data_b, last_anc]);
+    }
+    // Logical Z is any single data qubit's value (all agree in the code
+    // space); use the first.
+    c.observable_include(0, &[-(d as i64)]);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_scale_with_distance_and_rounds() {
+        let c = repetition_code_memory(&RepetitionCodeConfig {
+            distance: 5,
+            rounds: 4,
+            data_error: 0.01,
+            measure_error: 0.002,
+        });
+        assert_eq!(c.num_qubits(), 9);
+        // 4 ancillas × 4 rounds + 5 final data measurements.
+        assert_eq!(c.stats().measurements, 4 * 4 + 5);
+        assert_eq!(c.num_detectors(), 4 * 4 + 4);
+        assert_eq!(c.num_observables(), 1);
+        // Noise: data errors each round + measurement errors each round.
+        assert_eq!(c.stats().noise_sites, 4 * 5 + 4 * 4);
+    }
+
+    #[test]
+    fn noiseless_circuit_has_no_noise() {
+        let c = repetition_code_memory(&RepetitionCodeConfig {
+            distance: 3,
+            rounds: 2,
+            data_error: 0.0,
+            measure_error: 0.0,
+        });
+        assert_eq!(c.stats().noise_sites, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance")]
+    fn rejects_distance_one()
+    {
+        repetition_code_memory(&RepetitionCodeConfig {
+            distance: 1,
+            rounds: 1,
+            data_error: 0.0,
+            measure_error: 0.0,
+        });
+    }
+}

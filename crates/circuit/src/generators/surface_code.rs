@@ -1,0 +1,284 @@
+//! Rotated surface-code memory circuits.
+//!
+//! The distance-`d` rotated surface code uses a `d × d` grid of data qubits
+//! and `d² − 1` ancillas, one per stabilizer. Stabilizers are enumerated on
+//! the `(d+1) × (d+1)` vertex grid: vertex `(r, c)` owns the plaquette of
+//! data qubits `{(r-1,c-1), (r-1,c), (r,c-1), (r,c)} ∩ grid`, with Z-type
+//! plaquettes where `r + c` is even and X-type where odd. Boundary
+//! (weight-2) stabilizers exist only on the left/right edges for Z and the
+//! top/bottom edges for X, at alternating positions.
+//!
+//! Each round measures all Z stabilizers (CNOTs from data into the
+//! ancilla, then `MR`), then all X stabilizers (Hadamard-conjugated).
+//! Measuring the two types sequentially keeps the measured operators exactly
+//! the stabilizers for any CNOT ordering within a type.
+
+use crate::{Circuit, Instruction, NoiseChannel};
+
+/// Configuration of a rotated surface-code memory-Z experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SurfaceCodeConfig {
+    /// Code distance (odd, at least 3).
+    pub distance: usize,
+    /// Number of stabilizer measurement rounds, at least 1.
+    pub rounds: usize,
+    /// Probability of a depolarizing fault on every data qubit before each
+    /// round.
+    pub data_error: f64,
+    /// Probability of flipping each ancilla right before measurement.
+    pub measure_error: f64,
+}
+
+impl Default for SurfaceCodeConfig {
+    fn default() -> Self {
+        Self {
+            distance: 3,
+            rounds: 3,
+            data_error: 0.001,
+            measure_error: 0.0,
+        }
+    }
+}
+
+/// One stabilizer plaquette of the rotated code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Plaquette {
+    /// `true` for Z-type, `false` for X-type.
+    z_type: bool,
+    /// Ancilla qubit index.
+    ancilla: u32,
+    /// Data qubit indices (2 on the boundary, 4 in the bulk).
+    data: Vec<u32>,
+}
+
+/// Enumerates the plaquettes of the distance-`d` rotated code.
+fn plaquettes(d: usize) -> Vec<Plaquette> {
+    let data_index = |r: usize, c: usize| (r * d + c) as u32;
+    let mut out = Vec::new();
+    let mut next_ancilla = (d * d) as u32;
+    for r in 0..=d {
+        for c in 0..=d {
+            let z_type = (r + c) % 2 == 0;
+            let interior_r = (1..d).contains(&r);
+            let interior_c = (1..d).contains(&c);
+            let include = if interior_r && interior_c {
+                true
+            } else if interior_r && (c == 0 || c == d) {
+                z_type // left/right boundary hosts Z checks
+            } else if interior_c && (r == 0 || r == d) {
+                !z_type // top/bottom boundary hosts X checks
+            } else {
+                false // corners
+            };
+            if !include {
+                continue;
+            }
+            let mut data = Vec::with_capacity(4);
+            for (dr, dc) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
+                let (pr, pc) = (r.wrapping_sub(1).wrapping_add(dr), c.wrapping_sub(1).wrapping_add(dc));
+                if pr < d && pc < d {
+                    data.push(data_index(pr, pc));
+                }
+            }
+            out.push(Plaquette {
+                z_type,
+                ancilla: next_ancilla,
+                data,
+            });
+            next_ancilla += 1;
+        }
+    }
+    out
+}
+
+/// Generates a rotated surface-code memory-Z circuit with detectors and the
+/// logical-Z observable (the top row of data qubits).
+///
+/// # Panics
+///
+/// Panics if `distance` is even or `< 3`, or `rounds < 1`.
+///
+/// # Example
+///
+/// ```
+/// use symphase_circuit::generators::{surface_code_memory, SurfaceCodeConfig};
+///
+/// let c = surface_code_memory(&SurfaceCodeConfig {
+///     distance: 3,
+///     rounds: 2,
+///     data_error: 0.001,
+///     measure_error: 0.0,
+/// });
+/// assert_eq!(c.num_qubits(), 9 + 8);
+/// assert_eq!(c.num_observables(), 1);
+/// ```
+pub fn surface_code_memory(config: &SurfaceCodeConfig) -> Circuit {
+    let d = config.distance;
+    assert!(d >= 3 && d % 2 == 1, "distance must be odd and at least 3");
+    assert!(config.rounds >= 1, "need at least one round");
+    let plaqs = plaquettes(d);
+    debug_assert_eq!(plaqs.len(), d * d - 1);
+    let num_z: usize = plaqs.iter().filter(|p| p.z_type).count();
+    let num_x = plaqs.len() - num_z;
+    let data_qubits: Vec<u32> = (0..(d * d) as u32).collect();
+    let total_qubits = (d * d + plaqs.len()) as u32;
+    let mut c = Circuit::new(total_qubits);
+
+    let all: Vec<u32> = (0..total_qubits).collect();
+    c.push(Instruction::Reset { targets: all });
+
+    // Per round the record receives: num_z Z outcomes then num_x X outcomes.
+    let per_round = (num_z + num_x) as i64;
+    for round in 0..config.rounds {
+        if config.data_error > 0.0 {
+            c.noise(NoiseChannel::Depolarize1(config.data_error), &data_qubits);
+        }
+
+        // -- Z stabilizers: parity of data Zs into ancilla via CX data→anc.
+        let mut z_ancillas = Vec::with_capacity(num_z);
+        for p in plaqs.iter().filter(|p| p.z_type) {
+            for &dq in &p.data {
+                c.cx(dq, p.ancilla);
+            }
+            z_ancillas.push(p.ancilla);
+        }
+        if config.measure_error > 0.0 {
+            c.noise(NoiseChannel::XError(config.measure_error), &z_ancillas);
+        }
+        c.push(Instruction::MeasureReset {
+            targets: z_ancillas,
+        });
+
+        // -- X stabilizers: Hadamard basis change on the ancilla.
+        let mut x_ancillas = Vec::with_capacity(num_x);
+        for p in plaqs.iter().filter(|p| !p.z_type) {
+            c.h(p.ancilla);
+            for &dq in &p.data {
+                c.cx(p.ancilla, dq);
+            }
+            c.h(p.ancilla);
+            x_ancillas.push(p.ancilla);
+        }
+        if config.measure_error > 0.0 {
+            c.noise(NoiseChannel::XError(config.measure_error), &x_ancillas);
+        }
+        c.push(Instruction::MeasureReset {
+            targets: x_ancillas,
+        });
+
+        // -- Detectors. Z outcomes are deterministic from round 0 (data
+        // starts in |0…0⟩); X outcomes only from round 1 (pairwise).
+        for i in 0..num_z as i64 {
+            let this = -per_round + i;
+            if round == 0 {
+                c.detector(&[this]);
+            } else {
+                c.detector(&[this, this - per_round]);
+            }
+        }
+        if round > 0 {
+            for i in 0..num_x as i64 {
+                let this = -(num_x as i64) + i;
+                c.detector(&[this, this - per_round]);
+            }
+        }
+        c.tick();
+    }
+
+    // Final transversal data measurement; compare each Z plaquette's data
+    // parity with its last ancilla outcome.
+    c.measure_many(&data_qubits);
+    let nd = (d * d) as i64;
+    let mut z_seen = 0i64;
+    for p in plaqs.iter().filter(|p| p.z_type) {
+        let mut lookbacks: Vec<i64> = p
+            .data
+            .iter()
+            .map(|&dq| -nd + dq as i64)
+            .collect();
+        // The Z outcomes of the last round sit `num_x` X outcomes behind the
+        // data block.
+        lookbacks.push(-nd - (num_x as i64) - (num_z as i64) + z_seen);
+        c.detector(&lookbacks);
+        z_seen += 1;
+    }
+    // Logical Z: the top row of data qubits (commutes with every X check).
+    let top_row: Vec<i64> = (0..d as i64).map(|i| -nd + i).collect();
+    c.observable_include(0, &top_row);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plaquette_counts_d3() {
+        let p = plaquettes(3);
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.iter().filter(|p| p.z_type).count(), 4);
+        // Boundary plaquettes have weight 2, bulk weight 4.
+        let w2 = p.iter().filter(|p| p.data.len() == 2).count();
+        let w4 = p.iter().filter(|p| p.data.len() == 4).count();
+        assert_eq!((w2, w4), (4, 4));
+    }
+
+    #[test]
+    fn plaquette_counts_d5() {
+        let p = plaquettes(5);
+        assert_eq!(p.len(), 24);
+        assert_eq!(p.iter().filter(|p| p.z_type).count(), 12);
+    }
+
+    #[test]
+    fn stabilizers_commute() {
+        // Every X plaquette must overlap every Z plaquette on an even number
+        // of data qubits.
+        for d in [3usize, 5] {
+            let ps = plaquettes(d);
+            for a in ps.iter().filter(|p| p.z_type) {
+                for b in ps.iter().filter(|p| !p.z_type) {
+                    let overlap = a.data.iter().filter(|q| b.data.contains(q)).count();
+                    assert_eq!(overlap % 2, 0, "d={d}: Z{:?} vs X{:?}", a.data, b.data);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logical_z_commutes_with_x_checks() {
+        for d in [3usize, 5] {
+            let ps = plaquettes(d);
+            let top_row: Vec<u32> = (0..d as u32).collect();
+            for p in ps.iter().filter(|p| !p.z_type) {
+                let overlap = p.data.iter().filter(|q| top_row.contains(q)).count();
+                assert_eq!(overlap % 2, 0, "logical Z anticommutes with an X check");
+            }
+        }
+    }
+
+    #[test]
+    fn circuit_counts() {
+        let c = surface_code_memory(&SurfaceCodeConfig {
+            distance: 3,
+            rounds: 2,
+            data_error: 0.001,
+            measure_error: 0.001,
+        });
+        // 8 ancillas per round × 2 rounds + 9 data.
+        assert_eq!(c.stats().measurements, 8 * 2 + 9);
+        // Round 0: 4 detectors (Z only); round 1: 8; final: 4.
+        assert_eq!(c.num_detectors(), 4 + 8 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn rejects_even_distance() {
+        surface_code_memory(&SurfaceCodeConfig {
+            distance: 4,
+            rounds: 1,
+            data_error: 0.0,
+            measure_error: 0.0,
+        });
+    }
+}

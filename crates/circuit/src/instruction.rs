@@ -1,0 +1,333 @@
+//! Circuit instructions: gates, measurements, noise, feedback, annotations.
+
+use std::fmt;
+
+use crate::gate::{Gate, PauliKind};
+
+/// A Pauli noise channel attached to qubit targets.
+///
+/// Under phase symbolization every channel decomposes into symbolic Pauli
+/// faults (`X^s`, `Z^s`, …) whose symbols are later sampled with the joint
+/// distribution listed here (paper §3.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NoiseChannel {
+    /// `X` with probability `p` on each target (1 symbol per target).
+    XError(f64),
+    /// `Y` with probability `p` on each target (1 symbol per target).
+    YError(f64),
+    /// `Z` with probability `p` on each target (1 symbol per target).
+    ZError(f64),
+    /// Single-qubit depolarizing: `X`, `Y`, `Z` each with probability `p/3`
+    /// (2 symbols per target, jointly distributed).
+    Depolarize1(f64),
+    /// Two-qubit depolarizing over target pairs: each of the 15 non-identity
+    /// two-qubit Paulis with probability `p/15` (4 symbols per pair).
+    Depolarize2(f64),
+    /// Biased single-qubit channel: `X`, `Y`, `Z` with probabilities
+    /// `px, py, pz` (2 symbols per target).
+    PauliChannel1 {
+        /// Probability of an `X` fault.
+        px: f64,
+        /// Probability of a `Y` fault.
+        py: f64,
+        /// Probability of a `Z` fault.
+        pz: f64,
+    },
+}
+
+impl NoiseChannel {
+    /// Qubits consumed per application (1, or 2 for two-qubit channels).
+    pub fn arity(self) -> usize {
+        match self {
+            NoiseChannel::Depolarize2(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// Number of bit-symbols the channel introduces per application
+    /// (the `n_p` accounting of the paper's Table 1).
+    pub fn symbols_per_application(self) -> usize {
+        match self {
+            NoiseChannel::XError(_) | NoiseChannel::YError(_) | NoiseChannel::ZError(_) => 1,
+            NoiseChannel::Depolarize1(_) | NoiseChannel::PauliChannel1 { .. } => 2,
+            NoiseChannel::Depolarize2(_) => 4,
+        }
+    }
+
+    /// Canonical instruction-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NoiseChannel::XError(_) => "X_ERROR",
+            NoiseChannel::YError(_) => "Y_ERROR",
+            NoiseChannel::ZError(_) => "Z_ERROR",
+            NoiseChannel::Depolarize1(_) => "DEPOLARIZE1",
+            NoiseChannel::Depolarize2(_) => "DEPOLARIZE2",
+            NoiseChannel::PauliChannel1 { .. } => "PAULI_CHANNEL_1",
+        }
+    }
+
+    /// Validates probability arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(self) -> Result<(), String> {
+        let check = |p: f64| {
+            if (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(format!("probability {p} out of [0, 1]"))
+            }
+        };
+        match self {
+            NoiseChannel::XError(p)
+            | NoiseChannel::YError(p)
+            | NoiseChannel::ZError(p)
+            | NoiseChannel::Depolarize1(p)
+            | NoiseChannel::Depolarize2(p) => check(p),
+            NoiseChannel::PauliChannel1 { px, py, pz } => {
+                check(px)?;
+                check(py)?;
+                check(pz)?;
+                if px + py + pz > 1.0 + 1e-12 {
+                    return Err(format!("px+py+pz = {} exceeds 1", px + py + pz));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for NoiseChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseChannel::PauliChannel1 { px, py, pz } => {
+                write!(f, "PAULI_CHANNEL_1({px},{py},{pz})")
+            }
+            NoiseChannel::XError(p)
+            | NoiseChannel::YError(p)
+            | NoiseChannel::ZError(p)
+            | NoiseChannel::Depolarize1(p)
+            | NoiseChannel::Depolarize2(p) => write!(f, "{}({p})", self.name()),
+        }
+    }
+}
+
+/// One instruction of a stabilizer circuit.
+///
+/// Gate and noise targets *broadcast*: a single-qubit operation with `k`
+/// targets applies `k` times; a two-qubit operation consumes targets in
+/// consecutive pairs (Stim's convention).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instruction {
+    /// A unitary Clifford gate application.
+    Gate {
+        /// Which gate.
+        gate: Gate,
+        /// Broadcast targets (pairs for two-qubit gates).
+        targets: Vec<u32>,
+    },
+    /// Computational-basis measurement of each target, appending outcomes to
+    /// the measurement record in target order.
+    Measure {
+        /// Measured qubits.
+        targets: Vec<u32>,
+    },
+    /// Reset of each target to `|0⟩`.
+    Reset {
+        /// Reset qubits.
+        targets: Vec<u32>,
+    },
+    /// Measurement immediately followed by reset to `|0⟩`.
+    MeasureReset {
+        /// Measured-and-reset qubits.
+        targets: Vec<u32>,
+    },
+    /// A Pauli noise channel application.
+    Noise {
+        /// The channel and its parameters.
+        channel: NoiseChannel,
+        /// Broadcast targets (pairs for two-qubit channels).
+        targets: Vec<u32>,
+    },
+    /// A Pauli applied iff an earlier measurement outcome was 1 (dynamic
+    /// circuits; written `CX rec[-k] t` / `CY` / `CZ` in the text format).
+    Feedback {
+        /// Which Pauli to apply.
+        pauli: PauliKind,
+        /// Measurement-record lookback (negative, `-1` = most recent).
+        lookback: i64,
+        /// Target qubit.
+        target: u32,
+    },
+    /// Declares a detector: the XOR of the referenced measurement outcomes
+    /// is deterministic (0) in the absence of faults.
+    Detector {
+        /// Measurement-record lookbacks (all negative).
+        lookbacks: Vec<i64>,
+    },
+    /// Accumulates the referenced measurements into logical observable
+    /// `index`.
+    ObservableInclude {
+        /// Observable id.
+        index: u32,
+        /// Measurement-record lookbacks (all negative).
+        lookbacks: Vec<i64>,
+    },
+    /// A no-op layer marker.
+    Tick,
+}
+
+impl Instruction {
+    /// Number of measurement outcomes this instruction appends to the
+    /// record.
+    pub fn measurements_added(&self) -> usize {
+        match self {
+            Instruction::Measure { targets } | Instruction::MeasureReset { targets } => {
+                targets.len()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Largest referenced qubit index plus one, or 0 if no qubits are
+    /// referenced.
+    pub fn max_qubit_bound(&self) -> u32 {
+        let targets: &[u32] = match self {
+            Instruction::Gate { targets, .. }
+            | Instruction::Measure { targets }
+            | Instruction::Reset { targets }
+            | Instruction::MeasureReset { targets }
+            | Instruction::Noise { targets, .. } => targets,
+            Instruction::Feedback { target, .. } => std::slice::from_ref(target),
+            _ => &[],
+        };
+        targets.iter().max().map_or(0, |&m| m + 1)
+    }
+}
+
+fn write_targets(f: &mut fmt::Formatter<'_>, targets: &[u32]) -> fmt::Result {
+    for t in targets {
+        write!(f, " {t}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Gate { gate, targets } => {
+                write!(f, "{}", gate.name())?;
+                write_targets(f, targets)
+            }
+            Instruction::Measure { targets } => {
+                write!(f, "M")?;
+                write_targets(f, targets)
+            }
+            Instruction::Reset { targets } => {
+                write!(f, "R")?;
+                write_targets(f, targets)
+            }
+            Instruction::MeasureReset { targets } => {
+                write!(f, "MR")?;
+                write_targets(f, targets)
+            }
+            Instruction::Noise { channel, targets } => {
+                write!(f, "{channel}")?;
+                write_targets(f, targets)
+            }
+            Instruction::Feedback {
+                pauli,
+                lookback,
+                target,
+            } => write!(f, "C{pauli} rec[{lookback}] {target}"),
+            Instruction::Detector { lookbacks } => {
+                write!(f, "DETECTOR")?;
+                for l in lookbacks {
+                    write!(f, " rec[{l}]")?;
+                }
+                Ok(())
+            }
+            Instruction::ObservableInclude { index, lookbacks } => {
+                write!(f, "OBSERVABLE_INCLUDE({index})")?;
+                for l in lookbacks {
+                    write!(f, " rec[{l}]")?;
+                }
+                Ok(())
+            }
+            Instruction::Tick => write!(f, "TICK"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let i = Instruction::Gate {
+            gate: Gate::Cx,
+            targets: vec![0, 1, 2, 3],
+        };
+        assert_eq!(i.to_string(), "CX 0 1 2 3");
+        let i = Instruction::Noise {
+            channel: NoiseChannel::Depolarize1(0.01),
+            targets: vec![5],
+        };
+        assert_eq!(i.to_string(), "DEPOLARIZE1(0.01) 5");
+        let i = Instruction::Feedback {
+            pauli: PauliKind::X,
+            lookback: -2,
+            target: 3,
+        };
+        assert_eq!(i.to_string(), "CX rec[-2] 3");
+        let i = Instruction::Detector {
+            lookbacks: vec![-1, -3],
+        };
+        assert_eq!(i.to_string(), "DETECTOR rec[-1] rec[-3]");
+        let i = Instruction::ObservableInclude {
+            index: 0,
+            lookbacks: vec![-1],
+        };
+        assert_eq!(i.to_string(), "OBSERVABLE_INCLUDE(0) rec[-1]");
+    }
+
+    #[test]
+    fn symbols_per_application_counts() {
+        assert_eq!(NoiseChannel::XError(0.1).symbols_per_application(), 1);
+        assert_eq!(NoiseChannel::Depolarize1(0.1).symbols_per_application(), 2);
+        assert_eq!(NoiseChannel::Depolarize2(0.1).symbols_per_application(), 4);
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        assert!(NoiseChannel::XError(1.5).validate().is_err());
+        assert!(NoiseChannel::XError(-0.1).validate().is_err());
+        assert!(NoiseChannel::PauliChannel1 { px: 0.5, py: 0.5, pz: 0.5 }
+            .validate()
+            .is_err());
+        assert!(NoiseChannel::PauliChannel1 { px: 0.2, py: 0.3, pz: 0.1 }
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn max_qubit_bound_views_all_target_kinds() {
+        let g = Instruction::Gate { gate: Gate::H, targets: vec![3, 9] };
+        assert_eq!(g.max_qubit_bound(), 10);
+        let fb = Instruction::Feedback { pauli: PauliKind::Z, lookback: -1, target: 4 };
+        assert_eq!(fb.max_qubit_bound(), 5);
+        assert_eq!(Instruction::Tick.max_qubit_bound(), 0);
+    }
+
+    #[test]
+    fn measurements_added_counts() {
+        let m = Instruction::Measure { targets: vec![1, 2, 3] };
+        assert_eq!(m.measurements_added(), 3);
+        let mr = Instruction::MeasureReset { targets: vec![1] };
+        assert_eq!(mr.measurements_added(), 1);
+        let r = Instruction::Reset { targets: vec![1] };
+        assert_eq!(r.measurements_added(), 0);
+    }
+}

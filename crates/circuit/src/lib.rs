@@ -1,0 +1,47 @@
+//! Stabilizer-circuit intermediate representation for the SymPhase
+//! reproduction.
+//!
+//! A [`Circuit`] is a flat sequence of [`Instruction`]s over `num_qubits`
+//! qubits: Clifford [`Gate`]s, computational-basis measurements and resets,
+//! Pauli noise channels (the faults that phase symbolization accumulates),
+//! classically-controlled Paulis (dynamic circuits, paper §6), and
+//! detector/observable annotations for QEC workloads.
+//!
+//! The crate also provides:
+//!
+//! * a Stim-compatible text format ([`Circuit::parse`], `Display`),
+//!   including `REPEAT` blocks (flattened during parsing);
+//! * reference Clifford conjugation semantics ([`SmallPauli`],
+//!   [`Gate::conjugate`]) used to cross-check every optimized simulator
+//!   update rule;
+//! * the benchmark workload generators of the paper's evaluation
+//!   ([`generators`]): layered random interaction circuits (Fig. 3a–3c),
+//!   repetition-code and rotated-surface-code memory circuits, and small
+//!   named circuits (Bell, GHZ, teleportation).
+//!
+//! # Example
+//!
+//! ```
+//! use symphase_circuit::Circuit;
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1).measure(0);
+//! c.measure(1);
+//! assert_eq!(c.stats().measurements, 2);
+//!
+//! let parsed = Circuit::parse("H 0\nCX 0 1\nM 0 1\n")?;
+//! assert_eq!(parsed.num_qubits(), 2);
+//! # Ok::<(), symphase_circuit::ParseCircuitError>(())
+//! ```
+
+mod circuit;
+pub mod gate;
+pub mod generators;
+mod instruction;
+pub mod noise_model;
+mod parser;
+
+pub use circuit::{Circuit, CircuitStats};
+pub use gate::{Gate, PauliKind, SmallPauli};
+pub use instruction::{Instruction, NoiseChannel};
+pub use parser::ParseCircuitError;

@@ -1,0 +1,153 @@
+//! Circuit-level noise decoration: turn a clean circuit into a noisy one.
+//!
+//! Mirrors the convenience of Stim's generated circuits: given a noiseless
+//! circuit, insert depolarizing noise after every Clifford gate, bit-flip
+//! noise before every measurement, and reset noise after every reset.
+
+use crate::{Circuit, Instruction, NoiseChannel};
+
+/// Parameters for [`with_noise`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// `DEPOLARIZE1` strength after every single-qubit gate (0 disables).
+    pub after_1q_gate: f64,
+    /// `DEPOLARIZE2` strength after every two-qubit gate (0 disables).
+    pub after_2q_gate: f64,
+    /// `X_ERROR` strength immediately before every measurement (flips the
+    /// recorded outcome).
+    pub before_measure: f64,
+    /// `X_ERROR` strength after every reset (imperfect reset).
+    pub after_reset: f64,
+}
+
+impl NoiseModel {
+    /// A uniform circuit-level depolarizing model at strength `p` (the
+    /// common single-parameter model in QEC papers).
+    pub fn uniform(p: f64) -> Self {
+        Self {
+            after_1q_gate: p,
+            after_2q_gate: p,
+            before_measure: p,
+            after_reset: p,
+        }
+    }
+
+    /// No noise at all.
+    pub fn none() -> Self {
+        Self {
+            after_1q_gate: 0.0,
+            after_2q_gate: 0.0,
+            before_measure: 0.0,
+            after_reset: 0.0,
+        }
+    }
+}
+
+/// Returns a copy of `circuit` with `model`'s noise channels inserted.
+///
+/// Existing noise instructions are preserved; `TICK`s and annotations are
+/// kept in place. Measurement-and-reset (`MR`) gets both the before-measure
+/// and after-reset channels.
+///
+/// # Example
+///
+/// ```
+/// use symphase_circuit::generators::ghz;
+/// use symphase_circuit::noise_model::{with_noise, NoiseModel};
+///
+/// let noisy = with_noise(&ghz(3), &NoiseModel::uniform(1e-3));
+/// assert!(noisy.stats().noise_sites > 0);
+/// assert_eq!(noisy.num_measurements(), 3);
+/// ```
+pub fn with_noise(circuit: &Circuit, model: &NoiseModel) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for inst in circuit.instructions() {
+        match inst {
+            Instruction::Gate { gate, targets } => {
+                out.push(inst.clone());
+                if gate.arity() == 1 {
+                    if model.after_1q_gate > 0.0 && *gate != crate::Gate::I {
+                        out.noise(NoiseChannel::Depolarize1(model.after_1q_gate), targets);
+                    }
+                } else if model.after_2q_gate > 0.0 {
+                    out.noise(NoiseChannel::Depolarize2(model.after_2q_gate), targets);
+                }
+            }
+            Instruction::Measure { targets } | Instruction::MeasureReset { targets } => {
+                if model.before_measure > 0.0 {
+                    out.noise(NoiseChannel::XError(model.before_measure), targets);
+                }
+                out.push(inst.clone());
+                if matches!(inst, Instruction::MeasureReset { .. }) && model.after_reset > 0.0 {
+                    out.noise(NoiseChannel::XError(model.after_reset), targets);
+                }
+            }
+            Instruction::Reset { targets } => {
+                out.push(inst.clone());
+                if model.after_reset > 0.0 {
+                    out.noise(NoiseChannel::XError(model.after_reset), targets);
+                }
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gate;
+
+    #[test]
+    fn uniform_model_inserts_everywhere() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c.reset(1);
+        c.measure_reset(0);
+        c.measure(1);
+        let noisy = with_noise(&c, &NoiseModel::uniform(0.01));
+        // H → dep1; CX → dep2; reset → x; MR → x before + x after; M → x.
+        assert_eq!(noisy.stats().noise_sites, 6);
+        // Gate/measurement structure is unchanged.
+        assert_eq!(noisy.stats().gates, c.stats().gates);
+        assert_eq!(noisy.num_measurements(), c.num_measurements());
+    }
+
+    #[test]
+    fn none_model_is_identity() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c.measure_all();
+        assert_eq!(with_noise(&c, &NoiseModel::none()), c);
+    }
+
+    #[test]
+    fn identity_gates_get_no_noise() {
+        let mut c = Circuit::new(1);
+        c.gate(Gate::I, &[0]);
+        let noisy = with_noise(&c, &NoiseModel::uniform(0.5));
+        assert_eq!(noisy.stats().noise_sites, 0);
+    }
+
+    #[test]
+    fn annotations_survive() {
+        let mut c = Circuit::new(1);
+        c.measure(0);
+        c.detector(&[-1]);
+        c.observable_include(0, &[-1]);
+        c.tick();
+        let noisy = with_noise(&c, &NoiseModel::uniform(0.01));
+        assert_eq!(noisy.num_detectors(), 1);
+        assert_eq!(noisy.num_observables(), 1);
+    }
+
+    #[test]
+    fn existing_noise_preserved() {
+        let mut c = Circuit::new(1);
+        c.noise(NoiseChannel::ZError(0.125), &[0]);
+        c.measure(0);
+        let noisy = with_noise(&c, &NoiseModel::uniform(0.01));
+        assert_eq!(noisy.stats().noise_sites, 2);
+    }
+}

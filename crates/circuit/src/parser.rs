@@ -1,0 +1,485 @@
+//! Parser for the Stim-compatible circuit text format.
+//!
+//! Supported lines (compare Stim's `.stim` format):
+//!
+//! ```text
+//! # comment
+//! H 0 1                     — gate broadcast
+//! CX 0 1 2 3                — two-qubit gates take target pairs
+//! CX rec[-1] 2              — classically-controlled Pauli (feedback)
+//! X_ERROR(0.01) 0 1         — noise channels with parenthesised arguments
+//! PAULI_CHANNEL_1(a,b,c) 0
+//! M 0 1 / MR 0 / R 0        — measure, measure-reset, reset
+//! DETECTOR rec[-1] rec[-2]
+//! OBSERVABLE_INCLUDE(0) rec[-1]
+//! REPEAT 5 { ... }          — flattened during parsing
+//! TICK
+//! QUBIT_COORDS(...) 0       — accepted and ignored
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, PauliKind};
+use crate::instruction::{Instruction, NoiseChannel};
+
+/// Error produced when parsing circuit text fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseCircuitError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseCircuitError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseCircuitError {
+    ParseCircuitError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Upper bound on instructions produced by nested `REPEAT` expansion.
+const MAX_FLATTENED_INSTRUCTIONS: usize = 50_000_000;
+
+impl Circuit {
+    /// Parses circuit text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseCircuitError`] carrying the line number for unknown
+    /// instructions, malformed arguments or targets, unmatched `REPEAT`
+    /// braces, invalid probabilities, or record lookbacks that reach before
+    /// the start of the measurement record.
+    pub fn parse(text: &str) -> Result<Circuit, ParseCircuitError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut circuit = Circuit::new(0);
+        let mut pos = 0;
+        parse_block(&lines, &mut pos, &mut circuit, 0)?;
+        if pos < lines.len() {
+            return Err(err(pos + 1, "unmatched '}'"));
+        }
+        Ok(circuit)
+    }
+}
+
+/// Parses until end of input or a closing `}` (when `depth > 0`).
+fn parse_block(
+    lines: &[&str],
+    pos: &mut usize,
+    circuit: &mut Circuit,
+    depth: usize,
+) -> Result<(), ParseCircuitError> {
+    while *pos < lines.len() {
+        let line_no = *pos + 1;
+        let raw = lines[*pos];
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            *pos += 1;
+            continue;
+        }
+        if line == "}" {
+            if depth == 0 {
+                return Ok(()); // caller reports unmatched brace
+            }
+            return Ok(());
+        }
+        if let Some(rest) = line.strip_prefix("REPEAT") {
+            let rest = rest.trim();
+            let (count_str, brace) = match rest.strip_suffix('{') {
+                Some(c) => (c.trim(), true),
+                None => (rest, false),
+            };
+            if !brace {
+                return Err(err(line_no, "REPEAT must end with '{'"));
+            }
+            let count: usize = count_str
+                .parse()
+                .map_err(|_| err(line_no, format!("bad REPEAT count '{count_str}'")))?;
+            *pos += 1;
+            // Parse the body into a scratch circuit once, then replay it.
+            let body_start = *pos;
+            let mut scratch = circuit.clone();
+            parse_block(lines, pos, &mut scratch, depth + 1)?;
+            if *pos >= lines.len() || strip_comment(lines[*pos]).trim() != "}" {
+                return Err(err(body_start, "unterminated REPEAT block"));
+            }
+            let body_end = *pos;
+            *pos += 1; // consume '}'
+            for _ in 0..count {
+                let mut inner = body_start;
+                parse_block(lines, &mut inner, circuit, depth + 1)?;
+                debug_assert_eq!(inner, body_end);
+                if circuit.instructions().len() > MAX_FLATTENED_INSTRUCTIONS {
+                    return Err(err(line_no, "REPEAT expansion too large"));
+                }
+            }
+            continue;
+        }
+        parse_line(line, line_no, circuit)?;
+        *pos += 1;
+    }
+    if depth > 0 {
+        return Err(err(lines.len(), "missing '}'"));
+    }
+    Ok(())
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_line(line: &str, line_no: usize, circuit: &mut Circuit) -> Result<(), ParseCircuitError> {
+    // Coordinate annotations are accepted and ignored (their arguments may
+    // contain spaces, so check before tokenizing).
+    if line.starts_with("QUBIT_COORDS") || line.starts_with("SHIFT_COORDS") {
+        return Ok(());
+    }
+
+    let mut parts = line.split_whitespace();
+    let head = parts.next().expect("non-empty line");
+    let rest: Vec<&str> = parts.collect();
+
+    let (name, args) = split_name_args(head, line_no)?;
+
+    if name == "TICK" {
+        circuit.push(Instruction::Tick);
+        return Ok(());
+    }
+
+    // Feedback: a gate whose first operand is a record target.
+    if rest.iter().any(|t| t.starts_with("rec[")) && matches!(name, "CX" | "CNOT" | "CY" | "CZ") {
+        return parse_feedback(name, &rest, line_no, circuit);
+    }
+
+    match name {
+        "M" | "MZ" => {
+            let targets = parse_qubits(&rest, line_no)?;
+            circuit.push(Instruction::Measure { targets });
+        }
+        "R" | "RZ" => {
+            let targets = parse_qubits(&rest, line_no)?;
+            circuit.push(Instruction::Reset { targets });
+        }
+        "MR" | "MRZ" => {
+            let targets = parse_qubits(&rest, line_no)?;
+            circuit.push(Instruction::MeasureReset { targets });
+        }
+        "DETECTOR" => {
+            let lookbacks = parse_lookbacks(&rest, line_no)?;
+            push_checked(circuit, Instruction::Detector { lookbacks }, line_no)?;
+        }
+        "OBSERVABLE_INCLUDE" => {
+            let index = match args.as_slice() {
+                [i] if i.fract() == 0.0 && *i >= 0.0 => *i as u32,
+                _ => return Err(err(line_no, "OBSERVABLE_INCLUDE needs one integer argument")),
+            };
+            let lookbacks = parse_lookbacks(&rest, line_no)?;
+            push_checked(circuit, Instruction::ObservableInclude { index, lookbacks }, line_no)?;
+        }
+        "X_ERROR" | "Y_ERROR" | "Z_ERROR" | "DEPOLARIZE1" | "DEPOLARIZE2" | "PAULI_CHANNEL_1" => {
+            let channel = parse_channel(name, &args, line_no)?;
+            let targets = parse_qubits(&rest, line_no)?;
+            push_checked(circuit, Instruction::Noise { channel, targets }, line_no)?;
+        }
+        _ => {
+            let Some(gate) = Gate::from_name(name) else {
+                return Err(err(line_no, format!("unknown instruction '{name}'")));
+            };
+            if !args.is_empty() {
+                return Err(err(line_no, format!("gate {name} takes no arguments")));
+            }
+            let targets = parse_qubits(&rest, line_no)?;
+            push_checked(circuit, Instruction::Gate { gate, targets }, line_no)?;
+        }
+    }
+    Ok(())
+}
+
+/// Pushes via [`Circuit::try_push`], attaching the line number to validation
+/// errors.
+fn push_checked(
+    circuit: &mut Circuit,
+    instruction: Instruction,
+    line_no: usize,
+) -> Result<(), ParseCircuitError> {
+    circuit
+        .try_push(instruction)
+        .map_err(|msg| err(line_no, msg))
+}
+
+fn split_name_args(head: &str, line_no: usize) -> Result<(&str, Vec<f64>), ParseCircuitError> {
+    match head.find('(') {
+        None => Ok((head, Vec::new())),
+        Some(open) => {
+            let name = &head[..open];
+            let Some(close) = head.rfind(')') else {
+                return Err(err(line_no, "missing ')'"));
+            };
+            let inner = &head[open + 1..close];
+            let mut args = Vec::new();
+            for piece in inner.split(',') {
+                let piece = piece.trim();
+                if piece.is_empty() {
+                    continue;
+                }
+                args.push(
+                    piece
+                        .parse::<f64>()
+                        .map_err(|_| err(line_no, format!("bad numeric argument '{piece}'")))?,
+                );
+            }
+            Ok((name, args))
+        }
+    }
+}
+
+fn parse_channel(
+    name: &str,
+    args: &[f64],
+    line_no: usize,
+) -> Result<NoiseChannel, ParseCircuitError> {
+    let one = |args: &[f64]| -> Result<f64, ParseCircuitError> {
+        match args {
+            [p] => Ok(*p),
+            _ => Err(err(line_no, format!("{name} needs exactly one argument"))),
+        }
+    };
+    Ok(match name {
+        "X_ERROR" => NoiseChannel::XError(one(args)?),
+        "Y_ERROR" => NoiseChannel::YError(one(args)?),
+        "Z_ERROR" => NoiseChannel::ZError(one(args)?),
+        "DEPOLARIZE1" => NoiseChannel::Depolarize1(one(args)?),
+        "DEPOLARIZE2" => NoiseChannel::Depolarize2(one(args)?),
+        "PAULI_CHANNEL_1" => match args {
+            [px, py, pz] => NoiseChannel::PauliChannel1 {
+                px: *px,
+                py: *py,
+                pz: *pz,
+            },
+            _ => return Err(err(line_no, "PAULI_CHANNEL_1 needs three arguments")),
+        },
+        _ => unreachable!("caller filtered channel names"),
+    })
+}
+
+fn parse_qubits(tokens: &[&str], line_no: usize) -> Result<Vec<u32>, ParseCircuitError> {
+    tokens
+        .iter()
+        .map(|t| {
+            t.parse::<u32>()
+                .map_err(|_| err(line_no, format!("bad qubit target '{t}'")))
+        })
+        .collect()
+}
+
+fn parse_lookbacks(tokens: &[&str], line_no: usize) -> Result<Vec<i64>, ParseCircuitError> {
+    tokens.iter().map(|t| parse_rec(t, line_no)).collect()
+}
+
+fn parse_rec(token: &str, line_no: usize) -> Result<i64, ParseCircuitError> {
+    let inner = token
+        .strip_prefix("rec[")
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line_no, format!("expected rec[-k], got '{token}'")))?;
+    inner
+        .parse::<i64>()
+        .map_err(|_| err(line_no, format!("bad record lookback '{inner}'")))
+}
+
+fn parse_feedback(
+    name: &str,
+    tokens: &[&str],
+    line_no: usize,
+    circuit: &mut Circuit,
+) -> Result<(), ParseCircuitError> {
+    let pauli = match name {
+        "CX" | "CNOT" => PauliKind::X,
+        "CY" => PauliKind::Y,
+        "CZ" => PauliKind::Z,
+        _ => unreachable!("caller filtered"),
+    };
+    if tokens.len() % 2 != 0 {
+        return Err(err(line_no, "feedback takes (rec, qubit) pairs"));
+    }
+    for pair in tokens.chunks_exact(2) {
+        let (rec_tok, qubit_tok) = if pair[0].starts_with("rec[") {
+            (pair[0], pair[1])
+        } else if pair[1].starts_with("rec[") && pauli == PauliKind::Z {
+            // CZ is symmetric, so `CZ 2 rec[-1]` is also meaningful.
+            (pair[1], pair[0])
+        } else {
+            return Err(err(line_no, "feedback control must be a rec[] target"));
+        };
+        let lookback = parse_rec(rec_tok, line_no)?;
+        let target: u32 = qubit_tok
+            .parse()
+            .map_err(|_| err(line_no, format!("bad qubit target '{qubit_tok}'")))?;
+        push_checked(
+            circuit,
+            Instruction::Feedback {
+                pauli,
+                lookback,
+                target,
+            },
+            line_no,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoiseChannel;
+
+    #[test]
+    fn parses_basic_circuit() {
+        let c = Circuit::parse("H 0\nCX 0 1\nM 0 1\n").unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.stats().gates, 2);
+        assert_eq!(c.stats().measurements, 2);
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let c = Circuit::parse("# header\n\nH 0 # trailing\n\n  M 0\n").unwrap();
+        assert_eq!(c.stats().gates, 1);
+        assert_eq!(c.stats().measurements, 1);
+    }
+
+    #[test]
+    fn parses_noise_channels() {
+        let text = "X_ERROR(0.25) 0\nDEPOLARIZE1(0.1) 0 1\nDEPOLARIZE2(0.05) 0 1\nPAULI_CHANNEL_1(0.1,0.2,0.3) 1\n";
+        let c = Circuit::parse(text).unwrap();
+        assert_eq!(c.stats().noise_sites, 5);
+        assert_eq!(c.stats().noise_symbols, 1 + 2 + 2 + 4 + 2);
+        match &c.instructions()[3] {
+            Instruction::Noise {
+                channel: NoiseChannel::PauliChannel1 { px, py, pz },
+                ..
+            } => {
+                assert_eq!((*px, *py, *pz), (0.1, 0.2, 0.3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_detector_and_observable() {
+        let c = Circuit::parse("M 0 1\nDETECTOR rec[-1] rec[-2]\nOBSERVABLE_INCLUDE(1) rec[-1]\n")
+            .unwrap();
+        assert_eq!(c.num_detectors(), 1);
+        assert_eq!(c.num_observables(), 2);
+    }
+
+    #[test]
+    fn parses_feedback() {
+        let c = Circuit::parse("M 0\nCX rec[-1] 1\nCZ 1 rec[-1]\n").unwrap();
+        assert_eq!(c.stats().feedback_ops, 2);
+        assert_eq!(
+            c.instructions()[1],
+            Instruction::Feedback {
+                pauli: PauliKind::X,
+                lookback: -1,
+                target: 1
+            }
+        );
+    }
+
+    #[test]
+    fn parses_repeat_flattening() {
+        let c = Circuit::parse("REPEAT 3 {\n  H 0\n  M 0\n}\n").unwrap();
+        assert_eq!(c.stats().gates, 3);
+        assert_eq!(c.stats().measurements, 3);
+    }
+
+    #[test]
+    fn parses_nested_repeat() {
+        let c = Circuit::parse("REPEAT 2 {\n REPEAT 3 {\n X 0\n }\n}\n").unwrap();
+        assert_eq!(c.stats().gates, 6);
+    }
+
+    #[test]
+    fn repeat_lookbacks_use_dynamic_record() {
+        // Each iteration's DETECTOR refers to its own iteration's M.
+        let c = Circuit::parse("REPEAT 3 {\n M 0\n DETECTOR rec[-1]\n}\n").unwrap();
+        assert_eq!(c.num_detectors(), 3);
+    }
+
+    #[test]
+    fn rejects_unknown_instruction() {
+        let e = Circuit::parse("FROB 0\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("FROB"));
+    }
+
+    #[test]
+    fn rejects_bad_targets() {
+        assert!(Circuit::parse("H x\n").is_err());
+        assert!(Circuit::parse("CX 0\n").is_err());
+        assert!(Circuit::parse("CX 1 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let e = Circuit::parse("X_ERROR(1.5) 0\n").unwrap_err();
+        assert!(e.message.contains("probability"));
+    }
+
+    #[test]
+    fn rejects_deep_lookback() {
+        let e = Circuit::parse("M 0\nDETECTOR rec[-2]\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_unmatched_braces() {
+        assert!(Circuit::parse("REPEAT 2 {\nH 0\n").is_err());
+        assert!(Circuit::parse("}\n").is_err());
+        assert!(Circuit::parse("REPEAT 2\nH 0\n").is_err());
+    }
+
+    #[test]
+    fn ignores_coordinate_lines() {
+        let c = Circuit::parse("QUBIT_COORDS(0, 1) 0\nH 0\nSHIFT_COORDS(0, 2)\n").unwrap();
+        assert_eq!(c.stats().gates, 1);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cz(1, 2).s(2);
+        c.noise(NoiseChannel::Depolarize1(0.125), &[0, 1]);
+        c.measure_many(&[0, 1]);
+        c.detector(&[-1, -2]);
+        c.observable_include(0, &[-1]);
+        c.feedback(PauliKind::X, -1, 2);
+        c.measure_reset(2);
+        c.reset(0);
+        c.tick();
+        let text = c.to_string();
+        let parsed = Circuit::parse(&text).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn mz_and_aliases() {
+        let c = Circuit::parse("MZ 0\nRZ 0\nMRZ 0\nCNOT 0 1\nSQRT_Z 0\n").unwrap();
+        assert_eq!(c.stats().measurements, 2);
+        assert_eq!(c.stats().resets, 2);
+        assert_eq!(c.stats().gates, 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property tests for the circuit IR and text format.
+
+use proptest::prelude::*;
+
+use symphase_circuit::{Circuit, Gate, Instruction, NoiseChannel, PauliKind, SmallPauli};
+
+/// Strategy producing an arbitrary valid circuit.
+fn circuit_strategy() -> impl Strategy<Value = Circuit> {
+    let qubits = 2u32..8;
+    qubits.prop_flat_map(|n| {
+        let step = prop_oneof![
+            // Single-qubit gate
+            (0usize..11, 0..n).prop_map(|(g, q)| StepSpec::Gate1(g, q)),
+            // Two-qubit gate
+            (0usize..4, 0..n, 1..n).prop_map(|(g, a, off)| StepSpec::Gate2(g, a, off)),
+            // Noise
+            (0usize..4, 0..n, 0.0f64..=1.0).prop_map(|(k, q, p)| StepSpec::Noise(k, q, p)),
+            (0..n).prop_map(StepSpec::Measure),
+            (0..n).prop_map(StepSpec::Reset),
+            (0..n).prop_map(StepSpec::MeasureReset),
+            (0..n).prop_map(StepSpec::Feedback),
+            Just(StepSpec::Tick),
+        ];
+        proptest::collection::vec(step, 0..40).prop_map(move |steps| build(n, &steps))
+    })
+}
+
+#[derive(Clone, Debug)]
+enum StepSpec {
+    Gate1(usize, u32),
+    Gate2(usize, u32, u32),
+    Noise(usize, u32, f64),
+    Measure(u32),
+    Reset(u32),
+    MeasureReset(u32),
+    Feedback(u32),
+    Tick,
+}
+
+const G1: [Gate; 11] = [
+    Gate::I,
+    Gate::X,
+    Gate::Y,
+    Gate::Z,
+    Gate::H,
+    Gate::S,
+    Gate::SDag,
+    Gate::SqrtX,
+    Gate::SqrtY,
+    Gate::CXyz,
+    Gate::HXy,
+];
+const G2: [Gate; 4] = [Gate::Cx, Gate::Cy, Gate::Cz, Gate::Swap];
+
+fn build(n: u32, steps: &[StepSpec]) -> Circuit {
+    let mut c = Circuit::new(n);
+    let mut measured = 0usize;
+    for s in steps {
+        match *s {
+            StepSpec::Gate1(g, q) => {
+                c.gate(G1[g], &[q]);
+            }
+            StepSpec::Gate2(g, a, off) => {
+                let b = (a + off) % n;
+                if a != b {
+                    c.gate(G2[g], &[a, b]);
+                }
+            }
+            StepSpec::Noise(k, q, p) => {
+                let ch = match k {
+                    0 => NoiseChannel::XError(p),
+                    1 => NoiseChannel::YError(p),
+                    2 => NoiseChannel::ZError(p),
+                    _ => NoiseChannel::Depolarize1(p),
+                };
+                c.noise(ch, &[q]);
+            }
+            StepSpec::Measure(q) => {
+                c.measure(q);
+                measured += 1;
+            }
+            StepSpec::Reset(q) => {
+                c.reset(q);
+            }
+            StepSpec::MeasureReset(q) => {
+                c.measure_reset(q);
+                measured += 1;
+            }
+            StepSpec::Feedback(q) => {
+                if measured > 0 {
+                    c.feedback(PauliKind::Z, -1, q);
+                }
+            }
+            StepSpec::Tick => {
+                c.tick();
+            }
+        }
+    }
+    if measured > 0 {
+        c.detector(&[-1]);
+        c.observable_include(0, &[-1]);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The text format round-trips every circuit: instructions and stats
+    /// are preserved exactly. (The qubit *count* is implied by usage, as in
+    /// Stim, so qubits never referenced by any instruction are not
+    /// round-tripped.)
+    #[test]
+    fn text_roundtrip(c in circuit_strategy()) {
+        let text = c.to_string();
+        let parsed = Circuit::parse(&text).expect("own output must parse");
+        prop_assert_eq!(parsed.instructions(), c.instructions());
+        prop_assert_eq!(parsed.stats(), c.stats());
+        prop_assert!(parsed.num_qubits() <= c.num_qubits());
+    }
+
+    /// Stats recomputed from scratch match the incrementally tracked ones.
+    #[test]
+    fn stats_match_recount(c in circuit_strategy()) {
+        let s = c.stats();
+        let mut gates = 0;
+        let mut meas = 0;
+        let mut sites = 0;
+        let mut syms = 0;
+        for inst in c.instructions() {
+            match inst {
+                Instruction::Gate { gate, targets } => gates += targets.len() / gate.arity(),
+                Instruction::Measure { targets } => meas += targets.len(),
+                Instruction::MeasureReset { targets } => meas += targets.len(),
+                Instruction::Noise { channel, targets } => {
+                    let k = targets.len() / channel.arity();
+                    sites += k;
+                    syms += k * channel.symbols_per_application();
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(s.gates, gates);
+        prop_assert_eq!(s.measurements, meas);
+        prop_assert_eq!(s.noise_sites, sites);
+        prop_assert_eq!(s.noise_symbols, syms);
+    }
+
+    /// Conjugation by any gate is a group automorphism on arbitrary
+    /// products of Paulis.
+    #[test]
+    fn conjugation_homomorphism(
+        gate_idx in 0usize..Gate::ALL.len(),
+        bits in proptest::collection::vec((any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()), 2..6),
+    ) {
+        let gate = Gate::ALL[gate_idx];
+        let paulis: Vec<SmallPauli> = bits
+            .iter()
+            .map(|&(x0, z0, x1, z1)| {
+                if gate.arity() == 1 {
+                    SmallPauli::two(x0, z0, false, false)
+                } else {
+                    SmallPauli::two(x0, z0, x1, z1)
+                }
+            })
+            .collect();
+        let product = paulis.iter().fold(SmallPauli::identity(), |acc, p| acc.mul(*p));
+        let conj_of_product = gate.conjugate(product);
+        let product_of_conj = paulis
+            .iter()
+            .fold(SmallPauli::identity(), |acc, p| acc.mul(gate.conjugate(*p)));
+        prop_assert_eq!(conj_of_product, product_of_conj);
+    }
+
+    /// `inverse()` really inverts the conjugation action.
+    #[test]
+    fn inverse_undoes_conjugation(
+        gate_idx in 0usize..Gate::ALL.len(),
+        x0 in any::<bool>(), z0 in any::<bool>(),
+        x1 in any::<bool>(), z1 in any::<bool>(),
+    ) {
+        let gate = Gate::ALL[gate_idx];
+        let p = if gate.arity() == 1 {
+            SmallPauli::two(x0, z0, false, false)
+        } else {
+            SmallPauli::two(x0, z0, x1, z1)
+        };
+        prop_assert_eq!(gate.inverse().conjugate(gate.conjugate(p)), p);
+    }
+}

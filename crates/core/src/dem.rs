@@ -1,0 +1,300 @@
+//! Detector error models: the fault → symptom map, extracted symbolically.
+//!
+//! Under phase symbolization every detector is an XOR expression over fault
+//! symbols (coins cancel by construction), so the *detector error model* —
+//! which physical error triggers which detectors and logical observables,
+//! the input every QEC decoder needs — can be read off the sampler without
+//! any Monte Carlo: enumerate each noise site's non-identity outcomes,
+//! XOR the symptom sets of the symbols involved, and merge equal symptoms.
+//!
+//! This mirrors Stim's `.dem` format (`error(p) D0 D2 L0`) and is an
+//! application of the paper's observation that the symbolic expressions
+//! "clearly show how the faults in the circuit affect the measurement
+//! outcomes" (§1).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use symphase_bitmat::SparseRowMatrix;
+
+use crate::sampler::SymPhaseSampler;
+use crate::symbol::{SymbolGroup, SymbolId};
+
+/// One error mechanism: with `probability`, flip the listed detectors and
+/// logical observables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DemError {
+    /// Total probability of this symptom (independent contributions are
+    /// XOR-combined: `p ← p₁(1−p₂) + p₂(1−p₁)`).
+    pub probability: f64,
+    /// Sorted detector indices flipped by the error.
+    pub detectors: Vec<u32>,
+    /// Sorted observable indices flipped by the error.
+    pub observables: Vec<u32>,
+}
+
+impl fmt::Display for DemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error({})", self.probability)?;
+        for d in &self.detectors {
+            write!(f, " D{d}")?;
+        }
+        for o in &self.observables {
+            write!(f, " L{o}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The collection of error mechanisms of a circuit.
+///
+/// # Example
+///
+/// ```
+/// use symphase_circuit::generators::{repetition_code_memory, RepetitionCodeConfig};
+/// use symphase_core::SymPhaseSampler;
+///
+/// let c = repetition_code_memory(&RepetitionCodeConfig {
+///     distance: 3,
+///     rounds: 1,
+///     data_error: 0.01,
+///     measure_error: 0.0,
+/// });
+/// let dem = SymPhaseSampler::new(&c).detector_error_model();
+/// // Every data-qubit X error triggers one or two detectors.
+/// assert_eq!(dem.errors().len(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DetectorErrorModel {
+    errors: Vec<DemError>,
+}
+
+impl DetectorErrorModel {
+    /// The error mechanisms, sorted by symptom.
+    pub fn errors(&self) -> &[DemError] {
+        &self.errors
+    }
+
+    /// Number of mechanisms.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// `true` when the circuit has no detectable error mechanism.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+impl fmt::Display for DetectorErrorModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.errors {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Symptom accumulator: symmetric-difference lists of detector/observable
+/// indices.
+fn xor_into(acc: &mut Vec<u32>, items: &[u32]) {
+    for &i in items {
+        match acc.binary_search(&i) {
+            Ok(pos) => {
+                acc.remove(pos);
+            }
+            Err(pos) => acc.insert(pos, i),
+        }
+    }
+}
+
+/// Builds the per-symbol symptom index for a sparse row matrix: column ->
+/// list of rows containing it.
+fn columns(rows: &SparseRowMatrix, len: usize) -> Vec<Vec<u32>> {
+    let mut cols = vec![Vec::new(); len];
+    for (r, row) in rows.iter().enumerate() {
+        for &c in row.indices() {
+            if c != 0 {
+                cols[c as usize].push(r as u32);
+            }
+        }
+    }
+    cols
+}
+
+impl SymPhaseSampler {
+    /// Extracts the detector error model of the circuit this sampler was
+    /// built from.
+    ///
+    /// Outcomes of one noise site that trigger no detector and no
+    /// observable are dropped; distinct sites producing the same symptom
+    /// are merged with XOR-combined probabilities.
+    pub fn detector_error_model(&self) -> DetectorErrorModel {
+        let len = self.symbol_table().assignment_len();
+        let det_cols = columns(self.detector_rows(), len);
+        let obs_cols = columns(self.observable_rows(), len);
+
+        let mut merged: HashMap<(Vec<u32>, Vec<u32>), f64> = HashMap::new();
+        let mut add = |symbols: &[SymbolId], probability: f64| {
+            if probability <= 0.0 {
+                return;
+            }
+            let mut dets = Vec::new();
+            let mut obs = Vec::new();
+            for &s in symbols {
+                xor_into(&mut dets, &det_cols[s as usize]);
+                xor_into(&mut obs, &obs_cols[s as usize]);
+            }
+            if dets.is_empty() && obs.is_empty() {
+                return;
+            }
+            let p = merged.entry((dets, obs)).or_insert(0.0);
+            *p = *p * (1.0 - probability) + probability * (1.0 - *p);
+        };
+
+        for group in self.symbol_table().groups() {
+            match *group {
+                SymbolGroup::Coin { .. } => {}
+                SymbolGroup::Bernoulli { id, p } => add(&[id], p),
+                SymbolGroup::Depolarize1 { x_id, z_id, p } => {
+                    add(&[x_id], p / 3.0);
+                    add(&[x_id, z_id], p / 3.0);
+                    add(&[z_id], p / 3.0);
+                }
+                SymbolGroup::Depolarize2 { ids, p } => {
+                    for k in 1u32..16 {
+                        let subset: Vec<SymbolId> = ids
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, _)| k & (1 << j) != 0)
+                            .map(|(_, &id)| id)
+                            .collect();
+                        add(&subset, p / 15.0);
+                    }
+                }
+                SymbolGroup::PauliChannel1 {
+                    x_id,
+                    z_id,
+                    px,
+                    py,
+                    pz,
+                } => {
+                    add(&[x_id], px);
+                    add(&[x_id, z_id], py);
+                    add(&[z_id], pz);
+                }
+            }
+        }
+
+        let mut errors: Vec<DemError> = merged
+            .into_iter()
+            .map(|((detectors, observables), probability)| DemError {
+                probability,
+                detectors,
+                observables,
+            })
+            .collect();
+        errors.sort_by(|a, b| {
+            a.detectors
+                .cmp(&b.detectors)
+                .then(a.observables.cmp(&b.observables))
+        });
+        DetectorErrorModel { errors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symphase_circuit::generators::{repetition_code_memory, RepetitionCodeConfig};
+    use symphase_circuit::{Circuit, NoiseChannel};
+
+    #[test]
+    fn repetition_code_matching_graph() {
+        // Distance-4, one round, data errors only: data qubit i (of 4)
+        // flips the final detectors it touches — end qubits touch one
+        // detector, middle qubits two; the first qubit also flips the
+        // logical observable.
+        let c = repetition_code_memory(&RepetitionCodeConfig {
+            distance: 4,
+            rounds: 1,
+            data_error: 0.01,
+            measure_error: 0.0,
+        });
+        let dem = SymPhaseSampler::new(&c).detector_error_model();
+        assert_eq!(dem.len(), 4);
+        let weights: Vec<usize> = dem.errors().iter().map(|e| e.detectors.len()).collect();
+        let mut sorted = weights.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 1, 2, 2], "boundary/bulk structure");
+        // Exactly one mechanism flips the observable (the data qubit the
+        // observable reads).
+        let logical: Vec<_> = dem
+            .errors()
+            .iter()
+            .filter(|e| !e.observables.is_empty())
+            .collect();
+        assert_eq!(logical.len(), 1);
+        assert!((dem.errors()[0].probability - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_probabilities_xor_combine() {
+        // Two X errors on the same qubit produce one mechanism with
+        // p = p1(1-p2) + p2(1-p1).
+        let mut c = Circuit::new(1);
+        c.noise(NoiseChannel::XError(0.1), &[0]);
+        c.noise(NoiseChannel::XError(0.2), &[0]);
+        c.measure(0);
+        c.detector(&[-1]);
+        let dem = SymPhaseSampler::new(&c).detector_error_model();
+        assert_eq!(dem.len(), 1);
+        let expect = 0.1 * 0.8 + 0.2 * 0.9;
+        assert!((dem.errors()[0].probability - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undetectable_faults_dropped() {
+        let mut c = Circuit::new(1);
+        c.noise(NoiseChannel::ZError(0.3), &[0]); // invisible in Z basis
+        c.measure(0);
+        c.detector(&[-1]);
+        let dem = SymPhaseSampler::new(&c).detector_error_model();
+        assert!(dem.is_empty());
+    }
+
+    #[test]
+    fn depolarize_splits_into_mechanisms() {
+        // DEPOLARIZE1 before H: X and Y flip the (pre-H) Z-detector... use
+        // two measurements to distinguish X-like and Z-like symptoms.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        c.noise(NoiseChannel::Depolarize1(0.3), &[0]);
+        c.cx(0, 1);
+        c.measure(0); // flips for X, Y
+        c.h(0);
+        c.measure(1); // flips for X, Y (copied)
+        c.detector(&[-2]);
+        c.detector(&[-1]);
+        let dem = SymPhaseSampler::new(&c).detector_error_model();
+        // X and Y both flip D0 and D1; Z is invisible → one merged
+        // mechanism at p = 2·(p/3) XOR-combined.
+        assert_eq!(dem.len(), 1);
+        let p3 = 0.1;
+        let expect = p3 * (1.0 - p3) + p3 * (1.0 - p3);
+        assert!((dem.errors()[0].probability - expect).abs() < 1e-12);
+        assert_eq!(dem.errors()[0].detectors, vec![0, 1]);
+    }
+
+    #[test]
+    fn display_format() {
+        let dem = DetectorErrorModel {
+            errors: vec![DemError {
+                probability: 0.125,
+                detectors: vec![0, 2],
+                observables: vec![1],
+            }],
+        };
+        assert_eq!(dem.to_string(), "error(0.125) D0 D2 L1\n");
+    }
+}

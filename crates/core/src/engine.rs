@@ -1,0 +1,381 @@
+//! The Initialization procedure of Algorithm 1: one symbolic traversal.
+//!
+//! Walks the circuit once, applying Init-C (Clifford gates through the
+//! shared tableau), Init-P (faults as symbol-coefficient flips), and Init-M
+//! (measurements: random outcomes become fresh coins + `X^s`, determined
+//! outcomes are read off the scratch row). Resets and feedback reuse the
+//! `X^e` mechanism of paper §6.
+
+use symphase_circuit::{Circuit, Instruction, NoiseChannel, PauliKind};
+use symphase_tableau::{Collapse, Tableau};
+
+use crate::expr::SymExpr;
+use crate::phases::SymbolicPhases;
+use crate::symbol::{SymbolId, SymbolTable};
+
+/// Everything the Initialization produces: symbol distributions and the
+/// symbolic expression of each measurement outcome.
+#[derive(Clone, Debug)]
+pub(crate) struct InitResult {
+    pub table: SymbolTable,
+    pub measurements: Vec<SymExpr>,
+}
+
+/// Runs Initialization with the chosen symbolic phase store.
+pub(crate) fn initialize<S: SymbolicPhases>(circuit: &Circuit) -> InitResult {
+    let n = circuit.num_qubits() as usize;
+    let mut tab: Tableau<S> = Tableau::new(n);
+    // Destabilizer phases never influence outcomes — skip their symbol
+    // bookkeeping (see `SymbolicPhases::set_symbol_tracking_floor`).
+    tab.phases_mut().set_symbol_tracking_floor(n);
+    let mut table = SymbolTable::new();
+    let mut measurements: Vec<SymExpr> = Vec::with_capacity(circuit.num_measurements());
+    let mut mask = vec![0u64; tab.words_per_col()];
+
+    for inst in circuit.instructions() {
+        match inst {
+            Instruction::Gate { gate, targets } => tab.apply_gate(*gate, targets),
+            Instruction::Noise { channel, targets } => {
+                apply_channel(&mut tab, &mut table, &mut mask, *channel, targets);
+            }
+            Instruction::Measure { targets } => {
+                for &q in targets {
+                    let e = measure_symbolic(&mut tab, &mut table, &mut mask, q as usize);
+                    measurements.push(e);
+                }
+            }
+            Instruction::Reset { targets } => {
+                for &q in targets {
+                    let e = measure_symbolic(&mut tab, &mut table, &mut mask, q as usize);
+                    apply_expr_fault(&mut tab, &mut mask, PauliKind::X, q as usize, &e);
+                }
+            }
+            Instruction::MeasureReset { targets } => {
+                for &q in targets {
+                    let e = measure_symbolic(&mut tab, &mut table, &mut mask, q as usize);
+                    apply_expr_fault(&mut tab, &mut mask, PauliKind::X, q as usize, &e);
+                    measurements.push(e);
+                }
+            }
+            Instruction::Feedback {
+                pauli,
+                lookback,
+                target,
+            } => {
+                let idx = (measurements.len() as i64 + lookback) as usize;
+                let e = measurements[idx].clone();
+                apply_expr_fault(&mut tab, &mut mask, *pauli, *target as usize, &e);
+            }
+            Instruction::Detector { .. }
+            | Instruction::ObservableInclude { .. }
+            | Instruction::Tick => {}
+        }
+    }
+
+    InitResult {
+        table,
+        measurements,
+    }
+}
+
+/// Init-P: decomposes a noise channel into symbolic single-qubit faults.
+fn apply_channel<S: SymbolicPhases>(
+    tab: &mut Tableau<S>,
+    table: &mut SymbolTable,
+    mask: &mut [u64],
+    channel: NoiseChannel,
+    targets: &[u32],
+) {
+    match channel {
+        NoiseChannel::XError(p) => {
+            for &q in targets {
+                let s = table.fresh_bernoulli(p);
+                apply_symbol_fault(tab, mask, PauliKind::X, q as usize, s);
+            }
+        }
+        NoiseChannel::YError(p) => {
+            for &q in targets {
+                let s = table.fresh_bernoulli(p);
+                apply_symbol_fault(tab, mask, PauliKind::Y, q as usize, s);
+            }
+        }
+        NoiseChannel::ZError(p) => {
+            for &q in targets {
+                let s = table.fresh_bernoulli(p);
+                apply_symbol_fault(tab, mask, PauliKind::Z, q as usize, s);
+            }
+        }
+        NoiseChannel::Depolarize1(p) => {
+            for &q in targets {
+                let (sx, sz) = table.fresh_depolarize1(p);
+                apply_symbol_fault(tab, mask, PauliKind::X, q as usize, sx);
+                apply_symbol_fault(tab, mask, PauliKind::Z, q as usize, sz);
+            }
+        }
+        NoiseChannel::Depolarize2(p) => {
+            for pair in targets.chunks_exact(2) {
+                let [xa, za, xb, zb] = table.fresh_depolarize2(p);
+                apply_symbol_fault(tab, mask, PauliKind::X, pair[0] as usize, xa);
+                apply_symbol_fault(tab, mask, PauliKind::Z, pair[0] as usize, za);
+                apply_symbol_fault(tab, mask, PauliKind::X, pair[1] as usize, xb);
+                apply_symbol_fault(tab, mask, PauliKind::Z, pair[1] as usize, zb);
+            }
+        }
+        NoiseChannel::PauliChannel1 { px, py, pz } => {
+            for &q in targets {
+                let (sx, sz) = table.fresh_pauli_channel1(px, py, pz);
+                apply_symbol_fault(tab, mask, PauliKind::X, q as usize, sx);
+                apply_symbol_fault(tab, mask, PauliKind::Z, q as usize, sz);
+            }
+        }
+    }
+}
+
+/// Fills `mask` with the rows whose phase flips under a `kind` fault on
+/// qubit `q`: rows anticommuting with the fault Pauli.
+fn fault_mask<S: SymbolicPhases>(tab: &Tableau<S>, kind: PauliKind, q: usize, mask: &mut [u64]) {
+    let (x_col, z_col) = (tab.x_col(q), tab.z_col(q));
+    match kind {
+        PauliKind::X => mask.copy_from_slice(z_col),
+        PauliKind::Z => mask.copy_from_slice(x_col),
+        PauliKind::Y => {
+            for (m, (x, z)) in mask.iter_mut().zip(x_col.iter().zip(z_col)) {
+                *m = x ^ z;
+            }
+        }
+    }
+}
+
+/// Applies the symbolic fault `kind^s` on qubit `q` (paper Init-P / Fact 1).
+fn apply_symbol_fault<S: SymbolicPhases>(
+    tab: &mut Tableau<S>,
+    mask: &mut [u64],
+    kind: PauliKind,
+    q: usize,
+    sym: SymbolId,
+) {
+    fault_mask(tab, kind, q, mask);
+    let phases = tab.phases_mut();
+    phases.ensure_symbol_capacity(sym);
+    for (w, &m) in mask.iter().enumerate() {
+        if m != 0 {
+            phases.xor_symbol_word(sym, w, m);
+        }
+    }
+}
+
+/// Applies a classically-controlled Pauli `kind^e` on qubit `q` (paper §6).
+fn apply_expr_fault<S: SymbolicPhases>(
+    tab: &mut Tableau<S>,
+    mask: &mut [u64],
+    kind: PauliKind,
+    q: usize,
+    expr: &SymExpr,
+) {
+    if expr.is_zero() {
+        return;
+    }
+    fault_mask(tab, kind, q, mask);
+    let phases = tab.phases_mut();
+    if let Some(&max) = expr.symbol_ids().last() {
+        phases.ensure_symbol_capacity(max);
+    }
+    for (w, &m) in mask.iter().enumerate() {
+        if m != 0 {
+            phases.xor_expr_word(expr, w, m);
+        }
+    }
+}
+
+/// Init-M: symbolic Z-basis measurement of qubit `q`.
+///
+/// Random case: the symbolic analogue of A-G's `r_p := coin` — a fresh fair
+/// coin `s` becomes the phase of the new stabilizer `Z_q` and is recorded as
+/// the outcome. (The paper's prose describes this as "fix the outcome to 0
+/// and apply `X^s` at the measured qubit", but a conjugating `X^s` would
+/// also flip every *other* generator containing `Z_q`, breaking
+/// measurement correlations; the paper's own §3.1 tableau shows the coin
+/// entering only the new stabilizer row, which is what we do. See
+/// DESIGN.md.)
+fn measure_symbolic<S: SymbolicPhases>(
+    tab: &mut Tableau<S>,
+    table: &mut SymbolTable,
+    _mask: &mut [u64],
+    q: usize,
+) -> SymExpr {
+    match tab.collapse_z(q) {
+        Collapse::Random { pivot } => {
+            let s = table.fresh_coin();
+            let phases = tab.phases_mut();
+            phases.ensure_symbol_capacity(s);
+            let (w, b) = (pivot / 64, pivot % 64);
+            phases.xor_symbol_word(s, w, 1u64 << b);
+            SymExpr::symbol(s)
+        }
+        Collapse::Deterministic => {
+            tab.accumulate_deterministic(q);
+            tab.phases().row_expr(tab.scratch_row())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::{DensePhases, SparsePhases};
+    use symphase_circuit::Circuit;
+
+    fn exprs<S: SymbolicPhases>(c: &Circuit) -> Vec<String> {
+        initialize::<S>(c)
+            .measurements
+            .iter()
+            .map(|e| e.to_string())
+            .collect()
+    }
+
+    /// The worked example of paper §3.1: H; CX; X^s1; X^s2; M; M.
+    #[test]
+    fn sec_3_1_worked_example() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c.noise(NoiseChannel::XError(0.1), &[0]); // s1
+        c.noise(NoiseChannel::XError(0.1), &[1]); // s2
+        c.measure(0);
+        c.measure(1);
+        for result in [exprs::<SparsePhases>(&c), exprs::<DensePhases>(&c)] {
+            assert_eq!(result, vec!["s3".to_string(), "s1 ⊕ s2 ⊕ s3".to_string()]);
+        }
+    }
+
+    /// The overview example of paper Fig. 1: GHZ preparation, faults
+    /// Z^s1 X^s2 X^s3 X^s4, un-preparation, measure all. Expected outcomes
+    /// m1 = s1, m2 = s2, m3 = s2⊕s3, m4 = s3⊕s4.
+    #[test]
+    fn fig_1_worked_example() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+        c.noise(NoiseChannel::ZError(0.1), &[0]); // s1
+        c.noise(NoiseChannel::XError(0.1), &[1]); // s2
+        c.noise(NoiseChannel::XError(0.1), &[2]); // s3
+        c.noise(NoiseChannel::XError(0.1), &[3]); // s4
+        c.cx(2, 3).cx(1, 2).cx(0, 1).h(0);
+        c.measure_all();
+        for result in [exprs::<SparsePhases>(&c), exprs::<DensePhases>(&c)] {
+            assert_eq!(
+                result,
+                vec![
+                    "s1".to_string(),
+                    "s2".to_string(),
+                    "s2 ⊕ s3".to_string(),
+                    "s3 ⊕ s4".to_string(),
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_one_has_constant_term() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        c.measure(0);
+        assert_eq!(exprs::<SparsePhases>(&c), vec!["1".to_string()]);
+    }
+
+    #[test]
+    fn bell_pair_shares_one_coin() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c.measure_all();
+        let r = initialize::<SparsePhases>(&c);
+        assert_eq!(r.measurements[0], r.measurements[1]);
+        assert_eq!(r.table.num_coins(), 1);
+    }
+
+    #[test]
+    fn repeated_measurement_reuses_coin() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.measure(0);
+        c.measure(0);
+        let r = initialize::<SparsePhases>(&c);
+        assert_eq!(r.measurements[0], r.measurements[1]);
+        assert_eq!(r.table.num_coins(), 1);
+    }
+
+    #[test]
+    fn reset_after_x_error_discards_fault() {
+        let mut c = Circuit::new(1);
+        c.noise(NoiseChannel::XError(0.5), &[0]);
+        c.reset(0);
+        c.measure(0);
+        let r = initialize::<SparsePhases>(&c);
+        assert!(r.measurements[0].is_zero(), "reset must clear the fault symbol");
+    }
+
+    #[test]
+    fn measure_reset_records_fault_then_clears() {
+        let mut c = Circuit::new(1);
+        c.noise(NoiseChannel::XError(0.5), &[0]); // s1
+        c.measure_reset(0);
+        c.measure(0);
+        let r = initialize::<SparsePhases>(&c);
+        assert_eq!(r.measurements[0].to_string(), "s1");
+        assert!(r.measurements[1].is_zero());
+    }
+
+    #[test]
+    fn feedback_cancels_dependency() {
+        // m0 = s1; feedback X^{m0} on qubit 1 that also carries X^{s1}:
+        // measuring qubit 1 then gives s1 ⊕ s1 = 0.
+        let mut c = Circuit::new(2);
+        c.noise(NoiseChannel::XError(0.5), &[0]); // s1
+        c.cx(0, 1); // copy the fault onto qubit 1
+        c.measure(0);
+        c.feedback(PauliKind::X, -1, 1);
+        c.measure(1);
+        let r = initialize::<SparsePhases>(&c);
+        assert_eq!(r.measurements[0].to_string(), "s1");
+        assert!(r.measurements[1].is_zero());
+    }
+
+    #[test]
+    fn depolarize1_contributes_x_and_z_symbols() {
+        let mut c = Circuit::new(1);
+        c.h(0); // sensitize to Z faults
+        c.noise(NoiseChannel::Depolarize1(0.1), &[0]); // s1 (X), s2 (Z)
+        c.h(0);
+        c.measure(0);
+        let r = initialize::<SparsePhases>(&c);
+        // In the X basis only the Z component flips the outcome.
+        assert_eq!(r.measurements[0].to_string(), "s2");
+    }
+
+    #[test]
+    fn z_error_invisible_in_z_basis() {
+        let mut c = Circuit::new(1);
+        c.noise(NoiseChannel::ZError(0.9), &[0]);
+        c.measure(0);
+        let r = initialize::<SparsePhases>(&c);
+        assert!(r.measurements[0].is_zero());
+    }
+
+    #[test]
+    fn y_error_flips_z_measurement() {
+        let mut c = Circuit::new(1);
+        c.noise(NoiseChannel::YError(0.5), &[0]);
+        c.measure(0);
+        let r = initialize::<SparsePhases>(&c);
+        assert_eq!(r.measurements[0].to_string(), "s1");
+    }
+
+    #[test]
+    fn teleportation_verification_is_symbolically_zero() {
+        let c = symphase_circuit::generators::teleportation();
+        let r = initialize::<SparsePhases>(&c);
+        assert!(
+            r.measurements[2].is_zero(),
+            "teleportation check must be 0, got {}",
+            r.measurements[2]
+        );
+    }
+}

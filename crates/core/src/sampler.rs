@@ -1,0 +1,639 @@
+//! Algorithm 1: the SymPhase sampler.
+
+use std::sync::OnceLock;
+
+use rand::Rng;
+
+use symphase_bitmat::bernoulli::fill_bernoulli;
+use symphase_bitmat::{BitMatrix, SparseBitVec, SparseRowMatrix};
+use symphase_circuit::Circuit;
+use symphase_tableau::record::{detector_measurement_sets, observable_measurement_sets};
+
+use crate::engine::{initialize, InitResult};
+use crate::expr::SymExpr;
+use crate::phases::{DensePhases, SparsePhases};
+use crate::symbol::{SymbolGroup, SymbolTable};
+
+/// Which symbolic phase store Initialization uses (paper Eq. (3) dense
+/// bit-matrix vs sparse rows; ablation A2 in DESIGN.md).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PhaseRepr {
+    /// Choose per circuit (the paper's conclusion suggests "dynamically
+    /// determining the layout based on the type/pattern of the circuit"):
+    /// heavily-interacting noisy circuits mix phases until sparse rows
+    /// degenerate, so pick [`PhaseRepr::Dense`] when the expected symbol
+    /// density is high and [`PhaseRepr::Sparse`] otherwise.
+    #[default]
+    Auto,
+    /// Sorted symbol lists per tableau row (best for QEC-style circuits,
+    /// where each generator carries few symbols).
+    Sparse,
+    /// Packed coefficient bit-rows (the paper's dense picture; best for
+    /// dense random circuits with pervasive noise).
+    Dense,
+}
+
+impl PhaseRepr {
+    /// Resolves `Auto` against a circuit's statistics.
+    ///
+    /// Heuristic: the sparse store wins while expressions stay short. Long
+    /// expressions come from deep mixing, which needs *many two-qubit gates
+    /// per measurement*; noise symbols further multiply the mixing mass.
+    /// Empirically (ablation A2) the crossover sits around a symbol-churn
+    /// of a few dozen symbols per measurement.
+    pub fn resolve(self, circuit: &Circuit) -> PhaseRepr {
+        match self {
+            PhaseRepr::Auto => {
+                let s = circuit.stats();
+                let per_meas =
+                    (s.noise_symbols + s.measurements) as f64 / s.measurements.max(1) as f64;
+                if per_meas > 8.0 {
+                    PhaseRepr::Dense
+                } else {
+                    PhaseRepr::Sparse
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// How the Sampling step multiplies `M · B` (ablation A1 in DESIGN.md).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SamplingMethod {
+    /// Coins (fair measurement randomness) are multiplied densely — they
+    /// fire every shot — while fault symbols are handled *event-wise*:
+    /// for each fired noise site the affected measurement bits are flipped
+    /// through a symbol → measurements index. For realistic fault rates
+    /// almost no sites fire, so the noise cost is proportional to the
+    /// number of actual fault events, the strongest form of the paper's
+    /// column-sparsity argument (Table 1's `O(n_smp · n_m)` sparse case).
+    #[default]
+    Hybrid,
+    /// Per-measurement XOR of the symbol shot-rows selected by the sparse
+    /// measurement row — the paper's "sparse implementation of matrix
+    /// multiplication" (§5).
+    SparseRows,
+    /// Dense F₂ matrix product against the densified measurement matrix.
+    DenseMatMul,
+}
+
+/// Samples of everything a shot batch produces, shot-aligned: column `j` of
+/// each matrix belongs to the same assignment draw.
+#[derive(Clone, Debug)]
+pub struct SampleBatch {
+    /// `num_measurements × shots`.
+    pub measurements: BitMatrix,
+    /// `num_detectors × shots`.
+    pub detectors: BitMatrix,
+    /// `num_observables × shots`.
+    pub observables: BitMatrix,
+}
+
+/// The SymPhase measurement sampler (paper Algorithm 1).
+///
+/// [`SymPhaseSampler::new`] runs **Initialization**: a single symbolic
+/// traversal of the circuit producing one XOR expression per measurement
+/// (and per detector/observable). [`SymPhaseSampler::sample`] runs
+/// **Sampling**: it draws an assignment matrix `B` from the noise model and
+/// multiplies (Eq. (4)) — no circuit traversal, so the per-shot cost is
+/// independent of the gate count (Table 1).
+///
+/// # Example
+///
+/// ```
+/// use symphase_circuit::{Circuit, NoiseChannel};
+/// use symphase_core::SymPhaseSampler;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut c = Circuit::new(1);
+/// c.noise(NoiseChannel::XError(0.25), &[0]);
+/// c.measure(0);
+/// let sampler = SymPhaseSampler::new(&c);
+/// assert_eq!(sampler.measurement_expr(0).to_string(), "s1");
+/// let s = sampler.sample(10_000, &mut StdRng::seed_from_u64(1));
+/// let ones = (0..10_000).filter(|&i| s.get(0, i)).count();
+/// assert!((ones as f64 - 2500.0).abs() < 300.0);
+/// ```
+#[derive(Debug)]
+pub struct SymPhaseSampler {
+    table: SymbolTable,
+    measurement_exprs: Vec<SymExpr>,
+    meas_rows: SparseRowMatrix,
+    det_rows: SparseRowMatrix,
+    obs_rows: SparseRowMatrix,
+    dense_meas: OnceLock<BitMatrix>,
+    event_index: OnceLock<EventIndex>,
+}
+
+/// Precomputed structure for [`SamplingMethod::Hybrid`]: the coin-only
+/// restriction of the measurement matrix plus, for every fault symbol, the
+/// list of measurement rows it appears in.
+#[derive(Debug)]
+struct EventIndex {
+    /// Measurement rows over remapped columns: 0 = constant, `k` = the
+    /// k-th coin (1-based).
+    coin_rows: SparseRowMatrix,
+    /// `sym_cols[id]` = measurement rows containing fault symbol `id`
+    /// (empty for coins).
+    sym_cols: Vec<Vec<u32>>,
+    num_coins: usize,
+}
+
+impl EventIndex {
+    fn build(table: &SymbolTable, rows: &SparseRowMatrix) -> Self {
+        let len = table.assignment_len();
+        // coin_rank[id] = 1-based coin index, 0 for fault symbols.
+        let mut coin_rank = vec![0u32; len];
+        let mut num_coins = 0u32;
+        for g in table.groups() {
+            if let SymbolGroup::Coin { id } = g {
+                num_coins += 1;
+                coin_rank[*id as usize] = num_coins;
+            }
+        }
+        let mut coin_rows = SparseRowMatrix::new(num_coins as usize + 1);
+        let mut sym_cols = vec![Vec::new(); len];
+        for (r, row) in rows.iter().enumerate() {
+            let mut coin_part = Vec::new();
+            for &c in row.indices() {
+                if c == 0 {
+                    coin_part.push(0);
+                } else if coin_rank[c as usize] != 0 {
+                    coin_part.push(coin_rank[c as usize]);
+                } else {
+                    sym_cols[c as usize].push(r as u32);
+                }
+            }
+            coin_rows.push_row(SparseBitVec::from_indices(coin_part));
+        }
+        Self {
+            coin_rows,
+            sym_cols,
+            num_coins: num_coins as usize,
+        }
+    }
+}
+
+impl SymPhaseSampler {
+    /// Runs Initialization, choosing the phase store per circuit
+    /// ([`PhaseRepr::Auto`]).
+    pub fn new(circuit: &Circuit) -> Self {
+        Self::with_repr(circuit, PhaseRepr::Auto)
+    }
+
+    /// Runs Initialization with an explicit phase-store choice.
+    pub fn with_repr(circuit: &Circuit, repr: PhaseRepr) -> Self {
+        let init: InitResult = match repr.resolve(circuit) {
+            PhaseRepr::Sparse => initialize::<SparsePhases>(circuit),
+            PhaseRepr::Dense | PhaseRepr::Auto => initialize::<DensePhases>(circuit),
+        };
+        Self::from_init(circuit, init)
+    }
+
+    fn from_init(circuit: &Circuit, init: InitResult) -> Self {
+        let cols = init.table.assignment_len();
+        let mut meas_rows = SparseRowMatrix::new(cols);
+        for e in &init.measurements {
+            meas_rows.push_row(e.to_sparse_row());
+        }
+        let build_derived = |sets: Vec<Vec<usize>>| {
+            let mut rows = SparseRowMatrix::new(cols);
+            for set in sets {
+                let mut acc = SymExpr::zero();
+                for m in set {
+                    acc.xor_assign(&init.measurements[m]);
+                }
+                rows.push_row(acc.to_sparse_row());
+            }
+            rows
+        };
+        let det_rows = build_derived(detector_measurement_sets(circuit));
+        let obs_rows = build_derived(observable_measurement_sets(circuit));
+        Self {
+            table: init.table,
+            measurement_exprs: init.measurements,
+            meas_rows,
+            det_rows,
+            obs_rows,
+            dense_meas: OnceLock::new(),
+            event_index: OnceLock::new(),
+        }
+    }
+
+    /// Number of measurement outcomes per shot.
+    pub fn num_measurements(&self) -> usize {
+        self.measurement_exprs.len()
+    }
+
+    /// Number of detectors.
+    pub fn num_detectors(&self) -> usize {
+        self.det_rows.rows()
+    }
+
+    /// Number of observables.
+    pub fn num_observables(&self) -> usize {
+        self.obs_rows.rows()
+    }
+
+    /// The symbol registry built during Initialization.
+    pub fn symbol_table(&self) -> &SymbolTable {
+        &self.table
+    }
+
+    /// The symbolic expression of measurement `m` — which coins and faults
+    /// flip it (the fault-sensitivity view of paper Fig. 1).
+    pub fn measurement_expr(&self, m: usize) -> SymExpr {
+        self.measurement_exprs[m].clone()
+    }
+
+    /// All measurement expressions in record order.
+    pub fn measurement_exprs(&self) -> &[SymExpr] {
+        &self.measurement_exprs
+    }
+
+    /// The symbolic expression of detector `d`. Coins always cancel here;
+    /// only fault symbols remain, which is exactly the circuit's
+    /// detector-error structure.
+    pub fn detector_expr(&self, d: usize) -> SymExpr {
+        SymExpr::from_sparse_row(self.det_rows.row(d))
+    }
+
+    /// The symbolic expression of observable `o`.
+    pub fn observable_expr(&self, o: usize) -> SymExpr {
+        SymExpr::from_sparse_row(self.obs_rows.row(o))
+    }
+
+    /// The measurement matrix `M` in sparse form.
+    pub fn measurement_matrix(&self) -> &SparseRowMatrix {
+        &self.meas_rows
+    }
+
+    /// The detector rows (XORs of measurement rows) in sparse form.
+    pub fn detector_rows(&self) -> &SparseRowMatrix {
+        &self.det_rows
+    }
+
+    /// The observable rows in sparse form.
+    pub fn observable_rows(&self) -> &SparseRowMatrix {
+        &self.obs_rows
+    }
+
+    /// Sampling (Algorithm 1, line 2): draws `shots` assignment vectors and
+    /// multiplies. Output is measurement-major (`num_measurements × shots`).
+    pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> BitMatrix {
+        self.sample_with_method(shots, rng, SamplingMethod::default())
+    }
+
+    /// Shots per internal batch: keeps the assignment matrix `B` small
+    /// enough to stay cache-resident while still packing 64 shots per word.
+    const SHOT_BATCH: usize = 4096;
+
+    /// Sampling with an explicit multiplication strategy.
+    pub fn sample_with_method(
+        &self,
+        shots: usize,
+        rng: &mut impl Rng,
+        method: SamplingMethod,
+    ) -> BitMatrix {
+        let mut out = BitMatrix::zeros(self.meas_rows.rows(), shots);
+        for start in (0..shots).step_by(Self::SHOT_BATCH) {
+            let width = Self::SHOT_BATCH.min(shots - start);
+            match method {
+                SamplingMethod::Hybrid => {
+                    self.sample_hybrid_into(&mut out, start, width, rng);
+                }
+                SamplingMethod::SparseRows => {
+                    let b = self.table.sample_assignments(width, rng);
+                    self.meas_rows.mul_dense_into(&b, &mut out, start / 64);
+                }
+                SamplingMethod::DenseMatMul => {
+                    let b = self.table.sample_assignments(width, rng);
+                    let dense = self.dense_meas.get_or_init(|| self.meas_rows.to_dense());
+                    copy_columns(&dense.mul(&b), &mut out, start);
+                }
+            }
+        }
+        out
+    }
+
+    /// Samples measurements, detectors and observables from one shared
+    /// assignment draw (columns are shot-aligned across the three
+    /// matrices).
+    pub fn sample_batch(&self, shots: usize, rng: &mut impl Rng) -> SampleBatch {
+        let mut measurements = BitMatrix::zeros(self.meas_rows.rows(), shots);
+        let mut detectors = BitMatrix::zeros(self.det_rows.rows(), shots);
+        let mut observables = BitMatrix::zeros(self.obs_rows.rows(), shots);
+        for start in (0..shots).step_by(Self::SHOT_BATCH) {
+            let width = Self::SHOT_BATCH.min(shots - start);
+            let b = self.table.sample_assignments(width, rng);
+            self.meas_rows.mul_dense_into(&b, &mut measurements, start / 64);
+            self.det_rows.mul_dense_into(&b, &mut detectors, start / 64);
+            self.obs_rows.mul_dense_into(&b, &mut observables, start / 64);
+        }
+        SampleBatch {
+            measurements,
+            detectors,
+            observables,
+        }
+    }
+}
+
+impl SymPhaseSampler {
+    /// The [`SamplingMethod::Hybrid`] inner loop for one shot window.
+    fn sample_hybrid_into(
+        &self,
+        out: &mut BitMatrix,
+        start: usize,
+        width: usize,
+        rng: &mut impl Rng,
+    ) {
+        use symphase_bitmat::bernoulli::for_each_bernoulli_index;
+        let idx = self
+            .event_index
+            .get_or_init(|| EventIndex::build(&self.table, &self.meas_rows));
+
+        // Coins fire half the time: handle them with the dense product.
+        let mut coins = BitMatrix::zeros(idx.num_coins + 1, width);
+        let cstride = coins.stride();
+        {
+            let tail = symphase_bitmat::word::tail_mask(width);
+            let row0 = &mut coins.words_mut()[..cstride];
+            row0.iter_mut().for_each(|w| *w = !0);
+            if let Some(last) = row0.last_mut() {
+                *last &= tail;
+            }
+        }
+        for k in 1..=idx.num_coins {
+            let words = &mut coins.words_mut()[k * cstride..(k + 1) * cstride];
+            fill_bernoulli(words, width, 0.5, rng);
+        }
+        debug_assert_eq!(start % 64, 0, "batch starts must be word-aligned");
+        idx.coin_rows.mul_dense_into(&coins, out, start / 64);
+
+        // Fault symbols: per fired event, flip the affected measurements.
+        let ostride = out.stride();
+        let words = out.words_mut();
+        let mut fired: Vec<usize> = Vec::new();
+        let flip_all = |cols: &[u32], shot: usize, words: &mut [u64]| {
+            let col = start + shot;
+            for &m in cols {
+                words[m as usize * ostride + col / 64] ^= 1u64 << (col % 64);
+            }
+        };
+        for group in self.table.groups() {
+            match *group {
+                SymbolGroup::Coin { .. } => {}
+                SymbolGroup::Bernoulli { id, p } => {
+                    let cols = &idx.sym_cols[id as usize];
+                    if cols.is_empty() {
+                        continue;
+                    }
+                    fired.clear();
+                    for_each_bernoulli_index(p, width, rng, |s| fired.push(s));
+                    for &shot in &fired {
+                        flip_all(cols, shot, words);
+                    }
+                }
+                SymbolGroup::Depolarize1 { x_id, z_id, p } => {
+                    let xc = &idx.sym_cols[x_id as usize];
+                    let zc = &idx.sym_cols[z_id as usize];
+                    if xc.is_empty() && zc.is_empty() {
+                        continue;
+                    }
+                    fired.clear();
+                    for_each_bernoulli_index(p, width, rng, |s| fired.push(s));
+                    for &shot in &fired {
+                        match rng.random_range(0..3u32) {
+                            0 => flip_all(xc, shot, words), // X
+                            1 => {
+                                flip_all(xc, shot, words); // Y
+                                flip_all(zc, shot, words);
+                            }
+                            _ => flip_all(zc, shot, words), // Z
+                        }
+                    }
+                }
+                SymbolGroup::Depolarize2 { ids, p } => {
+                    if ids.iter().all(|&id| idx.sym_cols[id as usize].is_empty()) {
+                        continue;
+                    }
+                    fired.clear();
+                    for_each_bernoulli_index(p, width, rng, |s| fired.push(s));
+                    for &shot in &fired {
+                        let k = rng.random_range(1..16u32);
+                        for (j, &id) in ids.iter().enumerate() {
+                            if k & (1 << j) != 0 {
+                                flip_all(&idx.sym_cols[id as usize], shot, words);
+                            }
+                        }
+                    }
+                }
+                SymbolGroup::PauliChannel1 {
+                    x_id,
+                    z_id,
+                    px,
+                    py,
+                    pz,
+                } => {
+                    let xc = &idx.sym_cols[x_id as usize];
+                    let zc = &idx.sym_cols[z_id as usize];
+                    if xc.is_empty() && zc.is_empty() {
+                        continue;
+                    }
+                    let total = px + py + pz;
+                    fired.clear();
+                    for_each_bernoulli_index(total, width, rng, |s| fired.push(s));
+                    for &shot in &fired {
+                        let u: f64 = rng.random::<f64>() * total;
+                        if u < px + py {
+                            flip_all(xc, shot, words);
+                        }
+                        if u >= px {
+                            flip_all(zc, shot, words);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Copies `partial` (a shot window) into `out` starting at shot column
+/// `start`; `start` must be word-aligned (the batch size is a multiple of
+/// 64).
+fn copy_columns(partial: &BitMatrix, out: &mut BitMatrix, start: usize) {
+    debug_assert_eq!(start % 64, 0, "batch starts must be word-aligned");
+    let word_off = start / 64;
+    let pstride = partial.stride();
+    let ostride = out.stride();
+    for r in 0..partial.rows() {
+        let dst = &mut out.words_mut()[r * ostride + word_off..r * ostride + word_off + pstride];
+        dst.copy_from_slice(partial.row(r));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use symphase_circuit::generators::{
+        bell_pair, ghz, repetition_code_memory, teleportation, RepetitionCodeConfig,
+    };
+    use symphase_circuit::NoiseChannel;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn bell_pair_correlated_and_fair() {
+        let s = SymPhaseSampler::new(&bell_pair());
+        let shots = 20_000;
+        let out = s.sample(shots, &mut rng(1));
+        let mut ones = 0usize;
+        for shot in 0..shots {
+            assert_eq!(out.get(0, shot), out.get(1, shot));
+            ones += usize::from(out.get(0, shot));
+        }
+        assert!((ones as f64 - shots as f64 / 2.0).abs() < 6.0 * (shots as f64 / 4.0).sqrt());
+    }
+
+    #[test]
+    fn ghz_shots_internally_consistent() {
+        let s = SymPhaseSampler::new(&ghz(5));
+        let out = s.sample(300, &mut rng(2));
+        for shot in 0..300 {
+            let v = out.get(0, shot);
+            for q in 1..5 {
+                assert_eq!(out.get(q, shot), v);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_multiplication_agree() {
+        let c = repetition_code_memory(&RepetitionCodeConfig {
+            distance: 4,
+            rounds: 3,
+            data_error: 0.1,
+            measure_error: 0.05,
+        });
+        let s = SymPhaseSampler::new(&c);
+        let a = s.sample_with_method(500, &mut rng(3), SamplingMethod::SparseRows);
+        let b = s.sample_with_method(500, &mut rng(3), SamplingMethod::DenseMatMul);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dense_and_sparse_phase_stores_agree() {
+        let c = repetition_code_memory(&RepetitionCodeConfig {
+            distance: 3,
+            rounds: 2,
+            data_error: 0.2,
+            measure_error: 0.1,
+        });
+        let s1 = SymPhaseSampler::with_repr(&c, PhaseRepr::Sparse);
+        let s2 = SymPhaseSampler::with_repr(&c, PhaseRepr::Dense);
+        assert_eq!(s1.measurement_exprs(), s2.measurement_exprs());
+    }
+
+    #[test]
+    fn teleportation_last_outcome_always_zero() {
+        let s = SymPhaseSampler::new(&teleportation());
+        let out = s.sample(2000, &mut rng(4));
+        for shot in 0..2000 {
+            assert!(!out.get(2, shot));
+        }
+    }
+
+    #[test]
+    fn noiseless_detectors_never_fire() {
+        let c = repetition_code_memory(&RepetitionCodeConfig {
+            distance: 5,
+            rounds: 4,
+            data_error: 0.0,
+            measure_error: 0.0,
+        });
+        let s = SymPhaseSampler::new(&c);
+        let batch = s.sample_batch(400, &mut rng(5));
+        assert_eq!(batch.detectors.count_ones(), 0);
+        assert_eq!(batch.observables.count_ones(), 0);
+    }
+
+    #[test]
+    fn detector_expressions_contain_no_coins() {
+        let c = repetition_code_memory(&RepetitionCodeConfig {
+            distance: 3,
+            rounds: 3,
+            data_error: 0.01,
+            measure_error: 0.01,
+        });
+        let s = SymPhaseSampler::new(&c);
+        let coin_ids: std::collections::HashSet<u32> = s
+            .symbol_table()
+            .groups()
+            .iter()
+            .filter_map(|g| match g {
+                crate::symbol::SymbolGroup::Coin { id } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        for d in 0..s.num_detectors() {
+            let e = s.detector_expr(d);
+            assert!(!e.constant_term(), "detector {d} has constant term");
+            for &id in e.symbol_ids() {
+                assert!(!coin_ids.contains(&id), "detector {d} depends on coin s{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn detectors_fire_at_noise_dependent_rate() {
+        let p = 0.15;
+        let c = repetition_code_memory(&RepetitionCodeConfig {
+            distance: 3,
+            rounds: 2,
+            data_error: p,
+            measure_error: 0.0,
+        });
+        let s = SymPhaseSampler::new(&c);
+        let shots = 50_000;
+        let batch = s.sample_batch(shots, &mut rng(6));
+        // First-round detector d0 = data0 ⊕ data2 flips: fires iff exactly
+        // one of the two X faults hit: 2p(1−p).
+        let expect = 2.0 * p * (1.0 - p) * shots as f64;
+        let fired = (0..shots).filter(|&i| batch.detectors.get(0, i)).count();
+        assert!(
+            (fired as f64 - expect).abs() < 6.0 * expect.sqrt() + 20.0,
+            "detector rate {fired} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn x_error_rate_propagates() {
+        let mut c = Circuit::new(1);
+        c.noise(NoiseChannel::XError(0.1), &[0]);
+        c.noise(NoiseChannel::XError(0.1), &[0]);
+        c.measure(0);
+        let s = SymPhaseSampler::new(&c);
+        // Outcome = s1 ⊕ s2: fires with 2·0.1·0.9 = 0.18.
+        assert_eq!(s.measurement_expr(0).to_string(), "s1 ⊕ s2");
+        let shots = 100_000;
+        let out = s.sample(shots, &mut rng(7));
+        let ones = (0..shots).filter(|&i| out.get(0, i)).count();
+        let expect = 0.18 * shots as f64;
+        assert!((ones as f64 - expect).abs() < 6.0 * (expect * 0.82).sqrt());
+    }
+
+    #[test]
+    fn empty_circuit_samples_empty() {
+        let c = Circuit::new(3);
+        let s = SymPhaseSampler::new(&c);
+        let out = s.sample(10, &mut rng(8));
+        assert_eq!(out.rows(), 0);
+        assert_eq!(out.cols(), 10);
+    }
+}

@@ -1,0 +1,34 @@
+//! Pauli-frame batch sampling — the baseline the paper compares against.
+//!
+//! This crate reimplements the sampling architecture of Stim [Gidney 2021],
+//! which the paper's Table 1 lists as "Stim's": a noiseless *reference
+//! sample* is computed once with the stabilizer tableau, then each shot
+//! propagates a Pauli *frame* (the difference between the noisy and
+//! noiseless state) through the circuit [Rall et al. 2019]. Sixty-four
+//! shots travel per machine word.
+//!
+//! Per-shot sampling cost is `O(n_g + n_m + n_p)` — it grows with the
+//! number of gates. That is exactly the term Algorithm 1 (crate
+//! `symphase-core`) removes, which is the paper's headline comparison
+//! (Fig. 3).
+//!
+//! # Example
+//!
+//! ```
+//! use symphase_circuit::generators::bell_pair;
+//! use symphase_frame::FrameSampler;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let sampler = FrameSampler::new(&bell_pair());
+//! let samples = sampler.sample(256, &mut StdRng::seed_from_u64(5));
+//! for shot in 0..256 {
+//!     assert_eq!(samples.get(0, shot), samples.get(1, shot));
+//! }
+//! ```
+
+mod batch;
+mod sampler;
+
+pub use batch::FrameBatch;
+pub use sampler::FrameSampler;

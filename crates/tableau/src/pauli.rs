@@ -1,0 +1,340 @@
+//! Packed n-qubit Pauli strings with sign tracking.
+
+use std::fmt;
+
+use symphase_bitmat::BitVec;
+use symphase_circuit::PauliKind;
+
+/// An `n`-qubit Pauli string `i^e · X^x Z^z` with per-qubit x/z bit-vectors
+/// and a global phase exponent mod 4.
+///
+/// Used for extracting stabilizer generators from a tableau, the invariant
+/// verifier, and tests; the simulators themselves use column-packed storage.
+///
+/// # Example
+///
+/// ```
+/// use symphase_tableau::PauliString;
+///
+/// let a: PauliString = "+XXI".parse()?;
+/// let b: PauliString = "+ZZI".parse()?;
+/// assert!(a.commutes_with(&b));
+/// let prod = a.mul(&b);
+/// assert_eq!(prod.to_string(), "-YYI");
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    x: BitVec,
+    z: BitVec,
+    /// Power of `i` in `i^e · X^x Z^z` form.
+    phase_exp: u8,
+}
+
+impl PauliString {
+    /// The identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            x: BitVec::zeros(n),
+            z: BitVec::zeros(n),
+            phase_exp: 0,
+        }
+    }
+
+    /// Builds from x/z bit-vectors and a physical sign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn from_xz(x: BitVec, z: BitVec, negative: bool) -> Self {
+        assert_eq!(x.len(), z.len(), "x/z length mismatch");
+        // Physical sign (−1)^neg · Π P_q; each Y contributes i to the XZ form.
+        let ys = {
+            let mut t = x.clone();
+            t.and_assign(&z);
+            t.count_ones()
+        };
+        let phase_exp = ((ys % 4) as u8 + if negative { 2 } else { 0 }) % 4;
+        Self { x, z, phase_exp }
+    }
+
+    /// Number of qubits.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` for the zero-qubit string.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// The Pauli at qubit `q` (`None` for identity).
+    pub fn pauli_at(&self, q: usize) -> Option<PauliKind> {
+        match (self.x.get(q), self.z.get(q)) {
+            (false, false) => None,
+            (true, false) => Some(PauliKind::X),
+            (true, true) => Some(PauliKind::Y),
+            (false, true) => Some(PauliKind::Z),
+        }
+    }
+
+    /// Sets the Pauli at qubit `q`.
+    pub fn set_pauli(&mut self, q: usize, p: Option<PauliKind>) {
+        // Remove the old Y's implicit i, add the new one's.
+        if self.x.get(q) && self.z.get(q) {
+            self.phase_exp = (self.phase_exp + 3) % 4;
+        }
+        let (x, z) = p.map_or((false, false), PauliKind::xz);
+        self.x.set(q, x);
+        self.z.set(q, z);
+        if x && z {
+            self.phase_exp = (self.phase_exp + 1) % 4;
+        }
+    }
+
+    /// `true` if the physical sign is `-1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string has an imaginary prefactor (cannot happen for
+    /// stabilizer-group elements).
+    pub fn sign_is_negative(&self) -> bool {
+        let ys = {
+            let mut t = self.x.clone();
+            t.and_assign(&self.z);
+            t.count_ones()
+        };
+        let e = (self.phase_exp as usize + 4 - ys % 4) % 4;
+        assert!(e % 2 == 0, "Pauli string has imaginary phase");
+        e == 2
+    }
+
+    /// Flips the physical sign.
+    pub fn negate(&mut self) {
+        self.phase_exp = (self.phase_exp + 2) % 4;
+    }
+
+    /// Borrow of the X bit-vector.
+    pub fn x_bits(&self) -> &BitVec {
+        &self.x
+    }
+
+    /// Borrow of the Z bit-vector.
+    pub fn z_bits(&self) -> &BitVec {
+        &self.z
+    }
+
+    /// `true` if `self` and `other` commute (symplectic product is even).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        !(self.x.dot(&other.z) ^ self.z.dot(&other.x))
+    }
+
+    /// The product `self · other` with exact phase tracking, computed with
+    /// word-parallel popcounts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn mul(&self, other: &PauliString) -> PauliString {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        // (X^x1 Z^z1)(X^x2 Z^z2): moving X^x2 through Z^z1 costs (−1)^(z1·x2).
+        let anti = self
+            .z
+            .words()
+            .iter()
+            .zip(other.x.words())
+            .fold(0u32, |acc, (a, b)| acc.wrapping_add((a & b).count_ones()));
+        let mut x = self.x.clone();
+        x.xor_assign(&other.x);
+        let mut z = self.z.clone();
+        z.xor_assign(&other.z);
+        PauliString {
+            x,
+            z,
+            phase_exp: ((self.phase_exp as u32 + other.phase_exp as u32 + 2 * anti) % 4) as u8,
+        }
+    }
+
+    /// The power of `i` in the `i^e · X^x Z^z` form (mod 4). Products of
+    /// anticommuting strings are imaginary in this form even though each
+    /// factor is real.
+    pub fn phase_exponent(&self) -> u8 {
+        self.phase_exp
+    }
+
+    /// Number of non-identity Paulis.
+    pub fn weight(&self) -> usize {
+        let mut t = self.x.clone();
+        t.or_assign(&self.z);
+        t.count_ones()
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", if self.sign_is_negative() { '-' } else { '+' })?;
+        for q in 0..self.len() {
+            let c = match self.pauli_at(q) {
+                None => 'I',
+                Some(PauliKind::X) => 'X',
+                Some(PauliKind::Y) => 'Y',
+                Some(PauliKind::Z) => 'Z',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PauliString({self})")
+    }
+}
+
+impl std::str::FromStr for PauliString {
+    type Err = String;
+
+    /// Parses strings like `"+XIZ"`, `"-YY"`, or `"XZ"` (implicit `+`).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (neg, body) = match s.as_bytes().first() {
+            Some(b'+') => (false, &s[1..]),
+            Some(b'-') => (true, &s[1..]),
+            _ => (false, s),
+        };
+        let n = body.len();
+        let mut p = PauliString::identity(n);
+        for (q, ch) in body.chars().enumerate() {
+            let kind = match ch {
+                'I' | '_' => None,
+                'X' => Some(PauliKind::X),
+                'Y' => Some(PauliKind::Y),
+                'Z' => Some(PauliKind::Z),
+                _ => return Err(format!("invalid Pauli character '{ch}'")),
+            };
+            p.set_pauli(q, kind);
+        }
+        if neg {
+            p.negate();
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["+XIZ", "-YY", "+IIII", "-XYZI"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+        assert_eq!(p("XZ").to_string(), "+XZ");
+    }
+
+    #[test]
+    fn single_qubit_products() {
+        // Products of anticommuting Paulis are imaginary: X·Z = −iY, i.e.
+        // (x=1, z=1, e=0) in i^e·X^xZ^z form (Y itself is e=1).
+        let case = |a: &str, b: &str, x: bool, z: bool, e: u8| {
+            let prod = p(a).mul(&p(b));
+            assert_eq!(
+                (prod.x_bits().get(0), prod.z_bits().get(0), prod.phase_exponent()),
+                (x, z, e),
+                "{a}·{b}"
+            );
+        };
+        case("X", "Z", true, true, 0); // −iY
+        case("Z", "X", true, true, 2); // +iY
+        case("X", "Y", false, true, 1); // +iZ
+        case("Y", "X", false, true, 3); // −iZ
+        case("Y", "Z", true, false, 1); // +iX
+        case("Z", "Y", true, false, 3); // −iX
+        assert_eq!(p("X").mul(&p("X")).to_string(), "+I");
+        assert_eq!(p("Y").mul(&p("Y")).to_string(), "+I");
+        // (XZ)² = −I confirms the −i prefactor of XZ.
+        let xz = p("X").mul(&p("Z"));
+        assert_eq!(xz.mul(&xz).to_string(), "-I");
+    }
+
+    #[test]
+    fn multi_qubit_products_and_signs() {
+        assert_eq!(p("+XXI").mul(&p("+ZZI")).to_string(), "-YYI");
+        assert_eq!(p("-XI").mul(&p("+XI")).to_string(), "-II");
+        assert_eq!(p("+XZ").mul(&p("+ZX")).to_string(), "+YY");
+    }
+
+    #[test]
+    fn commutation() {
+        assert!(p("XX").commutes_with(&p("ZZ")));
+        assert!(!p("XI").commutes_with(&p("ZI")));
+        assert!(p("XI").commutes_with(&p("IZ")));
+        // X↔Y and Z↔X anticommute at two positions: overall they commute.
+        assert!(p("XYZ").commutes_with(&p("YYX")));
+        // A single anticommuting position makes the strings anticommute.
+        assert!(!p("XYZ").commutes_with(&p("YYZ")));
+    }
+
+    #[test]
+    fn anticommuting_product_order_flips_sign() {
+        let a = p("XI");
+        let b = p("ZI");
+        let ab = a.mul(&b);
+        let mut ba = b.mul(&a);
+        ba.negate();
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn mul_is_associative() {
+        let strs = ["+XYZ", "-ZZX", "+YIX", "-XXY"];
+        for a in strs {
+            for b in strs {
+                for c in strs {
+                    let left = p(a).mul(&p(b)).mul(&p(c));
+                    let right = p(a).mul(&p(b).mul(&p(c)));
+                    assert_eq!(left, right, "({a})({b})({c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_counts_support() {
+        assert_eq!(p("+XIZY").weight(), 3);
+        assert_eq!(p("+IIII").weight(), 0);
+    }
+
+    #[test]
+    fn set_pauli_tracks_phase() {
+        let mut q = PauliString::identity(2);
+        q.set_pauli(0, Some(PauliKind::Y));
+        assert_eq!(q.to_string(), "+YI");
+        q.set_pauli(0, Some(PauliKind::X));
+        assert_eq!(q.to_string(), "+XI");
+        q.set_pauli(0, None);
+        assert_eq!(q.to_string(), "+II");
+    }
+
+    #[test]
+    fn from_xz_sign_roundtrip() {
+        let s = p("-XYZ");
+        let rebuilt = PauliString::from_xz(s.x_bits().clone(), s.z_bits().clone(), true);
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn invalid_parse_rejected() {
+        assert!("+XQ".parse::<PauliString>().is_err());
+    }
+}

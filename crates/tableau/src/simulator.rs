@@ -1,0 +1,360 @@
+//! Single-shot concrete tableau simulation and reference sampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use symphase_bitmat::BitVec;
+use symphase_circuit::{Circuit, Gate, Instruction, NoiseChannel, PauliKind};
+
+use crate::phases::{ConcretePhases, PhaseStore};
+use crate::tableau::{Collapse, Tableau};
+
+/// A single-shot stabilizer simulator with concrete phases: the classic
+/// Aaronson–Gottesman algorithm, including Pauli noise sampled during the
+/// traversal, resets, and classically-controlled Paulis.
+///
+/// Sampling `k` shots with this simulator traverses the circuit `k` times —
+/// the cost model Algorithm 1 avoids. It is the correctness anchor for the
+/// faster engines.
+///
+/// # Example
+///
+/// ```
+/// use symphase_circuit::generators::ghz;
+/// use symphase_tableau::TableauSimulator;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let record = TableauSimulator::new(4, StdRng::seed_from_u64(7)).run(&ghz(4));
+/// // All four GHZ outcomes agree.
+/// assert!(record.iter_ones().count() == 0 || record.iter_ones().count() == 4);
+/// ```
+#[derive(Debug)]
+pub struct TableauSimulator<R: Rng> {
+    n: usize,
+    rng: R,
+}
+
+impl<R: Rng> TableauSimulator<R> {
+    /// Creates a simulator for `num_qubits` qubits driven by `rng`.
+    pub fn new(num_qubits: usize, rng: R) -> Self {
+        Self { n: num_qubits, rng }
+    }
+
+    /// Runs one shot of `circuit` from `|0…0⟩` and returns the measurement
+    /// record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit references more qubits than the simulator has.
+    pub fn run(&mut self, circuit: &Circuit) -> BitVec {
+        assert!(
+            circuit.num_qubits() as usize <= self.n,
+            "circuit needs {} qubits, simulator has {}",
+            circuit.num_qubits(),
+            self.n
+        );
+        run_once(self.n, circuit, &mut self.rng, false)
+    }
+}
+
+/// Computes the canonical noiseless *reference sample*: noise instructions
+/// are skipped and every random measurement outcome is fixed to 0 (exactly
+/// the convention of Algorithm 1's Init-M and of the Pauli-frame baseline).
+pub fn reference_sample(circuit: &Circuit) -> BitVec {
+    // RNG is never consulted in reference mode.
+    let mut rng = StdRng::seed_from_u64(0);
+    run_once(circuit.num_qubits() as usize, circuit, &mut rng, true)
+}
+
+fn run_once(n: usize, circuit: &Circuit, rng: &mut impl Rng, reference: bool) -> BitVec {
+    let mut tab: Tableau<ConcretePhases> = Tableau::new(n);
+    let mut record = BitVec::new();
+    for inst in circuit.instructions() {
+        match inst {
+            Instruction::Gate { gate, targets } => tab.apply_gate(*gate, targets),
+            Instruction::Measure { targets } => {
+                for &q in targets {
+                    let m = measure(&mut tab, q as usize, rng, reference);
+                    record.push(m);
+                }
+            }
+            Instruction::Reset { targets } => {
+                for &q in targets {
+                    let m = measure(&mut tab, q as usize, rng, reference);
+                    if m {
+                        tab.apply_gate(Gate::X, &[q]);
+                    }
+                }
+            }
+            Instruction::MeasureReset { targets } => {
+                for &q in targets {
+                    let m = measure(&mut tab, q as usize, rng, reference);
+                    record.push(m);
+                    if m {
+                        tab.apply_gate(Gate::X, &[q]);
+                    }
+                }
+            }
+            Instruction::Noise { channel, targets } => {
+                if !reference {
+                    apply_noise(&mut tab, *channel, targets, rng);
+                }
+            }
+            Instruction::Feedback {
+                pauli,
+                lookback,
+                target,
+            } => {
+                let idx = record.len() as i64 + lookback;
+                assert!(idx >= 0, "lookback validated at construction");
+                if record.get(idx as usize) {
+                    let gate = match pauli {
+                        PauliKind::X => Gate::X,
+                        PauliKind::Y => Gate::Y,
+                        PauliKind::Z => Gate::Z,
+                    };
+                    tab.apply_gate(gate, &[*target]);
+                }
+            }
+            Instruction::Detector { .. }
+            | Instruction::ObservableInclude { .. }
+            | Instruction::Tick => {}
+        }
+    }
+    record
+}
+
+fn measure(
+    tab: &mut Tableau<ConcretePhases>,
+    q: usize,
+    rng: &mut impl Rng,
+    reference: bool,
+) -> bool {
+    match tab.collapse_z(q) {
+        Collapse::Random { pivot } => {
+            let outcome = if reference { false } else { rng.random() };
+            tab.phases_mut().set_constant_bit(pivot, outcome);
+            outcome
+        }
+        Collapse::Deterministic => {
+            tab.accumulate_deterministic(q);
+            tab.phases().constant_bit(tab.scratch_row())
+        }
+    }
+}
+
+/// Samples and applies one realization of a noise channel (trajectory
+/// simulation).
+fn apply_noise(
+    tab: &mut Tableau<ConcretePhases>,
+    channel: NoiseChannel,
+    targets: &[u32],
+    rng: &mut impl Rng,
+) {
+    match channel {
+        NoiseChannel::XError(p) => {
+            for &q in targets {
+                if rng.random_bool(p) {
+                    tab.apply_gate(Gate::X, &[q]);
+                }
+            }
+        }
+        NoiseChannel::YError(p) => {
+            for &q in targets {
+                if rng.random_bool(p) {
+                    tab.apply_gate(Gate::Y, &[q]);
+                }
+            }
+        }
+        NoiseChannel::ZError(p) => {
+            for &q in targets {
+                if rng.random_bool(p) {
+                    tab.apply_gate(Gate::Z, &[q]);
+                }
+            }
+        }
+        NoiseChannel::Depolarize1(p) => {
+            for &q in targets {
+                if rng.random_bool(p) {
+                    let gate = [Gate::X, Gate::Y, Gate::Z][rng.random_range(0..3)];
+                    tab.apply_gate(gate, &[q]);
+                }
+            }
+        }
+        NoiseChannel::Depolarize2(p) => {
+            for pair in targets.chunks_exact(2) {
+                if rng.random_bool(p) {
+                    // One of the 15 non-identity two-qubit Paulis.
+                    let k = rng.random_range(1..16u32);
+                    for (bit_x, bit_z, q) in
+                        [(k & 1, k & 2, pair[0]), (k & 4, k & 8, pair[1])]
+                    {
+                        match (bit_x != 0, bit_z != 0) {
+                            (true, false) => tab.apply_gate(Gate::X, &[q]),
+                            (true, true) => tab.apply_gate(Gate::Y, &[q]),
+                            (false, true) => tab.apply_gate(Gate::Z, &[q]),
+                            (false, false) => {}
+                        }
+                    }
+                }
+            }
+        }
+        NoiseChannel::PauliChannel1 { px, py, pz } => {
+            for &q in targets {
+                let u: f64 = rng.random();
+                if u < px {
+                    tab.apply_gate(Gate::X, &[q]);
+                } else if u < px + py {
+                    tab.apply_gate(Gate::Y, &[q]);
+                } else if u < px + py + pz {
+                    tab.apply_gate(Gate::Z, &[q]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symphase_circuit::generators::{bell_pair, ghz, teleportation};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn bell_outcomes_agree_and_vary() {
+        let c = bell_pair();
+        let mut ones = 0;
+        for seed in 0..64 {
+            let rec = TableauSimulator::new(2, rng(seed)).run(&c);
+            assert_eq!(rec.get(0), rec.get(1), "Bell outcomes must agree");
+            ones += usize::from(rec.get(0));
+        }
+        assert!(ones > 10 && ones < 54, "Bell outcome should be ~fair, got {ones}/64");
+    }
+
+    #[test]
+    fn ghz_outcomes_all_equal() {
+        let c = ghz(6);
+        for seed in 0..16 {
+            let rec = TableauSimulator::new(6, rng(seed)).run(&c);
+            let count = rec.iter_ones().count();
+            assert!(count == 0 || count == 6);
+        }
+    }
+
+    #[test]
+    fn reference_sample_fixes_random_outcomes_to_zero() {
+        let c = bell_pair();
+        let r = reference_sample(&c);
+        assert!(!r.get(0) && !r.get(1));
+    }
+
+    #[test]
+    fn reference_sample_keeps_deterministic_values() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        c.measure(0);
+        assert!(reference_sample(&c).get(0));
+    }
+
+    #[test]
+    fn reference_sample_skips_noise() {
+        let mut c = Circuit::new(1);
+        c.noise(NoiseChannel::XError(1.0), &[0]);
+        c.measure(0);
+        assert!(!reference_sample(&c).get(0));
+        // ... but a real run applies it.
+        let rec = TableauSimulator::new(1, rng(1)).run(&c);
+        assert!(rec.get(0));
+    }
+
+    #[test]
+    fn teleportation_always_verifies() {
+        let c = teleportation();
+        for seed in 0..32 {
+            let rec = TableauSimulator::new(3, rng(seed)).run(&c);
+            assert!(!rec.get(2), "teleportation verification failed (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        c.reset(0);
+        c.measure(0);
+        let rec = TableauSimulator::new(1, rng(3)).run(&c);
+        assert!(!rec.get(0));
+    }
+
+    #[test]
+    fn reset_of_entangled_qubit() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c.reset(0);
+        c.measure(0);
+        let rec = TableauSimulator::new(2, rng(4)).run(&c);
+        assert!(!rec.get(0));
+    }
+
+    #[test]
+    fn measure_reset_records_then_clears() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        c.measure_reset(0);
+        c.measure(0);
+        let rec = TableauSimulator::new(1, rng(5)).run(&c);
+        assert!(rec.get(0));
+        assert!(!rec.get(1));
+    }
+
+    #[test]
+    fn deterministic_noise_probability_one() {
+        let mut c = Circuit::new(2);
+        c.noise(NoiseChannel::ZError(1.0), &[0]); // Z on |0⟩: no effect
+        c.noise(NoiseChannel::XError(1.0), &[1]);
+        c.measure_all();
+        let rec = TableauSimulator::new(2, rng(6)).run(&c);
+        assert!(!rec.get(0));
+        assert!(rec.get(1));
+    }
+
+    #[test]
+    fn feedback_applies_conditionally() {
+        // Measure |1⟩, then feedback-X another qubit: it must flip.
+        let mut c = Circuit::new(2);
+        c.x(0);
+        c.measure(0);
+        c.feedback(PauliKind::X, -1, 1);
+        c.measure(1);
+        let rec = TableauSimulator::new(2, rng(7)).run(&c);
+        assert!(rec.get(0) && rec.get(1));
+
+        // Measure |0⟩: feedback must not fire.
+        let mut c = Circuit::new(2);
+        c.measure(0);
+        c.feedback(PauliKind::X, -1, 1);
+        c.measure(1);
+        let rec = TableauSimulator::new(2, rng(8)).run(&c);
+        assert!(!rec.get(0) && !rec.get(1));
+    }
+
+    #[test]
+    fn depolarize2_probability_one_changes_state_sometimes() {
+        // With p = 1 a non-identity Pauli is applied; measuring in Z basis
+        // detects X components ~ often. Just check it runs and stays valid.
+        let mut c = Circuit::new(2);
+        c.noise(NoiseChannel::Depolarize2(1.0), &[0, 1]);
+        c.measure_all();
+        let mut flips = 0;
+        for seed in 0..40 {
+            let rec = TableauSimulator::new(2, rng(seed)).run(&c);
+            flips += rec.iter_ones().count();
+        }
+        assert!(flips > 0, "two-qubit depolarizing never flipped anything");
+    }
+}

@@ -1,0 +1,109 @@
+//! Stabilizer-tableau invariant checking.
+//!
+//! A valid destabilizer/stabilizer tableau satisfies, for all `i ≠ j`:
+//!
+//! * stabilizers commute pairwise, destabilizers commute pairwise;
+//! * destabilizer `i` anticommutes with stabilizer `i` and commutes with
+//!   stabilizer `j`;
+//! * the 2n rows are linearly independent over F₂ (full rank 2n).
+//!
+//! These checks are phase-independent, so they apply to both concrete and
+//! symbolic tableaux; property tests run them after every mutation.
+
+use symphase_bitmat::{gauss, BitMatrix};
+
+use crate::phases::PhaseStore;
+use crate::tableau::Tableau;
+
+/// Checks all tableau invariants.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn check_invariants<P: PhaseStore>(tab: &Tableau<P>) -> Result<(), String> {
+    let n = tab.num_qubits();
+    // Symplectic products via per-row bit extraction (test-path code; no
+    // need for word parallelism here).
+    let sym = |a: usize, b: usize| -> bool {
+        // true = anticommute
+        let mut acc = false;
+        for q in 0..n {
+            acc ^= (tab.x_bit(a, q) & tab.z_bit(b, q)) ^ (tab.z_bit(a, q) & tab.x_bit(b, q));
+        }
+        acc
+    };
+
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && sym(n + i, n + j) {
+                return Err(format!("stabilizers {i} and {j} anticommute"));
+            }
+            if i != j && sym(i, j) {
+                return Err(format!("destabilizers {i} and {j} anticommute"));
+            }
+        }
+    }
+    for i in 0..n {
+        if !sym(i, n + i) {
+            return Err(format!("destabilizer {i} commutes with stabilizer {i}"));
+        }
+        for j in 0..n {
+            if i != j && sym(i, n + j) {
+                return Err(format!("destabilizer {i} anticommutes with stabilizer {j}"));
+            }
+        }
+    }
+
+    // Full rank of the 2n × 2n check matrix.
+    let m = BitMatrix::from_fn(2 * n, 2 * n, |r, c| {
+        if c < n {
+            tab.x_bit(r, c)
+        } else {
+            tab.z_bit(r, c - n)
+        }
+    });
+    if gauss::rank(&m) != 2 * n {
+        return Err("tableau rows are linearly dependent".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::{ConcretePhases, PhaseStore};
+    use crate::tableau::Collapse;
+    use symphase_circuit::Gate;
+
+    #[test]
+    fn fresh_tableau_is_valid() {
+        let t: Tableau<ConcretePhases> = Tableau::new(5);
+        check_invariants(&t).unwrap();
+    }
+
+    #[test]
+    fn corrupted_tableau_detected() {
+        let mut t: Tableau<ConcretePhases> = Tableau::new(2);
+        // Make stabilizer 0 equal to stabilizer 1 by brute force: apply a
+        // CX and then manually break a row via collapse misuse is awkward;
+        // instead check that a duplicated-row matrix is caught by rank.
+        t.apply_gate(Gate::H, &[0]);
+        t.apply_gate(Gate::Cx, &[0, 1]);
+        check_invariants(&t).unwrap();
+        // Clearing a stabilizer row (turning it into identity) breaks rank
+        // and the anticommutation pairing.
+        t.clear_row(2);
+        assert!(check_invariants(&t).is_err());
+    }
+
+    #[test]
+    fn invariants_survive_measurement() {
+        let mut t: Tableau<ConcretePhases> = Tableau::new(3);
+        t.apply_gate(Gate::H, &[0]);
+        t.apply_gate(Gate::Cx, &[0, 1, 1, 2]);
+        if let Collapse::Random { pivot } = t.collapse_z(1) {
+            t.phases_mut().set_constant_bit(pivot, true);
+        }
+        check_invariants(&t).unwrap();
+    }
+}

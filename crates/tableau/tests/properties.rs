@@ -1,0 +1,165 @@
+//! Property tests for the tableau simulator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use symphase_circuit::{Circuit, Gate};
+use symphase_tableau::verify::check_invariants;
+use symphase_tableau::{reference_sample, Collapse, ConcretePhases, PhaseStore, Tableau, TableauSimulator};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Gate1(usize, usize),
+    Gate2(usize, usize, usize),
+    Measure(usize),
+}
+
+const G1: [Gate; 12] = [
+    Gate::X,
+    Gate::Y,
+    Gate::Z,
+    Gate::H,
+    Gate::S,
+    Gate::SDag,
+    Gate::SqrtX,
+    Gate::SqrtXDag,
+    Gate::SqrtY,
+    Gate::SqrtYDag,
+    Gate::CXyz,
+    Gate::HYz,
+];
+const G2: [Gate; 4] = [Gate::Cx, Gate::Cy, Gate::Cz, Gate::Swap];
+
+fn ops_strategy(n: usize) -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0usize..12, 0..n).prop_map(|(g, q)| Op::Gate1(g, q)),
+        (0usize..4, 0..n, 1..n).prop_map(move |(g, a, off)| Op::Gate2(g, a, (a + off) % n)),
+        (0..n).prop_map(Op::Measure),
+    ];
+    proptest::collection::vec(op, 1..80)
+}
+
+fn apply_ops(tab: &mut Tableau<ConcretePhases>, ops: &[Op], coin_seed: u64) {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(coin_seed);
+    for op in ops {
+        match *op {
+            Op::Gate1(g, q) => tab.apply_gate(G1[g], &[q as u32]),
+            Op::Gate2(g, a, b) => {
+                if a != b {
+                    tab.apply_gate(G2[g], &[a as u32, b as u32]);
+                }
+            }
+            Op::Measure(q) => match tab.collapse_z(q) {
+                Collapse::Random { pivot } => {
+                    let coin: bool = rng.random();
+                    tab.phases_mut().set_constant_bit(pivot, coin);
+                }
+                Collapse::Deterministic => tab.accumulate_deterministic(q),
+            },
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The group-theoretic tableau invariants survive any operation
+    /// sequence.
+    #[test]
+    fn invariants_always_hold(ops in ops_strategy(7), seed in any::<u64>()) {
+        let mut tab: Tableau<ConcretePhases> = Tableau::new(7);
+        apply_ops(&mut tab, &ops, seed);
+        prop_assert!(check_invariants(&tab).is_ok());
+    }
+
+    /// Applying a gate then its inverse restores every generator.
+    #[test]
+    fn gate_inverse_roundtrip(
+        ops in ops_strategy(6),
+        seed in any::<u64>(),
+        g1 in 0usize..12,
+        q in 0usize..6,
+    ) {
+        let mut tab: Tableau<ConcretePhases> = Tableau::new(6);
+        apply_ops(&mut tab, &ops, seed);
+        let before: Vec<String> = (0..6).map(|i| tab.stabilizer(i).to_string()).collect();
+        let gate = G1[g1];
+        tab.apply_gate(gate, &[q as u32]);
+        tab.apply_gate(gate.inverse(), &[q as u32]);
+        let after: Vec<String> = (0..6).map(|i| tab.stabilizer(i).to_string()).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Measuring the same qubit twice in a row gives the same outcome, and
+    /// the second collapse is always deterministic.
+    #[test]
+    fn repeated_measurement_is_stable(ops in ops_strategy(5), seed in any::<u64>(), q in 0usize..5) {
+        let mut tab: Tableau<ConcretePhases> = Tableau::new(5);
+        apply_ops(&mut tab, &ops, seed);
+        let first = match tab.collapse_z(q) {
+            Collapse::Random { pivot } => {
+                tab.phases_mut().set_constant_bit(pivot, true);
+                true
+            }
+            Collapse::Deterministic => {
+                tab.accumulate_deterministic(q);
+                tab.phases().constant_bit(tab.scratch_row())
+            }
+        };
+        // Second measurement must be deterministic and equal.
+        prop_assert_eq!(tab.collapse_z(q), Collapse::Deterministic);
+        tab.accumulate_deterministic(q);
+        prop_assert_eq!(tab.phases().constant_bit(tab.scratch_row()), first);
+    }
+
+    /// The reference sample is reproducible and independent of simulator
+    /// RNG state.
+    #[test]
+    fn reference_sample_is_deterministic(ops in ops_strategy(5)) {
+        let mut c = Circuit::new(5);
+        for op in &ops {
+            match *op {
+                Op::Gate1(g, q) => {
+                    c.gate(G1[g], &[q as u32]);
+                }
+                Op::Gate2(g, a, b) => {
+                    if a != b {
+                        c.gate(G2[g], &[a as u32, b as u32]);
+                    }
+                }
+                Op::Measure(q) => {
+                    c.measure(q as u32);
+                }
+            }
+        }
+        c.measure_all();
+        prop_assert_eq!(reference_sample(&c), reference_sample(&c));
+    }
+
+    /// Two simulators with the same seed produce identical records.
+    #[test]
+    fn seeded_runs_are_reproducible(ops in ops_strategy(5), seed in any::<u64>()) {
+        let mut c = Circuit::new(5);
+        for op in &ops {
+            match *op {
+                Op::Gate1(g, q) => {
+                    c.gate(G1[g], &[q as u32]);
+                }
+                Op::Gate2(g, a, b) => {
+                    if a != b {
+                        c.gate(G2[g], &[a as u32, b as u32]);
+                    }
+                }
+                Op::Measure(q) => {
+                    c.measure(q as u32);
+                }
+            }
+        }
+        c.measure_all();
+        let a = TableauSimulator::new(5, StdRng::seed_from_u64(seed)).run(&c);
+        let b = TableauSimulator::new(5, StdRng::seed_from_u64(seed)).run(&c);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,62 @@
+//! Rotated surface-code memory: detector statistics and fault sensitivity.
+//!
+//! Builds distance-3 and distance-5 rotated surface-code memory circuits,
+//! samples their detectors with SymPhase, and prints per-round detector
+//! firing rates plus the symbolic structure of a few detectors (which
+//! physical faults each one sees).
+//!
+//! Run with: `cargo run --release --example surface_code`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use symphase::circuit::generators::{surface_code_memory, SurfaceCodeConfig};
+use symphase::core::SymPhaseSampler;
+
+fn main() {
+    let shots = 50_000;
+    for d in [3usize, 5] {
+        let rounds = d;
+        let p = 0.01;
+        let c = surface_code_memory(&SurfaceCodeConfig {
+            distance: d,
+            rounds,
+            data_error: p,
+            measure_error: p,
+        });
+        let stats = c.stats();
+        println!(
+            "d={d}: {} qubits, {} gates, {} measurements, {} detectors, {} noise sites",
+            c.num_qubits(),
+            stats.gates,
+            stats.measurements,
+            c.num_detectors(),
+            stats.noise_sites
+        );
+
+        let sampler = SymPhaseSampler::new(&c);
+        let batch = sampler.sample_batch(shots, &mut StdRng::seed_from_u64(d as u64));
+
+        // Average detector firing rate (syndrome density).
+        let fired = batch.detectors.count_ones();
+        let rate = fired as f64 / (sampler.num_detectors() * shots) as f64;
+        println!("  mean detector firing rate at p={p}: {rate:.4}");
+
+        // Logical observable flip rate without decoding (raw).
+        let flips = (0..shots).filter(|&s| batch.observables.get(0, s)).count();
+        println!(
+            "  undecoded logical flip rate: {:.4}",
+            flips as f64 / shots as f64
+        );
+
+        // Show the fault-sensitivity of the first few detectors.
+        println!("  symbolic detector structure (first 3):");
+        for det in 0..3.min(sampler.num_detectors()) {
+            let e = sampler.detector_expr(det);
+            println!("    D{det}: {} fault symbols, e.g. {}", e.weight(), e);
+        }
+        println!();
+    }
+    println!("expected shape: firing rates grow with p and are stable in d;");
+    println!("detector expressions contain only fault symbols (coins cancel).");
+}

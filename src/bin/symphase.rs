@@ -1,0 +1,17 @@
+//! The `symphase` CLI binary: sample, analyze, and extract error models
+//! from stabilizer circuits in the Stim-like text format.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match symphase::cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            if e.code == 0 {
+                print!("{e}");
+            } else {
+                eprintln!("error: {e}");
+            }
+            std::process::exit(e.code);
+        }
+    }
+}

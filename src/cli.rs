@@ -1,0 +1,253 @@
+//! The `symphase` command-line interface.
+//!
+//! A Stim-like CLI over the circuit text format:
+//!
+//! ```text
+//! symphase sample    -c circuit.stim --shots 1000 [--format 01|counts] [--seed N] [--engine symphase|frame]
+//! symphase detect    -c circuit.stim --shots 1000 [--seed N]
+//! symphase analyze   -c circuit.stim
+//! symphase dem       -c circuit.stim
+//! symphase reference -c circuit.stim
+//! ```
+//!
+//! The logic lives here (rather than in `main`) so the test suite can run
+//! commands in-process.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use symphase_circuit::Circuit;
+use symphase_core::SymPhaseSampler;
+use symphase_frame::FrameSampler;
+use symphase_tableau::reference_sample;
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable description.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn fail(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: 2,
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: symphase <command> [options]
+
+commands:
+  sample     sample measurement records        (--shots, --seed, --format, --engine)
+  detect     sample detectors and observables  (--shots, --seed)
+  analyze    print circuit statistics and symbolic measurement expressions
+  dem        print the detector error model
+  reference  print the noiseless reference sample
+
+options:
+  -c, --circuit <path>   circuit file in the Stim-like text format ('-' = stdin)
+      --shots <n>        number of samples (default 10)
+      --seed <n>         RNG seed (default 0)
+      --format <f>       sample output: 01 (default) or counts
+      --engine <e>       sampler: symphase (default) or frame
+";
+
+/// Parsed command-line options.
+#[derive(Debug, Default)]
+struct Options {
+    command: String,
+    circuit_path: Option<String>,
+    shots: usize,
+    seed: u64,
+    format: String,
+    engine: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, CliError> {
+    let mut opts = Options {
+        shots: 10,
+        format: "01".into(),
+        engine: "symphase".into(),
+        ..Options::default()
+    };
+    let mut it = args.iter();
+    opts.command = it.next().cloned().ok_or_else(|| fail(USAGE))?;
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, CliError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| fail(format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "-c" | "--circuit" => opts.circuit_path = Some(value("--circuit")?),
+            "--shots" => {
+                opts.shots = value("--shots")?
+                    .parse()
+                    .map_err(|_| fail("--shots must be an integer"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| fail("--seed must be an integer"))?;
+            }
+            "--format" => opts.format = value("--format")?,
+            "--engine" => opts.engine = value("--engine")?,
+            "-h" | "--help" => return Err(CliError { message: USAGE.into(), code: 0 }),
+            other => return Err(fail(format!("unknown option '{other}'\n{USAGE}"))),
+        }
+    }
+    Ok(opts)
+}
+
+fn load_circuit(opts: &Options) -> Result<Circuit, CliError> {
+    let path = opts
+        .circuit_path
+        .as_deref()
+        .ok_or_else(|| fail("missing --circuit"))?;
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| fail(format!("reading stdin: {e}")))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| fail(format!("reading {path}: {e}")))?
+    };
+    Circuit::parse(&text).map_err(|e| fail(format!("parse error: {e}")))
+}
+
+/// Runs a CLI invocation and returns its stdout content.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a message and exit code on bad usage, I/O
+/// failure, or parse errors.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_args(args)?;
+    match opts.command.as_str() {
+        "sample" => cmd_sample(&opts),
+        "detect" => cmd_detect(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "dem" => cmd_dem(&opts),
+        "reference" => cmd_reference(&opts),
+        other => Err(fail(format!("unknown command '{other}'\n{USAGE}"))),
+    }
+}
+
+fn render_01(samples: &symphase_bitmat::BitMatrix) -> String {
+    let mut out = String::with_capacity(samples.cols() * (samples.rows() + 1));
+    for shot in 0..samples.cols() {
+        for m in 0..samples.rows() {
+            out.push(if samples.get(m, shot) { '1' } else { '0' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn render_counts(samples: &symphase_bitmat::BitMatrix) -> String {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for shot in 0..samples.cols() {
+        let key: String = (0..samples.rows())
+            .map(|m| if samples.get(m, shot) { '1' } else { '0' })
+            .collect();
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    for (k, v) in counts {
+        let _ = writeln!(out, "{k} {v}");
+    }
+    out
+}
+
+fn cmd_sample(opts: &Options) -> Result<String, CliError> {
+    let circuit = load_circuit(opts)?;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let samples = match opts.engine.as_str() {
+        "symphase" => SymPhaseSampler::new(&circuit).sample(opts.shots, &mut rng),
+        "frame" => FrameSampler::new(&circuit).sample(opts.shots, &mut rng),
+        other => return Err(fail(format!("unknown engine '{other}'"))),
+    };
+    match opts.format.as_str() {
+        "01" => Ok(render_01(&samples)),
+        "counts" => Ok(render_counts(&samples)),
+        other => Err(fail(format!("unknown format '{other}'"))),
+    }
+}
+
+fn cmd_detect(opts: &Options) -> Result<String, CliError> {
+    let circuit = load_circuit(opts)?;
+    let sampler = SymPhaseSampler::new(&circuit);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let batch = sampler.sample_batch(opts.shots, &mut rng);
+    let mut out = String::new();
+    for shot in 0..opts.shots {
+        for d in 0..batch.detectors.rows() {
+            out.push(if batch.detectors.get(d, shot) { '1' } else { '0' });
+        }
+        if batch.observables.rows() > 0 {
+            out.push(' ');
+            for o in 0..batch.observables.rows() {
+                out.push(if batch.observables.get(o, shot) { '1' } else { '0' });
+            }
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn cmd_analyze(opts: &Options) -> Result<String, CliError> {
+    let circuit = load_circuit(opts)?;
+    let stats = circuit.stats();
+    let sampler = SymPhaseSampler::new(&circuit);
+    let mut out = String::new();
+    let _ = writeln!(out, "qubits:        {}", circuit.num_qubits());
+    let _ = writeln!(out, "gates:         {}", stats.gates);
+    let _ = writeln!(out, "measurements:  {}", stats.measurements);
+    let _ = writeln!(out, "noise sites:   {}", stats.noise_sites);
+    let _ = writeln!(out, "noise symbols: {}", stats.noise_symbols);
+    let _ = writeln!(out, "detectors:     {}", circuit.num_detectors());
+    let _ = writeln!(out, "observables:   {}", circuit.num_observables());
+    let _ = writeln!(out, "coins:         {}", sampler.symbol_table().num_coins());
+    let _ = writeln!(out, "\nmeasurement expressions:");
+    for (m, e) in sampler.measurement_exprs().iter().enumerate() {
+        let _ = writeln!(out, "  m{m} = {e}");
+    }
+    if sampler.num_detectors() > 0 {
+        let _ = writeln!(out, "\ndetector expressions:");
+        for d in 0..sampler.num_detectors() {
+            let _ = writeln!(out, "  D{d} = {}", sampler.detector_expr(d));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_dem(opts: &Options) -> Result<String, CliError> {
+    let circuit = load_circuit(opts)?;
+    let sampler = SymPhaseSampler::new(&circuit);
+    Ok(sampler.detector_error_model().to_string())
+}
+
+fn cmd_reference(opts: &Options) -> Result<String, CliError> {
+    let circuit = load_circuit(opts)?;
+    let r = reference_sample(&circuit);
+    let mut out: String = (0..r.len()).map(|m| if r.get(m) { '1' } else { '0' }).collect();
+    out.push('\n');
+    Ok(out)
+}

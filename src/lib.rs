@@ -1,0 +1,52 @@
+//! SymPhase: phase symbolization for fast simulation of stabilizer circuits.
+//!
+//! A Rust reproduction of *"SymPhase: Phase Symbolization for Fast
+//! Simulation of Stabilizer Circuits"* (Fang & Ying, DAC 2024,
+//! arXiv:2311.03906). This facade crate re-exports the whole workspace:
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`circuit`] | Circuit IR, Stim-like text format, workload generators |
+//! | [`core`] | **Algorithm 1**: the SymPhase sampler (symbolic phases) |
+//! | [`frame`] | Stim-style Pauli-frame baseline sampler |
+//! | [`tableau`] | Aaronson–Gottesman tableau simulator & reference samples |
+//! | [`statevec`] | Dense ground-truth simulator for validation |
+//! | [`bitmat`] | Packed F₂ linear algebra and the Fig. 2 tableau layouts |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use symphase::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // A noisy GHZ circuit in the Stim-like text format.
+//! let circuit = Circuit::parse(
+//!     "H 0\nCX 0 1\nCX 1 2\nX_ERROR(0.1) 0 1 2\nM 0 1 2\n",
+//! )?;
+//!
+//! // Initialization: one traversal; Sampling: one matrix multiplication.
+//! let sampler = SymPhaseSampler::new(&circuit);
+//! let samples = sampler.sample(10_000, &mut StdRng::seed_from_u64(42));
+//! assert_eq!(samples.rows(), 3);
+//! assert_eq!(samples.cols(), 10_000);
+//! # Ok::<(), symphase::circuit::ParseCircuitError>(())
+//! ```
+
+pub mod cli;
+
+pub use symphase_bitmat as bitmat;
+pub use symphase_circuit as circuit;
+pub use symphase_core as core;
+pub use symphase_frame as frame;
+pub use symphase_statevec as statevec;
+pub use symphase_tableau as tableau;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use symphase_bitmat::{BitMatrix, BitVec};
+    pub use symphase_circuit::{Circuit, Gate, Instruction, NoiseChannel, PauliKind};
+    pub use symphase_core::{PhaseRepr, SampleBatch, SamplingMethod, SymExpr, SymPhaseSampler};
+    pub use symphase_frame::FrameSampler;
+    pub use symphase_tableau::{reference_sample, TableauSimulator};
+}

@@ -1,0 +1,129 @@
+//! In-process tests of the `symphase` CLI.
+
+use std::io::Write;
+
+use symphase::cli::run;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn write_circuit(content: &str) -> tempfile_lite::TempPath {
+    tempfile_lite::write(content)
+}
+
+/// A minimal self-cleaning temp-file helper (no external crates).
+mod tempfile_lite {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    pub struct TempPath(pub PathBuf);
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    impl TempPath {
+        pub fn as_str(&self) -> &str {
+            self.0.to_str().expect("utf-8 path")
+        }
+    }
+
+    pub fn write(content: &str) -> TempPath {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "symphase-cli-test-{}-{n}.stim",
+            std::process::id()
+        ));
+        let mut f = std::fs::File::create(&path).expect("create temp file");
+        super::Write::write_all(&mut f, content.as_bytes()).expect("write temp file");
+        TempPath(path)
+    }
+}
+
+#[test]
+fn sample_01_deterministic_circuit() {
+    let f = write_circuit("X 0\nM 0 1\n");
+    let out = run(&args(&["sample", "-c", f.as_str(), "--shots", "3"])).expect("runs");
+    assert_eq!(out, "10\n10\n10\n");
+}
+
+#[test]
+fn sample_counts_format() {
+    let f = write_circuit("X 0\nM 0\n");
+    let out = run(&args(&["sample", "-c", f.as_str(), "--shots", "5", "--format", "counts"]))
+        .expect("runs");
+    assert_eq!(out, "1 5\n");
+}
+
+#[test]
+fn sample_frame_engine_agrees_on_deterministic() {
+    let f = write_circuit("X 0\nCX 0 1\nM 0 1\n");
+    let a = run(&args(&["sample", "-c", f.as_str(), "--shots", "2", "--engine", "frame"]))
+        .expect("runs");
+    assert_eq!(a, "11\n11\n");
+}
+
+#[test]
+fn analyze_reports_expressions() {
+    let f = write_circuit("H 0\nCX 0 1\nX_ERROR(0.25) 1\nM 0 1\n");
+    let out = run(&args(&["analyze", "-c", f.as_str()])).expect("runs");
+    assert!(out.contains("qubits:        2"));
+    assert!(out.contains("m0 = s2"));
+    assert!(out.contains("m1 = s1 ⊕ s2"));
+}
+
+#[test]
+fn dem_output() {
+    let f = write_circuit("X_ERROR(0.25) 0\nM 0\nDETECTOR rec[-1]\nOBSERVABLE_INCLUDE(0) rec[-1]\n");
+    let out = run(&args(&["dem", "-c", f.as_str()])).expect("runs");
+    assert_eq!(out, "error(0.25) D0 L0\n");
+}
+
+#[test]
+fn reference_output() {
+    let f = write_circuit("X 0\nH 1\nM 0 1\n");
+    let out = run(&args(&["reference", "-c", f.as_str()])).expect("runs");
+    assert_eq!(out, "10\n"); // random outcome fixed to 0
+}
+
+#[test]
+fn detect_output_shapes() {
+    let f = write_circuit(
+        "X_ERROR(1.0) 0\nM 0 1\nDETECTOR rec[-2]\nDETECTOR rec[-1]\nOBSERVABLE_INCLUDE(0) rec[-2]\n",
+    );
+    let out = run(&args(&["detect", "-c", f.as_str(), "--shots", "2"])).expect("runs");
+    assert_eq!(out, "10 1\n10 1\n");
+}
+
+#[test]
+fn seed_makes_sampling_reproducible() {
+    let f = write_circuit("H 0\nM 0\n");
+    let a = run(&args(&["sample", "-c", f.as_str(), "--shots", "64", "--seed", "7"])).unwrap();
+    let b = run(&args(&["sample", "-c", f.as_str(), "--shots", "64", "--seed", "7"])).unwrap();
+    let c = run(&args(&["sample", "-c", f.as_str(), "--shots", "64", "--seed", "8"])).unwrap();
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn errors_are_reported() {
+    assert!(run(&args(&["sample"])).is_err(), "missing circuit");
+    assert!(run(&args(&["bogus"])).is_err(), "unknown command");
+    let f = write_circuit("FROB 0\n");
+    let e = run(&args(&["sample", "-c", f.as_str()])).unwrap_err();
+    assert!(e.message.contains("parse error"));
+    let e = run(&args(&["sample", "-c", "/nonexistent/x.stim"])).unwrap_err();
+    assert!(e.message.contains("reading"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let e = run(&args(&["sample", "--help"])).unwrap_err();
+    assert_eq!(e.code, 0);
+    assert!(e.message.contains("usage"));
+}

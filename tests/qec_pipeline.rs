@@ -1,0 +1,155 @@
+//! QEC workloads end to end: repetition and surface codes through the
+//! SymPhase sampler, detectors, observables, and a decoder sanity check.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use symphase::circuit::generators::{
+    repetition_code_memory, surface_code_memory, RepetitionCodeConfig, SurfaceCodeConfig,
+};
+use symphase::core::{PhaseRepr, SymPhaseSampler};
+use symphase::frame::FrameSampler;
+use symphase::tableau::record::{detector_matrix, observable_matrix};
+
+#[test]
+fn repetition_code_detectors_match_frame_records() {
+    // The frame sampler produces raw records; detector evaluation on those
+    // records must match SymPhase's directly sampled detectors in
+    // distribution. Compare firing rates per detector.
+    let c = repetition_code_memory(&RepetitionCodeConfig {
+        distance: 5,
+        rounds: 3,
+        data_error: 0.05,
+        measure_error: 0.02,
+    });
+    let shots = 60_000;
+
+    let sym = SymPhaseSampler::new(&c);
+    let batch = sym.sample_batch(shots, &mut StdRng::seed_from_u64(1));
+
+    let frame = FrameSampler::new(&c);
+    let records = frame.sample(shots, &mut StdRng::seed_from_u64(2));
+    let dets = detector_matrix(&c, &records);
+    let obs = observable_matrix(&c, &records);
+
+    assert_eq!(batch.detectors.rows(), dets.rows());
+    for d in 0..dets.rows() {
+        let a = (0..shots).filter(|&s| batch.detectors.get(d, s)).count() as f64;
+        let b = (0..shots).filter(|&s| dets.get(d, s)).count() as f64;
+        let p = (a + b) / (2.0 * shots as f64);
+        let tol = 6.0 * (2.0 * shots as f64 * p.max(0.001) * (1.0 - p).max(0.001)).sqrt() + 5.0;
+        assert!((a - b).abs() < tol, "detector {d}: {a} vs {b}");
+    }
+    let a = (0..shots).filter(|&s| batch.observables.get(0, s)).count() as f64;
+    let b = (0..shots).filter(|&s| obs.get(0, s)).count() as f64;
+    assert!((a - b).abs() < 6.0 * (shots as f64 * 0.25).sqrt() + 5.0, "observable: {a} vs {b}");
+}
+
+#[test]
+fn repetition_code_majority_decoder_suppresses_errors() {
+    // Logical error rate must drop with distance (below the p=1/2
+    // threshold of the repetition code).
+    let shots = 40_000;
+    let p = 0.08;
+    let mut rates = Vec::new();
+    for d in [3usize, 7] {
+        let c = repetition_code_memory(&RepetitionCodeConfig {
+            distance: d,
+            rounds: 1,
+            data_error: p,
+            measure_error: 0.0,
+        });
+        let sym = SymPhaseSampler::new(&c);
+        let samples = sym.sample(shots, &mut StdRng::seed_from_u64(33));
+        let nm = sym.num_measurements();
+        let mut errors = 0usize;
+        for shot in 0..shots {
+            let ones = (nm - d..nm).filter(|&m| samples.get(m, shot)).count();
+            if ones * 2 > d {
+                errors += 1;
+            }
+        }
+        rates.push(errors as f64 / shots as f64);
+    }
+    assert!(
+        rates[1] < rates[0] / 2.0,
+        "distance 7 ({}) must beat distance 3 ({})",
+        rates[1],
+        rates[0]
+    );
+}
+
+#[test]
+fn surface_code_noiseless_rounds_are_silent() {
+    let c = surface_code_memory(&SurfaceCodeConfig {
+        distance: 3,
+        rounds: 3,
+        data_error: 0.0,
+        measure_error: 0.0,
+    });
+    for repr in [PhaseRepr::Sparse, PhaseRepr::Dense] {
+        let sym = SymPhaseSampler::with_repr(&c, repr);
+        let batch = sym.sample_batch(2_000, &mut StdRng::seed_from_u64(7));
+        assert_eq!(batch.detectors.count_ones(), 0, "noiseless detectors fired ({repr:?})");
+        assert_eq!(batch.observables.count_ones(), 0, "noiseless logical flipped ({repr:?})");
+    }
+}
+
+#[test]
+fn surface_code_detector_rate_grows_with_noise() {
+    let shots = 20_000;
+    let rate_at = |p: f64| {
+        let c = surface_code_memory(&SurfaceCodeConfig {
+            distance: 3,
+            rounds: 2,
+            data_error: p,
+            measure_error: p,
+        });
+        let sym = SymPhaseSampler::new(&c);
+        let batch = sym.sample_batch(shots, &mut StdRng::seed_from_u64(11));
+        batch.detectors.count_ones() as f64 / (sym.num_detectors() * shots) as f64
+    };
+    let low = rate_at(0.002);
+    let high = rate_at(0.02);
+    assert!(low > 0.0, "some detectors must fire at p=0.002");
+    assert!(high > 4.0 * low, "rate must grow roughly linearly: {low} vs {high}");
+}
+
+#[test]
+fn surface_code_detectors_match_frame_records() {
+    let c = surface_code_memory(&SurfaceCodeConfig {
+        distance: 3,
+        rounds: 2,
+        data_error: 0.01,
+        measure_error: 0.01,
+    });
+    let shots = 40_000;
+    let sym = SymPhaseSampler::new(&c);
+    let batch = sym.sample_batch(shots, &mut StdRng::seed_from_u64(21));
+    let frame = FrameSampler::new(&c);
+    let records = frame.sample(shots, &mut StdRng::seed_from_u64(22));
+    let dets = detector_matrix(&c, &records);
+    for d in 0..dets.rows() {
+        let a = (0..shots).filter(|&s| batch.detectors.get(d, s)).count() as f64;
+        let b = (0..shots).filter(|&s| dets.get(d, s)).count() as f64;
+        let p = (a + b) / (2.0 * shots as f64);
+        let tol = 6.0 * (2.0 * shots as f64 * p.max(0.001) * (1.0 - p).max(0.001)).sqrt() + 5.0;
+        assert!((a - b).abs() < tol, "detector {d}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn phase_reprs_agree_exactly_on_qec_circuit() {
+    let c = repetition_code_memory(&RepetitionCodeConfig {
+        distance: 6,
+        rounds: 5,
+        data_error: 0.03,
+        measure_error: 0.01,
+    });
+    let a = SymPhaseSampler::with_repr(&c, PhaseRepr::Sparse);
+    let b = SymPhaseSampler::with_repr(&c, PhaseRepr::Dense);
+    assert_eq!(a.measurement_exprs(), b.measurement_exprs());
+    for d in 0..a.num_detectors() {
+        assert_eq!(a.detector_expr(d), b.detector_expr(d));
+    }
+}

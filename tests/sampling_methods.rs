@@ -1,0 +1,90 @@
+//! Equivalence of the three Sampling strategies (Hybrid, SparseRows,
+//! DenseMatMul) and of the parser → sampler pipeline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use symphase::circuit::generators::fig3c_circuit;
+use symphase::circuit::{Circuit, NoiseChannel};
+use symphase::core::{SamplingMethod, SymPhaseSampler};
+
+/// SparseRows and DenseMatMul consume randomness identically, so equal
+/// seeds give bit-identical samples.
+#[test]
+fn sparse_and_dense_bit_identical() {
+    let c = fig3c_circuit(24, 0.01, 5);
+    let s = SymPhaseSampler::new(&c);
+    let a = s.sample_with_method(9_000, &mut StdRng::seed_from_u64(1), SamplingMethod::SparseRows);
+    let b = s.sample_with_method(9_000, &mut StdRng::seed_from_u64(1), SamplingMethod::DenseMatMul);
+    assert_eq!(a, b);
+}
+
+/// Hybrid consumes randomness differently, so compare distributions: the
+/// per-measurement one-rates must match SparseRows within 6σ.
+#[test]
+fn hybrid_matches_sparse_distribution() {
+    let c = fig3c_circuit(20, 0.05, 9);
+    let s = SymPhaseSampler::new(&c);
+    let shots = 60_000;
+    let a = s.sample_with_method(shots, &mut StdRng::seed_from_u64(2), SamplingMethod::Hybrid);
+    let b = s.sample_with_method(shots, &mut StdRng::seed_from_u64(3), SamplingMethod::SparseRows);
+    for m in 0..s.num_measurements() {
+        let ra = (0..shots).filter(|&i| a.get(m, i)).count() as f64 / shots as f64;
+        let rb = (0..shots).filter(|&i| b.get(m, i)).count() as f64 / shots as f64;
+        let p = (ra + rb) / 2.0;
+        let tol = 6.0 * (2.0 * p.max(0.01) * (1.0 - p).max(0.01) / shots as f64).sqrt() + 1e-9;
+        assert!((ra - rb).abs() < tol, "measurement {m}: {ra} vs {rb}");
+    }
+}
+
+/// Hybrid on deterministic fault patterns is exact: p = 1 errors always
+/// flip, p = 0 never do.
+#[test]
+fn hybrid_exact_on_certain_faults() {
+    let mut c = Circuit::new(2);
+    c.noise(NoiseChannel::XError(1.0), &[0]);
+    c.noise(NoiseChannel::XError(0.0), &[1]);
+    c.measure_all();
+    let s = SymPhaseSampler::new(&c);
+    let out = s.sample_with_method(300, &mut StdRng::seed_from_u64(4), SamplingMethod::Hybrid);
+    for shot in 0..300 {
+        assert!(out.get(0, shot));
+        assert!(!out.get(1, shot));
+    }
+}
+
+/// Multi-batch sampling (shots > the internal 4096 batch) stitches windows
+/// correctly: a deterministic pattern must hold across the whole width.
+#[test]
+fn batching_is_seamless() {
+    let mut c = Circuit::new(2);
+    c.x(0);
+    c.noise(NoiseChannel::YError(1.0), &[1]);
+    c.measure_all();
+    let s = SymPhaseSampler::new(&c);
+    for method in [
+        SamplingMethod::Hybrid,
+        SamplingMethod::SparseRows,
+        SamplingMethod::DenseMatMul,
+    ] {
+        let shots = 4096 * 2 + 1234; // forces three windows, last partial
+        let out = s.sample_with_method(shots, &mut StdRng::seed_from_u64(5), method);
+        assert_eq!(out.cols(), shots);
+        for shot in 0..shots {
+            assert!(out.get(0, shot), "{method:?} lost shot {shot}");
+            assert!(out.get(1, shot), "{method:?} lost shot {shot}");
+        }
+    }
+}
+
+/// Text-format pipeline: parse → sample → check a hand-computable rate.
+#[test]
+fn parse_to_sample_pipeline() {
+    let c = Circuit::parse("H 0\nCX 0 1\nX_ERROR(0.5) 1\nM 0 1\n").expect("parses");
+    let s = SymPhaseSampler::new(&c);
+    let shots = 80_000;
+    let out = s.sample(shots, &mut StdRng::seed_from_u64(6));
+    // m0 fair; m0 ⊕ m1 = fault fires half the time.
+    let disagree = (0..shots).filter(|&i| out.get(0, i) != out.get(1, i)).count() as f64;
+    assert!((disagree - shots as f64 / 2.0).abs() < 6.0 * (shots as f64 / 4.0).sqrt());
+}

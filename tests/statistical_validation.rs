@@ -1,0 +1,177 @@
+//! Statistical cross-validation of all four engines.
+//!
+//! For small circuits the dense state-vector simulator is ground truth.
+//! Each engine samples the same circuit; per-measurement marginals and
+//! pairwise XOR correlations must agree within 6σ (fixed seeds, so the
+//! test is deterministic).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use symphase::circuit::{Circuit, NoiseChannel};
+use symphase::core::SymPhaseSampler;
+use symphase::frame::FrameSampler;
+use symphase::statevec::StateVecSimulator;
+use symphase::tableau::TableauSimulator;
+
+/// Per-measurement one-rates and pairwise XOR rates.
+#[derive(Debug)]
+struct Stats {
+    shots: usize,
+    ones: Vec<f64>,
+    pair_xor: Vec<f64>,
+}
+
+fn collect<F: FnMut() -> Vec<bool>>(nm: usize, shots: usize, mut shot: F) -> Stats {
+    let mut ones = vec![0usize; nm];
+    let npairs = nm * (nm - 1) / 2;
+    let mut pair = vec![0usize; npairs];
+    for _ in 0..shots {
+        let rec = shot();
+        assert_eq!(rec.len(), nm);
+        let mut p = 0;
+        for i in 0..nm {
+            if rec[i] {
+                ones[i] += 1;
+            }
+            for j in i + 1..nm {
+                if rec[i] ^ rec[j] {
+                    pair[p] += 1;
+                }
+                p += 1;
+            }
+        }
+    }
+    Stats {
+        shots,
+        ones: ones.iter().map(|&c| c as f64 / shots as f64).collect(),
+        pair_xor: pair.iter().map(|&c| c as f64 / shots as f64).collect(),
+    }
+}
+
+fn assert_close(a: &Stats, b: &Stats, label: &str) {
+    let tol = |p: f64, n1: usize, n2: usize| {
+        let v = p.max(0.01) * (1.0 - p).max(0.01);
+        6.0 * (v / n1 as f64 + v / n2 as f64).sqrt() + 1e-9
+    };
+    for (i, (&x, &y)) in a.ones.iter().zip(&b.ones).enumerate() {
+        assert!(
+            (x - y).abs() <= tol(x, a.shots, b.shots),
+            "{label}: marginal {i} differs: {x} vs {y}"
+        );
+    }
+    for (i, (&x, &y)) in a.pair_xor.iter().zip(&b.pair_xor).enumerate() {
+        assert!(
+            (x - y).abs() <= tol(x, a.shots, b.shots),
+            "{label}: pair XOR {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+fn validate(circuit: &Circuit, shots: usize, statevec_shots: usize, label: &str) {
+    let nm = circuit.num_measurements();
+    let n = circuit.num_qubits() as usize;
+
+    // Ground truth: dense state vector (fewer shots — it is slow).
+    let mut sv_rng = StateVecSimulator::new(StdRng::seed_from_u64(101));
+    let sv = collect(nm, statevec_shots, || {
+        let r = sv_rng.run(circuit);
+        (0..nm).map(|m| r.get(m)).collect()
+    });
+
+    // Single-shot tableau.
+    let mut tsim = TableauSimulator::new(n, StdRng::seed_from_u64(202));
+    let tb = collect(nm, shots, || {
+        let r = tsim.run(circuit);
+        (0..nm).map(|m| r.get(m)).collect()
+    });
+
+    // Frame batch sampler.
+    let frame = FrameSampler::new(circuit);
+    let fsamples = frame.sample(shots, &mut StdRng::seed_from_u64(303));
+    let mut col = 0usize;
+    let fr = collect(nm, shots, || {
+        let rec = (0..nm).map(|m| fsamples.get(m, col)).collect();
+        col += 1;
+        rec
+    });
+
+    // SymPhase sampler (hybrid default).
+    let sym = SymPhaseSampler::new(circuit);
+    let ssamples = sym.sample(shots, &mut StdRng::seed_from_u64(404));
+    let mut col = 0usize;
+    let sp = collect(nm, shots, || {
+        let rec = (0..nm).map(|m| ssamples.get(m, col)).collect();
+        col += 1;
+        rec
+    });
+
+    assert_close(&tb, &sv, &format!("{label}: tableau vs statevec"));
+    assert_close(&fr, &sv, &format!("{label}: frame vs statevec"));
+    assert_close(&sp, &sv, &format!("{label}: symphase vs statevec"));
+    assert_close(&sp, &fr, &format!("{label}: symphase vs frame"));
+}
+
+#[test]
+fn noisy_bell_distribution() {
+    let mut c = Circuit::new(2);
+    c.h(0).cx(0, 1);
+    c.noise(NoiseChannel::Depolarize1(0.2), &[0, 1]);
+    c.measure_all();
+    validate(&c, 40_000, 4_000, "noisy bell");
+}
+
+#[test]
+fn random_clifford_with_mixed_noise() {
+    let c = Circuit::parse(
+        "\
+H 0
+S 1
+CX 0 2
+SQRT_X 1
+X_ERROR(0.3) 0
+CZ 1 2
+Y_ERROR(0.15) 2
+H 1
+PAULI_CHANNEL_1(0.1,0.05,0.2) 1
+M 0
+CX 2 0
+M 2 1
+M 0
+",
+    )
+    .expect("valid circuit");
+    validate(&c, 40_000, 4_000, "mixed noise");
+}
+
+#[test]
+fn mid_circuit_measurement_and_reset() {
+    let mut c = Circuit::new(3);
+    c.h(0).cx(0, 1);
+    c.measure(0);
+    c.reset(0);
+    c.h(0);
+    c.noise(NoiseChannel::XError(0.25), &[1]);
+    c.measure_many(&[0, 1, 2]);
+    validate(&c, 40_000, 4_000, "mid-circuit");
+}
+
+#[test]
+fn feedback_circuit_distribution() {
+    let mut c = Circuit::new(2);
+    c.h(0);
+    c.measure(0);
+    c.feedback(symphase::circuit::PauliKind::X, -1, 1);
+    c.noise(NoiseChannel::XError(0.1), &[1]);
+    c.measure(1);
+    validate(&c, 40_000, 4_000, "feedback");
+}
+
+#[test]
+fn two_qubit_depolarizing_distribution() {
+    let mut c = Circuit::new(2);
+    c.h(0).cx(0, 1);
+    c.noise(NoiseChannel::Depolarize2(0.3), &[0, 1]);
+    c.measure_all();
+    validate(&c, 40_000, 4_000, "depolarize2");
+}

@@ -1,0 +1,135 @@
+//! The paper's worked examples, end to end through the public facade.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use symphase::prelude::*;
+
+/// Paper Fig. 1: GHZ preparation, faults `Z^{s1} X^{s2} X^{s3} X^{s4}`,
+/// un-preparation, measurement. Caption: `m1 = s1, m2 = s2, m3 = s2⊕s3,
+/// m4 = s3⊕s4`.
+#[test]
+fn fig1_expressions_via_text_format() {
+    let circuit = Circuit::parse(
+        "\
+H 0
+CX 0 1
+CX 1 2
+CX 2 3
+Z_ERROR(0.1) 0
+X_ERROR(0.1) 1
+X_ERROR(0.1) 2
+X_ERROR(0.1) 3
+CX 2 3
+CX 1 2
+CX 0 1
+H 0
+M 0 1 2 3
+",
+    )
+    .expect("fig1 circuit parses");
+    let sampler = SymPhaseSampler::new(&circuit);
+    let rendered: Vec<String> = sampler
+        .measurement_exprs()
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+    assert_eq!(rendered, ["s1", "s2", "s2 ⊕ s3", "s3 ⊕ s4"]);
+}
+
+/// Paper §3.1: `H; CX; X^{s1}; X^{s2}; M; M` yields `m1 = s3` (fresh coin)
+/// and `m2 = s1 ⊕ s2 ⊕ s3`.
+#[test]
+fn section31_expressions() {
+    let circuit = Circuit::parse(
+        "\
+H 0
+CX 0 1
+X_ERROR(0.5) 0
+X_ERROR(0.5) 1
+M 0
+M 1
+",
+    )
+    .expect("§3.1 circuit parses");
+    let sampler = SymPhaseSampler::new(&circuit);
+    assert_eq!(sampler.measurement_expr(0).to_string(), "s3");
+    assert_eq!(sampler.measurement_expr(1).to_string(), "s1 ⊕ s2 ⊕ s3");
+}
+
+/// The §3.1 example's joint distribution: m1 fair, and m2 = m1 ⊕ s1 ⊕ s2.
+#[test]
+fn section31_sampled_distribution() {
+    let mut circuit = Circuit::new(2);
+    circuit.h(0).cx(0, 1);
+    circuit.noise(NoiseChannel::XError(0.25), &[0]);
+    circuit.noise(NoiseChannel::XError(0.25), &[1]);
+    circuit.measure(0);
+    circuit.measure(1);
+    let sampler = SymPhaseSampler::new(&circuit);
+    let shots = 100_000;
+    let s = sampler.sample(shots, &mut StdRng::seed_from_u64(9));
+    let mut m1_ones = 0usize;
+    let mut disagree = 0usize;
+    for shot in 0..shots {
+        m1_ones += usize::from(s.get(0, shot));
+        disagree += usize::from(s.get(0, shot) != s.get(1, shot));
+    }
+    // m1 is a fair coin.
+    let dev = (m1_ones as f64 - shots as f64 / 2.0).abs();
+    assert!(dev < 6.0 * (shots as f64 / 4.0).sqrt());
+    // m1 ⊕ m2 = s1 ⊕ s2 fires with 2·p·(1−p) = 0.375.
+    let expect = 0.375 * shots as f64;
+    assert!((disagree as f64 - expect).abs() < 6.0 * (expect * 0.625).sqrt());
+}
+
+/// Fact 1 sanity at the API level: Pauli gates commute with sampling — a
+/// deterministic circuit's samples equal its reference sample everywhere.
+#[test]
+fn deterministic_circuit_reference_consistency() {
+    let circuit = Circuit::parse("X 0\nCX 0 1\nZ 1\nM 0 1\nM 1\n").expect("parses");
+    let reference = reference_sample(&circuit);
+    let sampler = SymPhaseSampler::new(&circuit);
+    // Every expression is constant and equals the reference.
+    for (m, e) in sampler.measurement_exprs().iter().enumerate() {
+        assert!(e.is_constant());
+        assert_eq!(e.constant_term(), reference.get(m));
+    }
+    let frame = FrameSampler::new(&circuit);
+    let fs = frame.sample(500, &mut StdRng::seed_from_u64(5));
+    for m in 0..reference.len() {
+        for shot in 0..500 {
+            assert_eq!(fs.get(m, shot), reference.get(m));
+        }
+    }
+}
+
+/// The reference sample equals the constant term of every symbolic
+/// expression — on an arbitrary noisy circuit (noise off + coins 0).
+#[test]
+fn reference_equals_constant_terms() {
+    let circuit = Circuit::parse(
+        "\
+H 0
+CX 0 1
+DEPOLARIZE1(0.1) 0 1
+X 1
+M 0 1
+R 0
+H 0
+M 0
+CX rec[-1] 1
+M 1
+",
+    )
+    .expect("parses");
+    let reference = reference_sample(&circuit);
+    let sampler = SymPhaseSampler::new(&circuit);
+    for (m, e) in sampler.measurement_exprs().iter().enumerate() {
+        assert_eq!(
+            e.constant_term(),
+            reference.get(m),
+            "constant term of m{m} ({e}) disagrees with the reference sample"
+        );
+    }
+}
