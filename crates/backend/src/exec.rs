@@ -1,0 +1,334 @@
+//! The shared single-shot execution driver.
+//!
+//! The concrete tableau simulator and the dense state-vector simulator
+//! used to duplicate the whole instruction-walk state machine (measure /
+//! reset / measure-reset record bookkeeping, feedback lookback, noise
+//! trajectory sampling). [`run_shot`] is that state machine, written once:
+//! an engine only supplies its representation-specific primitives through
+//! [`ShotState`].
+
+use rand::{Rng, RngCore};
+use symphase_bitmat::BitVec;
+use symphase_circuit::{Circuit, Gate, Instruction, NoiseChannel, PauliKind};
+
+use crate::{record, SampleBatch};
+
+/// The per-representation primitives a single-shot engine provides.
+pub trait ShotState {
+    /// Applies a Clifford gate to broadcast targets.
+    fn apply_gate(&mut self, gate: Gate, targets: &[u32]);
+
+    /// Z-basis measurement of qubit `q`, collapsing the state.
+    ///
+    /// When `reference` is set the engine must fix random outcomes to 0
+    /// (the canonical reference-sample convention); deterministic
+    /// outcomes are returned as-is.
+    fn measure(&mut self, q: u32, rng: &mut dyn RngCore, reference: bool) -> bool;
+
+    /// Applies a concrete Pauli (from a fired noise site or feedback).
+    fn apply_pauli(&mut self, kind: PauliKind, q: u32) {
+        self.apply_gate(pauli_gate(kind), &[q]);
+    }
+}
+
+/// The gate corresponding to a Pauli kind.
+pub fn pauli_gate(kind: PauliKind) -> Gate {
+    match kind {
+        PauliKind::X => Gate::X,
+        PauliKind::Y => Gate::Y,
+        PauliKind::Z => Gate::Z,
+    }
+}
+
+/// Runs one shot of `circuit` on `state` and returns the measurement
+/// record.
+///
+/// With `reference` set, noise instructions are skipped and random
+/// measurement outcomes are fixed to 0 — the noiseless reference-sample
+/// convention shared by Algorithm 1's Init-M and the Pauli-frame baseline.
+///
+/// # Panics
+///
+/// Panics if a feedback lookback reaches before the first measurement
+/// (circuit construction validates this, so only hand-built instruction
+/// streams can trip it).
+pub fn run_shot<S: ShotState + ?Sized>(
+    state: &mut S,
+    circuit: &Circuit,
+    rng: &mut dyn RngCore,
+    reference: bool,
+) -> BitVec {
+    let mut record = BitVec::new();
+    for inst in circuit.instructions() {
+        match inst {
+            Instruction::Gate { gate, targets } => state.apply_gate(*gate, targets),
+            Instruction::Measure { targets } => {
+                for &q in targets {
+                    let m = state.measure(q, rng, reference);
+                    record.push(m);
+                }
+            }
+            Instruction::Reset { targets } => {
+                for &q in targets {
+                    if state.measure(q, rng, reference) {
+                        state.apply_pauli(PauliKind::X, q);
+                    }
+                }
+            }
+            Instruction::MeasureReset { targets } => {
+                for &q in targets {
+                    let m = state.measure(q, rng, reference);
+                    record.push(m);
+                    if m {
+                        state.apply_pauli(PauliKind::X, q);
+                    }
+                }
+            }
+            Instruction::Noise { channel, targets } => {
+                if !reference {
+                    sample_trajectory(*channel, targets, rng, &mut |kind, q| {
+                        state.apply_pauli(kind, q)
+                    });
+                }
+            }
+            Instruction::Feedback {
+                pauli,
+                lookback,
+                target,
+            } => {
+                let idx = record.len() as i64 + lookback;
+                assert!(idx >= 0, "lookback validated at construction");
+                if record.get(idx as usize) {
+                    state.apply_pauli(*pauli, *target);
+                }
+            }
+            Instruction::Detector { .. }
+            | Instruction::ObservableInclude { .. }
+            | Instruction::Tick => {}
+        }
+    }
+    record
+}
+
+/// The shared batch adapter for per-shot engines (tableau, statevec):
+/// resolved detector/observable measurement sets plus the loop turning
+/// independent [`run_shot`] trajectories into a [`SampleBatch`].
+#[derive(Clone, Debug)]
+pub struct ShotBatcher {
+    det_sets: Vec<Vec<usize>>,
+    obs_sets: Vec<Vec<usize>>,
+}
+
+impl ShotBatcher {
+    /// Resolves the record sets of `circuit`.
+    pub fn new(circuit: &Circuit) -> Self {
+        Self {
+            det_sets: record::detector_measurement_sets(circuit),
+            obs_sets: record::observable_measurement_sets(circuit),
+        }
+    }
+
+    /// Number of detectors.
+    pub fn num_detectors(&self) -> usize {
+        self.det_sets.len()
+    }
+
+    /// Number of observables.
+    pub fn num_observables(&self) -> usize {
+        self.obs_sets.len()
+    }
+
+    /// Fills `batch` (cleared first) by running one fresh shot state per
+    /// column, then derives detectors and observables from the recorded
+    /// measurements.
+    pub fn sample_into<S: ShotState>(
+        &self,
+        circuit: &Circuit,
+        mut new_state: impl FnMut() -> S,
+        batch: &mut SampleBatch,
+        rng: &mut dyn RngCore,
+    ) {
+        // Detector/observable derivation accumulates by XOR; clear so
+        // reused batches don't mix draws.
+        batch.clear();
+        for shot in 0..batch.shots() {
+            let mut state = new_state();
+            let rec = run_shot(&mut state, circuit, rng, false);
+            for m in 0..rec.len() {
+                batch.measurements.set(m, shot, rec.get(m));
+            }
+        }
+        record::xor_rows_into(&self.det_sets, &batch.measurements, &mut batch.detectors);
+        record::xor_rows_into(&self.obs_sets, &batch.measurements, &mut batch.observables);
+    }
+}
+
+/// Samples one concrete realization of a noise channel (trajectory
+/// simulation) and reports every fired Pauli through `apply`.
+///
+/// This is the single dispatch point for per-site noise semantics; the
+/// tableau and state-vector engines both draw their trajectories here, so
+/// channel definitions cannot drift apart.
+pub fn sample_trajectory(
+    channel: NoiseChannel,
+    targets: &[u32],
+    rng: &mut dyn RngCore,
+    apply: &mut dyn FnMut(PauliKind, u32),
+) {
+    match channel {
+        NoiseChannel::XError(p) => {
+            for &q in targets {
+                if rng.random_bool(p) {
+                    apply(PauliKind::X, q);
+                }
+            }
+        }
+        NoiseChannel::YError(p) => {
+            for &q in targets {
+                if rng.random_bool(p) {
+                    apply(PauliKind::Y, q);
+                }
+            }
+        }
+        NoiseChannel::ZError(p) => {
+            for &q in targets {
+                if rng.random_bool(p) {
+                    apply(PauliKind::Z, q);
+                }
+            }
+        }
+        NoiseChannel::Depolarize1(p) => {
+            for &q in targets {
+                if rng.random_bool(p) {
+                    let kind =
+                        [PauliKind::X, PauliKind::Y, PauliKind::Z][rng.random_range(0..3usize)];
+                    apply(kind, q);
+                }
+            }
+        }
+        NoiseChannel::Depolarize2(p) => {
+            for pair in targets.chunks_exact(2) {
+                if rng.random_bool(p) {
+                    // One of the 15 non-identity two-qubit Paulis.
+                    let k = rng.random_range(1..16u32);
+                    for (bit_x, bit_z, q) in [(k & 1, k & 2, pair[0]), (k & 4, k & 8, pair[1])] {
+                        match (bit_x != 0, bit_z != 0) {
+                            (true, false) => apply(PauliKind::X, q),
+                            (true, true) => apply(PauliKind::Y, q),
+                            (false, true) => apply(PauliKind::Z, q),
+                            (false, false) => {}
+                        }
+                    }
+                }
+            }
+        }
+        NoiseChannel::PauliChannel1 { px, py, pz } => {
+            for &q in targets {
+                let u: f64 = rng.random();
+                if u < px {
+                    apply(PauliKind::X, q);
+                } else if u < px + py {
+                    apply(PauliKind::Y, q);
+                } else if u < px + py + pz {
+                    apply(PauliKind::Z, q);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A toy classical state: one bit per qubit, X flips it, everything
+    /// else is ignored; measurements read the bit.
+    struct Bits(Vec<bool>);
+
+    impl ShotState for Bits {
+        fn apply_gate(&mut self, gate: Gate, targets: &[u32]) {
+            if matches!(gate, Gate::X | Gate::Y) {
+                for &q in targets {
+                    self.0[q as usize] = !self.0[q as usize];
+                }
+            }
+        }
+
+        fn measure(&mut self, q: u32, _rng: &mut dyn RngCore, _reference: bool) -> bool {
+            self.0[q as usize]
+        }
+    }
+
+    #[test]
+    fn driver_records_and_feeds_back() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        c.measure(0);
+        c.feedback(PauliKind::X, -1, 1);
+        c.measure(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let rec = run_shot(&mut Bits(vec![false; 2]), &c, &mut rng, false);
+        assert!(rec.get(0));
+        assert!(rec.get(1), "feedback must have fired");
+    }
+
+    #[test]
+    fn reset_clears_through_driver() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        c.reset(0);
+        c.measure(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let rec = run_shot(&mut Bits(vec![false; 1]), &c, &mut rng, false);
+        assert!(!rec.get(0));
+    }
+
+    #[test]
+    fn reference_mode_skips_noise() {
+        let mut c = Circuit::new(1);
+        c.noise(NoiseChannel::XError(1.0), &[0]);
+        c.measure(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let rec = run_shot(&mut Bits(vec![false; 1]), &c, &mut rng, true);
+        assert!(!rec.get(0));
+        let rec = run_shot(&mut Bits(vec![false; 1]), &c, &mut rng, false);
+        assert!(rec.get(0));
+    }
+
+    #[test]
+    fn trajectory_rates_match_channel() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 50_000;
+        let mut fired = 0usize;
+        for _ in 0..trials {
+            sample_trajectory(
+                NoiseChannel::Depolarize1(0.3),
+                &[0],
+                &mut rng,
+                &mut |_, _| fired += 1,
+            );
+        }
+        let expect = 0.3 * trials as f64;
+        assert!(
+            (fired as f64 - expect).abs() < 6.0 * (expect * 0.7).sqrt(),
+            "fire count {fired} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn depolarize2_never_applies_identity() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..2000 {
+            let mut n = 0;
+            sample_trajectory(
+                NoiseChannel::Depolarize2(1.0),
+                &[0, 1],
+                &mut rng,
+                &mut |_, _| n += 1,
+            );
+            assert!((1..=2).contains(&n), "fired {n} Paulis");
+        }
+    }
+}

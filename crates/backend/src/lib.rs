@@ -1,0 +1,403 @@
+//! The shared sampler backend layer.
+//!
+//! Every simulator in this workspace — the SymPhase sampler
+//! (`symphase-core`), the Pauli-frame baseline (`symphase-frame`), the
+//! concrete tableau simulator (`symphase-tableau`), and the dense
+//! state-vector ground truth (`symphase-statevec`) — implements the
+//! [`Sampler`] trait defined here, producing the one bit-packed
+//! [`SampleBatch`] type. The CLI, the benchmark harness, and the
+//! cross-backend equivalence tests all select backends dynamically through
+//! `Box<dyn Sampler>`, so adding an engine is implementing one trait.
+//!
+//! The crate also hosts the pieces the engines used to duplicate:
+//!
+//! * [`exec`] — the single-shot instruction-walk driver (measure / reset /
+//!   measure-reset / feedback bookkeeping) and the trajectory sampling of
+//!   noise channels into concrete Paulis;
+//! * [`record`] — detector/observable measurement-set resolution and
+//!   record evaluation (moved here from the tableau crate so every layer,
+//!   including the dense simulator, shares it).
+//!
+//! # Chunk-seeded and parallel sampling
+//!
+//! [`Sampler::sample_seeded`] splits a request into [`CHUNK_SHOTS`]-wide
+//! chunks and draws each chunk from an RNG seeded by
+//! [`chunk_seed`]`(seed, chunk_index)`. [`Sampler::sample_par`] runs the
+//! *same* chunk schedule across threads with a rayon-style fork-join, so
+//! the two agree **shot for shot** — parallelism never changes results.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use symphase_bitmat::BitMatrix;
+
+pub mod exec;
+pub mod record;
+
+/// Shots per sampling chunk: a multiple of 64 (so chunk boundaries stay
+/// word-aligned in the bit-packed output) that keeps per-chunk working
+/// sets cache-resident.
+pub const CHUNK_SHOTS: usize = 4096;
+
+/// Samples of everything a shot batch produces, shot-aligned: column `j`
+/// of each matrix belongs to the same assignment draw.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SampleBatch {
+    /// `num_measurements × shots`.
+    pub measurements: BitMatrix,
+    /// `num_detectors × shots`.
+    pub detectors: BitMatrix,
+    /// `num_observables × shots`.
+    pub observables: BitMatrix,
+}
+
+impl SampleBatch {
+    /// An all-zero batch with the given row counts and `shots` columns.
+    pub fn zeros(
+        num_measurements: usize,
+        num_detectors: usize,
+        num_observables: usize,
+        shots: usize,
+    ) -> Self {
+        Self {
+            measurements: BitMatrix::zeros(num_measurements, shots),
+            detectors: BitMatrix::zeros(num_detectors, shots),
+            observables: BitMatrix::zeros(num_observables, shots),
+        }
+    }
+
+    /// Number of shots (columns).
+    pub fn shots(&self) -> usize {
+        self.measurements.cols()
+    }
+
+    /// Zeroes every bit, keeping the shape (so a batch can be reused
+    /// across [`Sampler::sample_into`] calls).
+    pub fn clear(&mut self) {
+        self.measurements.words_mut().fill(0);
+        self.detectors.words_mut().fill(0);
+        self.observables.words_mut().fill(0);
+    }
+
+    /// Copies every row of `chunk` into `self` starting at shot column
+    /// `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not a multiple of 64 or the chunk does not fit.
+    pub fn paste_columns(&mut self, chunk: &SampleBatch, start: usize) {
+        paste_matrix(&chunk.measurements, &mut self.measurements, start);
+        paste_matrix(&chunk.detectors, &mut self.detectors, start);
+        paste_matrix(&chunk.observables, &mut self.observables, start);
+    }
+}
+
+/// Copies `src` (a shot window) into `dst` at word-aligned column `start`.
+fn paste_matrix(src: &BitMatrix, dst: &mut BitMatrix, start: usize) {
+    assert_eq!(start % 64, 0, "chunk starts must be word-aligned");
+    assert_eq!(src.rows(), dst.rows(), "row count mismatch");
+    assert!(start + src.cols() <= dst.cols(), "chunk does not fit");
+    let word_off = start / 64;
+    let sstride = src.stride();
+    let dstride = dst.stride();
+    for r in 0..src.rows() {
+        let dst_row =
+            &mut dst.words_mut()[r * dstride + word_off..r * dstride + word_off + sstride];
+        dst_row.copy_from_slice(src.row(r));
+    }
+}
+
+/// Derives the RNG seed of chunk `chunk` of a request seeded with `seed`
+/// (SplitMix64 over the pair, so chunk streams are decorrelated).
+pub fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(chunk.wrapping_mul(0xD129_0B22_96D4_D32F));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A measurement/detector/observable sampler over a fixed circuit: the one
+/// interface all four simulation engines implement.
+///
+/// Implementors provide the record shape and [`Sampler::sample_into`]; the
+/// provided methods layer allocation, deterministic chunk seeding, and
+/// parallel sampling on top. The trait is object-safe — the CLI and the
+/// bench harness hold backends as `Box<dyn Sampler>`.
+pub trait Sampler: Send + Sync {
+    /// Short stable name (CLI `--engine` value, bench series label).
+    fn name(&self) -> &'static str;
+
+    /// Builds this backend from a circuit (the engine's initialization —
+    /// a symbolic traversal for SymPhase, a reference sample for the
+    /// frame baseline, a circuit copy for the per-shot engines).
+    fn from_circuit(circuit: &symphase_circuit::Circuit) -> Self
+    where
+        Self: Sized;
+
+    /// Number of measurement outcomes per shot.
+    fn num_measurements(&self) -> usize;
+
+    /// Number of detectors per shot.
+    fn num_detectors(&self) -> usize;
+
+    /// Number of observables per shot.
+    fn num_observables(&self) -> usize;
+
+    /// Fills every column of `batch` with freshly drawn shots.
+    ///
+    /// `batch` must be shaped by [`SampleBatch::zeros`] with this
+    /// sampler's row counts. Implementations overwrite all previous
+    /// contents (they clear the batch first), so a batch may be reused
+    /// across calls.
+    fn sample_into(&self, batch: &mut SampleBatch, rng: &mut dyn RngCore);
+
+    /// Samples `shots` shots from a caller-supplied RNG stream.
+    fn sample(&self, shots: usize, rng: &mut dyn RngCore) -> SampleBatch {
+        let mut batch = SampleBatch::zeros(
+            self.num_measurements(),
+            self.num_detectors(),
+            self.num_observables(),
+            shots,
+        );
+        self.sample_into(&mut batch, rng);
+        batch
+    }
+
+    /// Samples `shots` shots deterministically from `seed` using the
+    /// per-chunk seeding schedule ([`CHUNK_SHOTS`], [`chunk_seed`]).
+    ///
+    /// This is the serial reference for [`Sampler::sample_par`]: both run
+    /// the identical schedule, so their outputs are bit-identical.
+    fn sample_seeded(&self, shots: usize, seed: u64) -> SampleBatch {
+        let mut out = SampleBatch::zeros(
+            self.num_measurements(),
+            self.num_detectors(),
+            self.num_observables(),
+            shots,
+        );
+        // One reusable chunk buffer; only the (smaller) final chunk ever
+        // forces a reallocation.
+        let mut buf: Option<SampleBatch> = None;
+        for (idx, (start, width)) in chunk_spans(shots).enumerate() {
+            if buf.as_ref().is_none_or(|b| b.shots() != width) {
+                buf = Some(SampleBatch::zeros(
+                    self.num_measurements(),
+                    self.num_detectors(),
+                    self.num_observables(),
+                    width,
+                ));
+            }
+            let chunk = buf.as_mut().expect("buffer just ensured");
+            let mut rng = StdRng::seed_from_u64(chunk_seed(seed, idx as u64));
+            self.sample_into(chunk, &mut rng);
+            out.paste_columns(chunk, start);
+        }
+        out
+    }
+
+    /// Samples `shots` shots across threads, chunked by [`CHUNK_SHOTS`]
+    /// with per-chunk seeding — bit-identical to
+    /// [`Sampler::sample_seeded`] with the same arguments.
+    ///
+    /// Fan-out is bounded by `rayon::current_num_threads()`; on a
+    /// single-core machine this degenerates to the serial schedule with
+    /// no thread spawns.
+    fn sample_par(&self, shots: usize, seed: u64) -> SampleBatch {
+        sample_par_with_threads(self, shots, seed, rayon::current_num_threads())
+    }
+}
+
+/// The chunk schedule for `shots` shots: `(start, width)` spans, all but
+/// the last [`CHUNK_SHOTS`] wide.
+pub fn chunk_spans(shots: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..shots)
+        .step_by(CHUNK_SHOTS)
+        .map(move |start| (start, CHUNK_SHOTS.min(shots - start)))
+}
+
+/// Draws chunk `idx` of the `seed` schedule.
+fn sample_one_chunk<S: Sampler + ?Sized>(
+    sampler: &S,
+    idx: usize,
+    width: usize,
+    seed: u64,
+) -> SampleBatch {
+    let mut rng = StdRng::seed_from_u64(chunk_seed(seed, idx as u64));
+    sampler.sample(width, &mut rng)
+}
+
+/// [`Sampler::sample_par`] with an explicit thread budget (exposed so the
+/// parallel path stays testable on single-core machines).
+pub fn sample_par_with_threads<S: Sampler + ?Sized>(
+    sampler: &S,
+    shots: usize,
+    seed: u64,
+    threads: usize,
+) -> SampleBatch {
+    let spans: Vec<(usize, usize)> = chunk_spans(shots).collect();
+    if threads <= 1 || spans.len() <= 1 {
+        return sampler.sample_seeded(shots, seed);
+    }
+    let mut out = SampleBatch::zeros(
+        sampler.num_measurements(),
+        sampler.num_detectors(),
+        sampler.num_observables(),
+        shots,
+    );
+    let chunks = par_sample_groups(sampler, &spans, 0, seed, threads.min(spans.len()));
+    for ((start, _), chunk) in spans.iter().zip(&chunks) {
+        out.paste_columns(chunk, *start);
+    }
+    out
+}
+
+/// Recursive fork-join over contiguous chunk groups: splits the span list
+/// proportionally to the thread budget (`rayon::join` per split), so at
+/// most `threads` OS threads run, each sampling its chunk range serially.
+/// Chunk order is preserved in the returned vector.
+fn par_sample_groups<S: Sampler + ?Sized>(
+    sampler: &S,
+    spans: &[(usize, usize)],
+    first_chunk: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<SampleBatch> {
+    if threads <= 1 || spans.len() <= 1 {
+        return spans
+            .iter()
+            .enumerate()
+            .map(|(i, (_, width))| sample_one_chunk(sampler, first_chunk + i, *width, seed))
+            .collect();
+    }
+    let left_threads = threads / 2;
+    let right_threads = threads - left_threads;
+    // Split chunks proportionally to the thread budget of each side.
+    let mid = (spans.len() * left_threads / threads).max(1);
+    let (left, right) = spans.split_at(mid);
+    let (mut a, b) = rayon::join(
+        || par_sample_groups(sampler, left, first_chunk, seed, left_threads),
+        || par_sample_groups(sampler, right, first_chunk + mid, seed, right_threads),
+    );
+    a.extend(b);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic fake engine: measurement `m` of shot `j` is
+    /// `parity(rng_stream)`, so chunk seeding differences are visible.
+    struct FakeSampler {
+        nm: usize,
+    }
+
+    impl Sampler for FakeSampler {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+
+        fn from_circuit(_circuit: &symphase_circuit::Circuit) -> Self {
+            Self { nm: 0 }
+        }
+
+        fn num_measurements(&self) -> usize {
+            self.nm
+        }
+
+        fn num_detectors(&self) -> usize {
+            0
+        }
+
+        fn num_observables(&self) -> usize {
+            0
+        }
+
+        fn sample_into(&self, batch: &mut SampleBatch, rng: &mut dyn RngCore) {
+            for shot in 0..batch.shots() {
+                for m in 0..self.nm {
+                    let bit = rng.next_u64() & 1 == 1;
+                    batch.measurements.set(m, shot, bit);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_schedule_covers_all_shots() {
+        let spans: Vec<_> = chunk_spans(CHUNK_SHOTS * 2 + 100).collect();
+        assert_eq!(
+            spans,
+            vec![
+                (0, CHUNK_SHOTS),
+                (CHUNK_SHOTS, CHUNK_SHOTS),
+                (2 * CHUNK_SHOTS, 100)
+            ]
+        );
+        assert_eq!(chunk_spans(0).count(), 0);
+        assert_eq!(chunk_spans(64).collect::<Vec<_>>(), vec![(0, 64)]);
+    }
+
+    #[test]
+    fn par_matches_seeded_bit_for_bit() {
+        let s = FakeSampler { nm: 5 };
+        for shots in [
+            0,
+            1,
+            63,
+            64,
+            CHUNK_SHOTS,
+            CHUNK_SHOTS + 1,
+            3 * CHUNK_SHOTS + 7,
+        ] {
+            let a = s.sample_seeded(shots, 0xFEED);
+            let b = s.sample_par(shots, 0xFEED);
+            assert_eq!(a, b, "mismatch at {shots} shots");
+            // Force the threaded path regardless of the machine's core
+            // count, with budgets that do and don't divide the chunks.
+            for threads in [2, 3, 8] {
+                let c = sample_par_with_threads(&s, shots, 0xFEED, threads);
+                assert_eq!(a, c, "mismatch at {shots} shots / {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = FakeSampler { nm: 3 };
+        let a = s.sample_seeded(256, 1);
+        let b = s.sample_seeded(256, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn chunks_are_decorrelated() {
+        // Same relative shot in two different chunks must not repeat (the
+        // per-chunk seeds differ).
+        let s = FakeSampler { nm: 8 };
+        let out = s.sample_seeded(2 * CHUNK_SHOTS, 9);
+        let first: Vec<bool> = (0..8).map(|m| out.measurements.get(m, 0)).collect();
+        let second: Vec<bool> = (0..8)
+            .map(|m| out.measurements.get(m, CHUNK_SHOTS))
+            .collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn paste_rejects_unaligned_start() {
+        let mut dst = SampleBatch::zeros(1, 0, 0, 128);
+        let src = SampleBatch::zeros(1, 0, 0, 64);
+        let err = std::panic::catch_unwind(move || dst.paste_columns(&src, 32));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let boxed: Box<dyn Sampler> = Box::new(FakeSampler { nm: 2 });
+        let out = boxed.sample_seeded(100, 3);
+        assert_eq!(out.measurements.rows(), 2);
+        assert_eq!(out.shots(), 100);
+        assert_eq!(boxed.name(), "fake");
+    }
+}

@@ -29,7 +29,11 @@ fn bench_methods(c: &mut Criterion) {
     for (name, circuit) in [("repetition_d15", qec), ("fig3c_n64", dense_random)] {
         let sampler = SymPhaseSampler::new(&circuit);
         // Warm the densified matrix outside the timing loop.
-        let _ = sampler.sample_with_method(64, &mut StdRng::seed_from_u64(0), SamplingMethod::DenseMatMul);
+        let _ = sampler.sample_with_method(
+            64,
+            &mut StdRng::seed_from_u64(0),
+            SamplingMethod::DenseMatMul,
+        );
         g.bench_function(BenchmarkId::new("sparse_rows", name), |b| {
             let mut rng = StdRng::seed_from_u64(1);
             b.iter(|| sampler.sample_with_method(SHOTS, &mut rng, SamplingMethod::SparseRows))

@@ -13,7 +13,10 @@ use symphase_bitmat::layout::{ChpLayout, StimLayout, SymLayout512, TableauLayout
 
 const SIZES: &[usize] = &[1024, 2048];
 
-fn col_ops<L: TableauLayout>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, size: usize) {
+fn col_ops<L: TableauLayout>(
+    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    size: usize,
+) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut l = L::zeros(size, size);
     l.fill_random(&mut rng);
@@ -31,7 +34,10 @@ fn col_ops<L: TableauLayout>(g: &mut criterion::BenchmarkGroup<'_, criterion::me
     });
 }
 
-fn row_ops<L: TableauLayout>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, size: usize) {
+fn row_ops<L: TableauLayout>(
+    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    size: usize,
+) {
     let mut rng = StdRng::seed_from_u64(2);
     let mut l = L::zeros(size, size);
     l.fill_random(&mut rng);
@@ -49,7 +55,10 @@ fn row_ops<L: TableauLayout>(g: &mut criterion::BenchmarkGroup<'_, criterion::me
     });
 }
 
-fn switches<L: TableauLayout>(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, size: usize) {
+fn switches<L: TableauLayout>(
+    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    size: usize,
+) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut l = L::zeros(size, size);
     l.fill_random(&mut rng);

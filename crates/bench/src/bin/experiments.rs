@@ -18,7 +18,9 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use symphase_bench::{measure_fig3_point, secs, table1_circuit, Workload, PAPER_SHOTS};
+use symphase_bench::{
+    measure_fig3_point, secs, table1_circuit, time_backend_par, BackendKind, Workload, PAPER_SHOTS,
+};
 use symphase_bitmat::layout::{ChpLayout, StimLayout, SymLayout512, TableauLayout};
 use symphase_core::{PhaseRepr, SamplingMethod, SymPhaseSampler};
 use symphase_frame::FrameSampler;
@@ -35,12 +37,28 @@ fn main() {
     let what = args.first().map(String::as_str).unwrap_or("all");
     let shots = arg_value(&args, "--shots").unwrap_or(PAPER_SHOTS);
     match what {
-        "fig3a" => fig3(Workload::Fig3a, arg_value(&args, "--max-n").unwrap_or(384), shots),
-        "fig3b" => fig3(Workload::Fig3b, arg_value(&args, "--max-n").unwrap_or(192), shots),
-        "fig3c" => fig3(Workload::Fig3c, arg_value(&args, "--max-n").unwrap_or(192), shots),
+        "fig3a" => fig3(
+            Workload::Fig3a,
+            arg_value(&args, "--max-n").unwrap_or(384),
+            shots,
+        ),
+        "fig3b" => fig3(
+            Workload::Fig3b,
+            arg_value(&args, "--max-n").unwrap_or(192),
+            shots,
+        ),
+        "fig3c" => fig3(
+            Workload::Fig3c,
+            arg_value(&args, "--max-n").unwrap_or(192),
+            shots,
+        ),
         "table1" => table1(arg_value(&args, "--n").unwrap_or(64), shots),
         "fig2" => fig2(arg_value(&args, "--size").unwrap_or(2048)),
         "ablation" => ablation(arg_value(&args, "--n").unwrap_or(96), shots),
+        "par" => par_scaling(
+            arg_value(&args, "--n").unwrap_or(96),
+            arg_value(&args, "--shots").unwrap_or(1 << 20),
+        ),
         "all" => {
             fig3(Workload::Fig3a, 256, shots);
             fig3(Workload::Fig3b, 160, shots);
@@ -48,6 +66,7 @@ fn main() {
             table1(64, shots);
             fig2(2048);
             ablation(96, shots);
+            par_scaling(96, 1 << 20);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -58,7 +77,10 @@ fn main() {
 
 /// Fig. 3a/3b/3c: init time and time to generate `shots` samples vs n.
 fn fig3(workload: Workload, max_n: usize, shots: usize) {
-    println!("\n== {} : layered random circuits, {shots} samples ==", workload.name());
+    println!(
+        "\n== {} : layered random circuits, {shots} samples ==",
+        workload.name()
+    );
     println!(
         "{:>6} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
         "n", "gates", "meas", "sym_init_s", "frame_init_s", "sym_smp_s", "frame_smp_s"
@@ -209,6 +231,30 @@ fn fig2_one<L: TableauLayout>(size: usize) {
     );
 }
 
+/// Multi-core scaling of the chunk-seeded parallel sampling path
+/// (`Sampler::sample_par` vs the bit-identical serial schedule).
+fn par_scaling(n: usize, shots: usize) {
+    println!("\n== par : chunk-seeded parallel sampling, n={n}, {shots} shots ==");
+    println!(
+        "{:>16} {:>12} {:>12} {:>8}",
+        "backend", "serial_s", "par_s", "speedup"
+    );
+    for workload in [Workload::Fig3a, Workload::Fig3c] {
+        let c = workload.circuit(n, 13);
+        for kind in [workload.symphase_backend(), BackendKind::Frame] {
+            let (serial, par) = time_backend_par(kind, &c, shots, 1);
+            println!(
+                "{:>16} {:>12} {:>12} {:>8.2}",
+                format!("{}/{}", workload.name(), kind.name()),
+                secs(serial),
+                secs(par),
+                serial.as_secs_f64() / par.as_secs_f64().max(1e-9)
+            );
+        }
+    }
+    println!("outputs are verified bit-identical between the serial and parallel paths.");
+}
+
 /// Ablations: phase representation (A2) and sampling multiplication (A1).
 fn ablation(n: usize, shots: usize) {
     println!("\n== ablation : phase store and sampling method (n={n}) ==");
@@ -222,13 +268,25 @@ fn ablation(n: usize, shots: usize) {
         let dense_init = t.elapsed();
 
         let t = Instant::now();
-        let a = sym_sparse.sample_with_method(shots, &mut StdRng::seed_from_u64(1), SamplingMethod::SparseRows);
+        let a = sym_sparse.sample_with_method(
+            shots,
+            &mut StdRng::seed_from_u64(1),
+            SamplingMethod::SparseRows,
+        );
         let sparse_mul = t.elapsed();
         std::hint::black_box(a.count_ones());
         // Warm the dense matrix before timing the dense method.
-        let _ = sym_sparse.sample_with_method(64, &mut StdRng::seed_from_u64(2), SamplingMethod::DenseMatMul);
+        let _ = sym_sparse.sample_with_method(
+            64,
+            &mut StdRng::seed_from_u64(2),
+            SamplingMethod::DenseMatMul,
+        );
         let t = Instant::now();
-        let b = sym_sparse.sample_with_method(shots, &mut StdRng::seed_from_u64(3), SamplingMethod::DenseMatMul);
+        let b = sym_sparse.sample_with_method(
+            shots,
+            &mut StdRng::seed_from_u64(3),
+            SamplingMethod::DenseMatMul,
+        );
         let dense_mul = t.elapsed();
         std::hint::black_box(b.count_ones());
 

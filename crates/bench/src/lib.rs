@@ -10,10 +10,10 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+pub use symphase::backend::BackendKind;
 use symphase_circuit::generators::{fig3a_circuit, fig3b_circuit, fig3c_circuit};
 use symphase_circuit::Circuit;
-use symphase_core::{PhaseRepr, SymPhaseSampler};
-use symphase_frame::FrameSampler;
+use symphase_core::PhaseRepr;
 
 /// Number of samples the paper's Fig. 3 timing uses.
 pub const PAPER_SHOTS: usize = 10_000;
@@ -53,6 +53,15 @@ impl Workload {
         }
     }
 
+    /// The SymPhase backend pinned to this workload's best representation.
+    pub fn symphase_backend(self) -> BackendKind {
+        match self.phase_repr() {
+            PhaseRepr::Sparse => BackendKind::SymPhaseSparse,
+            PhaseRepr::Dense => BackendKind::SymPhaseDense,
+            PhaseRepr::Auto => BackendKind::SymPhase,
+        }
+    }
+
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -61,6 +70,62 @@ impl Workload {
             Workload::Fig3c => "fig3c",
         }
     }
+}
+
+/// Init time and batch-sampling time of one backend on one circuit, both
+/// measured through the shared `Sampler` trait.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendTiming {
+    /// Backend label ([`BackendKind::name`]).
+    pub label: &'static str,
+    /// Time to build the sampler (the engine's initialization).
+    pub init: Duration,
+    /// Time to generate the shot batch.
+    pub sample: Duration,
+}
+
+/// Times `kind` on `circuit`: build, then draw `shots` from `seed`.
+pub fn time_backend(
+    kind: BackendKind,
+    circuit: &Circuit,
+    shots: usize,
+    seed: u64,
+) -> BackendTiming {
+    let t = Instant::now();
+    let sampler = kind.build(circuit);
+    let init = t.elapsed();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = Instant::now();
+    let batch = sampler.sample(shots, &mut rng);
+    let sample = t.elapsed();
+    std::hint::black_box(batch.measurements.count_ones());
+    BackendTiming {
+        label: kind.name(),
+        init,
+        sample,
+    }
+}
+
+/// Times `kind`'s parallel chunk-seeded sampling path
+/// (`Sampler::sample_par`) against the serial schedule.
+pub fn time_backend_par(
+    kind: BackendKind,
+    circuit: &Circuit,
+    shots: usize,
+    seed: u64,
+) -> (Duration, Duration) {
+    let sampler = kind.build(circuit);
+    let t = Instant::now();
+    let serial = sampler.sample_seeded(shots, seed);
+    let serial_time = t.elapsed();
+    let t = Instant::now();
+    let par = sampler.sample_par(shots, seed);
+    let par_time = t.elapsed();
+    assert_eq!(
+        serial, par,
+        "sample_par must match sample_seeded shot-for-shot"
+    );
+    (serial_time, par_time)
 }
 
 /// One measured data point of a Fig. 3 style comparison.
@@ -78,34 +143,18 @@ pub struct FigPoint {
     pub frame_sample: Duration,
 }
 
-/// Measures one point of a Fig. 3 comparison.
+/// Measures one point of a Fig. 3 comparison (both engines through the
+/// shared [`Sampler`] trait).
 pub fn measure_fig3_point(workload: Workload, n: usize, shots: usize) -> FigPoint {
     let circuit = workload.circuit(n, 0xF16_3000 + n as u64);
-
-    let t = Instant::now();
-    let sym = SymPhaseSampler::with_repr(&circuit, workload.phase_repr());
-    let symphase_init = t.elapsed();
-    let mut rng = StdRng::seed_from_u64(1);
-    let t = Instant::now();
-    let s = sym.sample(shots, &mut rng);
-    let symphase_sample = t.elapsed();
-    std::hint::black_box(s.count_ones());
-
-    let t = Instant::now();
-    let frame = FrameSampler::new(&circuit);
-    let frame_init = t.elapsed();
-    let mut rng = StdRng::seed_from_u64(2);
-    let t = Instant::now();
-    let f = frame.sample(shots, &mut rng);
-    let frame_sample = t.elapsed();
-    std::hint::black_box(f.count_ones());
-
+    let sym = time_backend(workload.symphase_backend(), &circuit, shots, 1);
+    let frame = time_backend(BackendKind::Frame, &circuit, shots, 2);
     FigPoint {
         n,
-        symphase_init,
-        symphase_sample,
-        frame_init,
-        frame_sample,
+        symphase_init: sym.init,
+        symphase_sample: sym.sample,
+        frame_init: frame.init,
+        frame_sample: frame.sample,
     }
 }
 
@@ -175,5 +224,28 @@ mod tests {
     fn measure_point_runs() {
         let p = measure_fig3_point(Workload::Fig3a, 16, 100);
         assert_eq!(p.n, 16);
+    }
+
+    #[test]
+    fn all_backend_choices_sample_through_the_trait() {
+        let c = Workload::Fig3a.circuit(8, 2);
+        for kind in [
+            BackendKind::SymPhaseSparse,
+            BackendKind::SymPhaseDense,
+            BackendKind::Frame,
+            BackendKind::Tableau,
+        ] {
+            assert!(kind.supports(&c));
+            let t = time_backend(kind, &c, 64, 3);
+            assert_eq!(t.label, kind.name());
+        }
+    }
+
+    #[test]
+    fn par_path_verified_against_serial() {
+        let c = Workload::Fig3a.circuit(8, 2);
+        // time_backend_par asserts shot-for-shot equality internally.
+        let _ = time_backend_par(BackendKind::SymPhaseSparse, &c, 10_000, 5);
+        let _ = time_backend_par(BackendKind::Frame, &c, 10_000, 5);
     }
 }

@@ -102,7 +102,10 @@ impl BitMatrix {
     /// Panics if out of range.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> bool {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         let (w, b) = split_index(c);
         (self.data[r * self.stride + w] >> b) & 1 == 1
     }
@@ -114,7 +117,10 @@ impl BitMatrix {
     /// Panics if out of range.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: bool) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         let (w, b) = split_index(c);
         let word = &mut self.data[r * self.stride + w];
         if v {
@@ -131,7 +137,10 @@ impl BitMatrix {
     /// Panics if out of range.
     #[inline]
     pub fn flip(&mut self, r: usize, c: usize) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         let (w, b) = split_index(c);
         self.data[r * self.stride + w] ^= 1 << b;
     }
@@ -257,7 +266,14 @@ impl BitMatrix {
     /// Returns the transpose, computed with 64×64 block kernels.
     pub fn transpose(&self) -> BitMatrix {
         let mut out = BitMatrix::zeros(self.cols, self.rows);
-        transpose_packed(&self.data, self.rows, self.cols, self.stride, &mut out.data, out.stride);
+        transpose_packed(
+            &self.data,
+            self.rows,
+            self.cols,
+            self.stride,
+            &mut out.data,
+            out.stride,
+        );
         out
     }
 

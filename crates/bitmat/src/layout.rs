@@ -130,7 +130,10 @@ impl TableauLayout for ChpLayout {
     fn ensure_row_mode(&mut self) {}
 
     fn xor_col_into(&mut self, src: usize, dst: usize) {
-        assert!(src < self.cols() && dst < self.cols(), "column out of range");
+        assert!(
+            src < self.cols() && dst < self.cols(),
+            "column out of range"
+        );
         assert_ne!(src, dst, "column xor into itself");
         let stride = self.m.stride();
         let (ws, bs) = split_index(src);
@@ -303,7 +306,10 @@ impl TableauLayout for StimLayout {
     }
 
     fn xor_col_into(&mut self, src: usize, dst: usize) {
-        assert!(src < self.cols() && dst < self.cols(), "column out of range");
+        assert!(
+            src < self.cols() && dst < self.cols(),
+            "column out of range"
+        );
         assert_ne!(src, dst, "column xor into itself");
         if self.transposed {
             self.phys_xor_row(src, dst);
@@ -588,7 +594,12 @@ mod tests {
             }
         }
         layout.ensure_col_mode();
-        assert_eq!(layout.to_bitmatrix(), reference, "{} layout diverged", L::NAME);
+        assert_eq!(
+            layout.to_bitmatrix(),
+            reference,
+            "{} layout diverged",
+            L::NAME
+        );
     }
 
     #[test]

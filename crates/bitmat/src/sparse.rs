@@ -8,9 +8,9 @@
 
 use std::fmt;
 
-use crate::{BitVec, Word};
 #[cfg(test)]
 use crate::WORD_BITS;
+use crate::{BitVec, Word};
 
 /// A sparse bit-vector: the sorted, deduplicated indices of its set bits.
 ///
@@ -60,7 +60,9 @@ impl SparseBitVec {
 
     /// Creates a singleton vector with only `index` set.
     pub fn singleton(index: u32) -> Self {
-        Self { indices: vec![index] }
+        Self {
+            indices: vec![index],
+        }
     }
 
     /// Builds from a dense [`BitVec`].
@@ -209,7 +211,10 @@ pub struct SparseRowMatrix {
 impl SparseRowMatrix {
     /// Creates an empty matrix with a fixed column count.
     pub fn new(cols: usize) -> Self {
-        Self { rows: Vec::new(), cols }
+        Self {
+            rows: Vec::new(),
+            cols,
+        }
     }
 
     /// Number of rows.
@@ -235,7 +240,11 @@ impl SparseRowMatrix {
     /// Panics if the row references a column `>= cols()`.
     pub fn push_row(&mut self, row: SparseBitVec) {
         if let Some(max) = row.max_index() {
-            assert!((max as usize) < self.cols, "row index {max} exceeds {} cols", self.cols);
+            assert!(
+                (max as usize) < self.cols,
+                "row index {max} exceeds {} cols",
+                self.cols
+            );
         }
         self.rows.push(row);
     }

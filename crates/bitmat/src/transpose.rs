@@ -70,7 +70,11 @@ pub fn transpose_packed(
             // Gather the 64×64 block at (br, bc); rows beyond `rows` are zero.
             for (i, b) in block.iter_mut().enumerate() {
                 let r = br * 64 + i;
-                *b = if r < rows { src[r * src_stride + bc] } else { 0 };
+                *b = if r < rows {
+                    src[r * src_stride + bc]
+                } else {
+                    0
+                };
             }
             // Mask slack columns of the final block column so they cannot
             // leak into the output as phantom rows.
@@ -101,10 +105,10 @@ mod tests {
 
     fn naive_transpose_64(a: &[Word; 64]) -> [Word; 64] {
         let mut out = [0; 64];
-        for r in 0..64 {
-            for c in 0..64 {
-                if (a[r] >> c) & 1 == 1 {
-                    out[c] |= 1 << r;
+        for (r, &row) in a.iter().enumerate() {
+            for (c, out_row) in out.iter_mut().enumerate() {
+                if (row >> c) & 1 == 1 {
+                    *out_row |= 1 << r;
                 }
             }
         }

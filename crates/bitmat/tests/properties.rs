@@ -11,9 +11,8 @@ fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
 }
 
 fn bitmatrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = BitMatrix> {
-    proptest::collection::vec(any::<bool>(), rows * cols).prop_map(move |bits| {
-        BitMatrix::from_fn(rows, cols, |r, c| bits[r * cols + c])
-    })
+    proptest::collection::vec(any::<bool>(), rows * cols)
+        .prop_map(move |bits| BitMatrix::from_fn(rows, cols, |r, c| bits[r * cols + c]))
 }
 
 fn xor_matrices(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {

@@ -149,29 +149,31 @@ impl Circuit {
 
     fn validate_instruction(&self, instruction: &Instruction) -> Result<(), String> {
         match instruction {
-            Instruction::Gate { gate, targets } => {
-                if gate.arity() == 2 {
-                    if targets.len() % 2 != 0 {
-                        return Err(format!(
-                            "{} needs an even number of targets, got {}",
-                            gate.name(),
-                            targets.len()
-                        ));
-                    }
-                    for pair in targets.chunks_exact(2) {
-                        if pair[0] == pair[1] {
-                            return Err(format!("{} targets must differ", gate.name()));
-                        }
+            Instruction::Gate { gate, targets } if gate.arity() == 2 => {
+                if !targets.len().is_multiple_of(2) {
+                    return Err(format!(
+                        "{} needs an even number of targets, got {}",
+                        gate.name(),
+                        targets.len()
+                    ));
+                }
+                for pair in targets.chunks_exact(2) {
+                    if pair[0] == pair[1] {
+                        return Err(format!("{} targets must differ", gate.name()));
                     }
                 }
             }
+            Instruction::Gate { .. } => {}
             Instruction::Noise { channel, targets } => {
                 if let Err(msg) = channel.validate() {
                     return Err(format!("invalid {}: {msg}", channel.name()));
                 }
                 if channel.arity() == 2 {
                     if targets.len() % 2 != 0 {
-                        return Err(format!("{} needs an even number of targets", channel.name()));
+                        return Err(format!(
+                            "{} needs an even number of targets",
+                            channel.name()
+                        ));
                     }
                     for pair in targets.chunks_exact(2) {
                         if pair[0] == pair[1] {

@@ -398,6 +398,9 @@ impl SmallPauli {
     ///
     /// Reordering `Z^z X^x'` to `X^x' Z^z` on the same qubit contributes
     /// `(-1)^(z·x')`.
+    // Named after the mathematical operation; the type deliberately does
+    // not implement `std::ops::Mul` (reference semantics stay explicit).
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: SmallPauli) -> SmallPauli {
         let mut phase = (self.phase + other.phase) % 4;
         // Qubit 0: move other's X0 left past self's Z0.
@@ -420,7 +423,7 @@ impl SmallPauli {
     /// `true` if the prefactor is `±1` (a physical Pauli in `i^e·XZ` form
     /// has `phase + x·z` even on each qubit; this only checks the prefactor).
     pub fn is_real_prefactor(self) -> bool {
-        self.phase % 2 == 0
+        self.phase.is_multiple_of(2)
     }
 
     /// The sign of the *physical* Pauli: converts from `i^e · X^x Z^z` form
@@ -435,7 +438,7 @@ impl SmallPauli {
         let ys = u8::from(self.x0 && self.z0) + u8::from(self.x1 && self.z1);
         // i^phase · XZ-pairs = i^phase · (−i)^ys · Y-pairs
         let e = (self.phase + 4 - ys % 4) % 4;
-        assert!(e % 2 == 0, "non-real Pauli has no sign: {self:?}");
+        assert!(e.is_multiple_of(2), "non-real Pauli has no sign: {self:?}");
         e == 2
     }
 }
@@ -451,7 +454,16 @@ mod tests {
         let y = SmallPauli::y0();
         // XZ = -iY  →  i^3 · XZ-form of Y is X·Z with phase 3+1=… check via mul:
         let xz = x.mul(z);
-        assert_eq!(xz, SmallPauli { x0: true, z0: true, x1: false, z1: false, phase: 0 });
+        assert_eq!(
+            xz,
+            SmallPauli {
+                x0: true,
+                z0: true,
+                x1: false,
+                z1: false,
+                phase: 0
+            }
+        );
         // ZX = -XZ
         let zx = z.mul(x);
         assert_eq!(zx.phase, 2);
@@ -484,13 +496,19 @@ mod tests {
         assert_eq!(Gate::S.conjugate(SmallPauli::x0()), SmallPauli::y0());
         assert_eq!(Gate::S.conjugate(SmallPauli::z0()), SmallPauli::z0());
         // S Y S† = -X
-        assert_eq!(Gate::S.conjugate(SmallPauli::y0()), SmallPauli::x0().negated());
+        assert_eq!(
+            Gate::S.conjugate(SmallPauli::y0()),
+            SmallPauli::x0().negated()
+        );
         assert_eq!(Gate::SDag.conjugate(SmallPauli::y0()), SmallPauli::x0());
     }
 
     #[test]
     fn sqrt_x_conjugation() {
-        assert_eq!(Gate::SqrtX.conjugate(SmallPauli::z0()), SmallPauli::y0().negated());
+        assert_eq!(
+            Gate::SqrtX.conjugate(SmallPauli::z0()),
+            SmallPauli::y0().negated()
+        );
         assert_eq!(Gate::SqrtX.conjugate(SmallPauli::y0()), SmallPauli::z0());
         assert_eq!(Gate::SqrtXDag.conjugate(SmallPauli::z0()), SmallPauli::y0());
     }
@@ -499,8 +517,14 @@ mod tests {
     fn cx_conjugation() {
         let xc = SmallPauli::two(true, false, false, false);
         let zt = SmallPauli::two(false, false, false, true);
-        assert_eq!(Gate::Cx.conjugate(xc), SmallPauli::two(true, false, true, false));
-        assert_eq!(Gate::Cx.conjugate(zt), SmallPauli::two(false, true, false, true));
+        assert_eq!(
+            Gate::Cx.conjugate(xc),
+            SmallPauli::two(true, false, true, false)
+        );
+        assert_eq!(
+            Gate::Cx.conjugate(zt),
+            SmallPauli::two(false, true, false, true)
+        );
         // Z_c and X_t are invariant.
         let zc = SmallPauli::two(false, true, false, false);
         let xt = SmallPauli::two(false, false, true, false);
@@ -528,7 +552,12 @@ mod tests {
         }
         let mut paulis2 = Vec::new();
         for bits in 0..16u8 {
-            paulis2.push(SmallPauli::two(bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0));
+            paulis2.push(SmallPauli::two(
+                bits & 1 != 0,
+                bits & 2 != 0,
+                bits & 4 != 0,
+                bits & 8 != 0,
+            ));
         }
         for g in [Gate::Cx, Gate::Cy, Gate::Cz, Gate::Swap] {
             for &p in &paulis2 {
@@ -563,7 +592,15 @@ mod tests {
     #[test]
     fn conjugation_involutions() {
         // Self-inverse gates applied twice give back the input.
-        for g in [Gate::H, Gate::X, Gate::Y, Gate::Z, Gate::Cx, Gate::Cz, Gate::Swap] {
+        for g in [
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::Cx,
+            Gate::Cz,
+            Gate::Swap,
+        ] {
             let probe = if g.arity() == 1 {
                 vec![SmallPauli::x0(), SmallPauli::z0(), SmallPauli::y0()]
             } else {
@@ -586,8 +623,7 @@ mod tests {
         for p in [SmallPauli::x0(), SmallPauli::y0(), SmallPauli::z0()] {
             assert_eq!(Gate::CZyx.conjugate(Gate::CXyz.conjugate(p)), p);
             // Period three.
-            let thrice = Gate::CXyz
-                .conjugate(Gate::CXyz.conjugate(Gate::CXyz.conjugate(p)));
+            let thrice = Gate::CXyz.conjugate(Gate::CXyz.conjugate(Gate::CXyz.conjugate(p)));
             assert_eq!(thrice, p);
         }
     }
@@ -596,10 +632,16 @@ mod tests {
     fn axis_swap_conjugation() {
         assert_eq!(Gate::HXy.conjugate(SmallPauli::x0()), SmallPauli::y0());
         assert_eq!(Gate::HXy.conjugate(SmallPauli::y0()), SmallPauli::x0());
-        assert_eq!(Gate::HXy.conjugate(SmallPauli::z0()), SmallPauli::z0().negated());
+        assert_eq!(
+            Gate::HXy.conjugate(SmallPauli::z0()),
+            SmallPauli::z0().negated()
+        );
         assert_eq!(Gate::HYz.conjugate(SmallPauli::y0()), SmallPauli::z0());
         assert_eq!(Gate::HYz.conjugate(SmallPauli::z0()), SmallPauli::y0());
-        assert_eq!(Gate::HYz.conjugate(SmallPauli::x0()), SmallPauli::x0().negated());
+        assert_eq!(
+            Gate::HYz.conjugate(SmallPauli::x0()),
+            SmallPauli::x0().negated()
+        );
     }
 
     #[test]
@@ -614,9 +656,24 @@ mod tests {
     #[test]
     fn swap_conjugation_swaps() {
         let x0 = SmallPauli::two(true, false, false, false);
-        assert_eq!(Gate::Swap.conjugate(x0), SmallPauli::two(false, false, true, false));
-        let y1 = SmallPauli { x0: false, z0: false, x1: true, z1: true, phase: 1 };
-        let y0 = SmallPauli { x0: true, z0: true, x1: false, z1: false, phase: 1 };
+        assert_eq!(
+            Gate::Swap.conjugate(x0),
+            SmallPauli::two(false, false, true, false)
+        );
+        let y1 = SmallPauli {
+            x0: false,
+            z0: false,
+            x1: true,
+            z1: true,
+            phase: 1,
+        };
+        let y0 = SmallPauli {
+            x0: true,
+            z0: true,
+            x1: false,
+            z1: false,
+            phase: 1,
+        };
         assert_eq!(Gate::Swap.conjugate(y1), y0);
     }
 
@@ -624,13 +681,28 @@ mod tests {
     fn cy_conjugation() {
         // X_c → X_c ⊗ Y_t
         let xc = SmallPauli::two(true, false, false, false);
-        let expect = SmallPauli { x0: true, z0: false, x1: true, z1: true, phase: 1 };
+        let expect = SmallPauli {
+            x0: true,
+            z0: false,
+            x1: true,
+            z1: true,
+            phase: 1,
+        };
         assert_eq!(Gate::Cy.conjugate(xc), expect);
         // X_t → Z_c X_t
         let xt = SmallPauli::two(false, false, true, false);
-        assert_eq!(Gate::Cy.conjugate(xt), SmallPauli::two(false, true, true, false));
+        assert_eq!(
+            Gate::Cy.conjugate(xt),
+            SmallPauli::two(false, true, true, false)
+        );
         // Y_t → Y_t
-        let yt = SmallPauli { x0: false, z0: false, x1: true, z1: true, phase: 1 };
+        let yt = SmallPauli {
+            x0: false,
+            z0: false,
+            x1: true,
+            z1: true,
+            phase: 1,
+        };
         assert_eq!(Gate::Cy.conjugate(yt), yt);
     }
 }

@@ -14,6 +14,8 @@ pub mod repetition_code;
 pub mod surface_code;
 
 pub use named::{bell_pair, ghz, teleportation};
-pub use random_layered::{fig3a_circuit, fig3b_circuit, fig3c_circuit, LayeredCircuitConfig, PairsPerLayer};
+pub use random_layered::{
+    fig3a_circuit, fig3b_circuit, fig3c_circuit, LayeredCircuitConfig, PairsPerLayer,
+};
 pub use repetition_code::{repetition_code_memory, RepetitionCodeConfig};
 pub use surface_code::{surface_code_memory, SurfaceCodeConfig};

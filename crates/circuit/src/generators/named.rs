@@ -46,7 +46,7 @@ pub fn teleportation() -> Circuit {
     c.cx(0, 1).h(0);
     c.measure(0); // rec[-2] at correction time
     c.measure(1); // rec[-1] at correction time
-    // Corrections: X^{m1} then Z^{m0} on the receiver.
+                  // Corrections: X^{m1} then Z^{m0} on the receiver.
     c.feedback(PauliKind::X, -1, 2);
     c.feedback(PauliKind::Z, -2, 2);
     // Undo the preparation (S·H)⁻¹ = H·S† and verify.

@@ -183,7 +183,10 @@ mod tests {
             .instructions()
             .iter()
             .find_map(|i| match i {
-                crate::Instruction::Gate { gate: Gate::Cx, targets } => Some(targets.len()),
+                crate::Instruction::Gate {
+                    gate: Gate::Cx,
+                    targets,
+                } => Some(targets.len()),
                 _ => None,
             })
             .expect("has a CX layer");
@@ -203,7 +206,11 @@ mod tests {
     fn cnot_pairs_are_disjoint() {
         let c = fig3b_circuit(30, 11);
         for inst in c.instructions() {
-            if let crate::Instruction::Gate { gate: Gate::Cx, targets } = inst {
+            if let crate::Instruction::Gate {
+                gate: Gate::Cx,
+                targets,
+            } = inst
+            {
                 let mut seen = std::collections::HashSet::new();
                 for t in targets {
                     assert!(seen.insert(*t), "qubit {t} reused within a CNOT layer");
@@ -230,7 +237,11 @@ mod tests {
         }
         .generate();
         for inst in c.instructions() {
-            if let crate::Instruction::Gate { gate: Gate::Cx, targets } = inst {
+            if let crate::Instruction::Gate {
+                gate: Gate::Cx,
+                targets,
+            } = inst
+            {
                 assert!(targets.len() <= 4);
             }
         }

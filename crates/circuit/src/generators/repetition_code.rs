@@ -149,8 +149,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "distance")]
-    fn rejects_distance_one()
-    {
+    fn rejects_distance_one() {
         repetition_code_memory(&RepetitionCodeConfig {
             distance: 1,
             rounds: 1,

@@ -75,7 +75,10 @@ fn plaquettes(d: usize) -> Vec<Plaquette> {
             }
             let mut data = Vec::with_capacity(4);
             for (dr, dc) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)] {
-                let (pr, pc) = (r.wrapping_sub(1).wrapping_add(dr), c.wrapping_sub(1).wrapping_add(dc));
+                let (pr, pc) = (
+                    r.wrapping_sub(1).wrapping_add(dr),
+                    c.wrapping_sub(1).wrapping_add(dc),
+                );
                 if pr < d && pc < d {
                     data.push(data_index(pr, pc));
                 }
@@ -189,18 +192,12 @@ pub fn surface_code_memory(config: &SurfaceCodeConfig) -> Circuit {
     // parity with its last ancilla outcome.
     c.measure_many(&data_qubits);
     let nd = (d * d) as i64;
-    let mut z_seen = 0i64;
-    for p in plaqs.iter().filter(|p| p.z_type) {
-        let mut lookbacks: Vec<i64> = p
-            .data
-            .iter()
-            .map(|&dq| -nd + dq as i64)
-            .collect();
+    for (z_seen, p) in plaqs.iter().filter(|p| p.z_type).enumerate() {
+        let mut lookbacks: Vec<i64> = p.data.iter().map(|&dq| -nd + dq as i64).collect();
         // The Z outcomes of the last round sit `num_x` X outcomes behind the
         // data block.
-        lookbacks.push(-nd - (num_x as i64) - (num_z as i64) + z_seen);
+        lookbacks.push(-nd - (num_x as i64) - (num_z as i64) + z_seen as i64);
         c.detector(&lookbacks);
-        z_seen += 1;
     }
     // Logical Z: the top row of data qubits (commutes with every X check).
     let top_row: Vec<i64> = (0..d as i64).map(|i| -nd + i).collect();

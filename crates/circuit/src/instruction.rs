@@ -304,26 +304,43 @@ mod tests {
     fn validate_rejects_bad_probabilities() {
         assert!(NoiseChannel::XError(1.5).validate().is_err());
         assert!(NoiseChannel::XError(-0.1).validate().is_err());
-        assert!(NoiseChannel::PauliChannel1 { px: 0.5, py: 0.5, pz: 0.5 }
-            .validate()
-            .is_err());
-        assert!(NoiseChannel::PauliChannel1 { px: 0.2, py: 0.3, pz: 0.1 }
-            .validate()
-            .is_ok());
+        assert!(NoiseChannel::PauliChannel1 {
+            px: 0.5,
+            py: 0.5,
+            pz: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(NoiseChannel::PauliChannel1 {
+            px: 0.2,
+            py: 0.3,
+            pz: 0.1
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
     fn max_qubit_bound_views_all_target_kinds() {
-        let g = Instruction::Gate { gate: Gate::H, targets: vec![3, 9] };
+        let g = Instruction::Gate {
+            gate: Gate::H,
+            targets: vec![3, 9],
+        };
         assert_eq!(g.max_qubit_bound(), 10);
-        let fb = Instruction::Feedback { pauli: PauliKind::Z, lookback: -1, target: 4 };
+        let fb = Instruction::Feedback {
+            pauli: PauliKind::Z,
+            lookback: -1,
+            target: 4,
+        };
         assert_eq!(fb.max_qubit_bound(), 5);
         assert_eq!(Instruction::Tick.max_qubit_bound(), 0);
     }
 
     #[test]
     fn measurements_added_counts() {
-        let m = Instruction::Measure { targets: vec![1, 2, 3] };
+        let m = Instruction::Measure {
+            targets: vec![1, 2, 3],
+        };
         assert_eq!(m.measurements_added(), 3);
         let mr = Instruction::MeasureReset { targets: vec![1] };
         assert_eq!(mr.measurements_added(), 1);

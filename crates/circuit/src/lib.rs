@@ -34,6 +34,7 @@
 //! # Ok::<(), symphase_circuit::ParseCircuitError>(())
 //! ```
 
+pub mod action;
 mod circuit;
 pub mod gate;
 pub mod generators;
@@ -41,6 +42,7 @@ mod instruction;
 pub mod noise_model;
 mod parser;
 
+pub use action::{apply_action1, apply_action2, XZAction1, XZAction2};
 pub use circuit::{Circuit, CircuitStats};
 pub use gate::{Gate, PauliKind, SmallPauli};
 pub use instruction::{Instruction, NoiseChannel};

@@ -184,10 +184,19 @@ fn parse_line(line: &str, line_no: usize, circuit: &mut Circuit) -> Result<(), P
         "OBSERVABLE_INCLUDE" => {
             let index = match args.as_slice() {
                 [i] if i.fract() == 0.0 && *i >= 0.0 => *i as u32,
-                _ => return Err(err(line_no, "OBSERVABLE_INCLUDE needs one integer argument")),
+                _ => {
+                    return Err(err(
+                        line_no,
+                        "OBSERVABLE_INCLUDE needs one integer argument",
+                    ))
+                }
             };
             let lookbacks = parse_lookbacks(&rest, line_no)?;
-            push_checked(circuit, Instruction::ObservableInclude { index, lookbacks }, line_no)?;
+            push_checked(
+                circuit,
+                Instruction::ObservableInclude { index, lookbacks },
+                line_no,
+            )?;
         }
         "X_ERROR" | "Y_ERROR" | "Z_ERROR" | "DEPOLARIZE1" | "DEPOLARIZE2" | "PAULI_CHANNEL_1" => {
             let channel = parse_channel(name, &args, line_no)?;
@@ -311,7 +320,7 @@ fn parse_feedback(
         "CZ" => PauliKind::Z,
         _ => unreachable!("caller filtered"),
     };
-    if tokens.len() % 2 != 0 {
+    if !tokens.len().is_multiple_of(2) {
         return Err(err(line_no, "feedback takes (rec, qubit) pairs"));
     }
     for pair in tokens.chunks_exact(2) {

@@ -309,7 +309,10 @@ mod tests {
         c.reset(0);
         c.measure(0);
         let r = initialize::<SparsePhases>(&c);
-        assert!(r.measurements[0].is_zero(), "reset must clear the fault symbol");
+        assert!(
+            r.measurements[0].is_zero(),
+            "reset must clear the fault symbol"
+        );
     }
 
     #[test]

@@ -413,7 +413,11 @@ mod tests {
                     let sym = rng.random_range(1..=40u32);
                     let w = rng.random_range(0..2usize);
                     let mask: u64 = rng.random();
-                    let mask = if w == 1 { mask & ((1 << (rows - 64)) - 1) } else { mask };
+                    let mask = if w == 1 {
+                        mask & ((1 << (rows - 64)) - 1)
+                    } else {
+                        mask
+                    };
                     dense.xor_symbol_word(sym, w, mask);
                     sparse.xor_symbol_word(sym, w, mask);
                 }
@@ -443,7 +447,11 @@ mod tests {
                 _ => {
                     let w = rng.random_range(0..2usize);
                     let mask: u64 = rng.random();
-                    let mask = if w == 1 { mask & ((1 << (rows - 64)) - 1) } else { mask };
+                    let mask = if w == 1 {
+                        mask & ((1 << (rows - 64)) - 1)
+                    } else {
+                        mask
+                    };
                     dense.xor_constant_word(w, mask);
                     sparse.xor_constant_word(w, mask);
                 }

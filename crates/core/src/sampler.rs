@@ -2,12 +2,14 @@
 
 use std::sync::OnceLock;
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 
+use symphase_backend::record::{detector_measurement_sets, observable_measurement_sets};
+pub use symphase_backend::SampleBatch;
+use symphase_backend::Sampler;
 use symphase_bitmat::bernoulli::fill_bernoulli;
 use symphase_bitmat::{BitMatrix, SparseBitVec, SparseRowMatrix};
 use symphase_circuit::Circuit;
-use symphase_tableau::record::{detector_measurement_sets, observable_measurement_sets};
 
 use crate::engine::{initialize, InitResult};
 use crate::expr::SymExpr;
@@ -78,18 +80,6 @@ pub enum SamplingMethod {
     DenseMatMul,
 }
 
-/// Samples of everything a shot batch produces, shot-aligned: column `j` of
-/// each matrix belongs to the same assignment draw.
-#[derive(Clone, Debug)]
-pub struct SampleBatch {
-    /// `num_measurements × shots`.
-    pub measurements: BitMatrix,
-    /// `num_detectors × shots`.
-    pub detectors: BitMatrix,
-    /// `num_observables × shots`.
-    pub observables: BitMatrix,
-}
-
 /// The SymPhase measurement sampler (paper Algorithm 1).
 ///
 /// [`SymPhaseSampler::new`] runs **Initialization**: a single symbolic
@@ -118,6 +108,9 @@ pub struct SampleBatch {
 /// ```
 #[derive(Debug)]
 pub struct SymPhaseSampler {
+    /// The representation the caller asked for (`Auto` when unpinned);
+    /// reported through `Sampler::name`.
+    requested_repr: PhaseRepr,
     table: SymbolTable,
     measurement_exprs: Vec<SymExpr>,
     meas_rows: SparseRowMatrix,
@@ -189,10 +182,10 @@ impl SymPhaseSampler {
             PhaseRepr::Sparse => initialize::<SparsePhases>(circuit),
             PhaseRepr::Dense | PhaseRepr::Auto => initialize::<DensePhases>(circuit),
         };
-        Self::from_init(circuit, init)
+        Self::from_init(circuit, init, repr)
     }
 
-    fn from_init(circuit: &Circuit, init: InitResult) -> Self {
+    fn from_init(circuit: &Circuit, init: InitResult, requested_repr: PhaseRepr) -> Self {
         let cols = init.table.assignment_len();
         let mut meas_rows = SparseRowMatrix::new(cols);
         for e in &init.measurements {
@@ -212,6 +205,7 @@ impl SymPhaseSampler {
         let det_rows = build_derived(detector_measurement_sets(circuit));
         let obs_rows = build_derived(observable_measurement_sets(circuit));
         Self {
+            requested_repr,
             table: init.table,
             measurement_exprs: init.measurements,
             meas_rows,
@@ -220,6 +214,12 @@ impl SymPhaseSampler {
             dense_meas: OnceLock::new(),
             event_index: OnceLock::new(),
         }
+    }
+
+    /// The phase representation this sampler was requested with
+    /// (`Auto` when the per-circuit heuristic chose).
+    pub fn requested_repr(&self) -> PhaseRepr {
+        self.requested_repr
     }
 
     /// Number of measurement outcomes per shot.
@@ -322,21 +322,63 @@ impl SymPhaseSampler {
     /// assignment draw (columns are shot-aligned across the three
     /// matrices).
     pub fn sample_batch(&self, shots: usize, rng: &mut impl Rng) -> SampleBatch {
-        let mut measurements = BitMatrix::zeros(self.meas_rows.rows(), shots);
-        let mut detectors = BitMatrix::zeros(self.det_rows.rows(), shots);
-        let mut observables = BitMatrix::zeros(self.obs_rows.rows(), shots);
+        let mut batch = SampleBatch::zeros(
+            self.meas_rows.rows(),
+            self.det_rows.rows(),
+            self.obs_rows.rows(),
+            shots,
+        );
+        self.sample_batch_into(&mut batch, rng);
+        batch
+    }
+
+    /// In-place variant of [`SymPhaseSampler::sample_batch`]: fills a
+    /// pre-shaped [`SampleBatch`].
+    pub fn sample_batch_into(&self, batch: &mut SampleBatch, rng: &mut impl Rng) {
+        let shots = batch.shots();
         for start in (0..shots).step_by(Self::SHOT_BATCH) {
             let width = Self::SHOT_BATCH.min(shots - start);
             let b = self.table.sample_assignments(width, rng);
-            self.meas_rows.mul_dense_into(&b, &mut measurements, start / 64);
-            self.det_rows.mul_dense_into(&b, &mut detectors, start / 64);
-            self.obs_rows.mul_dense_into(&b, &mut observables, start / 64);
+            self.meas_rows
+                .mul_dense_into(&b, &mut batch.measurements, start / 64);
+            self.det_rows
+                .mul_dense_into(&b, &mut batch.detectors, start / 64);
+            self.obs_rows
+                .mul_dense_into(&b, &mut batch.observables, start / 64);
         }
-        SampleBatch {
-            measurements,
-            detectors,
-            observables,
+    }
+}
+
+impl Sampler for SymPhaseSampler {
+    fn name(&self) -> &'static str {
+        match self.requested_repr {
+            PhaseRepr::Auto => "symphase",
+            PhaseRepr::Sparse => "symphase-sparse",
+            PhaseRepr::Dense => "symphase-dense",
         }
+    }
+
+    fn from_circuit(circuit: &Circuit) -> Self {
+        Self::new(circuit)
+    }
+
+    fn num_measurements(&self) -> usize {
+        SymPhaseSampler::num_measurements(self)
+    }
+
+    fn num_detectors(&self) -> usize {
+        SymPhaseSampler::num_detectors(self)
+    }
+
+    fn num_observables(&self) -> usize {
+        SymPhaseSampler::num_observables(self)
+    }
+
+    fn sample_into(&self, batch: &mut SampleBatch, mut rng: &mut dyn RngCore) {
+        // The matrix products accumulate by XOR; clear so reused batches
+        // don't mix draws.
+        batch.clear();
+        self.sample_batch_into(batch, &mut rng);
     }
 }
 
@@ -585,7 +627,10 @@ mod tests {
             let e = s.detector_expr(d);
             assert!(!e.constant_term(), "detector {d} has constant term");
             for &id in e.symbol_ids() {
-                assert!(!coin_ids.contains(&id), "detector {d} depends on coin s{id}");
+                assert!(
+                    !coin_ids.contains(&id),
+                    "detector {d} depends on coin s{id}"
+                );
             }
         }
     }

@@ -187,16 +187,23 @@ impl SymbolTable {
                 }
                 SymbolGroup::Depolarize1 { x_id, z_id, p } => {
                     fill_bernoulli(&mut fire, shots, p, rng);
-                    scatter_choice(&mut b, stride, &fire, rng, |k| match k {
-                        0 => (Some(x_id), None),        // X
-                        1 => (Some(x_id), Some(z_id)),  // Y
-                        _ => (None, Some(z_id)),        // Z
-                    }, 3);
+                    scatter_choice(
+                        &mut b,
+                        stride,
+                        &fire,
+                        rng,
+                        |k| match k {
+                            0 => (Some(x_id), None),       // X
+                            1 => (Some(x_id), Some(z_id)), // Y
+                            _ => (None, Some(z_id)),       // Z
+                        },
+                        3,
+                    );
                 }
                 SymbolGroup::Depolarize2 { ids, p } => {
                     fill_bernoulli(&mut fire, shots, p, rng);
-                    for w in 0..stride {
-                        let mut fired = fire[w];
+                    for (w, &fire_word) in fire.iter().enumerate().take(stride) {
+                        let mut fired = fire_word;
                         while fired != 0 {
                             let bit = fired.trailing_zeros() as usize;
                             fired &= fired - 1;
@@ -218,8 +225,8 @@ impl SymbolTable {
                 } => {
                     let total = px + py + pz;
                     fill_bernoulli(&mut fire, shots, total, rng);
-                    for w in 0..stride {
-                        let mut fired = fire[w];
+                    for (w, &fire_word) in fire.iter().enumerate().take(stride) {
+                        let mut fired = fire_word;
                         while fired != 0 {
                             let bit = fired.trailing_zeros() as usize;
                             fired &= fired - 1;

@@ -101,92 +101,29 @@ impl FrameBatch {
 
     fn apply_single(&mut self, gate: Gate, q: usize) {
         assert!(q < self.num_qubits, "qubit {q} out of range");
-        let wps = self.wps;
-        let xr = &mut self.x[q * wps..(q + 1) * wps];
-        let zr = &mut self.z[q * wps..(q + 1) * wps];
-        match gate {
-            // Paulis and identity only change signs, which frames ignore.
-            Gate::I | Gate::X | Gate::Y | Gate::Z => {}
-            // H and √Y exchange X↔Z.
-            Gate::H | Gate::SqrtY | Gate::SqrtYDag => {
-                for w in 0..wps {
-                    std::mem::swap(&mut xr[w], &mut zr[w]);
-                }
-            }
-            // S-like gates: X→Y (gain Z component).
-            Gate::S | Gate::SDag => {
-                for w in 0..wps {
-                    zr[w] ^= xr[w];
-                }
-            }
-            // √X-like gates: Z→Y (gain X component).
-            Gate::SqrtX | Gate::SqrtXDag => {
-                for w in 0..wps {
-                    xr[w] ^= zr[w];
-                }
-            }
-            Gate::CXyz => {
-                for w in 0..wps {
-                    let x_old = xr[w];
-                    xr[w] ^= zr[w];
-                    zr[w] = x_old;
-                }
-            }
-            Gate::CZyx => {
-                for w in 0..wps {
-                    let z_old = zr[w];
-                    zr[w] ^= xr[w];
-                    xr[w] = z_old;
-                }
-            }
-            Gate::HXy => {
-                for w in 0..wps {
-                    zr[w] ^= xr[w];
-                }
-            }
-            Gate::HYz => {
-                for w in 0..wps {
-                    xr[w] ^= zr[w];
-                }
-            }
-            _ => unreachable!("two-qubit gate dispatched to apply_single"),
-        }
-    }
-
-    fn apply_pair(&mut self, gate: Gate, a: usize, b: usize) {
-        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
-        assert_ne!(a, b, "pair targets must differ");
-        if gate == Gate::Cy {
-            // CY = S_b ∘ CX ∘ S_b† (bit action of S and S† coincide).
-            self.apply_single(Gate::SDag, b);
-            self.apply_pair(Gate::Cx, a, b);
-            self.apply_single(Gate::S, b);
+        let action = gate.xz_action1();
+        // Frames track only the Pauli difference modulo sign, so the
+        // shared dispatch table's phase reports are dropped — and gates
+        // whose bit action is the identity (I, X, Y, Z) are free.
+        if action.is_identity_bit_action() {
             return;
         }
         let wps = self.wps;
+        let xr = &mut self.x[q * wps..(q + 1) * wps];
+        let zr = &mut self.z[q * wps..(q + 1) * wps];
+        symphase_circuit::apply_action1(action, xr, zr, |_, _| {});
+    }
+
+    fn apply_pair(&mut self, gate: Gate, a: usize, b: usize) {
+        assert!(
+            a < self.num_qubits && b < self.num_qubits,
+            "qubit out of range"
+        );
+        assert_ne!(a, b, "pair targets must differ");
+        let wps = self.wps;
         let (xa, xb) = two_rows(&mut self.x, a, b, wps);
         let (za, zb) = two_rows(&mut self.z, a, b, wps);
-        match gate {
-            Gate::Cx => {
-                for w in 0..wps {
-                    xb[w] ^= xa[w];
-                    za[w] ^= zb[w];
-                }
-            }
-            Gate::Cz => {
-                for w in 0..wps {
-                    za[w] ^= xb[w];
-                    zb[w] ^= xa[w];
-                }
-            }
-            Gate::Swap => {
-                for w in 0..wps {
-                    std::mem::swap(&mut xa[w], &mut xb[w]);
-                    std::mem::swap(&mut za[w], &mut zb[w]);
-                }
-            }
-            _ => unreachable!("single-qubit gate dispatched to apply_pair"),
-        }
+        symphase_circuit::apply_action2(gate.xz_action2(), xa, za, xb, zb, |_, _| {});
     }
 
     /// Re-randomizes the Z component of qubit `q` (after measurement or
@@ -370,8 +307,7 @@ mod tests {
         }
         for gate in [Gate::Cx, Gate::Cy, Gate::Cz, Gate::Swap] {
             for bits in 1..16u8 {
-                let (x0, z0, x1, z1) =
-                    (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
+                let (x0, z0, x1, z1) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
                 let mut b = FrameBatch::new(2, 64, &mut r);
                 b.x[0] = u64::from(x0);
                 b.z[0] = u64::from(z0);

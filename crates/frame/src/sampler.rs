@@ -1,7 +1,8 @@
 //! The Stim-style batch sampler: reference sample + frame propagation.
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 
+use symphase_backend::{record, SampleBatch, Sampler};
 use symphase_bitmat::{BitMatrix, BitVec};
 use symphase_circuit::{Circuit, Instruction, NoiseChannel};
 use symphase_tableau::reference_sample;
@@ -34,6 +35,8 @@ use crate::batch::FrameBatch;
 pub struct FrameSampler {
     circuit: Circuit,
     reference: BitVec,
+    det_sets: Vec<Vec<usize>>,
+    obs_sets: Vec<Vec<usize>>,
 }
 
 impl FrameSampler {
@@ -43,6 +46,8 @@ impl FrameSampler {
         Self {
             circuit: circuit.clone(),
             reference: reference_sample(circuit),
+            det_sets: record::detector_measurement_sets(circuit),
+            obs_sets: record::observable_measurement_sets(circuit),
         }
     }
 
@@ -54,10 +59,18 @@ impl FrameSampler {
     /// Samples `shots` measurement records; the result is
     /// measurement-major (`num_measurements × shots`).
     pub fn sample(&self, shots: usize, rng: &mut impl Rng) -> BitMatrix {
-        let n = self.circuit.num_qubits() as usize;
         let nm = self.circuit.num_measurements();
-        let mut frame = FrameBatch::new(n, shots, rng);
         let mut out = BitMatrix::zeros(nm, shots);
+        self.sample_measurements_into(&mut out, rng);
+        out
+    }
+
+    /// Propagates one frame batch, writing measurement records into `out`
+    /// (`num_measurements × shots`, zeroed by the caller).
+    fn sample_measurements_into(&self, out: &mut BitMatrix, rng: &mut impl Rng) {
+        let n = self.circuit.num_qubits() as usize;
+        let shots = out.cols();
+        let mut frame = FrameBatch::new(n, shots, rng);
         let mut measured = 0usize;
 
         for inst in self.circuit.instructions() {
@@ -65,7 +78,7 @@ impl FrameSampler {
                 Instruction::Gate { gate, targets } => frame.apply_gate(*gate, targets),
                 Instruction::Measure { targets } => {
                     for &q in targets {
-                        self.record_measurement(&mut out, measured, &frame, q as usize);
+                        self.record_measurement(out, measured, &frame, q as usize);
                         frame.randomize_z(q as usize, rng);
                         measured += 1;
                     }
@@ -78,7 +91,7 @@ impl FrameSampler {
                 }
                 Instruction::MeasureReset { targets } => {
                     for &q in targets {
-                        self.record_measurement(&mut out, measured, &frame, q as usize);
+                        self.record_measurement(out, measured, &frame, q as usize);
                         frame.clear_x(q as usize);
                         frame.randomize_z(q as usize, rng);
                         measured += 1;
@@ -105,7 +118,6 @@ impl FrameSampler {
                 | Instruction::Tick => {}
             }
         }
-        out
     }
 
     /// Writes `reference[m] ⊕ frame.x[q]` into output row `m`.
@@ -128,12 +140,38 @@ impl FrameSampler {
     }
 }
 
-fn apply_noise(
-    frame: &mut FrameBatch,
-    channel: NoiseChannel,
-    targets: &[u32],
-    rng: &mut impl Rng,
-) {
+impl Sampler for FrameSampler {
+    fn name(&self) -> &'static str {
+        "frame"
+    }
+
+    fn from_circuit(circuit: &Circuit) -> Self {
+        Self::new(circuit)
+    }
+
+    fn num_measurements(&self) -> usize {
+        self.circuit.num_measurements()
+    }
+
+    fn num_detectors(&self) -> usize {
+        self.det_sets.len()
+    }
+
+    fn num_observables(&self) -> usize {
+        self.obs_sets.len()
+    }
+
+    fn sample_into(&self, batch: &mut SampleBatch, mut rng: &mut dyn RngCore) {
+        // Detector/observable derivation accumulates by XOR; clear so
+        // reused batches don't mix draws.
+        batch.clear();
+        self.sample_measurements_into(&mut batch.measurements, &mut rng);
+        record::xor_rows_into(&self.det_sets, &batch.measurements, &mut batch.detectors);
+        record::xor_rows_into(&self.obs_sets, &batch.measurements, &mut batch.observables);
+    }
+}
+
+fn apply_noise(frame: &mut FrameBatch, channel: NoiseChannel, targets: &[u32], rng: &mut impl Rng) {
     match channel {
         NoiseChannel::XError(p) => {
             for &q in targets {
@@ -202,11 +240,18 @@ mod tests {
         let out = s.sample(shots, &mut rng(2));
         let mut ones = 0usize;
         for shot in 0..shots {
-            assert_eq!(out.get(0, shot), out.get(1, shot), "Bell outcomes must agree");
+            assert_eq!(
+                out.get(0, shot),
+                out.get(1, shot),
+                "Bell outcomes must agree"
+            );
             ones += usize::from(out.get(0, shot));
         }
         let dev = (ones as f64 - shots as f64 / 2.0).abs();
-        assert!(dev < 6.0 * (shots as f64 / 4.0).sqrt(), "unfair coin: {ones}/{shots}");
+        assert!(
+            dev < 6.0 * (shots as f64 / 4.0).sqrt(),
+            "unfair coin: {ones}/{shots}"
+        );
     }
 
     #[test]
@@ -298,6 +343,9 @@ mod tests {
             agree += usize::from(out.get(0, shot) == out.get(1, shot));
         }
         let dev = (agree as f64 - shots as f64 / 2.0).abs();
-        assert!(dev < 6.0 * (shots as f64 / 4.0).sqrt(), "correlated: {agree}/{shots}");
+        assert!(
+            dev < 6.0 * (shots as f64 / 4.0).sqrt(),
+            "correlated: {agree}/{shots}"
+        );
     }
 }

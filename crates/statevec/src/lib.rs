@@ -22,10 +22,12 @@
 //! assert_eq!(record.get(0), record.get(1));
 //! ```
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 
+use symphase_backend::exec::{run_shot, ShotBatcher, ShotState};
+use symphase_backend::{SampleBatch, Sampler};
 use symphase_bitmat::BitVec;
-use symphase_circuit::{Circuit, Gate, Instruction, NoiseChannel, PauliKind};
+use symphase_circuit::{Circuit, Gate};
 
 /// A complex amplitude.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -62,6 +64,9 @@ impl Complex {
     }
 
     /// Difference (used by validation tests).
+    // Named after the mathematical operation; the type deliberately stays
+    // minimal rather than implementing the `std::ops` hierarchy.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Complex) -> Complex {
         Complex::new(self.re - other.re, self.im - other.im)
     }
@@ -105,68 +110,71 @@ impl<R: Rng> StateVecSimulator<R> {
     /// Panics if the circuit has more than [`MAX_QUBITS`] qubits.
     pub fn run(&mut self, circuit: &Circuit) -> BitVec {
         let n = circuit.num_qubits();
-        assert!(n <= MAX_QUBITS, "{n} qubits exceed the dense limit {MAX_QUBITS}");
+        assert!(
+            n <= MAX_QUBITS,
+            "{n} qubits exceed the dense limit {MAX_QUBITS}"
+        );
         let mut state = State::zero_state(n as usize);
-        let mut record = BitVec::new();
-        for inst in circuit.instructions() {
-            match inst {
-                Instruction::Gate { gate, targets } => match gate.arity() {
-                    1 => {
-                        for &q in targets {
-                            state.apply_1q(*gate, q as usize);
-                        }
-                    }
-                    _ => {
-                        for pair in targets.chunks_exact(2) {
-                            state.apply_2q(*gate, pair[0] as usize, pair[1] as usize);
-                        }
-                    }
-                },
-                Instruction::Measure { targets } => {
-                    for &q in targets {
-                        record.push(state.measure(q as usize, &mut self.rng));
-                    }
-                }
-                Instruction::Reset { targets } => {
-                    for &q in targets {
-                        if state.measure(q as usize, &mut self.rng) {
-                            state.apply_1q(Gate::X, q as usize);
-                        }
-                    }
-                }
-                Instruction::MeasureReset { targets } => {
-                    for &q in targets {
-                        let m = state.measure(q as usize, &mut self.rng);
-                        record.push(m);
-                        if m {
-                            state.apply_1q(Gate::X, q as usize);
-                        }
-                    }
-                }
-                Instruction::Noise { channel, targets } => {
-                    state.apply_noise(*channel, targets, &mut self.rng);
-                }
-                Instruction::Feedback {
-                    pauli,
-                    lookback,
-                    target,
-                } => {
-                    let idx = (record.len() as i64 + lookback) as usize;
-                    if record.get(idx) {
-                        let gate = match pauli {
-                            PauliKind::X => Gate::X,
-                            PauliKind::Y => Gate::Y,
-                            PauliKind::Z => Gate::Z,
-                        };
-                        state.apply_1q(gate, *target as usize);
-                    }
-                }
-                Instruction::Detector { .. }
-                | Instruction::ObservableInclude { .. }
-                | Instruction::Tick => {}
-            }
+        run_shot(&mut state, circuit, &mut self.rng, false)
+    }
+}
+
+/// The dense simulator as a [`Sampler`] backend: every shot is an
+/// independent Born-rule trajectory.
+///
+/// Only meaningful for small circuits (≤ [`MAX_QUBITS`] qubits), where it
+/// serves as the quantum-mechanical ground truth the stabilizer engines
+/// are validated against.
+#[derive(Clone, Debug)]
+pub struct StateVecSampler {
+    circuit: Circuit,
+    batcher: ShotBatcher,
+}
+
+impl StateVecSampler {
+    /// Builds the backend for `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more than [`MAX_QUBITS`] qubits.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.num_qubits();
+        assert!(
+            n <= MAX_QUBITS,
+            "{n} qubits exceed the dense limit {MAX_QUBITS}"
+        );
+        Self {
+            circuit: circuit.clone(),
+            batcher: ShotBatcher::new(circuit),
         }
-        record
+    }
+}
+
+impl Sampler for StateVecSampler {
+    fn name(&self) -> &'static str {
+        "statevec"
+    }
+
+    fn from_circuit(circuit: &Circuit) -> Self {
+        Self::new(circuit)
+    }
+
+    fn num_measurements(&self) -> usize {
+        self.circuit.num_measurements()
+    }
+
+    fn num_detectors(&self) -> usize {
+        self.batcher.num_detectors()
+    }
+
+    fn num_observables(&self) -> usize {
+        self.batcher.num_observables()
+    }
+
+    fn sample_into(&self, batch: &mut SampleBatch, rng: &mut dyn RngCore) {
+        let n = self.circuit.num_qubits() as usize;
+        self.batcher
+            .sample_into(&self.circuit, || State::zero_state(n), batch, rng);
     }
 }
 
@@ -189,7 +197,12 @@ impl State {
         let s = std::f64::consts::FRAC_1_SQRT_2;
         let (a, b, c, d) = match gate {
             Gate::I => return,
-            Gate::X => (Complex::zero(), Complex::one(), Complex::one(), Complex::zero()),
+            Gate::X => (
+                Complex::zero(),
+                Complex::one(),
+                Complex::one(),
+                Complex::zero(),
+            ),
             Gate::Y => (Complex::zero(), NEG_I, I, Complex::zero()),
             Gate::Z => (
                 Complex::one(),
@@ -315,7 +328,7 @@ impl State {
     }
 
     /// Born-rule Z measurement with renormalizing projection.
-    fn measure(&mut self, q: usize, rng: &mut impl Rng) -> bool {
+    fn measure_born(&mut self, q: usize, rng: &mut impl Rng) -> bool {
         let bit = 1usize << q;
         let p1: f64 = self
             .amps
@@ -337,66 +350,28 @@ impl State {
         }
         outcome
     }
+}
 
-    fn apply_noise(&mut self, channel: NoiseChannel, targets: &[u32], rng: &mut impl Rng) {
-        match channel {
-            NoiseChannel::XError(p) => {
+impl ShotState for State {
+    fn apply_gate(&mut self, gate: Gate, targets: &[u32]) {
+        match gate.arity() {
+            1 => {
                 for &q in targets {
-                    if rng.random_bool(p) {
-                        self.apply_1q(Gate::X, q as usize);
-                    }
+                    self.apply_1q(gate, q as usize);
                 }
             }
-            NoiseChannel::YError(p) => {
-                for &q in targets {
-                    if rng.random_bool(p) {
-                        self.apply_1q(Gate::Y, q as usize);
-                    }
-                }
-            }
-            NoiseChannel::ZError(p) => {
-                for &q in targets {
-                    if rng.random_bool(p) {
-                        self.apply_1q(Gate::Z, q as usize);
-                    }
-                }
-            }
-            NoiseChannel::Depolarize1(p) => {
-                for &q in targets {
-                    if rng.random_bool(p) {
-                        let g = [Gate::X, Gate::Y, Gate::Z][rng.random_range(0..3)];
-                        self.apply_1q(g, q as usize);
-                    }
-                }
-            }
-            NoiseChannel::Depolarize2(p) => {
+            _ => {
                 for pair in targets.chunks_exact(2) {
-                    if rng.random_bool(p) {
-                        let k = rng.random_range(1..16u32);
-                        for (xb, zb, q) in [(k & 1, k & 2, pair[0]), (k & 4, k & 8, pair[1])] {
-                            match (xb != 0, zb != 0) {
-                                (true, false) => self.apply_1q(Gate::X, q as usize),
-                                (true, true) => self.apply_1q(Gate::Y, q as usize),
-                                (false, true) => self.apply_1q(Gate::Z, q as usize),
-                                (false, false) => {}
-                            }
-                        }
-                    }
-                }
-            }
-            NoiseChannel::PauliChannel1 { px, py, pz } => {
-                for &q in targets {
-                    let u: f64 = rng.random();
-                    if u < px {
-                        self.apply_1q(Gate::X, q as usize);
-                    } else if u < px + py {
-                        self.apply_1q(Gate::Y, q as usize);
-                    } else if u < px + py + pz {
-                        self.apply_1q(Gate::Z, q as usize);
-                    }
+                    self.apply_2q(gate, pair[0] as usize, pair[1] as usize);
                 }
             }
         }
+    }
+
+    // The dense engine is never used for reference sampling (the tableau
+    // engine owns that convention), so `reference` is ignored.
+    fn measure(&mut self, q: u32, mut rng: &mut dyn RngCore, _reference: bool) -> bool {
+        self.measure_born(q as usize, &mut rng)
     }
 }
 
@@ -406,6 +381,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use symphase_circuit::generators::{ghz, teleportation};
+    use symphase_circuit::NoiseChannel;
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
@@ -500,8 +476,18 @@ mod tests {
         // Pauli matrices as flat [a, b, c, d].
         let pauli_matrix = |x: bool, z: bool, neg: bool| -> [Complex; 4] {
             let m: [Complex; 4] = match (x, z) {
-                (false, false) => [Complex::one(), Complex::zero(), Complex::zero(), Complex::one()],
-                (true, false) => [Complex::zero(), Complex::one(), Complex::one(), Complex::zero()],
+                (false, false) => [
+                    Complex::one(),
+                    Complex::zero(),
+                    Complex::zero(),
+                    Complex::one(),
+                ],
+                (true, false) => [
+                    Complex::zero(),
+                    Complex::one(),
+                    Complex::one(),
+                    Complex::zero(),
+                ],
                 (false, true) => [
                     Complex::one(),
                     Complex::zero(),

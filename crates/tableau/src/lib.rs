@@ -40,5 +40,5 @@ pub mod verify;
 
 pub use pauli::PauliString;
 pub use phases::{ConcretePhases, PhaseStore};
-pub use simulator::{reference_sample, TableauSimulator};
+pub use simulator::{reference_sample, TableauSampler, TableauSimulator};
 pub use tableau::{Collapse, Tableau};

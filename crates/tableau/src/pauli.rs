@@ -105,7 +105,7 @@ impl PauliString {
             t.count_ones()
         };
         let e = (self.phase_exp as usize + 4 - ys % 4) % 4;
-        assert!(e % 2 == 0, "Pauli string has imaginary phase");
+        assert!(e.is_multiple_of(2), "Pauli string has imaginary phase");
         e == 2
     }
 
@@ -249,7 +249,11 @@ mod tests {
         let case = |a: &str, b: &str, x: bool, z: bool, e: u8| {
             let prod = p(a).mul(&p(b));
             assert_eq!(
-                (prod.x_bits().get(0), prod.z_bits().get(0), prod.phase_exponent()),
+                (
+                    prod.x_bits().get(0),
+                    prod.z_bits().get(0),
+                    prod.phase_exponent()
+                ),
                 (x, z, e),
                 "{a}·{b}"
             );

@@ -1,13 +1,56 @@
 //! Single-shot concrete tableau simulation and reference sampling.
+//!
+//! The instruction-walk state machine (record bookkeeping, resets,
+//! feedback, trajectory noise) lives in `symphase_backend::exec`; this
+//! module supplies only the tableau-specific primitives through
+//! [`ShotState`] and wraps them as [`TableauSimulator`] (one shot at a
+//! time) and [`TableauSampler`] (the [`Sampler`] backend that loops
+//! shots).
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
+use symphase_backend::exec::{run_shot, ShotBatcher, ShotState};
+use symphase_backend::{SampleBatch, Sampler};
 use symphase_bitmat::BitVec;
-use symphase_circuit::{Circuit, Gate, Instruction, NoiseChannel, PauliKind};
+use symphase_circuit::{Circuit, Gate};
 
 use crate::phases::{ConcretePhases, PhaseStore};
 use crate::tableau::{Collapse, Tableau};
+
+/// The concrete tableau as a single-shot execution state: the classic
+/// Aaronson–Gottesman algorithm with one sign bit per generator.
+pub(crate) struct ConcreteShot {
+    tab: Tableau<ConcretePhases>,
+}
+
+impl ConcreteShot {
+    pub(crate) fn new(num_qubits: usize) -> Self {
+        Self {
+            tab: Tableau::new(num_qubits),
+        }
+    }
+}
+
+impl ShotState for ConcreteShot {
+    fn apply_gate(&mut self, gate: Gate, targets: &[u32]) {
+        self.tab.apply_gate(gate, targets);
+    }
+
+    fn measure(&mut self, q: u32, rng: &mut dyn RngCore, reference: bool) -> bool {
+        match self.tab.collapse_z(q as usize) {
+            Collapse::Random { pivot } => {
+                let outcome = if reference { false } else { rng.random() };
+                self.tab.phases_mut().set_constant_bit(pivot, outcome);
+                outcome
+            }
+            Collapse::Deterministic => {
+                self.tab.accumulate_deterministic(q as usize);
+                self.tab.phases().constant_bit(self.tab.scratch_row())
+            }
+        }
+    }
+}
 
 /// A single-shot stabilizer simulator with concrete phases: the classic
 /// Aaronson–Gottesman algorithm, including Pauli noise sampled during the
@@ -15,7 +58,8 @@ use crate::tableau::{Collapse, Tableau};
 ///
 /// Sampling `k` shots with this simulator traverses the circuit `k` times —
 /// the cost model Algorithm 1 avoids. It is the correctness anchor for the
-/// faster engines.
+/// faster engines. For batch sampling through the shared backend layer,
+/// use [`TableauSampler`].
 ///
 /// # Example
 ///
@@ -54,7 +98,8 @@ impl<R: Rng> TableauSimulator<R> {
             circuit.num_qubits(),
             self.n
         );
-        run_once(self.n, circuit, &mut self.rng, false)
+        let mut state = ConcreteShot::new(self.n);
+        run_shot(&mut state, circuit, &mut self.rng, false)
     }
 }
 
@@ -64,154 +109,57 @@ impl<R: Rng> TableauSimulator<R> {
 pub fn reference_sample(circuit: &Circuit) -> BitVec {
     // RNG is never consulted in reference mode.
     let mut rng = StdRng::seed_from_u64(0);
-    run_once(circuit.num_qubits() as usize, circuit, &mut rng, true)
+    let mut state = ConcreteShot::new(circuit.num_qubits() as usize);
+    run_shot(&mut state, circuit, &mut rng, true)
 }
 
-fn run_once(n: usize, circuit: &Circuit, rng: &mut impl Rng, reference: bool) -> BitVec {
-    let mut tab: Tableau<ConcretePhases> = Tableau::new(n);
-    let mut record = BitVec::new();
-    for inst in circuit.instructions() {
-        match inst {
-            Instruction::Gate { gate, targets } => tab.apply_gate(*gate, targets),
-            Instruction::Measure { targets } => {
-                for &q in targets {
-                    let m = measure(&mut tab, q as usize, rng, reference);
-                    record.push(m);
-                }
-            }
-            Instruction::Reset { targets } => {
-                for &q in targets {
-                    let m = measure(&mut tab, q as usize, rng, reference);
-                    if m {
-                        tab.apply_gate(Gate::X, &[q]);
-                    }
-                }
-            }
-            Instruction::MeasureReset { targets } => {
-                for &q in targets {
-                    let m = measure(&mut tab, q as usize, rng, reference);
-                    record.push(m);
-                    if m {
-                        tab.apply_gate(Gate::X, &[q]);
-                    }
-                }
-            }
-            Instruction::Noise { channel, targets } => {
-                if !reference {
-                    apply_noise(&mut tab, *channel, targets, rng);
-                }
-            }
-            Instruction::Feedback {
-                pauli,
-                lookback,
-                target,
-            } => {
-                let idx = record.len() as i64 + lookback;
-                assert!(idx >= 0, "lookback validated at construction");
-                if record.get(idx as usize) {
-                    let gate = match pauli {
-                        PauliKind::X => Gate::X,
-                        PauliKind::Y => Gate::Y,
-                        PauliKind::Z => Gate::Z,
-                    };
-                    tab.apply_gate(gate, &[*target]);
-                }
-            }
-            Instruction::Detector { .. }
-            | Instruction::ObservableInclude { .. }
-            | Instruction::Tick => {}
-        }
-    }
-    record
+/// The tableau engine as a [`Sampler`] backend: every shot is an
+/// independent noisy tableau trajectory.
+///
+/// Per-shot cost is `O(n_g · n + n_m · n²)` — the slowest backend by far,
+/// but it exercises the textbook algorithm directly, which makes it the
+/// arbiter when the fast engines disagree.
+#[derive(Clone, Debug)]
+pub struct TableauSampler {
+    circuit: Circuit,
+    batcher: ShotBatcher,
 }
 
-fn measure(
-    tab: &mut Tableau<ConcretePhases>,
-    q: usize,
-    rng: &mut impl Rng,
-    reference: bool,
-) -> bool {
-    match tab.collapse_z(q) {
-        Collapse::Random { pivot } => {
-            let outcome = if reference { false } else { rng.random() };
-            tab.phases_mut().set_constant_bit(pivot, outcome);
-            outcome
-        }
-        Collapse::Deterministic => {
-            tab.accumulate_deterministic(q);
-            tab.phases().constant_bit(tab.scratch_row())
+impl TableauSampler {
+    /// Builds the backend for `circuit`.
+    pub fn new(circuit: &Circuit) -> Self {
+        Self {
+            circuit: circuit.clone(),
+            batcher: ShotBatcher::new(circuit),
         }
     }
 }
 
-/// Samples and applies one realization of a noise channel (trajectory
-/// simulation).
-fn apply_noise(
-    tab: &mut Tableau<ConcretePhases>,
-    channel: NoiseChannel,
-    targets: &[u32],
-    rng: &mut impl Rng,
-) {
-    match channel {
-        NoiseChannel::XError(p) => {
-            for &q in targets {
-                if rng.random_bool(p) {
-                    tab.apply_gate(Gate::X, &[q]);
-                }
-            }
-        }
-        NoiseChannel::YError(p) => {
-            for &q in targets {
-                if rng.random_bool(p) {
-                    tab.apply_gate(Gate::Y, &[q]);
-                }
-            }
-        }
-        NoiseChannel::ZError(p) => {
-            for &q in targets {
-                if rng.random_bool(p) {
-                    tab.apply_gate(Gate::Z, &[q]);
-                }
-            }
-        }
-        NoiseChannel::Depolarize1(p) => {
-            for &q in targets {
-                if rng.random_bool(p) {
-                    let gate = [Gate::X, Gate::Y, Gate::Z][rng.random_range(0..3)];
-                    tab.apply_gate(gate, &[q]);
-                }
-            }
-        }
-        NoiseChannel::Depolarize2(p) => {
-            for pair in targets.chunks_exact(2) {
-                if rng.random_bool(p) {
-                    // One of the 15 non-identity two-qubit Paulis.
-                    let k = rng.random_range(1..16u32);
-                    for (bit_x, bit_z, q) in
-                        [(k & 1, k & 2, pair[0]), (k & 4, k & 8, pair[1])]
-                    {
-                        match (bit_x != 0, bit_z != 0) {
-                            (true, false) => tab.apply_gate(Gate::X, &[q]),
-                            (true, true) => tab.apply_gate(Gate::Y, &[q]),
-                            (false, true) => tab.apply_gate(Gate::Z, &[q]),
-                            (false, false) => {}
-                        }
-                    }
-                }
-            }
-        }
-        NoiseChannel::PauliChannel1 { px, py, pz } => {
-            for &q in targets {
-                let u: f64 = rng.random();
-                if u < px {
-                    tab.apply_gate(Gate::X, &[q]);
-                } else if u < px + py {
-                    tab.apply_gate(Gate::Y, &[q]);
-                } else if u < px + py + pz {
-                    tab.apply_gate(Gate::Z, &[q]);
-                }
-            }
-        }
+impl Sampler for TableauSampler {
+    fn name(&self) -> &'static str {
+        "tableau"
+    }
+
+    fn from_circuit(circuit: &Circuit) -> Self {
+        Self::new(circuit)
+    }
+
+    fn num_measurements(&self) -> usize {
+        self.circuit.num_measurements()
+    }
+
+    fn num_detectors(&self) -> usize {
+        self.batcher.num_detectors()
+    }
+
+    fn num_observables(&self) -> usize {
+        self.batcher.num_observables()
+    }
+
+    fn sample_into(&self, batch: &mut SampleBatch, rng: &mut dyn RngCore) {
+        let n = self.circuit.num_qubits() as usize;
+        self.batcher
+            .sample_into(&self.circuit, || ConcreteShot::new(n), batch, rng);
     }
 }
 
@@ -219,6 +167,7 @@ fn apply_noise(
 mod tests {
     use super::*;
     use symphase_circuit::generators::{bell_pair, ghz, teleportation};
+    use symphase_circuit::{NoiseChannel, PauliKind};
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
@@ -233,7 +182,10 @@ mod tests {
             assert_eq!(rec.get(0), rec.get(1), "Bell outcomes must agree");
             ones += usize::from(rec.get(0));
         }
-        assert!(ones > 10 && ones < 54, "Bell outcome should be ~fair, got {ones}/64");
+        assert!(
+            ones > 10 && ones < 54,
+            "Bell outcome should be ~fair, got {ones}/64"
+        );
     }
 
     #[test]
@@ -277,7 +229,10 @@ mod tests {
         let c = teleportation();
         for seed in 0..32 {
             let rec = TableauSimulator::new(3, rng(seed)).run(&c);
-            assert!(!rec.get(2), "teleportation verification failed (seed {seed})");
+            assert!(
+                !rec.get(2),
+                "teleportation verification failed (seed {seed})"
+            );
         }
     }
 
@@ -356,5 +311,39 @@ mod tests {
             flips += rec.iter_ones().count();
         }
         assert!(flips > 0, "two-qubit depolarizing never flipped anything");
+    }
+
+    #[test]
+    fn sampler_backend_matches_single_shot_statistics() {
+        let mut c = Circuit::new(2);
+        c.noise(NoiseChannel::XError(0.3), &[0]);
+        c.measure_all();
+        c.detector(&[-2]);
+        let s = TableauSampler::new(&c);
+        assert_eq!(s.num_measurements(), 2);
+        assert_eq!(s.num_detectors(), 1);
+        let shots = 20_000;
+        let batch = s.sample(shots, &mut rng(9));
+        let ones = (0..shots).filter(|&i| batch.measurements.get(0, i)).count();
+        assert!(
+            (ones as f64 - 6000.0).abs() < 6.0 * (shots as f64 * 0.3 * 0.7).sqrt(),
+            "X error rate off: {ones}"
+        );
+        // Detector mirrors measurement 0 here.
+        for shot in 0..200 {
+            assert_eq!(
+                batch.detectors.get(0, shot),
+                batch.measurements.get(0, shot)
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_backend_par_is_deterministic() {
+        let c = bell_pair();
+        let s = TableauSampler::new(&c);
+        let a = s.sample_seeded(5000, 77);
+        let b = s.sample_par(5000, 77);
+        assert_eq!(a, b);
     }
 }

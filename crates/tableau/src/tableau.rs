@@ -32,10 +32,10 @@ const G_TABLE: [[i32; 4]; 4] = {
     // P1 = X: g = z2 * (2x2 - 1)
     t[2][1] = -1; // X·Z
     t[2][3] = 1; // X·Y
-    // P1 = Y: g = z2 - x2
+                 // P1 = Y: g = z2 - x2
     t[3][1] = 1; // Y·Z
     t[3][2] = -1; // Y·X
-    // P1 = Z: g = x2 * (1 - 2z2)
+                  // P1 = Z: g = x2 * (1 - 2z2)
     t[1][2] = 1; // Z·X
     t[1][3] = -1; // Z·Y
     t
@@ -202,7 +202,10 @@ impl<P: PhaseStore> Tableau<P> {
                 }
             }
             _ => {
-                assert!(targets.len() % 2 == 0, "two-qubit gate needs pairs");
+                assert!(
+                    targets.len().is_multiple_of(2),
+                    "two-qubit gate needs pairs"
+                );
                 for pair in targets.chunks_exact(2) {
                     self.apply_pair(gate, pair[0] as usize, pair[1] as usize);
                 }
@@ -216,136 +219,23 @@ impl<P: PhaseStore> Tableau<P> {
         let xa = &mut self.x[a * wpc..(a + 1) * wpc];
         let za = &mut self.z[a * wpc..(a + 1) * wpc];
         let phases = &mut self.phases;
-        match gate {
-            Gate::I => {}
-            Gate::X => {
-                for w in 0..wpc {
-                    phases.xor_constant_word(w, za[w]);
-                }
-            }
-            Gate::Y => {
-                for w in 0..wpc {
-                    phases.xor_constant_word(w, xa[w] ^ za[w]);
-                }
-            }
-            Gate::Z => {
-                for w in 0..wpc {
-                    phases.xor_constant_word(w, xa[w]);
-                }
-            }
-            Gate::H => {
-                for w in 0..wpc {
-                    phases.xor_constant_word(w, xa[w] & za[w]);
-                    std::mem::swap(&mut xa[w], &mut za[w]);
-                }
-            }
-            Gate::S => {
-                for w in 0..wpc {
-                    phases.xor_constant_word(w, xa[w] & za[w]);
-                    za[w] ^= xa[w];
-                }
-            }
-            Gate::SDag => {
-                for w in 0..wpc {
-                    phases.xor_constant_word(w, xa[w] & !za[w]);
-                    za[w] ^= xa[w];
-                }
-            }
-            Gate::SqrtX => {
-                for w in 0..wpc {
-                    phases.xor_constant_word(w, !xa[w] & za[w]);
-                    xa[w] ^= za[w];
-                }
-            }
-            Gate::SqrtXDag => {
-                for w in 0..wpc {
-                    phases.xor_constant_word(w, xa[w] & za[w]);
-                    xa[w] ^= za[w];
-                }
-            }
-            Gate::SqrtY => {
-                for w in 0..wpc {
-                    phases.xor_constant_word(w, xa[w] & !za[w]);
-                    std::mem::swap(&mut xa[w], &mut za[w]);
-                }
-            }
-            Gate::SqrtYDag => {
-                for w in 0..wpc {
-                    phases.xor_constant_word(w, !xa[w] & za[w]);
-                    std::mem::swap(&mut xa[w], &mut za[w]);
-                }
-            }
-            Gate::CXyz => {
-                // (x, z) → (x⊕z, x); all images carry + signs.
-                for w in 0..wpc {
-                    let x_old = xa[w];
-                    xa[w] ^= za[w];
-                    za[w] = x_old;
-                }
-            }
-            Gate::CZyx => {
-                // (x, z) → (z, x⊕z); all images carry + signs.
-                for w in 0..wpc {
-                    let z_old = za[w];
-                    za[w] ^= xa[w];
-                    xa[w] = z_old;
-                }
-            }
-            Gate::HXy => {
-                // Z → −Z; (x, z) → (x, x⊕z).
-                for w in 0..wpc {
-                    phases.xor_constant_word(w, !xa[w] & za[w]);
-                    za[w] ^= xa[w];
-                }
-            }
-            Gate::HYz => {
-                // X → −X; (x, z) → (x⊕z, z).
-                for w in 0..wpc {
-                    phases.xor_constant_word(w, xa[w] & !za[w]);
-                    xa[w] ^= za[w];
-                }
-            }
-            _ => unreachable!("two-qubit gate dispatched to apply_single"),
-        }
+        // One shared dispatch table (derived from the reference conjugation
+        // semantics) supplies both the F₂ bit action and the sign flips.
+        symphase_circuit::apply_action1(gate.xz_action1(), xa, za, |w, m| {
+            phases.xor_constant_word(w, m);
+        });
     }
 
     fn apply_pair(&mut self, gate: Gate, a: usize, b: usize) {
         assert!(a < self.n && b < self.n, "qubit out of range");
         assert_ne!(a, b, "two-qubit gate targets must differ");
-        if gate == Gate::Cy {
-            // CY = S_b ∘ CX(a,b) ∘ S_b†: apply right-to-left.
-            self.apply_single(Gate::SDag, b);
-            self.apply_pair(Gate::Cx, a, b);
-            self.apply_single(Gate::S, b);
-            return;
-        }
         let wpc = self.wpc;
         let (xa, xb) = two_slices(&mut self.x, a, b, wpc);
         let (za, zb) = two_slices(&mut self.z, a, b, wpc);
         let phases = &mut self.phases;
-        match gate {
-            Gate::Cx => {
-                for w in 0..wpc {
-                    phases.xor_constant_word(w, xa[w] & zb[w] & !(xb[w] ^ za[w]));
-                    xb[w] ^= xa[w];
-                    za[w] ^= zb[w];
-                }
-            }
-            Gate::Cz => {
-                for w in 0..wpc {
-                    phases.xor_constant_word(w, xa[w] & xb[w] & (za[w] ^ zb[w]));
-                    za[w] ^= xb[w];
-                    zb[w] ^= xa[w];
-                }
-            }
-            Gate::Swap => {
-                for w in 0..wpc {
-                    std::mem::swap(&mut xa[w], &mut xb[w]);
-                    std::mem::swap(&mut za[w], &mut zb[w]);
-                }
-            }
-            _ => unreachable!("single-qubit gate dispatched to apply_pair"),
-        }
+        symphase_circuit::apply_action2(gate.xz_action2(), xa, za, xb, zb, |w, m| {
+            phases.xor_constant_word(w, m);
+        });
     }
 
     // -- row operations -----------------------------------------------
@@ -455,7 +345,8 @@ impl<P: PhaseStore> Tableau<P> {
 
     /// First stabilizer row whose X bit at qubit `a` is set.
     fn find_pivot(&self, a: usize) -> Option<usize> {
-        self.rows_with_x_bit(a).find(|&r| r >= self.n && r < 2 * self.n)
+        self.rows_with_x_bit(a)
+            .find(|&r| r >= self.n && r < 2 * self.n)
     }
 
     /// Iterates rows (ascending) whose X bit at qubit `a` is set, snapshot
@@ -649,7 +540,10 @@ mod tests {
         t.phases_mut().set_constant_bit(pivot, true); // outcome 1
         assert_eq!(t.collapse_z(1), Collapse::Deterministic);
         t.accumulate_deterministic(1);
-        assert!(t.phases().constant_bit(t.scratch_row()), "outcomes must agree");
+        assert!(
+            t.phases().constant_bit(t.scratch_row()),
+            "outcomes must agree"
+        );
     }
 
     #[test]

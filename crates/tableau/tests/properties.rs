@@ -6,7 +6,9 @@ use rand::SeedableRng;
 
 use symphase_circuit::{Circuit, Gate};
 use symphase_tableau::verify::check_invariants;
-use symphase_tableau::{reference_sample, Collapse, ConcretePhases, PhaseStore, Tableau, TableauSimulator};
+use symphase_tableau::{
+    reference_sample, Collapse, ConcretePhases, PhaseStore, Tableau, TableauSimulator,
+};
 
 #[derive(Clone, Debug)]
 enum Op {

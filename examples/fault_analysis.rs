@@ -21,7 +21,7 @@ fn main() {
     c.noise(NoiseChannel::XError(0.01), &[1]); // s2
     c.noise(NoiseChannel::XError(0.01), &[2]); // s3
     c.noise(NoiseChannel::XError(0.01), &[3]); // s4
-    // Un-prepare and measure.
+                                               // Un-prepare and measure.
     c.cx(2, 3).cx(1, 2).cx(0, 1).h(0);
     c.measure_all();
 
@@ -35,7 +35,13 @@ fn main() {
     println!("\nfault sensitivity (rows: measurements, cols: symbols s1..s4):");
     for (i, e) in sampler.measurement_exprs().iter().enumerate() {
         let row: String = (1..=4u32)
-            .map(|s| if e.symbol_ids().contains(&s) { '1' } else { '.' })
+            .map(|s| {
+                if e.symbol_ids().contains(&s) {
+                    '1'
+                } else {
+                    '.'
+                }
+            })
             .collect();
         println!("  m{}: {row}", i + 1);
     }

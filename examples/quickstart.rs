@@ -35,18 +35,25 @@ M 0 1 2
 
     let shots = 100_000;
     let samples = sampler.sample(shots, &mut StdRng::seed_from_u64(1));
-    let flip_rate = |m: usize| {
-        (0..shots).filter(|&s| samples.get(m, s)).count() as f64 / shots as f64
-    };
-    println!("\nSymPhase outcome-1 rates: {:.4} {:.4} {:.4}", flip_rate(0), flip_rate(1), flip_rate(2));
+    let flip_rate =
+        |m: usize| (0..shots).filter(|&s| samples.get(m, s)).count() as f64 / shots as f64;
+    println!(
+        "\nSymPhase outcome-1 rates: {:.4} {:.4} {:.4}",
+        flip_rate(0),
+        flip_rate(1),
+        flip_rate(2)
+    );
 
     // --- The Pauli-frame baseline gives the same distribution.
     let frame = FrameSampler::new(&circuit);
     let fsamples = frame.sample(shots, &mut StdRng::seed_from_u64(2));
-    let frate = |m: usize| {
-        (0..shots).filter(|&s| fsamples.get(m, s)).count() as f64 / shots as f64
-    };
-    println!("frame    outcome-1 rates: {:.4} {:.4} {:.4}", frate(0), frate(1), frate(2));
+    let frate = |m: usize| (0..shots).filter(|&s| fsamples.get(m, s)).count() as f64 / shots as f64;
+    println!(
+        "frame    outcome-1 rates: {:.4} {:.4} {:.4}",
+        frate(0),
+        frate(1),
+        frate(2)
+    );
 
     // --- A single-shot tableau run for good measure.
     let record = TableauSimulator::new(3, StdRng::seed_from_u64(3)).run(&circuit);

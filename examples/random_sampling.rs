@@ -70,9 +70,8 @@ fn main() {
     );
 
     // Sanity: both samplers agree on the mean outcome rate.
-    let rate = |m: &symphase::bitmat::BitMatrix| {
-        m.count_ones() as f64 / (m.rows() * m.cols()) as f64
-    };
+    let rate =
+        |m: &symphase::bitmat::BitMatrix| m.count_ones() as f64 / (m.rows() * m.cols()) as f64;
     println!(
         "\nmean outcome-1 rates: SymPhase {:.4}, frame {:.4}",
         rate(&s1),

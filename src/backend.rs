@@ -1,0 +1,144 @@
+//! Backend selection: every simulation engine behind one factory.
+//!
+//! All four engines implement [`Sampler`]; this module names them and
+//! builds them dynamically, which is what the CLI (`--engine`), the bench
+//! harness, and the cross-backend equivalence tests route through.
+
+use symphase_backend::Sampler;
+use symphase_circuit::Circuit;
+use symphase_core::{PhaseRepr, SymPhaseSampler};
+use symphase_frame::FrameSampler;
+use symphase_statevec::{StateVecSampler, MAX_QUBITS};
+use symphase_tableau::TableauSampler;
+
+/// The selectable sampler backends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// SymPhase (Algorithm 1) with the per-circuit automatic phase store.
+    SymPhase,
+    /// SymPhase pinned to the sparse phase store.
+    SymPhaseSparse,
+    /// SymPhase pinned to the dense phase store.
+    SymPhaseDense,
+    /// Stim-style Pauli-frame batch propagation.
+    Frame,
+    /// Per-shot concrete Aaronson–Gottesman tableau trajectories.
+    Tableau,
+    /// Per-shot dense state-vector trajectories (small circuits only).
+    StateVec,
+}
+
+impl BackendKind {
+    /// Every backend, in documentation order.
+    pub const ALL: [BackendKind; 6] = [
+        BackendKind::SymPhase,
+        BackendKind::SymPhaseSparse,
+        BackendKind::SymPhaseDense,
+        BackendKind::Frame,
+        BackendKind::Tableau,
+        BackendKind::StateVec,
+    ];
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::SymPhase => "symphase",
+            BackendKind::SymPhaseSparse => "symphase-sparse",
+            BackendKind::SymPhaseDense => "symphase-dense",
+            BackendKind::Frame => "frame",
+            BackendKind::Tableau => "tableau",
+            BackendKind::StateVec => "statevec",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<BackendKind> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Whether this backend can simulate `circuit` (the dense ground
+    /// truth is capped at [`MAX_QUBITS`] qubits).
+    pub fn supports(self, circuit: &Circuit) -> bool {
+        match self {
+            BackendKind::StateVec => circuit.num_qubits() <= MAX_QUBITS,
+            _ => true,
+        }
+    }
+
+    /// Builds the backend for `circuit` (runs the engine's
+    /// initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend does not support the circuit (see
+    /// [`BackendKind::supports`]).
+    pub fn build(self, circuit: &Circuit) -> Box<dyn Sampler> {
+        match self {
+            BackendKind::SymPhase => Box::new(SymPhaseSampler::from_circuit(circuit)),
+            BackendKind::SymPhaseSparse => {
+                Box::new(SymPhaseSampler::with_repr(circuit, PhaseRepr::Sparse))
+            }
+            BackendKind::SymPhaseDense => {
+                Box::new(SymPhaseSampler::with_repr(circuit, PhaseRepr::Dense))
+            }
+            BackendKind::Frame => Box::new(FrameSampler::from_circuit(circuit)),
+            BackendKind::Tableau => Box::new(TableauSampler::from_circuit(circuit)),
+            BackendKind::StateVec => Box::new(StateVecSampler::from_circuit(circuit)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symphase_circuit::generators::ghz;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn factory_and_sampler_names_agree() {
+        // The trait's `name()` is documented as the CLI `--engine` value:
+        // every built backend must report the name it was selected by.
+        let c = ghz(2);
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.build(&c).name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn every_backend_builds_and_samples_ghz() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let c = ghz(3);
+        for kind in BackendKind::ALL {
+            assert!(kind.supports(&c));
+            let s = kind.build(&c);
+            let batch = s.sample(200, &mut StdRng::seed_from_u64(1));
+            assert_eq!(batch.measurements.rows(), 3);
+            for shot in 0..200 {
+                let v = batch.measurements.get(0, shot);
+                for q in 1..3 {
+                    assert_eq!(
+                        batch.measurements.get(q, shot),
+                        v,
+                        "{} shot {shot}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn statevec_capped_by_qubit_count() {
+        let big = symphase_circuit::Circuit::new(MAX_QUBITS + 1);
+        assert!(!BackendKind::StateVec.supports(&big));
+        assert!(BackendKind::Frame.supports(&big));
+    }
+}

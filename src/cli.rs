@@ -3,12 +3,18 @@
 //! A Stim-like CLI over the circuit text format:
 //!
 //! ```text
-//! symphase sample    -c circuit.stim --shots 1000 [--format 01|counts] [--seed N] [--engine symphase|frame]
-//! symphase detect    -c circuit.stim --shots 1000 [--seed N]
+//! symphase sample    -c circuit.stim --shots 1000 [--format 01|counts] [--seed N] [--engine E] [--par]
+//! symphase detect    -c circuit.stim --shots 1000 [--seed N] [--engine E] [--par]
 //! symphase analyze   -c circuit.stim
 //! symphase dem       -c circuit.stim
 //! symphase reference -c circuit.stim
 //! ```
+//!
+//! `--engine` selects any backend implementing the shared [`Sampler`]
+//! trait: `symphase` (default), `symphase-sparse`, `symphase-dense`,
+//! `frame`, `tableau`, or `statevec`. `--par` samples across threads with
+//! deterministic per-chunk seeding (bit-identical to the serial chunked
+//! schedule for the same `--seed`).
 //!
 //! The logic lives here (rather than in `main`) so the test suite can run
 //! commands in-process.
@@ -19,10 +25,12 @@ use std::fmt::Write as _;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use symphase_backend::{SampleBatch, Sampler};
 use symphase_circuit::Circuit;
 use symphase_core::SymPhaseSampler;
-use symphase_frame::FrameSampler;
 use symphase_tableau::reference_sample;
+
+use crate::backend::BackendKind;
 
 /// A CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -53,8 +61,8 @@ pub const USAGE: &str = "\
 usage: symphase <command> [options]
 
 commands:
-  sample     sample measurement records        (--shots, --seed, --format, --engine)
-  detect     sample detectors and observables  (--shots, --seed)
+  sample     sample measurement records        (--shots, --seed, --format, --engine, --par)
+  detect     sample detectors and observables  (--shots, --seed, --engine, --par)
   analyze    print circuit statistics and symbolic measurement expressions
   dem        print the detector error model
   reference  print the noiseless reference sample
@@ -64,7 +72,9 @@ options:
       --shots <n>        number of samples (default 10)
       --seed <n>         RNG seed (default 0)
       --format <f>       sample output: 01 (default) or counts
-      --engine <e>       sampler: symphase (default) or frame
+      --engine <e>       backend: symphase (default), symphase-sparse,
+                         symphase-dense, frame, tableau, or statevec
+      --par              sample across threads (deterministic per-chunk seeding)
 ";
 
 /// Parsed command-line options.
@@ -76,6 +86,7 @@ struct Options {
     seed: u64,
     format: String,
     engine: String,
+    parallel: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, CliError> {
@@ -107,11 +118,48 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
             }
             "--format" => opts.format = value("--format")?,
             "--engine" => opts.engine = value("--engine")?,
-            "-h" | "--help" => return Err(CliError { message: USAGE.into(), code: 0 }),
+            "--par" => opts.parallel = true,
+            "-h" | "--help" => {
+                return Err(CliError {
+                    message: USAGE.into(),
+                    code: 0,
+                })
+            }
             other => return Err(fail(format!("unknown option '{other}'\n{USAGE}"))),
         }
     }
     Ok(opts)
+}
+
+/// Resolves `--engine` and builds the backend through the shared
+/// [`Sampler`] trait.
+fn build_backend(opts: &Options, circuit: &Circuit) -> Result<Box<dyn Sampler>, CliError> {
+    let kind = BackendKind::from_name(&opts.engine).ok_or_else(|| {
+        let names: Vec<&str> = BackendKind::ALL.iter().map(|k| k.name()).collect();
+        fail(format!(
+            "unknown engine '{}' (expected one of: {})",
+            opts.engine,
+            names.join(", ")
+        ))
+    })?;
+    if !kind.supports(circuit) {
+        return Err(fail(format!(
+            "engine '{}' cannot simulate this circuit ({} qubits exceed its limit)",
+            kind.name(),
+            circuit.num_qubits()
+        )));
+    }
+    Ok(kind.build(circuit))
+}
+
+/// Draws a batch honoring `--par` / `--seed`.
+fn draw(sampler: &dyn Sampler, opts: &Options) -> SampleBatch {
+    if opts.parallel {
+        sampler.sample_par(opts.shots, opts.seed)
+    } else {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        sampler.sample(opts.shots, &mut rng)
+    }
 }
 
 fn load_circuit(opts: &Options) -> Result<Circuit, CliError> {
@@ -178,12 +226,8 @@ fn render_counts(samples: &symphase_bitmat::BitMatrix) -> String {
 
 fn cmd_sample(opts: &Options) -> Result<String, CliError> {
     let circuit = load_circuit(opts)?;
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let samples = match opts.engine.as_str() {
-        "symphase" => SymPhaseSampler::new(&circuit).sample(opts.shots, &mut rng),
-        "frame" => FrameSampler::new(&circuit).sample(opts.shots, &mut rng),
-        other => return Err(fail(format!("unknown engine '{other}'"))),
-    };
+    let sampler = build_backend(opts, &circuit)?;
+    let samples = draw(sampler.as_ref(), opts).measurements;
     match opts.format.as_str() {
         "01" => Ok(render_01(&samples)),
         "counts" => Ok(render_counts(&samples)),
@@ -193,18 +237,25 @@ fn cmd_sample(opts: &Options) -> Result<String, CliError> {
 
 fn cmd_detect(opts: &Options) -> Result<String, CliError> {
     let circuit = load_circuit(opts)?;
-    let sampler = SymPhaseSampler::new(&circuit);
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let batch = sampler.sample_batch(opts.shots, &mut rng);
+    let sampler = build_backend(opts, &circuit)?;
+    let batch = draw(sampler.as_ref(), opts);
     let mut out = String::new();
     for shot in 0..opts.shots {
         for d in 0..batch.detectors.rows() {
-            out.push(if batch.detectors.get(d, shot) { '1' } else { '0' });
+            out.push(if batch.detectors.get(d, shot) {
+                '1'
+            } else {
+                '0'
+            });
         }
         if batch.observables.rows() > 0 {
             out.push(' ');
             for o in 0..batch.observables.rows() {
-                out.push(if batch.observables.get(o, shot) { '1' } else { '0' });
+                out.push(if batch.observables.get(o, shot) {
+                    '1'
+                } else {
+                    '0'
+                });
             }
         }
         out.push('\n');
@@ -247,7 +298,9 @@ fn cmd_dem(opts: &Options) -> Result<String, CliError> {
 fn cmd_reference(opts: &Options) -> Result<String, CliError> {
     let circuit = load_circuit(opts)?;
     let r = reference_sample(&circuit);
-    let mut out: String = (0..r.len()).map(|m| if r.get(m) { '1' } else { '0' }).collect();
+    let mut out: String = (0..r.len())
+        .map(|m| if r.get(m) { '1' } else { '0' })
+        .collect();
     out.push('\n');
     Ok(out)
 }

@@ -7,6 +7,8 @@
 //! | Module | Contents |
 //! |---|---|
 //! | [`circuit`] | Circuit IR, Stim-like text format, workload generators |
+//! | [`sampler_api`] | The shared backend layer: `Sampler` trait, `SampleBatch`, chunked parallel sampling |
+//! | [`backend`] | Backend selection: any engine as a `Box<dyn Sampler>` by name |
 //! | [`core`] | **Algorithm 1**: the SymPhase sampler (symbolic phases) |
 //! | [`frame`] | Stim-style Pauli-frame baseline sampler |
 //! | [`tableau`] | Aaronson–Gottesman tableau simulator & reference samples |
@@ -33,8 +35,10 @@
 //! # Ok::<(), symphase::circuit::ParseCircuitError>(())
 //! ```
 
+pub mod backend;
 pub mod cli;
 
+pub use symphase_backend as sampler_api;
 pub use symphase_bitmat as bitmat;
 pub use symphase_circuit as circuit;
 pub use symphase_core as core;
@@ -44,9 +48,12 @@ pub use symphase_tableau as tableau;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::backend::BackendKind;
+    pub use symphase_backend::{SampleBatch, Sampler};
     pub use symphase_bitmat::{BitMatrix, BitVec};
     pub use symphase_circuit::{Circuit, Gate, Instruction, NoiseChannel, PauliKind};
-    pub use symphase_core::{PhaseRepr, SampleBatch, SamplingMethod, SymExpr, SymPhaseSampler};
+    pub use symphase_core::{PhaseRepr, SamplingMethod, SymExpr, SymPhaseSampler};
     pub use symphase_frame::FrameSampler;
-    pub use symphase_tableau::{reference_sample, TableauSimulator};
+    pub use symphase_statevec::StateVecSampler;
+    pub use symphase_tableau::{reference_sample, TableauSampler, TableauSimulator};
 }

@@ -35,10 +35,8 @@ mod tempfile_lite {
 
     pub fn write(content: &str) -> TempPath {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "symphase-cli-test-{}-{n}.stim",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("symphase-cli-test-{}-{n}.stim", std::process::id()));
         let mut f = std::fs::File::create(&path).expect("create temp file");
         super::Write::write_all(&mut f, content.as_bytes()).expect("write temp file");
         TempPath(path)
@@ -55,16 +53,32 @@ fn sample_01_deterministic_circuit() {
 #[test]
 fn sample_counts_format() {
     let f = write_circuit("X 0\nM 0\n");
-    let out = run(&args(&["sample", "-c", f.as_str(), "--shots", "5", "--format", "counts"]))
-        .expect("runs");
+    let out = run(&args(&[
+        "sample",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "5",
+        "--format",
+        "counts",
+    ]))
+    .expect("runs");
     assert_eq!(out, "1 5\n");
 }
 
 #[test]
 fn sample_frame_engine_agrees_on_deterministic() {
     let f = write_circuit("X 0\nCX 0 1\nM 0 1\n");
-    let a = run(&args(&["sample", "-c", f.as_str(), "--shots", "2", "--engine", "frame"]))
-        .expect("runs");
+    let a = run(&args(&[
+        "sample",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "2",
+        "--engine",
+        "frame",
+    ]))
+    .expect("runs");
     assert_eq!(a, "11\n11\n");
 }
 
@@ -79,7 +93,8 @@ fn analyze_reports_expressions() {
 
 #[test]
 fn dem_output() {
-    let f = write_circuit("X_ERROR(0.25) 0\nM 0\nDETECTOR rec[-1]\nOBSERVABLE_INCLUDE(0) rec[-1]\n");
+    let f =
+        write_circuit("X_ERROR(0.25) 0\nM 0\nDETECTOR rec[-1]\nOBSERVABLE_INCLUDE(0) rec[-1]\n");
     let out = run(&args(&["dem", "-c", f.as_str()])).expect("runs");
     assert_eq!(out, "error(0.25) D0 L0\n");
 }
@@ -103,9 +118,36 @@ fn detect_output_shapes() {
 #[test]
 fn seed_makes_sampling_reproducible() {
     let f = write_circuit("H 0\nM 0\n");
-    let a = run(&args(&["sample", "-c", f.as_str(), "--shots", "64", "--seed", "7"])).unwrap();
-    let b = run(&args(&["sample", "-c", f.as_str(), "--shots", "64", "--seed", "7"])).unwrap();
-    let c = run(&args(&["sample", "-c", f.as_str(), "--shots", "64", "--seed", "8"])).unwrap();
+    let a = run(&args(&[
+        "sample",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "64",
+        "--seed",
+        "7",
+    ]))
+    .unwrap();
+    let b = run(&args(&[
+        "sample",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "64",
+        "--seed",
+        "7",
+    ]))
+    .unwrap();
+    let c = run(&args(&[
+        "sample",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "64",
+        "--seed",
+        "8",
+    ]))
+    .unwrap();
     assert_eq!(a, b);
     assert_ne!(a, c);
 }

@@ -15,9 +15,12 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use symphase::backend::BackendKind;
 use symphase::bitmat::BitVec;
+use symphase::circuit::generators::{repetition_code_memory, RepetitionCodeConfig};
 use symphase::circuit::{Circuit, Gate, NoiseChannel, PauliKind};
 use symphase::core::SymPhaseSampler;
+use symphase::sampler_api::SampleBatch;
 use symphase::tableau::reference_sample;
 
 /// A compact description of one random circuit.
@@ -55,8 +58,11 @@ const GATES1: [Gate; 9] = [
 const GATES2: [Gate; 4] = [Gate::Cx, Gate::Cy, Gate::Cz, Gate::Swap];
 
 fn plan_strategy() -> impl Strategy<Value = Plan> {
-    (2u32..6, proptest::collection::vec((0u8..10, 0u8..9, any::<u16>()), 10..60)).prop_map(
-        |(qubits, raw)| {
+    (
+        2u32..6,
+        proptest::collection::vec((0u8..10, 0u8..9, any::<u16>()), 10..60),
+    )
+        .prop_map(|(qubits, raw)| {
             let mut steps = Vec::new();
             let mut measured = 0usize;
             for (kind, g, r) in raw {
@@ -91,8 +97,7 @@ fn plan_strategy() -> impl Strategy<Value = Plan> {
                 steps.push(Step::Measure(q));
             }
             Plan { qubits, steps }
-        },
-    )
+        })
 }
 
 /// Builds the noisy circuit (with noise channels) and, for a given fault
@@ -238,6 +243,225 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Cross-backend matrix: every engine behind the shared `Sampler` trait
+// must produce statistically identical measurement distributions on the
+// same small noisy circuits (fixed seeds).
+// ---------------------------------------------------------------------
+
+/// Small noisy circuits exercising every instruction class: gates, all
+/// noise channels, mid-circuit measurement, reset, measure-reset,
+/// feedback, detectors and observables.
+fn matrix_circuits() -> Vec<(&'static str, Circuit)> {
+    let mut ghz = Circuit::new(4);
+    ghz.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+    ghz.noise(NoiseChannel::Depolarize1(0.08), &[0, 1, 2, 3]);
+    ghz.noise(NoiseChannel::XError(0.1), &[1]);
+    ghz.measure_all();
+
+    let rep = repetition_code_memory(&RepetitionCodeConfig {
+        distance: 3,
+        rounds: 2,
+        data_error: 0.08,
+        measure_error: 0.04,
+    });
+
+    let mut dynamic = Circuit::new(3);
+    dynamic.h(0);
+    dynamic.noise(
+        NoiseChannel::PauliChannel1 {
+            px: 0.1,
+            py: 0.05,
+            pz: 0.1,
+        },
+        &[0],
+    );
+    dynamic.cx(0, 1);
+    dynamic.noise(NoiseChannel::Depolarize2(0.06), &[1, 2]);
+    dynamic.measure(0);
+    dynamic.feedback(PauliKind::X, -1, 1);
+    dynamic.measure_reset(1);
+    dynamic.noise(NoiseChannel::YError(0.12), &[2]);
+    dynamic.h(2);
+    dynamic.measure(2);
+    dynamic.measure(1);
+
+    vec![
+        ("noisy-ghz", ghz),
+        ("repetition-code", rep),
+        ("dynamic", dynamic),
+    ]
+}
+
+/// The backend matrix of the acceptance criteria: SymPhase in both phase
+/// representations, the frame baseline, the tableau reference, and the
+/// dense ground truth.
+const MATRIX: [BackendKind; 5] = [
+    BackendKind::SymPhaseSparse,
+    BackendKind::SymPhaseDense,
+    BackendKind::Frame,
+    BackendKind::Tableau,
+    BackendKind::StateVec,
+];
+
+/// Rate of set bits in row `r`.
+fn one_rate(batch: &SampleBatch, r: usize) -> f64 {
+    let shots = batch.shots();
+    let ones = (0..shots).filter(|&j| batch.measurements.get(r, j)).count();
+    ones as f64 / shots as f64
+}
+
+/// Rate of `row_a ⊕ row_b` (pairwise correlation witness).
+fn xor_rate(batch: &SampleBatch, a: usize, b: usize) -> f64 {
+    let shots = batch.shots();
+    let ones = (0..shots)
+        .filter(|&j| batch.measurements.get(a, j) != batch.measurements.get(b, j))
+        .count();
+    ones as f64 / shots as f64
+}
+
+/// Asserts two empirical rates agree within 6σ of the pooled binomial
+/// deviation (plus a floor for rates at 0 or 1).
+fn assert_rates_close(what: &str, p1: f64, p2: f64, shots: usize) {
+    let pool = 0.5 * (p1 + p2);
+    let sd = (pool * (1.0 - pool) * 2.0 / shots as f64).sqrt();
+    let tol = 6.0 * sd + 4.0 / shots as f64;
+    assert!(
+        (p1 - p2).abs() <= tol,
+        "{what}: rates {p1:.4} vs {p2:.4} differ beyond 6σ ({tol:.4})"
+    );
+}
+
+#[test]
+fn cross_backend_measurement_distributions_agree() {
+    let shots = 20_000;
+    for (name, circuit) in matrix_circuits() {
+        let batches: Vec<(&str, SampleBatch)> = MATRIX
+            .iter()
+            .map(|kind| {
+                let sampler = kind.build(&circuit);
+                (kind.name(), sampler.sample_seeded(shots, 0xC0FFEE))
+            })
+            .collect();
+        let (ref_name, reference) = &batches[0];
+        let nm = reference.measurements.rows();
+        assert_eq!(nm, circuit.num_measurements());
+        for (other_name, other) in &batches[1..] {
+            assert_eq!(other.measurements.rows(), nm);
+            for m in 0..nm {
+                assert_rates_close(
+                    &format!("{name} m{m}: {ref_name} vs {other_name}"),
+                    one_rate(reference, m),
+                    one_rate(other, m),
+                    shots,
+                );
+            }
+            for m in 1..nm {
+                assert_rates_close(
+                    &format!("{name} m{}/m{m} xor: {ref_name} vs {other_name}", m - 1),
+                    xor_rate(reference, m - 1, m),
+                    xor_rate(other, m - 1, m),
+                    shots,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_backend_detector_rates_agree() {
+    let shots = 20_000;
+    let (_, circuit) = &matrix_circuits()[1]; // repetition code: has detectors
+    let batches: Vec<(&str, SampleBatch)> = MATRIX
+        .iter()
+        .map(|kind| {
+            let sampler = kind.build(circuit);
+            (kind.name(), sampler.sample_seeded(shots, 0xDE7EC7))
+        })
+        .collect();
+    let (ref_name, reference) = &batches[0];
+    let nd = reference.detectors.rows();
+    assert!(nd > 0, "repetition code must have detectors");
+    for (other_name, other) in &batches[1..] {
+        for d in 0..nd {
+            let rate = |b: &SampleBatch| {
+                (0..shots).filter(|&j| b.detectors.get(d, j)).count() as f64 / shots as f64
+            };
+            assert_rates_close(
+                &format!("D{d}: {ref_name} vs {other_name}"),
+                rate(reference),
+                rate(other),
+                shots,
+            );
+        }
+        for o in 0..reference.observables.rows() {
+            let rate = |b: &SampleBatch| {
+                (0..shots).filter(|&j| b.observables.get(o, j)).count() as f64 / shots as f64
+            };
+            assert_rates_close(
+                &format!("L{o}: {ref_name} vs {other_name}"),
+                rate(reference),
+                rate(other),
+                shots,
+            );
+        }
+    }
+}
+
+/// Reusing one `SampleBatch` across `sample_into` calls must not mix
+/// draws: every implementation clears the batch first (the matrix
+/// products and detector derivations accumulate by XOR internally).
+#[test]
+fn sample_into_overwrites_reused_batches() {
+    let (_, circuit) = &matrix_circuits()[1];
+    for kind in MATRIX {
+        let sampler = kind.build(circuit);
+        let mut reused = symphase::sampler_api::SampleBatch::zeros(
+            sampler.num_measurements(),
+            sampler.num_detectors(),
+            sampler.num_observables(),
+            500,
+        );
+        let mut rng = StdRng::seed_from_u64(77);
+        sampler.sample_into(&mut reused, &mut rng);
+        sampler.sample_into(&mut reused, &mut rng);
+        // A fresh batch drawn from the same RNG stream position must match.
+        let mut rng2 = StdRng::seed_from_u64(77);
+        sampler.sample_into(
+            &mut symphase::sampler_api::SampleBatch::zeros(
+                sampler.num_measurements(),
+                sampler.num_detectors(),
+                sampler.num_observables(),
+                500,
+            ),
+            &mut rng2,
+        );
+        let fresh = sampler.sample(500, &mut rng2);
+        assert_eq!(reused, fresh, "{} mixed draws on batch reuse", kind.name());
+    }
+}
+
+/// The acceptance criterion on the parallel path: for every backend,
+/// `sample_par` agrees **shot for shot** with the serial chunk-seeded
+/// schedule, across chunk boundaries.
+#[test]
+fn sample_par_matches_sample_seeded_on_every_backend() {
+    let shots = symphase::sampler_api::CHUNK_SHOTS + 123;
+    for (name, circuit) in matrix_circuits() {
+        for kind in MATRIX {
+            let sampler = kind.build(&circuit);
+            let serial = sampler.sample_seeded(shots, 42);
+            let par = sampler.sample_par(shots, 42);
+            assert_eq!(
+                serial,
+                par,
+                "{name}/{} diverged under parallel sampling",
+                kind.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn injected_fault_regression_simple() {
     // Hand-written miniature of the property: GHZ with one fired X fault.
@@ -255,6 +479,9 @@ fn injected_fault_regression_simple() {
     assignment.set(1, true); // the fault symbol fires
     let expected = reference_sample(&concrete);
     for m in 0..3 {
-        assert_eq!(sampler.measurement_expr(m).eval(&assignment), expected.get(m));
+        assert_eq!(
+            sampler.measurement_expr(m).eval(&assignment),
+            expected.get(m)
+        );
     }
 }

@@ -1,0 +1,84 @@
+//! Properties of the phase-representation choice (paper Eq. (3)).
+//!
+//! `PhaseRepr::Auto` may pick either store per circuit, but the pick must
+//! be a pure function of the circuit, and the pick must never matter for
+//! correctness: the sparse and dense stores are two layouts of the same
+//! symbolic Initialization, so they must produce identical measurement
+//! expressions on any circuit.
+
+use proptest::prelude::*;
+
+use symphase::circuit::generators::{LayeredCircuitConfig, PairsPerLayer};
+use symphase::circuit::Circuit;
+use symphase::core::{PhaseRepr, SymPhaseSampler};
+
+/// Random layered-circuit configurations spanning both sides of the
+/// Auto heuristic's crossover (sparse QEC-like and dense noisy).
+fn config_strategy() -> impl Strategy<Value = LayeredCircuitConfig> {
+    (
+        2usize..12,
+        1usize..12,
+        prop_oneof![
+            (1usize..4).prop_map(PairsPerLayer::Fixed),
+            Just(PairsPerLayer::HalfOfQubits)
+        ],
+        0.0f64..=0.4,
+        prop_oneof![Just(None), (0.001f64..0.05).prop_map(Some)],
+        any::<u64>(),
+    )
+        .prop_map(
+            |(qubits, layers, cnot_pairs, measure_fraction, depolarize, seed)| {
+                LayeredCircuitConfig {
+                    qubits,
+                    layers,
+                    cnot_pairs,
+                    measure_fraction,
+                    depolarize,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Auto::resolve` is deterministic, never returns `Auto`, and is a
+    /// fixed point on already-resolved representations.
+    #[test]
+    fn auto_resolve_is_deterministic(config in config_strategy()) {
+        let circuit = config.generate();
+        let first = PhaseRepr::Auto.resolve(&circuit);
+        prop_assert_ne!(first, PhaseRepr::Auto, "Auto must resolve to a concrete store");
+        for _ in 0..3 {
+            prop_assert_eq!(PhaseRepr::Auto.resolve(&circuit), first);
+        }
+        prop_assert_eq!(PhaseRepr::Sparse.resolve(&circuit), PhaseRepr::Sparse);
+        prop_assert_eq!(PhaseRepr::Dense.resolve(&circuit), PhaseRepr::Dense);
+        // Resolution reads only circuit statistics: a structural clone
+        // resolves identically.
+        let reparsed = Circuit::parse(&circuit.to_string()).expect("round-trip");
+        prop_assert_eq!(PhaseRepr::Auto.resolve(&reparsed), first);
+    }
+
+    /// Initialization through the sparse and dense phase stores yields
+    /// identical measurement expressions (and therefore identical
+    /// detector/observable rows) on random layered circuits.
+    #[test]
+    fn sparse_and_dense_init_results_agree(config in config_strategy()) {
+        let circuit = config.generate();
+        let sparse = SymPhaseSampler::with_repr(&circuit, PhaseRepr::Sparse);
+        let dense = SymPhaseSampler::with_repr(&circuit, PhaseRepr::Dense);
+        prop_assert_eq!(sparse.measurement_exprs(), dense.measurement_exprs());
+        prop_assert_eq!(
+            sparse.symbol_table().assignment_len(),
+            dense.symbol_table().assignment_len()
+        );
+        for d in 0..sparse.num_detectors() {
+            prop_assert_eq!(sparse.detector_expr(d), dense.detector_expr(d));
+        }
+        for o in 0..sparse.num_observables() {
+            prop_assert_eq!(sparse.observable_expr(o), dense.observable_expr(o));
+        }
+    }
+}

@@ -42,7 +42,10 @@ fn repetition_code_detectors_match_frame_records() {
     }
     let a = (0..shots).filter(|&s| batch.observables.get(0, s)).count() as f64;
     let b = (0..shots).filter(|&s| obs.get(0, s)).count() as f64;
-    assert!((a - b).abs() < 6.0 * (shots as f64 * 0.25).sqrt() + 5.0, "observable: {a} vs {b}");
+    assert!(
+        (a - b).abs() < 6.0 * (shots as f64 * 0.25).sqrt() + 5.0,
+        "observable: {a} vs {b}"
+    );
 }
 
 #[test]
@@ -90,8 +93,16 @@ fn surface_code_noiseless_rounds_are_silent() {
     for repr in [PhaseRepr::Sparse, PhaseRepr::Dense] {
         let sym = SymPhaseSampler::with_repr(&c, repr);
         let batch = sym.sample_batch(2_000, &mut StdRng::seed_from_u64(7));
-        assert_eq!(batch.detectors.count_ones(), 0, "noiseless detectors fired ({repr:?})");
-        assert_eq!(batch.observables.count_ones(), 0, "noiseless logical flipped ({repr:?})");
+        assert_eq!(
+            batch.detectors.count_ones(),
+            0,
+            "noiseless detectors fired ({repr:?})"
+        );
+        assert_eq!(
+            batch.observables.count_ones(),
+            0,
+            "noiseless logical flipped ({repr:?})"
+        );
     }
 }
 
@@ -112,7 +123,10 @@ fn surface_code_detector_rate_grows_with_noise() {
     let low = rate_at(0.002);
     let high = rate_at(0.02);
     assert!(low > 0.0, "some detectors must fire at p=0.002");
-    assert!(high > 4.0 * low, "rate must grow roughly linearly: {low} vs {high}");
+    assert!(
+        high > 4.0 * low,
+        "rate must grow roughly linearly: {low} vs {high}"
+    );
 }
 
 #[test]

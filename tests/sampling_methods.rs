@@ -14,8 +14,16 @@ use symphase::core::{SamplingMethod, SymPhaseSampler};
 fn sparse_and_dense_bit_identical() {
     let c = fig3c_circuit(24, 0.01, 5);
     let s = SymPhaseSampler::new(&c);
-    let a = s.sample_with_method(9_000, &mut StdRng::seed_from_u64(1), SamplingMethod::SparseRows);
-    let b = s.sample_with_method(9_000, &mut StdRng::seed_from_u64(1), SamplingMethod::DenseMatMul);
+    let a = s.sample_with_method(
+        9_000,
+        &mut StdRng::seed_from_u64(1),
+        SamplingMethod::SparseRows,
+    );
+    let b = s.sample_with_method(
+        9_000,
+        &mut StdRng::seed_from_u64(1),
+        SamplingMethod::DenseMatMul,
+    );
     assert_eq!(a, b);
 }
 
@@ -27,7 +35,11 @@ fn hybrid_matches_sparse_distribution() {
     let s = SymPhaseSampler::new(&c);
     let shots = 60_000;
     let a = s.sample_with_method(shots, &mut StdRng::seed_from_u64(2), SamplingMethod::Hybrid);
-    let b = s.sample_with_method(shots, &mut StdRng::seed_from_u64(3), SamplingMethod::SparseRows);
+    let b = s.sample_with_method(
+        shots,
+        &mut StdRng::seed_from_u64(3),
+        SamplingMethod::SparseRows,
+    );
     for m in 0..s.num_measurements() {
         let ra = (0..shots).filter(|&i| a.get(m, i)).count() as f64 / shots as f64;
         let rb = (0..shots).filter(|&i| b.get(m, i)).count() as f64 / shots as f64;
@@ -85,6 +97,8 @@ fn parse_to_sample_pipeline() {
     let shots = 80_000;
     let out = s.sample(shots, &mut StdRng::seed_from_u64(6));
     // m0 fair; m0 ⊕ m1 = fault fires half the time.
-    let disagree = (0..shots).filter(|&i| out.get(0, i) != out.get(1, i)).count() as f64;
+    let disagree = (0..shots)
+        .filter(|&i| out.get(0, i) != out.get(1, i))
+        .count() as f64;
     assert!((disagree - shots as f64 / 2.0).abs() < 6.0 * (shots as f64 / 4.0).sqrt());
 }

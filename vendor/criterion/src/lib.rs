@@ -1,0 +1,170 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot fetch crates.io, so this minimal harness
+//! implements the subset of the criterion API the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId::new`], `b.iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical pipeline it runs a short warm-up
+//! plus `sample_size` timed iterations and prints the mean per-iteration
+//! wall-clock time — enough for the relative comparisons the paper's
+//! figures make (SymPhase vs frame scaling shapes).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Names one benchmark within a group: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds the id `{function}/{parameter}`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{parameter}", function.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Measurement kinds (only wall-clock time is implemented).
+pub mod measurement {
+    /// Wall-clock time measurement, the criterion default.
+    #[derive(Debug, Default)]
+    pub struct WallTime;
+}
+
+/// The benchmark runner.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs a benchmark closure with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Ends the group (prints nothing extra; kept for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let mean = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iters as u32
+        };
+        println!(
+            "bench {:<48} {:>14.6} ms/iter",
+            format!("{}/{id}", self.name),
+            mean.as_secs_f64() * 1e3
+        );
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` once as warm-up and then `iters` timed times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Groups benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Accept and ignore harness flags (e.g. --bench) cargo passes.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment cannot fetch crates.io, so this crate provides
+//! the fork-join primitives the workspace's chunked parallel samplers
+//! use — [`join`] and [`current_num_threads`] — implemented over
+//! `std::thread::scope`. Unlike real rayon there is no work-stealing
+//! pool: each `join` spawns one OS thread for its right-hand side. The
+//! samplers built on top recurse over chunk ranges, so the spawn count
+//! stays logarithmic in the chunk count per level and bounded by the
+//! chunk count overall.
+
+/// Number of threads worth fanning out to (the machine's available
+/// parallelism; rayon reports its pool size here).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// `oper_a` runs on the calling thread while `oper_b` runs on a scoped
+/// worker thread. Panics in either closure propagate to the caller once
+/// both have finished, matching rayon's semantics.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let handle_b = scope.spawn(oper_b);
+        let ra = oper_a();
+        match handle_b.join() {
+            Ok(rb) => (ra, rb),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_sides() {
+        let (a, b) = join(|| 2 + 2, || "right".len());
+        assert_eq!((a, b), (4, 5));
+    }
+
+    #[test]
+    fn join_runs_concurrently() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let flag = AtomicBool::new(false);
+        // The left side waits for the right side: only possible if the
+        // right side actually runs on another thread.
+        join(
+            || {
+                while !flag.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+            },
+            || flag.store(true, Ordering::Release),
+        );
+    }
+
+    #[test]
+    fn nested_joins_compose() {
+        let ((a, b), (c, d)) = join(|| join(|| 1, || 2), || join(|| 3, || 4));
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            join(|| (), || panic!("boom"));
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn thread_count_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
