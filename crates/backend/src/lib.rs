@@ -176,23 +176,8 @@ pub trait Sampler: Send + Sync {
             self.num_observables(),
             shots,
         );
-        // One reusable chunk buffer; only the (smaller) final chunk ever
-        // forces a reallocation.
-        let mut buf: Option<SampleBatch> = None;
-        for (idx, (start, width)) in chunk_spans(shots).enumerate() {
-            if buf.as_ref().is_none_or(|b| b.shots() != width) {
-                buf = Some(SampleBatch::zeros(
-                    self.num_measurements(),
-                    self.num_detectors(),
-                    self.num_observables(),
-                    width,
-                ));
-            }
-            let chunk = buf.as_mut().expect("buffer just ensured");
-            let mut rng = StdRng::seed_from_u64(chunk_seed(seed, idx as u64));
-            self.sample_into(chunk, &mut rng);
-            out.paste_columns(chunk, start);
-        }
+        let spans: Vec<(usize, usize)> = chunk_spans(shots).collect();
+        sample_chunk_range(self, &spans, 0, seed, &mut out, 0);
         out
     }
 
@@ -208,23 +193,44 @@ pub trait Sampler: Send + Sync {
     }
 }
 
+/// Samples a contiguous chunk range of the `seed` schedule into `out`
+/// (whose shot 0 corresponds to absolute shot `out_origin`), through one
+/// reused chunk buffer — only the (smaller) final chunk ever forces a
+/// reallocation. This is **the** chunk loop: both the serial
+/// [`Sampler::sample_seeded`] and each parallel leaf of
+/// [`sample_par_with_threads`] run it, which is what keeps the two
+/// bit-identical.
+fn sample_chunk_range<S: Sampler + ?Sized>(
+    sampler: &S,
+    spans: &[(usize, usize)],
+    first_chunk: usize,
+    seed: u64,
+    out: &mut SampleBatch,
+    out_origin: usize,
+) {
+    let mut buf: Option<SampleBatch> = None;
+    for (i, &(start, width)) in spans.iter().enumerate() {
+        if buf.as_ref().is_none_or(|b| b.shots() != width) {
+            buf = Some(SampleBatch::zeros(
+                sampler.num_measurements(),
+                sampler.num_detectors(),
+                sampler.num_observables(),
+                width,
+            ));
+        }
+        let chunk = buf.as_mut().expect("buffer just ensured");
+        let mut rng = StdRng::seed_from_u64(chunk_seed(seed, (first_chunk + i) as u64));
+        sampler.sample_into(chunk, &mut rng);
+        out.paste_columns(chunk, start - out_origin);
+    }
+}
+
 /// The chunk schedule for `shots` shots: `(start, width)` spans, all but
 /// the last [`CHUNK_SHOTS`] wide.
 pub fn chunk_spans(shots: usize) -> impl Iterator<Item = (usize, usize)> {
     (0..shots)
         .step_by(CHUNK_SHOTS)
         .map(move |start| (start, CHUNK_SHOTS.min(shots - start)))
-}
-
-/// Draws chunk `idx` of the `seed` schedule.
-fn sample_one_chunk<S: Sampler + ?Sized>(
-    sampler: &S,
-    idx: usize,
-    width: usize,
-    seed: u64,
-) -> SampleBatch {
-    let mut rng = StdRng::seed_from_u64(chunk_seed(seed, idx as u64));
-    sampler.sample(width, &mut rng)
 }
 
 /// [`Sampler::sample_par`] with an explicit thread budget (exposed so the
@@ -245,9 +251,9 @@ pub fn sample_par_with_threads<S: Sampler + ?Sized>(
         sampler.num_observables(),
         shots,
     );
-    let chunks = par_sample_groups(sampler, &spans, 0, seed, threads.min(spans.len()));
-    for ((start, _), chunk) in spans.iter().zip(&chunks) {
-        out.paste_columns(chunk, *start);
+    let groups = par_sample_groups(sampler, &spans, 0, seed, threads.min(spans.len()));
+    for (start, group) in &groups {
+        out.paste_columns(group, *start);
     }
     out
 }
@@ -255,20 +261,31 @@ pub fn sample_par_with_threads<S: Sampler + ?Sized>(
 /// Recursive fork-join over contiguous chunk groups: splits the span list
 /// proportionally to the thread budget (`rayon::join` per split), so at
 /// most `threads` OS threads run, each sampling its chunk range serially.
-/// Chunk order is preserved in the returned vector.
+/// Each leaf samples its contiguous range into **one** group batch through
+/// a single reused chunk buffer — per-thread scratch, so steady-state
+/// parallel sampling allocates one buffer and one output slab per thread
+/// instead of one batch per chunk. Returns `(shot offset, group batch)`
+/// pairs in chunk order.
 fn par_sample_groups<S: Sampler + ?Sized>(
     sampler: &S,
     spans: &[(usize, usize)],
     first_chunk: usize,
     seed: u64,
     threads: usize,
-) -> Vec<SampleBatch> {
+) -> Vec<(usize, SampleBatch)> {
     if threads <= 1 || spans.len() <= 1 {
-        return spans
-            .iter()
-            .enumerate()
-            .map(|(i, (_, width))| sample_one_chunk(sampler, first_chunk + i, *width, seed))
-            .collect();
+        let Some(&(group_start, _)) = spans.first() else {
+            return Vec::new();
+        };
+        let total: usize = spans.iter().map(|&(_, width)| width).sum();
+        let mut group = SampleBatch::zeros(
+            sampler.num_measurements(),
+            sampler.num_detectors(),
+            sampler.num_observables(),
+            total,
+        );
+        sample_chunk_range(sampler, spans, first_chunk, seed, &mut group, group_start);
+        return vec![(group_start, group)];
     }
     let left_threads = threads / 2;
     let right_threads = threads - left_threads;

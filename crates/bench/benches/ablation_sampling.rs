@@ -1,32 +1,53 @@
 //! Ablation A1: the Sampling step's multiplication strategy.
 //!
-//! The paper uses a "sparse implementation of matrix multiplication" (§5);
-//! this bench compares it against a dense F₂ product on a sparse workload
-//! (repetition code) and a dense workload (Fig. 3c).
+//! The paper's Sampling step is the F₂ product `M · B` (Eq. (4), §5).
+//! This bench compares, on a sparse workload (surface-code memory) and a
+//! dense workload (random layered circuit, Fig. 3c picture):
+//!
+//! * the **kernel level** — naive row-gather [`BitMatrix::mul`] vs the
+//!   blocked Four-Russians kernel [`BitMatrix::mul_blocked`] on the same
+//!   densified measurement matrix and assignment batch (bit-identical
+//!   outputs);
+//! * the **method level** — every [`SamplingMethod`], including what
+//!   `Auto` picks.
+//!
+//! Expected shape: `mul_blocked` beats `mul_naive` clearly on the dense
+//! `ghz_chain` workload (the matrix shape `DenseMatMul` exists for) and
+//! holds near parity on the sparse matrices (adaptive per-group
+//! fallback); `hybrid` wins the rare-fault circuits outright.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use symphase_bench::Workload;
-use symphase_circuit::generators::{repetition_code_memory, RepetitionCodeConfig};
+use symphase_bench::sampling_ablation_circuits;
 use symphase_core::{SamplingMethod, SymPhaseSampler};
 
 const SHOTS: usize = 10_000;
 
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/sampling_kernel");
+    g.sample_size(10);
+    for (name, circuit) in sampling_ablation_circuits(64) {
+        let sampler = SymPhaseSampler::new(&circuit);
+        let dense = sampler.measurement_matrix().to_dense();
+        let b = sampler
+            .symbol_table()
+            .sample_assignments(SHOTS, &mut StdRng::seed_from_u64(3));
+        g.bench_function(BenchmarkId::new("mul_naive", name), |bench| {
+            bench.iter(|| dense.mul(&b))
+        });
+        g.bench_function(BenchmarkId::new("mul_blocked", name), |bench| {
+            bench.iter(|| dense.mul_blocked(&b))
+        });
+    }
+    g.finish();
+}
+
 fn bench_methods(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/sampling_method");
     g.sample_size(10);
-
-    let qec = repetition_code_memory(&RepetitionCodeConfig {
-        distance: 15,
-        rounds: 15,
-        data_error: 0.01,
-        measure_error: 0.01,
-    });
-    let dense_random = Workload::Fig3c.circuit(64, 7);
-
-    for (name, circuit) in [("repetition_d15", qec), ("fig3c_n64", dense_random)] {
+    for (name, circuit) in sampling_ablation_circuits(64) {
         let sampler = SymPhaseSampler::new(&circuit);
         // Warm the densified matrix outside the timing loop.
         let _ = sampler.sample_with_method(
@@ -34,17 +55,15 @@ fn bench_methods(c: &mut Criterion) {
             &mut StdRng::seed_from_u64(0),
             SamplingMethod::DenseMatMul,
         );
-        g.bench_function(BenchmarkId::new("sparse_rows", name), |b| {
-            let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| sampler.sample_with_method(SHOTS, &mut rng, SamplingMethod::SparseRows))
-        });
-        g.bench_function(BenchmarkId::new("dense_matmul", name), |b| {
-            let mut rng = StdRng::seed_from_u64(2);
-            b.iter(|| sampler.sample_with_method(SHOTS, &mut rng, SamplingMethod::DenseMatMul))
-        });
+        for method in SamplingMethod::ALL {
+            g.bench_function(BenchmarkId::new(method.name(), name), |bench| {
+                let mut rng = StdRng::seed_from_u64(1);
+                bench.iter(|| sampler.sample_with_method(SHOTS, &mut rng, method))
+            });
+        }
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_methods);
+criterion_group!(benches, bench_kernels, bench_methods);
 criterion_main!(benches);

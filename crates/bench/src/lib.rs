@@ -11,9 +11,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 pub use symphase::backend::BackendKind;
-use symphase_circuit::generators::{fig3a_circuit, fig3b_circuit, fig3c_circuit};
+use symphase_circuit::generators::{
+    fig3a_circuit, fig3b_circuit, fig3c_circuit, noisy_ghz_chain, surface_code_memory,
+    SurfaceCodeConfig,
+};
 use symphase_circuit::Circuit;
-use symphase_core::PhaseRepr;
+use symphase_core::{PhaseRepr, SamplingMethod, SymPhaseSampler};
 
 /// Number of samples the paper's Fig. 3 timing uses.
 pub const PAPER_SHOTS: usize = 10_000;
@@ -198,6 +201,100 @@ pub fn secs(d: Duration) -> String {
     format!("{:.4}", d.as_secs_f64())
 }
 
+/// The circuit families of the sampling-kernel ablation: a surface-code
+/// memory (sparse measurement rows, rare faults), a noisy random-layered
+/// circuit (the paper's Fig. 3c picture — random outcomes keep `M`
+/// sparse, so this exercises the blocked kernel's adaptive fallback), and
+/// a noisy GHZ chain (determined outcomes make `M` triangular-dense — the
+/// workload the blocked kernel exists for).
+pub fn sampling_ablation_circuits(n: usize) -> Vec<(&'static str, Circuit)> {
+    vec![
+        (
+            "surface_d5",
+            surface_code_memory(&SurfaceCodeConfig {
+                distance: 5,
+                rounds: 5,
+                data_error: 0.001,
+                measure_error: 0.001,
+            }),
+        ),
+        ("random_layered", fig3c_circuit(n, FIG3C_NOISE, 7)),
+        ("ghz_chain", noisy_ghz_chain(16 * n.max(4) as u32, 0.01)),
+    ]
+}
+
+/// One measured cell of the sampling ablation matrix.
+#[derive(Clone, Debug)]
+pub struct SamplingAblationRow {
+    /// Circuit family label.
+    pub circuit: &'static str,
+    /// Kernel / method label.
+    pub kernel: &'static str,
+    /// Wall-clock time for `shots` samples.
+    pub time: Duration,
+}
+
+/// Times the sampling kernels on both ablation circuits: the naive
+/// row-gather dense product vs the blocked Four-Russians kernel on the
+/// *same* densified measurement matrix and assignment batch
+/// (bit-identical outputs, asserted), plus each end-to-end
+/// [`SamplingMethod`]. Returns one row per (circuit, kernel) cell.
+pub fn ablation_sampling_matrix(n: usize, shots: usize, seed: u64) -> Vec<SamplingAblationRow> {
+    let mut rows = Vec::new();
+    for (name, circuit) in sampling_ablation_circuits(n) {
+        let sampler = SymPhaseSampler::new(&circuit);
+        let dense = sampler.measurement_matrix().to_dense();
+        let b = sampler
+            .symbol_table()
+            .sample_assignments(shots, &mut StdRng::seed_from_u64(seed));
+
+        let t = Instant::now();
+        let naive = dense.mul(&b);
+        let naive_time = t.elapsed();
+        std::hint::black_box(naive.count_ones());
+
+        let t = Instant::now();
+        let blocked = dense.mul_blocked(&b);
+        let blocked_time = t.elapsed();
+        std::hint::black_box(blocked.count_ones());
+        assert_eq!(naive, blocked, "blocked kernel diverged on {name}");
+
+        rows.push(SamplingAblationRow {
+            circuit: name,
+            kernel: "mul_naive",
+            time: naive_time,
+        });
+        rows.push(SamplingAblationRow {
+            circuit: name,
+            kernel: "mul_blocked",
+            time: blocked_time,
+        });
+
+        // Warm every lazily-built structure outside the timed region:
+        // the densified matrices and the hybrid event index.
+        let _ = sampler.sample_with_method(
+            64,
+            &mut StdRng::seed_from_u64(0),
+            SamplingMethod::DenseMatMul,
+        );
+        let _ =
+            sampler.sample_with_method(64, &mut StdRng::seed_from_u64(0), SamplingMethod::Hybrid);
+        for method in SamplingMethod::ALL {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5A);
+            let t = Instant::now();
+            let out = sampler.sample_with_method(shots, &mut rng, method);
+            let time = t.elapsed();
+            std::hint::black_box(out.count_ones());
+            rows.push(SamplingAblationRow {
+                circuit: name,
+                kernel: method.name(),
+                time,
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +335,21 @@ mod tests {
             assert!(kind.supports(&c));
             let t = time_backend(kind, &c, 64, 3);
             assert_eq!(t.label, kind.name());
+        }
+    }
+
+    /// Nightly-free smoke bench: exercises the full sampling ablation
+    /// matrix at a toy size (it asserts naive == blocked internally).
+    /// Run explicitly with:
+    /// `cargo test -p symphase-bench --release -- --ignored smoke`
+    #[test]
+    #[ignore = "smoke bench; run with -- --ignored"]
+    fn smoke_ablation_sampling() {
+        let rows = ablation_sampling_matrix(32, 4096, 9);
+        // 3 circuits × (2 kernels + 4 methods).
+        assert_eq!(rows.len(), 18);
+        for row in &rows {
+            println!("{:<14} {:<12} {}s", row.circuit, row.kernel, secs(row.time));
         }
     }
 

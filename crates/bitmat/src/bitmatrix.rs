@@ -246,6 +246,37 @@ impl BitMatrix {
         out
     }
 
+    /// F₂ matrix product `self · other` with the blocked
+    /// Four-Russians kernel ([`crate::m4r`]): bit-identical to
+    /// [`BitMatrix::mul`], asymptotically ~8× fewer row XORs on dense
+    /// operands, and adaptive per column group so sparse rows fall back to
+    /// the plain gather. This is the kernel behind the sampler's
+    /// `DenseMatMul` method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn mul_blocked(&self, other: &BitMatrix) -> BitMatrix {
+        crate::m4r::mul_blocked(self, other)
+    }
+
+    /// Blocked-kernel product XOR-accumulated into a word-aligned column
+    /// window of `out`, reusing `scratch` across calls (see
+    /// [`crate::m4r::mul_blocked_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if the window does not fit.
+    pub fn mul_into(
+        &self,
+        other: &BitMatrix,
+        out: &mut BitMatrix,
+        col_word_offset: usize,
+        scratch: &mut crate::m4r::M4rScratch,
+    ) {
+        crate::m4r::mul_blocked_into(self, other, out, col_word_offset, scratch);
+    }
+
     /// Matrix–vector product `self · v` over F₂.
     ///
     /// # Panics

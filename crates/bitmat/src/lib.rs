@@ -10,6 +10,9 @@
 //!   word-blocked transposition and Gaussian elimination.
 //! * [`SparseBitVec`] — a sorted sparse bit-vector with merge-XOR, used for
 //!   sparse symbolic phases and the paper's sparse sampling multiplication.
+//! * [`m4r`] — the blocked F₂ multiplication kernel (Method of Four
+//!   Russians with cache-sized shot tiles) behind
+//!   [`BitMatrix::mul_blocked`].
 //! * [`bernoulli`] — block generation of biased random bits (noise symbol
 //!   assignments; paper §3.1).
 //! * [`layout`] — the three stabilizer-tableau memory layouts compared in
@@ -44,11 +47,13 @@ mod bitmatrix;
 mod bitvec;
 pub mod gauss;
 pub mod layout;
+pub mod m4r;
 mod sparse;
 pub mod transpose;
 pub mod word;
 
 pub use bitmatrix::BitMatrix;
 pub use bitvec::BitVec;
+pub use m4r::M4rScratch;
 pub use sparse::{SparseBitVec, SparseRowMatrix};
 pub use word::{words_for, Word, WORD_BITS};

@@ -190,6 +190,97 @@ fn layout_conformance<L: TableauLayout>(
     assert_eq!(layout.to_bitmatrix(), reference, "{} diverged", L::NAME);
 }
 
+/// Per-element reference product (the slow, obviously-correct definition).
+fn naive_mul(a: &BitMatrix, b: &BitMatrix) -> BitMatrix {
+    BitMatrix::from_fn(a.rows(), b.cols(), |r, c| {
+        (0..a.cols()).fold(false, |acc, k| acc ^ (a.get(r, k) & b.get(k, c)))
+    })
+}
+
+/// Ragged dimensions around the word-size boundaries the kernels block on:
+/// 0, 1, and non-multiples of 8/64 must all round-trip.
+fn ragged_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),
+        Just(1usize),
+        Just(63usize),
+        Just(64usize),
+        Just(65usize),
+        2usize..130,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The blocked Four-Russians kernel is bit-identical to both the
+    /// row-gather `mul` and the per-element naive product on ragged
+    /// shapes (rows/cols not multiples of 64, including 0 and 1).
+    #[test]
+    fn mul_blocked_matches_mul_and_naive(
+        case in (ragged_dim(), ragged_dim(), ragged_dim()).prop_flat_map(|(m, k, n)| {
+            let abits = proptest::collection::vec(any::<bool>(), (m * k).max(1));
+            let bbits = proptest::collection::vec(any::<bool>(), (k * n).max(1));
+            (Just(m), Just(k), Just(n), abits, bbits)
+        }),
+    ) {
+        let (m, k, n, abits, bbits) = case;
+        let a = BitMatrix::from_fn(m, k, |r, c| abits[r * k + c]);
+        let b = BitMatrix::from_fn(k, n, |r, c| bbits[r * n + c]);
+        let blocked = a.mul_blocked(&b);
+        prop_assert_eq!(&blocked, &a.mul(&b));
+        prop_assert_eq!(&blocked, &naive_mul(&a, &b));
+    }
+
+    /// `mul_into` accumulates the same product into a word-aligned window
+    /// of a wider output, reusing one scratch across calls.
+    #[test]
+    fn mul_into_window_matches(
+        case in (1usize..40, ragged_dim()).prop_flat_map(|(m, k)| {
+            (Just(m), Just(k), proptest::collection::vec(any::<bool>(), (m * k).max(1)))
+        }),
+        n in 1usize..100,
+        window in 0usize..3,
+    ) {
+        let (m, k, bits) = case;
+        let a = BitMatrix::from_fn(m, k, |r, c| bits[r * k + c]);
+        let b = BitMatrix::from_fn(k, n, |r, c| (r + 2 * c) % 3 == 0);
+        let mut out = BitMatrix::zeros(m, n + 64 * (window + 2));
+        let mut scratch = symphase_bitmat::M4rScratch::new();
+        symphase_bitmat::m4r::mul_blocked_into(&a, &b, &mut out, window, &mut scratch);
+        let reference = a.mul(&b);
+        for r in 0..m {
+            for c in 0..n {
+                prop_assert_eq!(out.get(r, window * 64 + c), reference.get(r, c));
+            }
+        }
+        // XOR-accumulation: a second multiply cancels the window.
+        symphase_bitmat::m4r::mul_blocked_into(&a, &b, &mut out, window, &mut scratch);
+        prop_assert_eq!(out.count_ones(), 0);
+    }
+
+    /// `transpose_packed` (via `BitMatrix::transpose`) round-trips on
+    /// ragged shapes, including empty and single-bit edges.
+    #[test]
+    fn transpose_packed_roundtrips_ragged(
+        case in (ragged_dim(), ragged_dim()).prop_flat_map(|(r, c)| {
+            (Just(r), Just(c), proptest::collection::vec(any::<bool>(), (r * c).max(1)))
+        }),
+    ) {
+        let (rows, cols, bits) = case;
+        let m = BitMatrix::from_fn(rows, cols, |r, c| bits[r * cols + c]);
+        let t = m.transpose();
+        prop_assert_eq!(t.rows(), cols);
+        prop_assert_eq!(t.cols(), rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(m.get(r, c), t.get(c, r));
+            }
+        }
+        prop_assert_eq!(t.transpose(), m);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

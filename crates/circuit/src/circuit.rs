@@ -86,6 +86,28 @@ impl Circuit {
         self.stats.measurements
     }
 
+    /// Mean fire probability across the circuit's noise sites (0 when the
+    /// circuit is noiseless). Together with [`Circuit::stats`] this is
+    /// what the sampler's automatic strategy selection reads: low mean
+    /// probabilities mean the event-driven `Hybrid` multiplication almost
+    /// never has to touch a fault.
+    pub fn mean_noise_probability(&self) -> f64 {
+        let mut sites = 0usize;
+        let mut total = 0.0f64;
+        for ins in &self.instructions {
+            if let Instruction::Noise { channel, targets } = ins {
+                let n = targets.len() / channel.arity();
+                sites += n;
+                total += n as f64 * channel.fire_probability();
+            }
+        }
+        if sites == 0 {
+            0.0
+        } else {
+            total / sites as f64
+        }
+    }
+
     /// Number of detectors declared.
     pub fn num_detectors(&self) -> usize {
         self.stats.detectors

@@ -13,7 +13,7 @@ pub mod random_layered;
 pub mod repetition_code;
 pub mod surface_code;
 
-pub use named::{bell_pair, ghz, teleportation};
+pub use named::{bell_pair, ghz, noisy_ghz_chain, teleportation};
 pub use random_layered::{
     fig3a_circuit, fig3b_circuit, fig3c_circuit, LayeredCircuitConfig, PairsPerLayer,
 };

@@ -1,6 +1,6 @@
 //! Small named circuits used by examples and tests.
 
-use crate::{Circuit, PauliKind};
+use crate::{Circuit, NoiseChannel, PauliKind};
 
 /// A Bell-pair circuit: `H 0; CX 0 1; M 0 1`. The two outcomes are random
 /// but always equal.
@@ -23,6 +23,32 @@ pub fn ghz(n: u32) -> Circuit {
     c.h(0);
     for q in 1..n {
         c.cx(q - 1, q);
+    }
+    c.measure_all();
+    c
+}
+
+/// A noisy GHZ chain: `H 0`, then `CX (q−1) q` with `X_ERROR(p)` after
+/// every link, measured in full.
+///
+/// The first outcome is a fresh coin; every later outcome is *determined*
+/// — it equals that coin XOR the errors on its prefix of the chain. The
+/// measurement matrix is therefore triangular and ~50% dense, which makes
+/// this the canonical **dense** workload for the Sampling step's `M · B`
+/// product (long-range entanglement carries every local fault into every
+/// downstream measurement). Contrast with deep random circuits, whose
+/// random outcomes keep measurement rows sparse.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn noisy_ghz_chain(n: u32, p: f64) -> Circuit {
+    assert!(n >= 2, "GHZ chain needs at least two qubits");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+        c.noise(NoiseChannel::XError(p), &[q]);
     }
     c.measure_all();
     c

@@ -54,6 +54,21 @@ impl NoiseChannel {
         }
     }
 
+    /// Probability that one application of the channel fires (produces a
+    /// non-identity fault). Drives the sampler's event-driven `Hybrid`
+    /// strategy selection: at low fire probabilities almost no per-shot
+    /// work happens.
+    pub fn fire_probability(self) -> f64 {
+        match self {
+            NoiseChannel::XError(p)
+            | NoiseChannel::YError(p)
+            | NoiseChannel::ZError(p)
+            | NoiseChannel::Depolarize1(p)
+            | NoiseChannel::Depolarize2(p) => p,
+            NoiseChannel::PauliChannel1 { px, py, pz } => px + py + pz,
+        }
+    }
+
     /// Canonical instruction-file name.
     pub fn name(self) -> &'static str {
         match self {

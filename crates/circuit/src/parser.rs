@@ -159,9 +159,12 @@ fn parse_line(line: &str, line_no: usize, circuit: &mut Circuit) -> Result<(), P
         return Ok(());
     }
 
-    // Feedback: a gate whose first operand is a record target.
-    if rest.iter().any(|t| t.starts_with("rec[")) && matches!(name, "CX" | "CNOT" | "CY" | "CZ") {
-        return parse_feedback(name, &rest, line_no, circuit);
+    // Controlled-Pauli lines may mix plain gate pairs and classically-
+    // controlled (feedback) pairs in any position, e.g. `CX 0 1 rec[-1] 2`
+    // (Stim semantics: the record target must be the control of its own
+    // pair). Dispatch pair by pair rather than routing the whole line.
+    if matches!(name, "CX" | "CNOT" | "CY" | "CZ") && rest.iter().any(|t| t.starts_with("rec[")) {
+        return parse_mixed_controlled(name, &rest, line_no, circuit);
     }
 
     match name {
@@ -308,9 +311,62 @@ fn parse_rec(token: &str, line_no: usize) -> Result<i64, ParseCircuitError> {
         .map_err(|_| err(line_no, format!("bad record lookback '{inner}'")))
 }
 
-fn parse_feedback(
+/// Parses a controlled-Pauli line containing at least one `rec[...]`
+/// target: each `(control, target)` pair is dispatched independently —
+/// pairs with a record target become [`Instruction::Feedback`], runs of
+/// plain pairs stay unitary gate applications, in line order.
+fn parse_mixed_controlled(
     name: &str,
     tokens: &[&str],
+    line_no: usize,
+    circuit: &mut Circuit,
+) -> Result<(), ParseCircuitError> {
+    if !tokens.len().is_multiple_of(2) {
+        return Err(err(line_no, format!("{name} takes target pairs")));
+    }
+    let gate = Gate::from_name(name).expect("caller filtered controlled gate names");
+    let mut plain: Vec<u32> = Vec::new();
+    for pair in tokens.chunks_exact(2) {
+        if pair.iter().any(|t| t.starts_with("rec[")) {
+            if !plain.is_empty() {
+                push_checked(
+                    circuit,
+                    Instruction::Gate {
+                        gate,
+                        targets: std::mem::take(&mut plain),
+                    },
+                    line_no,
+                )?;
+            }
+            parse_feedback_pair(name, pair[0], pair[1], line_no, circuit)?;
+        } else {
+            for t in pair {
+                plain.push(
+                    t.parse::<u32>()
+                        .map_err(|_| err(line_no, format!("bad qubit target '{t}'")))?,
+                );
+            }
+        }
+    }
+    if !plain.is_empty() {
+        push_checked(
+            circuit,
+            Instruction::Gate {
+                gate,
+                targets: plain,
+            },
+            line_no,
+        )?;
+    }
+    Ok(())
+}
+
+/// Parses one `(control, target)` pair where one side is a `rec[...]`
+/// measurement-record target.
+fn parse_feedback_pair(
+    name: &str,
+    first: &str,
+    second: &str,
     line_no: usize,
     circuit: &mut Circuit,
 ) -> Result<(), ParseCircuitError> {
@@ -320,33 +376,27 @@ fn parse_feedback(
         "CZ" => PauliKind::Z,
         _ => unreachable!("caller filtered"),
     };
-    if !tokens.len().is_multiple_of(2) {
-        return Err(err(line_no, "feedback takes (rec, qubit) pairs"));
-    }
-    for pair in tokens.chunks_exact(2) {
-        let (rec_tok, qubit_tok) = if pair[0].starts_with("rec[") {
-            (pair[0], pair[1])
-        } else if pair[1].starts_with("rec[") && pauli == PauliKind::Z {
-            // CZ is symmetric, so `CZ 2 rec[-1]` is also meaningful.
-            (pair[1], pair[0])
-        } else {
-            return Err(err(line_no, "feedback control must be a rec[] target"));
-        };
-        let lookback = parse_rec(rec_tok, line_no)?;
-        let target: u32 = qubit_tok
-            .parse()
-            .map_err(|_| err(line_no, format!("bad qubit target '{qubit_tok}'")))?;
-        push_checked(
-            circuit,
-            Instruction::Feedback {
-                pauli,
-                lookback,
-                target,
-            },
-            line_no,
-        )?;
-    }
-    Ok(())
+    let (rec_tok, qubit_tok) = if first.starts_with("rec[") {
+        (first, second)
+    } else if second.starts_with("rec[") && pauli == PauliKind::Z {
+        // CZ is symmetric, so `CZ 2 rec[-1]` is also meaningful.
+        (second, first)
+    } else {
+        return Err(err(line_no, "feedback control must be a rec[] target"));
+    };
+    let lookback = parse_rec(rec_tok, line_no)?;
+    let target: u32 = qubit_tok
+        .parse()
+        .map_err(|_| err(line_no, format!("bad qubit target '{qubit_tok}'")))?;
+    push_checked(
+        circuit,
+        Instruction::Feedback {
+            pauli,
+            lookback,
+            target,
+        },
+        line_no,
+    )
 }
 
 #[cfg(test)]
@@ -406,6 +456,46 @@ mod tests {
                 target: 1
             }
         );
+    }
+
+    #[test]
+    fn parses_mixed_gate_and_feedback_pairs() {
+        // A rec[] anywhere on the line must not swallow the plain pairs.
+        let c = Circuit::parse("M 0\nCX 0 1 rec[-1] 2 3 4\n").unwrap();
+        assert_eq!(c.stats().gates, 2); // pairs (0,1) and (3,4)
+        assert_eq!(c.stats().feedback_ops, 1);
+        assert_eq!(
+            c.instructions()[2],
+            Instruction::Feedback {
+                pauli: PauliKind::X,
+                lookback: -1,
+                target: 2
+            }
+        );
+        match &c.instructions()[1] {
+            Instruction::Gate { targets, .. } => assert_eq!(targets, &[0, 1]),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &c.instructions()[3] {
+            Instruction::Gate { targets, .. } => assert_eq!(targets, &[3, 4]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Feedback-first ordering works too.
+        let c = Circuit::parse("M 0\nCZ rec[-1] 2 0 1\n").unwrap();
+        assert_eq!(c.stats().gates, 1);
+        assert_eq!(c.stats().feedback_ops, 1);
+    }
+
+    #[test]
+    fn rejects_rec_in_target_position() {
+        // Only CZ is symmetric; a record target cannot be the *target* of
+        // a CX/CY pair.
+        let e = Circuit::parse("M 0\nCX 2 rec[-1]\n").unwrap_err();
+        assert!(e.message.contains("control"));
+        assert!(Circuit::parse("M 0\nCY 2 rec[-1]\n").is_err());
+        assert!(Circuit::parse("M 0\nCX 0 1 2 rec[-1]\n").is_err());
+        // Odd token counts with a rec[] are malformed pairs.
+        assert!(Circuit::parse("M 0\nCX rec[-1] 2 3\n").is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use rand::{Rng, RngCore};
 use symphase_backend::record::{detector_measurement_sets, observable_measurement_sets};
 pub use symphase_backend::SampleBatch;
 use symphase_backend::Sampler;
-use symphase_bitmat::bernoulli::fill_bernoulli;
+use symphase_bitmat::bernoulli::{fill_bernoulli, for_each_bernoulli_index};
 use symphase_bitmat::{BitMatrix, SparseBitVec, SparseRowMatrix};
 use symphase_circuit::Circuit;
 
@@ -39,16 +39,21 @@ impl PhaseRepr {
     /// Resolves `Auto` against a circuit's statistics.
     ///
     /// Heuristic: the sparse store wins while expressions stay short. Long
-    /// expressions come from deep mixing, which needs *many two-qubit gates
-    /// per measurement*; noise symbols further multiply the mixing mass.
-    /// Empirically (ablation A2) the crossover sits around a symbol-churn
-    /// of a few dozen symbols per measurement.
+    /// expressions come from deep mixing of *noise* symbols: every random
+    /// measurement contributes exactly one coin, so coins cannot tell
+    /// circuits apart and are excluded from the ratio. The crossover is
+    /// pinned at 8 noise symbols per measurement — a noiseless circuit
+    /// scores 0 and always takes the sparse store, however many
+    /// measurements it records. (The previous formula folded the
+    /// measurement count into the numerator, flooring the "symbols per
+    /// measurement" ratio at 1 and letting measurement-heavy noiseless
+    /// circuits drift toward the dense store; `tests/phase_repr.rs` pins
+    /// the crossover on representative circuits.)
     pub fn resolve(self, circuit: &Circuit) -> PhaseRepr {
         match self {
             PhaseRepr::Auto => {
                 let s = circuit.stats();
-                let per_meas =
-                    (s.noise_symbols + s.measurements) as f64 / s.measurements.max(1) as f64;
+                let per_meas = s.noise_symbols as f64 / s.measurements.max(1) as f64;
                 if per_meas > 8.0 {
                     PhaseRepr::Dense
                 } else {
@@ -61,8 +66,24 @@ impl PhaseRepr {
 }
 
 /// How the Sampling step multiplies `M · B` (ablation A1 in DESIGN.md).
+///
+/// Every strategy consumes the RNG stream identically (they all draw the
+/// same assignment matrix `B`, group by group), so for a fixed seed all
+/// methods — including the one [`SamplingMethod::Auto`] picks — produce
+/// **bit-identical** samples; only the kernel computing `M · B` differs.
+/// `tests/sampling_methods.rs` pins this equality.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SamplingMethod {
+    /// Choose per circuit (mirroring [`PhaseRepr::Auto`]): dense
+    /// measurement rows — determined outcomes downstream of noise and
+    /// entanglement — promote to the blocked
+    /// [`SamplingMethod::DenseMatMul`] kernel; at realistic (small) fault
+    /// rates the event-driven [`SamplingMethod::Hybrid`] wins; in
+    /// between, [`SamplingMethod::SparseRows`]. See
+    /// [`SamplingMethod::resolve`] and [`SymPhaseSampler::resolved_method`]
+    /// for the exact rule.
+    #[default]
+    Auto,
     /// Coins (fair measurement randomness) are multiplied densely — they
     /// fire every shot — while fault symbols are handled *event-wise*:
     /// for each fired noise site the affected measurement bits are flipped
@@ -70,14 +91,73 @@ pub enum SamplingMethod {
     /// almost no sites fire, so the noise cost is proportional to the
     /// number of actual fault events, the strongest form of the paper's
     /// column-sparsity argument (Table 1's `O(n_smp · n_m)` sparse case).
-    #[default]
     Hybrid,
     /// Per-measurement XOR of the symbol shot-rows selected by the sparse
     /// measurement row — the paper's "sparse implementation of matrix
     /// multiplication" (§5).
     SparseRows,
-    /// Dense F₂ matrix product against the densified measurement matrix.
+    /// Dense F₂ matrix product against the densified measurement matrix,
+    /// computed with the blocked Four-Russians kernel
+    /// ([`symphase_bitmat::m4r`]): 8-bit Gray-code XOR tables over row
+    /// groups, tiled over the shot dimension, with scratch buffers reused
+    /// across shot batches.
     DenseMatMul,
+}
+
+impl SamplingMethod {
+    /// Resolves `Auto` against a circuit's pre-initialization statistics;
+    /// fixed methods resolve to themselves.
+    ///
+    /// From counts alone only the event-rate side is observable: if the
+    /// mean noise fire probability is at most `1/64`, fault sites fire
+    /// less than once per packed word of shots, so flipping individual
+    /// bits per event ([`SamplingMethod::Hybrid`]) beats XORing whole
+    /// shot-rows; otherwise [`SamplingMethod::SparseRows`].
+    ///
+    /// The *density* side — promoting to the blocked
+    /// [`SamplingMethod::DenseMatMul`] when measurement rows carry more
+    /// set bits than the kernel has column groups — needs the measurement
+    /// matrix itself, which only exists after Initialization;
+    /// [`SymPhaseSampler::resolved_method`] applies that refinement. (Deep
+    /// *random* circuits do not densify `M`: random outcomes are fresh
+    /// coins, so fault symbols stay out of their rows. Density comes from
+    /// *determined* measurements downstream of noise and entanglement —
+    /// see `noisy_ghz_chain`.)
+    pub fn resolve(self, circuit: &Circuit) -> SamplingMethod {
+        match self {
+            SamplingMethod::Auto => {
+                if circuit.mean_noise_probability() <= 1.0 / 64.0 {
+                    SamplingMethod::Hybrid
+                } else {
+                    SamplingMethod::SparseRows
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// CLI name (`--sampling` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplingMethod::Auto => "auto",
+            SamplingMethod::Hybrid => "hybrid",
+            SamplingMethod::SparseRows => "sparse",
+            SamplingMethod::DenseMatMul => "dense",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<SamplingMethod> {
+        Self::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// Every method, in documentation order.
+    pub const ALL: [SamplingMethod; 4] = [
+        SamplingMethod::Auto,
+        SamplingMethod::Hybrid,
+        SamplingMethod::SparseRows,
+        SamplingMethod::DenseMatMul,
+    ];
 }
 
 /// The SymPhase measurement sampler (paper Algorithm 1).
@@ -111,33 +191,57 @@ pub struct SymPhaseSampler {
     /// The representation the caller asked for (`Auto` when unpinned);
     /// reported through `Sampler::name`.
     requested_repr: PhaseRepr,
+    /// The sampling method the `Sampler` trait entry points use (`Auto`
+    /// when unpinned).
+    method: SamplingMethod,
+    /// What [`SamplingMethod::Auto`] resolves to on this circuit
+    /// (precomputed so sampling never needs the circuit back).
+    auto_method: SamplingMethod,
     table: SymbolTable,
     measurement_exprs: Vec<SymExpr>,
     meas_rows: SparseRowMatrix,
     det_rows: SparseRowMatrix,
     obs_rows: SparseRowMatrix,
     dense_meas: OnceLock<BitMatrix>,
-    event_index: OnceLock<EventIndex>,
+    dense_det: OnceLock<BitMatrix>,
+    dense_obs: OnceLock<BitMatrix>,
+    hybrid_index: OnceLock<HybridIndex>,
 }
 
-/// Precomputed structure for [`SamplingMethod::Hybrid`]: the coin-only
-/// restriction of the measurement matrix plus, for every fault symbol, the
-/// list of measurement rows it appears in.
+/// Precomputed structure for [`SamplingMethod::Hybrid`]: the coin
+/// remapping plus, per record matrix (measurements / detectors /
+/// observables), the coin-only restriction of its rows and the
+/// fault-symbol → rows index.
 #[derive(Debug)]
-struct EventIndex {
-    /// Measurement rows over remapped columns: 0 = constant, `k` = the
-    /// k-th coin (1-based).
-    coin_rows: SparseRowMatrix,
-    /// `sym_cols[id]` = measurement rows containing fault symbol `id`
-    /// (empty for coins).
-    sym_cols: Vec<Vec<u32>>,
+struct HybridIndex {
+    /// `coin_rank[id]` = 1-based coin index, 0 for fault symbols (and for
+    /// the constant at index 0).
+    coin_rank: Vec<u32>,
     num_coins: usize,
+    meas: EventTarget,
+    det: EventTarget,
+    obs: EventTarget,
 }
 
-impl EventIndex {
-    fn build(table: &SymbolTable, rows: &SparseRowMatrix) -> Self {
+/// One record matrix as the hybrid strategy sees it.
+#[derive(Debug)]
+struct EventTarget {
+    /// Rows over remapped columns: 0 = constant, `k` = the k-th coin
+    /// (1-based).
+    coin_rows: SparseRowMatrix,
+    /// `sym_cols[id]` = rows containing fault symbol `id` (empty for
+    /// coins).
+    sym_cols: Vec<Vec<u32>>,
+}
+
+impl HybridIndex {
+    fn build(
+        table: &SymbolTable,
+        meas: &SparseRowMatrix,
+        det: &SparseRowMatrix,
+        obs: &SparseRowMatrix,
+    ) -> Self {
         let len = table.assignment_len();
-        // coin_rank[id] = 1-based coin index, 0 for fault symbols.
         let mut coin_rank = vec![0u32; len];
         let mut num_coins = 0u32;
         for g in table.groups() {
@@ -146,8 +250,20 @@ impl EventIndex {
                 coin_rank[*id as usize] = num_coins;
             }
         }
-        let mut coin_rows = SparseRowMatrix::new(num_coins as usize + 1);
-        let mut sym_cols = vec![Vec::new(); len];
+        Self {
+            meas: EventTarget::build(&coin_rank, num_coins as usize, meas),
+            det: EventTarget::build(&coin_rank, num_coins as usize, det),
+            obs: EventTarget::build(&coin_rank, num_coins as usize, obs),
+            coin_rank,
+            num_coins: num_coins as usize,
+        }
+    }
+}
+
+impl EventTarget {
+    fn build(coin_rank: &[u32], num_coins: usize, rows: &SparseRowMatrix) -> Self {
+        let mut coin_rows = SparseRowMatrix::new(num_coins + 1);
+        let mut sym_cols = vec![Vec::new(); coin_rank.len()];
         for (r, row) in rows.iter().enumerate() {
             let mut coin_part = Vec::new();
             for &c in row.indices() {
@@ -164,28 +280,61 @@ impl EventIndex {
         Self {
             coin_rows,
             sym_cols,
-            num_coins: num_coins as usize,
         }
     }
 }
 
+/// Buffers a sampling call reuses across its shot batches: the
+/// assignment matrix, the blocked-kernel scratch, and the hybrid draw
+/// buffers. Held in a thread-local ([`SAMPLE_SCRATCH`]) so chunk-seeded
+/// sampling — which enters through `sample_into` once per 4096-shot
+/// chunk, serially or on each `sample_par` worker — also reuses them
+/// across a thread's chunks instead of reallocating per chunk. Every
+/// buffer is re-shaped/refilled on use, so sharing a thread between
+/// different samplers is safe.
+#[derive(Debug, Default)]
+struct SampleScratch {
+    assignments: Option<BitMatrix>,
+    m4r: symphase_bitmat::M4rScratch,
+    coins: Option<BitMatrix>,
+    events: Vec<(u32, u32)>,
+    fire: Vec<u64>,
+}
+
+thread_local! {
+    static SAMPLE_SCRATCH: std::cell::RefCell<SampleScratch> =
+        std::cell::RefCell::new(SampleScratch::default());
+}
+
 impl SymPhaseSampler {
-    /// Runs Initialization, choosing the phase store per circuit
-    /// ([`PhaseRepr::Auto`]).
+    /// Runs Initialization, choosing the phase store and sampling method
+    /// per circuit ([`PhaseRepr::Auto`], [`SamplingMethod::Auto`]).
     pub fn new(circuit: &Circuit) -> Self {
         Self::with_repr(circuit, PhaseRepr::Auto)
     }
 
     /// Runs Initialization with an explicit phase-store choice.
     pub fn with_repr(circuit: &Circuit, repr: PhaseRepr) -> Self {
+        Self::with_config(circuit, repr, SamplingMethod::Auto)
+    }
+
+    /// Runs Initialization with explicit phase-store and sampling-method
+    /// choices. The method only selects which kernel computes `M · B` —
+    /// sampled bits are identical across methods for equal seeds.
+    pub fn with_config(circuit: &Circuit, repr: PhaseRepr, method: SamplingMethod) -> Self {
         let init: InitResult = match repr.resolve(circuit) {
             PhaseRepr::Sparse => initialize::<SparsePhases>(circuit),
             PhaseRepr::Dense | PhaseRepr::Auto => initialize::<DensePhases>(circuit),
         };
-        Self::from_init(circuit, init, repr)
+        Self::from_init(circuit, init, repr, method)
     }
 
-    fn from_init(circuit: &Circuit, init: InitResult, requested_repr: PhaseRepr) -> Self {
+    fn from_init(
+        circuit: &Circuit,
+        init: InitResult,
+        requested_repr: PhaseRepr,
+        method: SamplingMethod,
+    ) -> Self {
         let cols = init.table.assignment_len();
         let mut meas_rows = SparseRowMatrix::new(cols);
         for e in &init.measurements {
@@ -204,15 +353,20 @@ impl SymPhaseSampler {
         };
         let det_rows = build_derived(detector_measurement_sets(circuit));
         let obs_rows = build_derived(observable_measurement_sets(circuit));
+        let auto_method = resolve_auto_from_matrix(&init.table, &meas_rows);
         Self {
             requested_repr,
+            method,
+            auto_method,
             table: init.table,
             measurement_exprs: init.measurements,
             meas_rows,
             det_rows,
             obs_rows,
             dense_meas: OnceLock::new(),
-            event_index: OnceLock::new(),
+            dense_det: OnceLock::new(),
+            dense_obs: OnceLock::new(),
+            hybrid_index: OnceLock::new(),
         }
     }
 
@@ -220,6 +374,17 @@ impl SymPhaseSampler {
     /// (`Auto` when the per-circuit heuristic chose).
     pub fn requested_repr(&self) -> PhaseRepr {
         self.requested_repr
+    }
+
+    /// The sampling method this sampler was requested with (`Auto` when
+    /// the per-circuit heuristic chooses).
+    pub fn requested_method(&self) -> SamplingMethod {
+        self.method
+    }
+
+    /// What [`SamplingMethod::Auto`] resolves to on this circuit.
+    pub fn resolved_method(&self) -> SamplingMethod {
+        self.auto_method
     }
 
     /// Number of measurement outcomes per shot.
@@ -291,31 +456,60 @@ impl SymPhaseSampler {
     const SHOT_BATCH: usize = 4096;
 
     /// Sampling with an explicit multiplication strategy.
+    ///
+    /// Scratch buffers (the assignment matrix, the blocked-kernel tables,
+    /// the hybrid draw buffers) live in a thread-local and are reused
+    /// across the internal shot batches *and* across calls on the same
+    /// thread (the chunk-seeded sampling paths).
     pub fn sample_with_method(
         &self,
         shots: usize,
         rng: &mut impl Rng,
         method: SamplingMethod,
     ) -> BitMatrix {
+        let method = self.resolve_method(method);
         let mut out = BitMatrix::zeros(self.meas_rows.rows(), shots);
-        for start in (0..shots).step_by(Self::SHOT_BATCH) {
-            let width = Self::SHOT_BATCH.min(shots - start);
-            match method {
-                SamplingMethod::Hybrid => {
-                    self.sample_hybrid_into(&mut out, start, width, rng);
-                }
-                SamplingMethod::SparseRows => {
-                    let b = self.table.sample_assignments(width, rng);
-                    self.meas_rows.mul_dense_into(&b, &mut out, start / 64);
-                }
-                SamplingMethod::DenseMatMul => {
-                    let b = self.table.sample_assignments(width, rng);
-                    let dense = self.dense_meas.get_or_init(|| self.meas_rows.to_dense());
-                    copy_columns(&dense.mul(&b), &mut out, start);
+        SAMPLE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            for start in (0..shots).step_by(Self::SHOT_BATCH) {
+                let width = Self::SHOT_BATCH.min(shots - start);
+                debug_assert_eq!(start % 64, 0, "batch starts must be word-aligned");
+                match method {
+                    SamplingMethod::Auto => unreachable!("resolved above"),
+                    SamplingMethod::Hybrid => {
+                        self.draw_hybrid(width, rng, scratch);
+                        let idx = self.hybrid_index();
+                        let coins = scratch.coins.as_ref().expect("drawn above");
+                        apply_hybrid(&idx.meas, coins, &scratch.events, &mut out, start);
+                    }
+                    SamplingMethod::SparseRows => {
+                        let b = fill_assignments(&self.table, &mut scratch.assignments, width, rng);
+                        self.meas_rows.mul_dense_into(b, &mut out, start / 64);
+                    }
+                    SamplingMethod::DenseMatMul => {
+                        let b = fill_assignments(&self.table, &mut scratch.assignments, width, rng);
+                        let dense = self.dense_meas.get_or_init(|| self.meas_rows.to_dense());
+                        dense.mul_into(b, &mut out, start / 64, &mut scratch.m4r);
+                    }
                 }
             }
-        }
+        });
         out
+    }
+
+    /// `Auto` → the per-circuit pick; fixed methods pass through.
+    fn resolve_method(&self, method: SamplingMethod) -> SamplingMethod {
+        if method == SamplingMethod::Auto {
+            self.auto_method
+        } else {
+            method
+        }
+    }
+
+    fn hybrid_index(&self) -> &HybridIndex {
+        self.hybrid_index.get_or_init(|| {
+            HybridIndex::build(&self.table, &self.meas_rows, &self.det_rows, &self.obs_rows)
+        })
     }
 
     /// Samples measurements, detectors and observables from one shared
@@ -332,20 +526,86 @@ impl SymPhaseSampler {
         batch
     }
 
-    /// In-place variant of [`SymPhaseSampler::sample_batch`]: fills a
-    /// pre-shaped [`SampleBatch`].
+    /// In-place variant of [`SymPhaseSampler::sample_batch`]: refills a
+    /// pre-shaped [`SampleBatch`] (previous contents are cleared) with the
+    /// sampler's configured method.
     pub fn sample_batch_into(&self, batch: &mut SampleBatch, rng: &mut impl Rng) {
+        self.sample_batch_with_method(batch, rng, self.method);
+    }
+
+    /// [`SymPhaseSampler::sample_batch_into`] with an explicit
+    /// multiplication strategy. One assignment draw per shot batch feeds
+    /// all three record matrices, whatever the method, so columns stay
+    /// shot-aligned and the RNG stream is method-independent.
+    ///
+    /// The batch is cleared first: every kernel XOR-accumulates, so a
+    /// reused batch would otherwise mix draws.
+    pub fn sample_batch_with_method(
+        &self,
+        batch: &mut SampleBatch,
+        rng: &mut impl Rng,
+        method: SamplingMethod,
+    ) {
+        let method = self.resolve_method(method);
         let shots = batch.shots();
-        for start in (0..shots).step_by(Self::SHOT_BATCH) {
-            let width = Self::SHOT_BATCH.min(shots - start);
-            let b = self.table.sample_assignments(width, rng);
-            self.meas_rows
-                .mul_dense_into(&b, &mut batch.measurements, start / 64);
-            self.det_rows
-                .mul_dense_into(&b, &mut batch.detectors, start / 64);
-            self.obs_rows
-                .mul_dense_into(&b, &mut batch.observables, start / 64);
-        }
+        batch.clear();
+        SAMPLE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            for start in (0..shots).step_by(Self::SHOT_BATCH) {
+                let width = Self::SHOT_BATCH.min(shots - start);
+                debug_assert_eq!(start % 64, 0, "batch starts must be word-aligned");
+                match method {
+                    SamplingMethod::Auto => unreachable!("resolved above"),
+                    SamplingMethod::Hybrid => {
+                        self.draw_hybrid(width, rng, scratch);
+                        let idx = self.hybrid_index();
+                        let coins = scratch.coins.as_ref().expect("drawn above");
+                        apply_hybrid(
+                            &idx.meas,
+                            coins,
+                            &scratch.events,
+                            &mut batch.measurements,
+                            start,
+                        );
+                        apply_hybrid(
+                            &idx.det,
+                            coins,
+                            &scratch.events,
+                            &mut batch.detectors,
+                            start,
+                        );
+                        apply_hybrid(
+                            &idx.obs,
+                            coins,
+                            &scratch.events,
+                            &mut batch.observables,
+                            start,
+                        );
+                    }
+                    SamplingMethod::SparseRows => {
+                        let b = fill_assignments(&self.table, &mut scratch.assignments, width, rng);
+                        self.meas_rows
+                            .mul_dense_into(b, &mut batch.measurements, start / 64);
+                        self.det_rows
+                            .mul_dense_into(b, &mut batch.detectors, start / 64);
+                        self.obs_rows
+                            .mul_dense_into(b, &mut batch.observables, start / 64);
+                    }
+                    SamplingMethod::DenseMatMul => {
+                        let b = fill_assignments(&self.table, &mut scratch.assignments, width, rng);
+                        self.dense_meas
+                            .get_or_init(|| self.meas_rows.to_dense())
+                            .mul_into(b, &mut batch.measurements, start / 64, &mut scratch.m4r);
+                        self.dense_det
+                            .get_or_init(|| self.det_rows.to_dense())
+                            .mul_into(b, &mut batch.detectors, start / 64, &mut scratch.m4r);
+                        self.dense_obs
+                            .get_or_init(|| self.obs_rows.to_dense())
+                            .mul_into(b, &mut batch.observables, start / 64, &mut scratch.m4r);
+                    }
+                }
+            }
+        });
     }
 }
 
@@ -375,31 +635,34 @@ impl Sampler for SymPhaseSampler {
     }
 
     fn sample_into(&self, batch: &mut SampleBatch, mut rng: &mut dyn RngCore) {
-        // The matrix products accumulate by XOR; clear so reused batches
-        // don't mix draws.
-        batch.clear();
+        // `sample_batch_into` clears the batch itself, so reused batches
+        // never mix draws.
         self.sample_batch_into(batch, &mut rng);
     }
 }
 
 impl SymPhaseSampler {
-    /// The [`SamplingMethod::Hybrid`] inner loop for one shot window.
-    fn sample_hybrid_into(
-        &self,
-        out: &mut BitMatrix,
-        start: usize,
-        width: usize,
-        rng: &mut impl Rng,
-    ) {
-        use symphase_bitmat::bernoulli::for_each_bernoulli_index;
-        let idx = self
-            .event_index
-            .get_or_init(|| EventIndex::build(&self.table, &self.meas_rows));
-
-        // Coins fire half the time: handle them with the dense product.
-        let mut coins = BitMatrix::zeros(idx.num_coins + 1, width);
+    /// The [`SamplingMethod::Hybrid`] draw for one shot window: fills the
+    /// coin matrix (constant row + one row per coin) and collects every
+    /// fired fault as a `(symbol, shot)` event into the scratch.
+    ///
+    /// Groups are drawn **in allocation order with the same primitives as
+    /// [`SymbolTable::sample_assignments`]**, so the RNG stream — and
+    /// therefore the sampled bits — are identical across all
+    /// [`SamplingMethod`]s. Keep the two in lockstep.
+    fn draw_hybrid(&self, width: usize, rng: &mut impl Rng, scratch: &mut SampleScratch) {
+        let idx = self.hybrid_index();
+        if scratch
+            .coins
+            .as_ref()
+            .is_none_or(|c| c.rows() != idx.num_coins + 1 || c.cols() != width)
+        {
+            scratch.coins = Some(BitMatrix::zeros(idx.num_coins + 1, width));
+        }
+        let coins = scratch.coins.as_mut().expect("just ensured");
         let cstride = coins.stride();
         {
+            // Row 0: the constant symbol s₀ = 1.
             let tail = symphase_bitmat::word::tail_mask(width);
             let row0 = &mut coins.words_mut()[..cstride];
             row0.iter_mut().for_each(|w| *w = !0);
@@ -407,70 +670,46 @@ impl SymPhaseSampler {
                 *last &= tail;
             }
         }
-        for k in 1..=idx.num_coins {
-            let words = &mut coins.words_mut()[k * cstride..(k + 1) * cstride];
-            fill_bernoulli(words, width, 0.5, rng);
-        }
-        debug_assert_eq!(start % 64, 0, "batch starts must be word-aligned");
-        idx.coin_rows.mul_dense_into(&coins, out, start / 64);
-
-        // Fault symbols: per fired event, flip the affected measurements.
-        let ostride = out.stride();
-        let words = out.words_mut();
-        let mut fired: Vec<usize> = Vec::new();
-        let flip_all = |cols: &[u32], shot: usize, words: &mut [u64]| {
-            let col = start + shot;
-            for &m in cols {
-                words[m as usize * ostride + col / 64] ^= 1u64 << (col % 64);
-            }
-        };
+        scratch.fire.clear();
+        scratch.fire.resize(cstride, 0);
+        scratch.events.clear();
         for group in self.table.groups() {
             match *group {
-                SymbolGroup::Coin { .. } => {}
+                SymbolGroup::Coin { id } => {
+                    let k = idx.coin_rank[id as usize] as usize;
+                    let row = &mut coins.words_mut()[k * cstride..(k + 1) * cstride];
+                    fill_bernoulli(row, width, 0.5, rng);
+                }
                 SymbolGroup::Bernoulli { id, p } => {
-                    let cols = &idx.sym_cols[id as usize];
-                    if cols.is_empty() {
-                        continue;
-                    }
-                    fired.clear();
-                    for_each_bernoulli_index(p, width, rng, |s| fired.push(s));
-                    for &shot in &fired {
-                        flip_all(cols, shot, words);
-                    }
+                    // No per-event choice draws, so the mask need not be
+                    // materialized (same RNG stream either way).
+                    for_each_bernoulli_index(p, width, rng, |shot| {
+                        scratch.events.push((id, shot as u32));
+                    });
                 }
                 SymbolGroup::Depolarize1 { x_id, z_id, p } => {
-                    let xc = &idx.sym_cols[x_id as usize];
-                    let zc = &idx.sym_cols[z_id as usize];
-                    if xc.is_empty() && zc.is_empty() {
-                        continue;
-                    }
-                    fired.clear();
-                    for_each_bernoulli_index(p, width, rng, |s| fired.push(s));
-                    for &shot in &fired {
+                    fill_bernoulli(&mut scratch.fire, width, p, rng);
+                    for_each_set_bit(&scratch.fire, |shot| {
                         match rng.random_range(0..3u32) {
-                            0 => flip_all(xc, shot, words), // X
+                            0 => scratch.events.push((x_id, shot)), // X
                             1 => {
-                                flip_all(xc, shot, words); // Y
-                                flip_all(zc, shot, words);
+                                scratch.events.push((x_id, shot)); // Y
+                                scratch.events.push((z_id, shot));
                             }
-                            _ => flip_all(zc, shot, words), // Z
+                            _ => scratch.events.push((z_id, shot)), // Z
                         }
-                    }
+                    });
                 }
                 SymbolGroup::Depolarize2 { ids, p } => {
-                    if ids.iter().all(|&id| idx.sym_cols[id as usize].is_empty()) {
-                        continue;
-                    }
-                    fired.clear();
-                    for_each_bernoulli_index(p, width, rng, |s| fired.push(s));
-                    for &shot in &fired {
+                    fill_bernoulli(&mut scratch.fire, width, p, rng);
+                    for_each_set_bit(&scratch.fire, |shot| {
                         let k = rng.random_range(1..16u32);
                         for (j, &id) in ids.iter().enumerate() {
                             if k & (1 << j) != 0 {
-                                flip_all(&idx.sym_cols[id as usize], shot, words);
+                                scratch.events.push((id, shot));
                             }
                         }
-                    }
+                    });
                 }
                 SymbolGroup::PauliChannel1 {
                     x_id,
@@ -479,41 +718,150 @@ impl SymPhaseSampler {
                     py,
                     pz,
                 } => {
-                    let xc = &idx.sym_cols[x_id as usize];
-                    let zc = &idx.sym_cols[z_id as usize];
-                    if xc.is_empty() && zc.is_empty() {
-                        continue;
-                    }
                     let total = px + py + pz;
-                    fired.clear();
-                    for_each_bernoulli_index(total, width, rng, |s| fired.push(s));
-                    for &shot in &fired {
+                    fill_bernoulli(&mut scratch.fire, width, total, rng);
+                    for_each_set_bit(&scratch.fire, |shot| {
                         let u: f64 = rng.random::<f64>() * total;
                         if u < px + py {
-                            flip_all(xc, shot, words);
+                            scratch.events.push((x_id, shot));
                         }
                         if u >= px {
-                            flip_all(zc, shot, words);
+                            scratch.events.push((z_id, shot));
                         }
-                    }
+                    });
                 }
             }
         }
     }
 }
 
-/// Copies `partial` (a shot window) into `out` starting at shot column
-/// `start`; `start` must be word-aligned (the batch size is a multiple of
-/// 64).
-fn copy_columns(partial: &BitMatrix, out: &mut BitMatrix, start: usize) {
-    debug_assert_eq!(start % 64, 0, "batch starts must be word-aligned");
-    let word_off = start / 64;
-    let pstride = partial.stride();
-    let ostride = out.stride();
-    for r in 0..partial.rows() {
-        let dst = &mut out.words_mut()[r * ostride + word_off..r * ostride + word_off + pstride];
-        dst.copy_from_slice(partial.row(r));
+/// Calls `f` with the index of every set bit, in ascending order (the
+/// same order the merged assignment-matrix draw visits fired shots).
+fn for_each_set_bit(words: &[u64], mut f: impl FnMut(u32)) {
+    for (w, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let shot = (w * 64) as u32 + bits.trailing_zeros();
+            bits &= bits - 1;
+            f(shot);
+        }
     }
+}
+
+/// Applies one hybrid draw to one record matrix: the coin part as a dense
+/// product through the target's coin-restricted rows, the fault part as
+/// per-event bit flips through the symbol → rows index.
+fn apply_hybrid(
+    target: &EventTarget,
+    coins: &BitMatrix,
+    events: &[(u32, u32)],
+    out: &mut BitMatrix,
+    start: usize,
+) {
+    debug_assert_eq!(start % 64, 0, "batch starts must be word-aligned");
+    target.coin_rows.mul_dense_into(coins, out, start / 64);
+    let ostride = out.stride();
+    let words = out.words_mut();
+    for &(id, shot) in events {
+        let col = start + shot as usize;
+        let (w, mask) = (col / 64, 1u64 << (col % 64));
+        for &m in &target.sym_cols[id as usize] {
+            words[m as usize * ostride + w] ^= mask;
+        }
+    }
+}
+
+/// Relative cost of one event-driven bit flip versus one word of a
+/// streaming row XOR: flips are scattered read-modify-writes (plus their
+/// share of the geometric draw), worth roughly a cache line each, while
+/// row XORs stream 64 shots per word.
+const FLIP_COST: f64 = 8.0;
+
+/// [`SamplingMethod::Auto`] resolution from what Initialization actually
+/// built (the precise counterpart of the statistics-only estimate in
+/// [`SamplingMethod::resolve`]). Costs are per 64-shot word:
+///
+/// * `Hybrid` — the coin-restricted product plus, per fault symbol, its
+///   fire probability times the rows it touches, weighted by
+///   [`FLIP_COST`] (events are scattered single-bit flips).
+/// * matrix product — one word XOR per set bit of `M`; within that, the
+///   blocked kernel wins once rows average more set bits than the kernel
+///   has 8-bit column groups (one table lookup replaces up to 8 gathers).
+fn resolve_auto_from_matrix(table: &SymbolTable, meas_rows: &SparseRowMatrix) -> SamplingMethod {
+    let len = table.assignment_len();
+    let mut colcount = vec![0u32; len];
+    let mut nnz = 0usize;
+    for row in meas_rows.iter() {
+        for &c in row.indices() {
+            colcount[c as usize] += 1;
+            nnz += 1;
+        }
+    }
+    // Constant + coin columns are multiplied densely by the hybrid path.
+    let mut coin_nnz = colcount[0] as f64;
+    // Expected fault-bit flips per shot: marginal fire probability of
+    // each symbol times the measurement rows containing it.
+    let mut flips_per_shot = 0.0;
+    for group in table.groups() {
+        match *group {
+            SymbolGroup::Coin { id } => coin_nnz += colcount[id as usize] as f64,
+            SymbolGroup::Bernoulli { id, p } => {
+                flips_per_shot += p * colcount[id as usize] as f64;
+            }
+            SymbolGroup::Depolarize1 { x_id, z_id, p } => {
+                // Each component fires in 2 of the 3 equiprobable faults.
+                let marginal = 2.0 * p / 3.0;
+                flips_per_shot +=
+                    marginal * (colcount[x_id as usize] + colcount[z_id as usize]) as f64;
+            }
+            SymbolGroup::Depolarize2 { ids, p } => {
+                // Each of the four symbols is set in 8 of the 15 Paulis.
+                let marginal = 8.0 * p / 15.0;
+                for id in ids {
+                    flips_per_shot += marginal * colcount[id as usize] as f64;
+                }
+            }
+            SymbolGroup::PauliChannel1 {
+                x_id,
+                z_id,
+                px,
+                py,
+                pz,
+            } => {
+                flips_per_shot += (px + py) * colcount[x_id as usize] as f64
+                    + (py + pz) * colcount[z_id as usize] as f64;
+            }
+        }
+    }
+    let hybrid_cost = coin_nnz + FLIP_COST * 64.0 * flips_per_shot;
+    let matrix_cost = nnz as f64;
+    if hybrid_cost < matrix_cost {
+        SamplingMethod::Hybrid
+    } else if nnz > meas_rows.rows().max(1) * len.div_ceil(8) {
+        SamplingMethod::DenseMatMul
+    } else {
+        SamplingMethod::SparseRows
+    }
+}
+
+/// Ensures `slot` holds an `assignment_len × width` matrix and refills it
+/// from the table; reallocation happens only when the width changes (the
+/// final, narrower shot batch).
+fn fill_assignments<'a>(
+    table: &SymbolTable,
+    slot: &'a mut Option<BitMatrix>,
+    width: usize,
+    rng: &mut impl Rng,
+) -> &'a BitMatrix {
+    if slot
+        .as_ref()
+        .is_none_or(|b| b.rows() != table.assignment_len() || b.cols() != width)
+    {
+        *slot = Some(BitMatrix::zeros(table.assignment_len(), width));
+    }
+    let b = slot.as_mut().expect("just ensured");
+    table.sample_assignments_into(b, rng);
+    b
 }
 
 #[cfg(test)]
@@ -589,6 +937,22 @@ mod tests {
         for shot in 0..2000 {
             assert!(!out.get(2, shot));
         }
+    }
+
+    #[test]
+    fn batch_reuse_does_not_mix_draws() {
+        // The kernels XOR-accumulate, so the batch paths must clear a
+        // reused batch before refilling it.
+        let c = repetition_code_memory(&RepetitionCodeConfig {
+            distance: 3,
+            rounds: 2,
+            data_error: 0.1,
+            measure_error: 0.1,
+        });
+        let s = SymPhaseSampler::new(&c);
+        let mut batch = s.sample_batch(300, &mut rng(41));
+        s.sample_batch_into(&mut batch, &mut rng(42));
+        assert_eq!(batch, s.sample_batch(300, &mut rng(42)));
     }
 
     #[test]

@@ -162,6 +162,22 @@ impl SymbolTable {
     /// the paper's Sampling procedure.
     pub fn sample_assignments(&self, shots: usize, rng: &mut impl Rng) -> BitMatrix {
         let mut b = BitMatrix::zeros(self.assignment_len(), shots);
+        self.sample_assignments_into(&mut b, rng);
+        b
+    }
+
+    /// In-place variant of [`SymbolTable::sample_assignments`]: refills a
+    /// previously shaped `(assignment_len × shots)` matrix, so shot-batched
+    /// sampling reuses one buffer instead of allocating per batch. The RNG
+    /// stream consumed is identical to the allocating variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != assignment_len()`.
+    pub fn sample_assignments_into(&self, b: &mut BitMatrix, rng: &mut impl Rng) {
+        assert_eq!(b.rows(), self.assignment_len(), "assignment row mismatch");
+        let shots = b.cols();
+        b.words_mut().fill(0);
         // Row 0: the constant symbol s₀ = 1.
         {
             let stride = b.stride();
@@ -178,17 +194,17 @@ impl SymbolTable {
         for group in &self.groups {
             match *group {
                 SymbolGroup::Coin { id } => {
-                    let row = row_mut(&mut b, id, stride);
+                    let row = row_mut(b, id, stride);
                     fill_bernoulli(row, shots, 0.5, rng);
                 }
                 SymbolGroup::Bernoulli { id, p } => {
-                    let row = row_mut(&mut b, id, stride);
+                    let row = row_mut(b, id, stride);
                     fill_bernoulli(row, shots, p, rng);
                 }
                 SymbolGroup::Depolarize1 { x_id, z_id, p } => {
                     fill_bernoulli(&mut fire, shots, p, rng);
                     scatter_choice(
-                        &mut b,
+                        b,
                         stride,
                         &fire,
                         rng,
@@ -210,7 +226,7 @@ impl SymbolTable {
                             let k = rng.random_range(1..16u32);
                             for (j, &id) in ids.iter().enumerate() {
                                 if k & (1 << j) != 0 {
-                                    set_bit(&mut b, id, stride, w, bit);
+                                    set_bit(b, id, stride, w, bit);
                                 }
                             }
                         }
@@ -239,17 +255,16 @@ impl SymbolTable {
                                 (false, true)
                             };
                             if fx {
-                                set_bit(&mut b, x_id, stride, w, bit);
+                                set_bit(b, x_id, stride, w, bit);
                             }
                             if fz {
-                                set_bit(&mut b, z_id, stride, w, bit);
+                                set_bit(b, z_id, stride, w, bit);
                             }
                         }
                     }
                 }
             }
         }
-        b
     }
 }
 

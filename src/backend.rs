@@ -6,7 +6,7 @@
 
 use symphase_backend::Sampler;
 use symphase_circuit::Circuit;
-use symphase_core::{PhaseRepr, SymPhaseSampler};
+use symphase_core::{PhaseRepr, SamplingMethod, SymPhaseSampler};
 use symphase_frame::FrameSampler;
 use symphase_statevec::{StateVecSampler, MAX_QUBITS};
 use symphase_tableau::TableauSampler;
@@ -65,6 +65,16 @@ impl BackendKind {
         }
     }
 
+    /// Whether this backend honors a `M · B` sampling-method choice
+    /// (`--sampling`); only the SymPhase engines multiply a measurement
+    /// matrix.
+    pub fn supports_sampling_method(self) -> bool {
+        matches!(
+            self,
+            BackendKind::SymPhase | BackendKind::SymPhaseSparse | BackendKind::SymPhaseDense
+        )
+    }
+
     /// Builds the backend for `circuit` (runs the engine's
     /// initialization).
     ///
@@ -73,14 +83,38 @@ impl BackendKind {
     /// Panics if the backend does not support the circuit (see
     /// [`BackendKind::supports`]).
     pub fn build(self, circuit: &Circuit) -> Box<dyn Sampler> {
+        self.build_with_sampling(circuit, SamplingMethod::Auto)
+    }
+
+    /// Builds the backend with an explicit sampling-method choice for the
+    /// SymPhase engines (the CLI's `--sampling`); engines without a
+    /// measurement-matrix product ignore the method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend does not support the circuit (see
+    /// [`BackendKind::supports`]).
+    pub fn build_with_sampling(
+        self,
+        circuit: &Circuit,
+        method: SamplingMethod,
+    ) -> Box<dyn Sampler> {
         match self {
-            BackendKind::SymPhase => Box::new(SymPhaseSampler::from_circuit(circuit)),
-            BackendKind::SymPhaseSparse => {
-                Box::new(SymPhaseSampler::with_repr(circuit, PhaseRepr::Sparse))
-            }
-            BackendKind::SymPhaseDense => {
-                Box::new(SymPhaseSampler::with_repr(circuit, PhaseRepr::Dense))
-            }
+            BackendKind::SymPhase => Box::new(SymPhaseSampler::with_config(
+                circuit,
+                PhaseRepr::Auto,
+                method,
+            )),
+            BackendKind::SymPhaseSparse => Box::new(SymPhaseSampler::with_config(
+                circuit,
+                PhaseRepr::Sparse,
+                method,
+            )),
+            BackendKind::SymPhaseDense => Box::new(SymPhaseSampler::with_config(
+                circuit,
+                PhaseRepr::Dense,
+                method,
+            )),
             BackendKind::Frame => Box::new(FrameSampler::from_circuit(circuit)),
             BackendKind::Tableau => Box::new(TableauSampler::from_circuit(circuit)),
             BackendKind::StateVec => Box::new(StateVecSampler::from_circuit(circuit)),

@@ -3,8 +3,8 @@
 //! A Stim-like CLI over the circuit text format:
 //!
 //! ```text
-//! symphase sample    -c circuit.stim --shots 1000 [--format 01|counts] [--seed N] [--engine E] [--par]
-//! symphase detect    -c circuit.stim --shots 1000 [--seed N] [--engine E] [--par]
+//! symphase sample    -c circuit.stim --shots 1000 [--format 01|counts] [--seed N] [--engine E] [--sampling S] [--par]
+//! symphase detect    -c circuit.stim --shots 1000 [--seed N] [--engine E] [--sampling S] [--par]
 //! symphase analyze   -c circuit.stim
 //! symphase dem       -c circuit.stim
 //! symphase reference -c circuit.stim
@@ -12,9 +12,12 @@
 //!
 //! `--engine` selects any backend implementing the shared [`Sampler`]
 //! trait: `symphase` (default), `symphase-sparse`, `symphase-dense`,
-//! `frame`, `tableau`, or `statevec`. `--par` samples across threads with
-//! deterministic per-chunk seeding (bit-identical to the serial chunked
-//! schedule for the same `--seed`).
+//! `frame`, `tableau`, or `statevec`. `--sampling` pins the SymPhase
+//! engines' `M · B` multiplication strategy (`auto` (default), `hybrid`,
+//! `sparse`, or `dense` — the blocked Four-Russians kernel); all
+//! strategies produce bit-identical samples for equal seeds. `--par`
+//! samples across threads with deterministic per-chunk seeding
+//! (bit-identical to the serial chunked schedule for the same `--seed`).
 //!
 //! The logic lives here (rather than in `main`) so the test suite can run
 //! commands in-process.
@@ -27,7 +30,7 @@ use rand::SeedableRng;
 
 use symphase_backend::{SampleBatch, Sampler};
 use symphase_circuit::Circuit;
-use symphase_core::SymPhaseSampler;
+use symphase_core::{SamplingMethod, SymPhaseSampler};
 use symphase_tableau::reference_sample;
 
 use crate::backend::BackendKind;
@@ -74,6 +77,9 @@ options:
       --format <f>       sample output: 01 (default) or counts
       --engine <e>       backend: symphase (default), symphase-sparse,
                          symphase-dense, frame, tableau, or statevec
+      --sampling <s>     M·B strategy for symphase engines: auto (default),
+                         hybrid, sparse, or dense (blocked kernel); all
+                         strategies sample identical bits for equal seeds
       --par              sample across threads (deterministic per-chunk seeding)
 ";
 
@@ -86,6 +92,7 @@ struct Options {
     seed: u64,
     format: String,
     engine: String,
+    sampling: String,
     parallel: bool,
 }
 
@@ -94,6 +101,7 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         shots: 10,
         format: "01".into(),
         engine: "symphase".into(),
+        sampling: "auto".into(),
         ..Options::default()
     };
     let mut it = args.iter();
@@ -118,6 +126,7 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
             }
             "--format" => opts.format = value("--format")?,
             "--engine" => opts.engine = value("--engine")?,
+            "--sampling" => opts.sampling = value("--sampling")?,
             "--par" => opts.parallel = true,
             "-h" | "--help" => {
                 return Err(CliError {
@@ -149,7 +158,22 @@ fn build_backend(opts: &Options, circuit: &Circuit) -> Result<Box<dyn Sampler>, 
             circuit.num_qubits()
         )));
     }
-    Ok(kind.build(circuit))
+    let method = SamplingMethod::from_name(&opts.sampling).ok_or_else(|| {
+        let names: Vec<&str> = SamplingMethod::ALL.iter().map(|m| m.name()).collect();
+        fail(format!(
+            "unknown sampling method '{}' (expected one of: {})",
+            opts.sampling,
+            names.join(", ")
+        ))
+    })?;
+    if method != SamplingMethod::Auto && !kind.supports_sampling_method() {
+        return Err(fail(format!(
+            "--sampling {} only applies to symphase engines, not '{}'",
+            method.name(),
+            kind.name()
+        )));
+    }
+    Ok(kind.build_with_sampling(circuit, method))
 }
 
 /// Draws a batch honoring `--par` / `--seed`.

@@ -82,3 +82,48 @@ proptest! {
         }
     }
 }
+
+/// The Auto heuristic measures *noise* symbols per measurement (coins are
+/// excluded — every random measurement carries exactly one, so they can't
+/// differentiate circuits). This pins the crossover on representative
+/// circuits, including the boundary itself.
+#[test]
+fn auto_crossover_pinned_on_representative_circuits() {
+    use symphase::circuit::generators::{
+        fig3c_circuit, repetition_code_memory, RepetitionCodeConfig,
+    };
+    use symphase::circuit::NoiseChannel;
+
+    // Dense noisy mixing: thousands of fault symbols over few measurements.
+    assert_eq!(
+        PhaseRepr::Auto.resolve(&fig3c_circuit(32, 0.001, 1)),
+        PhaseRepr::Dense
+    );
+    // QEC-style: a handful of symbols per measurement.
+    let rep = repetition_code_memory(&RepetitionCodeConfig {
+        distance: 9,
+        rounds: 9,
+        data_error: 0.01,
+        measure_error: 0.01,
+    });
+    assert_eq!(PhaseRepr::Auto.resolve(&rep), PhaseRepr::Sparse);
+    // Noiseless but measurement-heavy: 0 noise symbols per measurement →
+    // sparse, no matter how many measurements pile up. (The old formula
+    // folded measurements into the numerator, flooring the ratio at 1.)
+    let mut noiseless = Circuit::new(4);
+    for _ in 0..100 {
+        noiseless.h(0);
+        noiseless.measure_many(&[0, 1, 2, 3]);
+    }
+    assert_eq!(PhaseRepr::Auto.resolve(&noiseless), PhaseRepr::Sparse);
+    // The crossover sits at exactly 8 symbols per measurement: 8 stays
+    // sparse, 9 flips dense.
+    let mut at_boundary = Circuit::new(8);
+    at_boundary.noise(NoiseChannel::XError(0.1), &[0, 1, 2, 3, 4, 5, 6, 7]);
+    at_boundary.measure(0);
+    assert_eq!(PhaseRepr::Auto.resolve(&at_boundary), PhaseRepr::Sparse);
+    let mut past_boundary = Circuit::new(9);
+    past_boundary.noise(NoiseChannel::XError(0.1), &[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+    past_boundary.measure(0);
+    assert_eq!(PhaseRepr::Auto.resolve(&past_boundary), PhaseRepr::Dense);
+}

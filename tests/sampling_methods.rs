@@ -1,12 +1,173 @@
-//! Equivalence of the three Sampling strategies (Hybrid, SparseRows,
+//! Equivalence of the Sampling strategies (Auto, Hybrid, SparseRows,
 //! DenseMatMul) and of the parser → sampler pipeline.
+//!
+//! The contract under test: every method consumes the RNG stream
+//! identically, so a fixed seed produces **bit-identical** samples
+//! whatever kernel computes `M · B` — and `SamplingMethod::Auto` only
+//! ever changes which kernel that is.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use symphase::circuit::generators::fig3c_circuit;
+use symphase::circuit::generators::{
+    fig3c_circuit, noisy_ghz_chain, repetition_code_memory, surface_code_memory,
+    RepetitionCodeConfig, SurfaceCodeConfig,
+};
 use symphase::circuit::{Circuit, NoiseChannel};
 use symphase::core::{SamplingMethod, SymPhaseSampler};
+
+/// Circuits spanning every symbol-group kind and both sides of the Auto
+/// heuristic (dense mixing, QEC-sparse, heavy noise, p > 1/2 faults).
+fn representative_circuits() -> Vec<(&'static str, Circuit)> {
+    let mut channels = Circuit::new(4);
+    channels.noise(NoiseChannel::XError(0.7), &[0]); // complement path
+    channels.noise(NoiseChannel::Depolarize2(0.2), &[0, 1]);
+    channels.noise(
+        NoiseChannel::PauliChannel1 {
+            px: 0.1,
+            py: 0.05,
+            pz: 0.2,
+        },
+        &[2],
+    );
+    channels.noise(NoiseChannel::Depolarize1(0.3), &[3]);
+    channels.h(0);
+    channels.cx(0, 1);
+    channels.measure_many(&[0, 1, 2, 3]);
+    vec![
+        ("fig3c", fig3c_circuit(20, 0.01, 5)),
+        (
+            "repetition",
+            repetition_code_memory(&RepetitionCodeConfig {
+                distance: 5,
+                rounds: 4,
+                data_error: 0.01,
+                measure_error: 0.005,
+            }),
+        ),
+        (
+            "surface",
+            surface_code_memory(&SurfaceCodeConfig {
+                distance: 3,
+                rounds: 3,
+                data_error: 0.002,
+                measure_error: 0.001,
+            }),
+        ),
+        ("channels", channels),
+        ("ghz_chain", noisy_ghz_chain(120, 0.01)),
+    ]
+}
+
+/// All four methods (including `Auto`) sample bit-identical measurement
+/// matrices from equal seeds, across shot-batch boundaries.
+#[test]
+fn all_methods_bit_identical() {
+    let shots = 4096 + 700; // two windows, last one partial
+    for (name, c) in representative_circuits() {
+        let s = SymPhaseSampler::new(&c);
+        let reference = s.sample_with_method(
+            shots,
+            &mut StdRng::seed_from_u64(11),
+            SamplingMethod::SparseRows,
+        );
+        for method in SamplingMethod::ALL {
+            let out = s.sample_with_method(shots, &mut StdRng::seed_from_u64(11), method);
+            assert_eq!(
+                out, reference,
+                "{name}: {method:?} diverged from SparseRows"
+            );
+        }
+    }
+}
+
+/// The full batch path (measurements + detectors + observables) is also
+/// method-independent bit for bit.
+#[test]
+fn batch_methods_bit_identical() {
+    let shots = 4096 + 100;
+    for (name, c) in representative_circuits() {
+        let s = SymPhaseSampler::new(&c);
+        let mut reference = symphase::core::SampleBatch::zeros(
+            s.num_measurements(),
+            s.num_detectors(),
+            s.num_observables(),
+            shots,
+        );
+        s.sample_batch_with_method(
+            &mut reference,
+            &mut StdRng::seed_from_u64(13),
+            SamplingMethod::SparseRows,
+        );
+        for method in SamplingMethod::ALL {
+            let mut batch = symphase::core::SampleBatch::zeros(
+                s.num_measurements(),
+                s.num_detectors(),
+                s.num_observables(),
+                shots,
+            );
+            s.sample_batch_with_method(&mut batch, &mut StdRng::seed_from_u64(13), method);
+            assert_eq!(batch, reference, "{name}: {method:?} batch diverged");
+        }
+    }
+}
+
+/// `Auto` resolution is a deterministic pure function of the circuit,
+/// never `Auto` itself, and lands on the expected side for the
+/// representative workloads. (The circuit-statistics estimate
+/// `SamplingMethod::resolve` and the sampler's matrix-aware
+/// `resolved_method` are different layers; each must be deterministic.)
+#[test]
+fn auto_resolution_is_deterministic_and_pinned() {
+    for (name, c) in representative_circuits() {
+        let estimate = SamplingMethod::Auto.resolve(&c);
+        assert_ne!(estimate, SamplingMethod::Auto, "{name}: must resolve");
+        for _ in 0..3 {
+            assert_eq!(SamplingMethod::Auto.resolve(&c), estimate, "{name}");
+        }
+        let first = SymPhaseSampler::new(&c).resolved_method();
+        assert_ne!(first, SamplingMethod::Auto, "{name}: must resolve");
+        // Rebuilding the sampler (and round-tripping the circuit through
+        // text) resolves identically: the pick reads only the circuit.
+        let reparsed = Circuit::parse(&c.to_string()).expect("round-trip");
+        assert_eq!(
+            SymPhaseSampler::new(&reparsed).resolved_method(),
+            first,
+            "{name}"
+        );
+        for m in [
+            SamplingMethod::Hybrid,
+            SamplingMethod::SparseRows,
+            SamplingMethod::DenseMatMul,
+        ] {
+            assert_eq!(m.resolve(&c), m, "{name}: fixed methods are fixed points");
+        }
+    }
+    // Pin the crossover: dense (determined) measurement rows → blocked
+    // dense product; QEC-style rare faults → event-driven hybrid;
+    // frequent faults → sparse rows.
+    let ghz = SymPhaseSampler::new(&noisy_ghz_chain(200, 0.01));
+    assert_eq!(ghz.resolved_method(), SamplingMethod::DenseMatMul);
+    let rep = SymPhaseSampler::new(&repetition_code_memory(&RepetitionCodeConfig {
+        distance: 7,
+        rounds: 7,
+        data_error: 0.001,
+        measure_error: 0.001,
+    }));
+    assert_eq!(rep.resolved_method(), SamplingMethod::Hybrid);
+    let mut heavy = Circuit::new(2);
+    heavy.noise(NoiseChannel::XError(0.25), &[0, 1]);
+    heavy.h(0);
+    heavy.measure_many(&[0, 1]);
+    assert_eq!(
+        SamplingMethod::Auto.resolve(&heavy),
+        SamplingMethod::SparseRows
+    );
+    assert_eq!(
+        SymPhaseSampler::new(&heavy).resolved_method(),
+        SamplingMethod::SparseRows
+    );
+}
 
 /// SparseRows and DenseMatMul consume randomness identically, so equal
 /// seeds give bit-identical samples.
