@@ -43,6 +43,12 @@ pub fn pauli_gate(kind: PauliKind) -> Gate {
 /// Runs one shot of `circuit` on `state` and returns the measurement
 /// record.
 ///
+/// The circuit is traversed through the streaming
+/// `Circuit::flat_instructions` iterator, so structured `REPEAT` blocks
+/// execute without being materialized. Feedback lookbacks resolve against
+/// the record built so far — inside a repeat body that can be the
+/// previous iteration's measurements.
+///
 /// With `reference` set, noise instructions are skipped and random
 /// measurement outcomes are fixed to 0 — the noiseless reference-sample
 /// convention shared by Algorithm 1's Init-M and the Pauli-frame baseline.
@@ -59,7 +65,7 @@ pub fn run_shot<S: ShotState + ?Sized>(
     reference: bool,
 ) -> BitVec {
     let mut record = BitVec::new();
-    for inst in circuit.instructions() {
+    for inst in circuit.flat_instructions() {
         match inst {
             Instruction::Gate { gate, targets } => state.apply_gate(*gate, targets),
             Instruction::Measure { targets } => {
@@ -105,6 +111,9 @@ pub fn run_shot<S: ShotState + ?Sized>(
             Instruction::Detector { .. }
             | Instruction::ObservableInclude { .. }
             | Instruction::Tick => {}
+            Instruction::Repeat { .. } => {
+                unreachable!("flat_instructions expands REPEAT blocks")
+            }
         }
     }
     record

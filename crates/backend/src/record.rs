@@ -15,10 +15,15 @@ use symphase_bitmat::{BitMatrix, BitVec};
 use symphase_circuit::{Circuit, Instruction};
 
 /// Collects `(measurement_indices)` for every detector in order.
+///
+/// The circuit is streamed in flattened execution order, so detectors
+/// inside `REPEAT` bodies resolve their lookbacks per iteration against
+/// the running record position (a lookback may reach the previous
+/// iteration's measurements).
 pub fn detector_measurement_sets(circuit: &Circuit) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut measured = 0usize;
-    for inst in circuit.instructions() {
+    for inst in circuit.flat_instructions() {
         match inst {
             Instruction::Detector { lookbacks } => {
                 out.push(resolve(lookbacks, measured));
@@ -29,11 +34,12 @@ pub fn detector_measurement_sets(circuit: &Circuit) -> Vec<Vec<usize>> {
     out
 }
 
-/// Collects `(measurement_indices)` for every observable `0..num_observables`.
+/// Collects `(measurement_indices)` for every observable `0..num_observables`
+/// (streamed like [`detector_measurement_sets`]).
 pub fn observable_measurement_sets(circuit: &Circuit) -> Vec<Vec<usize>> {
     let mut out = vec![Vec::new(); circuit.num_observables()];
     let mut measured = 0usize;
-    for inst in circuit.instructions() {
+    for inst in circuit.flat_instructions() {
         match inst {
             Instruction::ObservableInclude { index, lookbacks } => {
                 out[*index as usize].extend(resolve(lookbacks, measured));

@@ -12,6 +12,7 @@
 //! experiments fig2  [--size 2048]
 //! experiments ablation [--n 96]
 //! experiments sampling [--n 64] [--shots 10000]
+//! experiments scale [--max-rounds 100000] [--shots 256]
 //! ```
 
 use std::time::Instant;
@@ -20,7 +21,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use symphase_bench::{
-    measure_fig3_point, secs, table1_circuit, time_backend_par, BackendKind, Workload, PAPER_SHOTS,
+    measure_fig3_point, measure_scale_point, secs, table1_circuit, time_backend_par, BackendKind,
+    Workload, PAPER_SHOTS,
 };
 use symphase_bitmat::layout::{ChpLayout, StimLayout, SymLayout512, TableauLayout};
 use symphase_core::{PhaseRepr, SamplingMethod, SymPhaseSampler};
@@ -61,6 +63,10 @@ fn main() {
             arg_value(&args, "--n").unwrap_or(96),
             arg_value(&args, "--shots").unwrap_or(1 << 20),
         ),
+        "scale" => scale(
+            arg_value(&args, "--max-rounds").unwrap_or(100_000),
+            arg_value(&args, "--shots").unwrap_or(256),
+        ),
         "all" => {
             fig3(Workload::Fig3a, 256, shots);
             fig3(Workload::Fig3b, 160, shots);
@@ -70,6 +76,7 @@ fn main() {
             ablation(96, shots);
             sampling(64, shots);
             par_scaling(96, 1 << 20);
+            scale(20_000, 256);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -275,6 +282,31 @@ fn par_scaling(n: usize, shots: usize) {
         }
     }
     println!("outputs are verified bit-identical between the serial and parallel paths.");
+}
+
+/// Deep-memory scale series: parse + initialize + sample a structured
+/// `REPEAT` surface-code memory at doubling round counts. Parse time must
+/// stay flat (O(file)); initialization and sampling grow linearly with
+/// the flattened length that is never materialized.
+fn scale(max_rounds: usize, shots: usize) {
+    println!("\n== scale : structured REPEAT deep memory (d=3, measure noise), {shots} shots ==");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>12}",
+        "rounds", "meas", "parse_s", "init_s", "sample_s"
+    );
+    let mut rounds = 1_000;
+    while rounds <= max_rounds {
+        let p = measure_scale_point(rounds, shots);
+        println!(
+            "{:>10} {:>10} {:>12} {:>12} {:>12}",
+            p.rounds,
+            8 * p.rounds + 9,
+            secs(p.parse),
+            secs(p.init),
+            secs(p.sample)
+        );
+        rounds *= 4;
+    }
 }
 
 /// Ablations: phase representation (A2) and sampling multiplication (A1).

@@ -201,6 +201,61 @@ pub fn secs(d: Duration) -> String {
     format!("{:.4}", d.as_secs_f64())
 }
 
+/// The deep-memory workload of the structured-`REPEAT` scale experiment:
+/// a distance-3 surface-code memory with measurement noise only. Keeping
+/// the data qubits noiseless keeps every measurement expression O(1), so
+/// the series isolates the cost of the streaming traversal itself —
+/// accumulating data noise grows the symbolic expressions linearly with
+/// depth, which is a property of phase symbolization, not of the
+/// traversal. The generator emits the rounds as one `REPEAT` block, so
+/// the circuit (and its text form) is O(one round) however deep the run.
+pub fn deep_memory_circuit(rounds: usize) -> Circuit {
+    surface_code_memory(&SurfaceCodeConfig {
+        distance: 3,
+        rounds,
+        data_error: 0.0,
+        measure_error: 0.001,
+    })
+}
+
+/// One point of the deep-memory scale series: text→IR parse time (O(file)
+/// with the structured parser), streaming symbolic initialization, and
+/// batch sampling.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    /// Stabilizer measurement rounds.
+    pub rounds: usize,
+    /// Text → structured IR.
+    pub parse: Duration,
+    /// Symbolic initialization (one streamed traversal).
+    pub init: Duration,
+    /// Time to draw the shot batch.
+    pub sample: Duration,
+}
+
+/// Measures one deep-memory point end to end: generate, round-trip
+/// through the text format, initialize, sample.
+pub fn measure_scale_point(rounds: usize, shots: usize) -> ScalePoint {
+    let text = deep_memory_circuit(rounds).to_string();
+    let t = Instant::now();
+    let circuit = Circuit::parse(&text).expect("generator output parses");
+    let parse = t.elapsed();
+    let t = Instant::now();
+    let sampler = SymPhaseSampler::new(&circuit);
+    let init = t.elapsed();
+    let mut rng = StdRng::seed_from_u64(11);
+    let t = Instant::now();
+    let batch = sampler.sample_batch(shots, &mut rng);
+    let sample = t.elapsed();
+    std::hint::black_box(batch.detectors.count_ones());
+    ScalePoint {
+        rounds,
+        parse,
+        init,
+        sample,
+    }
+}
+
 /// The circuit families of the sampling-kernel ablation: a surface-code
 /// memory (sparse measurement rows, rare faults), a noisy random-layered
 /// circuit (the paper's Fig. 3c picture — random outcomes keep `M`
@@ -321,6 +376,16 @@ mod tests {
     fn measure_point_runs() {
         let p = measure_fig3_point(Workload::Fig3a, 16, 100);
         assert_eq!(p.n, 16);
+    }
+
+    #[test]
+    fn scale_point_runs_structured() {
+        let c = deep_memory_circuit(500);
+        // The deep workload is structured: O(one round) instructions.
+        assert!(c.instructions().len() < 60);
+        assert_eq!(c.num_measurements(), 8 * 500 + 9);
+        let p = measure_scale_point(500, 64);
+        assert_eq!(p.rounds, 500);
     }
 
     #[test]

@@ -1,12 +1,19 @@
-//! The [`Circuit`] container and its builder API.
+//! The [`Circuit`] container, the structured [`Block`] body of `REPEAT`
+//! instructions, and the builder API shared between them.
 
 use std::fmt;
 
 use crate::gate::{Gate, PauliKind};
 use crate::instruction::{Instruction, NoiseChannel};
+use crate::traverse::FlatInstructions;
 
 /// Aggregate size statistics of a circuit, matching the cost parameters of
 /// the paper's Table 1.
+///
+/// Statistics are computed **from structure**: a `REPEAT n { … }` block
+/// contributes its body's statistics times `n` without ever being
+/// expanded, so a million-round memory experiment reports its true counts
+/// in O(body) work.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CircuitStats {
     /// `n_g`: number of elementary gate applications (a broadcast `H 0 1 2`
@@ -29,7 +36,332 @@ pub struct CircuitStats {
     pub feedback_ops: usize,
 }
 
-/// A stabilizer circuit: a qubit count plus a flat instruction list.
+/// Adds one instruction's contribution to running statistics. `REPEAT`
+/// contributes its body's statistics times the trip count; the
+/// multiplication saturates so absurd trip counts cannot wrap the
+/// accounting.
+fn accumulate_stats(
+    stats: &mut CircuitStats,
+    max_observable: &mut Option<u32>,
+    instruction: &Instruction,
+) {
+    match instruction {
+        Instruction::Gate { gate, targets } => stats.gates += targets.len() / gate.arity(),
+        Instruction::Measure { targets } => stats.measurements += targets.len(),
+        Instruction::Reset { targets } => stats.resets += targets.len(),
+        Instruction::MeasureReset { targets } => {
+            stats.measurements += targets.len();
+            stats.resets += targets.len();
+        }
+        Instruction::Noise { channel, targets } => {
+            let sites = targets.len() / channel.arity();
+            stats.noise_sites += sites;
+            stats.noise_symbols += sites * channel.symbols_per_application();
+        }
+        Instruction::Feedback { .. } => stats.feedback_ops += 1,
+        Instruction::Detector { .. } => stats.detectors += 1,
+        Instruction::ObservableInclude { index, .. } => {
+            *max_observable = Some(max_observable.map_or(*index, |m| m.max(*index)));
+        }
+        Instruction::Tick => {}
+        Instruction::Repeat { count, body } => {
+            let k = usize::try_from(*count).unwrap_or(usize::MAX);
+            let b = body.stats();
+            let mul = |v: usize| v.saturating_mul(k);
+            stats.gates = stats.gates.saturating_add(mul(b.gates));
+            stats.measurements = stats.measurements.saturating_add(mul(b.measurements));
+            stats.resets = stats.resets.saturating_add(mul(b.resets));
+            stats.noise_sites = stats.noise_sites.saturating_add(mul(b.noise_sites));
+            stats.noise_symbols = stats.noise_symbols.saturating_add(mul(b.noise_symbols));
+            stats.detectors = stats.detectors.saturating_add(mul(b.detectors));
+            stats.feedback_ops = stats.feedback_ops.saturating_add(mul(b.feedback_ops));
+            if let Some(m) = body.max_observable() {
+                *max_observable = Some(max_observable.map_or(m, |x| x.max(m)));
+            }
+        }
+    }
+    stats.observables = max_observable.map_or(0, |m| m as usize + 1);
+}
+
+/// Context-free structural validation shared by [`Circuit`] and [`Block`]:
+/// target pairing, noise probabilities, trip counts.
+fn validate_shape(instruction: &Instruction) -> Result<(), String> {
+    match instruction {
+        Instruction::Gate { gate, targets } if gate.arity() == 2 => {
+            if !targets.len().is_multiple_of(2) {
+                return Err(format!(
+                    "{} needs an even number of targets, got {}",
+                    gate.name(),
+                    targets.len()
+                ));
+            }
+            for pair in targets.chunks_exact(2) {
+                if pair[0] == pair[1] {
+                    return Err(format!("{} targets must differ", gate.name()));
+                }
+            }
+            Ok(())
+        }
+        Instruction::Noise { channel, targets } => {
+            if let Err(msg) = channel.validate() {
+                return Err(format!("invalid {}: {msg}", channel.name()));
+            }
+            if channel.arity() == 2 {
+                if targets.len() % 2 != 0 {
+                    return Err(format!(
+                        "{} needs an even number of targets",
+                        channel.name()
+                    ));
+                }
+                for pair in targets.chunks_exact(2) {
+                    if pair[0] == pair[1] {
+                        return Err(format!("{} targets must differ", channel.name()));
+                    }
+                }
+            }
+            Ok(())
+        }
+        Instruction::Repeat { count, .. } => {
+            if *count == 0 {
+                return Err("REPEAT count must be at least 1".into());
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Number of measurements that must already be in the record immediately
+/// before `instruction` executes, for every record lookback to land.
+///
+/// For a `REPEAT`, the body's requirement applies at block *entry*: the
+/// first iteration sees the shortest record, so satisfying it there
+/// satisfies every later iteration (each adds `body.measurements()` more
+/// outcomes before the same lookback recurs).
+///
+/// # Errors
+///
+/// Rejects non-negative lookbacks, which are invalid everywhere.
+fn record_need(instruction: &Instruction) -> Result<usize, String> {
+    fn depth(lookback: i64) -> Result<usize, String> {
+        if lookback >= 0 {
+            return Err(format!("record lookback must be negative, got {lookback}"));
+        }
+        Ok(usize::try_from(lookback.unsigned_abs()).unwrap_or(usize::MAX))
+    }
+    match instruction {
+        Instruction::Feedback { lookback, .. } => depth(*lookback),
+        Instruction::Detector { lookbacks } | Instruction::ObservableInclude { lookbacks, .. } => {
+            lookbacks
+                .iter()
+                .try_fold(0usize, |m, &l| Ok(m.max(depth(l)?)))
+        }
+        Instruction::Repeat { body, .. } => Ok(body.required_record()),
+        _ => Ok(0),
+    }
+}
+
+/// The body of an [`Instruction::Repeat`] block: a structured instruction
+/// sequence with **per-iteration record semantics**.
+///
+/// A block validates instructions *structurally* as they are pushed
+/// (target pairing, probabilities, nested trip counts), but record
+/// lookbacks are **lenient**: `rec[-k]` may reach past the measurements
+/// the block itself has produced so far, because at execution time the
+/// lookback lands in the previous iteration — or in the record preceding
+/// the block. The deepest such reach is tracked as
+/// [`Block::required_record`] and checked once, when the block is pushed
+/// into a [`Circuit`] (or an enclosing block): the first iteration sees
+/// the shortest record, so entry-time validation covers all iterations.
+///
+/// # Example
+///
+/// ```
+/// use symphase_circuit::{Block, Instruction};
+///
+/// let mut round = Block::new();
+/// round.measure_many(&[1]);
+/// // Compares this round's outcome with the previous round's: rec[-2]
+/// // reaches one measurement past what the block itself produced.
+/// round.detector(&[-1, -2]);
+/// assert_eq!(round.required_record(), 1);
+/// assert_eq!(round.measurements(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Block {
+    instructions: Vec<Instruction>,
+    stats: CircuitStats,
+    max_observable: Option<u32>,
+    max_qubit_bound: u32,
+    required_record: usize,
+}
+
+impl Block {
+    /// Creates an empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The instruction sequence of one iteration.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Size statistics of **one** iteration (the enclosing `REPEAT`
+    /// multiplies them by the trip count).
+    pub fn stats(&self) -> CircuitStats {
+        self.stats
+    }
+
+    /// Measurement outcomes one iteration appends to the record.
+    pub fn measurements(&self) -> usize {
+        self.stats.measurements
+    }
+
+    /// Largest observable index referenced inside the block, if any.
+    pub fn max_observable(&self) -> Option<u32> {
+        self.max_observable
+    }
+
+    /// Largest referenced qubit index plus one.
+    pub fn max_qubit_bound(&self) -> u32 {
+        self.max_qubit_bound
+    }
+
+    /// Minimum number of measurements that must precede the block for
+    /// every lookback to land in its first iteration (see the type docs).
+    pub fn required_record(&self) -> usize {
+        self.required_record
+    }
+
+    /// `true` when the block holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Number of (structured) instructions in the block.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Appends an instruction, validating its structure; lookbacks that
+    /// reach before the block raise [`Block::required_record`] instead of
+    /// erroring (see the type docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint (malformed target
+    /// pairing, invalid probability, zero trip count, non-negative
+    /// lookback) and leaves the block unchanged.
+    pub fn try_push(&mut self, instruction: Instruction) -> Result<(), String> {
+        validate_shape(&instruction)?;
+        let need = record_need(&instruction)?;
+        self.required_record = self
+            .required_record
+            .max(need.saturating_sub(self.stats.measurements));
+        self.max_qubit_bound = self.max_qubit_bound.max(instruction.max_qubit_bound());
+        accumulate_stats(&mut self.stats, &mut self.max_observable, &instruction);
+        self.instructions.push(instruction);
+        Ok(())
+    }
+
+    /// Appends an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the instruction is malformed; see [`Block::try_push`].
+    pub fn push(&mut self, instruction: Instruction) {
+        if let Err(msg) = self.try_push(instruction) {
+            panic!("{msg}");
+        }
+    }
+
+    // -- builder helpers (mirroring the [`Circuit`] conveniences) ----------
+
+    /// Applies `gate` to `targets` (broadcast).
+    pub fn gate(&mut self, gate: Gate, targets: &[u32]) -> &mut Self {
+        self.push(Instruction::Gate {
+            gate,
+            targets: targets.to_vec(),
+        });
+        self
+    }
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: u32) -> &mut Self {
+        self.gate(Gate::H, &[q])
+    }
+
+    /// CNOT with control `c` and target `t`.
+    pub fn cx(&mut self, c: u32, t: u32) -> &mut Self {
+        self.gate(Gate::Cx, &[c, t])
+    }
+
+    /// Applies a noise channel to `targets` (broadcast; pairs for
+    /// two-qubit channels).
+    pub fn noise(&mut self, channel: NoiseChannel, targets: &[u32]) -> &mut Self {
+        self.push(Instruction::Noise {
+            channel,
+            targets: targets.to_vec(),
+        });
+        self
+    }
+
+    /// Measures several qubits; outcomes are recorded in target order.
+    pub fn measure_many(&mut self, targets: &[u32]) -> &mut Self {
+        self.push(Instruction::Measure {
+            targets: targets.to_vec(),
+        });
+        self
+    }
+
+    /// Measures and resets several qubits.
+    pub fn measure_reset_many(&mut self, targets: &[u32]) -> &mut Self {
+        self.push(Instruction::MeasureReset {
+            targets: targets.to_vec(),
+        });
+        self
+    }
+
+    /// Applies `pauli` to `target` iff measurement `rec[lookback]` was 1.
+    pub fn feedback(&mut self, pauli: PauliKind, lookback: i64, target: u32) -> &mut Self {
+        self.push(Instruction::Feedback {
+            pauli,
+            lookback,
+            target,
+        });
+        self
+    }
+
+    /// Declares a detector over the given record lookbacks.
+    pub fn detector(&mut self, lookbacks: &[i64]) -> &mut Self {
+        self.push(Instruction::Detector {
+            lookbacks: lookbacks.to_vec(),
+        });
+        self
+    }
+
+    /// Adds record lookbacks to logical observable `index`.
+    pub fn observable_include(&mut self, index: u32, lookbacks: &[i64]) -> &mut Self {
+        self.push(Instruction::ObservableInclude {
+            index,
+            lookbacks: lookbacks.to_vec(),
+        });
+        self
+    }
+
+    /// Appends a `TICK` layer marker.
+    pub fn tick(&mut self) -> &mut Self {
+        self.push(Instruction::Tick);
+        self
+    }
+}
+
+/// A stabilizer circuit: a qubit count plus a **structured** instruction
+/// list in which `REPEAT` blocks stay first-class [`Block`] nodes — they
+/// are never flattened. Engines traverse the flattened execution order
+/// through the streaming [`Circuit::flat_instructions`] iterator, so a
+/// `REPEAT 1000000 { … }` round costs O(body) memory end to end.
 ///
 /// Qubit indices grow the circuit automatically (referencing qubit 7 in a
 /// 3-qubit circuit widens it to 8 qubits), mirroring Stim. Instructions are
@@ -51,9 +383,7 @@ pub struct CircuitStats {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Circuit {
     num_qubits: u32,
-    instructions: Vec<Instruction>,
-    stats: CircuitStats,
-    max_observable: Option<u32>,
+    body: Block,
 }
 
 impl Circuit {
@@ -71,51 +401,87 @@ impl Circuit {
         self.num_qubits
     }
 
-    /// The instruction list.
+    /// The **structured** instruction list: `REPEAT` blocks appear as
+    /// single [`Instruction::Repeat`] nodes. Use
+    /// [`Circuit::flat_instructions`] for the flattened execution order.
     pub fn instructions(&self) -> &[Instruction] {
-        &self.instructions
+        self.body.instructions()
     }
 
-    /// Size statistics (gate/measurement/noise counts).
+    /// Streams every instruction in flattened execution order, expanding
+    /// `REPEAT` blocks lazily in O(nesting depth) memory — the traversal
+    /// every engine runs on. `Repeat` nodes themselves are never yielded.
+    pub fn flat_instructions(&self) -> FlatInstructions<'_> {
+        FlatInstructions::new(self.body.instructions())
+    }
+
+    /// Materializes [`Circuit::flat_instructions`] into a circuit with no
+    /// `REPEAT` nodes. Memory is proportional to the *flattened* size, so
+    /// prefer the streaming iterator for deep circuits; this exists for
+    /// structured-vs-flattened equivalence checks and interop.
+    pub fn flattened(&self) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits);
+        for inst in self.flat_instructions() {
+            out.push(inst.clone());
+        }
+        out
+    }
+
+    /// Size statistics (gate/measurement/noise counts), computed from
+    /// structure: `REPEAT` bodies contribute `count ×` their one-iteration
+    /// statistics.
     pub fn stats(&self) -> CircuitStats {
-        self.stats
+        self.body.stats()
     }
 
     /// Number of measurement outcomes the circuit records.
     pub fn num_measurements(&self) -> usize {
-        self.stats.measurements
+        self.body.stats().measurements
     }
 
     /// Mean fire probability across the circuit's noise sites (0 when the
-    /// circuit is noiseless). Together with [`Circuit::stats`] this is
-    /// what the sampler's automatic strategy selection reads: low mean
-    /// probabilities mean the event-driven `Hybrid` multiplication almost
-    /// never has to touch a fault.
+    /// circuit is noiseless), weighting `REPEAT` bodies by their trip
+    /// count. Together with [`Circuit::stats`] this is what the sampler's
+    /// automatic strategy selection reads: low mean probabilities mean the
+    /// event-driven `Hybrid` multiplication almost never has to touch a
+    /// fault.
     pub fn mean_noise_probability(&self) -> f64 {
-        let mut sites = 0usize;
-        let mut total = 0.0f64;
-        for ins in &self.instructions {
-            if let Instruction::Noise { channel, targets } = ins {
-                let n = targets.len() / channel.arity();
-                sites += n;
-                total += n as f64 * channel.fire_probability();
+        fn scan(instructions: &[Instruction]) -> (f64, f64) {
+            let mut sites = 0.0f64;
+            let mut total = 0.0f64;
+            for ins in instructions {
+                match ins {
+                    Instruction::Noise { channel, targets } => {
+                        let n = (targets.len() / channel.arity()) as f64;
+                        sites += n;
+                        total += n * channel.fire_probability();
+                    }
+                    Instruction::Repeat { count, body } => {
+                        let (s, t) = scan(body.instructions());
+                        sites += *count as f64 * s;
+                        total += *count as f64 * t;
+                    }
+                    _ => {}
+                }
             }
+            (sites, total)
         }
-        if sites == 0 {
+        let (sites, total) = scan(self.body.instructions());
+        if sites == 0.0 {
             0.0
         } else {
-            total / sites as f64
+            total / sites
         }
     }
 
     /// Number of detectors declared.
     pub fn num_detectors(&self) -> usize {
-        self.stats.detectors
+        self.body.stats().detectors
     }
 
     /// Number of logical observables (max declared index + 1).
     pub fn num_observables(&self) -> usize {
-        self.max_observable.map_or(0, |m| m as usize + 1)
+        self.body.max_observable().map_or(0, |m| m as usize + 1)
     }
 
     /// Appends an instruction after validating it.
@@ -124,9 +490,10 @@ impl Circuit {
     ///
     /// Panics when the instruction is malformed: an odd number of targets
     /// for a two-qubit gate or channel, a repeated qubit inside one pair, an
-    /// out-of-range noise probability, a non-negative record lookback, or a
-    /// lookback that reaches before the start of the measurement record.
-    /// Use [`Circuit::try_push`] for a fallible variant.
+    /// out-of-range noise probability, a zero `REPEAT` count, a
+    /// non-negative record lookback, or a lookback that reaches before the
+    /// start of the measurement record (for a `REPEAT`, in its first
+    /// iteration). Use [`Circuit::try_push`] for a fallible variant.
     pub fn push(&mut self, instruction: Instruction) {
         if let Err(msg) = self.try_push(instruction) {
             panic!("{msg}");
@@ -140,106 +507,40 @@ impl Circuit {
     /// Returns a description of the violated constraint (see
     /// [`Circuit::push`]) and leaves the circuit unchanged.
     pub fn try_push(&mut self, instruction: Instruction) -> Result<(), String> {
-        self.validate_instruction(&instruction)?;
-        self.num_qubits = self.num_qubits.max(instruction.max_qubit_bound());
-        match &instruction {
-            Instruction::Gate { gate, targets } => {
-                self.stats.gates += targets.len() / gate.arity();
-            }
-            Instruction::Measure { targets } => self.stats.measurements += targets.len(),
-            Instruction::Reset { targets } => self.stats.resets += targets.len(),
-            Instruction::MeasureReset { targets } => {
-                self.stats.measurements += targets.len();
-                self.stats.resets += targets.len();
-            }
-            Instruction::Noise { channel, targets } => {
-                let sites = targets.len() / channel.arity();
-                self.stats.noise_sites += sites;
-                self.stats.noise_symbols += sites * channel.symbols_per_application();
-            }
-            Instruction::Feedback { .. } => self.stats.feedback_ops += 1,
-            Instruction::Detector { .. } => self.stats.detectors += 1,
-            Instruction::ObservableInclude { index, .. } => {
-                self.max_observable = Some(self.max_observable.map_or(*index, |m| m.max(*index)));
-                self.stats.observables = self.num_observables();
-            }
-            Instruction::Tick => {}
-        }
-        self.instructions.push(instruction);
+        self.check_record(&instruction)?;
+        let bound = instruction.max_qubit_bound();
+        self.body.try_push(instruction)?;
+        self.num_qubits = self.num_qubits.max(bound);
         Ok(())
     }
 
-    fn validate_instruction(&self, instruction: &Instruction) -> Result<(), String> {
+    /// The strict top-level lookback check: unlike inside a [`Block`],
+    /// nothing precedes the circuit, so the requirement [`record_need`]
+    /// computes must already be met by the record built so far. (The
+    /// deepest lookback of a plain instruction is exactly `-need`, so the
+    /// error can name it.)
+    fn check_record(&self, instruction: &Instruction) -> Result<(), String> {
+        let need = record_need(instruction)?;
+        let available = self.body.stats().measurements;
+        if need <= available {
+            return Ok(());
+        }
         match instruction {
-            Instruction::Gate { gate, targets } if gate.arity() == 2 => {
-                if !targets.len().is_multiple_of(2) {
-                    return Err(format!(
-                        "{} needs an even number of targets, got {}",
-                        gate.name(),
-                        targets.len()
-                    ));
-                }
-                for pair in targets.chunks_exact(2) {
-                    if pair[0] == pair[1] {
-                        return Err(format!("{} targets must differ", gate.name()));
-                    }
-                }
-            }
-            Instruction::Gate { .. } => {}
-            Instruction::Noise { channel, targets } => {
-                if let Err(msg) = channel.validate() {
-                    return Err(format!("invalid {}: {msg}", channel.name()));
-                }
-                if channel.arity() == 2 {
-                    if targets.len() % 2 != 0 {
-                        return Err(format!(
-                            "{} needs an even number of targets",
-                            channel.name()
-                        ));
-                    }
-                    for pair in targets.chunks_exact(2) {
-                        if pair[0] == pair[1] {
-                            return Err(format!("{} targets must differ", channel.name()));
-                        }
-                    }
-                }
-            }
-            Instruction::Feedback { lookback, .. } => {
-                self.validate_lookback(*lookback)?;
-            }
-            Instruction::Detector { lookbacks } => {
-                for &l in lookbacks {
-                    self.validate_lookback(l)?;
-                }
-            }
-            Instruction::ObservableInclude { lookbacks, .. } => {
-                for &l in lookbacks {
-                    self.validate_lookback(l)?;
-                }
-            }
-            _ => {}
+            Instruction::Repeat { .. } => Err(format!(
+                "REPEAT body reaches {need} measurement(s) before the block, \
+                 but only {available} precede it"
+            )),
+            _ => Err(format!(
+                "rec[-{need}] reaches before the start of the record \
+                 ({available} measurements so far)"
+            )),
         }
-        Ok(())
-    }
-
-    fn validate_lookback(&self, lookback: i64) -> Result<(), String> {
-        if lookback >= 0 {
-            return Err(format!("record lookback must be negative, got {lookback}"));
-        }
-        let depth = (-lookback) as usize;
-        if depth > self.stats.measurements {
-            return Err(format!(
-                "rec[{lookback}] reaches before the start of the record ({} measurements so far)",
-                self.stats.measurements
-            ));
-        }
-        Ok(())
     }
 
     /// Appends all instructions of `other`, remapping nothing (qubit indices
-    /// are shared).
+    /// are shared). `REPEAT` blocks are appended as structured nodes.
     pub fn append(&mut self, other: &Circuit) {
-        for inst in &other.instructions {
+        for inst in other.instructions() {
             self.push(inst.clone());
         }
     }
@@ -298,7 +599,7 @@ impl Circuit {
     /// Measures `q` in the computational basis; returns the measurement
     /// record index of the outcome.
     pub fn measure(&mut self, q: u32) -> usize {
-        let idx = self.stats.measurements;
+        let idx = self.body.stats().measurements;
         self.push(Instruction::Measure { targets: vec![q] });
         idx
     }
@@ -325,7 +626,7 @@ impl Circuit {
 
     /// Measures and resets `q`; returns the record index.
     pub fn measure_reset(&mut self, q: u32) -> usize {
-        let idx = self.stats.measurements;
+        let idx = self.body.stats().measurements;
         self.push(Instruction::MeasureReset { targets: vec![q] });
         idx
     }
@@ -373,14 +674,65 @@ impl Circuit {
         self
     }
 
+    /// Appends a structured `REPEAT count { … }` block whose body is built
+    /// by `build`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count == 0` or when a lookback inside the body reaches
+    /// before the start of the record even in the block's first iteration.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use symphase_circuit::Circuit;
+    ///
+    /// let mut c = Circuit::new(1);
+    /// c.measure(0);
+    /// c.repeat_with(1_000_000, |round| {
+    ///     round.measure_many(&[0]);
+    ///     round.detector(&[-1, -2]); // compares with the previous round
+    /// });
+    /// assert_eq!(c.num_measurements(), 1_000_001);
+    /// assert_eq!(c.num_detectors(), 1_000_000);
+    /// assert_eq!(c.instructions().len(), 2); // structured, not flattened
+    /// ```
+    pub fn repeat_with(&mut self, count: u64, build: impl FnOnce(&mut Block)) -> &mut Self {
+        let mut body = Block::new();
+        build(&mut body);
+        self.push(Instruction::Repeat {
+            count,
+            body: Box::new(body),
+        });
+        self
+    }
+
     /// Returns a copy with every noise instruction removed (the noiseless
-    /// reference circuit used to compute reference samples).
+    /// reference circuit used to compute reference samples). `REPEAT`
+    /// structure is preserved.
     pub fn without_noise(&self) -> Circuit {
+        fn strip(instructions: &[Instruction]) -> Vec<Instruction> {
+            instructions
+                .iter()
+                .filter_map(|inst| match inst {
+                    Instruction::Noise { .. } => None,
+                    Instruction::Repeat { count, body } => {
+                        let mut b = Block::new();
+                        for inner in strip(body.instructions()) {
+                            b.push(inner);
+                        }
+                        Some(Instruction::Repeat {
+                            count: *count,
+                            body: Box::new(b),
+                        })
+                    }
+                    other => Some(other.clone()),
+                })
+                .collect()
+        }
         let mut out = Circuit::new(self.num_qubits);
-        for inst in &self.instructions {
-            if !matches!(inst, Instruction::Noise { .. }) {
-                out.push(inst.clone());
-            }
+        for inst in strip(self.body.instructions()) {
+            out.push(inst);
         }
         out
     }
@@ -388,8 +740,9 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for inst in &self.instructions {
-            writeln!(f, "{inst}")?;
+        for inst in self.body.instructions() {
+            inst.fmt_indented(f, 0)?;
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -475,6 +828,26 @@ mod tests {
     }
 
     #[test]
+    fn without_noise_preserves_repeat_structure() {
+        let mut c = Circuit::new(1);
+        c.repeat_with(1000, |b| {
+            b.noise(NoiseChannel::XError(0.1), &[0]);
+            b.measure_many(&[0]);
+        });
+        let clean = c.without_noise();
+        assert_eq!(clean.instructions().len(), 1);
+        assert_eq!(clean.stats().noise_sites, 0);
+        assert_eq!(clean.num_measurements(), 1000);
+        match &clean.instructions()[0] {
+            Instruction::Repeat { count, body } => {
+                assert_eq!(*count, 1000);
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn observables_count_max_index() {
         let mut c = Circuit::new(1);
         c.measure(0);
@@ -499,5 +872,168 @@ mod tests {
         b.cx(0, 1);
         a.append(&b);
         assert_eq!(a.stats().gates, 2);
+    }
+
+    // -- structured REPEAT -------------------------------------------------
+
+    #[test]
+    fn repeat_stats_multiply_by_count() {
+        let mut c = Circuit::new(2);
+        c.repeat_with(1_000_000, |b| {
+            b.h(0);
+            b.noise(NoiseChannel::Depolarize1(0.01), &[0, 1]);
+            b.measure_reset_many(&[0]);
+            b.detector(&[-1]);
+        });
+        let s = c.stats();
+        assert_eq!(s.gates, 1_000_000);
+        assert_eq!(s.measurements, 1_000_000);
+        assert_eq!(s.resets, 1_000_000);
+        assert_eq!(s.noise_sites, 2_000_000);
+        assert_eq!(s.noise_symbols, 4_000_000);
+        assert_eq!(s.detectors, 1_000_000);
+        assert_eq!(c.instructions().len(), 1);
+    }
+
+    #[test]
+    fn nested_repeat_counts_multiply() {
+        let mut c = Circuit::new(1);
+        c.repeat_with(1000, |outer| {
+            let mut inner = Block::new();
+            inner.gate(Gate::X, &[0]);
+            outer.push(Instruction::Repeat {
+                count: 1000,
+                body: Box::new(inner),
+            });
+        });
+        assert_eq!(c.stats().gates, 1_000_000);
+    }
+
+    #[test]
+    fn repeat_observables_propagate() {
+        let mut c = Circuit::new(1);
+        c.repeat_with(3, |b| {
+            b.measure_many(&[0]);
+            b.observable_include(4, &[-1]);
+        });
+        assert_eq!(c.num_observables(), 5);
+        assert_eq!(c.stats().observables, 5);
+    }
+
+    #[test]
+    fn repeat_qubit_bound_propagates() {
+        let mut c = Circuit::new(1);
+        c.repeat_with(2, |b| {
+            b.h(9);
+        });
+        assert_eq!(c.num_qubits(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "REPEAT count must be at least 1")]
+    fn zero_repeat_count_panics() {
+        Circuit::new(1).repeat_with(0, |b| {
+            b.h(0);
+        });
+    }
+
+    #[test]
+    fn repeat_lookback_into_previous_iteration_is_valid() {
+        let mut c = Circuit::new(1);
+        c.measure(0);
+        c.repeat_with(5, |b| {
+            b.measure_many(&[0]);
+            b.detector(&[-1, -2]); // -2 reaches the previous iteration
+        });
+        assert_eq!(c.num_detectors(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "REPEAT body reaches")]
+    fn repeat_lookback_before_record_start_panics() {
+        let mut c = Circuit::new(1);
+        // No measurement precedes the block: rec[-2] cannot land in the
+        // first iteration.
+        c.repeat_with(5, |b| {
+            b.measure_many(&[0]);
+            b.detector(&[-1, -2]);
+        });
+    }
+
+    #[test]
+    fn block_required_record_tracks_deepest_unmet_reach() {
+        let mut b = Block::new();
+        b.measure_many(&[0, 1]);
+        b.detector(&[-1, -4]); // needs 2 more than the block produced
+        assert_eq!(b.required_record(), 2);
+        b.measure_many(&[0]);
+        b.detector(&[-3]); // fully inside the block now
+        assert_eq!(b.required_record(), 2);
+    }
+
+    #[test]
+    fn nested_block_requirement_propagates() {
+        let mut inner = Block::new();
+        inner.measure_many(&[0]);
+        inner.detector(&[-1, -3]); // needs 2 before the inner block
+        assert_eq!(inner.required_record(), 2);
+
+        let mut outer = Block::new();
+        outer.measure_many(&[0]); // provides 1 of the 2
+        outer.push(Instruction::Repeat {
+            count: 4,
+            body: Box::new(inner),
+        });
+        assert_eq!(outer.required_record(), 1);
+    }
+
+    #[test]
+    fn flattened_matches_structure() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.measure(0);
+        c.repeat_with(3, |b| {
+            b.cx(0, 1);
+            b.measure_many(&[1]);
+            b.detector(&[-1, -2]);
+        });
+        let flat = c.flattened();
+        assert!(flat
+            .instructions()
+            .iter()
+            .all(|i| !matches!(i, Instruction::Repeat { .. })));
+        assert_eq!(flat.instructions().len(), 2 + 3 * 3);
+        assert_eq!(flat.stats(), c.stats());
+        assert_eq!(flat.num_qubits(), c.num_qubits());
+        // The streaming iterator yields exactly the flattened list.
+        let streamed: Vec<&Instruction> = c.flat_instructions().collect();
+        let materialized: Vec<&Instruction> = flat.instructions().iter().collect();
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
+    fn mean_noise_probability_weights_by_trip_count() {
+        let mut c = Circuit::new(1);
+        c.noise(NoiseChannel::XError(1.0), &[0]);
+        c.repeat_with(9, |b| {
+            b.noise(NoiseChannel::XError(0.0), &[0]);
+        });
+        // 1 site at p=1 and 9 sites at p=0.
+        assert!((c.mean_noise_probability() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeat_display_roundtrips() {
+        let mut c = Circuit::new(1);
+        c.measure(0);
+        c.repeat_with(42, |b| {
+            b.h(0);
+            b.measure_many(&[0]);
+            b.detector(&[-1, -2]);
+        });
+        let text = c.to_string();
+        assert!(text.contains("REPEAT 42 {"));
+        let parsed = Circuit::parse(&text).unwrap();
+        assert_eq!(parsed, c);
     }
 }

@@ -4,8 +4,13 @@
 //! errors with `d` data qubits and `d − 1` ancillas. Data qubits sit at even
 //! indices `0, 2, …, 2(d−1)`; ancilla `i` (odd index `2i+1`) compares data
 //! qubits `2i` and `2i+2`.
+//!
+//! Rounds are emitted **structured**: round 0 (boundary detectors) flat,
+//! rounds `1..rounds` as one `REPEAT` block whose detectors reach into
+//! the previous iteration — deep memory experiments cost O(one round) of
+//! circuit memory.
 
-use crate::{Circuit, NoiseChannel};
+use crate::{Block, Circuit, Instruction, NoiseChannel};
 
 /// Configuration of a repetition-code memory experiment.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -66,38 +71,18 @@ pub fn repetition_code_memory(config: &RepetitionCodeConfig) -> Circuit {
 
     // Start in |0…0⟩ explicitly, as a real experiment would.
     let all: Vec<u32> = (0..(2 * d - 1) as u32).collect();
-    c.push(crate::Instruction::Reset { targets: all });
+    c.push(Instruction::Reset { targets: all });
 
-    for round in 0..config.rounds {
-        if config.data_error > 0.0 {
-            c.noise(NoiseChannel::XError(config.data_error), &data);
-        }
-        // Parity transfer: ancilla i accumulates data 2i ⊕ data 2i+2.
-        let mut cx_left = Vec::with_capacity(2 * num_anc);
-        let mut cx_right = Vec::with_capacity(2 * num_anc);
-        for i in 0..num_anc as u32 {
-            cx_left.extend_from_slice(&[2 * i, 2 * i + 1]);
-            cx_right.extend_from_slice(&[2 * i + 2, 2 * i + 1]);
-        }
-        c.gate(crate::Gate::Cx, &cx_left);
-        c.gate(crate::Gate::Cx, &cx_right);
-        if config.measure_error > 0.0 {
-            c.noise(NoiseChannel::XError(config.measure_error), &anc);
-        }
-        c.push(crate::Instruction::MeasureReset {
-            targets: anc.clone(),
+    // Round 0 declares the boundary detectors; rounds 1..rounds are the
+    // identical steady-state round, emitted once as a REPEAT block.
+    push_round(&mut |inst| c.push(inst), config, &data, &anc, true);
+    if config.rounds > 1 {
+        let mut body = Block::new();
+        push_round(&mut |inst| body.push(inst), config, &data, &anc, false);
+        c.push(Instruction::Repeat {
+            count: (config.rounds - 1) as u64,
+            body: Box::new(body),
         });
-        // Detectors: first round ancillas are deterministic 0; later rounds
-        // compare against the previous round.
-        for i in 0..num_anc as i64 {
-            let this = -(num_anc as i64) + i;
-            if round == 0 {
-                c.detector(&[this]);
-            } else {
-                c.detector(&[this, this - num_anc as i64]);
-            }
-        }
-        c.tick();
     }
 
     // Final data measurement; compare data parities against the last
@@ -113,6 +98,65 @@ pub fn repetition_code_memory(config: &RepetitionCodeConfig) -> Circuit {
     // space); use the first.
     c.observable_include(0, &[-(d as i64)]);
     c
+}
+
+/// Emits one stabilizer-measurement round through `push`. `first` rounds
+/// declare single-outcome boundary detectors; steady-state rounds compare
+/// against the previous round (a lookback into the previous `REPEAT`
+/// iteration).
+fn push_round(
+    push: &mut dyn FnMut(Instruction),
+    config: &RepetitionCodeConfig,
+    data: &[u32],
+    anc: &[u32],
+    first: bool,
+) {
+    let num_anc = anc.len();
+    if config.data_error > 0.0 {
+        push(Instruction::Noise {
+            channel: NoiseChannel::XError(config.data_error),
+            targets: data.to_vec(),
+        });
+    }
+    // Parity transfer: ancilla i accumulates data 2i ⊕ data 2i+2.
+    let mut cx_left = Vec::with_capacity(2 * num_anc);
+    let mut cx_right = Vec::with_capacity(2 * num_anc);
+    for i in 0..num_anc as u32 {
+        cx_left.extend_from_slice(&[2 * i, 2 * i + 1]);
+        cx_right.extend_from_slice(&[2 * i + 2, 2 * i + 1]);
+    }
+    push(Instruction::Gate {
+        gate: crate::Gate::Cx,
+        targets: cx_left,
+    });
+    push(Instruction::Gate {
+        gate: crate::Gate::Cx,
+        targets: cx_right,
+    });
+    if config.measure_error > 0.0 {
+        push(Instruction::Noise {
+            channel: NoiseChannel::XError(config.measure_error),
+            targets: anc.to_vec(),
+        });
+    }
+    push(Instruction::MeasureReset {
+        targets: anc.to_vec(),
+    });
+    // Detectors: first round ancillas are deterministic 0; later rounds
+    // compare against the previous round.
+    for i in 0..num_anc as i64 {
+        let this = -(num_anc as i64) + i;
+        if first {
+            push(Instruction::Detector {
+                lookbacks: vec![this],
+            });
+        } else {
+            push(Instruction::Detector {
+                lookbacks: vec![this, this - num_anc as i64],
+            });
+        }
+    }
+    push(Instruction::Tick);
 }
 
 #[cfg(test)]
@@ -145,6 +189,43 @@ mod tests {
             measure_error: 0.0,
         });
         assert_eq!(c.stats().noise_sites, 0);
+    }
+
+    #[test]
+    fn rounds_are_structured_and_flatten_to_legacy() {
+        let cfg = RepetitionCodeConfig {
+            distance: 4,
+            rounds: 6,
+            data_error: 0.01,
+            measure_error: 0.002,
+        };
+        let c = repetition_code_memory(&cfg);
+        assert!(c
+            .instructions()
+            .iter()
+            .any(|i| matches!(i, Instruction::Repeat { count: 5, .. })));
+
+        // Flattened order must be bit-identical to emitting every round.
+        let d = cfg.distance;
+        let data: Vec<u32> = (0..d as u32).map(|i| 2 * i).collect();
+        let anc: Vec<u32> = (0..(d - 1) as u32).map(|i| 2 * i + 1).collect();
+        let mut legacy = Circuit::new((2 * d - 1) as u32);
+        legacy.push(Instruction::Reset {
+            targets: (0..(2 * d - 1) as u32).collect(),
+        });
+        for round in 0..cfg.rounds {
+            push_round(&mut |i| legacy.push(i), &cfg, &data, &anc, round == 0);
+        }
+        legacy.measure_many(&data);
+        for i in 0..(d - 1) as i64 {
+            let data_a = -(d as i64) + i;
+            legacy.detector(&[data_a, data_a + 1, -(d as i64) - ((d - 1) as i64) + i]);
+        }
+        legacy.observable_include(0, &[-(d as i64)]);
+
+        assert_eq!(c.flattened(), legacy);
+        // And the text format round-trips the structure.
+        assert_eq!(Circuit::parse(&c.to_string()).unwrap(), c);
     }
 
     #[test]

@@ -12,8 +12,14 @@
 //! ancilla, then `MR`), then all X stabilizers (Hadamard-conjugated).
 //! Measuring the two types sequentially keeps the measured operators exactly
 //! the stabilizers for any CNOT ordering within a type.
+//!
+//! Rounds are emitted **structured**: round 0 (whose detectors differ at
+//! the time boundary) is written flat, and every later round is one
+//! `REPEAT rounds−1 { … }` block whose detectors reach into the previous
+//! iteration's outcomes — so a million-round memory experiment is built,
+//! parsed, and initialized in O(one round) circuit memory.
 
-use crate::{Circuit, Instruction, NoiseChannel};
+use crate::{Block, Circuit, Gate, Instruction, NoiseChannel};
 
 /// Configuration of a rotated surface-code memory-Z experiment.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -130,62 +136,23 @@ pub fn surface_code_memory(config: &SurfaceCodeConfig) -> Circuit {
     let all: Vec<u32> = (0..total_qubits).collect();
     c.push(Instruction::Reset { targets: all });
 
-    // Per round the record receives: num_z Z outcomes then num_x X outcomes.
-    let per_round = (num_z + num_x) as i64;
-    for round in 0..config.rounds {
-        if config.data_error > 0.0 {
-            c.noise(NoiseChannel::Depolarize1(config.data_error), &data_qubits);
-        }
-
-        // -- Z stabilizers: parity of data Zs into ancilla via CX data→anc.
-        let mut z_ancillas = Vec::with_capacity(num_z);
-        for p in plaqs.iter().filter(|p| p.z_type) {
-            for &dq in &p.data {
-                c.cx(dq, p.ancilla);
-            }
-            z_ancillas.push(p.ancilla);
-        }
-        if config.measure_error > 0.0 {
-            c.noise(NoiseChannel::XError(config.measure_error), &z_ancillas);
-        }
-        c.push(Instruction::MeasureReset {
-            targets: z_ancillas,
+    // Round 0 declares the time-boundary detectors; every later round is
+    // the identical steady-state round, emitted once as one structured
+    // REPEAT block (its detectors reach into the previous iteration).
+    push_round(&mut |inst| c.push(inst), &plaqs, &data_qubits, config, true);
+    if config.rounds > 1 {
+        let mut body = Block::new();
+        push_round(
+            &mut |inst| body.push(inst),
+            &plaqs,
+            &data_qubits,
+            config,
+            false,
+        );
+        c.push(Instruction::Repeat {
+            count: (config.rounds - 1) as u64,
+            body: Box::new(body),
         });
-
-        // -- X stabilizers: Hadamard basis change on the ancilla.
-        let mut x_ancillas = Vec::with_capacity(num_x);
-        for p in plaqs.iter().filter(|p| !p.z_type) {
-            c.h(p.ancilla);
-            for &dq in &p.data {
-                c.cx(p.ancilla, dq);
-            }
-            c.h(p.ancilla);
-            x_ancillas.push(p.ancilla);
-        }
-        if config.measure_error > 0.0 {
-            c.noise(NoiseChannel::XError(config.measure_error), &x_ancillas);
-        }
-        c.push(Instruction::MeasureReset {
-            targets: x_ancillas,
-        });
-
-        // -- Detectors. Z outcomes are deterministic from round 0 (data
-        // starts in |0…0⟩); X outcomes only from round 1 (pairwise).
-        for i in 0..num_z as i64 {
-            let this = -per_round + i;
-            if round == 0 {
-                c.detector(&[this]);
-            } else {
-                c.detector(&[this, this - per_round]);
-            }
-        }
-        if round > 0 {
-            for i in 0..num_x as i64 {
-                let this = -(num_x as i64) + i;
-                c.detector(&[this, this - per_round]);
-            }
-        }
-        c.tick();
     }
 
     // Final transversal data measurement; compare each Z plaquette's data
@@ -203,6 +170,105 @@ pub fn surface_code_memory(config: &SurfaceCodeConfig) -> Circuit {
     let top_row: Vec<i64> = (0..d as i64).map(|i| -nd + i).collect();
     c.observable_include(0, &top_row);
     c
+}
+
+/// Emits one stabilizer-measurement round through `push`. `first` rounds
+/// declare the time-boundary detectors (Z checks only, single outcome);
+/// steady-state rounds compare every check against the previous round,
+/// which inside the `REPEAT` body means lookbacks into the previous
+/// iteration.
+fn push_round(
+    push: &mut dyn FnMut(Instruction),
+    plaqs: &[Plaquette],
+    data_qubits: &[u32],
+    config: &SurfaceCodeConfig,
+    first: bool,
+) {
+    let num_z = plaqs.iter().filter(|p| p.z_type).count();
+    let num_x = plaqs.len() - num_z;
+    // Per round the record receives: num_z Z outcomes then num_x X outcomes.
+    let per_round = (num_z + num_x) as i64;
+
+    if config.data_error > 0.0 {
+        push(Instruction::Noise {
+            channel: NoiseChannel::Depolarize1(config.data_error),
+            targets: data_qubits.to_vec(),
+        });
+    }
+
+    // -- Z stabilizers: parity of data Zs into ancilla via CX data→anc.
+    let mut z_ancillas = Vec::with_capacity(num_z);
+    for p in plaqs.iter().filter(|p| p.z_type) {
+        for &dq in &p.data {
+            push(Instruction::Gate {
+                gate: Gate::Cx,
+                targets: vec![dq, p.ancilla],
+            });
+        }
+        z_ancillas.push(p.ancilla);
+    }
+    if config.measure_error > 0.0 {
+        push(Instruction::Noise {
+            channel: NoiseChannel::XError(config.measure_error),
+            targets: z_ancillas.clone(),
+        });
+    }
+    push(Instruction::MeasureReset {
+        targets: z_ancillas,
+    });
+
+    // -- X stabilizers: Hadamard basis change on the ancilla.
+    let mut x_ancillas = Vec::with_capacity(num_x);
+    for p in plaqs.iter().filter(|p| !p.z_type) {
+        push(Instruction::Gate {
+            gate: Gate::H,
+            targets: vec![p.ancilla],
+        });
+        for &dq in &p.data {
+            push(Instruction::Gate {
+                gate: Gate::Cx,
+                targets: vec![p.ancilla, dq],
+            });
+        }
+        push(Instruction::Gate {
+            gate: Gate::H,
+            targets: vec![p.ancilla],
+        });
+        x_ancillas.push(p.ancilla);
+    }
+    if config.measure_error > 0.0 {
+        push(Instruction::Noise {
+            channel: NoiseChannel::XError(config.measure_error),
+            targets: x_ancillas.clone(),
+        });
+    }
+    push(Instruction::MeasureReset {
+        targets: x_ancillas,
+    });
+
+    // -- Detectors. Z outcomes are deterministic from round 0 (data
+    // starts in |0…0⟩); X outcomes only from round 1 (pairwise).
+    for i in 0..num_z as i64 {
+        let this = -per_round + i;
+        if first {
+            push(Instruction::Detector {
+                lookbacks: vec![this],
+            });
+        } else {
+            push(Instruction::Detector {
+                lookbacks: vec![this, this - per_round],
+            });
+        }
+    }
+    if !first {
+        for i in 0..num_x as i64 {
+            let this = -(num_x as i64) + i;
+            push(Instruction::Detector {
+                lookbacks: vec![this, this - per_round],
+            });
+        }
+    }
+    push(Instruction::Tick);
 }
 
 #[cfg(test)]
@@ -266,6 +332,76 @@ mod tests {
         assert_eq!(c.stats().measurements, 8 * 2 + 9);
         // Round 0: 4 detectors (Z only); round 1: 8; final: 4.
         assert_eq!(c.num_detectors(), 4 + 8 + 4);
+    }
+
+    #[test]
+    fn rounds_are_structured() {
+        let cfg = SurfaceCodeConfig {
+            distance: 3,
+            rounds: 1000,
+            data_error: 0.001,
+            measure_error: 0.001,
+        };
+        let c = surface_code_memory(&cfg);
+        // Reset, round 0, one REPEAT node, final measurement + detectors +
+        // observable: the instruction list does not scale with rounds.
+        assert!(c.instructions().len() < 60);
+        let repeat = c
+            .instructions()
+            .iter()
+            .find_map(|i| match i {
+                Instruction::Repeat { count, body } => Some((*count, body)),
+                _ => None,
+            })
+            .expect("steady-state rounds are one REPEAT block");
+        assert_eq!(repeat.0, 999);
+        assert_eq!(c.stats().measurements, 8 * 1000 + 9);
+    }
+
+    #[test]
+    fn structured_rounds_flatten_to_legacy_sequence() {
+        // The structured emission must be bit-identical (in flattened
+        // instruction order) to emitting every round explicitly.
+        let cfg = SurfaceCodeConfig {
+            distance: 3,
+            rounds: 4,
+            data_error: 0.002,
+            measure_error: 0.001,
+        };
+        let plaqs = plaquettes(cfg.distance);
+        let data: Vec<u32> = (0..(cfg.distance * cfg.distance) as u32).collect();
+        let total = (cfg.distance * cfg.distance + plaqs.len()) as u32;
+        let mut legacy = Circuit::new(total);
+        legacy.push(Instruction::Reset {
+            targets: (0..total).collect(),
+        });
+        for round in 0..cfg.rounds {
+            push_round(&mut |i| legacy.push(i), &plaqs, &data, &cfg, round == 0);
+        }
+        legacy.measure_many(&data);
+        let nd = (cfg.distance * cfg.distance) as i64;
+        let num_z = plaqs.iter().filter(|p| p.z_type).count();
+        let num_x = plaqs.len() - num_z;
+        for (z_seen, p) in plaqs.iter().filter(|p| p.z_type).enumerate() {
+            let mut lookbacks: Vec<i64> = p.data.iter().map(|&dq| -nd + dq as i64).collect();
+            lookbacks.push(-nd - (num_x as i64) - (num_z as i64) + z_seen as i64);
+            legacy.detector(&lookbacks);
+        }
+        let top_row: Vec<i64> = (0..cfg.distance as i64).map(|i| -nd + i).collect();
+        legacy.observable_include(0, &top_row);
+
+        assert_eq!(surface_code_memory(&cfg).flattened(), legacy);
+    }
+
+    #[test]
+    fn structured_circuit_roundtrips_through_text() {
+        let c = surface_code_memory(&SurfaceCodeConfig {
+            distance: 3,
+            rounds: 5,
+            data_error: 0.001,
+            measure_error: 0.002,
+        });
+        assert_eq!(Circuit::parse(&c.to_string()).unwrap(), c);
     }
 
     #[test]

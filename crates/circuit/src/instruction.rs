@@ -1,7 +1,9 @@
-//! Circuit instructions: gates, measurements, noise, feedback, annotations.
+//! Circuit instructions: gates, measurements, noise, feedback, annotations,
+//! and structured `REPEAT` blocks.
 
 use std::fmt;
 
+use crate::circuit::Block;
 use crate::gate::{Gate, PauliKind};
 
 /// A Pauli noise channel attached to qubit targets.
@@ -191,16 +193,32 @@ pub enum Instruction {
     },
     /// A no-op layer marker.
     Tick,
+    /// A structured `REPEAT count { … }` block: the body executes `count`
+    /// times in sequence. The block is **never flattened** — engines
+    /// stream it through `Circuit::flat_instructions`, and record
+    /// lookbacks inside the body resolve dynamically per iteration, so
+    /// `rec[-k]` may legitimately reach into the previous iteration's
+    /// measurements (see [`Block`]).
+    Repeat {
+        /// Number of iterations (at least 1).
+        count: u64,
+        /// The repeated instruction sequence.
+        body: Box<Block>,
+    },
 }
 
 impl Instruction {
     /// Number of measurement outcomes this instruction appends to the
-    /// record.
+    /// record. A `REPEAT` counts its body's outcomes times the trip count
+    /// (saturating).
     pub fn measurements_added(&self) -> usize {
         match self {
             Instruction::Measure { targets } | Instruction::MeasureReset { targets } => {
                 targets.len()
             }
+            Instruction::Repeat { count, body } => body
+                .measurements()
+                .saturating_mul(usize::try_from(*count).unwrap_or(usize::MAX)),
             _ => 0,
         }
     }
@@ -215,21 +233,34 @@ impl Instruction {
             | Instruction::MeasureReset { targets }
             | Instruction::Noise { targets, .. } => targets,
             Instruction::Feedback { target, .. } => std::slice::from_ref(target),
+            Instruction::Repeat { body, .. } => return body.max_qubit_bound(),
             _ => &[],
         };
         targets.iter().max().map_or(0, |&m| m + 1)
     }
-}
 
-fn write_targets(f: &mut fmt::Formatter<'_>, targets: &[u32]) -> fmt::Result {
-    for t in targets {
-        write!(f, " {t}")?;
+    /// Writes the instruction at the given `REPEAT` nesting level (4
+    /// spaces per level). `Repeat` renders as a multi-line
+    /// `REPEAT n {` / indented body / `}` group; everything else is the
+    /// single-line form of `Display`. No trailing newline is written.
+    pub fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = indent * 4;
+        write!(f, "{:pad$}", "")?;
+        match self {
+            Instruction::Repeat { count, body } => {
+                writeln!(f, "REPEAT {count} {{")?;
+                for inst in body.instructions() {
+                    inst.fmt_indented(f, indent + 1)?;
+                    writeln!(f)?;
+                }
+                write!(f, "{:pad$}}}", "")
+            }
+            other => other.fmt_single_line(f),
+        }
     }
-    Ok(())
-}
 
-impl fmt::Display for Instruction {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    /// The one-line rendering of every non-`Repeat` instruction.
+    fn fmt_single_line(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Instruction::Gate { gate, targets } => {
                 write!(f, "{}", gate.name())?;
@@ -271,7 +302,21 @@ impl fmt::Display for Instruction {
                 Ok(())
             }
             Instruction::Tick => write!(f, "TICK"),
+            Instruction::Repeat { .. } => unreachable!("handled by fmt_indented"),
         }
+    }
+}
+
+fn write_targets(f: &mut fmt::Formatter<'_>, targets: &[u32]) -> fmt::Result {
+    for t in targets {
+        write!(f, " {t}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
     }
 }
 

@@ -1,23 +1,48 @@
 //! Stabilizer-circuit intermediate representation for the SymPhase
 //! reproduction.
 //!
-//! A [`Circuit`] is a flat sequence of [`Instruction`]s over `num_qubits`
-//! qubits: Clifford [`Gate`]s, computational-basis measurements and resets,
-//! Pauli noise channels (the faults that phase symbolization accumulates),
-//! classically-controlled Paulis (dynamic circuits, paper §6), and
-//! detector/observable annotations for QEC workloads.
+//! A [`Circuit`] is a **structured** sequence of [`Instruction`]s over
+//! `num_qubits` qubits: Clifford [`Gate`]s, computational-basis
+//! measurements and resets, Pauli noise channels (the faults that phase
+//! symbolization accumulates), classically-controlled Paulis (dynamic
+//! circuits, paper §6), detector/observable annotations for QEC
+//! workloads, and first-class `REPEAT` nodes
+//! ([`Instruction::Repeat`]) whose bodies are [`Block`]s.
+//!
+//! # The block model
+//!
+//! `REPEAT count { … }` is **never flattened**. Parsing a repeat block
+//! costs O(body) — the body is parsed exactly once however large the trip
+//! count — and statistics ([`Circuit::stats`], `num_measurements`,
+//! detector/observable counts) are computed from structure as
+//! `count × body`. Engines traverse the flattened execution order through
+//! the streaming [`Circuit::flat_instructions`] iterator, which expands
+//! blocks lazily in O(nesting depth) memory, so the million-round memory
+//! experiments the paper targets parse and initialize without any
+//! expansion cap (the previous parser materialized every iteration and
+//! refused circuits past 50M flattened instructions).
+//!
+//! Record lookbacks inside a block resolve **dynamically per iteration**:
+//! `rec[-k]` may reach into the previous iteration's measurements (QEC
+//! rounds compare each stabilizer outcome against the previous round this
+//! way). A [`Block`] therefore tracks the deepest reach past its own
+//! measurements as [`Block::required_record`], validated once against the
+//! record preceding the block — the first iteration sees the shortest
+//! record, so entry-time validation covers all iterations.
 //!
 //! The crate also provides:
 //!
-//! * a Stim-compatible text format ([`Circuit::parse`], `Display`),
-//!   including `REPEAT` blocks (flattened during parsing);
+//! * a Stim-compatible text format ([`Circuit::parse`], `Display`) that
+//!   round-trips `REPEAT` structure (re-emitted as indented
+//!   `REPEAT n { … }` groups);
 //! * reference Clifford conjugation semantics ([`SmallPauli`],
 //!   [`Gate::conjugate`]) used to cross-check every optimized simulator
 //!   update rule;
 //! * the benchmark workload generators of the paper's evaluation
 //!   ([`generators`]): layered random interaction circuits (Fig. 3a–3c),
-//!   repetition-code and rotated-surface-code memory circuits, and small
-//!   named circuits (Bell, GHZ, teleportation).
+//!   repetition-code and rotated-surface-code memory circuits (emitting
+//!   structured rounds), and small named circuits (Bell, GHZ,
+//!   teleportation).
 //!
 //! # Example
 //!
@@ -41,9 +66,11 @@ pub mod generators;
 mod instruction;
 pub mod noise_model;
 mod parser;
+mod traverse;
 
 pub use action::{apply_action1, apply_action2, XZAction1, XZAction2};
-pub use circuit::{Circuit, CircuitStats};
+pub use circuit::{Block, Circuit, CircuitStats};
 pub use gate::{Gate, PauliKind, SmallPauli};
 pub use instruction::{Instruction, NoiseChannel};
 pub use parser::ParseCircuitError;
+pub use traverse::FlatInstructions;

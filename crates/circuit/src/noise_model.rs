@@ -4,7 +4,7 @@
 //! circuit, insert depolarizing noise after every Clifford gate, bit-flip
 //! noise before every measurement, and reset noise after every reset.
 
-use crate::{Circuit, Instruction, NoiseChannel};
+use crate::{Block, Circuit, Instruction, NoiseChannel};
 
 /// Parameters for [`with_noise`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -47,7 +47,9 @@ impl NoiseModel {
 ///
 /// Existing noise instructions are preserved; `TICK`s and annotations are
 /// kept in place. Measurement-and-reset (`MR`) gets both the before-measure
-/// and after-reset channels.
+/// and after-reset channels. `REPEAT` blocks keep their structure: the
+/// decoration recurses into the body once, so a million-round block is
+/// decorated in O(body).
 ///
 /// # Example
 ///
@@ -61,37 +63,69 @@ impl NoiseModel {
 /// ```
 pub fn with_noise(circuit: &Circuit, model: &NoiseModel) -> Circuit {
     let mut out = Circuit::new(circuit.num_qubits());
-    for inst in circuit.instructions() {
+    decorate(circuit.instructions(), model, &mut |inst| out.push(inst));
+    out
+}
+
+/// Pushes the decorated form of every instruction through `push`,
+/// recursing into `REPEAT` bodies (which are rebuilt as blocks, not
+/// flattened).
+fn decorate(instructions: &[Instruction], model: &NoiseModel, push: &mut dyn FnMut(Instruction)) {
+    for inst in instructions {
         match inst {
             Instruction::Gate { gate, targets } => {
-                out.push(inst.clone());
+                push(inst.clone());
                 if gate.arity() == 1 {
                     if model.after_1q_gate > 0.0 && *gate != crate::Gate::I {
-                        out.noise(NoiseChannel::Depolarize1(model.after_1q_gate), targets);
+                        push(Instruction::Noise {
+                            channel: NoiseChannel::Depolarize1(model.after_1q_gate),
+                            targets: targets.clone(),
+                        });
                     }
                 } else if model.after_2q_gate > 0.0 {
-                    out.noise(NoiseChannel::Depolarize2(model.after_2q_gate), targets);
+                    push(Instruction::Noise {
+                        channel: NoiseChannel::Depolarize2(model.after_2q_gate),
+                        targets: targets.clone(),
+                    });
                 }
             }
             Instruction::Measure { targets } | Instruction::MeasureReset { targets } => {
                 if model.before_measure > 0.0 {
-                    out.noise(NoiseChannel::XError(model.before_measure), targets);
+                    push(Instruction::Noise {
+                        channel: NoiseChannel::XError(model.before_measure),
+                        targets: targets.clone(),
+                    });
                 }
-                out.push(inst.clone());
+                push(inst.clone());
                 if matches!(inst, Instruction::MeasureReset { .. }) && model.after_reset > 0.0 {
-                    out.noise(NoiseChannel::XError(model.after_reset), targets);
+                    push(Instruction::Noise {
+                        channel: NoiseChannel::XError(model.after_reset),
+                        targets: targets.clone(),
+                    });
                 }
             }
             Instruction::Reset { targets } => {
-                out.push(inst.clone());
+                push(inst.clone());
                 if model.after_reset > 0.0 {
-                    out.noise(NoiseChannel::XError(model.after_reset), targets);
+                    push(Instruction::Noise {
+                        channel: NoiseChannel::XError(model.after_reset),
+                        targets: targets.clone(),
+                    });
                 }
             }
-            other => out.push(other.clone()),
+            Instruction::Repeat { count, body } => {
+                let mut decorated = Block::new();
+                decorate(body.instructions(), model, &mut |inner| {
+                    decorated.push(inner)
+                });
+                push(Instruction::Repeat {
+                    count: *count,
+                    body: Box::new(decorated),
+                });
+            }
+            other => push(other.clone()),
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -140,6 +174,28 @@ mod tests {
         let noisy = with_noise(&c, &NoiseModel::uniform(0.01));
         assert_eq!(noisy.num_detectors(), 1);
         assert_eq!(noisy.num_observables(), 1);
+    }
+
+    #[test]
+    fn repeat_blocks_decorated_in_place() {
+        let mut c = Circuit::new(2);
+        c.repeat_with(1000, |b| {
+            b.h(0);
+            b.measure_many(&[0]);
+        });
+        let noisy = with_noise(&c, &NoiseModel::uniform(0.01));
+        // The structure survives: one REPEAT node, body decorated once.
+        assert_eq!(noisy.instructions().len(), 1);
+        match &noisy.instructions()[0] {
+            Instruction::Repeat { count, body } => {
+                assert_eq!(*count, 1000);
+                // H → dep1; X before M: 2 sites per iteration.
+                assert_eq!(body.stats().noise_sites, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(noisy.stats().noise_sites, 2000);
+        assert_eq!(noisy.num_measurements(), c.num_measurements());
     }
 
     #[test]

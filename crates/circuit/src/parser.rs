@@ -12,15 +12,24 @@
 //! M 0 1 / MR 0 / R 0        — measure, measure-reset, reset
 //! DETECTOR rec[-1] rec[-2]
 //! OBSERVABLE_INCLUDE(0) rec[-1]
-//! REPEAT 5 { ... }          — flattened during parsing
+//! REPEAT 5 { ... }          — kept structured: the body is parsed once
 //! TICK
 //! QUBIT_COORDS(...) 0       — accepted and ignored
 //! ```
+//!
+//! `REPEAT` blocks become [`Instruction::Repeat`] nodes: the body is
+//! parsed **exactly once** whatever the trip count (the previous parser
+//! re-parsed the body `count` times and refused expansions past 50M
+//! instructions), so parse cost is O(file) and `REPEAT 1000000 { … }`
+//! files parse in memory proportional to the file. Record lookbacks
+//! inside a body may reach into the previous iteration; the unmet reach
+//! is tracked per block and validated once, where the block closes (see
+//! [`Block`]).
 
 use std::error::Error;
 use std::fmt;
 
-use crate::circuit::Circuit;
+use crate::circuit::{Block, Circuit};
 use crate::gate::{Gate, PauliKind};
 use crate::instruction::{Instruction, NoiseChannel};
 
@@ -48,8 +57,24 @@ fn err(line: usize, message: impl Into<String>) -> ParseCircuitError {
     }
 }
 
-/// Upper bound on instructions produced by nested `REPEAT` expansion.
-const MAX_FLATTENED_INSTRUCTIONS: usize = 50_000_000;
+/// Where parsed instructions go: the top-level [`Circuit`] (strict record
+/// validation) or a `REPEAT` body [`Block`] (lenient per-iteration
+/// validation). Both expose the same fallible push.
+trait Sink {
+    fn try_push(&mut self, instruction: Instruction) -> Result<(), String>;
+}
+
+impl Sink for Circuit {
+    fn try_push(&mut self, instruction: Instruction) -> Result<(), String> {
+        Circuit::try_push(self, instruction)
+    }
+}
+
+impl Sink for Block {
+    fn try_push(&mut self, instruction: Instruction) -> Result<(), String> {
+        Block::try_push(self, instruction)
+    }
+}
 
 impl Circuit {
     /// Parses circuit text.
@@ -58,8 +83,9 @@ impl Circuit {
     ///
     /// Returns a [`ParseCircuitError`] carrying the line number for unknown
     /// instructions, malformed arguments or targets, unmatched `REPEAT`
-    /// braces, invalid probabilities, or record lookbacks that reach before
-    /// the start of the measurement record.
+    /// braces, zero trip counts, invalid probabilities, or record
+    /// lookbacks that reach before the start of the measurement record
+    /// (for lookbacks inside `REPEAT` bodies: in the first iteration).
     pub fn parse(text: &str) -> Result<Circuit, ParseCircuitError> {
         let lines: Vec<&str> = text.lines().collect();
         let mut circuit = Circuit::new(0);
@@ -73,10 +99,10 @@ impl Circuit {
 }
 
 /// Parses until end of input or a closing `}` (when `depth > 0`).
-fn parse_block(
+fn parse_block<S: Sink>(
     lines: &[&str],
     pos: &mut usize,
-    circuit: &mut Circuit,
+    sink: &mut S,
     depth: usize,
 ) -> Result<(), ParseCircuitError> {
     while *pos < lines.len() {
@@ -88,9 +114,8 @@ fn parse_block(
             continue;
         }
         if line == "}" {
-            if depth == 0 {
-                return Ok(()); // caller reports unmatched brace
-            }
+            // Never consumed here; the REPEAT that opened the block (or
+            // the top-level caller, for an unmatched brace) handles it.
             return Ok(());
         }
         if let Some(rest) = line.strip_prefix("REPEAT") {
@@ -102,30 +127,31 @@ fn parse_block(
             if !brace {
                 return Err(err(line_no, "REPEAT must end with '{'"));
             }
-            let count: usize = count_str
+            // Underscore separators are accepted for readability
+            // (`REPEAT 1_000_000 {`).
+            let count: u64 = count_str
+                .replace('_', "")
                 .parse()
                 .map_err(|_| err(line_no, format!("bad REPEAT count '{count_str}'")))?;
+            if count == 0 {
+                return Err(err(line_no, "REPEAT count must be at least 1"));
+            }
             *pos += 1;
-            // Parse the body into a scratch circuit once, then replay it.
-            let body_start = *pos;
-            let mut scratch = circuit.clone();
-            parse_block(lines, pos, &mut scratch, depth + 1)?;
+            // Parse the body exactly once, whatever the trip count.
+            let mut body = Block::new();
+            parse_block(lines, pos, &mut body, depth + 1)?;
             if *pos >= lines.len() || strip_comment(lines[*pos]).trim() != "}" {
-                return Err(err(body_start, "unterminated REPEAT block"));
+                return Err(err(line_no, "unterminated REPEAT block"));
             }
-            let body_end = *pos;
             *pos += 1; // consume '}'
-            for _ in 0..count {
-                let mut inner = body_start;
-                parse_block(lines, &mut inner, circuit, depth + 1)?;
-                debug_assert_eq!(inner, body_end);
-                if circuit.instructions().len() > MAX_FLATTENED_INSTRUCTIONS {
-                    return Err(err(line_no, "REPEAT expansion too large"));
-                }
-            }
+            sink.try_push(Instruction::Repeat {
+                count,
+                body: Box::new(body),
+            })
+            .map_err(|msg| err(line_no, msg))?;
             continue;
         }
-        parse_line(line, line_no, circuit)?;
+        parse_line(line, line_no, sink)?;
         *pos += 1;
     }
     if depth > 0 {
@@ -141,7 +167,7 @@ fn strip_comment(line: &str) -> &str {
     }
 }
 
-fn parse_line(line: &str, line_no: usize, circuit: &mut Circuit) -> Result<(), ParseCircuitError> {
+fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), ParseCircuitError> {
     // Coordinate annotations are accepted and ignored (their arguments may
     // contain spaces, so check before tokenizing).
     if line.starts_with("QUBIT_COORDS") || line.starts_with("SHIFT_COORDS") {
@@ -155,7 +181,7 @@ fn parse_line(line: &str, line_no: usize, circuit: &mut Circuit) -> Result<(), P
     let (name, args) = split_name_args(head, line_no)?;
 
     if name == "TICK" {
-        circuit.push(Instruction::Tick);
+        push_checked(sink, Instruction::Tick, line_no)?;
         return Ok(());
     }
 
@@ -164,25 +190,25 @@ fn parse_line(line: &str, line_no: usize, circuit: &mut Circuit) -> Result<(), P
     // (Stim semantics: the record target must be the control of its own
     // pair). Dispatch pair by pair rather than routing the whole line.
     if matches!(name, "CX" | "CNOT" | "CY" | "CZ") && rest.iter().any(|t| t.starts_with("rec[")) {
-        return parse_mixed_controlled(name, &rest, line_no, circuit);
+        return parse_mixed_controlled(name, &rest, line_no, sink);
     }
 
     match name {
         "M" | "MZ" => {
             let targets = parse_qubits(&rest, line_no)?;
-            circuit.push(Instruction::Measure { targets });
+            push_checked(sink, Instruction::Measure { targets }, line_no)?;
         }
         "R" | "RZ" => {
             let targets = parse_qubits(&rest, line_no)?;
-            circuit.push(Instruction::Reset { targets });
+            push_checked(sink, Instruction::Reset { targets }, line_no)?;
         }
         "MR" | "MRZ" => {
             let targets = parse_qubits(&rest, line_no)?;
-            circuit.push(Instruction::MeasureReset { targets });
+            push_checked(sink, Instruction::MeasureReset { targets }, line_no)?;
         }
         "DETECTOR" => {
             let lookbacks = parse_lookbacks(&rest, line_no)?;
-            push_checked(circuit, Instruction::Detector { lookbacks }, line_no)?;
+            push_checked(sink, Instruction::Detector { lookbacks }, line_no)?;
         }
         "OBSERVABLE_INCLUDE" => {
             let index = match args.as_slice() {
@@ -196,7 +222,7 @@ fn parse_line(line: &str, line_no: usize, circuit: &mut Circuit) -> Result<(), P
             };
             let lookbacks = parse_lookbacks(&rest, line_no)?;
             push_checked(
-                circuit,
+                sink,
                 Instruction::ObservableInclude { index, lookbacks },
                 line_no,
             )?;
@@ -204,7 +230,7 @@ fn parse_line(line: &str, line_no: usize, circuit: &mut Circuit) -> Result<(), P
         "X_ERROR" | "Y_ERROR" | "Z_ERROR" | "DEPOLARIZE1" | "DEPOLARIZE2" | "PAULI_CHANNEL_1" => {
             let channel = parse_channel(name, &args, line_no)?;
             let targets = parse_qubits(&rest, line_no)?;
-            push_checked(circuit, Instruction::Noise { channel, targets }, line_no)?;
+            push_checked(sink, Instruction::Noise { channel, targets }, line_no)?;
         }
         _ => {
             let Some(gate) = Gate::from_name(name) else {
@@ -214,22 +240,20 @@ fn parse_line(line: &str, line_no: usize, circuit: &mut Circuit) -> Result<(), P
                 return Err(err(line_no, format!("gate {name} takes no arguments")));
             }
             let targets = parse_qubits(&rest, line_no)?;
-            push_checked(circuit, Instruction::Gate { gate, targets }, line_no)?;
+            push_checked(sink, Instruction::Gate { gate, targets }, line_no)?;
         }
     }
     Ok(())
 }
 
-/// Pushes via [`Circuit::try_push`], attaching the line number to validation
-/// errors.
-fn push_checked(
-    circuit: &mut Circuit,
+/// Pushes via the sink's fallible push, attaching the line number to
+/// validation errors.
+fn push_checked<S: Sink>(
+    sink: &mut S,
     instruction: Instruction,
     line_no: usize,
 ) -> Result<(), ParseCircuitError> {
-    circuit
-        .try_push(instruction)
-        .map_err(|msg| err(line_no, msg))
+    sink.try_push(instruction).map_err(|msg| err(line_no, msg))
 }
 
 fn split_name_args(head: &str, line_no: usize) -> Result<(&str, Vec<f64>), ParseCircuitError> {
@@ -315,11 +339,11 @@ fn parse_rec(token: &str, line_no: usize) -> Result<i64, ParseCircuitError> {
 /// target: each `(control, target)` pair is dispatched independently —
 /// pairs with a record target become [`Instruction::Feedback`], runs of
 /// plain pairs stay unitary gate applications, in line order.
-fn parse_mixed_controlled(
+fn parse_mixed_controlled<S: Sink>(
     name: &str,
     tokens: &[&str],
     line_no: usize,
-    circuit: &mut Circuit,
+    sink: &mut S,
 ) -> Result<(), ParseCircuitError> {
     if !tokens.len().is_multiple_of(2) {
         return Err(err(line_no, format!("{name} takes target pairs")));
@@ -330,7 +354,7 @@ fn parse_mixed_controlled(
         if pair.iter().any(|t| t.starts_with("rec[")) {
             if !plain.is_empty() {
                 push_checked(
-                    circuit,
+                    sink,
                     Instruction::Gate {
                         gate,
                         targets: std::mem::take(&mut plain),
@@ -338,7 +362,7 @@ fn parse_mixed_controlled(
                     line_no,
                 )?;
             }
-            parse_feedback_pair(name, pair[0], pair[1], line_no, circuit)?;
+            parse_feedback_pair(name, pair[0], pair[1], line_no, sink)?;
         } else {
             for t in pair {
                 plain.push(
@@ -350,7 +374,7 @@ fn parse_mixed_controlled(
     }
     if !plain.is_empty() {
         push_checked(
-            circuit,
+            sink,
             Instruction::Gate {
                 gate,
                 targets: plain,
@@ -363,12 +387,12 @@ fn parse_mixed_controlled(
 
 /// Parses one `(control, target)` pair where one side is a `rec[...]`
 /// measurement-record target.
-fn parse_feedback_pair(
+fn parse_feedback_pair<S: Sink>(
     name: &str,
     first: &str,
     second: &str,
     line_no: usize,
-    circuit: &mut Circuit,
+    sink: &mut S,
 ) -> Result<(), ParseCircuitError> {
     let pauli = match name {
         "CX" | "CNOT" => PauliKind::X,
@@ -389,7 +413,7 @@ fn parse_feedback_pair(
         .parse()
         .map_err(|_| err(line_no, format!("bad qubit target '{qubit_tok}'")))?;
     push_checked(
-        circuit,
+        sink,
         Instruction::Feedback {
             pauli,
             lookback,
@@ -499,16 +523,27 @@ mod tests {
     }
 
     #[test]
-    fn parses_repeat_flattening() {
+    fn parses_repeat_structured() {
         let c = Circuit::parse("REPEAT 3 {\n  H 0\n  M 0\n}\n").unwrap();
+        // Statistics come from structure (body × count)…
         assert_eq!(c.stats().gates, 3);
         assert_eq!(c.stats().measurements, 3);
+        // …while the instruction list keeps the block as one node.
+        assert_eq!(c.instructions().len(), 1);
+        match &c.instructions()[0] {
+            Instruction::Repeat { count, body } => {
+                assert_eq!(*count, 3);
+                assert_eq!(body.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
     fn parses_nested_repeat() {
         let c = Circuit::parse("REPEAT 2 {\n REPEAT 3 {\n X 0\n }\n}\n").unwrap();
         assert_eq!(c.stats().gates, 6);
+        assert_eq!(c.instructions().len(), 1);
     }
 
     #[test]
@@ -516,6 +551,47 @@ mod tests {
         // Each iteration's DETECTOR refers to its own iteration's M.
         let c = Circuit::parse("REPEAT 3 {\n M 0\n DETECTOR rec[-1]\n}\n").unwrap();
         assert_eq!(c.num_detectors(), 3);
+        // A lookback crossing the iteration boundary is valid when the
+        // record preceding the block covers the first iteration.
+        let c = Circuit::parse("M 0\nREPEAT 3 {\n M 0\n DETECTOR rec[-1] rec[-2]\n}\n").unwrap();
+        assert_eq!(c.num_detectors(), 3);
+        // …and rejected when it cannot land in the first iteration.
+        let e = Circuit::parse("REPEAT 3 {\n M 0\n DETECTOR rec[-1] rec[-2]\n}\n").unwrap_err();
+        assert!(e.message.contains("REPEAT body reaches"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn repeat_bodies_parse_once_without_expansion() {
+        // One million trips: the body is parsed exactly once, the
+        // structured list holds one REPEAT node (not 10⁶ clones), and the
+        // whole parse is O(file).
+        let start = std::time::Instant::now();
+        let c = Circuit::parse("REPEAT 1000000 {\n X 0\n M 0\n}\n").unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(1),
+            "parse must not scale with the trip count"
+        );
+        assert_eq!(c.instructions().len(), 1);
+        assert_eq!(c.stats().gates, 1_000_000);
+        assert_eq!(c.stats().measurements, 1_000_000);
+    }
+
+    #[test]
+    fn nested_repeat_exceeds_old_flattening_cap() {
+        // 10¹⁰ flattened gates: the old flattener refused anything past
+        // 50M materialized instructions; the structured parse is instant.
+        let c = Circuit::parse("REPEAT 100000 {\n REPEAT 100000 {\n X 0\n }\n}\n").unwrap();
+        assert_eq!(c.instructions().len(), 1);
+        assert_eq!(c.stats().gates, 10_000_000_000);
+    }
+
+    #[test]
+    fn repeat_count_accepts_underscores_and_rejects_zero() {
+        let c = Circuit::parse("REPEAT 1_000_000 {\n X 0\n}\n").unwrap();
+        assert_eq!(c.stats().gates, 1_000_000);
+        let e = Circuit::parse("REPEAT 0 {\n X 0\n}\n").unwrap_err();
+        assert!(e.message.contains("at least 1"));
     }
 
     #[test]
@@ -536,6 +612,8 @@ mod tests {
     fn rejects_bad_probability() {
         let e = Circuit::parse("X_ERROR(1.5) 0\n").unwrap_err();
         assert!(e.message.contains("probability"));
+        // Inside a REPEAT body too (structural validation is not lenient).
+        assert!(Circuit::parse("REPEAT 2 {\n X_ERROR(1.5) 0\n}\n").is_err());
     }
 
     #[test]
@@ -572,6 +650,14 @@ mod tests {
         let text = c.to_string();
         let parsed = Circuit::parse(&text).unwrap();
         assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn nested_repeat_display_roundtrip() {
+        let text = "M 0\nREPEAT 2 {\n    H 0\n    REPEAT 3 {\n        M 0\n        DETECTOR rec[-1] rec[-2]\n    }\n    CX rec[-1] 1\n}\n";
+        let c = Circuit::parse(text).unwrap();
+        assert_eq!(c.to_string(), text);
+        assert_eq!(Circuit::parse(&c.to_string()).unwrap(), c);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Streaming traversal of structured circuits.
+//!
+//! [`FlatInstructions`] walks a circuit in flattened execution order
+//! without ever materializing `REPEAT` expansions: a `REPEAT 1000000 { … }`
+//! block is revisited by rewinding a cursor over its body slice, so the
+//! traversal costs O(maximum nesting depth) memory however deep the
+//! circuit runs. This is the iterator every engine (symbolic
+//! initialization, the shared single-shot driver, the Pauli-frame batch
+//! sampler, detector/observable resolution) traverses instead of indexing
+//! a flattened `Vec`.
+
+use crate::instruction::Instruction;
+
+/// Iterator over the flattened execution order of an instruction
+/// sequence, expanding [`Instruction::Repeat`] blocks lazily.
+///
+/// `Repeat` nodes themselves are never yielded — only the executable
+/// instructions of their bodies, once per iteration.
+///
+/// # Example
+///
+/// ```
+/// use symphase_circuit::Circuit;
+///
+/// let c = Circuit::parse("REPEAT 3 {\n H 0\n M 0\n}\n")?;
+/// assert_eq!(c.instructions().len(), 1); // structured: one REPEAT node
+/// assert_eq!(c.flat_instructions().count(), 6); // streamed: 3 × (H, M)
+/// # Ok::<(), symphase_circuit::ParseCircuitError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlatInstructions<'a> {
+    frames: Vec<Frame<'a>>,
+}
+
+#[derive(Clone, Debug)]
+struct Frame<'a> {
+    body: &'a [Instruction],
+    pos: usize,
+    /// Full passes over `body` still to run after the current one.
+    remaining: u64,
+}
+
+impl<'a> FlatInstructions<'a> {
+    /// Starts a traversal over `top` (the outermost instruction list).
+    pub(crate) fn new(top: &'a [Instruction]) -> Self {
+        Self {
+            frames: vec![Frame {
+                body: top,
+                pos: 0,
+                remaining: 0,
+            }],
+        }
+    }
+}
+
+impl<'a> Iterator for FlatInstructions<'a> {
+    type Item = &'a Instruction;
+
+    fn next(&mut self) -> Option<&'a Instruction> {
+        loop {
+            let frame = self.frames.last_mut()?;
+            if frame.pos == frame.body.len() {
+                if frame.remaining > 0 {
+                    frame.remaining -= 1;
+                    frame.pos = 0;
+                } else {
+                    self.frames.pop();
+                }
+                continue;
+            }
+            let inst = &frame.body[frame.pos];
+            frame.pos += 1;
+            if let Instruction::Repeat { count, body } = inst {
+                // Empty bodies are skipped outright so a huge trip count
+                // over nothing costs nothing.
+                if *count > 0 && !body.instructions().is_empty() {
+                    self.frames.push(Frame {
+                        body: body.instructions(),
+                        pos: 0,
+                        remaining: *count - 1,
+                    });
+                }
+                continue;
+            }
+            return Some(inst);
+        }
+    }
+}
+
+impl std::iter::FusedIterator for FlatInstructions<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Circuit, Instruction};
+
+    #[test]
+    fn streams_nested_repeats_in_order() {
+        let c = Circuit::parse("X 0\nREPEAT 2 {\n Y 0\n REPEAT 3 {\n Z 0\n }\n}\nX 0\n").unwrap();
+        let names: Vec<String> = c.flat_instructions().map(|i| i.to_string()).collect();
+        let expect = [
+            "X 0", "Y 0", "Z 0", "Z 0", "Z 0", "Y 0", "Z 0", "Z 0", "Z 0", "X 0",
+        ];
+        assert_eq!(names, expect);
+    }
+
+    #[test]
+    fn empty_body_with_huge_count_streams_nothing() {
+        let c = Circuit::parse("REPEAT 1000000000000 {\n}\nH 0\n").unwrap();
+        let flat: Vec<&Instruction> = c.flat_instructions().collect();
+        assert_eq!(flat.len(), 1);
+        assert_eq!(flat[0].to_string(), "H 0");
+    }
+
+    #[test]
+    fn memory_stays_proportional_to_nesting_depth() {
+        // A million-iteration block streams through a two-frame cursor; if
+        // anything materialized the expansion this would blow up.
+        let c = Circuit::parse("REPEAT 1000000 {\n H 0\n}\n").unwrap();
+        assert_eq!(c.flat_instructions().count(), 1_000_000);
+    }
+}

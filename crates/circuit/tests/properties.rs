@@ -1,28 +1,58 @@
 //! Property tests for the circuit IR and text format.
 
 use proptest::prelude::*;
+use proptest::{BoxedStrategy, Union};
 
-use symphase_circuit::{Circuit, Gate, Instruction, NoiseChannel, PauliKind, SmallPauli};
+use symphase_circuit::{Block, Circuit, Gate, Instruction, NoiseChannel, PauliKind, SmallPauli};
 
-/// Strategy producing an arbitrary valid circuit.
+/// Strategy producing an arbitrary valid circuit, including nested
+/// `REPEAT` blocks whose lookbacks may cross iteration boundaries.
 fn circuit_strategy() -> impl Strategy<Value = Circuit> {
     let qubits = 2u32..8;
-    qubits.prop_flat_map(|n| {
-        let step = prop_oneof![
-            // Single-qubit gate
-            (0usize..11, 0..n).prop_map(|(g, q)| StepSpec::Gate1(g, q)),
-            // Two-qubit gate
-            (0usize..4, 0..n, 1..n).prop_map(|(g, a, off)| StepSpec::Gate2(g, a, off)),
-            // Noise
-            (0usize..4, 0..n, 0.0f64..=1.0).prop_map(|(k, q, p)| StepSpec::Noise(k, q, p)),
-            (0..n).prop_map(StepSpec::Measure),
-            (0..n).prop_map(StepSpec::Reset),
-            (0..n).prop_map(StepSpec::MeasureReset),
-            (0..n).prop_map(StepSpec::Feedback),
-            Just(StepSpec::Tick),
-        ];
-        proptest::collection::vec(step, 0..40).prop_map(move |steps| build(n, &steps))
-    })
+    qubits.prop_flat_map(|n| steps_strategy(n, 2).prop_map(move |steps| build(n, &steps)))
+}
+
+/// Recursive step strategy: `depth` limits `REPEAT` nesting.
+fn steps_strategy(n: u32, depth: usize) -> BoxedStrategy<Vec<StepSpec>> {
+    let mut arms: Vec<BoxedStrategy<StepSpec>> = vec![
+        // Single-qubit gate
+        (0usize..11, 0..n)
+            .prop_map(|(g, q)| StepSpec::Gate1(g, q))
+            .boxed(),
+        // Two-qubit gate
+        (0usize..4, 0..n, 1..n)
+            .prop_map(|(g, a, off)| StepSpec::Gate2(g, a, off))
+            .boxed(),
+        // Single-qubit noise, all channels (probability formatting is part
+        // of the round-trip surface).
+        (0usize..5, 0..n, 0.0f64..=1.0)
+            .prop_map(|(k, q, p)| StepSpec::Noise(k, q, p))
+            .boxed(),
+        // Two-qubit depolarizing over a distinct pair.
+        (0..n, 1..n, 0.0f64..=1.0)
+            .prop_map(|(a, off, p)| StepSpec::Noise2(a, off, p))
+            .boxed(),
+        (0..n).prop_map(StepSpec::Measure).boxed(),
+        (0..n).prop_map(StepSpec::Reset).boxed(),
+        (0..n).prop_map(StepSpec::MeasureReset).boxed(),
+        // Feedback and detectors reach up to two outcomes back, which
+        // inside a REPEAT body can cross into the previous iteration.
+        (0..n, 1usize..3)
+            .prop_map(|(q, d)| StepSpec::Feedback(q, d))
+            .boxed(),
+        (1usize..3).prop_map(StepSpec::DetectorPair).boxed(),
+        Just(StepSpec::Observable).boxed(),
+        Just(StepSpec::Tick).boxed(),
+    ];
+    if depth > 0 {
+        let inner = steps_strategy(n, depth - 1);
+        arms.push(
+            (1u64..4, inner)
+                .prop_map(|(count, body)| StepSpec::Repeat(count, body))
+                .boxed(),
+        );
+    }
+    proptest::collection::vec(Union(arms), 0..20).boxed()
 }
 
 #[derive(Clone, Debug)]
@@ -30,11 +60,18 @@ enum StepSpec {
     Gate1(usize, u32),
     Gate2(usize, u32, u32),
     Noise(usize, u32, f64),
+    Noise2(u32, u32, f64),
     Measure(u32),
     Reset(u32),
     MeasureReset(u32),
-    Feedback(u32),
+    /// Feedback on qubit, with the given lookback depth (clamped to the
+    /// available record).
+    Feedback(u32, usize),
+    /// `DETECTOR rec[-1] … rec[-d]` (clamped to the available record).
+    DetectorPair(usize),
+    Observable,
     Tick,
+    Repeat(u64, Vec<StepSpec>),
 }
 
 const G1: [Gate; 11] = [
@@ -52,53 +89,124 @@ const G1: [Gate; 11] = [
 ];
 const G2: [Gate; 4] = [Gate::Cx, Gate::Cy, Gate::Cz, Gate::Swap];
 
-fn build(n: u32, steps: &[StepSpec]) -> Circuit {
-    let mut c = Circuit::new(n);
-    let mut measured = 0usize;
+/// Lowers step specs to instructions. `available` tracks the record
+/// length at the current point of the *first* execution of this sequence
+/// (entering a `REPEAT` body: the record before the block), which is
+/// exactly the reach every lookback must stay within for validity.
+fn lower(n: u32, steps: &[StepSpec], available: &mut usize) -> Vec<Instruction> {
+    let mut out = Vec::new();
     for s in steps {
-        match *s {
-            StepSpec::Gate1(g, q) => {
-                c.gate(G1[g], &[q]);
-            }
+        match s {
+            StepSpec::Gate1(g, q) => out.push(Instruction::Gate {
+                gate: G1[*g],
+                targets: vec![*q],
+            }),
             StepSpec::Gate2(g, a, off) => {
                 let b = (a + off) % n;
-                if a != b {
-                    c.gate(G2[g], &[a, b]);
+                if *a != b {
+                    out.push(Instruction::Gate {
+                        gate: G2[*g],
+                        targets: vec![*a, b],
+                    });
                 }
             }
             StepSpec::Noise(k, q, p) => {
                 let ch = match k {
-                    0 => NoiseChannel::XError(p),
-                    1 => NoiseChannel::YError(p),
-                    2 => NoiseChannel::ZError(p),
-                    _ => NoiseChannel::Depolarize1(p),
+                    0 => NoiseChannel::XError(*p),
+                    1 => NoiseChannel::YError(*p),
+                    2 => NoiseChannel::ZError(*p),
+                    3 => NoiseChannel::Depolarize1(*p),
+                    _ => NoiseChannel::PauliChannel1 {
+                        px: p * 0.25,
+                        py: p * 0.5,
+                        pz: p * 0.25,
+                    },
                 };
-                c.noise(ch, &[q]);
+                out.push(Instruction::Noise {
+                    channel: ch,
+                    targets: vec![*q],
+                });
             }
-            StepSpec::Measure(q) => {
-                c.measure(q);
-                measured += 1;
-            }
-            StepSpec::Reset(q) => {
-                c.reset(q);
-            }
-            StepSpec::MeasureReset(q) => {
-                c.measure_reset(q);
-                measured += 1;
-            }
-            StepSpec::Feedback(q) => {
-                if measured > 0 {
-                    c.feedback(PauliKind::Z, -1, q);
+            StepSpec::Noise2(a, off, p) => {
+                let b = (a + off) % n;
+                if *a != b {
+                    out.push(Instruction::Noise {
+                        channel: NoiseChannel::Depolarize2(*p),
+                        targets: vec![*a, b],
+                    });
                 }
             }
-            StepSpec::Tick => {
-                c.tick();
+            StepSpec::Measure(q) => {
+                out.push(Instruction::Measure { targets: vec![*q] });
+                *available += 1;
+            }
+            StepSpec::Reset(q) => out.push(Instruction::Reset { targets: vec![*q] }),
+            StepSpec::MeasureReset(q) => {
+                out.push(Instruction::MeasureReset { targets: vec![*q] });
+                *available += 1;
+            }
+            StepSpec::Feedback(q, depth) => {
+                let d = (*depth).min(*available);
+                if d > 0 {
+                    out.push(Instruction::Feedback {
+                        pauli: PauliKind::Z,
+                        lookback: -(d as i64),
+                        target: *q,
+                    });
+                }
+            }
+            StepSpec::DetectorPair(depth) => {
+                let d = (*depth).min(*available);
+                if d > 0 {
+                    out.push(Instruction::Detector {
+                        lookbacks: (1..=d as i64).map(|k| -k).collect(),
+                    });
+                }
+            }
+            StepSpec::Observable => {
+                if *available > 0 {
+                    out.push(Instruction::ObservableInclude {
+                        index: 0,
+                        lookbacks: vec![-1],
+                    });
+                }
+            }
+            StepSpec::Tick => out.push(Instruction::Tick),
+            StepSpec::Repeat(count, body_steps) => {
+                let before = *available;
+                let body_insts = lower(n, body_steps, available);
+                let per_iteration = *available - before;
+                if body_insts.is_empty() {
+                    continue;
+                }
+                let mut block = Block::new();
+                for inst in body_insts {
+                    block.push(inst);
+                }
+                out.push(Instruction::Repeat {
+                    count: *count,
+                    body: Box::new(block),
+                });
+                // Later iterations extend the record too.
+                *available = before + per_iteration * (*count as usize);
             }
         }
     }
-    if measured > 0 {
+    out
+}
+
+fn build(n: u32, steps: &[StepSpec]) -> Circuit {
+    let mut c = Circuit::new(n);
+    let mut available = 0usize;
+    for inst in lower(n, steps, &mut available) {
+        c.push(inst);
+    }
+    if available > 0 {
         c.detector(&[-1]);
         c.observable_include(0, &[-1]);
+    } else {
+        // Keep the strategy's post-filter simple: always measure once.
+        c.measure(0);
     }
     c
 }
@@ -106,10 +214,11 @@ fn build(n: u32, steps: &[StepSpec]) -> Circuit {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// The text format round-trips every circuit: instructions and stats
-    /// are preserved exactly. (The qubit *count* is implied by usage, as in
-    /// Stim, so qubits never referenced by any instruction are not
-    /// round-tripped.)
+    /// The text format round-trips every circuit **structurally**:
+    /// `REPEAT` blocks, instructions, and stats are preserved exactly —
+    /// not merely the flattened semantics. (The qubit *count* is implied
+    /// by usage, as in Stim, so qubits never referenced by any
+    /// instruction are not round-tripped.)
     #[test]
     fn text_roundtrip(c in circuit_strategy()) {
         let text = c.to_string();
@@ -117,33 +226,65 @@ proptest! {
         prop_assert_eq!(parsed.instructions(), c.instructions());
         prop_assert_eq!(parsed.stats(), c.stats());
         prop_assert!(parsed.num_qubits() <= c.num_qubits());
+        // A second round trip is the identity on the text itself.
+        prop_assert_eq!(parsed.to_string(), text);
     }
 
-    /// Stats recomputed from scratch match the incrementally tracked ones.
+    /// Stats computed from structure match a recount over the streaming
+    /// flattened traversal (`REPEAT` bodies counted once per iteration).
     #[test]
-    fn stats_match_recount(c in circuit_strategy()) {
+    fn stats_match_streamed_recount(c in circuit_strategy()) {
         let s = c.stats();
         let mut gates = 0;
         let mut meas = 0;
+        let mut resets = 0;
         let mut sites = 0;
         let mut syms = 0;
-        for inst in c.instructions() {
+        let mut detectors = 0;
+        let mut feedback = 0;
+        for inst in c.flat_instructions() {
             match inst {
                 Instruction::Gate { gate, targets } => gates += targets.len() / gate.arity(),
                 Instruction::Measure { targets } => meas += targets.len(),
-                Instruction::MeasureReset { targets } => meas += targets.len(),
+                Instruction::MeasureReset { targets } => {
+                    meas += targets.len();
+                    resets += targets.len();
+                }
+                Instruction::Reset { targets } => resets += targets.len(),
                 Instruction::Noise { channel, targets } => {
                     let k = targets.len() / channel.arity();
                     sites += k;
                     syms += k * channel.symbols_per_application();
                 }
-                _ => {}
+                Instruction::Detector { .. } => detectors += 1,
+                Instruction::Feedback { .. } => feedback += 1,
+                Instruction::ObservableInclude { .. } | Instruction::Tick => {}
+                Instruction::Repeat { .. } => panic!("flat traversal yielded a REPEAT"),
             }
         }
         prop_assert_eq!(s.gates, gates);
         prop_assert_eq!(s.measurements, meas);
+        prop_assert_eq!(s.resets, resets);
         prop_assert_eq!(s.noise_sites, sites);
         prop_assert_eq!(s.noise_symbols, syms);
+        prop_assert_eq!(s.detectors, detectors);
+        prop_assert_eq!(s.feedback_ops, feedback);
+    }
+
+    /// Materializing the streaming traversal is semantically faithful:
+    /// the flattened circuit validates, has identical stats, and streams
+    /// the same instruction sequence.
+    #[test]
+    fn flattened_is_valid_and_equivalent(c in circuit_strategy()) {
+        let flat = c.flattened();
+        prop_assert_eq!(flat.stats(), c.stats());
+        prop_assert!(flat
+            .instructions()
+            .iter()
+            .all(|i| !matches!(i, Instruction::Repeat { .. })));
+        let a: Vec<&Instruction> = c.flat_instructions().collect();
+        let b: Vec<&Instruction> = flat.instructions().iter().collect();
+        prop_assert_eq!(a, b);
     }
 
     /// Conjugation by any gate is a group automorphism on arbitrary

@@ -22,6 +22,14 @@ pub(crate) struct InitResult {
 }
 
 /// Runs Initialization with the chosen symbolic phase store.
+///
+/// The circuit is traversed through the streaming
+/// [`Circuit::flat_instructions`] iterator, so structured `REPEAT` blocks
+/// execute without ever being materialized: a `REPEAT 1000000 { … }` round
+/// costs O(body) memory on top of the tableau and the per-measurement
+/// expressions. Record lookbacks (feedback) resolve dynamically against
+/// the record built so far, which inside a repeat body means the previous
+/// iteration when the lookback reaches past the current one.
 pub(crate) fn initialize<S: SymbolicPhases>(circuit: &Circuit) -> InitResult {
     let n = circuit.num_qubits() as usize;
     let mut tab: Tableau<S> = Tableau::new(n);
@@ -30,9 +38,13 @@ pub(crate) fn initialize<S: SymbolicPhases>(circuit: &Circuit) -> InitResult {
     tab.phases_mut().set_symbol_tracking_floor(n);
     let mut table = SymbolTable::new();
     let mut measurements: Vec<SymExpr> = Vec::with_capacity(circuit.num_measurements());
+    // One shared fault-mask scratch row for the whole traversal: every
+    // path that conjugates a (symbolic or expression-controlled) Pauli —
+    // noise channels, the reset half of R/MR, and feedback — fills and
+    // reuses this single buffer.
     let mut mask = vec![0u64; tab.words_per_col()];
 
-    for inst in circuit.instructions() {
+    for inst in circuit.flat_instructions() {
         match inst {
             Instruction::Gate { gate, targets } => tab.apply_gate(*gate, targets),
             Instruction::Noise { channel, targets } => {
@@ -40,19 +52,19 @@ pub(crate) fn initialize<S: SymbolicPhases>(circuit: &Circuit) -> InitResult {
             }
             Instruction::Measure { targets } => {
                 for &q in targets {
-                    let e = measure_symbolic(&mut tab, &mut table, &mut mask, q as usize);
+                    let e = measure_symbolic(&mut tab, &mut table, q as usize);
                     measurements.push(e);
                 }
             }
             Instruction::Reset { targets } => {
                 for &q in targets {
-                    let e = measure_symbolic(&mut tab, &mut table, &mut mask, q as usize);
+                    let e = measure_symbolic(&mut tab, &mut table, q as usize);
                     apply_expr_fault(&mut tab, &mut mask, PauliKind::X, q as usize, &e);
                 }
             }
             Instruction::MeasureReset { targets } => {
                 for &q in targets {
-                    let e = measure_symbolic(&mut tab, &mut table, &mut mask, q as usize);
+                    let e = measure_symbolic(&mut tab, &mut table, q as usize);
                     apply_expr_fault(&mut tab, &mut mask, PauliKind::X, q as usize, &e);
                     measurements.push(e);
                 }
@@ -69,6 +81,9 @@ pub(crate) fn initialize<S: SymbolicPhases>(circuit: &Circuit) -> InitResult {
             Instruction::Detector { .. }
             | Instruction::ObservableInclude { .. }
             | Instruction::Tick => {}
+            Instruction::Repeat { .. } => {
+                unreachable!("flat_instructions expands REPEAT blocks")
+            }
         }
     }
 
@@ -200,7 +215,6 @@ fn apply_expr_fault<S: SymbolicPhases>(
 fn measure_symbolic<S: SymbolicPhases>(
     tab: &mut Tableau<S>,
     table: &mut SymbolTable,
-    _mask: &mut [u64],
     q: usize,
 ) -> SymExpr {
     match tab.collapse_z(q) {

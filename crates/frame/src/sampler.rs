@@ -73,7 +73,7 @@ impl FrameSampler {
         let mut frame = FrameBatch::new(n, shots, rng);
         let mut measured = 0usize;
 
-        for inst in self.circuit.instructions() {
+        for inst in self.circuit.flat_instructions() {
             match inst {
                 Instruction::Gate { gate, targets } => frame.apply_gate(*gate, targets),
                 Instruction::Measure { targets } => {
@@ -116,6 +116,9 @@ impl FrameSampler {
                 Instruction::Detector { .. }
                 | Instruction::ObservableInclude { .. }
                 | Instruction::Tick => {}
+                Instruction::Repeat { .. } => {
+                    unreachable!("flat_instructions expands REPEAT blocks")
+                }
             }
         }
     }

@@ -591,4 +591,21 @@ mod tests {
         let c = Circuit::new(30);
         StateVecSimulator::new(rng(0)).run(&c);
     }
+
+    #[test]
+    fn structured_repeat_streams_through_the_driver() {
+        // Feedback inside the REPEAT body reaches the previous
+        // iteration's measurement: iteration 1 reads the pre-block
+        // outcome (1 → flip qubit 1 to |1⟩), iteration 2 reads iteration
+        // 1's outcome (1 → flip back to |0⟩), and every later iteration
+        // reads 0 and leaves it there.
+        let c = Circuit::parse("X 0\nM 0\nREPEAT 5 {\n CX rec[-1] 1\n M 1\n}\n").unwrap();
+        let expect = [true, true, false, false, false, false];
+        for seed in 0..4 {
+            let rec = StateVecSimulator::new(rng(seed)).run(&c);
+            for (m, &want) in expect.iter().enumerate() {
+                assert_eq!(rec.get(m), want, "outcome {m}");
+            }
+        }
+    }
 }

@@ -346,4 +346,19 @@ mod tests {
         let b = s.sample_par(5000, 77);
         assert_eq!(a, b);
     }
+
+    #[test]
+    fn structured_repeat_matches_flattened_trajectories() {
+        // The tableau engine streams REPEAT blocks through the shared
+        // driver; for equal seeds the trajectory must be bit-identical to
+        // running the materialized flattening.
+        let text = "R 0 1\nH 0\nM 0\nREPEAT 8 {\n CX rec[-1] 1\n DEPOLARIZE1(0.3) 0\n MR 1\n DETECTOR rec[-1] rec[-2]\n}\n";
+        let structured = Circuit::parse(text).unwrap();
+        let flat = structured.flattened();
+        for seed in 0..8 {
+            let a = TableauSimulator::new(2, rng(seed)).run(&structured);
+            let b = TableauSimulator::new(2, rng(seed)).run(&flat);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
 }

@@ -6,9 +6,17 @@
 //! symphase sample    -c circuit.stim --shots 1000 [--format 01|counts] [--seed N] [--engine E] [--sampling S] [--par]
 //! symphase detect    -c circuit.stim --shots 1000 [--seed N] [--engine E] [--sampling S] [--par]
 //! symphase analyze   -c circuit.stim
+//! symphase stats     -c circuit.stim
 //! symphase dem       -c circuit.stim
 //! symphase reference -c circuit.stim
+//! symphase gen surface-code --distance 3 --rounds 100000 [--data-error p] [--measure-error p]
 //! ```
+//!
+//! `stats` parses and prints structural statistics only — because
+//! `REPEAT` blocks are first-class IR nodes, this is O(file) even for a
+//! circuit whose flattened form would hold billions of instructions.
+//! `gen` emits the built-in QEC memory workloads (with structured
+//! `REPEAT` rounds) as circuit text.
 //!
 //! `--engine` selects any backend implementing the shared [`Sampler`]
 //! trait: `symphase` (default), `symphase-sparse`, `symphase-dense`,
@@ -67,8 +75,11 @@ commands:
   sample     sample measurement records        (--shots, --seed, --format, --engine, --par)
   detect     sample detectors and observables  (--shots, --seed, --engine, --par)
   analyze    print circuit statistics and symbolic measurement expressions
+  stats      print structural statistics only (O(file), REPEAT never expanded)
   dem        print the detector error model
   reference  print the noiseless reference sample
+  gen        emit a generated circuit: surface-code or repetition-code
+             (--distance, --rounds, --data-error, --measure-error)
 
 options:
   -c, --circuit <path>   circuit file in the Stim-like text format ('-' = stdin)
@@ -81,12 +92,19 @@ options:
                          hybrid, sparse, or dense (blocked kernel); all
                          strategies sample identical bits for equal seeds
       --par              sample across threads (deterministic per-chunk seeding)
+      --distance <d>     gen: code distance (default 3)
+      --rounds <r>       gen: stabilizer measurement rounds (default 3)
+      --data-error <p>   gen: per-round data noise strength (default 0.001)
+      --measure-error <p> gen: pre-measurement flip strength (default 0.001)
 ";
 
 /// Parsed command-line options.
 #[derive(Debug, Default)]
 struct Options {
     command: String,
+    /// Bare (non-flag) arguments after the command, e.g. the generator
+    /// name for `gen`.
+    positional: Vec<String>,
     circuit_path: Option<String>,
     shots: usize,
     seed: u64,
@@ -94,6 +112,10 @@ struct Options {
     engine: String,
     sampling: String,
     parallel: bool,
+    distance: usize,
+    rounds: usize,
+    data_error: f64,
+    measure_error: f64,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, CliError> {
@@ -102,6 +124,10 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         format: "01".into(),
         engine: "symphase".into(),
         sampling: "auto".into(),
+        distance: 3,
+        rounds: 3,
+        data_error: 0.001,
+        measure_error: 0.001,
         ..Options::default()
     };
     let mut it = args.iter();
@@ -128,11 +154,41 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--engine" => opts.engine = value("--engine")?,
             "--sampling" => opts.sampling = value("--sampling")?,
             "--par" => opts.parallel = true,
+            "--distance" => {
+                opts.distance = value("--distance")?
+                    .parse()
+                    .map_err(|_| fail("--distance must be an integer"))?;
+            }
+            "--rounds" => {
+                opts.rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|_| fail("--rounds must be an integer"))?;
+            }
+            "--data-error" => {
+                opts.data_error = value("--data-error")?
+                    .parse()
+                    .map_err(|_| fail("--data-error must be a probability"))?;
+            }
+            "--measure-error" => {
+                opts.measure_error = value("--measure-error")?
+                    .parse()
+                    .map_err(|_| fail("--measure-error must be a probability"))?;
+            }
             "-h" | "--help" => {
                 return Err(CliError {
                     message: USAGE.into(),
                     code: 0,
                 })
+            }
+            other if !other.starts_with('-') => {
+                // Only `gen` takes a bare argument (the generator name);
+                // anywhere else a bare token is a mistake (e.g. a value
+                // whose flag was dropped) and must not be swallowed.
+                if opts.command == "gen" && opts.positional.is_empty() {
+                    opts.positional.push(other.to_string());
+                } else {
+                    return Err(fail(format!("unexpected argument '{other}'\n{USAGE}")));
+                }
             }
             other => return Err(fail(format!("unknown option '{other}'\n{USAGE}"))),
         }
@@ -216,8 +272,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "sample" => cmd_sample(&opts),
         "detect" => cmd_detect(&opts),
         "analyze" => cmd_analyze(&opts),
+        "stats" => cmd_stats(&opts),
         "dem" => cmd_dem(&opts),
         "reference" => cmd_reference(&opts),
+        "gen" => cmd_gen(&opts),
         other => Err(fail(format!("unknown command '{other}'\n{USAGE}"))),
     }
 }
@@ -311,6 +369,92 @@ fn cmd_analyze(opts: &Options) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// `stats`: parse + structural statistics, no engine initialization.
+/// Because statistics are computed from the structured IR (`REPEAT`
+/// bodies contribute `count ×` their one-iteration counts), this is
+/// O(file) even when the flattened circuit would hold billions of
+/// instructions — exactly the workloads the old flatten-on-parse cap
+/// (50M instructions) used to reject.
+fn cmd_stats(opts: &Options) -> Result<String, CliError> {
+    let circuit = load_circuit(opts)?;
+    let stats = circuit.stats();
+    let mut out = String::new();
+    let _ = writeln!(out, "qubits:        {}", circuit.num_qubits());
+    let _ = writeln!(
+        out,
+        "instructions:  {} (structured)",
+        circuit.instructions().len()
+    );
+    let _ = writeln!(out, "gates:         {}", stats.gates);
+    let _ = writeln!(out, "measurements:  {}", stats.measurements);
+    let _ = writeln!(out, "resets:        {}", stats.resets);
+    let _ = writeln!(out, "noise sites:   {}", stats.noise_sites);
+    let _ = writeln!(out, "noise symbols: {}", stats.noise_symbols);
+    let _ = writeln!(out, "detectors:     {}", circuit.num_detectors());
+    let _ = writeln!(out, "observables:   {}", circuit.num_observables());
+    let _ = writeln!(out, "feedback ops:  {}", stats.feedback_ops);
+    let _ = writeln!(
+        out,
+        "mean noise p:  {:.6}",
+        circuit.mean_noise_probability()
+    );
+    Ok(out)
+}
+
+/// `gen`: emit a built-in QEC memory workload as circuit text (with
+/// structured `REPEAT` rounds, so the output file is O(one round)).
+fn cmd_gen(opts: &Options) -> Result<String, CliError> {
+    use symphase_circuit::generators::{
+        repetition_code_memory, surface_code_memory, RepetitionCodeConfig, SurfaceCodeConfig,
+    };
+    let name = opts
+        .positional
+        .first()
+        .ok_or_else(|| fail("gen needs a generator name: surface-code or repetition-code"))?;
+    if opts.rounds == 0 {
+        return Err(fail("--rounds must be at least 1"));
+    }
+    let prob = |flag: &str, p: f64| -> Result<f64, CliError> {
+        if (0.0..=1.0).contains(&p) {
+            Ok(p)
+        } else {
+            Err(fail(format!("{flag} must be in [0, 1], got {p}")))
+        }
+    };
+    let data_error = prob("--data-error", opts.data_error)?;
+    let measure_error = prob("--measure-error", opts.measure_error)?;
+    let circuit = match name.as_str() {
+        "surface-code" => {
+            if opts.distance < 3 || opts.distance.is_multiple_of(2) {
+                return Err(fail("--distance must be odd and at least 3"));
+            }
+            surface_code_memory(&SurfaceCodeConfig {
+                distance: opts.distance,
+                rounds: opts.rounds,
+                data_error,
+                measure_error,
+            })
+        }
+        "repetition-code" => {
+            if opts.distance < 2 {
+                return Err(fail("--distance must be at least 2"));
+            }
+            repetition_code_memory(&RepetitionCodeConfig {
+                distance: opts.distance,
+                rounds: opts.rounds,
+                data_error,
+                measure_error,
+            })
+        }
+        other => {
+            return Err(fail(format!(
+                "unknown generator '{other}' (expected surface-code or repetition-code)"
+            )))
+        }
+    };
+    Ok(circuit.to_string())
 }
 
 fn cmd_dem(opts: &Options) -> Result<String, CliError> {

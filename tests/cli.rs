@@ -153,6 +153,80 @@ fn seed_makes_sampling_reproducible() {
 }
 
 #[test]
+fn stats_reports_structural_counts_past_the_old_cap() {
+    // 6×10⁹ flattened gates: the old flatten-on-parse front-end refused
+    // anything past 50M materialized instructions; the structured parse
+    // computes the statistics from the REPEAT node in O(file).
+    let f = write_circuit("REPEAT 60000 {\n REPEAT 100000 {\n X 0\n }\n}\n");
+    let out = run(&args(&["stats", "-c", f.as_str()])).expect("runs");
+    assert!(out.contains("gates:         6000000000"), "{out}");
+    assert!(out.contains("instructions:  1 (structured)"), "{out}");
+}
+
+#[test]
+fn gen_emits_structured_rounds_that_roundtrip() {
+    let out = run(&args(&[
+        "gen",
+        "surface-code",
+        "--distance",
+        "3",
+        "--rounds",
+        "50",
+    ]))
+    .expect("runs");
+    assert!(out.contains("REPEAT 49 {"), "{out}");
+    // The emitted text parses back and reports structural counts.
+    let f = write_circuit(&out);
+    let stats = run(&args(&["stats", "-c", f.as_str()])).expect("runs");
+    assert!(stats.contains("measurements:  409"), "{stats}"); // 8×50 + 9
+                                                              // …and samples end to end through the default engine.
+    let detect = run(&args(&["detect", "-c", f.as_str(), "--shots", "4"])).expect("runs");
+    assert_eq!(detect.lines().count(), 4);
+}
+
+#[test]
+fn gen_repetition_code_and_bad_names() {
+    let out = run(&args(&["gen", "repetition-code", "--rounds", "10"])).expect("runs");
+    assert!(out.contains("REPEAT 9 {"), "{out}");
+    assert!(run(&args(&["gen"])).is_err(), "missing generator name");
+    assert!(run(&args(&["gen", "bogus"])).is_err(), "unknown generator");
+    assert!(
+        run(&args(&["gen", "surface-code", "--distance", "4"])).is_err(),
+        "even distance"
+    );
+}
+
+#[test]
+fn gen_rejects_bad_probabilities_and_zero_rounds() {
+    let e = run(&args(&["gen", "surface-code", "--data-error", "1.5"])).unwrap_err();
+    assert!(e.message.contains("[0, 1]"), "{}", e.message);
+    let e = run(&args(&[
+        "gen",
+        "repetition-code",
+        "--measure-error",
+        "-0.1",
+    ]))
+    .unwrap_err();
+    assert!(e.message.contains("[0, 1]"), "{}", e.message);
+    let e = run(&args(&["gen", "surface-code", "--rounds", "0"])).unwrap_err();
+    assert!(e.message.contains("at least 1"), "{}", e.message);
+}
+
+#[test]
+fn bare_arguments_outside_gen_are_rejected() {
+    // A dropped flag name must not be silently swallowed.
+    let f = write_circuit("X 0\nM 0\n");
+    let e = run(&args(&["sample", "-c", f.as_str(), "100"])).unwrap_err();
+    assert!(
+        e.message.contains("unexpected argument '100'"),
+        "{}",
+        e.message
+    );
+    // gen takes exactly one bare argument.
+    assert!(run(&args(&["gen", "surface-code", "extra"])).is_err());
+}
+
+#[test]
 fn errors_are_reported() {
     assert!(run(&args(&["sample"])).is_err(), "missing circuit");
     assert!(run(&args(&["bogus"])).is_err(), "unknown command");
