@@ -1,0 +1,609 @@
+//! Simulation configuration: engine selection, per-engine knobs, and the
+//! fallible construction contract.
+//!
+//! This module is the data half of the sampler-construction API. A
+//! [`SimConfig`] names an engine ([`EngineKind`]) plus every tuning knob
+//! the workspace exposes — symbolic phase store ([`PhaseRepr`]), `M · B`
+//! multiplication strategy ([`SamplingMethod`]), RNG seed, thread budget,
+//! and streaming chunk width — and validates the combination up front,
+//! reporting problems as a [`BuildError`] instead of panicking deep inside
+//! an engine. The construction half, `symphase::backend::build_sampler`,
+//! lives in the facade crate (it must link every engine); everything a
+//! caller writes *before* touching a circuit is here.
+
+use symphase_circuit::Circuit;
+
+use crate::CHUNK_SHOTS;
+
+/// Which symbolic phase store Initialization uses (paper Eq. (3) dense
+/// bit-matrix vs sparse rows; ablation A2 in DESIGN.md).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PhaseRepr {
+    /// Choose per circuit (the paper's conclusion suggests "dynamically
+    /// determining the layout based on the type/pattern of the circuit"):
+    /// heavily-interacting noisy circuits mix phases until sparse rows
+    /// degenerate, so pick [`PhaseRepr::Dense`] when the expected symbol
+    /// density is high and [`PhaseRepr::Sparse`] otherwise.
+    #[default]
+    Auto,
+    /// Sorted symbol lists per tableau row (best for QEC-style circuits,
+    /// where each generator carries few symbols).
+    Sparse,
+    /// Packed coefficient bit-rows (the paper's dense picture; best for
+    /// dense random circuits with pervasive noise).
+    Dense,
+}
+
+impl PhaseRepr {
+    /// Resolves `Auto` against a circuit's statistics.
+    ///
+    /// Heuristic: the sparse store wins while expressions stay short. Long
+    /// expressions come from deep mixing of *noise* symbols: every random
+    /// measurement contributes exactly one coin, so coins cannot tell
+    /// circuits apart and are excluded from the ratio. The crossover is
+    /// pinned at 8 noise symbols per measurement — a noiseless circuit
+    /// scores 0 and always takes the sparse store, however many
+    /// measurements it records. (`tests/phase_repr.rs` pins the crossover
+    /// on representative circuits.)
+    pub fn resolve(self, circuit: &Circuit) -> PhaseRepr {
+        match self {
+            PhaseRepr::Auto => {
+                let s = circuit.stats();
+                let per_meas = s.noise_symbols as f64 / s.measurements.max(1) as f64;
+                if per_meas > 8.0 {
+                    PhaseRepr::Dense
+                } else {
+                    PhaseRepr::Sparse
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseRepr::Auto => "auto",
+            PhaseRepr::Sparse => "sparse",
+            PhaseRepr::Dense => "dense",
+        }
+    }
+}
+
+/// How the Sampling step multiplies `M · B` (ablation A1 in DESIGN.md).
+///
+/// Every strategy consumes the RNG stream identically (they all draw the
+/// same assignment matrix `B`, group by group), so for a fixed seed all
+/// methods — including the one [`SamplingMethod::Auto`] picks — produce
+/// **bit-identical** samples; only the kernel computing `M · B` differs.
+/// `tests/sampling_methods.rs` pins this equality.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SamplingMethod {
+    /// Choose per circuit (mirroring [`PhaseRepr::Auto`]): dense
+    /// measurement rows — determined outcomes downstream of noise and
+    /// entanglement — promote to the blocked
+    /// [`SamplingMethod::DenseMatMul`] kernel; at realistic (small) fault
+    /// rates the event-driven [`SamplingMethod::Hybrid`] wins; in
+    /// between, [`SamplingMethod::SparseRows`]. See
+    /// [`SamplingMethod::resolve`] for the statistics-only rule and
+    /// `SymPhaseSampler::resolved_method` (in `symphase-core`) for the
+    /// matrix-informed refinement.
+    #[default]
+    Auto,
+    /// Coins (fair measurement randomness) are multiplied densely — they
+    /// fire every shot — while fault symbols are handled *event-wise*:
+    /// for each fired noise site the affected measurement bits are flipped
+    /// through a symbol → measurements index. For realistic fault rates
+    /// almost no sites fire, so the noise cost is proportional to the
+    /// number of actual fault events, the strongest form of the paper's
+    /// column-sparsity argument (Table 1's `O(n_smp · n_m)` sparse case).
+    Hybrid,
+    /// Per-measurement XOR of the symbol shot-rows selected by the sparse
+    /// measurement row — the paper's "sparse implementation of matrix
+    /// multiplication" (§5).
+    SparseRows,
+    /// Dense F₂ matrix product against the densified measurement matrix,
+    /// computed with the blocked Four-Russians kernel
+    /// ([`symphase_bitmat::m4r`]): 8-bit Gray-code XOR tables over row
+    /// groups, tiled over the shot dimension, with scratch buffers reused
+    /// across shot batches.
+    DenseMatMul,
+}
+
+impl SamplingMethod {
+    /// Resolves `Auto` against a circuit's pre-initialization statistics;
+    /// fixed methods resolve to themselves.
+    ///
+    /// From counts alone only the event-rate side is observable: if the
+    /// mean noise fire probability is at most `1/64`, fault sites fire
+    /// less than once per packed word of shots, so flipping individual
+    /// bits per event ([`SamplingMethod::Hybrid`]) beats XORing whole
+    /// shot-rows; otherwise [`SamplingMethod::SparseRows`].
+    ///
+    /// The *density* side — promoting to the blocked
+    /// [`SamplingMethod::DenseMatMul`] when measurement rows carry more
+    /// set bits than the kernel has column groups — needs the measurement
+    /// matrix itself, which only exists after Initialization; the SymPhase
+    /// sampler applies that refinement itself. (Deep *random* circuits do
+    /// not densify `M`: random outcomes are fresh coins, so fault symbols
+    /// stay out of their rows. Density comes from *determined*
+    /// measurements downstream of noise and entanglement — see
+    /// `noisy_ghz_chain`.)
+    pub fn resolve(self, circuit: &Circuit) -> SamplingMethod {
+        match self {
+            SamplingMethod::Auto => {
+                if circuit.mean_noise_probability() <= 1.0 / 64.0 {
+                    SamplingMethod::Hybrid
+                } else {
+                    SamplingMethod::SparseRows
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// CLI name (`--sampling` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplingMethod::Auto => "auto",
+            SamplingMethod::Hybrid => "hybrid",
+            SamplingMethod::SparseRows => "sparse",
+            SamplingMethod::DenseMatMul => "dense",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<SamplingMethod> {
+        Self::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// Every method, in documentation order.
+    pub const ALL: [SamplingMethod; 4] = [
+        SamplingMethod::Auto,
+        SamplingMethod::Hybrid,
+        SamplingMethod::SparseRows,
+        SamplingMethod::DenseMatMul,
+    ];
+}
+
+/// The selectable simulation engines.
+///
+/// This is pure selection data — names, parsing, capability flags. The
+/// factory turning an `EngineKind` into a live `Box<dyn Sampler>` is
+/// `symphase::backend::build_sampler` in the facade crate, which is the
+/// only layer that links every engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// SymPhase (Algorithm 1) honoring the configured [`PhaseRepr`]
+    /// (`Auto` picks the store per circuit).
+    SymPhase,
+    /// SymPhase pinned to the sparse phase store.
+    SymPhaseSparse,
+    /// SymPhase pinned to the dense phase store.
+    SymPhaseDense,
+    /// Stim-style Pauli-frame batch propagation.
+    Frame,
+    /// Per-shot concrete Aaronson–Gottesman tableau trajectories.
+    Tableau,
+    /// Per-shot dense state-vector trajectories (small circuits only).
+    StateVec,
+}
+
+impl EngineKind {
+    /// Every engine, in documentation order.
+    pub const ALL: [EngineKind; 6] = [
+        EngineKind::SymPhase,
+        EngineKind::SymPhaseSparse,
+        EngineKind::SymPhaseDense,
+        EngineKind::Frame,
+        EngineKind::Tableau,
+        EngineKind::StateVec,
+    ];
+
+    /// The CLI name (`--engine` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::SymPhase => "symphase",
+            EngineKind::SymPhaseSparse => "symphase-sparse",
+            EngineKind::SymPhaseDense => "symphase-dense",
+            EngineKind::Frame => "frame",
+            EngineKind::Tableau => "tableau",
+            EngineKind::StateVec => "statevec",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<EngineKind> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Whether this is one of the SymPhase variants (the engines that
+    /// honor a [`PhaseRepr`] / [`SamplingMethod`] choice — only they
+    /// multiply a measurement matrix).
+    pub fn is_symphase(self) -> bool {
+        matches!(
+            self,
+            EngineKind::SymPhase | EngineKind::SymPhaseSparse | EngineKind::SymPhaseDense
+        )
+    }
+}
+
+/// Everything needed to build and drive a sampler, with validation up
+/// front: engine, phase store, sampling method, seed, thread budget, and
+/// streaming chunk width.
+///
+/// `SimConfig` is a by-value builder — start from [`SimConfig::new`] (or
+/// `Default`) and chain `with_*` setters:
+///
+/// ```
+/// use symphase_backend::{EngineKind, SamplingMethod, SimConfig};
+///
+/// let cfg = SimConfig::new()
+///     .with_engine(EngineKind::SymPhase)
+///     .with_sampling(SamplingMethod::Hybrid)
+///     .with_seed(42)
+///     .with_threads(4);
+/// assert!(cfg.validate().is_ok());
+/// ```
+///
+/// Validation ([`SimConfig::validate`]) rejects contradictory requests —
+/// a sampling method on an engine without a measurement matrix, a phase
+/// store conflicting with a pinned engine variant, a chunk width that
+/// breaks word alignment — as typed [`BuildError`]s. The factory
+/// (`symphase::backend::build_sampler`) validates again, so a config that
+/// skipped `validate` still cannot build a broken sampler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimConfig {
+    engine: EngineKind,
+    phase_repr: PhaseRepr,
+    sampling: SamplingMethod,
+    seed: u64,
+    threads: usize,
+    chunk_shots: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineKind::SymPhase,
+            phase_repr: PhaseRepr::Auto,
+            sampling: SamplingMethod::Auto,
+            seed: 0,
+            threads: 1,
+            chunk_shots: CHUNK_SHOTS,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The default configuration: the `symphase` engine with automatic
+    /// phase store and sampling method, seed 0, serial sampling, and the
+    /// standard [`CHUNK_SHOTS`] chunk width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the engine by CLI name, failing with
+    /// [`BuildError::UnknownEngine`] on an unrecognized name.
+    pub fn with_engine_name(self, name: &str) -> Result<Self, BuildError> {
+        match EngineKind::from_name(name) {
+            Some(engine) => Ok(self.with_engine(engine)),
+            None => Err(BuildError::UnknownEngine { name: name.into() }),
+        }
+    }
+
+    /// Selects the symbolic phase store (SymPhase engines only).
+    pub fn with_phase_repr(mut self, repr: PhaseRepr) -> Self {
+        self.phase_repr = repr;
+        self
+    }
+
+    /// Selects the `M · B` multiplication strategy (SymPhase engines
+    /// only).
+    pub fn with_sampling(mut self, method: SamplingMethod) -> Self {
+        self.sampling = method;
+        self
+    }
+
+    /// Selects the sampling method by CLI name, failing with
+    /// [`BuildError::UnknownSamplingMethod`] on an unrecognized name.
+    pub fn with_sampling_name(self, name: &str) -> Result<Self, BuildError> {
+        match SamplingMethod::from_name(name) {
+            Some(method) => Ok(self.with_sampling(method)),
+            None => Err(BuildError::UnknownSamplingMethod { name: name.into() }),
+        }
+    }
+
+    /// Sets the RNG seed of the chunk-seeding schedule.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the thread budget: `1` samples serially, `0` means "use every
+    /// available core", anything else caps the fan-out. Whatever the
+    /// budget, outputs stay bit-identical for equal seeds.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the streaming chunk width in shots. Must be a nonzero
+    /// multiple of 64 (chunk boundaries stay word-aligned in the
+    /// bit-packed output); violations surface as
+    /// [`BuildError::InvalidChunkShots`] from [`SimConfig::validate`].
+    ///
+    /// The width is honored by the config-driven streaming entry point
+    /// ([`crate::sink::stream_with_config`], which the CLI runs) and the
+    /// explicit-width `stream_seeded`/`stream_par` functions; the
+    /// `Sampler` trait shorthands (`sample_to`, `sample_seeded`, …) pin
+    /// the standard [`CHUNK_SHOTS`] width. Changing the chunk width
+    /// changes the chunk-seeding schedule, so outputs are only
+    /// comparable between runs using the same width.
+    pub fn with_chunk_shots(mut self, chunk_shots: usize) -> Self {
+        self.chunk_shots = chunk_shots;
+        self
+    }
+
+    /// The selected engine.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// The selected phase store.
+    pub fn phase_repr(&self) -> PhaseRepr {
+        self.phase_repr
+    }
+
+    /// The phase store the engine will actually be built with: the pinned
+    /// engine variants (`symphase-sparse`, `symphase-dense`) override the
+    /// configured store; plain `symphase` honors it.
+    pub fn effective_phase_repr(&self) -> PhaseRepr {
+        match self.engine {
+            EngineKind::SymPhaseSparse => PhaseRepr::Sparse,
+            EngineKind::SymPhaseDense => PhaseRepr::Dense,
+            _ => self.phase_repr,
+        }
+    }
+
+    /// The selected sampling method.
+    pub fn sampling(&self) -> SamplingMethod {
+        self.sampling
+    }
+
+    /// The chunk-schedule seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The raw thread budget (`0` = all available cores).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The streaming chunk width in shots.
+    pub fn chunk_shots(&self) -> usize {
+        self.chunk_shots
+    }
+
+    /// Checks the configuration for internal contradictions. This needs
+    /// no circuit, so callers (the CLI in particular) can reject bad
+    /// requests *before* any expensive work; circuit-dependent checks
+    /// (the state-vector qubit cap) happen in the factory.
+    pub fn validate(&self) -> Result<(), BuildError> {
+        if self.chunk_shots == 0 || !self.chunk_shots.is_multiple_of(64) {
+            return Err(BuildError::InvalidChunkShots {
+                got: self.chunk_shots,
+            });
+        }
+        if !self.engine.is_symphase() {
+            if self.sampling != SamplingMethod::Auto {
+                return Err(BuildError::SamplingMethodUnsupported {
+                    engine: self.engine.name(),
+                    method: self.sampling.name(),
+                });
+            }
+            if self.phase_repr != PhaseRepr::Auto {
+                return Err(BuildError::PhaseReprUnsupported {
+                    engine: self.engine.name(),
+                    repr: self.phase_repr.name(),
+                });
+            }
+        }
+        match (self.engine, self.phase_repr) {
+            (EngineKind::SymPhaseSparse, PhaseRepr::Dense)
+            | (EngineKind::SymPhaseDense, PhaseRepr::Sparse) => {
+                Err(BuildError::PhaseReprConflict {
+                    engine: self.engine.name(),
+                    repr: self.phase_repr.name(),
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Why a sampler could not be built from a [`SimConfig`] — the typed
+/// diagnostics that replace the panics and scattered ad-hoc validation of
+/// the pre-`SimConfig` constructor paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// `with_engine_name` saw a name that is not a known engine.
+    UnknownEngine {
+        /// The rejected name.
+        name: String,
+    },
+    /// `with_sampling_name` saw a name that is not a known method.
+    UnknownSamplingMethod {
+        /// The rejected name.
+        name: String,
+    },
+    /// The circuit exceeds the engine's size limit (the dense
+    /// state-vector ground truth caps at `symphase_statevec::MAX_QUBITS`).
+    CircuitTooLarge {
+        /// Engine name.
+        engine: &'static str,
+        /// Qubits the circuit uses.
+        qubits: u32,
+        /// The engine's cap.
+        max_qubits: u32,
+    },
+    /// A non-`Auto` sampling method was configured for an engine without
+    /// a measurement-matrix product.
+    SamplingMethodUnsupported {
+        /// Engine name.
+        engine: &'static str,
+        /// The rejected method name.
+        method: &'static str,
+    },
+    /// A non-`Auto` phase store was configured for a non-SymPhase engine.
+    PhaseReprUnsupported {
+        /// Engine name.
+        engine: &'static str,
+        /// The rejected store name.
+        repr: &'static str,
+    },
+    /// A phase store conflicting with a pinned engine variant (e.g.
+    /// `symphase-sparse` plus [`PhaseRepr::Dense`]).
+    PhaseReprConflict {
+        /// Engine name.
+        engine: &'static str,
+        /// The conflicting store name.
+        repr: &'static str,
+    },
+    /// The chunk width is zero or not a multiple of 64, which would break
+    /// word alignment of the bit-packed chunk boundaries.
+    InvalidChunkShots {
+        /// The rejected width.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnknownEngine { name } => {
+                let names: Vec<&str> = EngineKind::ALL.iter().map(|k| k.name()).collect();
+                write!(
+                    f,
+                    "unknown engine '{name}' (expected one of: {})",
+                    names.join(", ")
+                )
+            }
+            BuildError::UnknownSamplingMethod { name } => {
+                let names: Vec<&str> = SamplingMethod::ALL.iter().map(|m| m.name()).collect();
+                write!(
+                    f,
+                    "unknown sampling method '{name}' (expected one of: {})",
+                    names.join(", ")
+                )
+            }
+            BuildError::CircuitTooLarge {
+                engine,
+                qubits,
+                max_qubits,
+            } => write!(
+                f,
+                "engine '{engine}' cannot simulate this circuit \
+                 ({qubits} qubits exceed its limit of {max_qubits})"
+            ),
+            BuildError::SamplingMethodUnsupported { engine, method } => write!(
+                f,
+                "--sampling {method} only applies to symphase engines, not '{engine}'"
+            ),
+            BuildError::PhaseReprUnsupported { engine, repr } => write!(
+                f,
+                "phase representation '{repr}' only applies to symphase engines, not '{engine}'"
+            ),
+            BuildError::PhaseReprConflict { engine, repr } => write!(
+                f,
+                "engine '{engine}' pins its phase store and conflicts with \
+                 the requested '{repr}' representation"
+            ),
+            BuildError::InvalidChunkShots { got } => write!(
+                f,
+                "chunk width must be a nonzero multiple of 64 shots, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_names_round_trip() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(EngineKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(SimConfig::new().validate(), Ok(()));
+        assert_eq!(SimConfig::new().engine(), EngineKind::SymPhase);
+        assert_eq!(SimConfig::new().chunk_shots(), CHUNK_SHOTS);
+    }
+
+    #[test]
+    fn name_setters_reject_unknown_values() {
+        let e = SimConfig::new().with_engine_name("warp-drive").unwrap_err();
+        assert!(matches!(e, BuildError::UnknownEngine { .. }), "{e}");
+        assert!(e.to_string().contains("symphase-sparse"));
+        let e = SimConfig::new().with_sampling_name("quantum").unwrap_err();
+        assert!(matches!(e, BuildError::UnknownSamplingMethod { .. }), "{e}");
+    }
+
+    #[test]
+    fn validate_rejects_contradictions() {
+        let e = SimConfig::new()
+            .with_engine(EngineKind::Frame)
+            .with_sampling(SamplingMethod::DenseMatMul)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(e, BuildError::SamplingMethodUnsupported { .. }));
+
+        let e = SimConfig::new()
+            .with_engine(EngineKind::Tableau)
+            .with_phase_repr(PhaseRepr::Dense)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(e, BuildError::PhaseReprUnsupported { .. }));
+
+        let e = SimConfig::new()
+            .with_engine(EngineKind::SymPhaseSparse)
+            .with_phase_repr(PhaseRepr::Dense)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(e, BuildError::PhaseReprConflict { .. }));
+
+        for bad in [0usize, 1, 63, 100] {
+            let e = SimConfig::new()
+                .with_chunk_shots(bad)
+                .validate()
+                .unwrap_err();
+            assert_eq!(e, BuildError::InvalidChunkShots { got: bad });
+        }
+        assert!(SimConfig::new().with_chunk_shots(128).validate().is_ok());
+    }
+
+    #[test]
+    fn pinned_engines_override_the_phase_store() {
+        let cfg = SimConfig::new().with_engine(EngineKind::SymPhaseDense);
+        assert_eq!(cfg.effective_phase_repr(), PhaseRepr::Dense);
+        let cfg = SimConfig::new()
+            .with_engine(EngineKind::SymPhase)
+            .with_phase_repr(PhaseRepr::Sparse);
+        assert_eq!(cfg.effective_phase_repr(), PhaseRepr::Sparse);
+    }
+}

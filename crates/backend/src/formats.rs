@@ -1,0 +1,793 @@
+//! Shot output formats: [`ShotSink`]s that write sampled records straight
+//! to any [`io::Write`], plus round-trip readers used by the property
+//! tests.
+//!
+//! The full byte-level specification of every format lives in
+//! `docs/formats.md`; in brief (`n` = selected record rows per shot):
+//!
+//! | name     | per shot | notes |
+//! |----------|----------|-------|
+//! | `01`     | `n` ASCII `0`/`1` chars + `\n` | detectors and observables separated by one space when both stream |
+//! | `counts` | — | aggregated: sorted `bitstring count` lines at finish |
+//! | `b8`     | `⌈n/8⌉` raw bytes | record `r` at bit `r % 8` of byte `r / 8` (little-endian bit order) |
+//! | `hits`   | comma-separated ascending indices of set records + `\n` | empty line when none fire |
+//! | `dets`   | `shot` then ` D<i>`/` L<j>` labels + `\n` | detector/observable flavor |
+//!
+//! Every writer is a [`ShotSink`], so a sampling run streams to disk in
+//! `O(chunk)` memory (`counts` additionally holds one counter per
+//! *distinct* bit pattern — aggregation is the format's point). Writers
+//! flush on `finish`.
+//!
+//! Which record rows a sink serializes is chosen by [`RecordSource`]:
+//! measurements for `sample`-style output, detectors and/or observables
+//! for `detect`-style output.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+use symphase_bitmat::BitMatrix;
+
+use crate::sink::{ShotSink, ShotSpec};
+use crate::SampleBatch;
+
+/// Which rows of a [`SampleBatch`] a format sink serializes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordSource {
+    /// Measurement rows (the `sample` command).
+    Measurements,
+    /// Detector rows only (`detect` with observables split off).
+    Detectors,
+    /// Observable rows only (the `--obs-out` stream).
+    Observables,
+    /// Detector rows followed by observable rows (the combined `detect`
+    /// output; `01`/`counts` render the two groups separated by one
+    /// space, `b8`/`hits` concatenate the index spaces).
+    DetectorsAndObservables,
+}
+
+impl RecordSource {
+    /// Rows per shot this source selects under `spec`.
+    pub fn rows(self, spec: &ShotSpec) -> usize {
+        match self {
+            RecordSource::Measurements => spec.num_measurements,
+            RecordSource::Detectors => spec.num_detectors,
+            RecordSource::Observables => spec.num_observables,
+            RecordSource::DetectorsAndObservables => spec.num_detectors + spec.num_observables,
+        }
+    }
+
+    /// The selected matrices of `batch`, in serialization order.
+    fn parts(self, batch: &SampleBatch) -> [Option<&BitMatrix>; 2] {
+        match self {
+            RecordSource::Measurements => [Some(&batch.measurements), None],
+            RecordSource::Detectors => [Some(&batch.detectors), None],
+            RecordSource::Observables => [Some(&batch.observables), None],
+            RecordSource::DetectorsAndObservables => {
+                [Some(&batch.detectors), Some(&batch.observables)]
+            }
+        }
+    }
+}
+
+/// The named shot output formats (CLI `--format` values).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampleFormat {
+    /// ASCII `0`/`1` lines, one per shot.
+    Plain01,
+    /// Aggregated `bitstring count` lines (sorted), written at finish.
+    Counts,
+    /// Packed little-endian binary, `⌈rows/8⌉` bytes per shot.
+    B8,
+    /// Comma-separated indices of set records, one line per shot.
+    Hits,
+    /// `shot D<i> L<j>` event lines (detector/observable flavor).
+    Dets,
+}
+
+impl SampleFormat {
+    /// Every format, in documentation order.
+    pub const ALL: [SampleFormat; 5] = [
+        SampleFormat::Plain01,
+        SampleFormat::Counts,
+        SampleFormat::B8,
+        SampleFormat::Hits,
+        SampleFormat::Dets,
+    ];
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SampleFormat::Plain01 => "01",
+            SampleFormat::Counts => "counts",
+            SampleFormat::B8 => "b8",
+            SampleFormat::Hits => "hits",
+            SampleFormat::Dets => "dets",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<SampleFormat> {
+        Self::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// Whether the format output is binary (unsafe to treat as UTF-8).
+    pub fn is_binary(self) -> bool {
+        matches!(self, SampleFormat::B8)
+    }
+
+    /// Builds the [`ShotSink`] writing this format's serialization of
+    /// `source` to `w`. Callers hand in any writer; buffering is the
+    /// caller's choice (the CLI wraps files in `BufWriter`).
+    pub fn sink<'w>(
+        self,
+        w: &'w mut (dyn Write + 'w),
+        source: RecordSource,
+    ) -> Box<dyn ShotSink + 'w> {
+        match self {
+            SampleFormat::Plain01 => Box::new(Sink01::new(w, source)),
+            SampleFormat::Counts => Box::new(SinkCounts::new(w, source)),
+            SampleFormat::B8 => Box::new(SinkB8::new(w, source)),
+            SampleFormat::Hits => Box::new(SinkHits::new(w, source)),
+            SampleFormat::Dets => Box::new(SinkDets::new(w, source)),
+        }
+    }
+}
+
+/// Appends shot `shot` of `m` to `line` as ASCII `0`/`1`.
+fn push_bits_01(line: &mut Vec<u8>, m: &BitMatrix, shot: usize) {
+    for r in 0..m.rows() {
+        line.push(if m.get(r, shot) { b'1' } else { b'0' });
+    }
+}
+
+/// Renders one shot of `source` as its `01` text (no newline): the bit
+/// chars of each selected part, space-separated when **both** groups are
+/// nonempty (a single-group line carries no separator).
+fn render_01_line(line: &mut Vec<u8>, source: RecordSource, batch: &SampleBatch, shot: usize) {
+    line.clear();
+    let [first, second] = source.parts(batch);
+    if let Some(m) = first {
+        push_bits_01(line, m, shot);
+    }
+    if let Some(m) = second {
+        if m.rows() > 0 {
+            if !line.is_empty() {
+                line.push(b' ');
+            }
+            push_bits_01(line, m, shot);
+        }
+    }
+}
+
+/// The `01` format: one ASCII line of `0`/`1` per shot.
+pub struct Sink01<W: Write> {
+    w: W,
+    source: RecordSource,
+    line: Vec<u8>,
+}
+
+impl<W: Write> Sink01<W> {
+    /// A `01` writer of `source` into `w`.
+    pub fn new(w: W, source: RecordSource) -> Self {
+        Self {
+            w,
+            source,
+            line: Vec::new(),
+        }
+    }
+}
+
+impl<W: Write> ShotSink for Sink01<W> {
+    fn chunk(&mut self, chunk: &SampleBatch, _start: usize) -> io::Result<()> {
+        for shot in 0..chunk.shots() {
+            render_01_line(&mut self.line, self.source, chunk, shot);
+            self.line.push(b'\n');
+            self.w.write_all(&self.line)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// The `counts` format: aggregates shots by their `01` rendering and
+/// writes sorted `bitstring count` lines at finish. Memory is one `u64`
+/// per *distinct* observed pattern — aggregation is the format's point —
+/// never per shot.
+pub struct SinkCounts<W: Write> {
+    w: W,
+    source: RecordSource,
+    counts: BTreeMap<Vec<u8>, u64>,
+    line: Vec<u8>,
+}
+
+impl<W: Write> SinkCounts<W> {
+    /// A `counts` writer of `source` into `w`.
+    pub fn new(w: W, source: RecordSource) -> Self {
+        Self {
+            w,
+            source,
+            counts: BTreeMap::new(),
+            line: Vec::new(),
+        }
+    }
+}
+
+impl<W: Write> ShotSink for SinkCounts<W> {
+    fn chunk(&mut self, chunk: &SampleBatch, _start: usize) -> io::Result<()> {
+        for shot in 0..chunk.shots() {
+            render_01_line(&mut self.line, self.source, chunk, shot);
+            if let Some(n) = self.counts.get_mut(self.line.as_slice()) {
+                *n += 1;
+            } else {
+                self.counts.insert(self.line.clone(), 1);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        for (pattern, n) in &self.counts {
+            self.w.write_all(pattern)?;
+            writeln!(self.w, " {n}")?;
+        }
+        self.w.flush()
+    }
+}
+
+/// The `b8` format: `⌈rows/8⌉` raw bytes per shot, record `r` stored at
+/// bit `r % 8` of byte `r / 8` (little-endian bit order, padding bits
+/// zero). No separators — shot boundaries are implied by the row count.
+///
+/// Single-matrix sources serialize through the word-blocked
+/// `transpose_packed` kernel (the record matrices are bit-packed along
+/// the shot dimension, so shot-major bytes are exactly a packed
+/// transpose) — serialization never dominates the sampling kernel. The
+/// combined detector+observable source bit-concatenates at an arbitrary
+/// offset and keeps the scalar path.
+pub struct SinkB8<W: Write> {
+    w: W,
+    source: RecordSource,
+    buf: Vec<u8>,
+    transposed: Vec<u64>,
+}
+
+impl<W: Write> SinkB8<W> {
+    /// A `b8` writer of `source` into `w`.
+    pub fn new(w: W, source: RecordSource) -> Self {
+        Self {
+            w,
+            source,
+            buf: Vec::new(),
+            transposed: Vec::new(),
+        }
+    }
+
+    /// The packed fast path: transpose the `rows × shots` matrix into
+    /// shot-major words, then emit the first `⌈rows/8⌉` little-endian
+    /// bytes of each shot row.
+    fn write_single(&mut self, m: &BitMatrix, shots: usize) -> io::Result<()> {
+        let rows = m.rows();
+        let bytes = rows.div_ceil(8);
+        if bytes == 0 || shots == 0 {
+            return Ok(());
+        }
+        let dst_stride = rows.div_ceil(64);
+        self.transposed.clear();
+        self.transposed.resize(shots * dst_stride, 0);
+        symphase_bitmat::transpose::transpose_packed(
+            m.words(),
+            rows,
+            shots,
+            m.stride(),
+            &mut self.transposed,
+            dst_stride,
+        );
+        self.buf.clear();
+        self.buf.reserve(shots * bytes);
+        for shot in 0..shots {
+            let row = &self.transposed[shot * dst_stride..(shot + 1) * dst_stride];
+            let mut remaining = bytes;
+            for w in row {
+                let take = remaining.min(8);
+                self.buf.extend_from_slice(&w.to_le_bytes()[..take]);
+                remaining -= take;
+                if remaining == 0 {
+                    break;
+                }
+            }
+        }
+        self.w.write_all(&self.buf)
+    }
+}
+
+impl<W: Write> ShotSink for SinkB8<W> {
+    fn chunk(&mut self, chunk: &SampleBatch, _start: usize) -> io::Result<()> {
+        let parts = self.source.parts(chunk);
+        if let [Some(m), None] = parts {
+            return self.write_single(m, chunk.shots());
+        }
+        let rows: usize = parts.iter().flatten().map(|m| m.rows()).sum();
+        let bytes = rows.div_ceil(8);
+        for shot in 0..chunk.shots() {
+            self.buf.clear();
+            self.buf.resize(bytes, 0);
+            let mut r = 0usize;
+            for m in parts.iter().flatten() {
+                for row in 0..m.rows() {
+                    if m.get(row, shot) {
+                        self.buf[r / 8] |= 1 << (r % 8);
+                    }
+                    r += 1;
+                }
+            }
+            self.w.write_all(&self.buf)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// The `hits` format: per shot, the comma-separated ascending indices of
+/// set records, newline-terminated (an empty line when nothing fired).
+/// With [`RecordSource::DetectorsAndObservables`], observable `j` appears
+/// as index `num_detectors + j`.
+pub struct SinkHits<W: Write> {
+    w: W,
+    source: RecordSource,
+    line: Vec<u8>,
+}
+
+impl<W: Write> SinkHits<W> {
+    /// A `hits` writer of `source` into `w`.
+    pub fn new(w: W, source: RecordSource) -> Self {
+        Self {
+            w,
+            source,
+            line: Vec::new(),
+        }
+    }
+}
+
+impl<W: Write> ShotSink for SinkHits<W> {
+    fn chunk(&mut self, chunk: &SampleBatch, _start: usize) -> io::Result<()> {
+        let parts = self.source.parts(chunk);
+        for shot in 0..chunk.shots() {
+            self.line.clear();
+            let mut base = 0usize;
+            for m in parts.iter().flatten() {
+                for row in 0..m.rows() {
+                    if m.get(row, shot) {
+                        if !self.line.is_empty() {
+                            self.line.push(b',');
+                        }
+                        self.line
+                            .extend_from_slice((base + row).to_string().as_bytes());
+                    }
+                }
+                base += m.rows();
+            }
+            self.line.push(b'\n');
+            self.w.write_all(&self.line)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// The `dets` format: per shot, the word `shot` followed by ` D<i>` for
+/// each fired detector and ` L<j>` for each fired observable. With a
+/// single-matrix source only that group's labels appear (`D` for
+/// detectors, `L` for observables, `M` for measurements).
+pub struct SinkDets<W: Write> {
+    w: W,
+    source: RecordSource,
+    line: Vec<u8>,
+}
+
+impl<W: Write> SinkDets<W> {
+    /// A `dets` writer of `source` into `w`.
+    pub fn new(w: W, source: RecordSource) -> Self {
+        Self {
+            w,
+            source,
+            line: Vec::new(),
+        }
+    }
+}
+
+impl<W: Write> ShotSink for SinkDets<W> {
+    fn chunk(&mut self, chunk: &SampleBatch, _start: usize) -> io::Result<()> {
+        let labeled: [(u8, Option<&BitMatrix>); 2] = match self.source {
+            RecordSource::Measurements => [(b'M', Some(&chunk.measurements)), (b'L', None)],
+            RecordSource::Detectors => [(b'D', Some(&chunk.detectors)), (b'L', None)],
+            RecordSource::Observables => [(b'L', Some(&chunk.observables)), (b'D', None)],
+            RecordSource::DetectorsAndObservables => [
+                (b'D', Some(&chunk.detectors)),
+                (b'L', Some(&chunk.observables)),
+            ],
+        };
+        for shot in 0..chunk.shots() {
+            self.line.clear();
+            self.line.extend_from_slice(b"shot");
+            for (label, m) in labeled.iter() {
+                let Some(m) = m else { continue };
+                for row in 0..m.rows() {
+                    if m.get(row, shot) {
+                        self.line.push(b' ');
+                        self.line.push(*label);
+                        self.line.extend_from_slice(row.to_string().as_bytes());
+                    }
+                }
+            }
+            self.line.push(b'\n');
+            self.w.write_all(&self.line)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// A malformed serialized shot stream (the round-trip readers' error).
+#[derive(Debug, PartialEq, Eq)]
+pub struct FormatParseError(pub String);
+
+impl std::fmt::Display for FormatParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for FormatParseError {}
+
+fn parse_err(msg: impl Into<String>) -> FormatParseError {
+    FormatParseError(msg.into())
+}
+
+/// Reads `01` text of a single record group back into a `rows × shots`
+/// matrix (shots = lines).
+pub fn read_01(text: &str, rows: usize) -> Result<BitMatrix, FormatParseError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = BitMatrix::zeros(rows, lines.len());
+    for (shot, line) in lines.iter().enumerate() {
+        if line.len() != rows {
+            return Err(parse_err(format!(
+                "line {shot}: expected {rows} chars, got {}",
+                line.len()
+            )));
+        }
+        for (r, c) in line.bytes().enumerate() {
+            match c {
+                b'0' => {}
+                b'1' => out.set(r, shot, true),
+                other => return Err(parse_err(format!("line {shot}: bad char {other:#x}"))),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Reads the combined `01` detect flavor (`detectors SP observables`,
+/// the space omitted when either group is empty) back into the two
+/// matrices.
+pub fn read_01_dets(
+    text: &str,
+    det_rows: usize,
+    obs_rows: usize,
+) -> Result<(BitMatrix, BitMatrix), FormatParseError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut dets = BitMatrix::zeros(det_rows, lines.len());
+    let mut obs = BitMatrix::zeros(obs_rows, lines.len());
+    for (shot, line) in lines.iter().enumerate() {
+        let (d, o) = if obs_rows > 0 && det_rows > 0 {
+            line.split_once(' ')
+                .ok_or_else(|| parse_err(format!("line {shot}: missing separator")))?
+        } else if obs_rows > 0 {
+            ("", *line)
+        } else {
+            (*line, "")
+        };
+        if d.len() != det_rows || o.len() != obs_rows {
+            return Err(parse_err(format!("line {shot}: group length mismatch")));
+        }
+        for (r, c) in d.bytes().enumerate() {
+            if c == b'1' {
+                dets.set(r, shot, true);
+            } else if c != b'0' {
+                return Err(parse_err(format!("line {shot}: bad char {c:#x}")));
+            }
+        }
+        for (r, c) in o.bytes().enumerate() {
+            if c == b'1' {
+                obs.set(r, shot, true);
+            } else if c != b'0' {
+                return Err(parse_err(format!("line {shot}: bad char {c:#x}")));
+            }
+        }
+    }
+    Ok((dets, obs))
+}
+
+/// Reads `b8` bytes back into a `rows × shots` matrix. With `rows == 0`
+/// each shot serializes to zero bytes, so the shot count is not
+/// recoverable — the stream must be empty and the reader returns a
+/// `0 × 0` matrix.
+pub fn read_b8(bytes: &[u8], rows: usize) -> Result<BitMatrix, FormatParseError> {
+    let per_shot = rows.div_ceil(8);
+    if per_shot == 0 {
+        if bytes.is_empty() {
+            return Ok(BitMatrix::zeros(0, 0));
+        }
+        return Err(parse_err("zero-row b8 stream must be empty"));
+    }
+    if !bytes.len().is_multiple_of(per_shot) {
+        return Err(parse_err(format!(
+            "stream length {} is not a multiple of the {per_shot}-byte shot size",
+            bytes.len()
+        )));
+    }
+    let shots = bytes.len() / per_shot;
+    let mut out = BitMatrix::zeros(rows, shots);
+    for (shot, rec) in bytes.chunks_exact(per_shot).enumerate() {
+        for r in 0..rows {
+            if rec[r / 8] & (1 << (r % 8)) != 0 {
+                out.set(r, shot, true);
+            }
+        }
+        for (i, &b) in rec.iter().enumerate() {
+            let used = (rows - 8 * i).min(8);
+            if used < 8 && b >> used != 0 {
+                return Err(parse_err(format!("shot {shot}: nonzero padding bits")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Reads `hits` text back into a `rows × shots` matrix (shots = lines).
+pub fn read_hits(text: &str, rows: usize) -> Result<BitMatrix, FormatParseError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = BitMatrix::zeros(rows, lines.len());
+    for (shot, line) in lines.iter().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        for tok in line.split(',') {
+            let idx: usize = tok
+                .parse()
+                .map_err(|_| parse_err(format!("line {shot}: bad index '{tok}'")))?;
+            if idx >= rows {
+                return Err(parse_err(format!(
+                    "line {shot}: index {idx} out of range (rows = {rows})"
+                )));
+            }
+            out.set(idx, shot, true);
+        }
+    }
+    Ok(out)
+}
+
+/// Reads `dets` text (the `D`/`L` flavor) back into detector and
+/// observable matrices (shots = lines).
+pub fn read_dets(
+    text: &str,
+    det_rows: usize,
+    obs_rows: usize,
+) -> Result<(BitMatrix, BitMatrix), FormatParseError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut dets = BitMatrix::zeros(det_rows, lines.len());
+    let mut obs = BitMatrix::zeros(obs_rows, lines.len());
+    for (shot, line) in lines.iter().enumerate() {
+        let mut toks = line.split(' ');
+        if toks.next() != Some("shot") {
+            return Err(parse_err(format!("line {shot}: missing 'shot' prefix")));
+        }
+        for tok in toks {
+            let (target, rows, label) = match tok.as_bytes().first() {
+                Some(b'D') => (&mut dets, det_rows, 'D'),
+                Some(b'L') => (&mut obs, obs_rows, 'L'),
+                _ => return Err(parse_err(format!("line {shot}: bad token '{tok}'"))),
+            };
+            let idx: usize = tok[1..]
+                .parse()
+                .map_err(|_| parse_err(format!("line {shot}: bad token '{tok}'")))?;
+            if idx >= rows {
+                return Err(parse_err(format!("line {shot}: {label}{idx} out of range")));
+            }
+            target.set(idx, shot, true);
+        }
+    }
+    Ok((dets, obs))
+}
+
+/// Reads the `M`-labeled `dets` flavor — what [`SinkDets`] emits for
+/// [`RecordSource::Measurements`] — back into a `rows × shots`
+/// measurement matrix (shots = lines).
+pub fn read_dets_measurements(text: &str, rows: usize) -> Result<BitMatrix, FormatParseError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = BitMatrix::zeros(rows, lines.len());
+    for (shot, line) in lines.iter().enumerate() {
+        let mut toks = line.split(' ');
+        if toks.next() != Some("shot") {
+            return Err(parse_err(format!("line {shot}: missing 'shot' prefix")));
+        }
+        for tok in toks {
+            let idx: usize = tok
+                .strip_prefix('M')
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(format!("line {shot}: bad token '{tok}'")))?;
+            if idx >= rows {
+                return Err(parse_err(format!("line {shot}: M{idx} out of range")));
+            }
+            out.set(idx, shot, true);
+        }
+    }
+    Ok(out)
+}
+
+/// Reads `counts` text back into the pattern → count map.
+pub fn read_counts(text: &str) -> Result<BTreeMap<String, u64>, FormatParseError> {
+    let mut out = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let (pattern, n) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| parse_err(format!("line {i}: missing count")))?;
+        let n: u64 = n
+            .parse()
+            .map_err(|_| parse_err(format!("line {i}: bad count '{n}'")))?;
+        if out.insert(pattern.to_string(), n).is_some() {
+            return Err(parse_err(format!("line {i}: duplicate pattern")));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch_from(meas: &[&[u8]], dets: &[&[u8]], obs: &[&[u8]], shots: usize) -> SampleBatch {
+        let fill = |rows: &[&[u8]]| {
+            let mut m = BitMatrix::zeros(rows.len(), shots);
+            for (r, row) in rows.iter().enumerate() {
+                for (c, &bit) in row.iter().enumerate() {
+                    m.set(r, c, bit != 0);
+                }
+            }
+            m
+        };
+        SampleBatch {
+            measurements: fill(meas),
+            detectors: fill(dets),
+            observables: fill(obs),
+        }
+    }
+
+    fn run_sink(format: SampleFormat, source: RecordSource, batch: &SampleBatch) -> Vec<u8> {
+        let mut out = Vec::new();
+        {
+            let mut w: &mut dyn Write = &mut out;
+            let mut sink = format.sink(&mut w, source);
+            let spec = ShotSpec {
+                num_measurements: batch.measurements.rows(),
+                num_detectors: batch.detectors.rows(),
+                num_observables: batch.observables.rows(),
+                shots: batch.shots(),
+            };
+            sink.begin(&spec).unwrap();
+            sink.chunk(batch, 0).unwrap();
+            sink.finish().unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn format_names_round_trip() {
+        for f in SampleFormat::ALL {
+            assert_eq!(SampleFormat::from_name(f.name()), Some(f));
+        }
+        assert_eq!(SampleFormat::from_name("base64"), None);
+    }
+
+    #[test]
+    fn plain01_renders_rows_per_shot() {
+        let b = batch_from(&[&[1, 0, 1], &[0, 0, 1]], &[], &[], 3);
+        let out = run_sink(SampleFormat::Plain01, RecordSource::Measurements, &b);
+        assert_eq!(out, b"10\n00\n11\n");
+    }
+
+    #[test]
+    fn plain01_dets_obs_space_separated() {
+        let b = batch_from(&[], &[&[1], &[0]], &[&[1]], 1);
+        let out = run_sink(
+            SampleFormat::Plain01,
+            RecordSource::DetectorsAndObservables,
+            &b,
+        );
+        assert_eq!(out, b"10 1\n");
+    }
+
+    #[test]
+    fn b8_packs_little_endian() {
+        // 9 rows: bits 0..8 of byte 0, bit 8 -> bit 0 of byte 1.
+        let rows: Vec<&[u8]> = vec![&[1], &[0], &[0], &[0], &[0], &[0], &[0], &[1], &[1]];
+        let b = batch_from(&rows, &[], &[], 1);
+        let out = run_sink(SampleFormat::B8, RecordSource::Measurements, &b);
+        assert_eq!(out, vec![0b1000_0001, 0b0000_0001]);
+        let back = read_b8(&out, 9).unwrap();
+        assert_eq!(back, b.measurements);
+    }
+
+    #[test]
+    fn hits_lists_ascending_indices() {
+        let b = batch_from(&[&[1, 0], &[0, 0], &[1, 1]], &[], &[], 2);
+        let out = run_sink(SampleFormat::Hits, RecordSource::Measurements, &b);
+        assert_eq!(out, b"0,2\n2\n");
+        assert_eq!(
+            read_hits(std::str::from_utf8(&out).unwrap(), 3).unwrap(),
+            b.measurements
+        );
+    }
+
+    #[test]
+    fn dets_labels_detectors_and_observables() {
+        let b = batch_from(&[], &[&[1], &[0], &[1]], &[&[1]], 1);
+        let out = run_sink(
+            SampleFormat::Dets,
+            RecordSource::DetectorsAndObservables,
+            &b,
+        );
+        assert_eq!(out, b"shot D0 D2 L0\n");
+        let (d, o) = read_dets(std::str::from_utf8(&out).unwrap(), 3, 1).unwrap();
+        assert_eq!(d, b.detectors);
+        assert_eq!(o, b.observables);
+    }
+
+    #[test]
+    fn dets_measurement_flavor_round_trips() {
+        let b = batch_from(&[&[1, 0], &[0, 1], &[1, 1]], &[], &[], 2);
+        let out = run_sink(SampleFormat::Dets, RecordSource::Measurements, &b);
+        assert_eq!(out, b"shot M0 M2\nshot M1 M2\n");
+        let back = read_dets_measurements(std::str::from_utf8(&out).unwrap(), 3).unwrap();
+        assert_eq!(back, b.measurements);
+    }
+
+    #[test]
+    fn counts_aggregates_and_sorts() {
+        let b = batch_from(&[&[1, 0, 1, 1]], &[], &[], 4);
+        let out = run_sink(SampleFormat::Counts, RecordSource::Measurements, &b);
+        assert_eq!(out, b"0 1\n1 3\n");
+        let m = read_counts(std::str::from_utf8(&out).unwrap()).unwrap();
+        assert_eq!(m.get("1"), Some(&3));
+    }
+
+    #[test]
+    fn readers_reject_malformed_input() {
+        assert!(read_01("10\n2\n", 2).is_err());
+        assert!(read_b8(&[1, 2, 3], 16).is_err());
+        assert!(read_hits("5\n", 3).is_err());
+        assert!(read_dets("D0\n", 1, 0).is_err());
+        assert!(read_counts("10\n").is_err());
+    }
+
+    #[test]
+    fn zero_rows_zero_shots_are_well_formed() {
+        let b = batch_from(&[], &[], &[], 5);
+        let out = run_sink(SampleFormat::Plain01, RecordSource::Measurements, &b);
+        assert_eq!(out, b"\n\n\n\n\n");
+        assert!(run_sink(SampleFormat::B8, RecordSource::Measurements, &b).is_empty());
+        let empty = batch_from(&[&[]], &[], &[], 0);
+        assert!(run_sink(SampleFormat::Plain01, RecordSource::Measurements, &empty).is_empty());
+    }
+}

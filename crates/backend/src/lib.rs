@@ -11,6 +11,15 @@
 //!
 //! The crate also hosts the pieces the engines used to duplicate:
 //!
+//! * [`config`] — the [`SimConfig`] builder (engine kind, phase store,
+//!   sampling method, seed, threads, chunk width) and the typed
+//!   [`BuildError`] diagnostics of fallible sampler construction;
+//! * [`sink`] — the streaming delivery layer: the [`ShotSink`] trait and
+//!   the serial/parallel chunk streaming engines behind
+//!   [`Sampler::sample_to`];
+//! * [`formats`] — `ShotSink`s serializing shots to any `io::Write` in
+//!   the `01`, `counts`, `b8`, `hits`, and `dets` formats (spec in
+//!   `docs/formats.md`);
 //! * [`exec`] — the single-shot instruction-walk driver (measure / reset /
 //!   measure-reset / feedback bookkeeping) and the trajectory sampling of
 //!   noise channels into concrete Paulis;
@@ -18,20 +27,30 @@
 //!   record evaluation (moved here from the tableau crate so every layer,
 //!   including the dense simulator, shares it).
 //!
-//! # Chunk-seeded and parallel sampling
+//! # Streaming, chunk-seeded, and parallel sampling
 //!
-//! [`Sampler::sample_seeded`] splits a request into [`CHUNK_SHOTS`]-wide
-//! chunks and draws each chunk from an RNG seeded by
-//! [`chunk_seed`]`(seed, chunk_index)`. [`Sampler::sample_par`] runs the
-//! *same* chunk schedule across threads with a rayon-style fork-join, so
-//! the two agree **shot for shot** — parallelism never changes results.
+//! [`Sampler::sample_to`] is the primary sampling entry point: it splits a
+//! request into [`CHUNK_SHOTS`]-wide chunks, draws each chunk from an RNG
+//! seeded by [`chunk_seed`]`(seed, chunk_index)`, and hands the chunks to
+//! a [`ShotSink`] in schedule order — memory stays `O(chunk)` however
+//! many shots are requested. [`Sampler::sample_seeded`] and
+//! [`Sampler::sample_par`] are thin wrappers collecting the same stream
+//! into one in-memory batch, and [`Sampler::sample_to_par`] runs the
+//! *same* chunk schedule across threads (drawing chunks out of order but
+//! presenting them to the sink in order), so every path agrees **shot for
+//! shot** — parallelism and streaming never change results.
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
 use symphase_bitmat::BitMatrix;
 
+pub mod config;
 pub mod exec;
+pub mod formats;
 pub mod record;
+pub mod sink;
+
+pub use config::{BuildError, EngineKind, PhaseRepr, SamplingMethod, SimConfig};
+pub use sink::{CollectSink, CountingSink, FanoutSink, ShotSink, ShotSpec};
 
 /// Shots per sampling chunk: a multiple of 64 (so chunk boundaries stay
 /// word-aligned in the bit-packed output) that keeps per-chunk working
@@ -121,19 +140,14 @@ pub fn chunk_seed(seed: u64, chunk: u64) -> u64 {
 /// interface all four simulation engines implement.
 ///
 /// Implementors provide the record shape and [`Sampler::sample_into`]; the
-/// provided methods layer allocation, deterministic chunk seeding, and
-/// parallel sampling on top. The trait is object-safe — the CLI and the
-/// bench harness hold backends as `Box<dyn Sampler>`.
+/// provided methods layer allocation, deterministic chunk seeding,
+/// streaming delivery, and parallel sampling on top. The trait is
+/// object-safe — the CLI and the bench harness hold backends as
+/// `Box<dyn Sampler>`, built through `symphase::backend::build_sampler`
+/// from a [`SimConfig`].
 pub trait Sampler: Send + Sync {
     /// Short stable name (CLI `--engine` value, bench series label).
     fn name(&self) -> &'static str;
-
-    /// Builds this backend from a circuit (the engine's initialization —
-    /// a symbolic traversal for SymPhase, a reference sample for the
-    /// frame baseline, a circuit copy for the per-shot engines).
-    fn from_circuit(circuit: &symphase_circuit::Circuit) -> Self
-    where
-        Self: Sized;
 
     /// Number of measurement outcomes per shot.
     fn num_measurements(&self) -> usize;
@@ -164,21 +178,43 @@ pub trait Sampler: Send + Sync {
         batch
     }
 
-    /// Samples `shots` shots deterministically from `seed` using the
-    /// per-chunk seeding schedule ([`CHUNK_SHOTS`], [`chunk_seed`]).
+    /// **The primary sampling entry point**: streams `shots`
+    /// deterministic, chunk-seeded shots into `sink`, one
+    /// [`CHUNK_SHOTS`]-wide [`SampleBatch`] at a time — memory stays
+    /// `O(chunk)` however many shots are requested.
     ///
-    /// This is the serial reference for [`Sampler::sample_par`]: both run
-    /// the identical schedule, so their outputs are bit-identical.
+    /// The bytes a sink receives are bit-identical to the batch
+    /// [`Sampler::sample_seeded`] returns for equal arguments (that
+    /// method *is* this one with an in-memory [`CollectSink`]).
+    fn sample_to(&self, shots: usize, seed: u64, sink: &mut dyn ShotSink) -> std::io::Result<()> {
+        sink::stream_seeded(self, shots, seed, CHUNK_SHOTS, sink)
+    }
+
+    /// [`Sampler::sample_to`] across up to `threads` threads (`0` = all
+    /// available cores): chunks are drawn concurrently in waves but
+    /// presented to `sink` in schedule order, so output is bit-identical
+    /// to the serial stream for equal seeds. Peak memory is
+    /// `O(threads × chunk)`.
+    fn sample_to_par(
+        &self,
+        shots: usize,
+        seed: u64,
+        threads: usize,
+        sink: &mut dyn ShotSink,
+    ) -> std::io::Result<()> {
+        sink::stream_par(self, shots, seed, CHUNK_SHOTS, threads, sink)
+    }
+
+    /// Samples `shots` shots deterministically from `seed` using the
+    /// per-chunk seeding schedule ([`CHUNK_SHOTS`], [`chunk_seed`]) into
+    /// one in-memory batch — a [`Sampler::sample_to`] wrapper with a
+    /// [`CollectSink`]. Prefer `sample_to` when the shots are bound for a
+    /// file or aggregator; this method holds all of them in memory.
     fn sample_seeded(&self, shots: usize, seed: u64) -> SampleBatch {
-        let mut out = SampleBatch::zeros(
-            self.num_measurements(),
-            self.num_detectors(),
-            self.num_observables(),
-            shots,
-        );
-        let spans: Vec<(usize, usize)> = chunk_spans(shots).collect();
-        sample_chunk_range(self, &spans, 0, seed, &mut out, 0);
-        out
+        let mut out = CollectSink::new();
+        sink::stream_seeded(self, shots, seed, CHUNK_SHOTS, &mut out)
+            .expect("in-memory collection cannot fail");
+        out.into_batch()
     }
 
     /// Samples `shots` shots across threads, chunked by [`CHUNK_SHOTS`]
@@ -193,111 +229,38 @@ pub trait Sampler: Send + Sync {
     }
 }
 
-/// Samples a contiguous chunk range of the `seed` schedule into `out`
-/// (whose shot 0 corresponds to absolute shot `out_origin`), through one
-/// reused chunk buffer — only the (smaller) final chunk ever forces a
-/// reallocation. This is **the** chunk loop: both the serial
-/// [`Sampler::sample_seeded`] and each parallel leaf of
-/// [`sample_par_with_threads`] run it, which is what keeps the two
-/// bit-identical.
-fn sample_chunk_range<S: Sampler + ?Sized>(
-    sampler: &S,
-    spans: &[(usize, usize)],
-    first_chunk: usize,
-    seed: u64,
-    out: &mut SampleBatch,
-    out_origin: usize,
-) {
-    let mut buf: Option<SampleBatch> = None;
-    for (i, &(start, width)) in spans.iter().enumerate() {
-        if buf.as_ref().is_none_or(|b| b.shots() != width) {
-            buf = Some(SampleBatch::zeros(
-                sampler.num_measurements(),
-                sampler.num_detectors(),
-                sampler.num_observables(),
-                width,
-            ));
-        }
-        let chunk = buf.as_mut().expect("buffer just ensured");
-        let mut rng = StdRng::seed_from_u64(chunk_seed(seed, (first_chunk + i) as u64));
-        sampler.sample_into(chunk, &mut rng);
-        out.paste_columns(chunk, start - out_origin);
-    }
-}
-
 /// The chunk schedule for `shots` shots: `(start, width)` spans, all but
 /// the last [`CHUNK_SHOTS`] wide.
 pub fn chunk_spans(shots: usize) -> impl Iterator<Item = (usize, usize)> {
+    chunk_spans_with(shots, CHUNK_SHOTS)
+}
+
+/// [`chunk_spans`] with an explicit chunk width.
+///
+/// # Panics
+///
+/// Panics if `chunk_shots` is zero — a zero-width schedule would "cover"
+/// the request with empty spans and silently sample nothing.
+pub fn chunk_spans_with(shots: usize, chunk_shots: usize) -> impl Iterator<Item = (usize, usize)> {
+    assert!(chunk_shots > 0, "chunk width must be nonzero");
     (0..shots)
-        .step_by(CHUNK_SHOTS)
-        .map(move |start| (start, CHUNK_SHOTS.min(shots - start)))
+        .step_by(chunk_shots)
+        .map(move |start| (start, chunk_shots.min(shots - start)))
 }
 
 /// [`Sampler::sample_par`] with an explicit thread budget (exposed so the
-/// parallel path stays testable on single-core machines).
+/// parallel path stays testable on single-core machines) — a
+/// [`sink::stream_par`] wrapper with a [`CollectSink`].
 pub fn sample_par_with_threads<S: Sampler + ?Sized>(
     sampler: &S,
     shots: usize,
     seed: u64,
     threads: usize,
 ) -> SampleBatch {
-    let spans: Vec<(usize, usize)> = chunk_spans(shots).collect();
-    if threads <= 1 || spans.len() <= 1 {
-        return sampler.sample_seeded(shots, seed);
-    }
-    let mut out = SampleBatch::zeros(
-        sampler.num_measurements(),
-        sampler.num_detectors(),
-        sampler.num_observables(),
-        shots,
-    );
-    let groups = par_sample_groups(sampler, &spans, 0, seed, threads.min(spans.len()));
-    for (start, group) in &groups {
-        out.paste_columns(group, *start);
-    }
-    out
-}
-
-/// Recursive fork-join over contiguous chunk groups: splits the span list
-/// proportionally to the thread budget (`rayon::join` per split), so at
-/// most `threads` OS threads run, each sampling its chunk range serially.
-/// Each leaf samples its contiguous range into **one** group batch through
-/// a single reused chunk buffer — per-thread scratch, so steady-state
-/// parallel sampling allocates one buffer and one output slab per thread
-/// instead of one batch per chunk. Returns `(shot offset, group batch)`
-/// pairs in chunk order.
-fn par_sample_groups<S: Sampler + ?Sized>(
-    sampler: &S,
-    spans: &[(usize, usize)],
-    first_chunk: usize,
-    seed: u64,
-    threads: usize,
-) -> Vec<(usize, SampleBatch)> {
-    if threads <= 1 || spans.len() <= 1 {
-        let Some(&(group_start, _)) = spans.first() else {
-            return Vec::new();
-        };
-        let total: usize = spans.iter().map(|&(_, width)| width).sum();
-        let mut group = SampleBatch::zeros(
-            sampler.num_measurements(),
-            sampler.num_detectors(),
-            sampler.num_observables(),
-            total,
-        );
-        sample_chunk_range(sampler, spans, first_chunk, seed, &mut group, group_start);
-        return vec![(group_start, group)];
-    }
-    let left_threads = threads / 2;
-    let right_threads = threads - left_threads;
-    // Split chunks proportionally to the thread budget of each side.
-    let mid = (spans.len() * left_threads / threads).max(1);
-    let (left, right) = spans.split_at(mid);
-    let (mut a, b) = rayon::join(
-        || par_sample_groups(sampler, left, first_chunk, seed, left_threads),
-        || par_sample_groups(sampler, right, first_chunk + mid, seed, right_threads),
-    );
-    a.extend(b);
-    a
+    let mut out = CollectSink::new();
+    sink::stream_par(sampler, shots, seed, CHUNK_SHOTS, threads, &mut out)
+        .expect("in-memory collection cannot fail");
+    out.into_batch()
 }
 
 #[cfg(test)]
@@ -313,10 +276,6 @@ mod tests {
     impl Sampler for FakeSampler {
         fn name(&self) -> &'static str {
             "fake"
-        }
-
-        fn from_circuit(_circuit: &symphase_circuit::Circuit) -> Self {
-            Self { nm: 0 }
         }
 
         fn num_measurements(&self) -> usize {
@@ -354,6 +313,10 @@ mod tests {
         );
         assert_eq!(chunk_spans(0).count(), 0);
         assert_eq!(chunk_spans(64).collect::<Vec<_>>(), vec![(0, 64)]);
+        assert_eq!(
+            chunk_spans_with(200, 128).collect::<Vec<_>>(),
+            vec![(0, 128), (128, 72)]
+        );
     }
 
     #[test]
@@ -378,6 +341,87 @@ mod tests {
                 assert_eq!(a, c, "mismatch at {shots} shots / {threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn streaming_sink_sees_chunks_in_schedule_order() {
+        struct OrderCheck {
+            began: bool,
+            finished: bool,
+            next_start: usize,
+            chunks: usize,
+        }
+        impl ShotSink for OrderCheck {
+            fn begin(&mut self, spec: &ShotSpec) -> std::io::Result<()> {
+                assert!(!self.began);
+                self.began = true;
+                assert_eq!(spec.num_measurements, 3);
+                Ok(())
+            }
+            fn chunk(&mut self, chunk: &SampleBatch, start: usize) -> std::io::Result<()> {
+                assert!(self.began && !self.finished);
+                assert_eq!(start, self.next_start, "chunks out of order");
+                assert!(chunk.shots() <= CHUNK_SHOTS);
+                self.next_start += chunk.shots();
+                self.chunks += 1;
+                Ok(())
+            }
+            fn finish(&mut self) -> std::io::Result<()> {
+                self.finished = true;
+                Ok(())
+            }
+        }
+        let s = FakeSampler { nm: 3 };
+        for threads in [1, 2, 5] {
+            let mut sink = OrderCheck {
+                began: false,
+                finished: false,
+                next_start: 0,
+                chunks: 0,
+            };
+            s.sample_to_par(3 * CHUNK_SHOTS + 70, 4, threads, &mut sink)
+                .unwrap();
+            assert!(sink.finished);
+            assert_eq!(sink.next_start, 3 * CHUNK_SHOTS + 70);
+            assert_eq!(sink.chunks, 4);
+        }
+        // Zero shots still produce a well-formed begin/finish envelope.
+        let mut sink = OrderCheck {
+            began: false,
+            finished: false,
+            next_start: 0,
+            chunks: 0,
+        };
+        s.sample_to(0, 4, &mut sink).unwrap();
+        assert!(sink.began && sink.finished);
+        assert_eq!(sink.chunks, 0);
+    }
+
+    #[test]
+    fn sink_errors_abort_the_stream() {
+        struct FailingSink {
+            chunks_before_failure: usize,
+            chunks_after_failure: usize,
+        }
+        impl ShotSink for FailingSink {
+            fn chunk(&mut self, _chunk: &SampleBatch, _start: usize) -> std::io::Result<()> {
+                if self.chunks_before_failure == 0 {
+                    self.chunks_after_failure += 1;
+                    return Err(std::io::Error::other("sink full"));
+                }
+                self.chunks_before_failure -= 1;
+                Ok(())
+            }
+        }
+        let s = FakeSampler { nm: 2 };
+        let mut sink = FailingSink {
+            chunks_before_failure: 1,
+            chunks_after_failure: 0,
+        };
+        let err = s.sample_to(3 * CHUNK_SHOTS, 7, &mut sink).unwrap_err();
+        assert_eq!(err.to_string(), "sink full");
+        // The failing call happened exactly once: the stream stopped.
+        assert_eq!(sink.chunks_after_failure, 1);
     }
 
     #[test]
@@ -416,5 +460,12 @@ mod tests {
         assert_eq!(out.measurements.rows(), 2);
         assert_eq!(out.shots(), 100);
         assert_eq!(boxed.name(), "fake");
+        let mut counting = CountingSink::default();
+        boxed.sample_to(100, 3, &mut counting).unwrap();
+        assert_eq!(counting.shots, 100);
+        assert_eq!(
+            counting.measurement_ones,
+            out.measurements.count_ones() as u64
+        );
     }
 }

@@ -1,0 +1,358 @@
+//! Streaming shot delivery: the [`ShotSink`] trait and the chunk
+//! streaming engine behind `Sampler::sample_to`.
+//!
+//! The SymPhase cost model makes shots cheap — a per-chunk F₂ product —
+//! so the limiting resource of a long sampling run should be the sink
+//! (a file, a socket, an aggregator), never memory. This module delivers
+//! shots to a [`ShotSink`] one [`SampleBatch`] chunk at a time:
+//!
+//! * [`stream_seeded`] — the serial reference: one reused chunk buffer,
+//!   memory `O(chunk)` whatever the shot count;
+//! * [`stream_par`] — the same chunk-seeding schedule fanned out in
+//!   *waves* of up to `threads` chunks (`rayon`-style fork-join inside a
+//!   wave), memory `O(threads × chunk)`. Chunks are drawn out of order
+//!   inside a wave but **presented to the sink in schedule order**, so a
+//!   sink never needs to reorder — and because every chunk's RNG is
+//!   seeded by `chunk_seed(seed, index)`, the bytes a sink sees are
+//!   bit-identical between the serial and parallel paths.
+//!
+//! `Sampler::sample_seeded` and `Sampler::sample_par` are thin wrappers
+//! over these functions with an in-memory [`CollectSink`].
+
+use std::io;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::SampleBatch;
+use crate::{chunk_seed, chunk_spans_with, Sampler};
+
+/// The fixed per-request shape a sink learns before the first chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShotSpec {
+    /// Measurement rows per shot.
+    pub num_measurements: usize,
+    /// Detector rows per shot.
+    pub num_detectors: usize,
+    /// Observable rows per shot.
+    pub num_observables: usize,
+    /// Total shots the request will deliver across all chunks.
+    pub shots: usize,
+}
+
+impl ShotSpec {
+    /// The spec of sampling `shots` shots from `sampler`.
+    pub fn of(sampler: &(impl Sampler + ?Sized), shots: usize) -> Self {
+        Self {
+            num_measurements: sampler.num_measurements(),
+            num_detectors: sampler.num_detectors(),
+            num_observables: sampler.num_observables(),
+            shots,
+        }
+    }
+}
+
+/// A consumer of streamed shot chunks.
+///
+/// The streaming engine guarantees the call sequence
+/// `begin, chunk*, finish`, with chunks arriving in schedule order:
+/// `start` values are strictly increasing and each chunk directly follows
+/// the previous one (`start` = previous `start` + previous width). A
+/// request of zero shots still produces `begin` and `finish`, so sinks
+/// with headers/footers emit well-formed empty output.
+///
+/// Errors (typically `io::Error` from an underlying writer) abort the
+/// stream: once a call fails, no further calls are made.
+pub trait ShotSink {
+    /// Called once before the first chunk with the request's shape.
+    fn begin(&mut self, spec: &ShotSpec) -> io::Result<()> {
+        let _ = spec;
+        Ok(())
+    }
+
+    /// Called once per chunk, in schedule order; `start` is the absolute
+    /// shot index of the chunk's first column.
+    fn chunk(&mut self, chunk: &SampleBatch, start: usize) -> io::Result<()>;
+
+    /// Called once after the last chunk (flush buffers, write footers).
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// An in-memory sink: collects every chunk into one full [`SampleBatch`].
+/// This is the adapter that turns the streaming path back into the
+/// batch-returning API (`Sampler::sample_seeded` / `Sampler::sample_par`)
+/// — and the reference sink of the streaming-equality tests.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    batch: Option<SampleBatch>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected batch; panics if the stream never began.
+    pub fn into_batch(self) -> SampleBatch {
+        self.batch.expect("stream never began")
+    }
+}
+
+impl ShotSink for CollectSink {
+    fn begin(&mut self, spec: &ShotSpec) -> io::Result<()> {
+        self.batch = Some(SampleBatch::zeros(
+            spec.num_measurements,
+            spec.num_detectors,
+            spec.num_observables,
+            spec.shots,
+        ));
+        Ok(())
+    }
+
+    fn chunk(&mut self, chunk: &SampleBatch, start: usize) -> io::Result<()> {
+        self.batch
+            .as_mut()
+            .expect("chunk before begin")
+            .paste_columns(chunk, start);
+        Ok(())
+    }
+}
+
+/// A counting sink: tracks delivered shots and set bits without storing
+/// anything — the cheapest way to drive a full streaming run (benchmarks,
+/// smoke tests) while still observing every byte.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CountingSink {
+    /// Shots delivered so far.
+    pub shots: usize,
+    /// Chunks delivered so far.
+    pub chunks: usize,
+    /// Set measurement bits seen so far.
+    pub measurement_ones: u64,
+    /// Set detector bits seen so far.
+    pub detector_ones: u64,
+    /// Set observable bits seen so far.
+    pub observable_ones: u64,
+}
+
+impl ShotSink for CountingSink {
+    fn chunk(&mut self, chunk: &SampleBatch, _start: usize) -> io::Result<()> {
+        self.shots += chunk.shots();
+        self.chunks += 1;
+        self.measurement_ones += chunk.measurements.count_ones() as u64;
+        self.detector_ones += chunk.detectors.count_ones() as u64;
+        self.observable_ones += chunk.observables.count_ones() as u64;
+        Ok(())
+    }
+}
+
+/// A fan-out sink: forwards every call to each inner sink in order, so
+/// one sampling pass can feed several outputs (the CLI's `--out` plus
+/// `--obs-out`, say) without re-drawing shots.
+pub struct FanoutSink<'a> {
+    sinks: Vec<&'a mut dyn ShotSink>,
+}
+
+impl<'a> FanoutSink<'a> {
+    /// A fan-out over `sinks` (delivery order = slice order).
+    pub fn new(sinks: Vec<&'a mut dyn ShotSink>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl ShotSink for FanoutSink<'_> {
+    fn begin(&mut self, spec: &ShotSpec) -> io::Result<()> {
+        for s in &mut self.sinks {
+            s.begin(spec)?;
+        }
+        Ok(())
+    }
+
+    fn chunk(&mut self, chunk: &SampleBatch, start: usize) -> io::Result<()> {
+        for s in &mut self.sinks {
+            s.chunk(chunk, start)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        for s in &mut self.sinks {
+            s.finish()?;
+        }
+        Ok(())
+    }
+}
+
+/// Asserts the chunk-width contract shared by the streaming entry points.
+fn check_chunk_shots(chunk_shots: usize) {
+    assert!(
+        chunk_shots > 0 && chunk_shots.is_multiple_of(64),
+        "chunk width must be a nonzero multiple of 64 shots, got {chunk_shots} \
+         (SimConfig::validate rejects this before sampling starts)"
+    );
+}
+
+/// Streams `shots` shots into `sink` honoring every knob of `config`:
+/// seed, thread budget (`1` = serial, `0` = all cores), and chunk width.
+/// This is the config-driven entry point the CLI runs; the `Sampler`
+/// trait methods (`sample_to` / `sample_to_par`) are the fixed
+/// [`crate::CHUNK_SHOTS`]-width shorthand.
+///
+/// The configuration should be validated first
+/// ([`crate::SimConfig::validate`], or by building the sampler through
+/// `build_sampler`); an invalid chunk width panics here.
+pub fn stream_with_config<S: Sampler + ?Sized>(
+    sampler: &S,
+    shots: usize,
+    config: &crate::SimConfig,
+    sink: &mut dyn ShotSink,
+) -> io::Result<()> {
+    if config.threads() == 1 {
+        stream_seeded(sampler, shots, config.seed(), config.chunk_shots(), sink)
+    } else {
+        stream_par(
+            sampler,
+            shots,
+            config.seed(),
+            config.chunk_shots(),
+            config.threads(),
+            sink,
+        )
+    }
+}
+
+/// Streams `shots` chunk-seeded shots serially into `sink`, holding one
+/// reused chunk buffer — memory `O(chunk_shots)` however many shots are
+/// requested. With `chunk_shots == CHUNK_SHOTS` the bytes delivered are
+/// bit-identical to `Sampler::sample_seeded(shots, seed)`.
+///
+/// # Panics
+///
+/// Panics if `chunk_shots` is zero or not a multiple of 64 (validated
+/// earlier by `SimConfig::validate` on the configured path).
+pub fn stream_seeded<S: Sampler + ?Sized>(
+    sampler: &S,
+    shots: usize,
+    seed: u64,
+    chunk_shots: usize,
+    sink: &mut dyn ShotSink,
+) -> io::Result<()> {
+    check_chunk_shots(chunk_shots);
+    sink.begin(&ShotSpec::of(sampler, shots))?;
+    let mut buf: Option<SampleBatch> = None;
+    for (i, (start, width)) in chunk_spans_with(shots, chunk_shots).enumerate() {
+        if buf.as_ref().is_none_or(|b| b.shots() != width) {
+            buf = Some(SampleBatch::zeros(
+                sampler.num_measurements(),
+                sampler.num_detectors(),
+                sampler.num_observables(),
+                width,
+            ));
+        }
+        let chunk = buf.as_mut().expect("buffer just ensured");
+        let mut rng = StdRng::seed_from_u64(chunk_seed(seed, i as u64));
+        sampler.sample_into(chunk, &mut rng);
+        sink.chunk(chunk, start)?;
+    }
+    sink.finish()
+}
+
+/// Streams `shots` chunk-seeded shots into `sink` across up to `threads`
+/// threads (`0` = all available cores), bit-identical to
+/// [`stream_seeded`] with the same arguments.
+///
+/// Chunks are processed in waves of `threads`: each wave is drawn
+/// concurrently (rayon-style fork-join, one buffer per lane, reused
+/// across waves), then handed to the sink **in schedule order**. Peak
+/// memory is `O(threads × chunk_shots)`; the sink — which is typically
+/// not thread-safe, it holds a writer — only ever runs on the calling
+/// thread.
+///
+/// # Panics
+///
+/// Panics if `chunk_shots` is zero or not a multiple of 64.
+pub fn stream_par<S: Sampler + ?Sized>(
+    sampler: &S,
+    shots: usize,
+    seed: u64,
+    chunk_shots: usize,
+    threads: usize,
+    sink: &mut dyn ShotSink,
+) -> io::Result<()> {
+    check_chunk_shots(chunk_shots);
+    let threads = if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    };
+    let spans: Vec<(usize, usize)> = chunk_spans_with(shots, chunk_shots).collect();
+    if threads <= 1 || spans.len() <= 1 {
+        return stream_seeded(sampler, shots, seed, chunk_shots, sink);
+    }
+    sink.begin(&ShotSpec::of(sampler, shots))?;
+    let mut bufs: Vec<SampleBatch> = Vec::new();
+    for (wave_index, wave) in spans.chunks(threads).enumerate() {
+        while bufs.len() < wave.len() {
+            // Shots == 0 placeholder; `fill_wave` reshapes lanes on use.
+            bufs.push(SampleBatch::zeros(0, 0, 0, 0));
+        }
+        fill_wave(
+            sampler,
+            wave,
+            wave_index * threads,
+            seed,
+            &mut bufs[..wave.len()],
+        );
+        for (lane, &(start, _)) in wave.iter().enumerate() {
+            sink.chunk(&bufs[lane], start)?;
+        }
+    }
+    sink.finish()
+}
+
+/// Draws one wave of chunks concurrently: recursive binary fork-join over
+/// the `(span, buffer)` lanes. Lane `i` of the wave samples chunk
+/// `first_chunk + i` of the schedule into `bufs[i]`, reshaping the lane
+/// buffer only when the width changes (the final, narrower chunk).
+fn fill_wave<S: Sampler + ?Sized>(
+    sampler: &S,
+    spans: &[(usize, usize)],
+    first_chunk: usize,
+    seed: u64,
+    bufs: &mut [SampleBatch],
+) {
+    debug_assert_eq!(spans.len(), bufs.len());
+    match spans {
+        [] => {}
+        [(_, width)] => {
+            let width = *width;
+            let buf = &mut bufs[0];
+            if buf.shots() != width
+                || buf.measurements.rows() != sampler.num_measurements()
+                || buf.detectors.rows() != sampler.num_detectors()
+                || buf.observables.rows() != sampler.num_observables()
+            {
+                *buf = SampleBatch::zeros(
+                    sampler.num_measurements(),
+                    sampler.num_detectors(),
+                    sampler.num_observables(),
+                    width,
+                );
+            }
+            let mut rng = StdRng::seed_from_u64(chunk_seed(seed, first_chunk as u64));
+            sampler.sample_into(buf, &mut rng);
+        }
+        _ => {
+            let mid = spans.len() / 2;
+            let (left_spans, right_spans) = spans.split_at(mid);
+            let (left_bufs, right_bufs) = bufs.split_at_mut(mid);
+            rayon::join(
+                || fill_wave(sampler, left_spans, first_chunk, seed, left_bufs),
+                || fill_wave(sampler, right_spans, first_chunk + mid, seed, right_bufs),
+            );
+        }
+    }
+}

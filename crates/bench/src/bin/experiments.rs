@@ -21,8 +21,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use symphase_bench::{
-    measure_fig3_point, measure_scale_point, secs, table1_circuit, time_backend_par, BackendKind,
-    Workload, PAPER_SHOTS,
+    measure_fig3_point, measure_scale_point, secs, table1_circuit, time_backend_par,
+    time_backend_stream, EngineKind, Workload, PAPER_SHOTS,
 };
 use symphase_bitmat::layout::{ChpLayout, StimLayout, SymLayout512, TableauLayout};
 use symphase_core::{PhaseRepr, SamplingMethod, SymPhaseSampler};
@@ -265,23 +265,28 @@ fn sampling(n: usize, shots: usize) {
 fn par_scaling(n: usize, shots: usize) {
     println!("\n== par : chunk-seeded parallel sampling, n={n}, {shots} shots ==");
     println!(
-        "{:>16} {:>12} {:>12} {:>8}",
-        "backend", "serial_s", "par_s", "speedup"
+        "{:>16} {:>12} {:>12} {:>12} {:>8}",
+        "backend", "serial_s", "par_s", "stream_s", "speedup"
     );
     for workload in [Workload::Fig3a, Workload::Fig3c] {
         let c = workload.circuit(n, 13);
-        for kind in [workload.symphase_backend(), BackendKind::Frame] {
+        for kind in [workload.symphase_backend(), EngineKind::Frame] {
             let (serial, par) = time_backend_par(kind, &c, shots, 1);
+            // The O(chunk)-memory delivery path the CLI runs: same
+            // schedule, no full-batch materialization.
+            let stream = time_backend_stream(kind, &c, shots, 1);
             println!(
-                "{:>16} {:>12} {:>12} {:>8.2}",
+                "{:>16} {:>12} {:>12} {:>12} {:>8.2}",
                 format!("{}/{}", workload.name(), kind.name()),
                 secs(serial),
                 secs(par),
+                secs(stream),
                 serial.as_secs_f64() / par.as_secs_f64().max(1e-9)
             );
         }
     }
-    println!("outputs are verified bit-identical between the serial and parallel paths.");
+    println!("outputs are verified bit-identical between the serial, parallel, and");
+    println!("streaming paths (the streaming sink sees the same chunk schedule).");
 }
 
 /// Deep-memory scale series: parse + initialize + sample a structured

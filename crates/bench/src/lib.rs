@@ -10,7 +10,9 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-pub use symphase::backend::BackendKind;
+use symphase::backend::build_sampler;
+pub use symphase::backend::{EngineKind, SimConfig};
+use symphase::sampler_api::{CountingSink, Sampler};
 use symphase_circuit::generators::{
     fig3a_circuit, fig3b_circuit, fig3c_circuit, noisy_ghz_chain, surface_code_memory,
     SurfaceCodeConfig,
@@ -57,11 +59,11 @@ impl Workload {
     }
 
     /// The SymPhase backend pinned to this workload's best representation.
-    pub fn symphase_backend(self) -> BackendKind {
+    pub fn symphase_backend(self) -> EngineKind {
         match self.phase_repr() {
-            PhaseRepr::Sparse => BackendKind::SymPhaseSparse,
-            PhaseRepr::Dense => BackendKind::SymPhaseDense,
-            PhaseRepr::Auto => BackendKind::SymPhase,
+            PhaseRepr::Sparse => EngineKind::SymPhaseSparse,
+            PhaseRepr::Dense => EngineKind::SymPhaseDense,
+            PhaseRepr::Auto => EngineKind::SymPhase,
         }
     }
 
@@ -79,7 +81,7 @@ impl Workload {
 /// measured through the shared `Sampler` trait.
 #[derive(Clone, Copy, Debug)]
 pub struct BackendTiming {
-    /// Backend label ([`BackendKind::name`]).
+    /// Backend label ([`EngineKind::name`]).
     pub label: &'static str,
     /// Time to build the sampler (the engine's initialization).
     pub init: Duration,
@@ -87,15 +89,16 @@ pub struct BackendTiming {
     pub sample: Duration,
 }
 
+/// Builds `kind` for `circuit` through the configured factory, panicking
+/// on the (impossible-for-bench-workloads) construction failures.
+fn build(kind: EngineKind, circuit: &Circuit) -> Box<dyn Sampler> {
+    build_sampler(circuit, &SimConfig::new().with_engine(kind)).expect("bench backend builds")
+}
+
 /// Times `kind` on `circuit`: build, then draw `shots` from `seed`.
-pub fn time_backend(
-    kind: BackendKind,
-    circuit: &Circuit,
-    shots: usize,
-    seed: u64,
-) -> BackendTiming {
+pub fn time_backend(kind: EngineKind, circuit: &Circuit, shots: usize, seed: u64) -> BackendTiming {
     let t = Instant::now();
-    let sampler = kind.build(circuit);
+    let sampler = build(kind, circuit);
     let init = t.elapsed();
     let mut rng = StdRng::seed_from_u64(seed);
     let t = Instant::now();
@@ -112,12 +115,12 @@ pub fn time_backend(
 /// Times `kind`'s parallel chunk-seeded sampling path
 /// (`Sampler::sample_par`) against the serial schedule.
 pub fn time_backend_par(
-    kind: BackendKind,
+    kind: EngineKind,
     circuit: &Circuit,
     shots: usize,
     seed: u64,
 ) -> (Duration, Duration) {
-    let sampler = kind.build(circuit);
+    let sampler = build(kind, circuit);
     let t = Instant::now();
     let serial = sampler.sample_seeded(shots, seed);
     let serial_time = t.elapsed();
@@ -129,6 +132,28 @@ pub fn time_backend_par(
         "sample_par must match sample_seeded shot-for-shot"
     );
     (serial_time, par_time)
+}
+
+/// Times `kind`'s streaming path (`Sampler::sample_to` into a
+/// [`CountingSink`]) — the O(chunk)-memory delivery the CLI runs —
+/// returning the wall time. The delivered shot count is asserted equal
+/// to the request internally.
+pub fn time_backend_stream(
+    kind: EngineKind,
+    circuit: &Circuit,
+    shots: usize,
+    seed: u64,
+) -> Duration {
+    let sampler = build(kind, circuit);
+    let mut sink = CountingSink::default();
+    let t = Instant::now();
+    sampler
+        .sample_to(shots, seed, &mut sink)
+        .expect("counting sink cannot fail");
+    let time = t.elapsed();
+    assert_eq!(sink.shots, shots, "stream must deliver every shot");
+    std::hint::black_box(sink.measurement_ones);
+    time
 }
 
 /// One measured data point of a Fig. 3 style comparison.
@@ -151,7 +176,7 @@ pub struct FigPoint {
 pub fn measure_fig3_point(workload: Workload, n: usize, shots: usize) -> FigPoint {
     let circuit = workload.circuit(n, 0xF16_3000 + n as u64);
     let sym = time_backend(workload.symphase_backend(), &circuit, shots, 1);
-    let frame = time_backend(BackendKind::Frame, &circuit, shots, 2);
+    let frame = time_backend(EngineKind::Frame, &circuit, shots, 2);
     FigPoint {
         n,
         symphase_init: sym.init,
@@ -392,15 +417,21 @@ mod tests {
     fn all_backend_choices_sample_through_the_trait() {
         let c = Workload::Fig3a.circuit(8, 2);
         for kind in [
-            BackendKind::SymPhaseSparse,
-            BackendKind::SymPhaseDense,
-            BackendKind::Frame,
-            BackendKind::Tableau,
+            EngineKind::SymPhaseSparse,
+            EngineKind::SymPhaseDense,
+            EngineKind::Frame,
+            EngineKind::Tableau,
         ] {
-            assert!(kind.supports(&c));
             let t = time_backend(kind, &c, 64, 3);
             assert_eq!(t.label, kind.name());
         }
+    }
+
+    #[test]
+    fn streaming_path_delivers_every_shot() {
+        let c = Workload::Fig3a.circuit(8, 2);
+        // Asserts delivered == requested internally.
+        let _ = time_backend_stream(EngineKind::SymPhaseSparse, &c, 10_000, 5);
     }
 
     /// Nightly-free smoke bench: exercises the full sampling ablation
@@ -422,7 +453,7 @@ mod tests {
     fn par_path_verified_against_serial() {
         let c = Workload::Fig3a.circuit(8, 2);
         // time_backend_par asserts shot-for-shot equality internally.
-        let _ = time_backend_par(BackendKind::SymPhaseSparse, &c, 10_000, 5);
-        let _ = time_backend_par(BackendKind::Frame, &c, 10_000, 5);
+        let _ = time_backend_par(EngineKind::SymPhaseSparse, &c, 10_000, 5);
+        let _ = time_backend_par(EngineKind::Frame, &c, 10_000, 5);
     }
 }

@@ -8,11 +8,11 @@
 //! but on dense circuits every output row costs `n_s / 2` row XORs.
 //!
 //! The Method of Four Russians (M4RM) cuts that by the group width: the
-//! columns of `M` are processed in groups of [`GROUP_BITS`] = 8, and for
+//! columns of `M` are processed in groups of `GROUP_BITS` = 8, and for
 //! each group a 256-entry table of all XOR combinations of the group's 8
 //! `B` rows is precomputed in Gray-code order (one row XOR per entry).
 //! Every output row then pays **one** table lookup per group instead of up
-//! to 8 row XORs. The shot dimension is tiled ([`TILE_WORDS`]) so the
+//! to 8 row XORs. The shot dimension is tiled (`TILE_WORDS`) so the
 //! active table stays cache-resident no matter how many shots a batch
 //! carries, and the per-group decision between the table and the plain
 //! gather is made adaptively from the group's population count, so the

@@ -7,6 +7,7 @@ use rand::{Rng, RngCore};
 use symphase_backend::record::{detector_measurement_sets, observable_measurement_sets};
 pub use symphase_backend::SampleBatch;
 use symphase_backend::Sampler;
+pub use symphase_backend::{PhaseRepr, SamplingMethod};
 use symphase_bitmat::bernoulli::{fill_bernoulli, for_each_bernoulli_index};
 use symphase_bitmat::{BitMatrix, SparseBitVec, SparseRowMatrix};
 use symphase_circuit::Circuit;
@@ -15,150 +16,6 @@ use crate::engine::{initialize, InitResult};
 use crate::expr::SymExpr;
 use crate::phases::{DensePhases, SparsePhases};
 use crate::symbol::{SymbolGroup, SymbolTable};
-
-/// Which symbolic phase store Initialization uses (paper Eq. (3) dense
-/// bit-matrix vs sparse rows; ablation A2 in DESIGN.md).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum PhaseRepr {
-    /// Choose per circuit (the paper's conclusion suggests "dynamically
-    /// determining the layout based on the type/pattern of the circuit"):
-    /// heavily-interacting noisy circuits mix phases until sparse rows
-    /// degenerate, so pick [`PhaseRepr::Dense`] when the expected symbol
-    /// density is high and [`PhaseRepr::Sparse`] otherwise.
-    #[default]
-    Auto,
-    /// Sorted symbol lists per tableau row (best for QEC-style circuits,
-    /// where each generator carries few symbols).
-    Sparse,
-    /// Packed coefficient bit-rows (the paper's dense picture; best for
-    /// dense random circuits with pervasive noise).
-    Dense,
-}
-
-impl PhaseRepr {
-    /// Resolves `Auto` against a circuit's statistics.
-    ///
-    /// Heuristic: the sparse store wins while expressions stay short. Long
-    /// expressions come from deep mixing of *noise* symbols: every random
-    /// measurement contributes exactly one coin, so coins cannot tell
-    /// circuits apart and are excluded from the ratio. The crossover is
-    /// pinned at 8 noise symbols per measurement — a noiseless circuit
-    /// scores 0 and always takes the sparse store, however many
-    /// measurements it records. (The previous formula folded the
-    /// measurement count into the numerator, flooring the "symbols per
-    /// measurement" ratio at 1 and letting measurement-heavy noiseless
-    /// circuits drift toward the dense store; `tests/phase_repr.rs` pins
-    /// the crossover on representative circuits.)
-    pub fn resolve(self, circuit: &Circuit) -> PhaseRepr {
-        match self {
-            PhaseRepr::Auto => {
-                let s = circuit.stats();
-                let per_meas = s.noise_symbols as f64 / s.measurements.max(1) as f64;
-                if per_meas > 8.0 {
-                    PhaseRepr::Dense
-                } else {
-                    PhaseRepr::Sparse
-                }
-            }
-            other => other,
-        }
-    }
-}
-
-/// How the Sampling step multiplies `M · B` (ablation A1 in DESIGN.md).
-///
-/// Every strategy consumes the RNG stream identically (they all draw the
-/// same assignment matrix `B`, group by group), so for a fixed seed all
-/// methods — including the one [`SamplingMethod::Auto`] picks — produce
-/// **bit-identical** samples; only the kernel computing `M · B` differs.
-/// `tests/sampling_methods.rs` pins this equality.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum SamplingMethod {
-    /// Choose per circuit (mirroring [`PhaseRepr::Auto`]): dense
-    /// measurement rows — determined outcomes downstream of noise and
-    /// entanglement — promote to the blocked
-    /// [`SamplingMethod::DenseMatMul`] kernel; at realistic (small) fault
-    /// rates the event-driven [`SamplingMethod::Hybrid`] wins; in
-    /// between, [`SamplingMethod::SparseRows`]. See
-    /// [`SamplingMethod::resolve`] and [`SymPhaseSampler::resolved_method`]
-    /// for the exact rule.
-    #[default]
-    Auto,
-    /// Coins (fair measurement randomness) are multiplied densely — they
-    /// fire every shot — while fault symbols are handled *event-wise*:
-    /// for each fired noise site the affected measurement bits are flipped
-    /// through a symbol → measurements index. For realistic fault rates
-    /// almost no sites fire, so the noise cost is proportional to the
-    /// number of actual fault events, the strongest form of the paper's
-    /// column-sparsity argument (Table 1's `O(n_smp · n_m)` sparse case).
-    Hybrid,
-    /// Per-measurement XOR of the symbol shot-rows selected by the sparse
-    /// measurement row — the paper's "sparse implementation of matrix
-    /// multiplication" (§5).
-    SparseRows,
-    /// Dense F₂ matrix product against the densified measurement matrix,
-    /// computed with the blocked Four-Russians kernel
-    /// ([`symphase_bitmat::m4r`]): 8-bit Gray-code XOR tables over row
-    /// groups, tiled over the shot dimension, with scratch buffers reused
-    /// across shot batches.
-    DenseMatMul,
-}
-
-impl SamplingMethod {
-    /// Resolves `Auto` against a circuit's pre-initialization statistics;
-    /// fixed methods resolve to themselves.
-    ///
-    /// From counts alone only the event-rate side is observable: if the
-    /// mean noise fire probability is at most `1/64`, fault sites fire
-    /// less than once per packed word of shots, so flipping individual
-    /// bits per event ([`SamplingMethod::Hybrid`]) beats XORing whole
-    /// shot-rows; otherwise [`SamplingMethod::SparseRows`].
-    ///
-    /// The *density* side — promoting to the blocked
-    /// [`SamplingMethod::DenseMatMul`] when measurement rows carry more
-    /// set bits than the kernel has column groups — needs the measurement
-    /// matrix itself, which only exists after Initialization;
-    /// [`SymPhaseSampler::resolved_method`] applies that refinement. (Deep
-    /// *random* circuits do not densify `M`: random outcomes are fresh
-    /// coins, so fault symbols stay out of their rows. Density comes from
-    /// *determined* measurements downstream of noise and entanglement —
-    /// see `noisy_ghz_chain`.)
-    pub fn resolve(self, circuit: &Circuit) -> SamplingMethod {
-        match self {
-            SamplingMethod::Auto => {
-                if circuit.mean_noise_probability() <= 1.0 / 64.0 {
-                    SamplingMethod::Hybrid
-                } else {
-                    SamplingMethod::SparseRows
-                }
-            }
-            other => other,
-        }
-    }
-
-    /// CLI name (`--sampling` value).
-    pub fn name(self) -> &'static str {
-        match self {
-            SamplingMethod::Auto => "auto",
-            SamplingMethod::Hybrid => "hybrid",
-            SamplingMethod::SparseRows => "sparse",
-            SamplingMethod::DenseMatMul => "dense",
-        }
-    }
-
-    /// Parses a CLI name.
-    pub fn from_name(name: &str) -> Option<SamplingMethod> {
-        Self::ALL.into_iter().find(|m| m.name() == name)
-    }
-
-    /// Every method, in documentation order.
-    pub const ALL: [SamplingMethod; 4] = [
-        SamplingMethod::Auto,
-        SamplingMethod::Hybrid,
-        SamplingMethod::SparseRows,
-        SamplingMethod::DenseMatMul,
-    ];
-}
 
 /// The SymPhase measurement sampler (paper Algorithm 1).
 ///
@@ -616,10 +473,6 @@ impl Sampler for SymPhaseSampler {
             PhaseRepr::Sparse => "symphase-sparse",
             PhaseRepr::Dense => "symphase-dense",
         }
-    }
-
-    fn from_circuit(circuit: &Circuit) -> Self {
-        Self::new(circuit)
     }
 
     fn num_measurements(&self) -> usize {

@@ -148,10 +148,6 @@ impl Sampler for FrameSampler {
         "frame"
     }
 
-    fn from_circuit(circuit: &Circuit) -> Self {
-        Self::new(circuit)
-    }
-
     fn num_measurements(&self) -> usize {
         self.circuit.num_measurements()
     }

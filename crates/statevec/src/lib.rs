@@ -25,7 +25,7 @@
 use rand::{Rng, RngCore};
 
 use symphase_backend::exec::{run_shot, ShotBatcher, ShotState};
-use symphase_backend::{SampleBatch, Sampler};
+use symphase_backend::{BuildError, SampleBatch, Sampler};
 use symphase_bitmat::BitVec;
 use symphase_circuit::{Circuit, Gate};
 
@@ -136,27 +136,39 @@ impl StateVecSampler {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit has more than [`MAX_QUBITS`] qubits.
+    /// Panics if the circuit has more than [`MAX_QUBITS`] qubits; prefer
+    /// [`StateVecSampler::try_new`], which reports the cap as a typed
+    /// [`BuildError`] instead.
     pub fn new(circuit: &Circuit) -> Self {
+        match Self::try_new(circuit) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the backend for `circuit`, failing with
+    /// [`BuildError::CircuitTooLarge`] when the circuit exceeds
+    /// [`MAX_QUBITS`] qubits (storing `2^n` amplitudes past that point is
+    /// hopeless, not slow).
+    pub fn try_new(circuit: &Circuit) -> Result<Self, BuildError> {
         let n = circuit.num_qubits();
-        assert!(
-            n <= MAX_QUBITS,
-            "{n} qubits exceed the dense limit {MAX_QUBITS}"
-        );
-        Self {
+        if n > MAX_QUBITS {
+            return Err(BuildError::CircuitTooLarge {
+                engine: "statevec",
+                qubits: n,
+                max_qubits: MAX_QUBITS,
+            });
+        }
+        Ok(Self {
             circuit: circuit.clone(),
             batcher: ShotBatcher::new(circuit),
-        }
+        })
     }
 }
 
 impl Sampler for StateVecSampler {
     fn name(&self) -> &'static str {
         "statevec"
-    }
-
-    fn from_circuit(circuit: &Circuit) -> Self {
-        Self::new(circuit)
     }
 
     fn num_measurements(&self) -> usize {

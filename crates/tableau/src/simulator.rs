@@ -140,10 +140,6 @@ impl Sampler for TableauSampler {
         "tableau"
     }
 
-    fn from_circuit(circuit: &Circuit) -> Self {
-        Self::new(circuit)
-    }
-
     fn num_measurements(&self) -> usize {
         self.circuit.num_measurements()
     }

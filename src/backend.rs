@@ -1,124 +1,104 @@
-//! Backend selection: every simulation engine behind one factory.
+//! Backend construction: every simulation engine behind one fallible
+//! factory.
 //!
-//! All four engines implement [`Sampler`]; this module names them and
-//! builds them dynamically, which is what the CLI (`--engine`), the bench
-//! harness, and the cross-backend equivalence tests route through.
+//! The configuration half of this API — [`SimConfig`], [`EngineKind`],
+//! [`BuildError`] — lives in `symphase_backend::config` and is re-exported
+//! here; this module supplies the construction half, [`build_sampler`],
+//! because only the facade crate links every engine.
+//!
+//! ```
+//! use symphase::backend::{build_sampler, EngineKind, SimConfig};
+//! use symphase::circuit::generators::ghz;
+//!
+//! let cfg = SimConfig::new().with_engine(EngineKind::Frame).with_seed(7);
+//! let sampler = build_sampler(&ghz(3), &cfg)?;
+//! let batch = sampler.sample_seeded(100, cfg.seed());
+//! assert_eq!(batch.measurements.rows(), 3);
+//! # Ok::<(), symphase::backend::BuildError>(())
+//! ```
 
 use symphase_backend::Sampler;
 use symphase_circuit::Circuit;
-use symphase_core::{PhaseRepr, SamplingMethod, SymPhaseSampler};
+use symphase_core::SymPhaseSampler;
 use symphase_frame::FrameSampler;
-use symphase_statevec::{StateVecSampler, MAX_QUBITS};
+use symphase_statevec::StateVecSampler;
 use symphase_tableau::TableauSampler;
 
-/// The selectable sampler backends.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BackendKind {
-    /// SymPhase (Algorithm 1) with the per-circuit automatic phase store.
-    SymPhase,
-    /// SymPhase pinned to the sparse phase store.
-    SymPhaseSparse,
-    /// SymPhase pinned to the dense phase store.
-    SymPhaseDense,
-    /// Stim-style Pauli-frame batch propagation.
-    Frame,
-    /// Per-shot concrete Aaronson–Gottesman tableau trajectories.
-    Tableau,
-    /// Per-shot dense state-vector trajectories (small circuits only).
-    StateVec,
+pub use symphase_backend::{BuildError, EngineKind, PhaseRepr, SamplingMethod, SimConfig};
+
+/// The pre-`SimConfig` name of [`EngineKind`], kept so older call sites
+/// keep compiling.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `EngineKind` and `build_sampler(&circuit, &SimConfig)` — the old \
+            constructor path panicked instead of reporting `BuildError`s"
+)]
+pub type BackendKind = EngineKind;
+
+/// Builds the configured engine for `circuit` — **the** sampler
+/// constructor.
+///
+/// Validates the configuration ([`SimConfig::validate`]) and the
+/// circuit/engine pairing (the state-vector qubit cap), then runs the
+/// engine's initialization: a symbolic traversal for the SymPhase
+/// variants, a reference tableau sample for the frame baseline, a circuit
+/// copy for the per-shot engines. Every failure mode is a typed
+/// [`BuildError`] — this function does not panic.
+pub fn build_sampler(
+    circuit: &Circuit,
+    config: &SimConfig,
+) -> Result<Box<dyn Sampler>, BuildError> {
+    config.validate()?;
+    Ok(match config.engine() {
+        EngineKind::SymPhase | EngineKind::SymPhaseSparse | EngineKind::SymPhaseDense => Box::new(
+            SymPhaseSampler::with_config(circuit, config.effective_phase_repr(), config.sampling()),
+        ),
+        EngineKind::Frame => Box::new(FrameSampler::new(circuit)),
+        EngineKind::Tableau => Box::new(TableauSampler::new(circuit)),
+        EngineKind::StateVec => Box::new(StateVecSampler::try_new(circuit)?),
+    })
 }
 
-impl BackendKind {
-    /// Every backend, in documentation order.
-    pub const ALL: [BackendKind; 6] = [
-        BackendKind::SymPhase,
-        BackendKind::SymPhaseSparse,
-        BackendKind::SymPhaseDense,
-        BackendKind::Frame,
-        BackendKind::Tableau,
-        BackendKind::StateVec,
-    ];
-
-    /// The CLI name.
-    pub fn name(self) -> &'static str {
-        match self {
-            BackendKind::SymPhase => "symphase",
-            BackendKind::SymPhaseSparse => "symphase-sparse",
-            BackendKind::SymPhaseDense => "symphase-dense",
-            BackendKind::Frame => "frame",
-            BackendKind::Tableau => "tableau",
-            BackendKind::StateVec => "statevec",
-        }
+/// The old panicking constructor path: builds `kind` for `circuit` with
+/// every knob at its default.
+///
+/// # Panics
+///
+/// Panics on any condition [`build_sampler`] would report as a
+/// [`BuildError`] (e.g. a circuit past the state-vector qubit cap).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `build_sampler(&circuit, &SimConfig::new().with_engine(kind))`"
+)]
+pub fn build(kind: EngineKind, circuit: &Circuit) -> Box<dyn Sampler> {
+    match build_sampler(circuit, &SimConfig::new().with_engine(kind)) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}"),
     }
+}
 
-    /// Parses a CLI name.
-    pub fn from_name(name: &str) -> Option<BackendKind> {
-        Self::ALL.into_iter().find(|k| k.name() == name)
-    }
-
-    /// Whether this backend can simulate `circuit` (the dense ground
-    /// truth is capped at [`MAX_QUBITS`] qubits).
-    pub fn supports(self, circuit: &Circuit) -> bool {
-        match self {
-            BackendKind::StateVec => circuit.num_qubits() <= MAX_QUBITS,
-            _ => true,
-        }
-    }
-
-    /// Whether this backend honors a `M · B` sampling-method choice
-    /// (`--sampling`); only the SymPhase engines multiply a measurement
-    /// matrix.
-    pub fn supports_sampling_method(self) -> bool {
-        matches!(
-            self,
-            BackendKind::SymPhase | BackendKind::SymPhaseSparse | BackendKind::SymPhaseDense
-        )
-    }
-
-    /// Builds the backend for `circuit` (runs the engine's
-    /// initialization).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the backend does not support the circuit (see
-    /// [`BackendKind::supports`]).
-    pub fn build(self, circuit: &Circuit) -> Box<dyn Sampler> {
-        self.build_with_sampling(circuit, SamplingMethod::Auto)
-    }
-
-    /// Builds the backend with an explicit sampling-method choice for the
-    /// SymPhase engines (the CLI's `--sampling`); engines without a
-    /// measurement-matrix product ignore the method.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the backend does not support the circuit (see
-    /// [`BackendKind::supports`]).
-    pub fn build_with_sampling(
-        self,
-        circuit: &Circuit,
-        method: SamplingMethod,
-    ) -> Box<dyn Sampler> {
-        match self {
-            BackendKind::SymPhase => Box::new(SymPhaseSampler::with_config(
-                circuit,
-                PhaseRepr::Auto,
-                method,
-            )),
-            BackendKind::SymPhaseSparse => Box::new(SymPhaseSampler::with_config(
-                circuit,
-                PhaseRepr::Sparse,
-                method,
-            )),
-            BackendKind::SymPhaseDense => Box::new(SymPhaseSampler::with_config(
-                circuit,
-                PhaseRepr::Dense,
-                method,
-            )),
-            BackendKind::Frame => Box::new(FrameSampler::from_circuit(circuit)),
-            BackendKind::Tableau => Box::new(TableauSampler::from_circuit(circuit)),
-            BackendKind::StateVec => Box::new(StateVecSampler::from_circuit(circuit)),
-        }
+/// The old panicking constructor path with an explicit sampling method.
+///
+/// # Panics
+///
+/// Panics on any condition [`build_sampler`] would report as a
+/// [`BuildError`] (e.g. a sampling method on a non-SymPhase engine).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `build_sampler(&circuit, &SimConfig::new().with_engine(kind)\
+            .with_sampling(method))`"
+)]
+pub fn build_with_sampling(
+    kind: EngineKind,
+    circuit: &Circuit,
+    method: SamplingMethod,
+) -> Box<dyn Sampler> {
+    match build_sampler(
+        circuit,
+        &SimConfig::new().with_engine(kind).with_sampling(method),
+    ) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -126,13 +106,14 @@ impl BackendKind {
 mod tests {
     use super::*;
     use symphase_circuit::generators::ghz;
+    use symphase_statevec::MAX_QUBITS;
 
     #[test]
     fn names_round_trip() {
-        for kind in BackendKind::ALL {
-            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::from_name(kind.name()), Some(kind));
         }
-        assert_eq!(BackendKind::from_name("bogus"), None);
+        assert_eq!(EngineKind::from_name("bogus"), None);
     }
 
     #[test]
@@ -140,8 +121,9 @@ mod tests {
         // The trait's `name()` is documented as the CLI `--engine` value:
         // every built backend must report the name it was selected by.
         let c = ghz(2);
-        for kind in BackendKind::ALL {
-            assert_eq!(kind.build(&c).name(), kind.name());
+        for kind in EngineKind::ALL {
+            let s = build_sampler(&c, &SimConfig::new().with_engine(kind)).expect("builds");
+            assert_eq!(s.name(), kind.name());
         }
     }
 
@@ -150,9 +132,8 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let c = ghz(3);
-        for kind in BackendKind::ALL {
-            assert!(kind.supports(&c));
-            let s = kind.build(&c);
+        for kind in EngineKind::ALL {
+            let s = build_sampler(&c, &SimConfig::new().with_engine(kind)).expect("builds");
             let batch = s.sample(200, &mut StdRng::seed_from_u64(1));
             assert_eq!(batch.measurements.rows(), 3);
             for shot in 0..200 {
@@ -170,9 +151,51 @@ mod tests {
     }
 
     #[test]
-    fn statevec_capped_by_qubit_count() {
-        let big = symphase_circuit::Circuit::new(MAX_QUBITS + 1);
-        assert!(!BackendKind::StateVec.supports(&big));
-        assert!(BackendKind::Frame.supports(&big));
+    fn statevec_cap_reports_a_typed_error() {
+        let big = Circuit::new(MAX_QUBITS + 1);
+        let cfg = SimConfig::new().with_engine(EngineKind::StateVec);
+        let e = build_sampler(&big, &cfg).err().expect("must fail");
+        assert_eq!(
+            e,
+            BuildError::CircuitTooLarge {
+                engine: "statevec",
+                qubits: MAX_QUBITS + 1,
+                max_qubits: MAX_QUBITS,
+            }
+        );
+        assert!(build_sampler(&big, &SimConfig::new().with_engine(EngineKind::Frame)).is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_fail_before_initialization() {
+        let c = ghz(2);
+        let cfg = SimConfig::new()
+            .with_engine(EngineKind::Tableau)
+            .with_sampling(SamplingMethod::Hybrid);
+        assert!(matches!(
+            build_sampler(&c, &cfg).err().expect("must fail"),
+            BuildError::SamplingMethodUnsupported { .. }
+        ));
+    }
+
+    #[test]
+    fn phase_repr_flows_through_the_config() {
+        let c = ghz(2);
+        let cfg = SimConfig::new().with_phase_repr(PhaseRepr::Dense);
+        // `symphase` honoring a pinned store reports the pinned name.
+        let s = build_sampler(&c, &cfg).expect("builds");
+        assert_eq!(s.name(), "symphase-dense");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_path_still_works() {
+        let c = ghz(2);
+        let s = build(EngineKind::Frame, &c);
+        assert_eq!(s.name(), "frame");
+        let s = build_with_sampling(EngineKind::SymPhase, &c, SamplingMethod::SparseRows);
+        assert_eq!(s.name(), "symphase");
+        let kind: BackendKind = EngineKind::Tableau;
+        assert_eq!(kind.name(), "tableau");
     }
 }

@@ -1,14 +1,28 @@
 //! The `symphase` CLI binary: sample, analyze, and extract error models
 //! from stabilizer circuits in the Stim-like text format.
+//!
+//! Sample output is streamed to stdout (or `--out` files) chunk by chunk
+//! through `symphase::cli::run_to` — the process never holds a full shot
+//! transcript in memory.
+
+use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match symphase::cli::run(&args) {
-        Ok(output) => print!("{output}"),
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    match symphase::cli::run_to(&args, &mut out) {
+        Ok(()) => {
+            if let Err(e) = out.flush() {
+                eprintln!("error: writing stdout: {e}");
+                std::process::exit(1);
+            }
+        }
         Err(e) => {
             if e.code == 0 {
                 print!("{e}");
             } else {
+                let _ = out.flush();
                 eprintln!("error: {e}");
             }
             std::process::exit(e.code);

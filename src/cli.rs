@@ -3,8 +3,8 @@
 //! A Stim-like CLI over the circuit text format:
 //!
 //! ```text
-//! symphase sample    -c circuit.stim --shots 1000 [--format 01|counts] [--seed N] [--engine E] [--sampling S] [--par]
-//! symphase detect    -c circuit.stim --shots 1000 [--seed N] [--engine E] [--sampling S] [--par]
+//! symphase sample    -c circuit.stim --shots 1000 [--format 01|counts|b8|hits] [--out F] [--seed N] [--engine E] [--sampling S] [--par|--threads T]
+//! symphase detect    -c circuit.stim --shots 1000 [--format 01|counts|b8|hits|dets] [--out F] [--obs-out F] [--seed N] [--engine E] [--sampling S] [--par|--threads T]
 //! symphase analyze   -c circuit.stim
 //! symphase stats     -c circuit.stim
 //! symphase dem       -c circuit.stim
@@ -12,43 +12,55 @@
 //! symphase gen surface-code --distance 3 --rounds 100000 [--data-error p] [--measure-error p]
 //! ```
 //!
+//! `sample` and `detect` **stream**: shots flow from the engine to the
+//! output writer one chunk at a time through the [`ShotSink`] layer, so
+//! memory stays `O(chunk)` however many shots are requested — a billion
+//! shots to a `b8` file never holds more than one chunk in memory. (The
+//! one exception is `--format counts`, which by design accumulates one
+//! counter per *distinct* observed bit pattern; on high-entropy records
+//! that can approach one entry per shot.)
+//! `--out` writes to a file instead of stdout; `--obs-out` splits the
+//! observable stream of `detect` into its own file. The output formats
+//! (`01`, `counts`, `b8`, `hits`, `dets`) are specified in
+//! `docs/formats.md`.
+//!
+//! Sampling is always chunk-seeded: `--seed N` fixes the output
+//! bit-for-bit, and `--par` / `--threads T` only change how chunks are
+//! drawn, never what the output contains.
+//!
+//! Option values are validated **before** the circuit is loaded, and exit
+//! codes distinguish failure classes: `2` for usage errors (unknown
+//! option, bad format/engine/sampling name), `1` for runtime errors
+//! (unreadable file, parse error, circuit/engine mismatch, I/O failure),
+//! `0` for `--help`.
+//!
 //! `stats` parses and prints structural statistics only — because
 //! `REPEAT` blocks are first-class IR nodes, this is O(file) even for a
 //! circuit whose flattened form would hold billions of instructions.
 //! `gen` emits the built-in QEC memory workloads (with structured
 //! `REPEAT` rounds) as circuit text.
 //!
-//! `--engine` selects any backend implementing the shared [`Sampler`]
-//! trait: `symphase` (default), `symphase-sparse`, `symphase-dense`,
-//! `frame`, `tableau`, or `statevec`. `--sampling` pins the SymPhase
-//! engines' `M · B` multiplication strategy (`auto` (default), `hybrid`,
-//! `sparse`, or `dense` — the blocked Four-Russians kernel); all
-//! strategies produce bit-identical samples for equal seeds. `--par`
-//! samples across threads with deterministic per-chunk seeding
-//! (bit-identical to the serial chunked schedule for the same `--seed`).
-//!
 //! The logic lives here (rather than in `main`) so the test suite can run
 //! commands in-process.
 
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io::{self, Write};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use symphase_backend::{SampleBatch, Sampler};
+use symphase_backend::formats::{RecordSource, SampleFormat};
+use symphase_backend::{FanoutSink, Sampler, ShotSink, SimConfig};
 use symphase_circuit::Circuit;
-use symphase_core::{SamplingMethod, SymPhaseSampler};
+use symphase_core::SymPhaseSampler;
 use symphase_tableau::reference_sample;
 
-use crate::backend::BackendKind;
+use crate::backend::build_sampler;
 
 /// A CLI failure: message plus suggested exit code.
 #[derive(Debug)]
 pub struct CliError {
     /// Human-readable description.
     pub message: String,
-    /// Process exit code.
+    /// Process exit code: `2` for usage errors, `1` for runtime errors,
+    /// `0` for `--help`.
     pub code: i32,
 }
 
@@ -60,10 +72,20 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+/// A usage error (exit code 2): the invocation itself is malformed.
 fn fail(message: impl Into<String>) -> CliError {
     CliError {
         message: message.into(),
         code: 2,
+    }
+}
+
+/// A runtime error (exit code 1): a well-formed invocation that failed
+/// against its inputs (file, circuit, engine, output writer).
+fn fail_run(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: 1,
     }
 }
 
@@ -72,8 +94,8 @@ pub const USAGE: &str = "\
 usage: symphase <command> [options]
 
 commands:
-  sample     sample measurement records        (--shots, --seed, --format, --engine, --par)
-  detect     sample detectors and observables  (--shots, --seed, --engine, --par)
+  sample     sample measurement records        (--shots, --seed, --format, --out, --engine, --par)
+  detect     sample detectors and observables  (--shots, --seed, --format, --out, --obs-out, --engine, --par)
   analyze    print circuit statistics and symbolic measurement expressions
   stats      print structural statistics only (O(file), REPEAT never expanded)
   dem        print the detector error model
@@ -83,19 +105,27 @@ commands:
 
 options:
   -c, --circuit <path>   circuit file in the Stim-like text format ('-' = stdin)
-      --shots <n>        number of samples (default 10)
-      --seed <n>         RNG seed (default 0)
-      --format <f>       sample output: 01 (default) or counts
+      --shots <n>        number of samples (default 10; 0 is valid and emits empty output)
+      --seed <n>         RNG seed (default 0); output is bit-identical per seed,
+                         serial or parallel
+      --format <f>       sample output: 01 (default), counts, b8 (packed binary),
+                         hits, or dets (detect only) — see docs/formats.md
+      --out <path>       stream sample output to a file instead of stdout
+      --obs-out <path>   detect: stream observables to their own file (the main
+                         output then carries detectors only)
       --engine <e>       backend: symphase (default), symphase-sparse,
                          symphase-dense, frame, tableau, or statevec
       --sampling <s>     M·B strategy for symphase engines: auto (default),
                          hybrid, sparse, or dense (blocked kernel); all
                          strategies sample identical bits for equal seeds
-      --par              sample across threads (deterministic per-chunk seeding)
+      --par              sample across all cores (chunks stream in order)
+      --threads <t>      sample across exactly t threads (1 = serial)
       --distance <d>     gen: code distance (default 3)
       --rounds <r>       gen: stabilizer measurement rounds (default 3)
       --data-error <p>   gen: per-round data noise strength (default 0.001)
       --measure-error <p> gen: pre-measurement flip strength (default 0.001)
+
+exit codes: 0 success/help, 1 runtime error, 2 usage error
 ";
 
 /// Parsed command-line options.
@@ -109,13 +139,28 @@ struct Options {
     shots: usize,
     seed: u64,
     format: String,
+    out: Option<String>,
+    obs_out: Option<String>,
     engine: String,
     sampling: String,
     parallel: bool,
+    threads: Option<usize>,
     distance: usize,
     rounds: usize,
     data_error: f64,
     measure_error: f64,
+}
+
+impl Options {
+    /// The thread budget the streaming layer sees: `--threads` wins, then
+    /// `--par` (0 = all cores), else serial.
+    fn effective_threads(&self) -> usize {
+        match self.threads {
+            Some(t) => t,
+            None if self.parallel => 0,
+            None => 1,
+        }
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Options, CliError> {
@@ -151,9 +196,22 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                     .map_err(|_| fail("--seed must be an integer"))?;
             }
             "--format" => opts.format = value("--format")?,
+            "--out" => opts.out = Some(value("--out")?),
+            "--obs-out" => opts.obs_out = Some(value("--obs-out")?),
             "--engine" => opts.engine = value("--engine")?,
             "--sampling" => opts.sampling = value("--sampling")?,
             "--par" => opts.parallel = true,
+            "--threads" => {
+                let t: usize = value("--threads")?
+                    .parse()
+                    .map_err(|_| fail("--threads must be an integer"))?;
+                if t == 0 {
+                    return Err(fail(
+                        "--threads must be at least 1 (use --par for all cores)",
+                    ));
+                }
+                opts.threads = Some(t);
+            }
             "--distance" => {
                 opts.distance = value("--distance")?
                     .parse()
@@ -196,50 +254,36 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
     Ok(opts)
 }
 
-/// Resolves `--engine` and builds the backend through the shared
-/// [`Sampler`] trait.
-fn build_backend(opts: &Options, circuit: &Circuit) -> Result<Box<dyn Sampler>, CliError> {
-    let kind = BackendKind::from_name(&opts.engine).ok_or_else(|| {
-        let names: Vec<&str> = BackendKind::ALL.iter().map(|k| k.name()).collect();
+/// Validates the sampling-related option *values* — format, engine,
+/// sampling method, thread budget — into a [`SimConfig`] plus format.
+/// This runs **before** the circuit is loaded, so a typo in `--format`
+/// fails in microseconds, not after drawing a million shots.
+fn sampling_config(
+    opts: &Options,
+    for_detect: bool,
+) -> Result<(SimConfig, SampleFormat), CliError> {
+    let format = SampleFormat::from_name(&opts.format).ok_or_else(|| {
+        let names: Vec<&str> = SampleFormat::ALL.iter().map(|f| f.name()).collect();
         fail(format!(
-            "unknown engine '{}' (expected one of: {})",
-            opts.engine,
+            "unknown format '{}' (expected one of: {})",
+            opts.format,
             names.join(", ")
         ))
     })?;
-    if !kind.supports(circuit) {
-        return Err(fail(format!(
-            "engine '{}' cannot simulate this circuit ({} qubits exceed its limit)",
-            kind.name(),
-            circuit.num_qubits()
-        )));
+    if format == SampleFormat::Dets && !for_detect {
+        return Err(fail(
+            "--format dets is the detector/observable flavor: it only applies to 'detect'",
+        ));
     }
-    let method = SamplingMethod::from_name(&opts.sampling).ok_or_else(|| {
-        let names: Vec<&str> = SamplingMethod::ALL.iter().map(|m| m.name()).collect();
-        fail(format!(
-            "unknown sampling method '{}' (expected one of: {})",
-            opts.sampling,
-            names.join(", ")
-        ))
-    })?;
-    if method != SamplingMethod::Auto && !kind.supports_sampling_method() {
-        return Err(fail(format!(
-            "--sampling {} only applies to symphase engines, not '{}'",
-            method.name(),
-            kind.name()
-        )));
-    }
-    Ok(kind.build_with_sampling(circuit, method))
-}
-
-/// Draws a batch honoring `--par` / `--seed`.
-fn draw(sampler: &dyn Sampler, opts: &Options) -> SampleBatch {
-    if opts.parallel {
-        sampler.sample_par(opts.shots, opts.seed)
-    } else {
-        let mut rng = StdRng::seed_from_u64(opts.seed);
-        sampler.sample(opts.shots, &mut rng)
-    }
+    let cfg = SimConfig::new()
+        .with_engine_name(&opts.engine)
+        .map_err(|e| fail(e.to_string()))?
+        .with_sampling_name(&opts.sampling)
+        .map_err(|e| fail(e.to_string()))?
+        .with_seed(opts.seed)
+        .with_threads(opts.effective_threads());
+    cfg.validate().map_err(|e| fail(e.to_string()))?;
+    Ok((cfg, format))
 }
 
 fn load_circuit(opts: &Options) -> Result<Circuit, CliError> {
@@ -250,99 +294,132 @@ fn load_circuit(opts: &Options) -> Result<Circuit, CliError> {
     let text = if path == "-" {
         use std::io::Read;
         let mut buf = String::new();
-        std::io::stdin()
+        io::stdin()
             .read_to_string(&mut buf)
-            .map_err(|e| fail(format!("reading stdin: {e}")))?;
+            .map_err(|e| fail_run(format!("reading stdin: {e}")))?;
         buf
     } else {
-        std::fs::read_to_string(path).map_err(|e| fail(format!("reading {path}: {e}")))?
+        std::fs::read_to_string(path).map_err(|e| fail_run(format!("reading {path}: {e}")))?
     };
-    Circuit::parse(&text).map_err(|e| fail(format!("parse error: {e}")))
+    Circuit::parse(&text).map_err(|e| fail_run(format!("parse error: {e}")))
 }
 
-/// Runs a CLI invocation and returns its stdout content.
+/// Runs a CLI invocation, streaming its stdout content into `out`.
+///
+/// This is the binary's entry point: `sample`/`detect` write shots to
+/// `out` (or `--out` files) chunk by chunk — never a full in-memory
+/// transcript.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a message and exit code on bad usage
+/// (code 2), I/O failure, parse errors, or construction failures
+/// (code 1).
+pub fn run_to(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let opts = parse_args(args)?;
+    match opts.command.as_str() {
+        "sample" => cmd_sample(&opts, out),
+        "detect" => cmd_detect(&opts, out),
+        "analyze" => write_str(out, &cmd_analyze(&opts)?),
+        "stats" => write_str(out, &cmd_stats(&opts)?),
+        "dem" => write_str(out, &cmd_dem(&opts)?),
+        "reference" => write_str(out, &cmd_reference(&opts)?),
+        "gen" => write_str(out, &cmd_gen(&opts)?),
+        other => Err(fail(format!("unknown command '{other}'\n{USAGE}"))),
+    }
+}
+
+/// Runs a CLI invocation and returns its raw stdout bytes (the in-process
+/// test harness; binary formats like `b8` need this entry point).
+pub fn run_bytes(args: &[String]) -> Result<Vec<u8>, CliError> {
+    let mut out = Vec::new();
+    run_to(args, &mut out)?;
+    Ok(out)
+}
+
+/// Runs a CLI invocation and returns its stdout content as text.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] with a message and exit code on bad usage, I/O
 /// failure, or parse errors.
+///
+/// # Panics
+///
+/// Panics if the output is not UTF-8 (use [`run_bytes`] for the binary
+/// `b8` format).
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let opts = parse_args(args)?;
-    match opts.command.as_str() {
-        "sample" => cmd_sample(&opts),
-        "detect" => cmd_detect(&opts),
-        "analyze" => cmd_analyze(&opts),
-        "stats" => cmd_stats(&opts),
-        "dem" => cmd_dem(&opts),
-        "reference" => cmd_reference(&opts),
-        "gen" => cmd_gen(&opts),
-        other => Err(fail(format!("unknown command '{other}'\n{USAGE}"))),
-    }
+    Ok(String::from_utf8(run_bytes(args)?).expect("non-binary output is UTF-8"))
 }
 
-fn render_01(samples: &symphase_bitmat::BitMatrix) -> String {
-    let mut out = String::with_capacity(samples.cols() * (samples.rows() + 1));
-    for shot in 0..samples.cols() {
-        for m in 0..samples.rows() {
-            out.push(if samples.get(m, shot) { '1' } else { '0' });
+fn write_str(out: &mut dyn Write, s: &str) -> Result<(), CliError> {
+    out.write_all(s.as_bytes())
+        .map_err(|e| fail_run(format!("writing output: {e}")))
+}
+
+/// Streams `shots` chunk-seeded shots from `sampler` into `sink`,
+/// honoring the configured seed, thread budget, and chunk width.
+fn stream(
+    sampler: &dyn Sampler,
+    opts: &Options,
+    cfg: &SimConfig,
+    sink: &mut dyn ShotSink,
+) -> Result<(), CliError> {
+    symphase_backend::sink::stream_with_config(sampler, opts.shots, cfg, sink)
+        .map_err(|e| fail_run(format!("writing samples: {e}")))
+}
+
+/// Opens `--out`-style path as a buffered writer, or borrows `stdout`.
+fn open_out<'a>(
+    path: Option<&str>,
+    stdout: &'a mut dyn Write,
+) -> Result<Box<dyn Write + 'a>, CliError> {
+    match path {
+        Some(p) => {
+            let f = std::fs::File::create(p).map_err(|e| fail_run(format!("creating {p}: {e}")))?;
+            Ok(Box::new(io::BufWriter::new(f)))
         }
-        out.push('\n');
+        None => Ok(Box::new(stdout)),
     }
-    out
 }
 
-fn render_counts(samples: &symphase_bitmat::BitMatrix) -> String {
-    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
-    for shot in 0..samples.cols() {
-        let key: String = (0..samples.rows())
-            .map(|m| if samples.get(m, shot) { '1' } else { '0' })
-            .collect();
-        *counts.entry(key).or_insert(0) += 1;
+fn cmd_sample(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    // Option values first — a bad --format must fail before any
+    // circuit loading or sampling happens.
+    let (cfg, format) = sampling_config(opts, false)?;
+    if opts.obs_out.is_some() {
+        return Err(fail("--obs-out only applies to 'detect'"));
     }
-    let mut out = String::new();
-    for (k, v) in counts {
-        let _ = writeln!(out, "{k} {v}");
-    }
-    out
-}
-
-fn cmd_sample(opts: &Options) -> Result<String, CliError> {
     let circuit = load_circuit(opts)?;
-    let sampler = build_backend(opts, &circuit)?;
-    let samples = draw(sampler.as_ref(), opts).measurements;
-    match opts.format.as_str() {
-        "01" => Ok(render_01(&samples)),
-        "counts" => Ok(render_counts(&samples)),
-        other => Err(fail(format!("unknown format '{other}'"))),
-    }
+    let sampler = build_sampler(&circuit, &cfg).map_err(|e| fail_run(e.to_string()))?;
+    let mut w = open_out(opts.out.as_deref(), out)?;
+    let mut sink = format.sink(&mut *w, RecordSource::Measurements);
+    stream(sampler.as_ref(), opts, &cfg, &mut *sink)
 }
 
-fn cmd_detect(opts: &Options) -> Result<String, CliError> {
+fn cmd_detect(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let (cfg, format) = sampling_config(opts, true)?;
     let circuit = load_circuit(opts)?;
-    let sampler = build_backend(opts, &circuit)?;
-    let batch = draw(sampler.as_ref(), opts);
-    let mut out = String::new();
-    for shot in 0..opts.shots {
-        for d in 0..batch.detectors.rows() {
-            out.push(if batch.detectors.get(d, shot) {
-                '1'
-            } else {
-                '0'
-            });
+    let sampler = build_sampler(&circuit, &cfg).map_err(|e| fail_run(e.to_string()))?;
+    let mut w = open_out(opts.out.as_deref(), out)?;
+    match opts.obs_out.as_deref() {
+        None => {
+            // One combined stream: detectors then observables.
+            let mut sink = format.sink(&mut *w, RecordSource::DetectorsAndObservables);
+            stream(sampler.as_ref(), opts, &cfg, &mut *sink)
         }
-        if batch.observables.rows() > 0 {
-            out.push(' ');
-            for o in 0..batch.observables.rows() {
-                out.push(if batch.observables.get(o, shot) {
-                    '1'
-                } else {
-                    '0'
-                });
-            }
+        Some(obs_path) => {
+            // Observables split into their own file; one sampling pass
+            // feeds both sinks through a fan-out.
+            let obs_file = std::fs::File::create(obs_path)
+                .map_err(|e| fail_run(format!("creating {obs_path}: {e}")))?;
+            let mut obs_w = io::BufWriter::new(obs_file);
+            let mut det_sink = format.sink(&mut *w, RecordSource::Detectors);
+            let mut obs_sink = format.sink(&mut obs_w, RecordSource::Observables);
+            let mut fanout = FanoutSink::new(vec![&mut *det_sink, &mut *obs_sink]);
+            stream(sampler.as_ref(), opts, &cfg, &mut fanout)
         }
-        out.push('\n');
     }
-    Ok(out)
 }
 
 fn cmd_analyze(opts: &Options) -> Result<String, CliError> {

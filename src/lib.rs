@@ -7,8 +7,8 @@
 //! | Module | Contents |
 //! |---|---|
 //! | [`circuit`] | Circuit IR, Stim-like text format, workload generators |
-//! | [`sampler_api`] | The shared backend layer: `Sampler` trait, `SampleBatch`, chunked parallel sampling |
-//! | [`backend`] | Backend selection: any engine as a `Box<dyn Sampler>` by name |
+//! | [`sampler_api`] | The shared backend layer: `Sampler` trait, `SampleBatch`, `SimConfig`, `ShotSink` streaming, output formats |
+//! | [`backend`] | Backend construction: `build_sampler` turns a `SimConfig` into any engine as a `Box<dyn Sampler>` |
 //! | [`core`] | **Algorithm 1**: the SymPhase sampler (symbolic phases) |
 //! | [`frame`] | Stim-style Pauli-frame baseline sampler |
 //! | [`tableau`] | Aaronson–Gottesman tableau simulator & reference samples |
@@ -17,22 +17,30 @@
 //!
 //! # Quickstart
 //!
+//! The configured path: describe the run with a [`backend::SimConfig`],
+//! build any engine fallibly with [`backend::build_sampler`], and stream
+//! shots to a [`sampler_api::ShotSink`] — memory stays `O(chunk)` however
+//! many shots you draw.
+//!
 //! ```
 //! use symphase::prelude::*;
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
 //!
 //! // A noisy GHZ circuit in the Stim-like text format.
 //! let circuit = Circuit::parse(
 //!     "H 0\nCX 0 1\nCX 1 2\nX_ERROR(0.1) 0 1 2\nM 0 1 2\n",
 //! )?;
 //!
-//! // Initialization: one traversal; Sampling: one matrix multiplication.
-//! let sampler = SymPhaseSampler::new(&circuit);
-//! let samples = sampler.sample(10_000, &mut StdRng::seed_from_u64(42));
-//! assert_eq!(samples.rows(), 3);
-//! assert_eq!(samples.cols(), 10_000);
-//! # Ok::<(), symphase::circuit::ParseCircuitError>(())
+//! // Initialization: one traversal; Sampling: a per-chunk F₂ product.
+//! let cfg = SimConfig::new().with_seed(42);
+//! let sampler = build_sampler(&circuit, &cfg)?;
+//!
+//! // Stream 10k shots as packed binary into any io::Write.
+//! let mut bytes = Vec::new();
+//! let mut sink = SampleFormat::B8.sink(&mut bytes, RecordSource::Measurements);
+//! sampler.sample_to(10_000, cfg.seed(), &mut *sink)?;
+//! drop(sink);
+//! assert_eq!(bytes.len(), 10_000); // 3 measurements pack into 1 byte/shot
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub mod backend;
@@ -48,11 +56,15 @@ pub use symphase_tableau as tableau;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::backend::BackendKind;
-    pub use symphase_backend::{SampleBatch, Sampler};
+    pub use crate::backend::build_sampler;
+    pub use symphase_backend::formats::{RecordSource, SampleFormat};
+    pub use symphase_backend::{
+        BuildError, CollectSink, EngineKind, PhaseRepr, SampleBatch, Sampler, SamplingMethod,
+        ShotSink, ShotSpec, SimConfig,
+    };
     pub use symphase_bitmat::{BitMatrix, BitVec};
     pub use symphase_circuit::{Circuit, Gate, Instruction, NoiseChannel, PauliKind};
-    pub use symphase_core::{PhaseRepr, SamplingMethod, SymExpr, SymPhaseSampler};
+    pub use symphase_core::{SymExpr, SymPhaseSampler};
     pub use symphase_frame::FrameSampler;
     pub use symphase_statevec::StateVecSampler;
     pub use symphase_tableau::{reference_sample, TableauSampler, TableauSimulator};

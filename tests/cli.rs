@@ -2,7 +2,7 @@
 
 use std::io::Write;
 
-use symphase::cli::run;
+use symphase::cli::{run, run_bytes};
 
 fn args(list: &[&str]) -> Vec<String> {
     list.iter().map(|s| s.to_string()).collect()
@@ -242,4 +242,279 @@ fn help_exits_zero() {
     let e = run(&args(&["sample", "--help"])).unwrap_err();
     assert_eq!(e.code, 0);
     assert!(e.message.contains("usage"));
+}
+
+#[test]
+fn usage_and_runtime_errors_have_distinct_exit_codes() {
+    // Usage errors (malformed invocation): exit code 2.
+    for bad in [
+        vec!["bogus"],
+        vec!["sample"], // missing --circuit
+        vec!["sample", "-c", "/nonexistent/x.stim", "--format", "base64"],
+        vec!["sample", "-c", "/nonexistent/x.stim", "--engine", "warp"],
+        vec!["sample", "-c", "/nonexistent/x.stim", "--sampling", "q"],
+        vec!["sample", "-c", "x.stim", "--threads", "0"],
+        vec![
+            "detect",
+            "-c",
+            "x.stim",
+            "--sampling",
+            "dense",
+            "--engine",
+            "frame",
+        ],
+    ] {
+        let e = run(&args(&bad)).unwrap_err();
+        assert_eq!(e.code, 2, "{bad:?}: {}", e.message);
+    }
+    // Runtime errors (well-formed invocation, bad inputs): exit code 1.
+    let unparsable = write_circuit("FROB 0\n");
+    for bad in [
+        vec!["sample", "-c", "/nonexistent/x.stim"],
+        vec!["sample", "-c", unparsable.as_str()],
+    ] {
+        let e = run(&args(&bad)).unwrap_err();
+        assert_eq!(e.code, 1, "{bad:?}: {}", e.message);
+    }
+}
+
+#[test]
+fn option_values_are_validated_before_the_circuit_loads() {
+    // A bad --format must fail as a usage error even when the circuit
+    // file does not exist (i.e. before any loading/sampling).
+    let e = run(&args(&[
+        "sample",
+        "-c",
+        "/nonexistent/never-read.stim",
+        "--format",
+        "base64",
+    ]))
+    .unwrap_err();
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("unknown format"), "{}", e.message);
+    // Same for detect, and for dets misapplied to sample.
+    let e = run(&args(&[
+        "sample",
+        "-c",
+        "/nonexistent/never-read.stim",
+        "--format",
+        "dets",
+    ]))
+    .unwrap_err();
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("detect"), "{}", e.message);
+}
+
+#[test]
+fn zero_shots_emit_empty_output_across_commands_and_formats() {
+    let f =
+        write_circuit("X_ERROR(0.5) 0\nM 0 1\nDETECTOR rec[-1]\nOBSERVABLE_INCLUDE(0) rec[-2]\n");
+    for format in ["01", "counts", "b8", "hits"] {
+        let out = run_bytes(&args(&[
+            "sample",
+            "-c",
+            f.as_str(),
+            "--shots",
+            "0",
+            "--format",
+            format,
+        ]))
+        .expect("runs");
+        assert!(out.is_empty(), "sample --format {format}: {out:?}");
+    }
+    for format in ["01", "counts", "b8", "hits", "dets"] {
+        let out = run_bytes(&args(&[
+            "detect",
+            "-c",
+            f.as_str(),
+            "--shots",
+            "0",
+            "--format",
+            format,
+        ]))
+        .expect("runs");
+        assert!(out.is_empty(), "detect --format {format}: {out:?}");
+    }
+    // The parallel path agrees.
+    let out = run_bytes(&args(&[
+        "sample",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "0",
+        "--par",
+    ]))
+    .expect("runs");
+    assert!(out.is_empty());
+}
+
+#[test]
+fn b8_format_packs_bits_little_endian() {
+    let f = write_circuit("X 0\nM 0 1\n");
+    // m0 = 1, m1 = 0 -> one byte per shot, value 0b01.
+    let out = run_bytes(&args(&[
+        "sample",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "3",
+        "--format",
+        "b8",
+    ]))
+    .expect("runs");
+    assert_eq!(out, vec![1u8, 1, 1]);
+}
+
+#[test]
+fn hits_format_lists_set_indices() {
+    let f = write_circuit("X 1\nM 0 1 2\n");
+    let out = run(&args(&[
+        "sample",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "2",
+        "--format",
+        "hits",
+    ]))
+    .expect("runs");
+    assert_eq!(out, "1\n1\n");
+}
+
+#[test]
+fn dets_format_labels_events() {
+    let f = write_circuit(
+        "X_ERROR(1.0) 0\nM 0 1\nDETECTOR rec[-2]\nDETECTOR rec[-1]\nOBSERVABLE_INCLUDE(0) rec[-2]\n",
+    );
+    let out = run(&args(&[
+        "detect",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "2",
+        "--format",
+        "dets",
+    ]))
+    .expect("runs");
+    assert_eq!(out, "shot D0 L0\nshot D0 L0\n");
+}
+
+#[test]
+fn out_flag_streams_to_file_and_keeps_stdout_empty() {
+    let f = write_circuit("X 0\nM 0\n");
+    let out_path = std::env::temp_dir().join(format!(
+        "symphase-cli-out-{}-{}.01",
+        std::process::id(),
+        line!()
+    ));
+    let stdout = run(&args(&[
+        "sample",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "3",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]))
+    .expect("runs");
+    assert!(stdout.is_empty());
+    assert_eq!(std::fs::read_to_string(&out_path).unwrap(), "1\n1\n1\n");
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn obs_out_splits_observables_from_detectors() {
+    let f = write_circuit(
+        "X_ERROR(1.0) 0\nM 0 1\nDETECTOR rec[-2]\nDETECTOR rec[-1]\nOBSERVABLE_INCLUDE(0) rec[-2]\n",
+    );
+    let obs_path = std::env::temp_dir().join(format!(
+        "symphase-cli-obs-{}-{}.01",
+        std::process::id(),
+        line!()
+    ));
+    let stdout = run(&args(&[
+        "detect",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "2",
+        "--obs-out",
+        obs_path.to_str().unwrap(),
+    ]))
+    .expect("runs");
+    // Main output carries detectors only; observables land in the file.
+    assert_eq!(stdout, "10\n10\n");
+    assert_eq!(std::fs::read_to_string(&obs_path).unwrap(), "1\n1\n");
+    let _ = std::fs::remove_file(&obs_path);
+    // --obs-out on sample is a usage error.
+    let e = run(&args(&["sample", "-c", f.as_str(), "--obs-out", "/tmp/x"])).unwrap_err();
+    assert_eq!(e.code, 2);
+}
+
+#[test]
+fn threads_flag_matches_serial_output() {
+    let f = write_circuit("H 0\nX_ERROR(0.3) 1\nM 0 1\n");
+    let serial = run(&args(&[
+        "sample",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "500",
+        "--seed",
+        "9",
+    ]))
+    .expect("runs");
+    for threads in ["2", "3"] {
+        let par = run(&args(&[
+            "sample",
+            "-c",
+            f.as_str(),
+            "--shots",
+            "500",
+            "--seed",
+            "9",
+            "--threads",
+            threads,
+        ]))
+        .expect("runs");
+        assert_eq!(serial, par, "--threads {threads} diverged");
+    }
+    let par = run(&args(&[
+        "sample",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "500",
+        "--seed",
+        "9",
+        "--par",
+    ]))
+    .expect("runs");
+    assert_eq!(serial, par, "--par diverged");
+}
+
+#[test]
+fn counts_format_aggregates_detect_output() {
+    let f =
+        write_circuit("X_ERROR(1.0) 0\nM 0 1\nDETECTOR rec[-2]\nOBSERVABLE_INCLUDE(0) rec[-2]\n");
+    let out = run(&args(&[
+        "detect",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "4",
+        "--format",
+        "counts",
+    ]))
+    .expect("runs");
+    assert_eq!(out, "1 1 4\n");
+}
+
+#[test]
+fn statevec_qubit_cap_is_a_runtime_error() {
+    // 23 qubits exceed the dense ground truth's MAX_QUBITS = 22.
+    let f = write_circuit("M 22\n");
+    let e = run(&args(&["sample", "-c", f.as_str(), "--engine", "statevec"])).unwrap_err();
+    assert_eq!(e.code, 1);
+    assert!(e.message.contains("exceed"), "{}", e.message);
 }

@@ -15,7 +15,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use symphase::backend::BackendKind;
+use symphase::backend::{build_sampler, EngineKind, SimConfig};
 use symphase::bitmat::BitVec;
 use symphase::circuit::generators::{repetition_code_memory, RepetitionCodeConfig};
 use symphase::circuit::{Circuit, Gate, NoiseChannel, PauliKind};
@@ -296,13 +296,18 @@ fn matrix_circuits() -> Vec<(&'static str, Circuit)> {
 /// The backend matrix of the acceptance criteria: SymPhase in both phase
 /// representations, the frame baseline, the tableau reference, and the
 /// dense ground truth.
-const MATRIX: [BackendKind; 5] = [
-    BackendKind::SymPhaseSparse,
-    BackendKind::SymPhaseDense,
-    BackendKind::Frame,
-    BackendKind::Tableau,
-    BackendKind::StateVec,
+const MATRIX: [EngineKind; 5] = [
+    EngineKind::SymPhaseSparse,
+    EngineKind::SymPhaseDense,
+    EngineKind::Frame,
+    EngineKind::Tableau,
+    EngineKind::StateVec,
 ];
+
+/// Builds one matrix backend through the configured factory.
+fn build(kind: EngineKind, circuit: &Circuit) -> Box<dyn symphase::sampler_api::Sampler> {
+    build_sampler(circuit, &SimConfig::new().with_engine(kind)).expect("matrix backend builds")
+}
 
 /// Rate of set bits in row `r`.
 fn one_rate(batch: &SampleBatch, r: usize) -> f64 {
@@ -339,7 +344,7 @@ fn cross_backend_measurement_distributions_agree() {
         let batches: Vec<(&str, SampleBatch)> = MATRIX
             .iter()
             .map(|kind| {
-                let sampler = kind.build(&circuit);
+                let sampler = build(*kind, &circuit);
                 (kind.name(), sampler.sample_seeded(shots, 0xC0FFEE))
             })
             .collect();
@@ -375,7 +380,7 @@ fn cross_backend_detector_rates_agree() {
     let batches: Vec<(&str, SampleBatch)> = MATRIX
         .iter()
         .map(|kind| {
-            let sampler = kind.build(circuit);
+            let sampler = build(*kind, circuit);
             (kind.name(), sampler.sample_seeded(shots, 0xDE7EC7))
         })
         .collect();
@@ -415,7 +420,7 @@ fn cross_backend_detector_rates_agree() {
 fn sample_into_overwrites_reused_batches() {
     let (_, circuit) = &matrix_circuits()[1];
     for kind in MATRIX {
-        let sampler = kind.build(circuit);
+        let sampler = build(kind, circuit);
         let mut reused = symphase::sampler_api::SampleBatch::zeros(
             sampler.num_measurements(),
             sampler.num_detectors(),
@@ -449,7 +454,7 @@ fn sample_par_matches_sample_seeded_on_every_backend() {
     let shots = symphase::sampler_api::CHUNK_SHOTS + 123;
     for (name, circuit) in matrix_circuits() {
         for kind in MATRIX {
-            let sampler = kind.build(&circuit);
+            let sampler = build(kind, &circuit);
             let serial = sampler.sample_seeded(shots, 42);
             let par = sampler.sample_par(shots, 42);
             assert_eq!(

@@ -3,7 +3,7 @@
 //! resolution, and bit-exact structured-vs-flattened agreement across
 //! every engine.
 
-use symphase::backend::BackendKind;
+use symphase::backend::{build_sampler, EngineKind, SimConfig};
 use symphase::circuit::{Circuit, Instruction};
 use symphase::core::SymPhaseSampler;
 use symphase::sampler_api::record;
@@ -85,10 +85,12 @@ M 0 1 2
         .all(|i| !matches!(i, Instruction::Repeat { .. })));
     assert_eq!(structured.stats(), flat.stats());
 
-    for kind in BackendKind::ALL {
-        assert!(kind.supports(&structured));
-        let a = kind.build(&structured).sample_seeded(256, 7);
-        let b = kind.build(&flat).sample_seeded(256, 7);
+    for kind in EngineKind::ALL {
+        let build = |c: &Circuit| {
+            build_sampler(c, &SimConfig::new().with_engine(kind)).expect("backend builds")
+        };
+        let a = build(&structured).sample_seeded(256, 7);
+        let b = build(&flat).sample_seeded(256, 7);
         assert_eq!(a, b, "{} diverged between structured and flat", kind.name());
     }
 }
