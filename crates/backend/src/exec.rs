@@ -9,7 +9,10 @@
 
 use rand::{Rng, RngCore};
 use symphase_bitmat::BitVec;
-use symphase_circuit::{Circuit, Gate, Instruction, NoiseChannel, PauliKind};
+use symphase_circuit::{
+    pauli_channel_2_bits, pauli_channel_2_select, pauli_product_plan, Circuit, Gate, Instruction,
+    NoiseChannel, PauliKind,
+};
 
 use crate::{record, SampleBatch};
 
@@ -65,28 +68,52 @@ pub fn run_shot<S: ShotState + ?Sized>(
     reference: bool,
 ) -> BitVec {
     let mut record = BitVec::new();
+    // Whether the current correlated-error chain has fired (chains are
+    // contiguous by construction, so one flag suffices).
+    let mut chain_fired = false;
     for inst in circuit.flat_instructions() {
         match inst {
             Instruction::Gate { gate, targets } => state.apply_gate(*gate, targets),
-            Instruction::Measure { targets } => {
+            Instruction::Measure { basis, targets } => {
                 for &q in targets {
-                    let m = state.measure(q, rng, reference);
+                    let m = conjugated(state, *basis, q, |s| s.measure(q, rng, reference));
                     record.push(m);
                 }
             }
-            Instruction::Reset { targets } => {
+            Instruction::Reset { basis, targets } => {
                 for &q in targets {
-                    if state.measure(q, rng, reference) {
-                        state.apply_pauli(PauliKind::X, q);
+                    conjugated(state, *basis, q, |s| {
+                        if s.measure(q, rng, reference) {
+                            s.apply_pauli(PauliKind::X, q);
+                        }
+                    });
+                }
+            }
+            Instruction::MeasureReset { basis, targets } => {
+                for &q in targets {
+                    let m = conjugated(state, *basis, q, |s| {
+                        let m = s.measure(q, rng, reference);
+                        if m {
+                            s.apply_pauli(PauliKind::X, q);
+                        }
+                        m
+                    });
+                    record.push(m);
+                }
+            }
+            Instruction::MeasurePauliProduct { products } => {
+                for product in products {
+                    // Reduce measure(P) to a Z measurement of the anchor
+                    // (compute), measure, uncompute — the shared plan every
+                    // engine runs, so trajectories stay aligned.
+                    let (ops, anchor) = pauli_product_plan(product);
+                    for op in &ops {
+                        state.apply_gate(op.gate, op.targets());
                     }
-                }
-            }
-            Instruction::MeasureReset { targets } => {
-                for &q in targets {
-                    let m = state.measure(q, rng, reference);
+                    let m = state.measure(anchor, rng, reference);
                     record.push(m);
-                    if m {
-                        state.apply_pauli(PauliKind::X, q);
+                    for op in ops.iter().rev() {
+                        state.apply_gate(op.gate, op.targets());
                     }
                 }
             }
@@ -95,6 +122,29 @@ pub fn run_shot<S: ShotState + ?Sized>(
                     sample_trajectory(*channel, targets, rng, &mut |kind, q| {
                         state.apply_pauli(kind, q)
                     });
+                }
+            }
+            Instruction::CorrelatedError {
+                probability,
+                product,
+                else_branch,
+            } => {
+                if !reference {
+                    let fire = if *else_branch && chain_fired {
+                        false
+                    } else {
+                        rng.random_bool(*probability)
+                    };
+                    if *else_branch {
+                        chain_fired |= fire;
+                    } else {
+                        chain_fired = fire;
+                    }
+                    if fire {
+                        for &(kind, q) in product {
+                            state.apply_pauli(kind, q);
+                        }
+                    }
                 }
             }
             Instruction::Feedback {
@@ -110,13 +160,36 @@ pub fn run_shot<S: ShotState + ?Sized>(
             }
             Instruction::Detector { .. }
             | Instruction::ObservableInclude { .. }
-            | Instruction::Tick => {}
+            | Instruction::Tick
+            | Instruction::QubitCoords { .. }
+            | Instruction::ShiftCoords { .. } => {}
             Instruction::Repeat { .. } => {
                 unreachable!("flat_instructions expands REPEAT blocks")
             }
         }
     }
     record
+}
+
+/// Runs `f` inside the basis conjugation of `basis` on qubit `q`: for X
+/// and Y bases the self-inverse basis-change gate (`H` / `H_YZ`) is
+/// applied before and after, reducing the operation to the engine's
+/// Z-basis primitive.
+fn conjugated<S: ShotState + ?Sized, T>(
+    state: &mut S,
+    basis: PauliKind,
+    q: u32,
+    f: impl FnOnce(&mut S) -> T,
+) -> T {
+    let gate = basis.z_conjugator();
+    if let Some(g) = gate {
+        state.apply_gate(g, &[q]);
+    }
+    let out = f(state);
+    if let Some(g) = gate {
+        state.apply_gate(g, &[q]);
+    }
+    out
 }
 
 /// The shared batch adapter for per-shot engines (tableau, statevec):
@@ -242,6 +315,29 @@ pub fn sample_trajectory(
                     apply(PauliKind::Z, q);
                 }
             }
+        }
+        NoiseChannel::PauliChannel2 { probs } => {
+            let total: f64 = probs.iter().sum();
+            for pair in targets.chunks_exact(2) {
+                if total > 0.0 && rng.random_bool(total.min(1.0)) {
+                    let u: f64 = rng.random::<f64>() * total;
+                    let m = pauli_channel_2_select(u, &probs);
+                    apply_pauli2_bits(pauli_channel_2_bits(m), pair, apply);
+                }
+            }
+        }
+    }
+}
+
+/// Applies the `(x_a, z_a, x_b, z_b)` bit pattern of a two-qubit Pauli
+/// outcome to a target pair through `apply`.
+fn apply_pauli2_bits(bits: [bool; 4], pair: &[u32], apply: &mut dyn FnMut(PauliKind, u32)) {
+    for (i, &q) in pair.iter().enumerate() {
+        match (bits[2 * i], bits[2 * i + 1]) {
+            (true, false) => apply(PauliKind::X, q),
+            (true, true) => apply(PauliKind::Y, q),
+            (false, true) => apply(PauliKind::Z, q),
+            (false, false) => {}
         }
     }
 }

@@ -25,7 +25,7 @@ pub fn detector_measurement_sets(circuit: &Circuit) -> Vec<Vec<usize>> {
     let mut measured = 0usize;
     for inst in circuit.flat_instructions() {
         match inst {
-            Instruction::Detector { lookbacks } => {
+            Instruction::Detector { lookbacks, .. } => {
                 out.push(resolve(lookbacks, measured));
             }
             _ => measured += inst.measurements_added(),

@@ -47,23 +47,30 @@ fn accumulate_stats(
 ) {
     match instruction {
         Instruction::Gate { gate, targets } => stats.gates += targets.len() / gate.arity(),
-        Instruction::Measure { targets } => stats.measurements += targets.len(),
-        Instruction::Reset { targets } => stats.resets += targets.len(),
-        Instruction::MeasureReset { targets } => {
+        Instruction::Measure { targets, .. } => stats.measurements += targets.len(),
+        Instruction::Reset { targets, .. } => stats.resets += targets.len(),
+        Instruction::MeasureReset { targets, .. } => {
             stats.measurements += targets.len();
             stats.resets += targets.len();
         }
+        Instruction::MeasurePauliProduct { products } => stats.measurements += products.len(),
         Instruction::Noise { channel, targets } => {
             let sites = targets.len() / channel.arity();
             stats.noise_sites += sites;
             stats.noise_symbols += sites * channel.symbols_per_application();
+        }
+        // One bit-symbol per correlated-error instruction, whatever the
+        // product weight (the whole product fires together).
+        Instruction::CorrelatedError { .. } => {
+            stats.noise_sites += 1;
+            stats.noise_symbols += 1;
         }
         Instruction::Feedback { .. } => stats.feedback_ops += 1,
         Instruction::Detector { .. } => stats.detectors += 1,
         Instruction::ObservableInclude { index, .. } => {
             *max_observable = Some(max_observable.map_or(*index, |m| m.max(*index)));
         }
-        Instruction::Tick => {}
+        Instruction::Tick | Instruction::QubitCoords { .. } | Instruction::ShiftCoords { .. } => {}
         Instruction::Repeat { count, body } => {
             let k = usize::try_from(*count).unwrap_or(usize::MAX);
             let b = body.stats();
@@ -81,6 +88,20 @@ fn accumulate_stats(
         }
     }
     stats.observables = max_observable.map_or(0, |m| m as usize + 1);
+}
+
+/// Validates one Pauli-product target list (`MPP` products, correlated
+/// errors): non-empty, distinct qubits.
+fn validate_product(what: &str, product: &[crate::instruction::PauliFactor]) -> Result<(), String> {
+    if product.is_empty() {
+        return Err(format!("{what} needs at least one Pauli factor"));
+    }
+    for (i, &(_, q)) in product.iter().enumerate() {
+        if product[..i].iter().any(|&(_, p)| p == q) {
+            return Err(format!("{what} repeats qubit {q}"));
+        }
+    }
+    Ok(())
 }
 
 /// Context-free structural validation shared by [`Circuit`] and [`Block`]:
@@ -121,6 +142,32 @@ fn validate_shape(instruction: &Instruction) -> Result<(), String> {
             }
             Ok(())
         }
+        Instruction::MeasurePauliProduct { products } => {
+            if products.is_empty() {
+                return Err("MPP needs at least one Pauli product".into());
+            }
+            for product in products {
+                validate_product("an MPP product", product)?;
+            }
+            Ok(())
+        }
+        Instruction::CorrelatedError {
+            probability,
+            product,
+            else_branch,
+        } => {
+            if !(0.0..=1.0).contains(probability) {
+                let name = if *else_branch {
+                    "ELSE_CORRELATED_ERROR"
+                } else {
+                    "CORRELATED_ERROR"
+                };
+                return Err(format!(
+                    "invalid {name}: probability {probability} out of [0, 1]"
+                ));
+            }
+            validate_product("a correlated error", product)
+        }
         Instruction::Repeat { count, .. } => {
             if *count == 0 {
                 return Err("REPEAT count must be at least 1".into());
@@ -151,11 +198,10 @@ fn record_need(instruction: &Instruction) -> Result<usize, String> {
     }
     match instruction {
         Instruction::Feedback { lookback, .. } => depth(*lookback),
-        Instruction::Detector { lookbacks } | Instruction::ObservableInclude { lookbacks, .. } => {
-            lookbacks
-                .iter()
-                .try_fold(0usize, |m, &l| Ok(m.max(depth(l)?)))
-        }
+        Instruction::Detector { lookbacks, .. }
+        | Instruction::ObservableInclude { lookbacks, .. } => lookbacks
+            .iter()
+            .try_fold(0usize, |m, &l| Ok(m.max(depth(l)?))),
         Instruction::Repeat { body, .. } => Ok(body.required_record()),
         _ => Ok(0),
     }
@@ -255,6 +301,22 @@ impl Block {
     /// lookback) and leaves the block unchanged.
     pub fn try_push(&mut self, instruction: Instruction) -> Result<(), String> {
         validate_shape(&instruction)?;
+        // Chain linkage: an ELSE_CORRELATED_ERROR's conditional ("no
+        // earlier chain element fired") is only well-defined when the
+        // chain is contiguous, so it must directly follow its chain.
+        if let Instruction::CorrelatedError {
+            else_branch: true, ..
+        } = &instruction
+        {
+            if !matches!(
+                self.instructions.last(),
+                Some(Instruction::CorrelatedError { .. })
+            ) {
+                return Err("ELSE_CORRELATED_ERROR must immediately follow \
+                     CORRELATED_ERROR or another ELSE_CORRELATED_ERROR"
+                    .into());
+            }
+        }
         let need = record_need(&instruction)?;
         self.required_record = self
             .required_record
@@ -310,6 +372,16 @@ impl Block {
     /// Measures several qubits; outcomes are recorded in target order.
     pub fn measure_many(&mut self, targets: &[u32]) -> &mut Self {
         self.push(Instruction::Measure {
+            basis: PauliKind::Z,
+            targets: targets.to_vec(),
+        });
+        self
+    }
+
+    /// Measures several qubits in the given Pauli basis.
+    pub fn measure_many_in(&mut self, basis: PauliKind, targets: &[u32]) -> &mut Self {
+        self.push(Instruction::Measure {
+            basis,
             targets: targets.to_vec(),
         });
         self
@@ -318,7 +390,54 @@ impl Block {
     /// Measures and resets several qubits.
     pub fn measure_reset_many(&mut self, targets: &[u32]) -> &mut Self {
         self.push(Instruction::MeasureReset {
+            basis: PauliKind::Z,
             targets: targets.to_vec(),
+        });
+        self
+    }
+
+    /// Measures and resets several qubits in the given Pauli basis.
+    pub fn measure_reset_many_in(&mut self, basis: PauliKind, targets: &[u32]) -> &mut Self {
+        self.push(Instruction::MeasureReset {
+            basis,
+            targets: targets.to_vec(),
+        });
+        self
+    }
+
+    /// Measures one Pauli product (`MPP`), appending one outcome.
+    pub fn measure_pauli_product(&mut self, product: &[(PauliKind, u32)]) -> &mut Self {
+        self.push(Instruction::MeasurePauliProduct {
+            products: vec![product.to_vec()],
+        });
+        self
+    }
+
+    /// Measures several Pauli products as one `MPP` instruction.
+    pub fn measure_pauli_products(&mut self, products: &[&[(PauliKind, u32)]]) -> &mut Self {
+        self.push(Instruction::MeasurePauliProduct {
+            products: products.iter().map(|p| p.to_vec()).collect(),
+        });
+        self
+    }
+
+    /// Starts a correlated-error chain: applies the whole `product` with
+    /// probability `p`.
+    pub fn correlated_error(&mut self, p: f64, product: &[(PauliKind, u32)]) -> &mut Self {
+        self.push(Instruction::CorrelatedError {
+            probability: p,
+            product: product.to_vec(),
+            else_branch: false,
+        });
+        self
+    }
+
+    /// Continues a correlated-error chain (`ELSE_CORRELATED_ERROR`).
+    pub fn else_correlated_error(&mut self, p: f64, product: &[(PauliKind, u32)]) -> &mut Self {
+        self.push(Instruction::CorrelatedError {
+            probability: p,
+            product: product.to_vec(),
+            else_branch: true,
         });
         self
     }
@@ -336,6 +455,16 @@ impl Block {
     /// Declares a detector over the given record lookbacks.
     pub fn detector(&mut self, lookbacks: &[i64]) -> &mut Self {
         self.push(Instruction::Detector {
+            coords: vec![],
+            lookbacks: lookbacks.to_vec(),
+        });
+        self
+    }
+
+    /// Declares a detector with coordinate arguments.
+    pub fn detector_at(&mut self, coords: &[f64], lookbacks: &[i64]) -> &mut Self {
+        self.push(Instruction::Detector {
+            coords: coords.to_vec(),
             lookbacks: lookbacks.to_vec(),
         });
         self
@@ -455,6 +584,10 @@ impl Circuit {
                         let n = (targets.len() / channel.arity()) as f64;
                         sites += n;
                         total += n * channel.fire_probability();
+                    }
+                    Instruction::CorrelatedError { probability, .. } => {
+                        sites += 1.0;
+                        total += probability;
                     }
                     Instruction::Repeat { count, body } => {
                         let (s, t) = scan(body.instructions());
@@ -600,13 +733,37 @@ impl Circuit {
     /// record index of the outcome.
     pub fn measure(&mut self, q: u32) -> usize {
         let idx = self.body.stats().measurements;
-        self.push(Instruction::Measure { targets: vec![q] });
+        self.push(Instruction::Measure {
+            basis: PauliKind::Z,
+            targets: vec![q],
+        });
+        idx
+    }
+
+    /// Measures `q` in the given Pauli basis (`MX`/`MY`/`M`); returns the
+    /// record index of the outcome.
+    pub fn measure_in(&mut self, basis: PauliKind, q: u32) -> usize {
+        let idx = self.body.stats().measurements;
+        self.push(Instruction::Measure {
+            basis,
+            targets: vec![q],
+        });
         idx
     }
 
     /// Measures several qubits; outcomes are recorded in target order.
     pub fn measure_many(&mut self, targets: &[u32]) -> &mut Self {
         self.push(Instruction::Measure {
+            basis: PauliKind::Z,
+            targets: targets.to_vec(),
+        });
+        self
+    }
+
+    /// Measures several qubits in the given Pauli basis.
+    pub fn measure_many_in(&mut self, basis: PauliKind, targets: &[u32]) -> &mut Self {
+        self.push(Instruction::Measure {
+            basis,
             targets: targets.to_vec(),
         });
         self
@@ -618,17 +775,92 @@ impl Circuit {
         self.measure_many(&targets)
     }
 
+    /// Measures one Pauli product (`MPP`), appending one outcome; returns
+    /// the record index.
+    pub fn measure_pauli_product(&mut self, product: &[(PauliKind, u32)]) -> usize {
+        let idx = self.body.stats().measurements;
+        self.push(Instruction::MeasurePauliProduct {
+            products: vec![product.to_vec()],
+        });
+        idx
+    }
+
+    /// Measures several Pauli products as one `MPP` instruction.
+    pub fn measure_pauli_products(&mut self, products: &[&[(PauliKind, u32)]]) -> &mut Self {
+        self.push(Instruction::MeasurePauliProduct {
+            products: products.iter().map(|p| p.to_vec()).collect(),
+        });
+        self
+    }
+
     /// Resets `q` to `|0⟩`.
     pub fn reset(&mut self, q: u32) -> &mut Self {
-        self.push(Instruction::Reset { targets: vec![q] });
+        self.push(Instruction::Reset {
+            basis: PauliKind::Z,
+            targets: vec![q],
+        });
+        self
+    }
+
+    /// Resets `q` to the `+1` eigenstate of the given Pauli basis
+    /// (`RX` → `|+⟩`, `RY` → `|+i⟩`).
+    pub fn reset_in(&mut self, basis: PauliKind, q: u32) -> &mut Self {
+        self.push(Instruction::Reset {
+            basis,
+            targets: vec![q],
+        });
+        self
+    }
+
+    /// Resets several qubits in the given Pauli basis.
+    pub fn reset_many_in(&mut self, basis: PauliKind, targets: &[u32]) -> &mut Self {
+        self.push(Instruction::Reset {
+            basis,
+            targets: targets.to_vec(),
+        });
         self
     }
 
     /// Measures and resets `q`; returns the record index.
     pub fn measure_reset(&mut self, q: u32) -> usize {
         let idx = self.body.stats().measurements;
-        self.push(Instruction::MeasureReset { targets: vec![q] });
+        self.push(Instruction::MeasureReset {
+            basis: PauliKind::Z,
+            targets: vec![q],
+        });
         idx
+    }
+
+    /// Measures and resets `q` in the given Pauli basis; returns the
+    /// record index.
+    pub fn measure_reset_in(&mut self, basis: PauliKind, q: u32) -> usize {
+        let idx = self.body.stats().measurements;
+        self.push(Instruction::MeasureReset {
+            basis,
+            targets: vec![q],
+        });
+        idx
+    }
+
+    /// Starts a correlated-error chain: applies the whole `product` with
+    /// probability `p`.
+    pub fn correlated_error(&mut self, p: f64, product: &[(PauliKind, u32)]) -> &mut Self {
+        self.push(Instruction::CorrelatedError {
+            probability: p,
+            product: product.to_vec(),
+            else_branch: false,
+        });
+        self
+    }
+
+    /// Continues a correlated-error chain (`ELSE_CORRELATED_ERROR`).
+    pub fn else_correlated_error(&mut self, p: f64, product: &[(PauliKind, u32)]) -> &mut Self {
+        self.push(Instruction::CorrelatedError {
+            probability: p,
+            product: product.to_vec(),
+            else_branch: true,
+        });
+        self
     }
 
     /// Applies a noise channel to `targets` (broadcast; pairs for two-qubit
@@ -654,6 +886,16 @@ impl Circuit {
     /// Declares a detector over the given record lookbacks.
     pub fn detector(&mut self, lookbacks: &[i64]) -> &mut Self {
         self.push(Instruction::Detector {
+            coords: vec![],
+            lookbacks: lookbacks.to_vec(),
+        });
+        self
+    }
+
+    /// Declares a detector with coordinate arguments.
+    pub fn detector_at(&mut self, coords: &[f64], lookbacks: &[i64]) -> &mut Self {
+        self.push(Instruction::Detector {
+            coords: coords.to_vec(),
             lookbacks: lookbacks.to_vec(),
         });
         self
@@ -671,6 +913,15 @@ impl Circuit {
     /// Appends a `TICK` layer marker.
     pub fn tick(&mut self) -> &mut Self {
         self.push(Instruction::Tick);
+        self
+    }
+
+    /// Annotates qubit coordinates (`QUBIT_COORDS`) — metadata only.
+    pub fn qubit_coords(&mut self, coords: &[f64], targets: &[u32]) -> &mut Self {
+        self.push(Instruction::QubitCoords {
+            coords: coords.to_vec(),
+            targets: targets.to_vec(),
+        });
         self
     }
 
@@ -715,7 +966,7 @@ impl Circuit {
             instructions
                 .iter()
                 .filter_map(|inst| match inst {
-                    Instruction::Noise { .. } => None,
+                    Instruction::Noise { .. } | Instruction::CorrelatedError { .. } => None,
                     Instruction::Repeat { count, body } => {
                         let mut b = Block::new();
                         for inner in strip(body.instructions()) {

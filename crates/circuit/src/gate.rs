@@ -27,6 +27,27 @@ impl PauliKind {
             PauliKind::Z => (false, true),
         }
     }
+
+    /// Parses a single Pauli letter (`X`, `Y`, `Z`).
+    pub fn from_letter(c: char) -> Option<PauliKind> {
+        match c {
+            'X' => Some(PauliKind::X),
+            'Y' => Some(PauliKind::Y),
+            'Z' => Some(PauliKind::Z),
+            _ => None,
+        }
+    }
+
+    /// The self-inverse Clifford `G` with `G Z G† = P` (basis change for
+    /// measuring/resetting in this basis through the Z-basis machinery):
+    /// `H` for `X`, `H_YZ` for `Y`, and nothing for `Z` itself.
+    pub fn z_conjugator(self) -> Option<Gate> {
+        match self {
+            PauliKind::X => Some(Gate::H),
+            PauliKind::Y => Some(Gate::HYz),
+            PauliKind::Z => None,
+        }
+    }
 }
 
 impl fmt::Display for PauliKind {

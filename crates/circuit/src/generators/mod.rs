@@ -4,18 +4,25 @@
 //!   paper's evaluation (Fig. 3a–3c).
 //! * [`repetition_code`] — repetition-code memory circuits with detectors
 //!   and a logical observable.
-//! * [`surface_code`] — rotated surface-code memory circuits.
+//! * [`surface_code`] — rotated surface-code memory circuits (memory-Z
+//!   and, via [`MemoryBasis::X`], memory-X built on `RX`/`MX`).
+//! * [`phase_memory`] — phase-flip repetition memory with direct `MPP`
+//!   checks and correlated `E`/`ELSE_CORRELATED_ERROR` pair noise.
 //! * [`named`] — small named circuits (Bell pair, GHZ, teleportation with
 //!   feedback).
 
 pub mod named;
+pub mod phase_memory;
 pub mod random_layered;
 pub mod repetition_code;
 pub mod surface_code;
 
 pub use named::{bell_pair, ghz, noisy_ghz_chain, teleportation};
+pub use phase_memory::{mpp_phase_memory, PhaseMemoryConfig};
 pub use random_layered::{
     fig3a_circuit, fig3b_circuit, fig3c_circuit, LayeredCircuitConfig, PairsPerLayer,
 };
 pub use repetition_code::{repetition_code_memory, RepetitionCodeConfig};
-pub use surface_code::{surface_code_memory, SurfaceCodeConfig};
+pub use surface_code::{
+    surface_code_memory, surface_code_memory_in, MemoryBasis, SurfaceCodeConfig,
+};

@@ -1,0 +1,199 @@
+//! Phase-flip repetition-code memory built on `MPP` checks and
+//! correlated noise — the first-class workload for the basis-general
+//! instruction surface.
+//!
+//! The distance-`d` phase-flip code uses `d` data qubits, no ancillas:
+//! its stabilizers `X_i X_{i+1}` are measured **directly** as
+//! Pauli-product measurements (`MPP Xi*Xi+1`), exactly the `measure(P)`
+//! generalization of the paper's Init-M. Data qubits start in `|+…+⟩`
+//! (`RX`), so every check is deterministic from round 0, and the final
+//! transversal readout is `MX`. Phase noise is `Z_ERROR` on the data plus
+//! an optional **correlated** `E`/`ELSE_CORRELATED_ERROR` chain of
+//! adjacent `Z⊗Z` pairs (at most one pair error per round — a bursty,
+//! spatially correlated channel no independent single-qubit model can
+//! express).
+//!
+//! Rounds are emitted structured: round 0 flat, the steady state as one
+//! `REPEAT` block, as in the other memory generators.
+
+use crate::{Block, Circuit, Instruction, NoiseChannel, PauliKind};
+
+/// Configuration of an MPP-based phase-flip memory experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseMemoryConfig {
+    /// Code distance (number of data qubits), at least 2.
+    pub distance: usize,
+    /// Number of check-measurement rounds, at least 1.
+    pub rounds: usize,
+    /// Probability of a `Z` error on every data qubit before each round.
+    pub data_error: f64,
+    /// Probability of each element of the per-round correlated
+    /// `Z⊗Z`-pair chain (0 disables the chain).
+    pub pair_error: f64,
+}
+
+impl Default for PhaseMemoryConfig {
+    fn default() -> Self {
+        Self {
+            distance: 3,
+            rounds: 3,
+            data_error: 0.01,
+            pair_error: 0.0,
+        }
+    }
+}
+
+/// Generates the MPP phase-flip memory circuit with detectors and the
+/// logical-X observable (data qubit 0's `MX` outcome).
+///
+/// # Panics
+///
+/// Panics if `distance < 2` or `rounds < 1`.
+///
+/// # Example
+///
+/// ```
+/// use symphase_circuit::generators::{mpp_phase_memory, PhaseMemoryConfig};
+///
+/// let c = mpp_phase_memory(&PhaseMemoryConfig {
+///     distance: 3,
+///     rounds: 2,
+///     data_error: 0.01,
+///     pair_error: 0.005,
+/// });
+/// assert_eq!(c.num_qubits(), 3);
+/// assert_eq!(c.num_observables(), 1);
+/// assert!(c.to_string().contains("MPP"));
+/// ```
+pub fn mpp_phase_memory(config: &PhaseMemoryConfig) -> Circuit {
+    assert!(config.distance >= 2, "distance must be at least 2");
+    assert!(config.rounds >= 1, "need at least one round");
+    let d = config.distance;
+    let data: Vec<u32> = (0..d as u32).collect();
+    let mut c = Circuit::new(d as u32);
+
+    c.reset_many_in(PauliKind::X, &data);
+
+    push_round(&mut |inst| c.push(inst), config, &data, true);
+    if config.rounds > 1 {
+        let mut body = Block::new();
+        push_round(&mut |inst| body.push(inst), config, &data, false);
+        c.push(Instruction::Repeat {
+            count: (config.rounds - 1) as u64,
+            body: Box::new(body),
+        });
+    }
+
+    // Final transversal X readout; compare adjacent data parities against
+    // the last round's checks.
+    c.measure_many_in(PauliKind::X, &data);
+    let num_checks = d as i64 - 1;
+    for i in 0..num_checks {
+        let data_a = -(d as i64) + i;
+        let data_b = data_a + 1;
+        let last_check = -(d as i64) - num_checks + i;
+        c.detector(&[data_a, data_b, last_check]);
+    }
+    // Logical X is any single data qubit's X value in the code space.
+    c.observable_include(0, &[-(d as i64)]);
+    c
+}
+
+/// Emits one check round through `push`: phase noise, the correlated
+/// pair chain, the `MPP` checks, and detectors (single-outcome in round
+/// 0 — `|+…+⟩` stabilizes every check — pairwise afterwards).
+fn push_round(
+    push: &mut dyn FnMut(Instruction),
+    config: &PhaseMemoryConfig,
+    data: &[u32],
+    first: bool,
+) {
+    let d = data.len();
+    let num_checks = (d - 1) as i64;
+    if config.data_error > 0.0 {
+        push(Instruction::Noise {
+            channel: NoiseChannel::ZError(config.data_error),
+            targets: data.to_vec(),
+        });
+    }
+    if config.pair_error > 0.0 {
+        // One chain over all adjacent pairs: at most one Z⊗Z burst fires
+        // per round.
+        for i in 0..d as u32 - 1 {
+            push(Instruction::CorrelatedError {
+                probability: config.pair_error,
+                product: vec![(PauliKind::Z, i), (PauliKind::Z, i + 1)],
+                else_branch: i != 0,
+            });
+        }
+    }
+    let products: Vec<Vec<(PauliKind, u32)>> = (0..d as u32 - 1)
+        .map(|i| vec![(PauliKind::X, i), (PauliKind::X, i + 1)])
+        .collect();
+    push(Instruction::MeasurePauliProduct { products });
+    for i in 0..num_checks {
+        let this = -num_checks + i;
+        let lookbacks = if first {
+            vec![this]
+        } else {
+            vec![this, this - num_checks]
+        };
+        push(Instruction::Detector {
+            coords: vec![],
+            lookbacks,
+        });
+    }
+    push(Instruction::Tick);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_scale_with_distance_and_rounds() {
+        let c = mpp_phase_memory(&PhaseMemoryConfig {
+            distance: 5,
+            rounds: 4,
+            data_error: 0.01,
+            pair_error: 0.002,
+        });
+        assert_eq!(c.num_qubits(), 5);
+        // 4 checks × 4 rounds + 5 final data readouts.
+        assert_eq!(c.stats().measurements, 4 * 4 + 5);
+        assert_eq!(c.num_detectors(), 4 * 4 + 4);
+        assert_eq!(c.num_observables(), 1);
+        // Noise: 5 Z sites + 4 chain elements per round.
+        assert_eq!(c.stats().noise_sites, 4 * (5 + 4));
+    }
+
+    #[test]
+    fn rounds_are_structured_and_text_roundtrips() {
+        let c = mpp_phase_memory(&PhaseMemoryConfig {
+            distance: 4,
+            rounds: 100,
+            data_error: 0.01,
+            pair_error: 0.001,
+        });
+        assert!(c
+            .instructions()
+            .iter()
+            .any(|i| matches!(i, Instruction::Repeat { count: 99, .. })));
+        let text = c.to_string();
+        assert!(text.contains("MPP X0*X1 X1*X2 X2*X3"));
+        assert!(text.contains("E(0.001) Z0 Z1"));
+        assert!(text.contains("ELSE_CORRELATED_ERROR(0.001) Z1 Z2"));
+        assert_eq!(Circuit::parse(&text).unwrap(), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance")]
+    fn rejects_distance_one() {
+        mpp_phase_memory(&PhaseMemoryConfig {
+            distance: 1,
+            rounds: 1,
+            data_error: 0.0,
+            pair_error: 0.0,
+        });
+    }
+}

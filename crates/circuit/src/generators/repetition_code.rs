@@ -71,7 +71,10 @@ pub fn repetition_code_memory(config: &RepetitionCodeConfig) -> Circuit {
 
     // Start in |0…0⟩ explicitly, as a real experiment would.
     let all: Vec<u32> = (0..(2 * d - 1) as u32).collect();
-    c.push(Instruction::Reset { targets: all });
+    c.push(Instruction::Reset {
+        basis: crate::PauliKind::Z,
+        targets: all,
+    });
 
     // Round 0 declares the boundary detectors; rounds 1..rounds are the
     // identical steady-state round, emitted once as a REPEAT block.
@@ -140,6 +143,7 @@ fn push_round(
         });
     }
     push(Instruction::MeasureReset {
+        basis: crate::PauliKind::Z,
         targets: anc.to_vec(),
     });
     // Detectors: first round ancillas are deterministic 0; later rounds
@@ -148,10 +152,12 @@ fn push_round(
         let this = -(num_anc as i64) + i;
         if first {
             push(Instruction::Detector {
+                coords: vec![],
                 lookbacks: vec![this],
             });
         } else {
             push(Instruction::Detector {
+                coords: vec![],
                 lookbacks: vec![this, this - num_anc as i64],
             });
         }
@@ -211,6 +217,7 @@ mod tests {
         let anc: Vec<u32> = (0..(d - 1) as u32).map(|i| 2 * i + 1).collect();
         let mut legacy = Circuit::new((2 * d - 1) as u32);
         legacy.push(Instruction::Reset {
+            basis: crate::PauliKind::Z,
             targets: (0..(2 * d - 1) as u32).collect(),
         });
         for round in 0..cfg.rounds {

@@ -19,7 +19,19 @@
 //! iteration's outcomes — so a million-round memory experiment is built,
 //! parsed, and initialized in O(one round) circuit memory.
 
-use crate::{Block, Circuit, Gate, Instruction, NoiseChannel};
+use crate::{Block, Circuit, Gate, Instruction, NoiseChannel, PauliKind};
+
+/// Which logical memory a generated memory experiment protects: the
+/// basis the data qubits are initialized and finally measured in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MemoryBasis {
+    /// Initialize `|0…0⟩` (`R`), final `M` — protects logical Z.
+    #[default]
+    Z,
+    /// Initialize `|+…+⟩` (`RX`), final `MX` — protects logical X. Uses
+    /// the basis-general reset/measure instructions end to end.
+    X,
+}
 
 /// Configuration of a rotated surface-code memory-Z experiment.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -122,6 +134,22 @@ fn plaquettes(d: usize) -> Vec<Plaquette> {
 /// assert_eq!(c.num_observables(), 1);
 /// ```
 pub fn surface_code_memory(config: &SurfaceCodeConfig) -> Circuit {
+    surface_code_memory_in(config, MemoryBasis::Z)
+}
+
+/// [`surface_code_memory`] generalized over the protected basis.
+///
+/// `MemoryBasis::X` produces a memory-X experiment built on the
+/// basis-general instructions: data qubits start with `RX`, the
+/// time-boundary detectors of round 0 sit on the X checks (deterministic
+/// on `|+…+⟩`; the Z checks are random that round), the final transversal
+/// readout is `MX`, and the logical observable is the left column of data
+/// qubits (a representative of logical X, commuting with every Z check).
+///
+/// # Panics
+///
+/// Panics if `distance` is even or `< 3`, or `rounds < 1`.
+pub fn surface_code_memory_in(config: &SurfaceCodeConfig, basis: MemoryBasis) -> Circuit {
     let d = config.distance;
     assert!(d >= 3 && d % 2 == 1, "distance must be odd and at least 3");
     assert!(config.rounds >= 1, "need at least one round");
@@ -133,13 +161,34 @@ pub fn surface_code_memory(config: &SurfaceCodeConfig) -> Circuit {
     let total_qubits = (d * d + plaqs.len()) as u32;
     let mut c = Circuit::new(total_qubits);
 
-    let all: Vec<u32> = (0..total_qubits).collect();
-    c.push(Instruction::Reset { targets: all });
+    let ancillas: Vec<u32> = ((d * d) as u32..total_qubits).collect();
+    match basis {
+        MemoryBasis::Z => {
+            let all: Vec<u32> = (0..total_qubits).collect();
+            c.push(Instruction::Reset {
+                basis: PauliKind::Z,
+                targets: all,
+            });
+        }
+        MemoryBasis::X => {
+            c.reset_many_in(PauliKind::X, &data_qubits);
+            c.push(Instruction::Reset {
+                basis: PauliKind::Z,
+                targets: ancillas,
+            });
+        }
+    }
 
     // Round 0 declares the time-boundary detectors; every later round is
     // the identical steady-state round, emitted once as one structured
     // REPEAT block (its detectors reach into the previous iteration).
-    push_round(&mut |inst| c.push(inst), &plaqs, &data_qubits, config, true);
+    push_round(
+        &mut |inst| c.push(inst),
+        &plaqs,
+        &data_qubits,
+        config,
+        Some(basis),
+    );
     if config.rounds > 1 {
         let mut body = Block::new();
         push_round(
@@ -147,7 +196,7 @@ pub fn surface_code_memory(config: &SurfaceCodeConfig) -> Circuit {
             &plaqs,
             &data_qubits,
             config,
-            false,
+            None,
         );
         c.push(Instruction::Repeat {
             count: (config.rounds - 1) as u64,
@@ -155,34 +204,55 @@ pub fn surface_code_memory(config: &SurfaceCodeConfig) -> Circuit {
         });
     }
 
-    // Final transversal data measurement; compare each Z plaquette's data
-    // parity with its last ancilla outcome.
-    c.measure_many(&data_qubits);
+    // Final transversal data measurement; compare each same-type
+    // plaquette's data parity with its last ancilla outcome.
     let nd = (d * d) as i64;
-    for (z_seen, p) in plaqs.iter().filter(|p| p.z_type).enumerate() {
-        let mut lookbacks: Vec<i64> = p.data.iter().map(|&dq| -nd + dq as i64).collect();
-        // The Z outcomes of the last round sit `num_x` X outcomes behind the
-        // data block.
-        lookbacks.push(-nd - (num_x as i64) - (num_z as i64) + z_seen as i64);
-        c.detector(&lookbacks);
+    match basis {
+        MemoryBasis::Z => {
+            c.measure_many(&data_qubits);
+            for (z_seen, p) in plaqs.iter().filter(|p| p.z_type).enumerate() {
+                let mut lookbacks: Vec<i64> = p.data.iter().map(|&dq| -nd + dq as i64).collect();
+                // The Z outcomes of the last round sit `num_x` X outcomes
+                // behind the data block.
+                lookbacks.push(-nd - (num_x as i64) - (num_z as i64) + z_seen as i64);
+                c.detector(&lookbacks);
+            }
+            // Logical Z: the top row of data qubits (commutes with every X
+            // check).
+            let top_row: Vec<i64> = (0..d as i64).map(|i| -nd + i).collect();
+            c.observable_include(0, &top_row);
+        }
+        MemoryBasis::X => {
+            c.measure_many_in(PauliKind::X, &data_qubits);
+            for (x_seen, p) in plaqs.iter().filter(|p| !p.z_type).enumerate() {
+                let mut lookbacks: Vec<i64> = p.data.iter().map(|&dq| -nd + dq as i64).collect();
+                // The X outcomes of the last round directly precede the
+                // data block.
+                lookbacks.push(-nd - (num_x as i64) + x_seen as i64);
+                c.detector(&lookbacks);
+            }
+            // Logical X: the left column of data qubits (commutes with
+            // every Z check).
+            let left_col: Vec<i64> = (0..d as i64).map(|r| -nd + r * d as i64).collect();
+            c.observable_include(0, &left_col);
+        }
     }
-    // Logical Z: the top row of data qubits (commutes with every X check).
-    let top_row: Vec<i64> = (0..d as i64).map(|i| -nd + i).collect();
-    c.observable_include(0, &top_row);
     c
 }
 
-/// Emits one stabilizer-measurement round through `push`. `first` rounds
-/// declare the time-boundary detectors (Z checks only, single outcome);
-/// steady-state rounds compare every check against the previous round,
-/// which inside the `REPEAT` body means lookbacks into the previous
-/// iteration.
+/// Emits one stabilizer-measurement round through `push`. A `first`
+/// round (`Some(basis)`) declares the time-boundary detectors on the
+/// checks that are deterministic for that initialization — Z checks for
+/// memory-Z, X checks for memory-X — with a single outcome each;
+/// steady-state rounds (`None`) compare every check against the previous
+/// round, which inside the `REPEAT` body means lookbacks into the
+/// previous iteration.
 fn push_round(
     push: &mut dyn FnMut(Instruction),
     plaqs: &[Plaquette],
     data_qubits: &[u32],
     config: &SurfaceCodeConfig,
-    first: bool,
+    first: Option<MemoryBasis>,
 ) {
     let num_z = plaqs.iter().filter(|p| p.z_type).count();
     let num_x = plaqs.len() - num_z;
@@ -214,6 +284,7 @@ fn push_round(
         });
     }
     push(Instruction::MeasureReset {
+        basis: crate::PauliKind::Z,
         targets: z_ancillas,
     });
 
@@ -243,29 +314,40 @@ fn push_round(
         });
     }
     push(Instruction::MeasureReset {
+        basis: crate::PauliKind::Z,
         targets: x_ancillas,
     });
 
-    // -- Detectors. Z outcomes are deterministic from round 0 (data
-    // starts in |0…0⟩); X outcomes only from round 1 (pairwise).
+    // -- Detectors. In round 0 only the checks matching the data
+    // initialization basis are deterministic (Z checks on |0…0⟩, X checks
+    // on |+…+⟩); from round 1 every check compares pairwise with the
+    // previous round.
     for i in 0..num_z as i64 {
         let this = -per_round + i;
-        if first {
-            push(Instruction::Detector {
+        match first {
+            Some(MemoryBasis::Z) => push(Instruction::Detector {
+                coords: vec![],
                 lookbacks: vec![this],
-            });
-        } else {
-            push(Instruction::Detector {
+            }),
+            Some(MemoryBasis::X) => {}
+            None => push(Instruction::Detector {
+                coords: vec![],
                 lookbacks: vec![this, this - per_round],
-            });
+            }),
         }
     }
-    if !first {
-        for i in 0..num_x as i64 {
-            let this = -(num_x as i64) + i;
-            push(Instruction::Detector {
+    for i in 0..num_x as i64 {
+        let this = -(num_x as i64) + i;
+        match first {
+            Some(MemoryBasis::Z) => {}
+            Some(MemoryBasis::X) => push(Instruction::Detector {
+                coords: vec![],
+                lookbacks: vec![this],
+            }),
+            None => push(Instruction::Detector {
+                coords: vec![],
                 lookbacks: vec![this, this - per_round],
-            });
+            }),
         }
     }
     push(Instruction::Tick);
@@ -373,10 +455,12 @@ mod tests {
         let total = (cfg.distance * cfg.distance + plaqs.len()) as u32;
         let mut legacy = Circuit::new(total);
         legacy.push(Instruction::Reset {
+            basis: crate::PauliKind::Z,
             targets: (0..total).collect(),
         });
         for round in 0..cfg.rounds {
-            push_round(&mut |i| legacy.push(i), &plaqs, &data, &cfg, round == 0);
+            let first = (round == 0).then_some(MemoryBasis::Z);
+            push_round(&mut |i| legacy.push(i), &plaqs, &data, &cfg, first);
         }
         legacy.measure_many(&data);
         let nd = (cfg.distance * cfg.distance) as i64;
@@ -402,6 +486,41 @@ mod tests {
             measure_error: 0.002,
         });
         assert_eq!(Circuit::parse(&c.to_string()).unwrap(), c);
+    }
+
+    #[test]
+    fn memory_x_counts_and_roundtrip() {
+        let cfg = SurfaceCodeConfig {
+            distance: 3,
+            rounds: 3,
+            data_error: 0.001,
+            measure_error: 0.001,
+        };
+        let c = surface_code_memory_in(&cfg, MemoryBasis::X);
+        // Same record shape as memory-Z: 8 ancillas per round + 9 data.
+        assert_eq!(c.stats().measurements, 8 * 3 + 9);
+        // Round 0: 4 detectors (X checks only); rounds 1–2: 8 each;
+        // final: 4 (X plaquettes against data MX parities).
+        assert_eq!(c.num_detectors(), 4 + 8 * 2 + 4);
+        assert_eq!(c.num_observables(), 1);
+        // The basis-general instructions are actually used…
+        let text = c.to_string();
+        assert!(text.contains("RX "), "data must initialize with RX");
+        assert!(text.contains("MX "), "final readout must be MX");
+        // …and the text form round-trips structurally.
+        assert_eq!(Circuit::parse(&text).unwrap(), c);
+    }
+
+    #[test]
+    fn logical_x_commutes_with_z_checks() {
+        for d in [3usize, 5] {
+            let ps = plaquettes(d);
+            let left_col: Vec<u32> = (0..d as u32).map(|r| r * d as u32).collect();
+            for p in ps.iter().filter(|p| p.z_type) {
+                let overlap = p.data.iter().filter(|q| left_col.contains(q)).count();
+                assert_eq!(overlap % 2, 0, "logical X anticommutes with a Z check");
+            }
+        }
     }
 
     #[test]

@@ -35,13 +35,56 @@ pub enum NoiseChannel {
         /// Probability of a `Z` fault.
         pz: f64,
     },
+    /// Biased two-qubit channel over target pairs: each of the 15
+    /// non-identity two-qubit Paulis with its own probability, in Stim's
+    /// argument order `IX IY IZ XI XX XY XZ YI YX YY YZ ZI ZX ZY ZZ`
+    /// (first letter = first target of the pair). 4 symbols per pair,
+    /// jointly distributed — the per-Pauli fault accounting of the
+    /// paper's Table 1 extended to arbitrary two-qubit biases.
+    PauliChannel2 {
+        /// Outcome probabilities; index `m - 1` holds the Pauli pair
+        /// `(m / 4, m % 4)` with `0=I, 1=X, 2=Y, 3=Z`.
+        probs: [f64; 15],
+    },
+}
+
+/// The `(x_a, z_a, x_b, z_b)` bit pattern of two-qubit Pauli outcome `m`
+/// (`1..=15`, Stim argument order: `m = 4·first + second` with
+/// `0=I, 1=X, 2=Y, 3=Z`) — the symbol order of a `PAULI_CHANNEL_2` /
+/// `DEPOLARIZE2` site.
+pub fn pauli_channel_2_bits(m: usize) -> [bool; 4] {
+    debug_assert!((1..=15).contains(&m));
+    let bits = |p: usize| match p {
+        0 => (false, false),
+        1 => (true, false),
+        2 => (true, true),
+        _ => (false, true),
+    };
+    let (xa, za) = bits(m / 4);
+    let (xb, zb) = bits(m % 4);
+    [xa, za, xb, zb]
+}
+
+/// Maps a uniform draw `u ∈ [0, Σprobs)` to the fired outcome index
+/// (1-based, so the result feeds [`pauli_channel_2_bits`] directly). Every
+/// engine selects `PAULI_CHANNEL_2` outcomes through this one cumulative
+/// scan so the channel's conditional distribution cannot drift apart.
+pub fn pauli_channel_2_select(u: f64, probs: &[f64; 15]) -> usize {
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i + 1;
+        }
+    }
+    15
 }
 
 impl NoiseChannel {
     /// Qubits consumed per application (1, or 2 for two-qubit channels).
     pub fn arity(self) -> usize {
         match self {
-            NoiseChannel::Depolarize2(_) => 2,
+            NoiseChannel::Depolarize2(_) | NoiseChannel::PauliChannel2 { .. } => 2,
             _ => 1,
         }
     }
@@ -52,7 +95,7 @@ impl NoiseChannel {
         match self {
             NoiseChannel::XError(_) | NoiseChannel::YError(_) | NoiseChannel::ZError(_) => 1,
             NoiseChannel::Depolarize1(_) | NoiseChannel::PauliChannel1 { .. } => 2,
-            NoiseChannel::Depolarize2(_) => 4,
+            NoiseChannel::Depolarize2(_) | NoiseChannel::PauliChannel2 { .. } => 4,
         }
     }
 
@@ -68,6 +111,7 @@ impl NoiseChannel {
             | NoiseChannel::Depolarize1(p)
             | NoiseChannel::Depolarize2(p) => p,
             NoiseChannel::PauliChannel1 { px, py, pz } => px + py + pz,
+            NoiseChannel::PauliChannel2 { probs } => probs.iter().sum(),
         }
     }
 
@@ -80,6 +124,7 @@ impl NoiseChannel {
             NoiseChannel::Depolarize1(_) => "DEPOLARIZE1",
             NoiseChannel::Depolarize2(_) => "DEPOLARIZE2",
             NoiseChannel::PauliChannel1 { .. } => "PAULI_CHANNEL_1",
+            NoiseChannel::PauliChannel2 { .. } => "PAULI_CHANNEL_2",
         }
     }
 
@@ -111,6 +156,16 @@ impl NoiseChannel {
                 }
                 Ok(())
             }
+            NoiseChannel::PauliChannel2 { probs } => {
+                for &p in &probs {
+                    check(p)?;
+                }
+                let total: f64 = probs.iter().sum();
+                if total > 1.0 + 1e-12 {
+                    return Err(format!("probabilities sum to {total}, exceeding 1"));
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -121,6 +176,16 @@ impl fmt::Display for NoiseChannel {
             NoiseChannel::PauliChannel1 { px, py, pz } => {
                 write!(f, "PAULI_CHANNEL_1({px},{py},{pz})")
             }
+            NoiseChannel::PauliChannel2 { probs } => {
+                write!(f, "PAULI_CHANNEL_2(")?;
+                for (i, p) in probs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
             NoiseChannel::XError(p)
             | NoiseChannel::YError(p)
             | NoiseChannel::ZError(p)
@@ -129,6 +194,10 @@ impl fmt::Display for NoiseChannel {
         }
     }
 }
+
+/// One multiplicative factor of a Pauli product: a Pauli letter on a
+/// qubit (the `X0` of `MPP X0*Z1` or `E(p) X0 Y1`).
+pub type PauliFactor = (PauliKind, u32);
 
 /// One instruction of a stabilizer circuit.
 ///
@@ -144,21 +213,40 @@ pub enum Instruction {
         /// Broadcast targets (pairs for two-qubit gates).
         targets: Vec<u32>,
     },
-    /// Computational-basis measurement of each target, appending outcomes to
-    /// the measurement record in target order.
+    /// Single-qubit Pauli measurement of each target (`M`/`MX`/`MY`),
+    /// appending outcomes to the measurement record in target order.
+    /// Outcome 0 is the `+1` eigenstate of the basis Pauli.
     Measure {
+        /// Measured Pauli (`Z` is the computational basis).
+        basis: PauliKind,
         /// Measured qubits.
         targets: Vec<u32>,
     },
-    /// Reset of each target to `|0⟩`.
+    /// Reset of each target to the `+1` eigenstate of the basis Pauli
+    /// (`R` → `|0⟩`, `RX` → `|+⟩`, `RY` → `|+i⟩`).
     Reset {
+        /// Reset basis.
+        basis: PauliKind,
         /// Reset qubits.
         targets: Vec<u32>,
     },
-    /// Measurement immediately followed by reset to `|0⟩`.
+    /// Measurement immediately followed by reset to the `+1` eigenstate
+    /// of the same basis (`MR`/`MRX`/`MRY`).
     MeasureReset {
+        /// Measurement-and-reset basis.
+        basis: PauliKind,
         /// Measured-and-reset qubits.
         targets: Vec<u32>,
+    },
+    /// Multi-qubit Pauli-product measurement (`MPP X0*Z1*Y2 X3*X4`): each
+    /// product appends one outcome to the record, in product order. The
+    /// paper's Init-M conjugation measures any Pauli product exactly like
+    /// the Z observable — see [`pauli_product_plan`] for the shared
+    /// reduction every engine runs.
+    MeasurePauliProduct {
+        /// The measured products, each a non-empty list of factors on
+        /// distinct qubits.
+        products: Vec<Vec<PauliFactor>>,
     },
     /// A Pauli noise channel application.
     Noise {
@@ -166,6 +254,23 @@ pub enum Instruction {
         channel: NoiseChannel,
         /// Broadcast targets (pairs for two-qubit channels).
         targets: Vec<u32>,
+    },
+    /// A correlated Pauli-product error (`E(p) X0 Y1` /
+    /// `ELSE_CORRELATED_ERROR(p) Z2`): with probability `p` the whole
+    /// product is applied at once — one bit-symbol per instruction under
+    /// phase symbolization, whatever the product weight. An `else_branch`
+    /// instruction fires only when no earlier element of its chain (the
+    /// immediately preceding `E`/`ELSE_CORRELATED_ERROR` run) fired, so a
+    /// chain realizes at most one of its products per shot.
+    CorrelatedError {
+        /// Probability of the product being applied (for `else_branch`:
+        /// conditional on the chain not having fired yet).
+        probability: f64,
+        /// The applied Pauli product (non-empty, distinct qubits).
+        product: Vec<PauliFactor>,
+        /// `true` for `ELSE_CORRELATED_ERROR` (continues the chain of the
+        /// directly preceding correlated error).
+        else_branch: bool,
     },
     /// A Pauli applied iff an earlier measurement outcome was 1 (dynamic
     /// circuits; written `CX rec[-k] t` / `CY` / `CZ` in the text format).
@@ -180,6 +285,10 @@ pub enum Instruction {
     /// Declares a detector: the XOR of the referenced measurement outcomes
     /// is deterministic (0) in the absence of faults.
     Detector {
+        /// Optional coordinate arguments (`DETECTOR(1,2,0) …`), carried
+        /// verbatim for round-tripping and decoder tooling; engines ignore
+        /// them.
+        coords: Vec<f64>,
         /// Measurement-record lookbacks (all negative).
         lookbacks: Vec<i64>,
     },
@@ -193,6 +302,21 @@ pub enum Instruction {
     },
     /// A no-op layer marker.
     Tick,
+    /// `QUBIT_COORDS(…) q…`: coordinate annotation for the listed qubits.
+    /// Pure metadata — engines ignore it, but it round-trips through the
+    /// text format (previously these lines were silently dropped).
+    QubitCoords {
+        /// Coordinate arguments.
+        coords: Vec<f64>,
+        /// Annotated qubits.
+        targets: Vec<u32>,
+    },
+    /// `SHIFT_COORDS(…)`: shifts the coordinate origin of later
+    /// annotations. Pure metadata, preserved for round-tripping.
+    ShiftCoords {
+        /// Per-axis offsets.
+        coords: Vec<f64>,
+    },
     /// A structured `REPEAT count { … }` block: the body executes `count`
     /// times in sequence. The block is **never flattened** — engines
     /// stream it through `Circuit::flat_instructions`, and record
@@ -213,9 +337,10 @@ impl Instruction {
     /// (saturating).
     pub fn measurements_added(&self) -> usize {
         match self {
-            Instruction::Measure { targets } | Instruction::MeasureReset { targets } => {
+            Instruction::Measure { targets, .. } | Instruction::MeasureReset { targets, .. } => {
                 targets.len()
             }
+            Instruction::MeasurePauliProduct { products } => products.len(),
             Instruction::Repeat { count, body } => body
                 .measurements()
                 .saturating_mul(usize::try_from(*count).unwrap_or(usize::MAX)),
@@ -228,11 +353,23 @@ impl Instruction {
     pub fn max_qubit_bound(&self) -> u32 {
         let targets: &[u32] = match self {
             Instruction::Gate { targets, .. }
-            | Instruction::Measure { targets }
-            | Instruction::Reset { targets }
-            | Instruction::MeasureReset { targets }
-            | Instruction::Noise { targets, .. } => targets,
+            | Instruction::Measure { targets, .. }
+            | Instruction::Reset { targets, .. }
+            | Instruction::MeasureReset { targets, .. }
+            | Instruction::Noise { targets, .. }
+            | Instruction::QubitCoords { targets, .. } => targets,
             Instruction::Feedback { target, .. } => std::slice::from_ref(target),
+            Instruction::MeasurePauliProduct { products } => {
+                return products
+                    .iter()
+                    .flatten()
+                    .map(|&(_, q)| q + 1)
+                    .max()
+                    .unwrap_or(0)
+            }
+            Instruction::CorrelatedError { product, .. } => {
+                return product.iter().map(|&(_, q)| q + 1).max().unwrap_or(0)
+            }
             Instruction::Repeat { body, .. } => return body.max_qubit_bound(),
             _ => &[],
         };
@@ -266,29 +403,51 @@ impl Instruction {
                 write!(f, "{}", gate.name())?;
                 write_targets(f, targets)
             }
-            Instruction::Measure { targets } => {
-                write!(f, "M")?;
+            Instruction::Measure { basis, targets } => {
+                write!(f, "M{}", basis_suffix(*basis))?;
                 write_targets(f, targets)
             }
-            Instruction::Reset { targets } => {
-                write!(f, "R")?;
+            Instruction::Reset { basis, targets } => {
+                write!(f, "R{}", basis_suffix(*basis))?;
                 write_targets(f, targets)
             }
-            Instruction::MeasureReset { targets } => {
-                write!(f, "MR")?;
+            Instruction::MeasureReset { basis, targets } => {
+                write!(f, "MR{}", basis_suffix(*basis))?;
                 write_targets(f, targets)
+            }
+            Instruction::MeasurePauliProduct { products } => {
+                write!(f, "MPP")?;
+                for product in products {
+                    write!(f, " ")?;
+                    write_product(f, product, "*")?;
+                }
+                Ok(())
             }
             Instruction::Noise { channel, targets } => {
                 write!(f, "{channel}")?;
                 write_targets(f, targets)
+            }
+            Instruction::CorrelatedError {
+                probability,
+                product,
+                else_branch,
+            } => {
+                let name = if *else_branch {
+                    "ELSE_CORRELATED_ERROR"
+                } else {
+                    "E"
+                };
+                write!(f, "{name}({probability}) ")?;
+                write_product(f, product, " ")
             }
             Instruction::Feedback {
                 pauli,
                 lookback,
                 target,
             } => write!(f, "C{pauli} rec[{lookback}] {target}"),
-            Instruction::Detector { lookbacks } => {
+            Instruction::Detector { coords, lookbacks } => {
                 write!(f, "DETECTOR")?;
+                write_coords(f, coords)?;
                 for l in lookbacks {
                     write!(f, " rec[{l}]")?;
                 }
@@ -302,8 +461,27 @@ impl Instruction {
                 Ok(())
             }
             Instruction::Tick => write!(f, "TICK"),
+            Instruction::QubitCoords { coords, targets } => {
+                write!(f, "QUBIT_COORDS")?;
+                write_coords(f, coords)?;
+                write_targets(f, targets)
+            }
+            Instruction::ShiftCoords { coords } => {
+                write!(f, "SHIFT_COORDS")?;
+                write_coords(f, coords)
+            }
             Instruction::Repeat { .. } => unreachable!("handled by fmt_indented"),
         }
+    }
+}
+
+/// Canonical name suffix of a measurement/reset basis (`Z` stays bare so
+/// legacy `M`/`R`/`MR` text round-trips unchanged).
+fn basis_suffix(basis: PauliKind) -> &'static str {
+    match basis {
+        PauliKind::Z => "",
+        PauliKind::X => "X",
+        PauliKind::Y => "Y",
     }
 }
 
@@ -312,6 +490,83 @@ fn write_targets(f: &mut fmt::Formatter<'_>, targets: &[u32]) -> fmt::Result {
         write!(f, " {t}")?;
     }
     Ok(())
+}
+
+/// Writes a Pauli product as `X0<sep>Z1<sep>…`.
+fn write_product(f: &mut fmt::Formatter<'_>, product: &[PauliFactor], sep: &str) -> fmt::Result {
+    for (i, (kind, q)) in product.iter().enumerate() {
+        if i > 0 {
+            f.write_str(sep)?;
+        }
+        write!(f, "{kind}{q}")?;
+    }
+    Ok(())
+}
+
+/// Writes a parenthesised coordinate list, or nothing when empty.
+fn write_coords(f: &mut fmt::Formatter<'_>, coords: &[f64]) -> fmt::Result {
+    if coords.is_empty() {
+        return Ok(());
+    }
+    write!(f, "(")?;
+    for (i, c) in coords.iter().enumerate() {
+        if i > 0 {
+            write!(f, ",")?;
+        }
+        write!(f, "{c}")?;
+    }
+    write!(f, ")")
+}
+
+/// One gate application of a [`pauli_product_plan`]: a self-inverse gate
+/// on one or two qubits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanOp {
+    /// The (self-inverse) gate.
+    pub gate: Gate,
+    /// Backing target storage; use [`PlanOp::targets`].
+    targets: [u32; 2],
+}
+
+impl PlanOp {
+    /// The gate's targets (one or two qubits).
+    pub fn targets(&self) -> &[u32] {
+        &self.targets[..self.gate.arity()]
+    }
+}
+
+/// The shared reduction of an arbitrary Pauli-product measurement to a
+/// Z-basis measurement — the `measure(P)` generalization of Init-M, used
+/// identically by every engine (symbolic, tableau, frame, state-vector).
+///
+/// Returns `(ops, anchor)` where `ops` is a self-inverse gate sequence
+/// `U` such that `U† Z_anchor U = P`: apply `ops` in order, run the
+/// engine's Z-basis measurement (or reset) of `anchor`, then apply `ops`
+/// in **reverse** order to uncompute. The sequence is per-factor basis
+/// changes (`H` for `X`, `H_YZ` for `Y`) followed by `CX other → anchor`
+/// parity fan-in.
+///
+/// # Panics
+///
+/// Panics if `product` is empty (validated at circuit construction).
+pub fn pauli_product_plan(product: &[PauliFactor]) -> (Vec<PlanOp>, u32) {
+    let anchor = product.first().expect("empty Pauli product").1;
+    let mut ops = Vec::with_capacity(2 * product.len());
+    for &(kind, q) in product {
+        if let Some(gate) = kind.z_conjugator() {
+            ops.push(PlanOp {
+                gate,
+                targets: [q, q],
+            });
+        }
+    }
+    for &(_, q) in &product[1..] {
+        ops.push(PlanOp {
+            gate: Gate::Cx,
+            targets: [q, anchor],
+        });
+    }
+    (ops, anchor)
 }
 
 impl fmt::Display for Instruction {
@@ -343,14 +598,109 @@ mod tests {
         };
         assert_eq!(i.to_string(), "CX rec[-2] 3");
         let i = Instruction::Detector {
+            coords: vec![],
             lookbacks: vec![-1, -3],
         };
         assert_eq!(i.to_string(), "DETECTOR rec[-1] rec[-3]");
+        let i = Instruction::Detector {
+            coords: vec![1.0, 2.5, 0.0],
+            lookbacks: vec![-1],
+        };
+        assert_eq!(i.to_string(), "DETECTOR(1,2.5,0) rec[-1]");
         let i = Instruction::ObservableInclude {
             index: 0,
             lookbacks: vec![-1],
         };
         assert_eq!(i.to_string(), "OBSERVABLE_INCLUDE(0) rec[-1]");
+    }
+
+    #[test]
+    fn display_formats_new_instructions() {
+        let i = Instruction::Measure {
+            basis: PauliKind::X,
+            targets: vec![0, 2],
+        };
+        assert_eq!(i.to_string(), "MX 0 2");
+        let i = Instruction::MeasureReset {
+            basis: PauliKind::Y,
+            targets: vec![1],
+        };
+        assert_eq!(i.to_string(), "MRY 1");
+        let i = Instruction::Reset {
+            basis: PauliKind::X,
+            targets: vec![3],
+        };
+        assert_eq!(i.to_string(), "RX 3");
+        let i = Instruction::MeasurePauliProduct {
+            products: vec![
+                vec![(PauliKind::X, 0), (PauliKind::Z, 1), (PauliKind::Y, 2)],
+                vec![(PauliKind::X, 3)],
+            ],
+        };
+        assert_eq!(i.to_string(), "MPP X0*Z1*Y2 X3");
+        let i = Instruction::CorrelatedError {
+            probability: 0.25,
+            product: vec![(PauliKind::X, 0), (PauliKind::Y, 1)],
+            else_branch: false,
+        };
+        assert_eq!(i.to_string(), "E(0.25) X0 Y1");
+        let i = Instruction::CorrelatedError {
+            probability: 0.125,
+            product: vec![(PauliKind::Z, 2)],
+            else_branch: true,
+        };
+        assert_eq!(i.to_string(), "ELSE_CORRELATED_ERROR(0.125) Z2");
+        let i = Instruction::QubitCoords {
+            coords: vec![0.0, 1.0],
+            targets: vec![4],
+        };
+        assert_eq!(i.to_string(), "QUBIT_COORDS(0,1) 4");
+        let i = Instruction::ShiftCoords {
+            coords: vec![0.0, 0.0, 1.0],
+        };
+        assert_eq!(i.to_string(), "SHIFT_COORDS(0,0,1)");
+    }
+
+    #[test]
+    fn pauli_product_plan_reduces_to_anchor_z() {
+        let product = vec![(PauliKind::X, 2), (PauliKind::Z, 0), (PauliKind::Y, 5)];
+        let (ops, anchor) = pauli_product_plan(&product);
+        assert_eq!(anchor, 2);
+        // Basis changes on X/Y factors, then CX fan-in from the others.
+        let rendered: Vec<(Gate, Vec<u32>)> = ops
+            .iter()
+            .map(|op| (op.gate, op.targets().to_vec()))
+            .collect();
+        assert_eq!(
+            rendered,
+            vec![
+                (Gate::H, vec![2]),
+                (Gate::HYz, vec![5]),
+                (Gate::Cx, vec![0, 2]),
+                (Gate::Cx, vec![5, 2]),
+            ]
+        );
+        // Conjugating Z_anchor through the ops (in reverse) reproduces the
+        // product: check via the reference conjugation on each factor.
+        // (Full behavioral checks live in the engine test suites.)
+        for op in &ops {
+            assert_eq!(op.gate, op.gate.inverse(), "plan ops must be self-inverse");
+        }
+    }
+
+    #[test]
+    fn pauli_channel_2_mapping() {
+        // m = 4·a + b with 0=I,1=X,2=Y,3=Z; bits in (xa, za, xb, zb).
+        assert_eq!(pauli_channel_2_bits(1), [false, false, true, false]); // IX
+        assert_eq!(pauli_channel_2_bits(4), [true, false, false, false]); // XI
+        assert_eq!(pauli_channel_2_bits(10), [true, true, true, true]); // YY
+        assert_eq!(pauli_channel_2_bits(15), [false, true, false, true]); // ZZ
+        let mut probs = [0.0; 15];
+        probs[0] = 0.1; // IX
+        probs[14] = 0.2; // ZZ
+        assert_eq!(pauli_channel_2_select(0.05, &probs), 1);
+        assert_eq!(pauli_channel_2_select(0.15, &probs), 15);
+        assert_eq!(pauli_channel_2_select(0.2999, &probs), 15);
     }
 
     #[test]
@@ -378,6 +728,13 @@ mod tests {
         }
         .validate()
         .is_ok());
+        // Two-qubit channel: each entry in [0,1] and the sum at most 1.
+        let mut probs = [1.0 / 15.0; 15];
+        assert!(NoiseChannel::PauliChannel2 { probs }.validate().is_ok());
+        probs[3] = -0.01;
+        assert!(NoiseChannel::PauliChannel2 { probs }.validate().is_err());
+        let probs = [0.1; 15]; // sums to 1.5
+        assert!(NoiseChannel::PauliChannel2 { probs }.validate().is_err());
     }
 
     #[test]
@@ -399,12 +756,34 @@ mod tests {
     #[test]
     fn measurements_added_counts() {
         let m = Instruction::Measure {
+            basis: PauliKind::Z,
             targets: vec![1, 2, 3],
         };
         assert_eq!(m.measurements_added(), 3);
-        let mr = Instruction::MeasureReset { targets: vec![1] };
+        let mr = Instruction::MeasureReset {
+            basis: PauliKind::X,
+            targets: vec![1],
+        };
         assert_eq!(mr.measurements_added(), 1);
-        let r = Instruction::Reset { targets: vec![1] };
+        let r = Instruction::Reset {
+            basis: PauliKind::Z,
+            targets: vec![1],
+        };
         assert_eq!(r.measurements_added(), 0);
+        let mpp = Instruction::MeasurePauliProduct {
+            products: vec![
+                vec![(PauliKind::X, 0), (PauliKind::X, 1)],
+                vec![(PauliKind::Z, 2)],
+            ],
+        };
+        assert_eq!(mpp.measurements_added(), 2);
+        assert_eq!(mpp.max_qubit_bound(), 3);
+        let e = Instruction::CorrelatedError {
+            probability: 0.1,
+            product: vec![(PauliKind::Z, 7)],
+            else_branch: false,
+        };
+        assert_eq!(e.measurements_added(), 0);
+        assert_eq!(e.max_qubit_bound(), 8);
     }
 }

@@ -71,6 +71,9 @@ mod traverse;
 pub use action::{apply_action1, apply_action2, XZAction1, XZAction2};
 pub use circuit::{Block, Circuit, CircuitStats};
 pub use gate::{Gate, PauliKind, SmallPauli};
-pub use instruction::{Instruction, NoiseChannel};
+pub use instruction::{
+    pauli_channel_2_bits, pauli_channel_2_select, pauli_product_plan, Instruction, NoiseChannel,
+    PauliFactor, PlanOp,
+};
 pub use parser::ParseCircuitError;
 pub use traverse::FlatInstructions;

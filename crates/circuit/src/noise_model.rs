@@ -4,7 +4,18 @@
 //! circuit, insert depolarizing noise after every Clifford gate, bit-flip
 //! noise before every measurement, and reset noise after every reset.
 
-use crate::{Block, Circuit, Instruction, NoiseChannel};
+use crate::{Block, Circuit, Instruction, NoiseChannel, PauliKind};
+
+/// The error channel that flips outcomes of a measurement (or corrupts a
+/// reset) in the given basis: any Pauli anticommuting with the basis
+/// Pauli. `X_ERROR` for Z-basis operations, `Z_ERROR` for X-basis,
+/// `X_ERROR` for Y-basis.
+fn flip_channel(basis: PauliKind, p: f64) -> NoiseChannel {
+    match basis {
+        PauliKind::Z | PauliKind::Y => NoiseChannel::XError(p),
+        PauliKind::X => NoiseChannel::ZError(p),
+    }
+}
 
 /// Parameters for [`with_noise`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -89,29 +100,45 @@ fn decorate(instructions: &[Instruction], model: &NoiseModel, push: &mut dyn FnM
                     });
                 }
             }
-            Instruction::Measure { targets } | Instruction::MeasureReset { targets } => {
+            Instruction::Measure { basis, targets }
+            | Instruction::MeasureReset { basis, targets } => {
                 if model.before_measure > 0.0 {
                     push(Instruction::Noise {
-                        channel: NoiseChannel::XError(model.before_measure),
+                        channel: flip_channel(*basis, model.before_measure),
                         targets: targets.clone(),
                     });
                 }
                 push(inst.clone());
                 if matches!(inst, Instruction::MeasureReset { .. }) && model.after_reset > 0.0 {
                     push(Instruction::Noise {
-                        channel: NoiseChannel::XError(model.after_reset),
+                        channel: flip_channel(*basis, model.after_reset),
                         targets: targets.clone(),
                     });
                 }
             }
-            Instruction::Reset { targets } => {
+            Instruction::Reset { basis, targets } => {
                 push(inst.clone());
                 if model.after_reset > 0.0 {
                     push(Instruction::Noise {
-                        channel: NoiseChannel::XError(model.after_reset),
+                        channel: flip_channel(*basis, model.after_reset),
                         targets: targets.clone(),
                     });
                 }
+            }
+            Instruction::MeasurePauliProduct { products } => {
+                // Flip each product's outcome with the before-measure
+                // strength: a single-qubit Pauli anticommuting with the
+                // product's first factor, on that factor's qubit.
+                if model.before_measure > 0.0 {
+                    for product in products {
+                        let &(kind, q) = product.first().expect("products are non-empty");
+                        push(Instruction::Noise {
+                            channel: flip_channel(kind, model.before_measure),
+                            targets: vec![q],
+                        });
+                    }
+                }
+                push(inst.clone());
             }
             Instruction::Repeat { count, body } => {
                 let mut decorated = Block::new();
@@ -196,6 +223,55 @@ mod tests {
         }
         assert_eq!(noisy.stats().noise_sites, 2000);
         assert_eq!(noisy.num_measurements(), c.num_measurements());
+    }
+
+    #[test]
+    fn basis_measurements_get_anticommuting_flips() {
+        let mut c = Circuit::new(2);
+        c.measure_in(PauliKind::X, 0);
+        c.measure_reset_in(PauliKind::Y, 1);
+        let noisy = with_noise(&c, &NoiseModel::uniform(0.25));
+        // MX gets a Z flip before; MRY gets X flips before and after.
+        assert_eq!(
+            noisy.instructions()[0],
+            Instruction::Noise {
+                channel: NoiseChannel::ZError(0.25),
+                targets: vec![0],
+            }
+        );
+        assert_eq!(noisy.stats().noise_sites, 3);
+    }
+
+    #[test]
+    fn mpp_products_get_flip_noise() {
+        let mut c = Circuit::new(3);
+        c.measure_pauli_products(&[
+            &[(PauliKind::X, 0), (PauliKind::X, 1)],
+            &[(PauliKind::Z, 1), (PauliKind::Z, 2)],
+        ]);
+        let noisy = with_noise(&c, &NoiseModel::uniform(0.125));
+        // One flip per product: Z on the X-product's anchor, X on the
+        // Z-product's anchor, both before the MPP instruction.
+        assert_eq!(
+            noisy.instructions()[0],
+            Instruction::Noise {
+                channel: NoiseChannel::ZError(0.125),
+                targets: vec![0],
+            }
+        );
+        assert_eq!(
+            noisy.instructions()[1],
+            Instruction::Noise {
+                channel: NoiseChannel::XError(0.125),
+                targets: vec![1],
+            }
+        );
+        assert!(matches!(
+            noisy.instructions()[2],
+            Instruction::MeasurePauliProduct { .. }
+        ));
+        assert_eq!(noisy.stats().noise_sites, 2);
+        assert_eq!(noisy.num_measurements(), 2);
     }
 
     #[test]

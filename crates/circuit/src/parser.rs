@@ -9,12 +9,18 @@
 //! CX rec[-1] 2              — classically-controlled Pauli (feedback)
 //! X_ERROR(0.01) 0 1         — noise channels with parenthesised arguments
 //! PAULI_CHANNEL_1(a,b,c) 0
-//! M 0 1 / MR 0 / R 0        — measure, measure-reset, reset
-//! DETECTOR rec[-1] rec[-2]
+//! PAULI_CHANNEL_2(p1,…,p15) 0 1
+//! E(0.1) X0 Y1              — correlated Pauli-product error (alias CORRELATED_ERROR)
+//! ELSE_CORRELATED_ERROR(0.1) Z2
+//! M 0 1 / MR 0 / R 0        — measure, measure-reset, reset (Z basis)
+//! MX 0 / MY 0 / RX 0 / RY 0 / MRX 0 / MRY 0
+//! MPP X0*Z1*Y2 X3*X4        — Pauli-product measurements
+//! DETECTOR(1,2,0) rec[-1] rec[-2]
 //! OBSERVABLE_INCLUDE(0) rec[-1]
 //! REPEAT 5 { ... }          — kept structured: the body is parsed once
 //! TICK
-//! QUBIT_COORDS(...) 0       — accepted and ignored
+//! QUBIT_COORDS(0, 1) 0      — annotation, preserved for round-tripping
+//! SHIFT_COORDS(0, 2)
 //! ```
 //!
 //! `REPEAT` blocks become [`Instruction::Repeat`] nodes: the body is
@@ -168,19 +174,16 @@ fn strip_comment(line: &str) -> &str {
 }
 
 fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), ParseCircuitError> {
-    // Coordinate annotations are accepted and ignored (their arguments may
-    // contain spaces, so check before tokenizing).
-    if line.starts_with("QUBIT_COORDS") || line.starts_with("SHIFT_COORDS") {
-        return Ok(());
-    }
-
-    let mut parts = line.split_whitespace();
-    let head = parts.next().expect("non-empty line");
-    let rest: Vec<&str> = parts.collect();
-
-    let (name, args) = split_name_args(head, line_no)?;
+    // Split `NAME(args…) targets…` on the whole line (not the first
+    // whitespace token) so parenthesised arguments may contain spaces, as
+    // in `QUBIT_COORDS(0, 1) 0`.
+    let (name, args, rest) = split_name_args(line, line_no)?;
 
     if name == "TICK" {
+        reject_args(name, &args, line_no)?;
+        if !rest.is_empty() {
+            return Err(err(line_no, "TICK takes no targets"));
+        }
         push_checked(sink, Instruction::Tick, line_no)?;
         return Ok(());
     }
@@ -190,25 +193,84 @@ fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), P
     // (Stim semantics: the record target must be the control of its own
     // pair). Dispatch pair by pair rather than routing the whole line.
     if matches!(name, "CX" | "CNOT" | "CY" | "CZ") && rest.iter().any(|t| t.starts_with("rec[")) {
+        reject_args(name, &args, line_no)?;
         return parse_mixed_controlled(name, &rest, line_no, sink);
     }
 
+    // Basis-general measurement / reset families: Z is the bare name.
+    let basis_family = |fam: &str| -> Option<PauliKind> {
+        let suffix = name.strip_prefix(fam)?;
+        match suffix {
+            "" | "Z" => Some(PauliKind::Z),
+            "X" => Some(PauliKind::X),
+            "Y" => Some(PauliKind::Y),
+            _ => None,
+        }
+    };
+
     match name {
-        "M" | "MZ" => {
+        "M" | "MZ" | "MX" | "MY" => {
+            reject_args(name, &args, line_no)?;
+            let basis = basis_family("M").expect("matched above");
             let targets = parse_qubits(&rest, line_no)?;
-            push_checked(sink, Instruction::Measure { targets }, line_no)?;
+            push_checked(sink, Instruction::Measure { basis, targets }, line_no)?;
         }
-        "R" | "RZ" => {
+        "R" | "RZ" | "RX" | "RY" => {
+            reject_args(name, &args, line_no)?;
+            let basis = basis_family("R").expect("matched above");
             let targets = parse_qubits(&rest, line_no)?;
-            push_checked(sink, Instruction::Reset { targets }, line_no)?;
+            push_checked(sink, Instruction::Reset { basis, targets }, line_no)?;
         }
-        "MR" | "MRZ" => {
+        "MR" | "MRZ" | "MRX" | "MRY" => {
+            reject_args(name, &args, line_no)?;
+            let basis = basis_family("MR").expect("matched above");
             let targets = parse_qubits(&rest, line_no)?;
-            push_checked(sink, Instruction::MeasureReset { targets }, line_no)?;
+            push_checked(sink, Instruction::MeasureReset { basis, targets }, line_no)?;
+        }
+        "MPP" => {
+            reject_args(name, &args, line_no)?;
+            if rest.is_empty() {
+                return Err(err(line_no, "MPP needs at least one Pauli product"));
+            }
+            let products = rest
+                .iter()
+                .map(|tok| {
+                    tok.split('*')
+                        .map(|f| parse_pauli_factor(f, line_no))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            push_checked(sink, Instruction::MeasurePauliProduct { products }, line_no)?;
+        }
+        "E" | "CORRELATED_ERROR" | "ELSE_CORRELATED_ERROR" => {
+            let probability = match args.as_slice() {
+                [p] => *p,
+                _ => return Err(err(line_no, format!("{name} needs exactly one argument"))),
+            };
+            let product = rest
+                .iter()
+                .map(|tok| parse_pauli_factor(tok, line_no))
+                .collect::<Result<Vec<_>, _>>()?;
+            push_checked(
+                sink,
+                Instruction::CorrelatedError {
+                    probability,
+                    product,
+                    else_branch: name == "ELSE_CORRELATED_ERROR",
+                },
+                line_no,
+            )?;
         }
         "DETECTOR" => {
             let lookbacks = parse_lookbacks(&rest, line_no)?;
-            push_checked(sink, Instruction::Detector { lookbacks }, line_no)?;
+            push_checked(
+                sink,
+                Instruction::Detector {
+                    coords: args,
+                    lookbacks,
+                },
+                line_no,
+            )?;
         }
         "OBSERVABLE_INCLUDE" => {
             let index = match args.as_slice() {
@@ -227,7 +289,25 @@ fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), P
                 line_no,
             )?;
         }
-        "X_ERROR" | "Y_ERROR" | "Z_ERROR" | "DEPOLARIZE1" | "DEPOLARIZE2" | "PAULI_CHANNEL_1" => {
+        "QUBIT_COORDS" => {
+            let targets = parse_qubits(&rest, line_no)?;
+            push_checked(
+                sink,
+                Instruction::QubitCoords {
+                    coords: args,
+                    targets,
+                },
+                line_no,
+            )?;
+        }
+        "SHIFT_COORDS" => {
+            if !rest.is_empty() {
+                return Err(err(line_no, "SHIFT_COORDS takes no targets"));
+            }
+            push_checked(sink, Instruction::ShiftCoords { coords: args }, line_no)?;
+        }
+        "X_ERROR" | "Y_ERROR" | "Z_ERROR" | "DEPOLARIZE1" | "DEPOLARIZE2" | "PAULI_CHANNEL_1"
+        | "PAULI_CHANNEL_2" => {
             let channel = parse_channel(name, &args, line_no)?;
             let targets = parse_qubits(&rest, line_no)?;
             push_checked(sink, Instruction::Noise { channel, targets }, line_no)?;
@@ -256,30 +336,78 @@ fn push_checked<S: Sink>(
     sink.try_push(instruction).map_err(|msg| err(line_no, msg))
 }
 
-fn split_name_args(head: &str, line_no: usize) -> Result<(&str, Vec<f64>), ParseCircuitError> {
-    match head.find('(') {
-        None => Ok((head, Vec::new())),
-        Some(open) => {
-            let name = &head[..open];
-            let Some(close) = head.rfind(')') else {
-                return Err(err(line_no, "missing ')'"));
-            };
-            let inner = &head[open + 1..close];
-            let mut args = Vec::new();
-            for piece in inner.split(',') {
-                let piece = piece.trim();
-                if piece.is_empty() {
-                    continue;
-                }
-                args.push(
-                    piece
-                        .parse::<f64>()
-                        .map_err(|_| err(line_no, format!("bad numeric argument '{piece}'")))?,
-                );
+/// Splits a line into its instruction name, parenthesised numeric
+/// arguments, and remaining whitespace-separated target tokens. The
+/// argument list may contain spaces (`QUBIT_COORDS(0, 1) 0`); empty
+/// argument slots (`PAULI_CHANNEL_1(,,0.1)`) are rejected rather than
+/// silently skipped — a dropped slot would shift every later argument.
+fn split_name_args(
+    line: &str,
+    line_no: usize,
+) -> Result<(&str, Vec<f64>, Vec<&str>), ParseCircuitError> {
+    let open = line.find('(');
+    let space = line.find(char::is_whitespace);
+    let splits_at_paren = match (open, space) {
+        (Some(o), Some(s)) => o < s,
+        (Some(_), None) => true,
+        (None, _) => false,
+    };
+    if !splits_at_paren {
+        let mut parts = line.split_whitespace();
+        let name = parts.next().expect("non-empty line");
+        return Ok((name, Vec::new(), parts.collect()));
+    }
+    let open = open.expect("checked above");
+    let name = &line[..open];
+    let Some(close_rel) = line[open..].find(')') else {
+        return Err(err(line_no, "missing ')'"));
+    };
+    let close = open + close_rel;
+    let inner = &line[open + 1..close];
+    let mut args = Vec::new();
+    if !inner.trim().is_empty() {
+        for piece in inner.split(',') {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                return Err(err(
+                    line_no,
+                    format!("empty argument slot in '{name}({inner})'"),
+                ));
             }
-            Ok((name, args))
+            args.push(
+                piece
+                    .parse::<f64>()
+                    .map_err(|_| err(line_no, format!("bad numeric argument '{piece}'")))?,
+            );
         }
     }
+    Ok((name, args, line[close + 1..].split_whitespace().collect()))
+}
+
+/// Rejects parenthesised arguments on instructions that take none.
+fn reject_args(name: &str, args: &[f64], line_no: usize) -> Result<(), ParseCircuitError> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(err(line_no, format!("{name} takes no arguments")))
+    }
+}
+
+/// Parses one Pauli factor token (`X0`, `Z12`).
+fn parse_pauli_factor(token: &str, line_no: usize) -> Result<(PauliKind, u32), ParseCircuitError> {
+    let bad = || {
+        err(
+            line_no,
+            format!("expected a Pauli target like X0, got '{token}'"),
+        )
+    };
+    let mut chars = token.chars();
+    let kind = chars
+        .next()
+        .and_then(PauliKind::from_letter)
+        .ok_or_else(bad)?;
+    let qubit: u32 = chars.as_str().parse().map_err(|_| bad())?;
+    Ok((kind, qubit))
 }
 
 fn parse_channel(
@@ -307,6 +435,12 @@ fn parse_channel(
             },
             _ => return Err(err(line_no, "PAULI_CHANNEL_1 needs three arguments")),
         },
+        "PAULI_CHANNEL_2" => {
+            let probs: [f64; 15] = args
+                .try_into()
+                .map_err(|_| err(line_no, "PAULI_CHANNEL_2 needs 15 arguments"))?;
+            NoiseChannel::PauliChannel2 { probs }
+        }
         _ => unreachable!("caller filtered channel names"),
     })
 }
@@ -630,9 +764,199 @@ mod tests {
     }
 
     #[test]
-    fn ignores_coordinate_lines() {
-        let c = Circuit::parse("QUBIT_COORDS(0, 1) 0\nH 0\nSHIFT_COORDS(0, 2)\n").unwrap();
+    fn preserves_coordinate_lines() {
+        // Previously these lines were silently dropped; they now
+        // round-trip as annotation instructions that engines ignore.
+        let text = "QUBIT_COORDS(0, 1) 0\nH 0\nSHIFT_COORDS(0, 2)\n";
+        let c = Circuit::parse(text).unwrap();
         assert_eq!(c.stats().gates, 1);
+        assert_eq!(c.instructions().len(), 3);
+        assert_eq!(
+            c.instructions()[0],
+            Instruction::QubitCoords {
+                coords: vec![0.0, 1.0],
+                targets: vec![0],
+            }
+        );
+        assert_eq!(
+            c.instructions()[2],
+            Instruction::ShiftCoords {
+                coords: vec![0.0, 2.0],
+            }
+        );
+        assert_eq!(
+            c.to_string(),
+            "QUBIT_COORDS(0,1) 0\nH 0\nSHIFT_COORDS(0,2)\n"
+        );
+        assert_eq!(Circuit::parse(&c.to_string()).unwrap(), c);
+    }
+
+    #[test]
+    fn detector_coordinates_roundtrip() {
+        let c = Circuit::parse("M 0\nDETECTOR(1,2,0) rec[-1]\n").unwrap();
+        assert_eq!(
+            c.instructions()[1],
+            Instruction::Detector {
+                coords: vec![1.0, 2.0, 0.0],
+                lookbacks: vec![-1],
+            }
+        );
+        assert_eq!(c.to_string(), "M 0\nDETECTOR(1,2,0) rec[-1]\n");
+        assert_eq!(Circuit::parse(&c.to_string()).unwrap(), c);
+        // Coordinate-free detectors keep the bare form.
+        let c = Circuit::parse("M 0\nDETECTOR rec[-1]\n").unwrap();
+        assert_eq!(c.to_string(), "M 0\nDETECTOR rec[-1]\n");
+    }
+
+    #[test]
+    fn parses_basis_measurements_and_resets() {
+        let c =
+            Circuit::parse("MX 0\nMY 1\nRX 0\nRY 1\nMRX 0\nMRY 1\nMZ 2\nRZ 2\nMRZ 2\n").unwrap();
+        assert_eq!(c.stats().measurements, 6);
+        assert_eq!(c.stats().resets, 6);
+        assert_eq!(
+            c.instructions()[0],
+            Instruction::Measure {
+                basis: PauliKind::X,
+                targets: vec![0],
+            }
+        );
+        assert_eq!(
+            c.instructions()[5],
+            Instruction::MeasureReset {
+                basis: PauliKind::Y,
+                targets: vec![1],
+            }
+        );
+        // Canonical re-emission: Z stays bare, X/Y keep their suffix.
+        assert_eq!(
+            c.to_string(),
+            "MX 0\nMY 1\nRX 0\nRY 1\nMRX 0\nMRY 1\nM 2\nR 2\nMR 2\n"
+        );
+        assert_eq!(Circuit::parse(&c.to_string()).unwrap(), c);
+    }
+
+    #[test]
+    fn parses_mpp_products() {
+        let c = Circuit::parse("MPP X0*Z1*Y2 X3\nDETECTOR rec[-2]\n").unwrap();
+        assert_eq!(c.stats().measurements, 2);
+        assert_eq!(
+            c.instructions()[0],
+            Instruction::MeasurePauliProduct {
+                products: vec![
+                    vec![(PauliKind::X, 0), (PauliKind::Z, 1), (PauliKind::Y, 2)],
+                    vec![(PauliKind::X, 3)],
+                ],
+            }
+        );
+        assert_eq!(c.to_string(), "MPP X0*Z1*Y2 X3\nDETECTOR rec[-2]\n");
+        assert_eq!(Circuit::parse(&c.to_string()).unwrap(), c);
+        // Malformed products.
+        assert!(Circuit::parse("MPP\n").is_err());
+        assert!(Circuit::parse("MPP Q0\n").is_err());
+        assert!(Circuit::parse("MPP X0*\n").is_err());
+        let e = Circuit::parse("MPP X0*Z0\n").unwrap_err();
+        assert!(e.message.contains("repeats qubit"), "{}", e.message);
+    }
+
+    #[test]
+    fn parses_correlated_errors() {
+        let text = "E(0.25) X0 Y1\nELSE_CORRELATED_ERROR(0.5) Z2\nM 0 1 2\n";
+        let c = Circuit::parse(text).unwrap();
+        assert_eq!(c.stats().noise_sites, 2);
+        assert_eq!(c.stats().noise_symbols, 2);
+        assert_eq!(
+            c.instructions()[0],
+            Instruction::CorrelatedError {
+                probability: 0.25,
+                product: vec![(PauliKind::X, 0), (PauliKind::Y, 1)],
+                else_branch: false,
+            }
+        );
+        assert_eq!(c.to_string(), text);
+        assert_eq!(Circuit::parse(&c.to_string()).unwrap(), c);
+        // CORRELATED_ERROR is an alias of E.
+        let alias = Circuit::parse("CORRELATED_ERROR(0.25) X0 Y1\n").unwrap();
+        assert_eq!(
+            alias.instructions()[0],
+            Circuit::parse("E(0.25) X0 Y1\n").unwrap().instructions()[0]
+        );
+    }
+
+    #[test]
+    fn else_correlated_error_requires_a_chain() {
+        let e = Circuit::parse("ELSE_CORRELATED_ERROR(0.5) Z0\n").unwrap_err();
+        assert!(e.message.contains("immediately follow"), "{}", e.message);
+        assert_eq!(e.line, 1);
+        // A gate in between breaks the chain.
+        assert!(Circuit::parse("E(0.1) X0\nH 0\nELSE_CORRELATED_ERROR(0.5) Z0\n").is_err());
+        // Chains of several ELSE elements are fine.
+        assert!(Circuit::parse(
+            "E(0.1) X0\nELSE_CORRELATED_ERROR(0.2) Y0\nELSE_CORRELATED_ERROR(0.3) Z0\n"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn parses_pauli_channel_2() {
+        let args: Vec<String> = (1..=15).map(|i| format!("{}", i as f64 / 1000.0)).collect();
+        let text = format!("PAULI_CHANNEL_2({}) 0 1\n", args.join(","));
+        let c = Circuit::parse(&text).unwrap();
+        assert_eq!(c.stats().noise_sites, 1);
+        assert_eq!(c.stats().noise_symbols, 4);
+        match &c.instructions()[0] {
+            Instruction::Noise {
+                channel: NoiseChannel::PauliChannel2 { probs },
+                targets,
+            } => {
+                assert_eq!(targets, &[0, 1]);
+                assert!((probs[0] - 0.001).abs() < 1e-12);
+                assert!((probs[14] - 0.015).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(Circuit::parse(&c.to_string()).unwrap(), c);
+        // Wrong arity and bad sums are rejected with line numbers.
+        assert!(Circuit::parse("PAULI_CHANNEL_2(0.1,0.2) 0 1\n").is_err());
+        let fifteen = vec!["0.1"; 15].join(",");
+        let e = Circuit::parse(&format!("PAULI_CHANNEL_2({fifteen}) 0 1\n")).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("sum"), "{}", e.message);
+    }
+
+    #[test]
+    fn rejects_empty_argument_slots() {
+        let e = Circuit::parse("PAULI_CHANNEL_1(,,0.1) 0\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("empty argument"), "{}", e.message);
+        assert!(Circuit::parse("X_ERROR(0.1,) 0\n").is_err());
+        assert!(Circuit::parse("DETECTOR(1,,2) rec[-1]\n").is_err());
+    }
+
+    #[test]
+    fn rejects_arguments_on_measurements() {
+        assert!(Circuit::parse("M(0.01) 0\n").is_err());
+        assert!(Circuit::parse("MPP(0.01) X0\n").is_err());
+        assert!(Circuit::parse("R(1) 0\n").is_err());
+        assert!(Circuit::parse("TICK(0.5)\n").is_err());
+        // Feedback-form controlled-Pauli lines reject arguments too (the
+        // pairwise dispatch path must not silently drop them).
+        assert!(Circuit::parse("M 0\nCX(0.3) rec[-1] 1\n").is_err());
+        assert!(Circuit::parse("M 0\nCZ(0.3) 1 rec[-1]\n").is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_probabilities_with_line_numbers() {
+        for bad in [
+            "X_ERROR(1.5) 0\n",
+            "X_ERROR(-0.1) 0\n",
+            "PAULI_CHANNEL_1(0.5,0.4,0.3) 0\n",
+            "E(1.01) X0\n",
+            "DEPOLARIZE2(2) 0 1\n",
+        ] {
+            let e = Circuit::parse(&format!("H 0\n{bad}")).unwrap_err();
+            assert_eq!(e.line, 2, "{bad}");
+        }
     }
 
     #[test]
@@ -650,6 +974,66 @@ mod tests {
         let text = c.to_string();
         let parsed = Circuit::parse(&text).unwrap();
         assert_eq!(parsed, c);
+    }
+
+    /// `parse ∘ to_string` is the identity on a circuit containing every
+    /// supported instruction (the acceptance criterion's round-trip file).
+    #[test]
+    fn full_instruction_surface_roundtrips() {
+        let mut c = Circuit::new(4);
+        c.qubit_coords(&[0.0, 1.5], &[0]);
+        c.qubit_coords(&[1.0, 0.0], &[1]);
+        c.reset_in(PauliKind::X, 0);
+        c.reset_in(PauliKind::Y, 1);
+        c.reset(2);
+        c.h(0).cx(0, 1).cz(1, 2).swap(2, 3).s(3);
+        c.noise(NoiseChannel::XError(0.01), &[0]);
+        c.noise(NoiseChannel::YError(0.02), &[1]);
+        c.noise(NoiseChannel::ZError(0.03), &[2]);
+        c.noise(NoiseChannel::Depolarize1(0.04), &[0, 1]);
+        c.noise(NoiseChannel::Depolarize2(0.05), &[0, 1]);
+        c.noise(
+            NoiseChannel::PauliChannel1 {
+                px: 0.01,
+                py: 0.02,
+                pz: 0.03,
+            },
+            &[3],
+        );
+        let mut probs = [0.0; 15];
+        probs[0] = 0.01;
+        probs[9] = 0.02;
+        c.noise(NoiseChannel::PauliChannel2 { probs }, &[2, 3]);
+        c.correlated_error(0.1, &[(PauliKind::X, 0), (PauliKind::Z, 1)]);
+        c.else_correlated_error(0.2, &[(PauliKind::Y, 2)]);
+        c.measure_in(PauliKind::X, 0);
+        c.measure_in(PauliKind::Y, 1);
+        c.measure(2);
+        c.measure_pauli_products(&[
+            &[(PauliKind::X, 0), (PauliKind::Z, 1), (PauliKind::Y, 2)],
+            &[(PauliKind::X, 3)],
+        ]);
+        c.measure_reset_in(PauliKind::X, 0);
+        c.measure_reset_in(PauliKind::Y, 1);
+        c.measure_reset(2);
+        c.feedback(PauliKind::Z, -1, 3);
+        c.detector_at(&[1.0, 2.0, 0.0], &[-1, -2]);
+        c.detector(&[-3]);
+        c.observable_include(0, &[-1]);
+        c.tick();
+        c.repeat_with(3, |b| {
+            b.measure_many_in(PauliKind::X, &[0]);
+            b.measure_pauli_product(&[(PauliKind::Z, 1), (PauliKind::Z, 2)]);
+            b.correlated_error(0.01, &[(PauliKind::Z, 0)]);
+            b.detector(&[-1, -3]);
+        });
+        c.push(Instruction::ShiftCoords {
+            coords: vec![0.0, 0.0, 1.0],
+        });
+        let text = c.to_string();
+        let parsed = Circuit::parse(&text).unwrap();
+        assert_eq!(parsed, c, "parse ∘ to_string must be the identity");
+        assert_eq!(parsed.to_string(), text);
     }
 
     #[test]

@@ -32,9 +32,36 @@ fn steps_strategy(n: u32, depth: usize) -> BoxedStrategy<Vec<StepSpec>> {
         (0..n, 1..n, 0.0f64..=1.0)
             .prop_map(|(a, off, p)| StepSpec::Noise2(a, off, p))
             .boxed(),
-        (0..n).prop_map(StepSpec::Measure).boxed(),
-        (0..n).prop_map(StepSpec::Reset).boxed(),
-        (0..n).prop_map(StepSpec::MeasureReset).boxed(),
+        (0..n, 0usize..3)
+            .prop_map(|(q, b)| StepSpec::Measure(q, b))
+            .boxed(),
+        (0..n, 0usize..3)
+            .prop_map(|(q, b)| StepSpec::Reset(q, b))
+            .boxed(),
+        (0..n, 0usize..3)
+            .prop_map(|(q, b)| StepSpec::MeasureReset(q, b))
+            .boxed(),
+        // Pauli-product measurement over up to three distinct qubits.
+        (0..n, 1..n, 0usize..27)
+            .prop_map(|(a, off, basis3)| StepSpec::Mpp(a, off, basis3))
+            .boxed(),
+        // Correlated error chain: one E, optionally one ELSE element.
+        (0..n, 1..n, 0.0f64..=1.0, any::<bool>())
+            .prop_map(|(a, off, p, with_else)| StepSpec::Correlated(a, off, p, with_else))
+            .boxed(),
+        // 15-probability two-qubit channel (scaled to a valid sum).
+        (0..n, 1..n, 0.0f64..=1.0)
+            .prop_map(|(a, off, p)| StepSpec::PauliChannel2(a, off, p))
+            .boxed(),
+        // Coordinate annotations (metadata round-trip surface).
+        (0..n, -4.0f64..4.0, -4.0f64..4.0)
+            .prop_map(|(q, x, y)| StepSpec::QubitCoords(q, x, y))
+            .boxed(),
+        (-4.0f64..4.0).prop_map(StepSpec::ShiftCoords).boxed(),
+        // Detector coordinate arguments.
+        (1usize..3, -4.0f64..4.0)
+            .prop_map(|(d, x)| StepSpec::DetectorAt(d, x))
+            .boxed(),
         // Feedback and detectors reach up to two outcomes back, which
         // inside a REPEAT body can cross into the previous iteration.
         (0..n, 1usize..3)
@@ -61,9 +88,22 @@ enum StepSpec {
     Gate2(usize, u32, u32),
     Noise(usize, u32, f64),
     Noise2(u32, u32, f64),
-    Measure(u32),
-    Reset(u32),
-    MeasureReset(u32),
+    /// Measure qubit in basis index (0=Z, 1=X, 2=Y).
+    Measure(u32, usize),
+    Reset(u32, usize),
+    MeasureReset(u32, usize),
+    /// `MPP` over up to three distinct qubits; `basis3` encodes three
+    /// Pauli letters base-3.
+    Mpp(u32, u32, usize),
+    /// `E(p) …` over a distinct pair, optionally followed by an
+    /// `ELSE_CORRELATED_ERROR` chain element.
+    Correlated(u32, u32, f64, bool),
+    /// `PAULI_CHANNEL_2` with probabilities scaled from `p`.
+    PauliChannel2(u32, u32, f64),
+    QubitCoords(u32, f64, f64),
+    ShiftCoords(f64),
+    /// `DETECTOR(x) rec[-1] … rec[-d]`.
+    DetectorAt(usize, f64),
     /// Feedback on qubit, with the given lookback depth (clamped to the
     /// available record).
     Feedback(u32, usize),
@@ -73,6 +113,8 @@ enum StepSpec {
     Tick,
     Repeat(u64, Vec<StepSpec>),
 }
+
+const BASES: [PauliKind; 3] = [PauliKind::Z, PauliKind::X, PauliKind::Y];
 
 const G1: [Gate; 11] = [
     Gate::I,
@@ -136,14 +178,85 @@ fn lower(n: u32, steps: &[StepSpec], available: &mut usize) -> Vec<Instruction> 
                     });
                 }
             }
-            StepSpec::Measure(q) => {
-                out.push(Instruction::Measure { targets: vec![*q] });
+            StepSpec::Measure(q, b) => {
+                out.push(Instruction::Measure {
+                    basis: BASES[*b],
+                    targets: vec![*q],
+                });
                 *available += 1;
             }
-            StepSpec::Reset(q) => out.push(Instruction::Reset { targets: vec![*q] }),
-            StepSpec::MeasureReset(q) => {
-                out.push(Instruction::MeasureReset { targets: vec![*q] });
+            StepSpec::Reset(q, b) => out.push(Instruction::Reset {
+                basis: BASES[*b],
+                targets: vec![*q],
+            }),
+            StepSpec::MeasureReset(q, b) => {
+                out.push(Instruction::MeasureReset {
+                    basis: BASES[*b],
+                    targets: vec![*q],
+                });
                 *available += 1;
+            }
+            StepSpec::Mpp(a, off, basis3) => {
+                // Up to three distinct qubits with the encoded bases.
+                let qubits = [*a, (*a + *off) % n, (*a + 2 * *off) % n];
+                let mut product: Vec<(PauliKind, u32)> = Vec::new();
+                for (i, &q) in qubits.iter().enumerate() {
+                    if product.iter().any(|&(_, seen)| seen == q) {
+                        continue;
+                    }
+                    product.push((BASES[(basis3 / 3usize.pow(i as u32)) % 3], q));
+                }
+                out.push(Instruction::MeasurePauliProduct {
+                    products: vec![product],
+                });
+                *available += 1;
+            }
+            StepSpec::Correlated(a, off, p, with_else) => {
+                let b = (a + off) % n;
+                let product = if *a == b {
+                    vec![(PauliKind::X, *a)]
+                } else {
+                    vec![(PauliKind::X, *a), (PauliKind::Z, b)]
+                };
+                out.push(Instruction::CorrelatedError {
+                    probability: *p,
+                    product,
+                    else_branch: false,
+                });
+                if *with_else {
+                    out.push(Instruction::CorrelatedError {
+                        probability: 1.0 - *p,
+                        product: vec![(PauliKind::Y, *a)],
+                        else_branch: true,
+                    });
+                }
+            }
+            StepSpec::PauliChannel2(a, off, p) => {
+                let b = (a + off) % n;
+                if *a != b {
+                    let mut probs = [0.0; 15];
+                    for (i, slot) in probs.iter_mut().enumerate() {
+                        *slot = p * (i + 1) as f64 / 240.0; // sums to p/2
+                    }
+                    out.push(Instruction::Noise {
+                        channel: NoiseChannel::PauliChannel2 { probs },
+                        targets: vec![*a, b],
+                    });
+                }
+            }
+            StepSpec::QubitCoords(q, x, y) => out.push(Instruction::QubitCoords {
+                coords: vec![*x, *y],
+                targets: vec![*q],
+            }),
+            StepSpec::ShiftCoords(x) => out.push(Instruction::ShiftCoords { coords: vec![*x] }),
+            StepSpec::DetectorAt(depth, x) => {
+                let d = (*depth).min(*available);
+                if d > 0 {
+                    out.push(Instruction::Detector {
+                        coords: vec![*x],
+                        lookbacks: (1..=d as i64).map(|k| -k).collect(),
+                    });
+                }
             }
             StepSpec::Feedback(q, depth) => {
                 let d = (*depth).min(*available);
@@ -159,6 +272,7 @@ fn lower(n: u32, steps: &[StepSpec], available: &mut usize) -> Vec<Instruction> 
                 let d = (*depth).min(*available);
                 if d > 0 {
                     out.push(Instruction::Detector {
+                        coords: vec![],
                         lookbacks: (1..=d as i64).map(|k| -k).collect(),
                     });
                 }
@@ -245,20 +359,28 @@ proptest! {
         for inst in c.flat_instructions() {
             match inst {
                 Instruction::Gate { gate, targets } => gates += targets.len() / gate.arity(),
-                Instruction::Measure { targets } => meas += targets.len(),
-                Instruction::MeasureReset { targets } => {
+                Instruction::Measure { targets, .. } => meas += targets.len(),
+                Instruction::MeasureReset { targets, .. } => {
                     meas += targets.len();
                     resets += targets.len();
                 }
-                Instruction::Reset { targets } => resets += targets.len(),
+                Instruction::Reset { targets, .. } => resets += targets.len(),
+                Instruction::MeasurePauliProduct { products } => meas += products.len(),
                 Instruction::Noise { channel, targets } => {
                     let k = targets.len() / channel.arity();
                     sites += k;
                     syms += k * channel.symbols_per_application();
                 }
+                Instruction::CorrelatedError { .. } => {
+                    sites += 1;
+                    syms += 1;
+                }
                 Instruction::Detector { .. } => detectors += 1,
                 Instruction::Feedback { .. } => feedback += 1,
-                Instruction::ObservableInclude { .. } | Instruction::Tick => {}
+                Instruction::ObservableInclude { .. }
+                | Instruction::Tick
+                | Instruction::QubitCoords { .. }
+                | Instruction::ShiftCoords { .. } => {}
                 Instruction::Repeat { .. } => panic!("flat traversal yielded a REPEAT"),
             }
         }

@@ -152,6 +152,9 @@ impl SymPhaseSampler {
             *p = *p * (1.0 - probability) + probability * (1.0 - *p);
         };
 
+        // Probability that the current correlated chain has not fired yet
+        // (chain elements are contiguous in allocation order).
+        let mut chain_none = 1.0f64;
         for group in self.symbol_table().groups() {
             match *group {
                 SymbolGroup::Coin { .. } => {}
@@ -182,6 +185,29 @@ impl SymPhaseSampler {
                     add(&[x_id], px);
                     add(&[x_id, z_id], py);
                     add(&[z_id], pz);
+                }
+                SymbolGroup::PauliChannel2 { ids, probs } => {
+                    for (m, &p) in probs.iter().enumerate() {
+                        let bits = symphase_circuit::pauli_channel_2_bits(m + 1);
+                        let subset: Vec<SymbolId> = ids
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| bits[j])
+                            .map(|(_, &id)| id)
+                            .collect();
+                        add(&subset, p);
+                    }
+                }
+                SymbolGroup::Correlated { id, p, else_branch } => {
+                    // Marginal probability: conditional `p` scaled by the
+                    // chain not having fired yet.
+                    let marginal = if else_branch { chain_none * p } else { p };
+                    if else_branch {
+                        chain_none *= 1.0 - p;
+                    } else {
+                        chain_none = 1.0 - p;
+                    }
+                    add(&[id], marginal);
                 }
             }
         }

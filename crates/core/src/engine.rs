@@ -6,7 +6,9 @@
 //! outcomes are read off the scratch row). Resets and feedback reuse the
 //! `X^e` mechanism of paper §6.
 
-use symphase_circuit::{Circuit, Instruction, NoiseChannel, PauliKind};
+use symphase_circuit::{
+    pauli_product_plan, Circuit, Instruction, NoiseChannel, PauliFactor, PauliKind,
+};
 use symphase_tableau::{Collapse, Tableau};
 
 use crate::expr::SymExpr;
@@ -50,23 +52,45 @@ pub(crate) fn initialize<S: SymbolicPhases>(circuit: &Circuit) -> InitResult {
             Instruction::Noise { channel, targets } => {
                 apply_channel(&mut tab, &mut table, &mut mask, *channel, targets);
             }
-            Instruction::Measure { targets } => {
+            Instruction::Measure { basis, targets } => {
                 for &q in targets {
-                    let e = measure_symbolic(&mut tab, &mut table, q as usize);
+                    let e = measure_basis_symbolic(&mut tab, &mut table, *basis, q as usize);
                     measurements.push(e);
                 }
             }
-            Instruction::Reset { targets } => {
+            Instruction::Reset { basis, targets } => {
                 for &q in targets {
-                    let e = measure_symbolic(&mut tab, &mut table, q as usize);
-                    apply_expr_fault(&mut tab, &mut mask, PauliKind::X, q as usize, &e);
+                    reset_basis_symbolic(&mut tab, &mut table, &mut mask, *basis, q as usize);
                 }
             }
-            Instruction::MeasureReset { targets } => {
+            Instruction::MeasureReset { basis, targets } => {
                 for &q in targets {
-                    let e = measure_symbolic(&mut tab, &mut table, q as usize);
-                    apply_expr_fault(&mut tab, &mut mask, PauliKind::X, q as usize, &e);
+                    let e = conjugated(&mut tab, *basis, q as usize, |tab| {
+                        let e = measure_symbolic(tab, &mut table, q as usize);
+                        apply_expr_fault(tab, &mut mask, PauliKind::X, q as usize, &e);
+                        e
+                    });
                     measurements.push(e);
+                }
+            }
+            Instruction::MeasurePauliProduct { products } => {
+                for product in products {
+                    let e = measure_product_symbolic(&mut tab, &mut table, product);
+                    measurements.push(e);
+                }
+            }
+            Instruction::CorrelatedError {
+                probability,
+                product,
+                else_branch,
+            } => {
+                // One symbol for the whole product: every factor's fault
+                // mask is XORed with the same coefficient, so the product
+                // fires atomically (the per-Pauli injection of Table 1
+                // lifted to correlated multi-qubit channels).
+                let s = table.fresh_correlated(*probability, *else_branch);
+                for &(kind, q) in product {
+                    apply_symbol_fault(&mut tab, &mut mask, kind, q as usize, s);
                 }
             }
             Instruction::Feedback {
@@ -80,7 +104,9 @@ pub(crate) fn initialize<S: SymbolicPhases>(circuit: &Circuit) -> InitResult {
             }
             Instruction::Detector { .. }
             | Instruction::ObservableInclude { .. }
-            | Instruction::Tick => {}
+            | Instruction::Tick
+            | Instruction::QubitCoords { .. }
+            | Instruction::ShiftCoords { .. } => {}
             Instruction::Repeat { .. } => {
                 unreachable!("flat_instructions expands REPEAT blocks")
             }
@@ -141,6 +167,15 @@ fn apply_channel<S: SymbolicPhases>(
                 let (sx, sz) = table.fresh_pauli_channel1(px, py, pz);
                 apply_symbol_fault(tab, mask, PauliKind::X, q as usize, sx);
                 apply_symbol_fault(tab, mask, PauliKind::Z, q as usize, sz);
+            }
+        }
+        NoiseChannel::PauliChannel2 { probs } => {
+            for pair in targets.chunks_exact(2) {
+                let [xa, za, xb, zb] = table.fresh_pauli_channel2(probs);
+                apply_symbol_fault(tab, mask, PauliKind::X, pair[0] as usize, xa);
+                apply_symbol_fault(tab, mask, PauliKind::Z, pair[0] as usize, za);
+                apply_symbol_fault(tab, mask, PauliKind::X, pair[1] as usize, xb);
+                apply_symbol_fault(tab, mask, PauliKind::Z, pair[1] as usize, zb);
             }
         }
     }
@@ -231,6 +266,71 @@ fn measure_symbolic<S: SymbolicPhases>(
             tab.phases().row_expr(tab.scratch_row())
         }
     }
+}
+
+/// Runs `f` inside the basis conjugation of `basis` on qubit `q` (the
+/// self-inverse `H` / `H_YZ` basis change applied symbolically before and
+/// after), reducing X/Y-basis operations to the Z-basis Init-M machinery.
+fn conjugated<S: SymbolicPhases, T>(
+    tab: &mut Tableau<S>,
+    basis: PauliKind,
+    q: usize,
+    f: impl FnOnce(&mut Tableau<S>) -> T,
+) -> T {
+    let gate = basis.z_conjugator();
+    if let Some(g) = gate {
+        tab.apply_gate(g, &[q as u32]);
+    }
+    let out = f(tab);
+    if let Some(g) = gate {
+        tab.apply_gate(g, &[q as u32]);
+    }
+    out
+}
+
+/// Init-M in an arbitrary single-qubit basis (`MX`/`MY`/`M`).
+fn measure_basis_symbolic<S: SymbolicPhases>(
+    tab: &mut Tableau<S>,
+    table: &mut SymbolTable,
+    basis: PauliKind,
+    q: usize,
+) -> SymExpr {
+    conjugated(tab, basis, q, |tab| measure_symbolic(tab, table, q))
+}
+
+/// Basis-general reset: collapse in the basis, then the `X^e` correction
+/// (inside the conjugated frame) forces the `+1` eigenstate.
+fn reset_basis_symbolic<S: SymbolicPhases>(
+    tab: &mut Tableau<S>,
+    table: &mut SymbolTable,
+    mask: &mut [u64],
+    basis: PauliKind,
+    q: usize,
+) {
+    conjugated(tab, basis, q, |tab| {
+        let e = measure_symbolic(tab, table, q);
+        apply_expr_fault(tab, mask, PauliKind::X, q, &e);
+    });
+}
+
+/// The `measure(P)` generalization of Init-M: conjugate the product onto
+/// `Z_anchor` through the shared [`pauli_product_plan`], measure
+/// symbolically, uncompute. The whole reduction is conjugation through
+/// the tableau, so it costs the same `O(n)`-per-gate work as Init-C.
+fn measure_product_symbolic<S: SymbolicPhases>(
+    tab: &mut Tableau<S>,
+    table: &mut SymbolTable,
+    product: &[PauliFactor],
+) -> SymExpr {
+    let (ops, anchor) = pauli_product_plan(product);
+    for op in &ops {
+        tab.apply_gate(op.gate, op.targets());
+    }
+    let e = measure_symbolic(tab, table, anchor as usize);
+    for op in ops.iter().rev() {
+        tab.apply_gate(op.gate, op.targets());
+    }
+    e
 }
 
 #[cfg(test)]
@@ -383,6 +483,75 @@ mod tests {
         c.measure(0);
         let r = initialize::<SparsePhases>(&c);
         assert_eq!(r.measurements[0].to_string(), "s1");
+    }
+
+    #[test]
+    fn mx_after_h_is_deterministic() {
+        // H|0⟩ = |+⟩: MX is deterministic 0, and an X error is invisible
+        // while a Z error flips it — the X-basis dual of the Z-basis laws.
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.noise(NoiseChannel::XError(0.5), &[0]); // s1: invisible to MX
+        c.noise(NoiseChannel::ZError(0.5), &[0]); // s2: flips MX
+        c.measure_in(PauliKind::X, 0);
+        let r = initialize::<SparsePhases>(&c);
+        assert_eq!(r.measurements[0].to_string(), "s2");
+        assert_eq!(r.table.num_coins(), 0);
+    }
+
+    #[test]
+    fn rx_reset_discards_z_faults() {
+        let mut c = Circuit::new(1);
+        c.noise(NoiseChannel::ZError(0.5), &[0]);
+        c.reset_in(PauliKind::X, 0);
+        c.measure_in(PauliKind::X, 0);
+        let r = initialize::<SparsePhases>(&c);
+        assert!(r.measurements[0].is_zero(), "RX must clear phase faults");
+    }
+
+    #[test]
+    fn mpp_on_bell_pair_is_deterministic() {
+        // Bell state: X⊗X and Z⊗Z are +1 stabilizers, Y⊗Y is −1; none of
+        // the products consumes a coin, and repeated MPPs agree.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c.measure_pauli_products(&[
+            &[(PauliKind::X, 0), (PauliKind::X, 1)],
+            &[(PauliKind::Z, 0), (PauliKind::Z, 1)],
+            &[(PauliKind::Y, 0), (PauliKind::Y, 1)],
+        ]);
+        let r = initialize::<SparsePhases>(&c);
+        assert!(r.measurements[0].is_zero());
+        assert!(r.measurements[1].is_zero());
+        assert_eq!(r.measurements[2].to_string(), "1"); // YY = −1 → outcome 1
+        assert_eq!(r.table.num_coins(), 0);
+    }
+
+    #[test]
+    fn mpp_measurement_is_projective_not_destructive() {
+        // Measuring X⊗X on |00⟩ is random (one coin); measuring it again
+        // reuses the same coin, and Z⊗Z stays deterministic throughout.
+        let mut c = Circuit::new(2);
+        c.measure_pauli_product(&[(PauliKind::X, 0), (PauliKind::X, 1)]);
+        c.measure_pauli_product(&[(PauliKind::X, 0), (PauliKind::X, 1)]);
+        c.measure_pauli_product(&[(PauliKind::Z, 0), (PauliKind::Z, 1)]);
+        let r = initialize::<SparsePhases>(&c);
+        assert_eq!(r.measurements[0], r.measurements[1]);
+        assert_eq!(r.table.num_coins(), 1);
+        assert!(r.measurements[2].is_zero());
+    }
+
+    #[test]
+    fn correlated_error_shares_one_symbol_across_the_product() {
+        // E(p) X0 X1: both qubits flip together, so m0 ⊕ m1 cancels the
+        // shared symbol while each outcome alone carries it.
+        let mut c = Circuit::new(2);
+        c.correlated_error(0.5, &[(PauliKind::X, 0), (PauliKind::X, 1)]);
+        c.measure_all();
+        let r = initialize::<SparsePhases>(&c);
+        assert_eq!(r.measurements[0].to_string(), "s1");
+        assert_eq!(r.measurements[1].to_string(), "s1");
+        assert_eq!(r.table.num_symbols(), 1);
     }
 
     #[test]

@@ -156,6 +156,8 @@ struct SampleScratch {
     coins: Option<BitMatrix>,
     events: Vec<(u32, u32)>,
     fire: Vec<u64>,
+    /// Correlated-chain "already fired" mask (see `SymbolGroup::Correlated`).
+    chain: Vec<u64>,
 }
 
 thread_local! {
@@ -525,6 +527,8 @@ impl SymPhaseSampler {
         }
         scratch.fire.clear();
         scratch.fire.resize(cstride, 0);
+        scratch.chain.clear();
+        scratch.chain.resize(cstride, 0);
         scratch.events.clear();
         for group in self.table.groups() {
             match *group {
@@ -581,6 +585,37 @@ impl SymPhaseSampler {
                         if u >= px {
                             scratch.events.push((z_id, shot));
                         }
+                    });
+                }
+                SymbolGroup::PauliChannel2 { ids, probs } => {
+                    let total: f64 = probs.iter().sum();
+                    fill_bernoulli(&mut scratch.fire, width, total.min(1.0), rng);
+                    for_each_set_bit(&scratch.fire, |shot| {
+                        let u: f64 = rng.random::<f64>() * total;
+                        let m = symphase_circuit::pauli_channel_2_select(u, &probs);
+                        let bits = symphase_circuit::pauli_channel_2_bits(m);
+                        for (j, &id) in ids.iter().enumerate() {
+                            if bits[j] {
+                                scratch.events.push((id, shot));
+                            }
+                        }
+                    });
+                }
+                SymbolGroup::Correlated { id, p, else_branch } => {
+                    // Same draw primitives and chain masking as the
+                    // assignment-matrix path, so the RNG stream — and the
+                    // sampled bits — stay method-independent.
+                    fill_bernoulli(&mut scratch.fire, width, p, rng);
+                    if else_branch {
+                        for (f, c) in scratch.fire.iter_mut().zip(scratch.chain.iter_mut()) {
+                            *f &= !*c;
+                            *c |= *f;
+                        }
+                    } else {
+                        scratch.chain.copy_from_slice(&scratch.fire);
+                    }
+                    for_each_set_bit(&scratch.fire, |shot| {
+                        scratch.events.push((id, shot));
                     });
                 }
             }
@@ -655,6 +690,9 @@ fn resolve_auto_from_matrix(table: &SymbolTable, meas_rows: &SparseRowMatrix) ->
     // Expected fault-bit flips per shot: marginal fire probability of
     // each symbol times the measurement rows containing it.
     let mut flips_per_shot = 0.0;
+    // Probability that the current correlated chain has not fired yet
+    // (groups are visited in allocation order, chains contiguous).
+    let mut chain_none = 1.0;
     for group in table.groups() {
         match *group {
             SymbolGroup::Coin { id } => coin_nnz += colcount[id as usize] as f64,
@@ -683,6 +721,30 @@ fn resolve_auto_from_matrix(table: &SymbolTable, meas_rows: &SparseRowMatrix) ->
             } => {
                 flips_per_shot += (px + py) * colcount[x_id as usize] as f64
                     + (py + pz) * colcount[z_id as usize] as f64;
+            }
+            SymbolGroup::PauliChannel2 { ids, probs } => {
+                // Marginal of each symbol: sum of the outcomes setting it.
+                let mut marginals = [0.0f64; 4];
+                for (m, &p) in probs.iter().enumerate() {
+                    let bits = symphase_circuit::pauli_channel_2_bits(m + 1);
+                    for (j, marg) in marginals.iter_mut().enumerate() {
+                        if bits[j] {
+                            *marg += p;
+                        }
+                    }
+                }
+                for (j, &id) in ids.iter().enumerate() {
+                    flips_per_shot += marginals[j] * colcount[id as usize] as f64;
+                }
+            }
+            SymbolGroup::Correlated { id, p, else_branch } => {
+                let marginal = if else_branch { chain_none * p } else { p };
+                if else_branch {
+                    chain_none *= 1.0 - p;
+                } else {
+                    chain_none = 1.0 - p;
+                }
+                flips_per_shot += marginal * colcount[id as usize] as f64;
             }
         }
     }

@@ -64,6 +64,31 @@ pub enum SymbolGroup {
         /// Z probability.
         pz: f64,
     },
+    /// `PAULI_CHANNEL_2(p₁…p₁₅)`: four symbols `(s_{xa}, s_{za}, s_{xb},
+    /// s_{zb})` over the 15 non-identity two-qubit Paulis with the listed
+    /// probabilities (Stim argument order, see
+    /// [`symphase_circuit::pauli_channel_2_bits`]).
+    PauliChannel2 {
+        /// Symbols in order `x_a, z_a, x_b, z_b`.
+        ids: [SymbolId; 4],
+        /// Outcome probabilities, indexed by outcome − 1.
+        probs: [f64; 15],
+    },
+    /// One element of a `CORRELATED_ERROR` / `ELSE_CORRELATED_ERROR`
+    /// chain: a single symbol for the whole Pauli product. Elements of
+    /// one chain are sampled jointly — an `else_branch` element fires
+    /// with probability `p` only when no earlier element of its
+    /// (contiguous, allocation-order) chain fired, so at most one symbol
+    /// per chain is 1 in any shot.
+    Correlated {
+        /// The product's symbol.
+        id: SymbolId,
+        /// Fire probability (conditional for `else_branch` elements).
+        p: f64,
+        /// `true` for `ELSE_CORRELATED_ERROR` (continues the previous
+        /// group's chain).
+        else_branch: bool,
+    },
 }
 
 /// Registry of all symbols introduced during Initialization, with enough
@@ -156,6 +181,22 @@ impl SymbolTable {
         (x_id, z_id)
     }
 
+    /// Allocates the four symbols of a `PAULI_CHANNEL_2` site, in order
+    /// `x_a, z_a, x_b, z_b`.
+    pub fn fresh_pauli_channel2(&mut self, probs: [f64; 15]) -> [SymbolId; 4] {
+        let ids = [self.alloc(), self.alloc(), self.alloc(), self.alloc()];
+        self.groups.push(SymbolGroup::PauliChannel2 { ids, probs });
+        ids
+    }
+
+    /// Allocates the symbol of one correlated-error chain element.
+    pub fn fresh_correlated(&mut self, p: f64, else_branch: bool) -> SymbolId {
+        let id = self.alloc();
+        self.groups
+            .push(SymbolGroup::Correlated { id, p, else_branch });
+        id
+    }
+
     /// Samples the assignment matrix `B ∈ F₂^{(n_s+1) × shots}`: row 0 is
     /// the constant 1, row `k` the sampled values of symbol `k` across
     /// shots (64 shots per word). This is the noise-model-dependent part of
@@ -191,6 +232,9 @@ impl SymbolTable {
         let stride = b.stride();
         // Scratch fire-mask reused across all jointly-distributed groups.
         let mut fire = vec![0u64; stride];
+        // Per-shot "this correlated chain already fired" mask; rewritten
+        // by every chain-starting `Correlated` group.
+        let mut chain = vec![0u64; stride];
         for group in &self.groups {
             match *group {
                 SymbolGroup::Coin { id } => {
@@ -262,6 +306,40 @@ impl SymbolTable {
                             }
                         }
                     }
+                }
+                SymbolGroup::PauliChannel2 { ids, probs } => {
+                    let total: f64 = probs.iter().sum();
+                    fill_bernoulli(&mut fire, shots, total.min(1.0), rng);
+                    for (w, &fire_word) in fire.iter().enumerate().take(stride) {
+                        let mut fired = fire_word;
+                        while fired != 0 {
+                            let bit = fired.trailing_zeros() as usize;
+                            fired &= fired - 1;
+                            let u: f64 = rng.random::<f64>() * total;
+                            let m = symphase_circuit::pauli_channel_2_select(u, &probs);
+                            let bits = symphase_circuit::pauli_channel_2_bits(m);
+                            for (j, &id) in ids.iter().enumerate() {
+                                if bits[j] {
+                                    set_bit(b, id, stride, w, bit);
+                                }
+                            }
+                        }
+                    }
+                }
+                SymbolGroup::Correlated { id, p, else_branch } => {
+                    // An independent Bernoulli(p) draw masked by "chain
+                    // not fired yet" realizes the conditional probability
+                    // exactly; the chain mask accumulates fired shots.
+                    fill_bernoulli(&mut fire, shots, p, rng);
+                    if else_branch {
+                        for (f, c) in fire.iter_mut().zip(chain.iter_mut()) {
+                            *f &= !*c;
+                            *c |= *f;
+                        }
+                    } else {
+                        chain.copy_from_slice(&fire);
+                    }
+                    row_mut(b, id, stride).copy_from_slice(&fire);
                 }
             }
         }
@@ -408,5 +486,88 @@ mod tests {
         let t = SymbolTable::new();
         let b = t.sample_assignments(64, &mut StdRng::seed_from_u64(6));
         assert_eq!(b.rows(), 1);
+    }
+
+    #[test]
+    fn pauli_channel2_outcome_distribution() {
+        let mut probs = [0.0f64; 15];
+        probs[0] = 0.15; // IX → (xb)
+        probs[3] = 0.2; // XI → (xa)
+        probs[9] = 0.1; // YY → all four
+        let mut t = SymbolTable::new();
+        let ids = t.fresh_pauli_channel2(probs);
+        let shots = 300_000;
+        let b = t.sample_assignments(shots, &mut StdRng::seed_from_u64(7));
+        let mut counts = std::collections::HashMap::new();
+        for s in 0..shots {
+            let key: Vec<bool> = ids.iter().map(|&id| b.get(id as usize, s)).collect();
+            *counts.entry(key).or_insert(0usize) += 1;
+        }
+        let tol = |p: f64| 6.0 * (shots as f64 * p * (1.0 - p)).sqrt() + 20.0;
+        let expect = [
+            (vec![false, false, true, false], 0.15),
+            (vec![true, false, false, false], 0.2),
+            (vec![true, true, true, true], 0.1),
+            (vec![false, false, false, false], 0.55),
+        ];
+        for (key, p) in expect {
+            let c = *counts.get(&key).unwrap_or(&0) as f64;
+            assert!(
+                (c - p * shots as f64).abs() < tol(p),
+                "outcome {key:?}: {c} vs {}",
+                p * shots as f64
+            );
+        }
+        // No other outcome ever fires.
+        assert_eq!(counts.len(), 4, "unexpected outcomes: {counts:?}");
+    }
+
+    #[test]
+    fn correlated_chain_fires_at_most_one_element() {
+        let mut t = SymbolTable::new();
+        let a = t.fresh_correlated(0.4, false);
+        let b_id = t.fresh_correlated(0.5, true);
+        let c_id = t.fresh_correlated(1.0, true);
+        let shots = 200_000;
+        let b = t.sample_assignments(shots, &mut StdRng::seed_from_u64(8));
+        let mut counts = [0usize; 3];
+        for s in 0..shots {
+            let fired = [
+                b.get(a as usize, s),
+                b.get(b_id as usize, s),
+                b.get(c_id as usize, s),
+            ];
+            assert!(
+                fired.iter().filter(|&&f| f).count() <= 1,
+                "chain fired twice in shot {s}"
+            );
+            for (i, &f) in fired.iter().enumerate() {
+                counts[i] += usize::from(f);
+            }
+        }
+        // The p=1 tail element guarantees exactly one element per shot.
+        assert_eq!(counts.iter().sum::<usize>(), shots);
+        // Marginals: 0.4, 0.6·0.5 = 0.3, 0.6·0.5·1 = 0.3.
+        let tol = 6.0 * (shots as f64 * 0.25).sqrt() + 20.0;
+        assert!((counts[0] as f64 - 0.4 * shots as f64).abs() < tol);
+        assert!((counts[1] as f64 - 0.3 * shots as f64).abs() < tol);
+        assert!((counts[2] as f64 - 0.3 * shots as f64).abs() < tol);
+    }
+
+    #[test]
+    fn independent_chains_reset_state() {
+        // A second E starts a fresh chain: its ELSE conditions on the new
+        // chain only.
+        let mut t = SymbolTable::new();
+        let a = t.fresh_correlated(1.0, false); // always fires
+        let b_id = t.fresh_correlated(1.0, false); // new chain, always fires
+        let c_id = t.fresh_correlated(1.0, true); // blocked by b, not a
+        let shots = 1_000;
+        let b = t.sample_assignments(shots, &mut StdRng::seed_from_u64(9));
+        for s in 0..shots {
+            assert!(b.get(a as usize, s));
+            assert!(b.get(b_id as usize, s));
+            assert!(!b.get(c_id as usize, s));
+        }
     }
 }

@@ -4,7 +4,7 @@ use rand::Rng;
 
 use symphase_bitmat::bernoulli::fill_bernoulli;
 use symphase_bitmat::{words_for, Word, WORD_BITS};
-use symphase_circuit::Gate;
+use symphase_circuit::{pauli_channel_2_bits, pauli_channel_2_select, Gate, PauliKind};
 
 /// A batch of Pauli frames, one per shot, stored as per-qubit shot-rows
 /// (64 shots per word).
@@ -204,6 +204,72 @@ impl FrameBatch {
                 }
                 if k & 8 != 0 {
                     self.z[b * self.wps + w] ^= 1 << bit;
+                }
+            }
+        }
+    }
+
+    /// Biased two-qubit Pauli channel on `(a, b)` with the 15 outcome
+    /// probabilities of `PAULI_CHANNEL_2` (Stim argument order).
+    pub fn pauli_channel2(&mut self, a: usize, b: usize, probs: &[f64; 15], rng: &mut impl Rng) {
+        let total: f64 = probs.iter().sum();
+        fill_bernoulli(&mut self.mask, self.shots, total.min(1.0), rng);
+        for w in 0..self.wps {
+            let mut fired = self.mask[w];
+            while fired != 0 {
+                let bit = fired.trailing_zeros();
+                fired &= fired - 1;
+                let u: f64 = rng.random::<f64>() * total;
+                let bits = pauli_channel_2_bits(pauli_channel_2_select(u, probs));
+                if bits[0] {
+                    self.x[a * self.wps + w] ^= 1 << bit;
+                }
+                if bits[1] {
+                    self.z[a * self.wps + w] ^= 1 << bit;
+                }
+                if bits[2] {
+                    self.x[b * self.wps + w] ^= 1 << bit;
+                }
+                if bits[3] {
+                    self.z[b * self.wps + w] ^= 1 << bit;
+                }
+            }
+        }
+    }
+
+    /// One correlated-error chain element (`E` / `ELSE_CORRELATED_ERROR`):
+    /// draws a Bernoulli(`p`) fire mask, restricts `else_branch` elements
+    /// to shots where `chain` has not fired, updates `chain`, and XORs the
+    /// whole product into the fired shots' frames at once.
+    ///
+    /// `chain` is the caller-held per-shot chain state (resized here).
+    pub fn correlated_error(
+        &mut self,
+        p: f64,
+        product: &[(PauliKind, u32)],
+        else_branch: bool,
+        chain: &mut Vec<Word>,
+        rng: &mut impl Rng,
+    ) {
+        chain.resize(self.wps, 0);
+        fill_bernoulli(&mut self.mask, self.shots, p, rng);
+        if else_branch {
+            for (f, c) in self.mask.iter_mut().zip(chain.iter_mut()) {
+                *f &= !*c;
+                *c |= *f;
+            }
+        } else {
+            chain.copy_from_slice(&self.mask);
+        }
+        for &(kind, q) in product {
+            let (fx, fz) = kind.xz();
+            let q = q as usize;
+            for w in 0..self.wps {
+                if fx {
+                    self.x[q * self.wps + w] ^= self.mask[w];
+                }
+                if fz {
+                    self.z[q * self.wps + w] ^= self.mask[w];
                 }
             }
         }

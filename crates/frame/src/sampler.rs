@@ -3,8 +3,8 @@
 use rand::{Rng, RngCore};
 
 use symphase_backend::{record, SampleBatch, Sampler};
-use symphase_bitmat::{BitMatrix, BitVec};
-use symphase_circuit::{Circuit, Instruction, NoiseChannel};
+use symphase_bitmat::{BitMatrix, BitVec, Word};
+use symphase_circuit::{pauli_product_plan, Circuit, Instruction, NoiseChannel, PauliKind};
 use symphase_tableau::reference_sample;
 
 use crate::batch::FrameBatch;
@@ -72,33 +72,64 @@ impl FrameSampler {
         let shots = out.cols();
         let mut frame = FrameBatch::new(n, shots, rng);
         let mut measured = 0usize;
+        // Correlated-chain fire mask, owned across chain elements.
+        let mut chain: Vec<Word> = Vec::new();
 
         for inst in self.circuit.flat_instructions() {
             match inst {
                 Instruction::Gate { gate, targets } => frame.apply_gate(*gate, targets),
-                Instruction::Measure { targets } => {
+                Instruction::Measure { basis, targets } => {
                     for &q in targets {
-                        self.record_measurement(out, measured, &frame, q as usize);
-                        frame.randomize_z(q as usize, rng);
+                        conjugated(&mut frame, *basis, q, |frame| {
+                            self.record_measurement(out, measured, frame, q as usize);
+                            frame.randomize_z(q as usize, rng);
+                        });
                         measured += 1;
                     }
                 }
-                Instruction::Reset { targets } => {
+                Instruction::Reset { basis, targets } => {
                     for &q in targets {
-                        frame.clear_x(q as usize);
-                        frame.randomize_z(q as usize, rng);
+                        conjugated(&mut frame, *basis, q, |frame| {
+                            frame.clear_x(q as usize);
+                            frame.randomize_z(q as usize, rng);
+                        });
                     }
                 }
-                Instruction::MeasureReset { targets } => {
+                Instruction::MeasureReset { basis, targets } => {
                     for &q in targets {
-                        self.record_measurement(out, measured, &frame, q as usize);
-                        frame.clear_x(q as usize);
-                        frame.randomize_z(q as usize, rng);
+                        conjugated(&mut frame, *basis, q, |frame| {
+                            self.record_measurement(out, measured, frame, q as usize);
+                            frame.clear_x(q as usize);
+                            frame.randomize_z(q as usize, rng);
+                        });
+                        measured += 1;
+                    }
+                }
+                Instruction::MeasurePauliProduct { products } => {
+                    for product in products {
+                        // Same compute/measure/uncompute plan as the
+                        // reference run, so frame bits line up with it.
+                        let (ops, anchor) = pauli_product_plan(product);
+                        for op in &ops {
+                            frame.apply_gate(op.gate, op.targets());
+                        }
+                        self.record_measurement(out, measured, &frame, anchor as usize);
+                        frame.randomize_z(anchor as usize, rng);
+                        for op in ops.iter().rev() {
+                            frame.apply_gate(op.gate, op.targets());
+                        }
                         measured += 1;
                     }
                 }
                 Instruction::Noise { channel, targets } => {
                     apply_noise(&mut frame, *channel, targets, rng);
+                }
+                Instruction::CorrelatedError {
+                    probability,
+                    product,
+                    else_branch,
+                } => {
+                    frame.correlated_error(*probability, product, *else_branch, &mut chain, rng);
                 }
                 Instruction::Feedback {
                     pauli,
@@ -115,7 +146,9 @@ impl FrameSampler {
                 }
                 Instruction::Detector { .. }
                 | Instruction::ObservableInclude { .. }
-                | Instruction::Tick => {}
+                | Instruction::Tick
+                | Instruction::QubitCoords { .. }
+                | Instruction::ShiftCoords { .. } => {}
                 Instruction::Repeat { .. } => {
                     unreachable!("flat_instructions expands REPEAT blocks")
                 }
@@ -170,6 +203,22 @@ impl Sampler for FrameSampler {
     }
 }
 
+/// Runs `f` inside the basis conjugation of `basis` on qubit `q`: the
+/// self-inverse basis-change gate conjugates the frame before and after,
+/// so Z-basis record/reset primitives act on the requested basis. The
+/// reference run performs the identical conjugation, keeping the
+/// reference-XOR-frame decomposition aligned.
+fn conjugated(frame: &mut FrameBatch, basis: PauliKind, q: u32, f: impl FnOnce(&mut FrameBatch)) {
+    let gate = basis.z_conjugator();
+    if let Some(g) = gate {
+        frame.apply_gate(g, &[q]);
+    }
+    f(frame);
+    if let Some(g) = gate {
+        frame.apply_gate(g, &[q]);
+    }
+}
+
 fn apply_noise(frame: &mut FrameBatch, channel: NoiseChannel, targets: &[u32], rng: &mut impl Rng) {
     match channel {
         NoiseChannel::XError(p) => {
@@ -200,6 +249,11 @@ fn apply_noise(frame: &mut FrameBatch, channel: NoiseChannel, targets: &[u32], r
         NoiseChannel::PauliChannel1 { px, py, pz } => {
             for &q in targets {
                 frame.pauli_channel1(q as usize, px, py, pz, rng);
+            }
+        }
+        NoiseChannel::PauliChannel2 { probs } => {
+            for pair in targets.chunks_exact(2) {
+                frame.pauli_channel2(pair[0] as usize, pair[1] as usize, &probs, rng);
             }
         }
     }

@@ -100,8 +100,9 @@ commands:
   stats      print structural statistics only (O(file), REPEAT never expanded)
   dem        print the detector error model
   reference  print the noiseless reference sample
-  gen        emit a generated circuit: surface-code or repetition-code
-             (--distance, --rounds, --data-error, --measure-error)
+  gen        emit a generated circuit: surface-code, repetition-code, or
+             phase-memory (--distance, --rounds, --data-error,
+             --measure-error, --basis, --pair-error)
 
 options:
   -c, --circuit <path>   circuit file in the Stim-like text format ('-' = stdin)
@@ -124,6 +125,10 @@ options:
       --rounds <r>       gen: stabilizer measurement rounds (default 3)
       --data-error <p>   gen: per-round data noise strength (default 0.001)
       --measure-error <p> gen: pre-measurement flip strength (default 0.001)
+      --basis <z|x>      gen surface-code: protected memory basis (default z;
+                         x initializes RX and reads out MX)
+      --pair-error <p>   gen phase-memory: per-round correlated Z⊗Z-pair
+                         chain strength (E/ELSE_CORRELATED_ERROR; default 0)
 
 exit codes: 0 success/help, 1 runtime error, 2 usage error
 ";
@@ -148,7 +153,12 @@ struct Options {
     distance: usize,
     rounds: usize,
     data_error: f64,
-    measure_error: f64,
+    // Generator-specific flags stay `None` until the user passes them, so
+    // `gen` can reject flags the chosen generator does not understand
+    // instead of silently ignoring them.
+    measure_error: Option<f64>,
+    basis: Option<String>,
+    pair_error: Option<f64>,
 }
 
 impl Options {
@@ -172,7 +182,6 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         distance: 3,
         rounds: 3,
         data_error: 0.001,
-        measure_error: 0.001,
         ..Options::default()
     };
     let mut it = args.iter();
@@ -228,9 +237,19 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                     .map_err(|_| fail("--data-error must be a probability"))?;
             }
             "--measure-error" => {
-                opts.measure_error = value("--measure-error")?
-                    .parse()
-                    .map_err(|_| fail("--measure-error must be a probability"))?;
+                opts.measure_error = Some(
+                    value("--measure-error")?
+                        .parse()
+                        .map_err(|_| fail("--measure-error must be a probability"))?,
+                );
+            }
+            "--basis" => opts.basis = Some(value("--basis")?),
+            "--pair-error" => {
+                opts.pair_error = Some(
+                    value("--pair-error")?
+                        .parse()
+                        .map_err(|_| fail("--pair-error must be a probability"))?,
+                );
             }
             "-h" | "--help" => {
                 return Err(CliError {
@@ -484,12 +503,12 @@ fn cmd_stats(opts: &Options) -> Result<String, CliError> {
 /// structured `REPEAT` rounds, so the output file is O(one round)).
 fn cmd_gen(opts: &Options) -> Result<String, CliError> {
     use symphase_circuit::generators::{
-        repetition_code_memory, surface_code_memory, RepetitionCodeConfig, SurfaceCodeConfig,
+        mpp_phase_memory, repetition_code_memory, surface_code_memory_in, MemoryBasis,
+        PhaseMemoryConfig, RepetitionCodeConfig, SurfaceCodeConfig,
     };
-    let name = opts
-        .positional
-        .first()
-        .ok_or_else(|| fail("gen needs a generator name: surface-code or repetition-code"))?;
+    let name = opts.positional.first().ok_or_else(|| {
+        fail("gen needs a generator name: surface-code, repetition-code, or phase-memory")
+    })?;
     if opts.rounds == 0 {
         return Err(fail("--rounds must be at least 1"));
     }
@@ -501,20 +520,43 @@ fn cmd_gen(opts: &Options) -> Result<String, CliError> {
         }
     };
     let data_error = prob("--data-error", opts.data_error)?;
-    let measure_error = prob("--measure-error", opts.measure_error)?;
+    // A flag the chosen generator does not understand is a usage error,
+    // not something to silently ignore.
+    let reject = |flag: &str, set: bool| -> Result<(), CliError> {
+        if set {
+            Err(fail(format!(
+                "{flag} does not apply to the '{name}' generator"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    let measure_error = prob("--measure-error", opts.measure_error.unwrap_or(0.001))?;
+    let pair_error = prob("--pair-error", opts.pair_error.unwrap_or(0.0))?;
+    let basis = match opts.basis.as_deref() {
+        None | Some("z") => MemoryBasis::Z,
+        Some("x") => MemoryBasis::X,
+        Some(other) => return Err(fail(format!("--basis must be z or x, got '{other}'"))),
+    };
     let circuit = match name.as_str() {
         "surface-code" => {
+            reject("--pair-error", opts.pair_error.is_some())?;
             if opts.distance < 3 || opts.distance.is_multiple_of(2) {
                 return Err(fail("--distance must be odd and at least 3"));
             }
-            surface_code_memory(&SurfaceCodeConfig {
-                distance: opts.distance,
-                rounds: opts.rounds,
-                data_error,
-                measure_error,
-            })
+            surface_code_memory_in(
+                &SurfaceCodeConfig {
+                    distance: opts.distance,
+                    rounds: opts.rounds,
+                    data_error,
+                    measure_error,
+                },
+                basis,
+            )
         }
         "repetition-code" => {
+            reject("--basis", opts.basis.is_some())?;
+            reject("--pair-error", opts.pair_error.is_some())?;
             if opts.distance < 2 {
                 return Err(fail("--distance must be at least 2"));
             }
@@ -525,9 +567,23 @@ fn cmd_gen(opts: &Options) -> Result<String, CliError> {
                 measure_error,
             })
         }
+        "phase-memory" => {
+            reject("--basis", opts.basis.is_some())?;
+            reject("--measure-error", opts.measure_error.is_some())?;
+            if opts.distance < 2 {
+                return Err(fail("--distance must be at least 2"));
+            }
+            mpp_phase_memory(&PhaseMemoryConfig {
+                distance: opts.distance,
+                rounds: opts.rounds,
+                data_error,
+                pair_error,
+            })
+        }
         other => {
             return Err(fail(format!(
-                "unknown generator '{other}' (expected surface-code or repetition-code)"
+                "unknown generator '{other}' \
+                 (expected surface-code, repetition-code, or phase-memory)"
             )))
         }
     };

@@ -197,6 +197,79 @@ fn gen_repetition_code_and_bad_names() {
 }
 
 #[test]
+fn gen_surface_code_memory_x() {
+    let out = run(&args(&[
+        "gen",
+        "surface-code",
+        "--distance",
+        "3",
+        "--rounds",
+        "20",
+        "--basis",
+        "x",
+    ]))
+    .expect("runs");
+    assert!(out.starts_with("RX 0 1 2 3 4 5 6 7 8\n"), "{out}");
+    assert!(out.contains("MX "), "{out}");
+    assert!(out.contains("REPEAT 19 {"), "{out}");
+    // End to end: parse, sample detectors through the default engine, and
+    // print the detector error model.
+    let f = write_circuit(&out);
+    let detect = run(&args(&["detect", "-c", f.as_str(), "--shots", "8"])).expect("runs");
+    assert_eq!(detect.lines().count(), 8);
+    let dem = run(&args(&["dem", "-c", f.as_str()])).expect("runs");
+    assert!(dem.contains("error("), "{dem}");
+    // Bad basis values fail as usage errors.
+    let e = run(&args(&["gen", "surface-code", "--basis", "q"])).unwrap_err();
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("--basis"), "{}", e.message);
+}
+
+#[test]
+fn gen_phase_memory_mpp_and_correlated_noise() {
+    let out = run(&args(&[
+        "gen",
+        "phase-memory",
+        "--distance",
+        "4",
+        "--rounds",
+        "10",
+        "--data-error",
+        "0.01",
+        "--pair-error",
+        "0.005",
+    ]))
+    .expect("runs");
+    assert!(out.contains("MPP X0*X1 X1*X2 X2*X3"), "{out}");
+    assert!(out.contains("E(0.005) Z0 Z1"), "{out}");
+    assert!(out.contains("ELSE_CORRELATED_ERROR(0.005) Z1 Z2"), "{out}");
+    assert!(out.contains("REPEAT 9 {"), "{out}");
+    let f = write_circuit(&out);
+    let detect = run(&args(&["detect", "-c", f.as_str(), "--shots", "6"])).expect("runs");
+    assert_eq!(detect.lines().count(), 6);
+    let e = run(&args(&["gen", "phase-memory", "--pair-error", "1.5"])).unwrap_err();
+    assert!(e.message.contains("[0, 1]"), "{}", e.message);
+}
+
+#[test]
+fn gen_rejects_inapplicable_flags() {
+    // Flags a generator does not understand must error, not be silently
+    // ignored (the user would otherwise get wrong noise/basis settings).
+    let e = run(&args(&["gen", "phase-memory", "--measure-error", "0.01"])).unwrap_err();
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("does not apply"), "{}", e.message);
+    let e = run(&args(&["gen", "repetition-code", "--basis", "x"])).unwrap_err();
+    assert!(e.message.contains("does not apply"), "{}", e.message);
+    let e = run(&args(&["gen", "repetition-code", "--pair-error", "0.1"])).unwrap_err();
+    assert!(e.message.contains("does not apply"), "{}", e.message);
+    let e = run(&args(&["gen", "surface-code", "--pair-error", "0.1"])).unwrap_err();
+    assert!(e.message.contains("does not apply"), "{}", e.message);
+    // Explicit defaults still work where the flag applies.
+    assert!(run(&args(&["gen", "surface-code", "--basis", "z"])).is_ok());
+    assert!(run(&args(&["gen", "phase-memory", "--pair-error", "0"])).is_ok());
+}
+
+#[test]
 fn gen_rejects_bad_probabilities_and_zero_rounds() {
     let e = run(&args(&["gen", "surface-code", "--data-error", "1.5"])).unwrap_err();
     assert!(e.message.contains("[0, 1]"), "{}", e.message);

@@ -42,6 +42,17 @@ enum Step {
     Reset(u32),
     MeasureReset(u32),
     FeedbackX(u32),
+    /// `MX` / `MY` basis measurements.
+    MeasureX(u32),
+    MeasureY(u32),
+    /// `RX` reset.
+    ResetX(u32),
+    /// `MPP X{a}*Z{b}` (distinct qubits).
+    Mpp(u32, u32),
+    /// `E(0.5) X{a} Z{b}` followed by `ELSE_CORRELATED_ERROR(0.5) Y{a}`.
+    CorrelatedChain(u32, u32),
+    /// `PAULI_CHANNEL_2` with uniform probabilities summing to 0.6.
+    PauliChannel2(u32, u32),
 }
 
 const GATES1: [Gate; 9] = [
@@ -60,7 +71,7 @@ const GATES2: [Gate; 4] = [Gate::Cx, Gate::Cy, Gate::Cz, Gate::Swap];
 fn plan_strategy() -> impl Strategy<Value = Plan> {
     (
         2u32..6,
-        proptest::collection::vec((0u8..10, 0u8..9, any::<u16>()), 10..60),
+        proptest::collection::vec((0u8..15, 0u8..9, any::<u16>()), 10..60),
     )
         .prop_map(|(qubits, raw)| {
             let mut steps = Vec::new();
@@ -83,13 +94,28 @@ fn plan_strategy() -> impl Strategy<Value = Plan> {
                         steps.push(Step::MeasureReset(q));
                         measured += 1;
                     }
-                    _ => {
+                    9 => {
                         if measured > 0 {
                             steps.push(Step::FeedbackX(q));
                         } else {
                             steps.push(Step::YError(q));
                         }
                     }
+                    10 => {
+                        steps.push(if g % 2 == 0 {
+                            Step::MeasureX(q)
+                        } else {
+                            Step::MeasureY(q)
+                        });
+                        measured += 1;
+                    }
+                    11 => steps.push(Step::ResetX(q)),
+                    12 => {
+                        steps.push(Step::Mpp(q, q2));
+                        measured += 1;
+                    }
+                    13 => steps.push(Step::CorrelatedChain(q, q2)),
+                    _ => steps.push(Step::PauliChannel2(q, q2)),
                 }
             }
             // Always measure everything at the end.
@@ -181,6 +207,61 @@ fn realize(plan: &Plan, rng: &mut StdRng) -> (Circuit, Circuit, BitVec) {
                 noisy.feedback(PauliKind::X, -1, q);
                 concrete.feedback(PauliKind::X, -1, q);
             }
+            Step::MeasureX(q) => {
+                noisy.measure_in(PauliKind::X, q);
+                concrete.measure_in(PauliKind::X, q);
+            }
+            Step::MeasureY(q) => {
+                noisy.measure_in(PauliKind::Y, q);
+                concrete.measure_in(PauliKind::Y, q);
+            }
+            Step::ResetX(q) => {
+                noisy.reset_in(PauliKind::X, q);
+                concrete.reset_in(PauliKind::X, q);
+            }
+            Step::Mpp(a, b) => {
+                let product = [(PauliKind::X, a), (PauliKind::Z, b)];
+                noisy.measure_pauli_product(&product);
+                concrete.measure_pauli_product(&product);
+            }
+            Step::CorrelatedChain(a, b) => {
+                noisy.correlated_error(0.5, &[(PauliKind::X, a), (PauliKind::Z, b)]);
+                noisy.else_correlated_error(0.5, &[(PauliKind::Y, a)]);
+                let fire1 = rng.random_bool(0.5);
+                fault_bits.push(fire1);
+                if fire1 {
+                    concrete.x(a);
+                    concrete.z(b);
+                }
+                // The ELSE element only fires when the chain has not.
+                let fire2 = !fire1 && rng.random_bool(0.5);
+                fault_bits.push(fire2);
+                if fire2 {
+                    concrete.y(a);
+                }
+            }
+            Step::PauliChannel2(a, b) => {
+                let probs = [0.6 / 15.0; 15];
+                noisy.noise(NoiseChannel::PauliChannel2 { probs }, &[a, b]);
+                let bits = if rng.random_bool(0.6) {
+                    symphase::circuit::pauli_channel_2_bits(rng.random_range(1..16usize))
+                } else {
+                    [false; 4]
+                };
+                fault_bits.extend_from_slice(&bits);
+                if bits[0] {
+                    concrete.x(a);
+                }
+                if bits[1] {
+                    concrete.z(a);
+                }
+                if bits[2] {
+                    concrete.x(b);
+                }
+                if bits[3] {
+                    concrete.z(b);
+                }
+            }
         }
     }
     let fault_vec = BitVec::from_bools(fault_bits);
@@ -207,11 +288,15 @@ fn assignment_for(sampler: &SymPhaseSampler, fault_bits: &BitVec) -> BitVec {
                 assignment.set(z_id as usize, fault_bits.get(k + 1));
                 k += 2;
             }
-            SymbolGroup::Depolarize2 { ids, .. } => {
+            SymbolGroup::Depolarize2 { ids, .. } | SymbolGroup::PauliChannel2 { ids, .. } => {
                 for (j, &id) in ids.iter().enumerate() {
                     assignment.set(id as usize, fault_bits.get(k + j));
                 }
                 k += 4;
+            }
+            SymbolGroup::Correlated { id, .. } => {
+                assignment.set(id as usize, fault_bits.get(k));
+                k += 1;
             }
         }
     }
@@ -286,10 +371,32 @@ fn matrix_circuits() -> Vec<(&'static str, Circuit)> {
     dynamic.measure(2);
     dynamic.measure(1);
 
+    // The basis-general / product-measurement / correlated-noise surface:
+    // MX/MY/RX/RY/MRX, MPP, E + ELSE_CORRELATED_ERROR, PAULI_CHANNEL_2.
+    let mut basis = Circuit::new(3);
+    basis.reset_in(PauliKind::X, 0);
+    basis.reset_in(PauliKind::Y, 1);
+    basis.h(2);
+    basis.correlated_error(0.15, &[(PauliKind::X, 0), (PauliKind::Z, 1)]);
+    basis.else_correlated_error(0.5, &[(PauliKind::Y, 2)]);
+    let mut probs = [0.0; 15];
+    probs[3] = 0.1; // XI
+    probs[9] = 0.05; // YY
+    probs[14] = 0.1; // ZZ
+    basis.noise(NoiseChannel::PauliChannel2 { probs }, &[1, 2]);
+    basis.measure_pauli_product(&[(PauliKind::X, 0), (PauliKind::Z, 2)]);
+    basis.measure_in(PauliKind::X, 0);
+    basis.measure_in(PauliKind::Y, 1);
+    basis.measure_reset_in(PauliKind::X, 2);
+    basis.noise(NoiseChannel::XError(0.1), &[2]);
+    basis.measure_in(PauliKind::X, 2);
+    basis.measure_all();
+
     vec![
         ("noisy-ghz", ghz),
         ("repetition-code", rep),
         ("dynamic", dynamic),
+        ("basis-general", basis),
     ]
 }
 

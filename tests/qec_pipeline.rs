@@ -5,7 +5,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use symphase::circuit::generators::{
-    repetition_code_memory, surface_code_memory, RepetitionCodeConfig, SurfaceCodeConfig,
+    mpp_phase_memory, repetition_code_memory, surface_code_memory, surface_code_memory_in,
+    MemoryBasis, PhaseMemoryConfig, RepetitionCodeConfig, SurfaceCodeConfig,
 };
 use symphase::core::{PhaseRepr, SymPhaseSampler};
 use symphase::frame::FrameSampler;
@@ -150,6 +151,116 @@ fn surface_code_detectors_match_frame_records() {
         let tol = 6.0 * (2.0 * shots as f64 * p.max(0.001) * (1.0 - p).max(0.001)).sqrt() + 5.0;
         assert!((a - b).abs() < tol, "detector {d}: {a} vs {b}");
     }
+}
+
+#[test]
+fn memory_x_noiseless_rounds_are_silent() {
+    // The memory-X experiment runs on RX/MX end to end; with no noise
+    // every detector (X checks in round 0, pairwise afterwards, final
+    // data comparisons) and the logical-X observable must be silent.
+    let c = surface_code_memory_in(
+        &SurfaceCodeConfig {
+            distance: 3,
+            rounds: 3,
+            data_error: 0.0,
+            measure_error: 0.0,
+        },
+        MemoryBasis::X,
+    );
+    for repr in [PhaseRepr::Sparse, PhaseRepr::Dense] {
+        let sym = SymPhaseSampler::with_repr(&c, repr);
+        let batch = sym.sample_batch(2_000, &mut StdRng::seed_from_u64(7));
+        assert_eq!(
+            batch.detectors.count_ones(),
+            0,
+            "detectors fired ({repr:?})"
+        );
+        assert_eq!(
+            batch.observables.count_ones(),
+            0,
+            "logical flipped ({repr:?})"
+        );
+    }
+}
+
+#[test]
+fn memory_x_detectors_match_frame_records() {
+    let c = surface_code_memory_in(
+        &SurfaceCodeConfig {
+            distance: 3,
+            rounds: 2,
+            data_error: 0.01,
+            measure_error: 0.01,
+        },
+        MemoryBasis::X,
+    );
+    let shots = 40_000;
+    let sym = SymPhaseSampler::new(&c);
+    let batch = sym.sample_batch(shots, &mut StdRng::seed_from_u64(23));
+    let frame = FrameSampler::new(&c);
+    let records = frame.sample(shots, &mut StdRng::seed_from_u64(24));
+    let dets = detector_matrix(&c, &records);
+    assert_eq!(batch.detectors.rows(), dets.rows());
+    for d in 0..dets.rows() {
+        let a = (0..shots).filter(|&s| batch.detectors.get(d, s)).count() as f64;
+        let b = (0..shots).filter(|&s| dets.get(d, s)).count() as f64;
+        let p = (a + b) / (2.0 * shots as f64);
+        let tol = 6.0 * (2.0 * shots as f64 * p.max(0.001) * (1.0 - p).max(0.001)).sqrt() + 5.0;
+        assert!((a - b).abs() < tol, "detector {d}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn mpp_phase_memory_pipeline_end_to_end() {
+    // Noiseless: silent.
+    let clean = mpp_phase_memory(&PhaseMemoryConfig {
+        distance: 5,
+        rounds: 3,
+        data_error: 0.0,
+        pair_error: 0.0,
+    });
+    let sym = SymPhaseSampler::new(&clean);
+    let batch = sym.sample_batch(2_000, &mut StdRng::seed_from_u64(31));
+    assert_eq!(batch.detectors.count_ones(), 0);
+    assert_eq!(batch.observables.count_ones(), 0);
+
+    // Noisy (independent Z + correlated ZZ chain): SymPhase detector
+    // rates match detector evaluation over frame-sampled records, and
+    // the DEM contains the correlated pair mechanisms with their
+    // conditional marginals.
+    let cfg = PhaseMemoryConfig {
+        distance: 5,
+        rounds: 3,
+        data_error: 0.02,
+        pair_error: 0.01,
+    };
+    let noisy = mpp_phase_memory(&cfg);
+    let shots = 40_000;
+    let sym = SymPhaseSampler::new(&noisy);
+    let batch = sym.sample_batch(shots, &mut StdRng::seed_from_u64(32));
+    let frame = FrameSampler::new(&noisy);
+    let records = frame.sample(shots, &mut StdRng::seed_from_u64(33));
+    let dets = detector_matrix(&noisy, &records);
+    for d in 0..dets.rows() {
+        let a = (0..shots).filter(|&s| batch.detectors.get(d, s)).count() as f64;
+        let b = (0..shots).filter(|&s| dets.get(d, s)).count() as f64;
+        let p = (a + b) / (2.0 * shots as f64);
+        let tol = 6.0 * (2.0 * shots as f64 * p.max(0.001) * (1.0 - p).max(0.001)).sqrt() + 5.0;
+        assert!((a - b).abs() < tol, "detector {d}: {a} vs {b}");
+    }
+
+    let dem = sym.detector_error_model();
+    assert!(!dem.is_empty());
+    // The first chain element fires at its unconditional probability; a
+    // later element's marginal carries the (1-p)·p conditioning of the
+    // at-most-one-burst chain.
+    let conditional = cfg.pair_error * (1.0 - cfg.pair_error);
+    assert!(
+        dem.errors()
+            .iter()
+            .any(|e| (e.probability - conditional).abs() < 1e-9),
+        "expected a conditional chain marginal {conditional} in the DEM"
+    );
 }
 
 #[test]

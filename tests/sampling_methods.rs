@@ -34,6 +34,33 @@ fn representative_circuits() -> Vec<(&'static str, Circuit)> {
     channels.h(0);
     channels.cx(0, 1);
     channels.measure_many(&[0, 1, 2, 3]);
+
+    // The basis-general surface: PAULI_CHANNEL_2 and a correlated
+    // E/ELSE chain (both have their own hybrid draw paths that must stay
+    // in RNG lockstep with the assignment-matrix draw), plus MPP and
+    // X/Y-basis measurements feeding the record.
+    let mut correlated = Circuit::new(3);
+    correlated.reset_in(symphase::circuit::PauliKind::X, 0);
+    let mut probs = [0.0f64; 15];
+    probs[3] = 0.2; // XI
+    probs[10] = 0.1; // YZ
+    correlated.noise(NoiseChannel::PauliChannel2 { probs }, &[0, 1]);
+    correlated.correlated_error(
+        0.3,
+        &[
+            (symphase::circuit::PauliKind::X, 0),
+            (symphase::circuit::PauliKind::Z, 1),
+        ],
+    );
+    correlated.else_correlated_error(0.5, &[(symphase::circuit::PauliKind::Y, 2)]);
+    correlated.measure_pauli_product(&[
+        (symphase::circuit::PauliKind::X, 0),
+        (symphase::circuit::PauliKind::Z, 1),
+    ]);
+    correlated.measure_in(symphase::circuit::PauliKind::X, 0);
+    correlated.measure_in(symphase::circuit::PauliKind::Y, 2);
+    correlated.measure_all();
+
     vec![
         ("fig3c", fig3c_circuit(20, 0.01, 5)),
         (
@@ -55,6 +82,7 @@ fn representative_circuits() -> Vec<(&'static str, Circuit)> {
             }),
         ),
         ("channels", channels),
+        ("correlated", correlated),
         ("ghz_chain", noisy_ghz_chain(120, 0.01)),
     ]
 }

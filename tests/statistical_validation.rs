@@ -175,3 +175,79 @@ fn two_qubit_depolarizing_distribution() {
     c.measure_all();
     validate(&c, 40_000, 4_000, "depolarize2");
 }
+
+#[test]
+fn basis_measurements_and_resets_distribution() {
+    // RX/RY initialization, noise that is visible only in some bases,
+    // MX/MY/MRX readout — the dense simulator is the quantum-mechanical
+    // ground truth for the conjugation reductions.
+    let c = Circuit::parse(
+        "\
+RX 0
+RY 1
+H 2
+CX 2 0
+DEPOLARIZE1(0.2) 0 1
+Z_ERROR(0.3) 2
+MX 0
+MY 1
+MRX 2
+MX 2
+M 0 1
+",
+    )
+    .expect("valid circuit");
+    validate(&c, 40_000, 4_000, "basis measurements");
+}
+
+#[test]
+fn mpp_distribution_on_entangled_state() {
+    // Bell pair: XX = +1, ZZ = +1, YY = −1 deterministically; a Y error
+    // on qubit 0 flips the XX and ZZ products but not YY. Repeated MPPs
+    // must also be self-consistent (projective, not destructive).
+    let c = Circuit::parse(
+        "\
+H 0
+CX 0 1
+Y_ERROR(0.2) 0
+MPP X0*X1 Z0*Z1
+MPP Y0*Y1
+MPP X0*X1
+M 0 1
+",
+    )
+    .expect("valid circuit");
+    validate(&c, 40_000, 4_000, "mpp");
+}
+
+#[test]
+fn correlated_error_chain_distribution() {
+    let c = Circuit::parse(
+        "\
+H 0
+CX 0 1
+E(0.3) X0 X1
+ELSE_CORRELATED_ERROR(0.5) Z0 Y1
+M 0 1
+MX 0
+M 1
+",
+    )
+    .expect("valid circuit");
+    validate(&c, 40_000, 4_000, "correlated chain");
+}
+
+#[test]
+fn pauli_channel_2_distribution() {
+    let mut probs = [0.0f64; 15];
+    probs[0] = 0.1; // IX
+    probs[3] = 0.15; // XI
+    probs[9] = 0.1; // YY
+    probs[14] = 0.05; // ZZ
+    let mut c = Circuit::new(2);
+    c.h(0).cx(0, 1);
+    c.noise(NoiseChannel::PauliChannel2 { probs }, &[0, 1]);
+    c.measure_all();
+    c.measure_many_in(symphase::circuit::PauliKind::X, &[0, 1]);
+    validate(&c, 40_000, 4_000, "pauli_channel_2");
+}
