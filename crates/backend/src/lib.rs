@@ -398,6 +398,67 @@ mod tests {
     }
 
     #[test]
+    fn stream_par_concurrency_stays_within_thread_budget() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// Counts concurrent `sample_into` calls and records the
+        /// high-water mark.
+        struct Gauge {
+            nm: usize,
+            live: AtomicUsize,
+            high: AtomicUsize,
+        }
+        impl Sampler for Gauge {
+            fn name(&self) -> &'static str {
+                "gauge"
+            }
+            fn num_measurements(&self) -> usize {
+                self.nm
+            }
+            fn num_detectors(&self) -> usize {
+                0
+            }
+            fn num_observables(&self) -> usize {
+                0
+            }
+            fn sample_into(&self, batch: &mut SampleBatch, rng: &mut dyn RngCore) {
+                let live = self.live.fetch_add(1, Ordering::SeqCst) + 1;
+                self.high.fetch_max(live, Ordering::SeqCst);
+                // Give other lanes a chance to overlap.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                for m in 0..self.nm {
+                    let word = rng.next_u64();
+                    batch.measurements.set(m, 0, word & 1 == 1);
+                }
+                self.live.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        // A `SimConfig` thread budget of N must bound the in-flight
+        // chunk draws to N, whatever the pool size: `stream_par` fans a
+        // wave out over at most `threads` lanes.
+        for budget in [1usize, 2, 4] {
+            let gauge = Gauge {
+                nm: 2,
+                live: AtomicUsize::new(0),
+                high: AtomicUsize::new(0),
+            };
+            let config = crate::SimConfig::new().with_threads(budget);
+            assert_eq!(config.threads(), budget, "budget must survive the config");
+            let mut out = CountingSink::default();
+            sink::stream_with_config(&gauge, 16 * 64, &config.with_chunk_shots(64), &mut out)
+                .unwrap();
+            assert_eq!(out.shots, 16 * 64);
+            let high = gauge.high.load(Ordering::SeqCst);
+            assert!(high >= 1, "sampler never ran");
+            assert!(
+                high <= budget,
+                "budget {budget} exceeded: {high} concurrent draws"
+            );
+        }
+    }
+
+    #[test]
     fn sink_errors_abort_the_stream() {
         struct FailingSink {
             chunks_before_failure: usize,

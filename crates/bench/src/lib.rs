@@ -5,6 +5,9 @@
 //! binary both build their circuits through this crate so that DESIGN.md's
 //! experiment index points at one set of definitions.
 
+pub mod json;
+pub mod perf;
+
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;

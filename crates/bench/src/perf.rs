@@ -1,0 +1,365 @@
+//! The tracked performance trajectory: `bench-json` report generation
+//! and the `bench-check` regression gate.
+//!
+//! Every PR that touches a hot path lands a `BENCH_<n>.json` at the repo
+//! root (schema [`SCHEMA`]) so the performance history is a diffable,
+//! machine-readable series next to the code that produced it. The report
+//! has two matrices:
+//!
+//! * **kernels** — the raw F₂ kernels (naive row-gather product, blocked
+//!   Four-Russians product, packed transpose) on each ablation circuit's
+//!   densified measurement matrix, timed at every requested SIMD level
+//!   via [`simd::with_level`], with `speedup_vs_scalar` per cell;
+//! * **end_to_end** — the streaming sampling path (`stream_with_config`,
+//!   the exact delivery the CLI runs) per circuit at each thread budget,
+//!   in shots/s, with `speedup_vs_serial` per threaded cell.
+//!
+//! The gate ([`check_regression`]) re-measures serial `surface_d5`
+//! streaming throughput and fails when it lands more than a tolerance
+//! below the committed baseline's number. Wall-clock gates are
+//! hardware-sensitive: the committed baseline records `host.cores` and
+//! the SIMD level so a reader can tell an algorithmic regression from a
+//! machine change (docs/performance.md discusses the caveats).
+
+use std::process::Command;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use symphase::backend::{build_sampler, SimConfig};
+use symphase::sampler_api::{sink, CountingSink};
+use symphase_bitmat::simd::{self, SimdLevel};
+use symphase_core::SymPhaseSampler;
+
+use crate::json::Json;
+use crate::sampling_ablation_circuits;
+
+/// Schema identifier stamped into every report.
+pub const SCHEMA: &str = "symphase-bench/v1";
+
+/// One timeable kernel closure in the per-circuit kernel matrix.
+type KernelRun<'a> = Box<dyn Fn() + 'a>;
+
+/// What `bench-json` runs.
+#[derive(Clone, Debug)]
+pub struct PerfConfig {
+    /// Qubit-scale knob forwarded to [`sampling_ablation_circuits`].
+    pub n: usize,
+    /// Shot count for the kernel matrix (the `B` batch width).
+    pub kernel_shots: usize,
+    /// Shot count for the end-to-end streaming matrix.
+    pub stream_shots: usize,
+    /// SIMD levels to time the kernels at. Scalar is kept (or added)
+    /// first so `speedup_vs_scalar` always has its baseline.
+    pub levels: Vec<SimdLevel>,
+    /// Thread budgets for the end-to-end matrix; 1 must be present (it
+    /// is the serial baseline and the regression-gate reference).
+    pub thread_counts: Vec<usize>,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            n: 64,
+            kernel_shots: 4096,
+            stream_shots: 20_000,
+            levels: simd::available_levels().collect(),
+            thread_counts: vec![1, 2, 4],
+        }
+    }
+}
+
+impl PerfConfig {
+    /// Restricts the kernel matrix to `level` (plus the scalar
+    /// baseline), as the `--simd` flag requests.
+    pub fn with_simd(mut self, level: SimdLevel) -> Self {
+        self.levels = if level == SimdLevel::Scalar {
+            vec![SimdLevel::Scalar]
+        } else {
+            vec![SimdLevel::Scalar, level]
+        };
+        self
+    }
+}
+
+/// Mean wall time of `f` over enough repetitions to be stable: one
+/// warmup call, then at least 40 ms (capped at 64 reps) of timed calls.
+fn time_mean(mut f: impl FnMut()) -> f64 {
+    f();
+    let t = Instant::now();
+    let mut reps = 0u32;
+    loop {
+        f();
+        reps += 1;
+        if t.elapsed() >= Duration::from_millis(40) || reps >= 64 {
+            break;
+        }
+    }
+    t.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Times the serial (`threads = 1`) end-to-end streaming path on the
+/// `surface_d5` ablation circuit — the number the regression gate pins.
+pub fn serial_surface_throughput(stream_shots: usize) -> f64 {
+    let (_, circuit) = sampling_ablation_circuits(16)
+        .into_iter()
+        .find(|(name, _)| *name == "surface_d5")
+        .expect("surface_d5 is always in the ablation set");
+    let sampler = build_sampler(&circuit, &SimConfig::new()).expect("engine builds");
+    let secs = time_mean(|| {
+        let cfg = SimConfig::new().with_seed(1).with_threads(1);
+        let mut out = CountingSink::default();
+        sink::stream_with_config(sampler.as_ref(), stream_shots, &cfg, &mut out)
+            .expect("counting sink cannot fail");
+        std::hint::black_box(out.measurement_ones);
+    });
+    stream_shots as f64 / secs
+}
+
+/// Runs the full kernel + end-to-end matrix and returns the report as a
+/// [`Json`] document (render it with [`Json::render`]).
+pub fn run_perf_report(cfg: &PerfConfig) -> Json {
+    assert!(
+        cfg.thread_counts.contains(&1),
+        "thread_counts must include the serial baseline"
+    );
+    let mut levels = cfg.levels.clone();
+    levels.retain(|l| *l <= simd::detected_level());
+    if !levels.contains(&SimdLevel::Scalar) {
+        levels.insert(0, SimdLevel::Scalar);
+    }
+    levels.sort();
+    levels.dedup();
+
+    let mut kernel_rows = Vec::new();
+    let mut end_rows = Vec::new();
+
+    for (name, circuit) in sampling_ablation_circuits(cfg.n) {
+        // --- Kernel matrix: raw F₂ products on the densified M. ---
+        let sampler = SymPhaseSampler::new(&circuit);
+        let dense = sampler.measurement_matrix().to_dense();
+        let b = sampler
+            .symbol_table()
+            .sample_assignments(cfg.kernel_shots, &mut StdRng::seed_from_u64(23));
+        let kernels: [(&str, KernelRun); 3] = [
+            (
+                "mul_naive",
+                Box::new(|| {
+                    std::hint::black_box(dense.mul(&b).count_ones());
+                }),
+            ),
+            (
+                "mul_blocked",
+                Box::new(|| {
+                    std::hint::black_box(dense.mul_blocked(&b).count_ones());
+                }),
+            ),
+            (
+                "transpose",
+                Box::new(|| {
+                    std::hint::black_box(dense.transpose().count_ones());
+                }),
+            ),
+        ];
+        for (kernel, run) in &kernels {
+            let mut scalar_secs = None;
+            for &level in &levels {
+                let secs = simd::with_level(level, || time_mean(run));
+                if level == SimdLevel::Scalar {
+                    scalar_secs = Some(secs);
+                }
+                kernel_rows.push(Json::obj(vec![
+                    ("circuit", Json::Str(name.to_owned())),
+                    ("kernel", Json::Str((*kernel).to_owned())),
+                    ("simd", Json::Str(level.name().to_owned())),
+                    ("time_s", Json::Num(secs)),
+                    (
+                        "speedup_vs_scalar",
+                        match scalar_secs {
+                            Some(base) => Json::Num(base / secs),
+                            None => Json::Null,
+                        },
+                    ),
+                ]));
+            }
+        }
+
+        // --- End-to-end matrix: the streaming delivery path. ---
+        let streamer = build_sampler(&circuit, &SimConfig::new()).expect("engine builds");
+        let mut serial_secs = None;
+        for &threads in &cfg.thread_counts {
+            let secs = time_mean(|| {
+                let run_cfg = SimConfig::new().with_seed(1).with_threads(threads);
+                let mut out = CountingSink::default();
+                sink::stream_with_config(streamer.as_ref(), cfg.stream_shots, &run_cfg, &mut out)
+                    .expect("counting sink cannot fail");
+                std::hint::black_box(out.measurement_ones);
+            });
+            if threads == 1 {
+                serial_secs = Some(secs);
+            }
+            end_rows.push(Json::obj(vec![
+                ("circuit", Json::Str(name.to_owned())),
+                ("engine", Json::Str("symphase".to_owned())),
+                ("threads", Json::Num(threads as f64)),
+                ("shots", Json::Num(cfg.stream_shots as f64)),
+                ("time_s", Json::Num(secs)),
+                ("shots_per_sec", Json::Num(cfg.stream_shots as f64 / secs)),
+                (
+                    "speedup_vs_serial",
+                    match serial_secs {
+                        Some(base) => Json::Num(base / secs),
+                        None => Json::Null,
+                    },
+                ),
+            ]));
+        }
+    }
+
+    Json::obj(vec![
+        ("schema", Json::Str(SCHEMA.to_owned())),
+        ("git_rev", Json::Str(git_rev())),
+        (
+            "unix_time",
+            Json::Num(
+                SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map_or(0.0, |d| d.as_secs() as f64),
+            ),
+        ),
+        (
+            "host",
+            Json::obj(vec![
+                ("cores", Json::Num(cores() as f64)),
+                (
+                    "simd_detected",
+                    Json::Str(simd::detected_level().name().to_owned()),
+                ),
+                (
+                    "simd_levels",
+                    Json::Arr(
+                        levels
+                            .iter()
+                            .map(|l| Json::Str(l.name().to_owned()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "config",
+            Json::obj(vec![
+                ("n", Json::Num(cfg.n as f64)),
+                ("kernel_shots", Json::Num(cfg.kernel_shots as f64)),
+                ("stream_shots", Json::Num(cfg.stream_shots as f64)),
+                (
+                    "thread_counts",
+                    Json::Arr(
+                        cfg.thread_counts
+                            .iter()
+                            .map(|&t| Json::Num(t as f64))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        ("kernels", Json::Arr(kernel_rows)),
+        ("end_to_end", Json::Arr(end_rows)),
+    ])
+}
+
+/// Extracts the serial `surface_d5` shots/s from a parsed baseline
+/// report.
+pub fn baseline_surface_throughput(report: &Json) -> Result<f64, String> {
+    let rows = report
+        .get("end_to_end")
+        .and_then(Json::as_arr)
+        .ok_or("baseline has no end_to_end array")?;
+    rows.iter()
+        .find(|row| {
+            row.get("circuit").and_then(Json::as_str) == Some("surface_d5")
+                && row.get("threads").and_then(Json::as_f64) == Some(1.0)
+        })
+        .and_then(|row| row.get("shots_per_sec").and_then(Json::as_f64))
+        .ok_or_else(|| "baseline has no serial surface_d5 row".to_owned())
+}
+
+/// The regression gate: re-measures serial `surface_d5` streaming
+/// throughput and compares it to `baseline`'s number. Returns a human
+/// summary on pass, an error string when throughput fell more than
+/// `tolerance_pct` percent below baseline.
+pub fn check_regression(
+    baseline: &Json,
+    tolerance_pct: f64,
+    stream_shots: usize,
+) -> Result<String, String> {
+    let base = baseline_surface_throughput(baseline)?;
+    let now = serial_surface_throughput(stream_shots);
+    let floor = base * (1.0 - tolerance_pct / 100.0);
+    let line = format!(
+        "surface_d5 serial streaming: baseline {base:.0} shots/s, \
+         current {now:.0} shots/s, floor {floor:.0} (tolerance {tolerance_pct}%)"
+    );
+    if now >= floor {
+        Ok(line)
+    } else {
+        Err(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny report generated end to end: the schema fields the gate
+    /// and the docs promise are present, the speedup baselines are
+    /// self-consistent, and the gate accepts its own fresh baseline.
+    #[test]
+    fn report_schema_and_gate_round_trip() {
+        let cfg = PerfConfig {
+            n: 16,
+            kernel_shots: 256,
+            stream_shots: 512,
+            levels: vec![SimdLevel::Scalar],
+            thread_counts: vec![1, 2],
+        };
+        let report = run_perf_report(&cfg);
+        assert_eq!(report.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert!(report.get("git_rev").and_then(Json::as_str).is_some());
+        assert!(report.get("host").and_then(|h| h.get("cores")).is_some());
+
+        let kernels = report.get("kernels").and_then(Json::as_arr).unwrap();
+        // 3 circuits × 3 kernels × 1 level.
+        assert_eq!(kernels.len(), 9);
+        for row in kernels {
+            assert_eq!(row.get("simd").and_then(Json::as_str), Some("scalar"));
+            let speedup = row.get("speedup_vs_scalar").and_then(Json::as_f64);
+            assert_eq!(speedup, Some(1.0), "scalar rows are their own baseline");
+        }
+
+        let ends = report.get("end_to_end").and_then(Json::as_arr).unwrap();
+        assert_eq!(ends.len(), 6); // 3 circuits × 2 thread budgets.
+        assert!(baseline_surface_throughput(&report).unwrap() > 0.0);
+
+        // Round-trip through text exactly as CI does.
+        let parsed = Json::parse(&report.render()).unwrap();
+        // A fresh measurement against itself passes at a loose tolerance.
+        check_regression(&parsed, 90.0, 512).expect("self-baseline passes");
+    }
+}

@@ -45,6 +45,21 @@ impl BitMatrix {
         }
     }
 
+    /// Reshapes to a `rows × cols` zero matrix, reusing the backing
+    /// allocation when capacity suffices. Returns `true` if the backing
+    /// buffer had to grow (an allocation event).
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) -> bool {
+        let stride = words_for(cols);
+        let words = rows * stride;
+        let grew = words > self.data.capacity();
+        self.rows = rows;
+        self.cols = cols;
+        self.stride = stride;
+        self.data.clear();
+        self.data.resize(words, 0);
+        grew
+    }
+
     /// Creates the `n × n` identity matrix.
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
@@ -180,16 +195,13 @@ impl BitMatrix {
         assert_ne!(src, dst, "xor of a row into itself zeroes it");
         let stride = self.stride;
         let (src_off, dst_off) = (src * stride, dst * stride);
+        let kernels = crate::simd::kernels();
         if src_off < dst_off {
             let (lo, hi) = self.data.split_at_mut(dst_off);
-            for i in 0..stride {
-                hi[i] ^= lo[src_off + i];
-            }
+            kernels.xor_into(&mut hi[..stride], &lo[src_off..src_off + stride]);
         } else {
             let (lo, hi) = self.data.split_at_mut(src_off);
-            for i in 0..stride {
-                lo[dst_off + i] ^= hi[i];
-            }
+            kernels.xor_into(&mut lo[dst_off..dst_off + stride], &hi[..stride]);
         }
     }
 
@@ -212,9 +224,7 @@ impl BitMatrix {
     pub fn xor_words_into_row(&mut self, dst: usize, words: &[Word]) {
         let row = self.row_mut(dst);
         assert!(words.len() >= row.len(), "word slice too short");
-        for (d, s) in row.iter_mut().zip(words) {
-            *d ^= *s;
-        }
+        crate::simd::kernels().xor_into(row, words);
     }
 
     /// F₂ matrix product `self · other` by the method of rows: for every set
@@ -228,6 +238,7 @@ impl BitMatrix {
     pub fn mul(&self, other: &BitMatrix) -> BitMatrix {
         assert_eq!(self.cols, other.rows, "dimension mismatch in mul");
         let mut out = BitMatrix::zeros(self.rows, other.cols);
+        let kernels = crate::simd::kernels();
         for r in 0..self.rows {
             let src = self.row(r);
             let dst = &mut out.data[r * out.stride..(r + 1) * out.stride];
@@ -236,10 +247,7 @@ impl BitMatrix {
                 while bits != 0 {
                     let k = w * WORD_BITS + bits.trailing_zeros() as usize;
                     bits &= bits - 1;
-                    let orow = other.row(k);
-                    for (d, s) in dst.iter_mut().zip(orow) {
-                        *d ^= *s;
-                    }
+                    kernels.xor_into(dst, other.row(k));
                 }
             }
         }
@@ -284,19 +292,36 @@ impl BitMatrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &BitVec) -> BitVec {
         assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
+        let kernels = crate::simd::kernels();
         BitVec::from_fn(self.rows, |r| {
-            self.row(r)
-                .iter()
-                .zip(v.words())
-                .fold(0u32, |acc, (a, b)| acc ^ (a & b).count_ones())
-                % 2
-                == 1
+            kernels.and_count(self.row(r), v.words()) % 2 == 1
         })
     }
 
     /// Returns the transpose, computed with 64×64 block kernels.
     pub fn transpose(&self) -> BitMatrix {
         let mut out = BitMatrix::zeros(self.cols, self.rows);
+        self.transpose_into_prepared(&mut out);
+        out
+    }
+
+    /// Transposes into `out`, reshaping it to `cols × rows` and reusing
+    /// its backing allocation when capacity suffices. Returns `true` if
+    /// the backing buffer had to grow (an allocation event — the m4r
+    /// scratch uses this to pin zero-allocation steady state).
+    pub fn transpose_into(&self, out: &mut BitMatrix) -> bool {
+        let words = self.cols * words_for(self.rows);
+        let grew = words > out.data.capacity();
+        out.rows = self.cols;
+        out.cols = self.rows;
+        out.stride = words_for(self.rows);
+        out.data.clear();
+        out.data.resize(words, 0);
+        self.transpose_into_prepared(out);
+        grew
+    }
+
+    fn transpose_into_prepared(&self, out: &mut BitMatrix) {
         transpose_packed(
             &self.data,
             self.rows,
@@ -305,7 +330,6 @@ impl BitMatrix {
             &mut out.data,
             out.stride,
         );
-        out
     }
 
     /// Total number of set bits.
@@ -334,6 +358,13 @@ impl BitMatrix {
         for r in 0..self.rows {
             self.data[r * self.stride + self.stride - 1] &= mask;
         }
+    }
+}
+
+impl Default for BitMatrix {
+    /// The `0 × 0` matrix (used by scratch buffers that grow on first use).
+    fn default() -> Self {
+        BitMatrix::zeros(0, 0)
     }
 }
 

@@ -18,6 +18,9 @@
 //! * [`layout`] — the three stabilizer-tableau memory layouts compared in
 //!   Fig. 2 of the paper (`chp.c` row-major, Stim 8×8 blocks, SymPhase
 //!   512×512 blocks with local transposition).
+//! * [`simd`] — the runtime-dispatched AVX2/AVX-512 kernel layer every
+//!   hot loop above routes through (scalar fallback always available,
+//!   `SYMPHASE_SIMD` env override, bit-identical across levels).
 //!
 //! # Example
 //!
@@ -48,6 +51,7 @@ mod bitvec;
 pub mod gauss;
 pub mod layout;
 pub mod m4r;
+pub mod simd;
 mod sparse;
 pub mod transpose;
 pub mod word;

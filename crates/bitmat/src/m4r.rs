@@ -54,6 +54,12 @@ const TILE_WORDS: usize = 32;
 /// Allocation happens on first use and is amortized across calls: the
 /// sampler keeps one scratch per sampling call (and the parallel sampling
 /// path one per thread), so steady-state multiplication allocates nothing.
+/// Every slab — the Gray-code table, the group pre-layout, and the
+/// transpose buffers of the narrow-shot path — is sized to the maximum
+/// shape seen and never shrinks, so chunked streams with a fixed shape
+/// settle to zero allocations after the first chunk;
+/// [`M4rScratch::alloc_events`] counts capacity growth so tests can pin
+/// that.
 #[derive(Clone, Debug, Default)]
 pub struct M4rScratch {
     /// Gray-code combination table: `TABLE_LEN` entries of `TILE_WORDS`
@@ -76,6 +82,16 @@ pub struct M4rScratch {
     /// Groups dense enough for the Gray-code table (the rest gather
     /// directly at full width).
     table_groups: Vec<u32>,
+    /// Narrow-shot path: reusable transpose of `a` (was a fresh
+    /// allocation per call).
+    at: BitMatrix,
+    /// Narrow-shot path: reusable transpose of `b`.
+    bt: BitMatrix,
+    /// Narrow-shot path: reusable transposed product.
+    tt: BitMatrix,
+    /// Number of times any slab's backing capacity had to grow. Constant
+    /// across calls ⇔ the calls allocated nothing.
+    alloc_events: u64,
 }
 
 impl M4rScratch {
@@ -83,6 +99,22 @@ impl M4rScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Number of backing-buffer growth events since construction. A
+    /// steady-state chunked stream (fixed shapes after warm-up) must keep
+    /// this constant; tests pin that. The counter is a plain increment on
+    /// the (rare) growth path — no assertions, no debug-only gating.
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+}
+
+/// `v.resize(len, fill)` with capacity-growth tracking.
+fn resize_tracked<T: Copy>(v: &mut Vec<T>, len: usize, fill: T, allocs: &mut u64) {
+    if len > v.capacity() {
+        *allocs += 1;
+    }
+    v.resize(len, fill);
 }
 
 /// `out[.., window] ^= a · b` over F₂ with the blocked kernel.
@@ -118,12 +150,14 @@ pub fn mul_blocked_into(
     }
 
     fill_entries(a, groups, scratch);
+    let kernels = crate::simd::kernels();
 
     // Adaptive split, decided once per group: `pop` row XORs pay for the
     // direct gather, `build + one lookup per nonzero byte` for the
     // Gray-code table. Gather groups run here at full row width (tiling
     // would only add per-tile loop overhead to work that streams whole
     // rows anyway); table groups run tiled below for cache residency.
+    let groups_cap = scratch.table_groups.capacity();
     scratch.table_groups.clear();
     for g in 0..groups {
         let es = &scratch.entries[scratch.starts[g] as usize..scratch.starts[g + 1] as usize];
@@ -143,20 +177,24 @@ pub fn mul_blocked_into(
             while bits != 0 {
                 let j = bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                let src = b.row(base + j);
-                let dst = &mut out.words_mut()[o..o + bstride];
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d ^= *s;
-                }
+                kernels.xor_into(&mut out.words_mut()[o..o + bstride], b.row(base + j));
             }
         }
+    }
+    if scratch.table_groups.capacity() != groups_cap {
+        scratch.alloc_events += 1;
     }
     if scratch.table_groups.is_empty() {
         return;
     }
 
-    scratch.table.resize(TABLE_LEN * TILE_WORDS, 0);
-    scratch.acc.resize(TILE_WORDS, 0);
+    resize_tracked(
+        &mut scratch.table,
+        TABLE_LEN * TILE_WORDS,
+        0,
+        &mut scratch.alloc_events,
+    );
+    resize_tracked(&mut scratch.acc, TILE_WORDS, 0, &mut scratch.alloc_events);
     let mut tile_start = 0;
     while tile_start < bstride {
         let tw = TILE_WORDS.min(bstride - tile_start);
@@ -173,14 +211,12 @@ pub fn mul_blocked_into(
                 tw,
                 &mut scratch.table,
                 &mut scratch.acc,
+                kernels,
             );
             for &(r, byte) in es {
                 let t = byte as usize * TILE_WORDS;
                 let o = r as usize * ostride + col_word_offset + tile_start;
-                let (dst, src) = (&mut out.words_mut()[o..o + tw], &scratch.table[t..t + tw]);
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d ^= *s;
-                }
+                kernels.xor_into(&mut out.words_mut()[o..o + tw], &scratch.table[t..t + tw]);
             }
         }
         tile_start += tw;
@@ -202,11 +238,22 @@ pub fn mul_blocked_into(
 pub fn mul_blocked_with(a: &BitMatrix, b: &BitMatrix, scratch: &mut M4rScratch) -> BitMatrix {
     assert_eq!(a.cols(), b.rows(), "dimension mismatch in mul_blocked");
     if b.cols() > 0 && b.cols() < WORD_BITS && a.rows() >= 4 * WORD_BITS {
-        let at = a.transpose();
-        let bt = b.transpose();
-        let mut tt = BitMatrix::zeros(b.cols(), a.rows());
+        // The three intermediate matrices live in the scratch (taken out
+        // while `scratch` is also threaded through the multiply), so
+        // repeated narrow-shot products of the same shape allocate only
+        // the returned output.
+        let mut at = std::mem::take(&mut scratch.at);
+        let mut bt = std::mem::take(&mut scratch.bt);
+        let mut tt = std::mem::take(&mut scratch.tt);
+        scratch.alloc_events += u64::from(a.transpose_into(&mut at));
+        scratch.alloc_events += u64::from(b.transpose_into(&mut bt));
+        scratch.alloc_events += u64::from(tt.reset_zeros(b.cols(), a.rows()));
         mul_blocked_into(&bt, &at, &mut tt, 0, scratch);
-        return tt.transpose();
+        let out = tt.transpose();
+        scratch.at = at;
+        scratch.bt = bt;
+        scratch.tt = tt;
+        return out;
     }
     let mut out = BitMatrix::zeros(a.rows(), b.cols());
     mul_blocked_into(a, b, &mut out, 0, scratch);
@@ -231,9 +278,14 @@ fn fill_entries(a: &BitMatrix, groups: usize, scratch: &mut M4rScratch) {
     const BYTES_PER_WORD: usize = WORD_BITS / 8;
     let rows = a.rows();
     scratch.pops.clear();
-    scratch.pops.resize(groups, 0);
+    resize_tracked(&mut scratch.pops, groups, 0, &mut scratch.alloc_events);
     scratch.starts.clear();
-    scratch.starts.resize(groups + 1, 0);
+    resize_tracked(
+        &mut scratch.starts,
+        groups + 1,
+        0,
+        &mut scratch.alloc_events,
+    );
     // Pass 1: count nonzero bytes and set bits per group.
     for r in 0..rows {
         for (w, &word) in a.row(r).iter().enumerate() {
@@ -259,9 +311,13 @@ fn fill_entries(a: &BitMatrix, groups: usize, scratch: &mut M4rScratch) {
     // Pass 2: place the entries, using `starts[g]` as the group cursor
     // (rows stay ascending within a group). Afterwards `starts[g]` has
     // advanced to the old `starts[g + 1]`, so one shift restores it.
-    scratch
-        .entries
-        .resize(scratch.starts[groups] as usize, (0, 0));
+    let entry_count = scratch.starts[groups] as usize;
+    resize_tracked(
+        &mut scratch.entries,
+        entry_count,
+        (0, 0),
+        &mut scratch.alloc_events,
+    );
     for r in 0..rows {
         for (w, &word) in a.row(r).iter().enumerate() {
             if word == 0 {
@@ -290,7 +346,9 @@ fn fill_entries(a: &BitMatrix, groups: usize, scratch: &mut M4rScratch) {
 /// `base..base + nbits` restricted to the shot tile
 /// `[tile_start, tile_start + tw)`. Entries are generated in Gray-code
 /// order: consecutive codes differ by one bit, so the running accumulator
-/// picks up one `b` row per entry and streams straight into its slot.
+/// picks up one `b` row per entry and streams straight into its slot —
+/// the XOR and the store are one fused SIMD pass per entry.
+#[allow(clippy::too_many_arguments)]
 fn build_gray_table(
     b: &BitMatrix,
     base: usize,
@@ -299,6 +357,7 @@ fn build_gray_table(
     tw: usize,
     table: &mut [Word],
     acc: &mut [Word],
+    kernels: crate::simd::Kernels,
 ) {
     let acc = &mut acc[..tw];
     acc.fill(0);
@@ -306,11 +365,8 @@ fn build_gray_table(
     for i in 1..(1usize << nbits) {
         let bit = i.trailing_zeros() as usize;
         let src = &b.row(base + bit)[tile_start..tile_start + tw];
-        for (a, s) in acc.iter_mut().zip(src) {
-            *a ^= *s;
-        }
         let gray = (i ^ (i >> 1)) * TILE_WORDS;
-        table[gray..gray + tw].copy_from_slice(acc);
+        kernels.xor_accum_copy(acc, src, &mut table[gray..gray + tw]);
     }
 }
 
@@ -408,6 +464,61 @@ mod tests {
             let b = BitMatrix::random(k, n, &mut rng);
             assert_eq!(mul_blocked_with(&a, &b, &mut scratch), a.mul(&b));
         }
+    }
+
+    #[test]
+    fn steady_state_chunked_stream_allocates_nothing() {
+        // Chunk-shaped workload: one fixed measurement matrix multiplied
+        // against a fresh symbol batch per chunk, accumulated into a
+        // reused output — the shape `sample_seeded` streams. After the
+        // warm-up chunk the scratch slabs are at their maximum shape and
+        // every further chunk must be allocation-free.
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = BitMatrix::random(300, 500, &mut rng);
+        let mut out = BitMatrix::zeros(300, 4096);
+        let mut scratch = M4rScratch::new();
+        let b = BitMatrix::random(500, 4096, &mut rng);
+        mul_blocked_into(&a, &b, &mut out, 0, &mut scratch);
+        let after_warmup = scratch.alloc_events();
+        assert!(after_warmup > 0, "warm-up must have grown the slabs");
+        for seed in 0..5 {
+            let b = BitMatrix::random(500, 4096, &mut StdRng::seed_from_u64(100 + seed));
+            mul_blocked_into(&a, &b, &mut out, 0, &mut scratch);
+            assert_eq!(
+                scratch.alloc_events(),
+                after_warmup,
+                "steady-state chunk {seed} grew a scratch slab"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_slabs_never_shrink_across_shapes() {
+        // Largest shape first: every later (smaller) shape fits in the
+        // slabs already grown, including the narrow-shot transpose path.
+        let mut rng = StdRng::seed_from_u64(24);
+        let shapes = [(400usize, 300usize, 200usize), (300, 129, 17), (64, 64, 64)];
+        let mut scratch = M4rScratch::new();
+        let (m, k, n) = shapes[0];
+        let a = BitMatrix::random(m, k, &mut rng);
+        let b = BitMatrix::random(k, n, &mut rng);
+        // Warm the narrow path slabs too (shape 2 triggers it).
+        let (m2, k2, n2) = shapes[1];
+        let a2 = BitMatrix::random(m2, k2, &mut rng);
+        let b2 = BitMatrix::random(k2, n2, &mut rng);
+        mul_blocked_with(&a, &b, &mut scratch);
+        mul_blocked_with(&a2, &b2, &mut scratch);
+        let warm = scratch.alloc_events();
+        for &(m, k, n) in &shapes[1..] {
+            let a = BitMatrix::random(m, k, &mut rng);
+            let b = BitMatrix::random(k, n, &mut rng);
+            assert_eq!(mul_blocked_with(&a, &b, &mut scratch), a.mul(&b));
+        }
+        assert_eq!(
+            scratch.alloc_events(),
+            warm,
+            "smaller shapes must reuse the grown slabs"
+        );
     }
 
     #[test]

@@ -1,0 +1,702 @@
+//! Runtime-dispatched SIMD kernels for the packed-F₂ hot loops.
+//!
+//! Every inner loop of this crate — the m4r table XOR-accumulate, the
+//! Gray-code table build, row XOR/AND primitives, and the 64×64 transpose
+//! swap network — moves whole machine words with no cross-word carries,
+//! so the same code runs unchanged over 256-bit (AVX2) or 512-bit
+//! (AVX-512) lanes. This module owns that widening:
+//!
+//! * [`SimdLevel`] — the dispatch ladder (`Scalar` → `Avx2` → `Avx512`),
+//!   with one-time runtime feature detection and an optional
+//!   `SYMPHASE_SIMD` environment override (`scalar|avx2|avx512`).
+//! * [`Kernels`] — a resolved dispatch handle callers hoist out of their
+//!   row loops; each method matches on the level once per call.
+//! * [`with_level`] — a thread-local override so tests and benchmarks can
+//!   force every available level and pin bit-identity against scalar.
+//!
+//! Every SIMD path computes exactly the word sequence of its scalar
+//! fallback (XOR/AND are lane-local), so outputs are **bit-identical**
+//! across levels; `crates/bitmat/tests/properties.rs` pins that with
+//! proptests run at every available level.
+//!
+//! The scalar fallback is mandatory and always available: non-x86_64
+//! targets (and x86_64 machines without AVX2) report only
+//! [`SimdLevel::Scalar`].
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+use crate::word::Word;
+
+/// One rung of the SIMD dispatch ladder, ordered weakest to widest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable word-at-a-time loops (always available).
+    Scalar,
+    /// 256-bit lanes via AVX2 (`std::arch` x86_64 intrinsics).
+    Avx2,
+    /// 512-bit lanes via AVX-512F (+BW for nothing extra — F suffices
+    /// for the XOR/AND kernels here).
+    Avx512,
+}
+
+impl SimdLevel {
+    /// Every level, weakest first.
+    pub const ALL: [SimdLevel; 3] = [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512];
+
+    /// Stable name (the `SYMPHASE_SIMD` / `--simd` vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+
+    /// Parses a level name (`scalar`, `avx2`, `avx512`).
+    pub fn from_name(name: &str) -> Option<SimdLevel> {
+        Self::ALL.into_iter().find(|l| l.name() == name)
+    }
+}
+
+/// The widest level this CPU supports, detected once.
+fn detect_level() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return SimdLevel::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// The widest [`SimdLevel`] the running CPU supports (cached).
+pub fn detected_level() -> SimdLevel {
+    static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
+    *DETECTED.get_or_init(detect_level)
+}
+
+/// Every level the running CPU can execute, weakest first (the ladder up
+/// to and including [`detected_level`]). Tests iterate this to pin
+/// bit-identity at every rung.
+pub fn available_levels() -> impl Iterator<Item = SimdLevel> {
+    let max = detected_level();
+    SimdLevel::ALL.into_iter().filter(move |&l| l <= max)
+}
+
+/// The process-wide default level: the detected maximum, clamped down by
+/// a `SYMPHASE_SIMD=scalar|avx2|avx512` environment override. Requesting
+/// a level the CPU lacks clamps to the detected maximum (running AVX-512
+/// code on a CPU without it would fault, so the override can only narrow
+/// the ladder); an unrecognized value is reported once via `eprintln` and
+/// ignored. Read once and cached.
+pub fn default_level() -> SimdLevel {
+    static DEFAULT: OnceLock<SimdLevel> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let detected = detected_level();
+        match std::env::var("SYMPHASE_SIMD") {
+            Ok(name) => match SimdLevel::from_name(name.trim()) {
+                Some(requested) => requested.min(detected),
+                None => {
+                    eprintln!(
+                        "warning: SYMPHASE_SIMD='{name}' is not one of \
+                         scalar|avx2|avx512; using {}",
+                        detected.name()
+                    );
+                    detected
+                }
+            },
+            Err(_) => detected,
+        }
+    })
+}
+
+thread_local! {
+    /// Per-thread forced level (tests, the bench `--simd` flag).
+    static FORCED: Cell<Option<SimdLevel>> = const { Cell::new(None) };
+}
+
+/// The level kernels dispatch on *right now* for this thread: the
+/// [`with_level`] override if one is active, else [`default_level`].
+pub fn active_level() -> SimdLevel {
+    FORCED.with(|f| f.get()).unwrap_or_else(default_level)
+}
+
+/// Runs `f` with this thread's kernels forced to `level`, restoring the
+/// previous override afterwards (also on panic). Nests.
+///
+/// # Panics
+///
+/// Panics if `level` exceeds [`detected_level`] — executing wider
+/// instructions than the CPU has would be undefined behavior, so the
+/// override can only select levels the machine actually supports.
+pub fn with_level<R>(level: SimdLevel, f: impl FnOnce() -> R) -> R {
+    assert!(
+        level <= detected_level(),
+        "SIMD level {} not available on this CPU (detected {})",
+        level.name(),
+        detected_level().name()
+    );
+    struct Restore(Option<SimdLevel>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED.with(|f| f.set(self.0));
+        }
+    }
+    let _restore = Restore(FORCED.with(|f| f.replace(Some(level))));
+    f()
+}
+
+/// A resolved dispatch handle: callers obtain one per kernel invocation
+/// (one thread-local read) and reuse it across their row loops, so the
+/// per-row dispatch cost is a single enum match.
+#[derive(Clone, Copy, Debug)]
+pub struct Kernels {
+    level: SimdLevel,
+}
+
+/// The kernels for this thread's [`active_level`].
+#[inline]
+pub fn kernels() -> Kernels {
+    Kernels {
+        level: active_level(),
+    }
+}
+
+/// The kernels for an explicit level (benchmarks comparing rungs).
+///
+/// # Panics
+///
+/// Panics if `level` exceeds [`detected_level`].
+pub fn kernels_for(level: SimdLevel) -> Kernels {
+    assert!(
+        level <= detected_level(),
+        "SIMD level {} not available on this CPU",
+        level.name()
+    );
+    Kernels { level }
+}
+
+impl Kernels {
+    /// The level this handle dispatches to.
+    #[inline]
+    pub fn level(&self) -> SimdLevel {
+        self.level
+    }
+
+    /// `dst[i] ^= src[i]` over the common prefix (`dst.len()` must not
+    /// exceed `src.len()`; callers slice beforehand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is shorter than `dst`.
+    #[inline]
+    pub fn xor_into(&self, dst: &mut [Word], src: &[Word]) {
+        assert!(src.len() >= dst.len(), "xor_into source too short");
+        match self.level {
+            SimdLevel::Scalar => scalar::xor_into(dst, src),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: constructing a handle at this level proves the CPU
+            // feature was detected (kernels_for / with_level assert it).
+            SimdLevel::Avx2 => unsafe { x86::xor_into_avx2(dst, src) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            SimdLevel::Avx512 => unsafe { x86::xor_into_avx512(dst, src) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => scalar::xor_into(dst, src),
+        }
+    }
+
+    /// Fused Gray-table step: `acc[i] ^= src[i]; out[i] = acc[i]` — one
+    /// pass instead of an XOR loop followed by a copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `out` is shorter than `acc`.
+    #[inline]
+    pub fn xor_accum_copy(&self, acc: &mut [Word], src: &[Word], out: &mut [Word]) {
+        assert!(
+            src.len() >= acc.len() && out.len() >= acc.len(),
+            "xor_accum_copy slice mismatch"
+        );
+        match self.level {
+            SimdLevel::Scalar => scalar::xor_accum_copy(acc, src, out),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: handle construction proves feature support.
+            SimdLevel::Avx2 => unsafe { x86::xor_accum_copy_avx2(acc, src, out) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            SimdLevel::Avx512 => unsafe { x86::xor_accum_copy_avx512(acc, src, out) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => scalar::xor_accum_copy(acc, src, out),
+        }
+    }
+
+    /// Total set bits of `a[i] & b[i]` over the common prefix — the row
+    /// AND-popcount behind `BitMatrix::mul_vec` parity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is shorter than `a`.
+    #[inline]
+    pub fn and_count(&self, a: &[Word], b: &[Word]) -> usize {
+        assert!(b.len() >= a.len(), "and_count source too short");
+        match self.level {
+            SimdLevel::Scalar => scalar::and_count(a, b),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: handle construction proves feature support.
+            SimdLevel::Avx2 => unsafe { x86::and_count_avx2(a, b) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            SimdLevel::Avx512 => unsafe { x86::and_count_avx512(a, b) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => scalar::and_count(a, b),
+        }
+    }
+
+    /// Transposes a 64×64 bit-block in place (the swap-network kernel of
+    /// [`crate::transpose`], with the outer swap scales running over wide
+    /// lanes).
+    #[inline]
+    pub fn transpose_64x64(&self, a: &mut [Word; 64]) {
+        match self.level {
+            SimdLevel::Scalar => crate::transpose::transpose_64x64(a),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: handle construction proves feature support.
+            SimdLevel::Avx2 => unsafe { x86::transpose_64x64_avx2(a) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above. The AVX-512 kernel only uses AVX2-wide
+            // registers for the j ≥ 4 scales plus 512-bit lanes at j ≥ 8;
+            // avx512f implies avx2 support on every CPU that reports it.
+            SimdLevel::Avx512 => unsafe { x86::transpose_64x64_avx512(a) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => crate::transpose::transpose_64x64(a),
+        }
+    }
+}
+
+/// Portable word-at-a-time fallbacks (the reference semantics every wide
+/// path must reproduce bit for bit).
+mod scalar {
+    use crate::word::Word;
+
+    pub fn xor_into(dst: &mut [Word], src: &[Word]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= *s;
+        }
+    }
+
+    pub fn xor_accum_copy(acc: &mut [Word], src: &[Word], out: &mut [Word]) {
+        for ((a, s), o) in acc.iter_mut().zip(src).zip(out.iter_mut()) {
+            *a ^= *s;
+            *o = *a;
+        }
+    }
+
+    pub fn and_count(a: &[Word], b: &[Word]) -> usize {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x & y).count_ones() as usize)
+            .sum()
+    }
+}
+
+/// AVX2 / AVX-512 lane implementations. Each function is gated by
+/// `#[target_feature]`; callers prove support via runtime detection
+/// before dispatching here.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    use crate::word::Word;
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 and `src.len() >= dst.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn xor_into_avx2(dst: &mut [Word], src: &[Word]) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let s = src.as_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let d0 = d.add(i) as *mut __m256i;
+            let s0 = s.add(i) as *const __m256i;
+            let a = _mm256_xor_si256(_mm256_loadu_si256(d0), _mm256_loadu_si256(s0));
+            let b = _mm256_xor_si256(_mm256_loadu_si256(d0.add(1)), _mm256_loadu_si256(s0.add(1)));
+            _mm256_storeu_si256(d0, a);
+            _mm256_storeu_si256(d0.add(1), b);
+            i += 8;
+        }
+        while i + 4 <= n {
+            let d0 = d.add(i) as *mut __m256i;
+            let s0 = s.add(i) as *const __m256i;
+            _mm256_storeu_si256(
+                d0,
+                _mm256_xor_si256(_mm256_loadu_si256(d0), _mm256_loadu_si256(s0)),
+            );
+            i += 4;
+        }
+        while i < n {
+            *d.add(i) ^= *s.add(i);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX-512F and
+    /// `src.len() >= dst.len()`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn xor_into_avx512(dst: &mut [Word], src: &[Word]) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let s = src.as_ptr();
+        let mut i = 0;
+        while i + 16 <= n {
+            let d0 = d.add(i) as *mut __m512i;
+            let s0 = s.add(i) as *const __m512i;
+            let a = _mm512_xor_si512(_mm512_loadu_si512(d0), _mm512_loadu_si512(s0));
+            let b = _mm512_xor_si512(_mm512_loadu_si512(d0.add(1)), _mm512_loadu_si512(s0.add(1)));
+            _mm512_storeu_si512(d0, a);
+            _mm512_storeu_si512(d0.add(1), b);
+            i += 16;
+        }
+        while i + 8 <= n {
+            let d0 = d.add(i) as *mut __m512i;
+            let s0 = s.add(i) as *const __m512i;
+            _mm512_storeu_si512(
+                d0,
+                _mm512_xor_si512(_mm512_loadu_si512(d0), _mm512_loadu_si512(s0)),
+            );
+            i += 8;
+        }
+        while i < n {
+            *d.add(i) ^= *s.add(i);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 and both `src` and `out`
+    /// cover `acc.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn xor_accum_copy_avx2(acc: &mut [Word], src: &[Word], out: &mut [Word]) {
+        let n = acc.len();
+        let a = acc.as_mut_ptr();
+        let s = src.as_ptr();
+        let o = out.as_mut_ptr();
+        let mut i = 0;
+        while i + 4 <= n {
+            let ap = a.add(i) as *mut __m256i;
+            let v = _mm256_xor_si256(
+                _mm256_loadu_si256(ap),
+                _mm256_loadu_si256(s.add(i) as *const __m256i),
+            );
+            _mm256_storeu_si256(ap, v);
+            _mm256_storeu_si256(o.add(i) as *mut __m256i, v);
+            i += 4;
+        }
+        while i < n {
+            let v = *a.add(i) ^ *s.add(i);
+            *a.add(i) = v;
+            *o.add(i) = v;
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX-512F and both `src` and
+    /// `out` cover `acc.len()`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn xor_accum_copy_avx512(acc: &mut [Word], src: &[Word], out: &mut [Word]) {
+        let n = acc.len();
+        let a = acc.as_mut_ptr();
+        let s = src.as_ptr();
+        let o = out.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let ap = a.add(i) as *mut __m512i;
+            let v = _mm512_xor_si512(
+                _mm512_loadu_si512(ap),
+                _mm512_loadu_si512(s.add(i) as *const __m512i),
+            );
+            _mm512_storeu_si512(ap, v);
+            _mm512_storeu_si512(o.add(i) as *mut __m512i, v);
+            i += 8;
+        }
+        while i < n {
+            let v = *a.add(i) ^ *s.add(i);
+            *a.add(i) = v;
+            *o.add(i) = v;
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 and `b.len() >= a.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn and_count_avx2(a: &[Word], b: &[Word]) -> usize {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut total = 0usize;
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = _mm256_and_si256(
+                _mm256_loadu_si256(ap.add(i) as *const __m256i),
+                _mm256_loadu_si256(bp.add(i) as *const __m256i),
+            );
+            let mut lanes = [0u64; 4];
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
+            total += lanes.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+            i += 4;
+        }
+        while i < n {
+            total += (*ap.add(i) & *bp.add(i)).count_ones() as usize;
+            i += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX-512F and
+    /// `b.len() >= a.len()`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn and_count_avx512(a: &[Word], b: &[Word]) -> usize {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut total = 0usize;
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm512_and_si512(
+                _mm512_loadu_si512(ap.add(i) as *const __m512i),
+                _mm512_loadu_si512(bp.add(i) as *const __m512i),
+            );
+            let mut lanes = [0u64; 8];
+            _mm512_storeu_si512(lanes.as_mut_ptr() as *mut __m512i, v);
+            total += lanes.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+            i += 8;
+        }
+        while i < n {
+            total += (*ap.add(i) & *bp.add(i)).count_ones() as usize;
+            i += 1;
+        }
+        total
+    }
+
+    /// One swap scale of the 64×64 transpose network over 256-bit lanes:
+    /// for `j ∈ {32, 16, 8, 4}` the partner rows `k` / `k|j` come in runs
+    /// of `j ≥ 4` consecutive indices, so four rows move per vector op.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2; `a` must point at 64
+    /// words.
+    #[target_feature(enable = "avx2")]
+    unsafe fn transpose_scale_avx2(a: *mut Word, j: usize, m: Word) {
+        let mask = _mm256_set1_epi64x(m as i64);
+        let shift = _mm_cvtsi64_si128(j as i64);
+        let mut base = 0usize;
+        while base < 64 {
+            let mut k = base;
+            while k < base + j {
+                let lo = a.add(k) as *mut __m256i;
+                let hi = a.add(k + j) as *mut __m256i;
+                let vlo = _mm256_loadu_si256(lo);
+                let vhi = _mm256_loadu_si256(hi);
+                let t = _mm256_and_si256(_mm256_xor_si256(_mm256_srl_epi64(vlo, shift), vhi), mask);
+                _mm256_storeu_si256(hi, _mm256_xor_si256(vhi, t));
+                _mm256_storeu_si256(lo, _mm256_xor_si256(vlo, _mm256_sll_epi64(t, shift)));
+                k += 4;
+            }
+            base += 2 * j;
+        }
+    }
+
+    /// The same swap scale over 512-bit lanes (`j ≥ 8`).
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX-512F; `a` must point at 64
+    /// words.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn transpose_scale_avx512(a: *mut Word, j: usize, m: Word) {
+        let mask = _mm512_set1_epi64(m as i64);
+        let shift = _mm_cvtsi64_si128(j as i64);
+        let mut base = 0usize;
+        while base < 64 {
+            let mut k = base;
+            while k < base + j {
+                let lo = a.add(k) as *mut __m512i;
+                let hi = a.add(k + j) as *mut __m512i;
+                let vlo = _mm512_loadu_si512(lo);
+                let vhi = _mm512_loadu_si512(hi);
+                let t = _mm512_and_si512(_mm512_xor_si512(_mm512_srl_epi64(vlo, shift), vhi), mask);
+                _mm512_storeu_si512(hi, _mm512_xor_si512(vhi, t));
+                _mm512_storeu_si512(lo, _mm512_xor_si512(vlo, _mm512_sll_epi64(t, shift)));
+                k += 8;
+            }
+            base += 2 * j;
+        }
+    }
+
+    /// The last two swap scales (`j ∈ {2, 1}`) stay scalar: partner rows
+    /// are closer together than one vector of rows.
+    unsafe fn transpose_tail_scalar(a: *mut Word) {
+        let mut j = 2usize;
+        let mut m: Word = 0x3333_3333_3333_3333;
+        while j != 0 {
+            let mut k = 0usize;
+            while k < 64 {
+                let t = ((*a.add(k) >> j) ^ *a.add(k | j)) & m;
+                *a.add(k | j) ^= t;
+                *a.add(k) ^= t << j;
+                k = ((k | j) + 1) & !j;
+            }
+            j >>= 1;
+            m ^= m << j;
+        }
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn transpose_64x64_avx2(a: &mut [Word; 64]) {
+        let p = a.as_mut_ptr();
+        transpose_scale_avx2(p, 32, 0x0000_0000_FFFF_FFFF);
+        transpose_scale_avx2(p, 16, 0x0000_FFFF_0000_FFFF);
+        transpose_scale_avx2(p, 8, 0x00FF_00FF_00FF_00FF);
+        transpose_scale_avx2(p, 4, 0x0F0F_0F0F_0F0F_0F0F);
+        transpose_tail_scalar(p);
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX-512F (which implies AVX2).
+    #[target_feature(enable = "avx512f", enable = "avx2")]
+    pub unsafe fn transpose_64x64_avx512(a: &mut [Word; 64]) {
+        let p = a.as_mut_ptr();
+        transpose_scale_avx512(p, 32, 0x0000_0000_FFFF_FFFF);
+        transpose_scale_avx512(p, 16, 0x0000_FFFF_0000_FFFF);
+        transpose_scale_avx512(p, 8, 0x00FF_00FF_00FF_00FF);
+        transpose_scale_avx2(p, 4, 0x0F0F_0F0F_0F0F_0F0F);
+        transpose_tail_scalar(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_words(n: usize, seed: u64) -> Vec<Word> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random()).collect()
+    }
+
+    #[test]
+    fn level_names_round_trip() {
+        for l in SimdLevel::ALL {
+            assert_eq!(SimdLevel::from_name(l.name()), Some(l));
+        }
+        assert_eq!(SimdLevel::from_name("sse9"), None);
+    }
+
+    #[test]
+    fn ladder_is_ordered_and_scalar_always_available() {
+        assert!(SimdLevel::Scalar < SimdLevel::Avx2);
+        assert!(SimdLevel::Avx2 < SimdLevel::Avx512);
+        let levels: Vec<_> = available_levels().collect();
+        assert_eq!(levels[0], SimdLevel::Scalar);
+        assert!(levels.contains(&detected_level()));
+    }
+
+    #[test]
+    fn with_level_forces_and_restores() {
+        let before = active_level();
+        with_level(SimdLevel::Scalar, || {
+            assert_eq!(active_level(), SimdLevel::Scalar);
+            assert_eq!(kernels().level(), SimdLevel::Scalar);
+        });
+        assert_eq!(active_level(), before);
+        // Restores across panics too.
+        let caught = std::panic::catch_unwind(|| {
+            with_level(SimdLevel::Scalar, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(active_level(), before);
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn with_level_rejects_unavailable() {
+        if detected_level() < SimdLevel::Avx512 {
+            let caught = std::panic::catch_unwind(|| with_level(SimdLevel::Avx512, || ()));
+            assert!(caught.is_err());
+        }
+    }
+
+    #[test]
+    fn xor_into_matches_scalar_at_every_level() {
+        for n in [0usize, 1, 3, 4, 7, 8, 15, 16, 31, 64, 200] {
+            let src = random_words(n, 1000 + n as u64);
+            let base = random_words(n, 2000 + n as u64);
+            let mut expect = base.clone();
+            scalar::xor_into(&mut expect, &src);
+            for level in available_levels() {
+                let mut got = base.clone();
+                kernels_for(level).xor_into(&mut got, &src);
+                assert_eq!(got, expect, "level {} n {n}", level.name());
+            }
+        }
+    }
+
+    #[test]
+    fn xor_accum_copy_matches_scalar_at_every_level() {
+        for n in [0usize, 1, 5, 8, 13, 32, 100] {
+            let src = random_words(n, 3000 + n as u64);
+            let acc0 = random_words(n, 4000 + n as u64);
+            let mut eacc = acc0.clone();
+            let mut eout = vec![0; n];
+            scalar::xor_accum_copy(&mut eacc, &src, &mut eout);
+            for level in available_levels() {
+                let mut acc = acc0.clone();
+                let mut out = vec![0; n];
+                kernels_for(level).xor_accum_copy(&mut acc, &src, &mut out);
+                assert_eq!((acc, out), (eacc.clone(), eout.clone()), "{}", level.name());
+            }
+        }
+    }
+
+    #[test]
+    fn and_count_matches_scalar_at_every_level() {
+        for n in [0usize, 1, 4, 9, 16, 33, 128] {
+            let a = random_words(n, 5000 + n as u64);
+            let b = random_words(n, 6000 + n as u64);
+            let expect = scalar::and_count(&a, &b);
+            for level in available_levels() {
+                assert_eq!(
+                    kernels_for(level).and_count(&a, &b),
+                    expect,
+                    "{}",
+                    level.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_matches_scalar_at_every_level() {
+        for seed in 0..8u64 {
+            let words = random_words(64, 7000 + seed);
+            let mut expect: [Word; 64] = words.clone().try_into().unwrap();
+            crate::transpose::transpose_64x64(&mut expect);
+            for level in available_levels() {
+                let mut got: [Word; 64] = words.clone().try_into().unwrap();
+                kernels_for(level).transpose_64x64(&mut got);
+                assert_eq!(got, expect, "{}", level.name());
+            }
+        }
+    }
+}

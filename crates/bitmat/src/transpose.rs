@@ -5,6 +5,10 @@
 //! into 64×64 blocks, transposes each block with the kernel, and swaps the
 //! block grid — the same structure Stim and SymPhase use for switching the
 //! stabilizer tableau between row-major and column-major access (paper §4).
+//!
+//! [`transpose_packed`] dispatches the block kernel through [`crate::simd`]:
+//! the outer swap scales (`j ≥ 4`) run over 256/512-bit lanes when the CPU
+//! has them, bit-identical to the scalar [`transpose_64x64`] here.
 
 use crate::word::Word;
 
@@ -62,6 +66,7 @@ pub fn transpose_packed(
     assert!(dst.len() >= cols * dst_stride, "dst slice too small");
     dst.iter_mut().for_each(|w| *w = 0);
 
+    let kernels = crate::simd::kernels();
     let block_rows = rows.div_ceil(64);
     let block_cols = cols.div_ceil(64);
     let mut block = [0 as Word; 64];
@@ -85,7 +90,7 @@ pub fn transpose_packed(
                     *b &= mask;
                 }
             }
-            transpose_64x64(&mut block);
+            kernels.transpose_64x64(&mut block);
             // Scatter to the transposed block position (bc, br).
             for (i, b) in block.iter().enumerate() {
                 let r = bc * 64 + i;

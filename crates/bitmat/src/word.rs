@@ -38,7 +38,8 @@ pub const fn split_index(bit: usize) -> (usize, u32) {
     (bit / WORD_BITS, (bit % WORD_BITS) as u32)
 }
 
-/// XORs `src` into `dst` word-by-word.
+/// XORs `src` into `dst` word-by-word, dispatching to the widest
+/// available SIMD level (see [`crate::simd`]).
 ///
 /// # Panics
 ///
@@ -46,9 +47,7 @@ pub const fn split_index(bit: usize) -> (usize, u32) {
 #[inline]
 pub fn xor_into(dst: &mut [Word], src: &[Word]) {
     assert_eq!(dst.len(), src.len(), "xor_into length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= *s;
-    }
+    crate::simd::kernels().xor_into(dst, src);
 }
 
 /// Total number of set bits in a word slice.

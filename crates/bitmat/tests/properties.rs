@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use symphase_bitmat::gauss::{express_in_rows, nullspace, rank, row_reduce};
 use symphase_bitmat::layout::{ChpLayout, StimLayout, SymLayout512, TableauLayout};
+use symphase_bitmat::simd;
 use symphase_bitmat::{BitMatrix, BitVec, SparseBitVec};
 
 fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
@@ -278,6 +279,65 @@ proptest! {
             }
         }
         prop_assert_eq!(t.transpose(), m);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every SIMD dispatch level produces **bit-identical** results to the
+    /// scalar reference for the full kernel surface: the blocked
+    /// Four-Russians multiply (table + gather + narrow-shot transposed
+    /// paths), the row-gather `mul`, `transpose_packed`, and the row
+    /// AND-popcount behind `mul_vec`. The `SYMPHASE_SIMD` override and the
+    /// bench `--simd` flag force exactly these levels, so this is the
+    /// contract that makes forcing safe.
+    #[test]
+    fn kernels_bit_identical_across_simd_levels(
+        case in (ragged_dim(), ragged_dim(), ragged_dim()).prop_flat_map(|(m, k, n)| {
+            let abits = proptest::collection::vec(any::<bool>(), (m * k).max(1));
+            let bbits = proptest::collection::vec(any::<bool>(), (k * n).max(1));
+            (Just(m), Just(k), Just(n), abits, bbits)
+        }),
+    ) {
+        let (m, k, n, abits, bbits) = case;
+        let a = BitMatrix::from_fn(m, k, |r, c| abits[r * k + c]);
+        let b = BitMatrix::from_fn(k, n, |r, c| bbits[r * n + c]);
+        let v = BitVec::from_fn(k, |i| abits[i % abits.len()]);
+        let reference = simd::with_level(simd::SimdLevel::Scalar, || {
+            (a.mul_blocked(&b), a.mul(&b), a.transpose(), a.mul_vec(&v))
+        });
+        for level in simd::available_levels() {
+            let got = simd::with_level(level, || {
+                (a.mul_blocked(&b), a.mul(&b), a.transpose(), a.mul_vec(&v))
+            });
+            prop_assert_eq!(&got.0, &reference.0, "mul_blocked diverged at {}", level.name());
+            prop_assert_eq!(&got.1, &reference.1, "mul diverged at {}", level.name());
+            prop_assert_eq!(&got.2, &reference.2, "transpose diverged at {}", level.name());
+            prop_assert_eq!(&got.3, &reference.3, "mul_vec diverged at {}", level.name());
+        }
+    }
+
+    /// The narrow-shot transposed path (tall `a`, sub-word `b`) is also
+    /// level-independent — it routes through `transpose_packed` twice, so
+    /// it exercises the vectorized swap network hardest.
+    #[test]
+    fn narrow_shot_path_bit_identical_across_levels(
+        rows in 256usize..400,
+        cols in 1usize..63,
+        seed in any::<u64>(),
+    ) {
+        let a = BitMatrix::from_fn(rows, 129, |r, c| {
+            (r.wrapping_mul(31).wrapping_add(c.wrapping_mul(17)) ^ seed as usize).is_multiple_of(3)
+        });
+        let b = BitMatrix::from_fn(129, cols, |r, c| {
+            (r.wrapping_mul(13).wrapping_add(c.wrapping_mul(7)) ^ seed as usize).is_multiple_of(2)
+        });
+        let reference = simd::with_level(simd::SimdLevel::Scalar, || a.mul_blocked(&b));
+        for level in simd::available_levels() {
+            let got = simd::with_level(level, || a.mul_blocked(&b));
+            prop_assert_eq!(&got, &reference, "diverged at {}", level.name());
+        }
     }
 }
 

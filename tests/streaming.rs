@@ -117,6 +117,37 @@ fn multi_chunk_streams_agree_across_paths_on_fast_engines() {
 }
 
 #[test]
+fn config_thread_budgets_1_2_8_are_bit_identical_on_every_engine() {
+    // The work-stealing pool must leave the chunk-seeded schedule
+    // untouched: for every engine, the configured thread budget (the
+    // `--threads` flag) changes wall-clock only — the sink sees the same
+    // bytes at 1, 2, and 8 threads.
+    let circuit = small_circuit();
+    for kind in EngineKind::ALL {
+        let sampler = build(kind, &circuit);
+        let mut reference = None;
+        for threads in [1usize, 2, 8] {
+            let cfg = SimConfig::new()
+                .with_seed(0x5EED)
+                .with_chunk_shots(64)
+                .with_threads(threads);
+            let mut sink = CollectSink::new();
+            sink::stream_with_config(sampler.as_ref(), 300, &cfg, &mut sink).unwrap();
+            let batch = sink.into_batch();
+            match &reference {
+                None => reference = Some(batch),
+                Some(expected) => assert_eq!(
+                    &batch,
+                    expected,
+                    "{} diverged at {threads} threads",
+                    kind.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
 fn streams_deliver_chunks_in_schedule_order() {
     struct OrderSink {
         next_start: usize,

@@ -1,25 +1,277 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate: a real work-stealing pool.
 //!
 //! The build environment cannot fetch crates.io, so this crate provides
 //! the fork-join primitives the workspace's chunked parallel samplers
-//! use — [`join`] and [`current_num_threads`] — implemented over
-//! `std::thread::scope`. Unlike real rayon there is no work-stealing
-//! pool: each `join` spawns one OS thread for its right-hand side. The
-//! samplers built on top recurse over chunk ranges, so the spawn count
-//! stays logarithmic in the chunk count per level and bounded by the
-//! chunk count overall.
+//! use — [`join`], [`scope`], and [`current_num_threads`] — implemented
+//! over an in-tree work-stealing thread pool rather than per-call thread
+//! spawns (which the previous stand-in used: one OS thread per `join`
+//! right-hand side).
+//!
+//! # Design
+//!
+//! One process-wide `Registry` is built lazily on first use:
+//!
+//! * **Workers** — `RAYON_NUM_THREADS` (else `available_parallelism`)
+//!   detached OS threads, each owning a deque of `JobRef`s. Owners push
+//!   and pop at the back (LIFO — the hot fork-join discipline: the job
+//!   you just forked is the one whose data is still in cache), thieves
+//!   steal from the front (FIFO — the oldest, largest-granularity work).
+//! * **Injector** — a global queue external (non-pool) threads push to;
+//!   workers drain it like any other steal victim.
+//! * **Waiting = stealing** — a thread blocked on a fork's completion
+//!   ([`join`]'s right side, [`scope`]'s pending spawns) executes other
+//!   pool jobs while it waits instead of parking. That keeps nested joins
+//!   deadlock-free with any pool size (including one worker): every job
+//!   is reachable through the injector or a worker deque, and no thread
+//!   holds a lock while waiting.
+//! * **Panics** — a job's panic is caught where it ran, carried in its
+//!   result slot, and resumed on the thread that forked it once *all* of
+//!   that fork's children finished (unwinding earlier would free stack
+//!   frames a still-running sibling references).
+//!
+//! [`join`] is bit-exact in observable effect order per caller: both
+//! closures always run to completion before `join` returns, so the
+//! samplers' chunk-seeded determinism (serial ≡ parallel per seed) is
+//! preserved regardless of which thread executes which side.
 
-/// Number of threads worth fanning out to (the machine's available
-/// parallelism; rayon reports its pool size here).
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Number of threads in the pool (the machine's available parallelism,
+/// or the `RAYON_NUM_THREADS` override, like real rayon).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    registry().workers.len()
+}
+
+/// A type-erased pointer to a job living on a stack frame or the heap.
+///
+/// The `execute` function knows the concrete type; `data` stays valid
+/// until `execute` runs because the forking thread never unwinds past
+/// the frame before the job's completion latch is set (stack jobs) or
+/// because the job owns itself (heap jobs).
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only ever executed once, on one thread, and the
+// pointee is either pinned on a stack frame the forking thread keeps
+// alive until the latch is set, or heap-owned by the job itself.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    unsafe fn execute(self) {
+        (self.execute)(self.data);
+    }
+}
+
+/// A fork's right-hand side, pinned on the forking thread's stack.
+struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    done: AtomicBool,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R,
+{
+    fn new(func: F) -> Self {
+        Self {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute: Self::execute_erased,
+        }
+    }
+
+    unsafe fn execute_erased(data: *const ()) {
+        let this = &*(data as *const Self);
+        let func = (*this.func.get()).take().expect("job executed twice");
+        let result = catch_unwind(AssertUnwindSafe(func));
+        *this.result.get() = Some(result);
+        // Release: the result write above happens-before any latch
+        // observer's acquire load.
+        this.done.store(true, Ordering::Release);
+        registry().notify();
+    }
+
+    /// Takes the result after the latch is set.
+    unsafe fn take_result(&self) -> std::thread::Result<R> {
+        (*self.result.get()).take().expect("job result missing")
+    }
+}
+
+/// A heap-allocated fire-and-forget job ([`Scope::spawn`]).
+struct HeapJob {
+    job: Box<dyn FnOnce() + Send>,
+}
+
+impl HeapJob {
+    unsafe fn execute_erased(data: *const ()) {
+        let this = Box::from_raw(data as *mut HeapJob);
+        (this.job)();
+    }
+}
+
+/// The process-wide pool: worker deques, the external-thread injector,
+/// and the sleep/wake machinery.
+struct Registry {
+    /// `workers[i]` is worker `i`'s deque. Owner: back (LIFO). Thieves:
+    /// front (FIFO).
+    workers: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Queue external (non-pool) threads push to.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Parking for idle workers; notified on every push and every latch
+    /// set.
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+thread_local! {
+    /// This thread's worker index, if it belongs to the pool.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let threads = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let registry = Registry {
+            workers: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        };
+        for index in 0..threads {
+            std::thread::Builder::new()
+                .name(format!("symphase-worker-{index}"))
+                .spawn(move || worker_main(index))
+                .expect("failed to spawn pool worker");
+        }
+        registry
+    })
+}
+
+/// Worker main loop: drain own deque LIFO, then steal; park when the
+/// whole pool is dry. Workers are detached — process exit reclaims them.
+fn worker_main(index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
+    let registry = registry();
+    loop {
+        if let Some(job) = registry.find_work(Some(index)) {
+            // SAFETY: the job was queued exactly once and its data is
+            // kept alive by the forking thread (stack) or itself (heap).
+            unsafe { job.execute() };
+            continue;
+        }
+        // Re-check under the sleep lock so a push between the failed
+        // scan and the wait cannot be missed, then park with a timeout
+        // as a belt-and-braces backstop.
+        let guard = registry.sleep.lock().unwrap();
+        if registry.has_work() {
+            continue;
+        }
+        let _unused = registry.wake.wait_timeout(guard, Duration::from_millis(10));
+    }
+}
+
+impl Registry {
+    /// Queues a job from the current thread: own deque back for workers,
+    /// injector for external threads.
+    fn push(&self, job: JobRef) {
+        match WORKER_INDEX.with(|w| w.get()) {
+            Some(index) => self.workers[index].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        self.notify();
+    }
+
+    fn notify(&self) {
+        let _guard = self.sleep.lock().unwrap();
+        self.wake.notify_all();
+    }
+
+    fn has_work(&self) -> bool {
+        !self.injector.lock().unwrap().is_empty()
+            || self.workers.iter().any(|w| !w.lock().unwrap().is_empty())
+    }
+
+    /// Finds a job: own deque back (LIFO) if `me` is a worker, then the
+    /// injector, then other workers' fronts (FIFO steal).
+    fn find_work(&self, me: Option<usize>) -> Option<JobRef> {
+        if let Some(index) = me {
+            if let Some(job) = self.workers[index].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.workers.len();
+        let start = me.map_or(0, |i| i + 1);
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = self.workers[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Runs pool jobs until `done` returns true. Any thread may call
+    /// this — external threads steal too, so the thread that forked work
+    /// contributes instead of idling, and no configuration can deadlock.
+    fn work_until(&self, done: &dyn Fn() -> bool) {
+        let me = WORKER_INDEX.with(|w| w.get());
+        let mut spins = 0u32;
+        while !done() {
+            if let Some(job) = self.find_work(me) {
+                // SAFETY: as in `worker_main`.
+                unsafe { job.execute() };
+                spins = 0;
+            } else if spins < 64 {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
 }
 
 /// Runs both closures, potentially in parallel, and returns both results.
 ///
-/// `oper_a` runs on the calling thread while `oper_b` runs on a scoped
-/// worker thread. Panics in either closure propagate to the caller once
-/// both have finished, matching rayon's semantics.
+/// `oper_b` is forked onto the pool (this thread's deque for workers, the
+/// injector otherwise) and `oper_a` runs on the calling thread; if no
+/// thief has taken `oper_b` by then, the caller pops it back and runs it
+/// inline — the LIFO fast path that makes deeply nested joins cheap.
+/// While `oper_b` runs elsewhere the caller executes other pool jobs
+/// rather than blocking.
+///
+/// Panics in either closure propagate to the caller once **both** have
+/// finished (a still-running side may reference the caller's frame, so
+/// unwinding earlier would be unsound). When both panic, `oper_a`'s
+/// payload wins, matching rayon.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -27,19 +279,125 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|scope| {
-        let handle_b = scope.spawn(oper_b);
-        let ra = oper_a();
-        match handle_b.join() {
-            Ok(rb) => (ra, rb),
-            Err(panic) => std::panic::resume_unwind(panic),
+    let registry = registry();
+    let job_b = StackJob::new(oper_b);
+    let job_b_ref = job_b.as_job_ref();
+    registry.push(job_b_ref);
+
+    let result_a = catch_unwind(AssertUnwindSafe(oper_a));
+
+    // Fast path: if our fork is still where we pushed it (back of our
+    // own deque / back of the injector), run it inline.
+    let popped = match WORKER_INDEX.with(|w| w.get()) {
+        Some(index) => {
+            let mut deque = registry.workers[index].lock().unwrap();
+            pop_if_is(&mut deque, job_b_ref.data)
         }
-    })
+        None => {
+            let mut injector = registry.injector.lock().unwrap();
+            pop_if_is(&mut injector, job_b_ref.data)
+        }
+    };
+    if let Some(job) = popped {
+        // SAFETY: this is the job we queued above; it has not executed.
+        unsafe { job.execute() };
+    } else {
+        registry.work_until(&|| job_b.done.load(Ordering::Acquire));
+    }
+
+    // SAFETY: the latch is set, so the result slot is written.
+    let result_b = unsafe { job_b.take_result() };
+    match (result_a, result_b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(panic_a), _) => resume_unwind(panic_a),
+        (_, Err(panic_b)) => resume_unwind(panic_b),
+    }
+}
+
+/// Pops the back job if it is the one at `data` (LIFO identity check:
+/// anything we forked later has already been popped or stolen).
+fn pop_if_is(deque: &mut VecDeque<JobRef>, data: *const ()) -> Option<JobRef> {
+    if deque.back().is_some_and(|j| std::ptr::eq(j.data, data)) {
+        deque.pop_back()
+    } else {
+        None
+    }
+}
+
+/// A fork scope: spawned closures may borrow from the enclosing frame
+/// (`'scope`), and [`scope`] does not return until every spawn finished.
+pub struct Scope<'scope> {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    /// Invariant over `'scope` (mirrors rayon): spawned closures may
+    /// borrow `'scope` data but must not outlive it.
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` onto the pool. It may run on any thread, any time
+    /// before the enclosing [`scope`] returns.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let scope_ptr: *const Scope<'scope> = self;
+        let addr = scope_ptr as usize;
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // SAFETY: `scope()` keeps the Scope alive (and this frame's
+            // borrows valid) until `pending` drains to zero, which cannot
+            // happen before this closure finishes.
+            let scope = unsafe { &*(addr as *const Scope<'scope>) };
+            let result = catch_unwind(AssertUnwindSafe(|| body(scope)));
+            if let Err(payload) = result {
+                let mut slot = scope.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            scope.pending.fetch_sub(1, Ordering::SeqCst);
+            registry().notify();
+        });
+        // SAFETY: erase 'scope to store the job; `scope()` blocks until
+        // the job completes, so the borrow never dangles.
+        let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+        let heap = Box::new(HeapJob { job });
+        registry().push(JobRef {
+            data: Box::into_raw(heap) as *const (),
+            execute: HeapJob::execute_erased,
+        });
+    }
+}
+
+/// Creates a fork scope, runs `op` in it, waits for every
+/// [`Scope::spawn`] to finish (stealing pool work meanwhile), then
+/// returns `op`'s result. The first panic from `op` or any spawn is
+/// resumed on the caller after the scope has fully quiesced.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let scope = Scope {
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    registry().work_until(&|| scope.pending.load(Ordering::SeqCst) == 0);
+    if let Err(payload) = result {
+        resume_unwind(payload);
+    }
+    let spawn_panic = scope.panic.lock().unwrap().take();
+    if let Some(payload) = spawn_panic {
+        resume_unwind(payload);
+    }
+    result.unwrap_or_else(|_| unreachable!())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn join_returns_both_sides() {
@@ -49,7 +407,7 @@ mod tests {
 
     #[test]
     fn join_runs_concurrently() {
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::atomic::AtomicBool;
         let flag = AtomicBool::new(false);
         // The left side waits for the right side: only possible if the
         // right side actually runs on another thread.
@@ -70,6 +428,23 @@ mod tests {
     }
 
     #[test]
+    fn deeply_nested_joins_sum() {
+        // Recursive fork-join over a range: exercises the LIFO fast path
+        // and stealing under real contention.
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 32 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        let n = 100_000u64;
+        assert_eq!(sum(0, n), n * (n - 1) / 2);
+    }
+
+    #[test]
     fn panics_propagate() {
         let caught = std::panic::catch_unwind(|| {
             join(|| (), || panic!("boom"));
@@ -78,7 +453,133 @@ mod tests {
     }
 
     #[test]
+    fn left_panic_still_waits_for_right() {
+        // If the left side panics, join must not unwind until the right
+        // side (which may borrow the caller's frame) has finished.
+        let finished = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            join(
+                || panic!("left"),
+                || {
+                    std::thread::sleep(Duration::from_millis(20));
+                    finished.fetch_add(1, Ordering::SeqCst);
+                },
+            );
+        }));
+        assert!(caught.is_err());
+        assert_eq!(finished.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn both_panics_prefer_left() {
+        let caught = std::panic::catch_unwind(|| {
+            join(|| panic!("left wins"), || panic!("right loses"));
+        })
+        .unwrap_err();
+        let message = caught.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(message, "left wins");
+    }
+
+    #[test]
     fn thread_count_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn scope_waits_for_spawns() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn scope_spawns_can_nest() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn scope_spawn_panic_propagates_after_quiesce() {
+        let finished = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("spawned boom"));
+                s.spawn(|_| {
+                    std::thread::sleep(Duration::from_millis(10));
+                    finished.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }));
+        assert!(caught.is_err());
+        // The non-panicking sibling must have completed before unwind.
+        assert_eq!(finished.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let mut results = [0usize; 16];
+        scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i * i);
+            }
+        });
+        for (i, &v) in results.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn join_inside_scope_inside_join() {
+        // Mixed nesting: the shapes the samplers actually produce.
+        let total = AtomicUsize::new(0);
+        let (a, _) = join(
+            || {
+                scope(|s| {
+                    for _ in 0..4 {
+                        s.spawn(|_| {
+                            let (x, y) = join(|| 1usize, || 2usize);
+                            total.fetch_add(x + y, Ordering::SeqCst);
+                        });
+                    }
+                });
+                7usize
+            },
+            || total.fetch_add(100, Ordering::SeqCst),
+        );
+        assert_eq!(a, 7);
+        assert_eq!(total.load(Ordering::SeqCst), 112);
+    }
+
+    #[test]
+    fn many_concurrent_joins_from_external_threads() {
+        // External (non-pool) threads fork through the injector; make
+        // sure results stay correct when several do so at once.
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let (a, b) = join(move || t * 10, move || t * 100);
+                    a + b
+                })
+            })
+            .collect();
+        for (t, handle) in handles.into_iter().enumerate() {
+            assert_eq!(handle.join().unwrap(), t * 110);
+        }
     }
 }
