@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate: every `unsafe` in the audited crates is documented.
+
+Audited trees: `crates/bitmat/src` and `vendor/rayon/src` — the two
+places the workspace uses `unsafe` (SIMD kernels and the work-stealing
+pool). The rules enforced here:
+
+1. Each crate root carries `#![deny(unsafe_op_in_unsafe_fn)]`, so an
+   unsafe signature alone never licenses unsafe operations.
+2. Every `unsafe {` block and `unsafe impl` is immediately preceded by a
+   `// SAFETY:` comment (blank lines and attribute lines may intervene).
+3. Every `unsafe fn` declaration carries a `# Safety` doc section in the
+   doc comment directly above it.
+
+Run from the repository root: `python3 ci/check_unsafe.py`.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+AUDITED = ["crates/bitmat/src", "vendor/rayon/src"]
+ROOTS = ["crates/bitmat/src/lib.rs", "vendor/rayon/src/lib.rs"]
+
+
+def preceded_by(lines, i, marker):
+    """True if a comment containing `marker` sits directly above line i
+    (skipping blank lines, attributes, and earlier comment lines)."""
+    j = i - 1
+    while j >= 0:
+        s = lines[j].strip()
+        if not s or s.startswith("#["):
+            j -= 1
+            continue
+        if s.startswith("//"):
+            if marker in s:
+                return True
+            j -= 1
+            continue
+        return False
+    return False
+
+
+def check_file(path):
+    errors = []
+    lines = path.read_text().splitlines()
+    for i, line in enumerate(lines):
+        code = line.split("//")[0]
+        stripped = line.strip()
+        # Block or impl: need a SAFETY: comment above, or inline on the
+        # same line (match on the code part so comments don't false-hit).
+        if re.search(r"\bunsafe\s*\{|\bunsafe impl\b", code):
+            if "SAFETY:" not in line and not preceded_by(lines, i, "SAFETY:"):
+                errors.append(f"{path}:{i + 1}: unsafe block without a SAFETY: comment")
+        # Declaration: need a `# Safety` doc section above.
+        if re.search(r"\bunsafe fn\b", code) and not stripped.startswith("//"):
+            # Function-pointer types (`execute: unsafe fn(...)`) are not
+            # declarations.
+            if re.search(r"\bunsafe fn\s+\w+", code):
+                if not preceded_by(lines, i, "# Safety"):
+                    errors.append(
+                        f"{path}:{i + 1}: unsafe fn without a `# Safety` doc section"
+                    )
+    return errors
+
+
+def main():
+    repo = Path(__file__).resolve().parent.parent
+    errors = []
+    for root in ROOTS:
+        text = (repo / root).read_text()
+        if "#![deny(unsafe_op_in_unsafe_fn)]" not in text:
+            errors.append(f"{root}: missing #![deny(unsafe_op_in_unsafe_fn)]")
+    checked = 0
+    for tree in AUDITED:
+        for path in sorted((repo / tree).rglob("*.rs")):
+            errors.extend(check_file(path))
+            checked += 1
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} undocumented unsafe site(s).")
+        return 1
+    print(f"unsafe hygiene OK across {checked} file(s) in {', '.join(AUDITED)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

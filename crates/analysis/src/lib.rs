@@ -1,0 +1,396 @@
+//! Static analysis for SymPhase circuits: the library behind
+//! `symphase lint`.
+//!
+//! Three analysis families feed one [`Diagnostic`] stream:
+//!
+//! * **Tableau-dataflow liveness** ([`liveness`]): a backward pass over
+//!   per-qubit Pauli-component masks, propagated through
+//!   [`Gate::conjugate`](symphase_circuit::Gate::conjugate), that proves
+//!   gates (`SP001`) and noise channels (`SP002`) unable to affect any
+//!   measurement, detector, or observable. `REPEAT` bodies are analyzed
+//!   once to a join fixpoint, so the pass is O(file) whatever the trip
+//!   counts.
+//! * **Symbolic constant detection** ([`symbolic`]): reuses the sparse
+//!   symbolic initialization to flag detectors whose expression is
+//!   constant (`SP003`) and observables that are deterministic (`SP004`).
+//! * **Structural lints** ([`structural`]): unused qubits (`SP005`),
+//!   probability-zero channels (`SP008`), duplicate detectors (`SP009`),
+//!   and shadowed `ELSE_CORRELATED_ERROR` elements (`SP010`).
+//!
+//! Parse/validation failures surface as error-severity diagnostics
+//! (`SP000`, `SP006`, `SP007`) through [`lint_text`] — a valid
+//! [`Circuit`] cannot contain them, so they never come out of [`lint`].
+//!
+//! The dead-code findings are *verified* findings: [`verify`] re-checks
+//! them against the symbolic initialization (removing every flagged gate
+//! must leave the measurement/detector/observable matrices identical;
+//! every flagged noise channel's symbols must be absent from the
+//! detector and observable rows), and the test suite runs those checks
+//! over the fixture corpus and the built-in generators.
+
+use std::fmt;
+
+use symphase_circuit::{Circuit, Instruction, SourceMap};
+
+pub mod liveness;
+pub mod structural;
+pub mod symbolic;
+pub mod verify;
+
+/// How serious a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but well-formed circuit structure.
+    Warning,
+    /// The input is not a valid circuit.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code (`"SP001"`, …); see [`CODES`].
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// 1-based source line, when the finding maps to one. `None` for
+    /// circuit-level findings (e.g. an unused qubit) and for circuits
+    /// built programmatically rather than parsed.
+    pub line: Option<usize>,
+    /// Structural path of the offending instruction: indices into nested
+    /// instruction lists, outermost first. Empty for circuit-level
+    /// findings.
+    pub path: Vec<usize>,
+    /// Human-readable description of this specific finding.
+    pub message: String,
+    /// Code-level guidance on how to fix it.
+    pub help: &'static str,
+}
+
+/// Catalog of every diagnostic code: `(code, slug, help)`.
+///
+/// `docs/lint.md` documents each entry; the fixture corpus under
+/// `tests/lint/` exercises each with a positive and a negative case.
+pub const CODES: &[(&str, &str, &str)] = &[
+    (
+        "SP000",
+        "parse-error",
+        "fix the syntax error; see docs/formats.md for the accepted grammar",
+    ),
+    (
+        "SP001",
+        "dead-gate",
+        "remove the gate, or check that the intended qubits are targeted",
+    ),
+    (
+        "SP002",
+        "dead-noise",
+        "remove the channel, or add detectors covering the qubits it faults",
+    ),
+    (
+        "SP003",
+        "vacuous-detector",
+        "check the rec[-k] offsets: the detector compares measurements whose symbolic difference is a constant",
+    ),
+    (
+        "SP004",
+        "deterministic-observable",
+        "check the rec[-k] offsets: no noise or randomness reaches this observable",
+    ),
+    (
+        "SP005",
+        "unused-qubit",
+        "remove the qubit from QUBIT_COORDS or renumber the remaining qubits contiguously",
+    ),
+    (
+        "SP006",
+        "record-out-of-range",
+        "reduce the rec[-k] offset or move the instruction after enough measurements",
+    ),
+    (
+        "SP007",
+        "repeated-mpp-qubit",
+        "merge the factors acting on the qubit into a single Pauli factor",
+    ),
+    (
+        "SP008",
+        "zero-probability-channel",
+        "remove the channel or give it a nonzero probability",
+    ),
+    (
+        "SP009",
+        "duplicate-detector",
+        "remove one of the detectors comparing the same measurement set",
+    ),
+    (
+        "SP010",
+        "shadowed-else",
+        "an earlier element of the E/ELSE chain fires with probability 1, so this element never fires; drop it or lower the earlier probability",
+    ),
+];
+
+/// Short kebab-case name of a diagnostic code.
+#[must_use]
+pub fn slug(code: &str) -> Option<&'static str> {
+    CODES
+        .iter()
+        .find(|(c, _, _)| *c == code)
+        .map(|(_, s, _)| *s)
+}
+
+/// Whether `code` names a known diagnostic.
+#[must_use]
+pub fn is_known_code(code: &str) -> bool {
+    CODES.iter().any(|(c, _, _)| *c == code)
+}
+
+fn help_for(code: &str) -> &'static str {
+    CODES
+        .iter()
+        .find(|(c, _, _)| *c == code)
+        .map(|(_, _, h)| *h)
+        .expect("diagnostic codes come from the catalog")
+}
+
+pub(crate) fn diag(code: &'static str, path: &[usize], message: String) -> Diagnostic {
+    Diagnostic {
+        code,
+        severity: Severity::Warning,
+        line: None,
+        path: path.to_vec(),
+        message,
+        help: help_for(code),
+    }
+}
+
+/// Lints a circuit, returning all findings sorted by source position.
+///
+/// This is the library entry the CLI (and the future pre-simulation
+/// optimizer) consume. Line numbers are absent — parse with
+/// [`Circuit::parse_with_sources`] and use [`lint_with_sources`] (or
+/// [`lint_text`]) to attach them.
+#[must_use]
+pub fn lint(circuit: &Circuit) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    liveness::dead_code_lints(circuit, &mut diags);
+    structural::structural_lints(circuit, &mut diags);
+    symbolic::symbolic_lints(circuit, &mut diags);
+    sort_diags(&mut diags);
+    diags
+}
+
+/// Lints a circuit and resolves each finding's structural path to its
+/// source line through `sources`.
+#[must_use]
+pub fn lint_with_sources(circuit: &Circuit, sources: &SourceMap) -> Vec<Diagnostic> {
+    let mut diags = lint(circuit);
+    for d in &mut diags {
+        d.line = sources.line_at(&d.path);
+    }
+    sort_diags(&mut diags);
+    diags
+}
+
+/// Parses and lints circuit text. Parse and validation failures are
+/// reported as error-severity diagnostics (`SP000`/`SP006`/`SP007`)
+/// instead of a `Result`, so callers render one uniform stream.
+#[must_use]
+pub fn lint_text(text: &str) -> Vec<Diagnostic> {
+    match Circuit::parse_with_sources(text) {
+        Ok((circuit, sources)) => lint_with_sources(&circuit, &sources),
+        Err(e) => {
+            // Classify validation failures that have dedicated codes; a
+            // valid `Circuit` cannot contain these, so they only ever
+            // surface here.
+            let code = if e.message.contains("reaches before the start of the record")
+                || e.message.contains("REPEAT body reaches")
+            {
+                "SP006"
+            } else if e.message.contains("repeats qubit") {
+                "SP007"
+            } else {
+                "SP000"
+            };
+            vec![Diagnostic {
+                code,
+                severity: Severity::Error,
+                line: Some(e.line),
+                path: Vec::new(),
+                message: e.message,
+                help: help_for(code),
+            }]
+        }
+    }
+}
+
+fn sort_diags(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.line.unwrap_or(usize::MAX), a.code, &a.message).cmp(&(
+            b.line.unwrap_or(usize::MAX),
+            b.code,
+            &b.message,
+        ))
+    });
+}
+
+/// Renders findings as human-readable text, one finding per line plus a
+/// help line:
+///
+/// ```text
+/// warning[SP001] line 4: dead gate: H 2 cannot affect any measurement, detector, or observable
+///   = help: remove the gate, or check that the intended qubits are targeted
+/// ```
+#[must_use]
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!("{}[{}]", d.severity, d.code));
+        if let Some(line) = d.line {
+            out.push_str(&format!(" line {line}"));
+        }
+        out.push_str(&format!(": {}\n  = help: {}\n", d.message, d.help));
+    }
+    out
+}
+
+/// Renders findings as a JSON array (stable field order, one object per
+/// finding): `code`, `slug`, `severity`, `line` (null when absent),
+/// `path`, `message`, `help`.
+#[must_use]
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"code\":{},\"slug\":{},\"severity\":{},\"line\":{},\"path\":[{}],\"message\":{},\"help\":{}}}",
+            json_str(d.code),
+            json_str(slug(d.code).unwrap_or("")),
+            json_str(&d.severity.to_string()),
+            d.line.map_or("null".to_string(), |l| l.to_string()),
+            d.path
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            json_str(&d.message),
+            json_str(d.help),
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Walks every instruction node once (REPEAT bodies are *not* unrolled),
+/// calling `f` with the structural path and the node. Cost is O(file).
+pub(crate) fn walk_nodes<'c>(
+    instrs: &'c [Instruction],
+    path: &mut Vec<usize>,
+    f: &mut impl FnMut(&[usize], &'c Instruction),
+) {
+    for (i, ins) in instrs.iter().enumerate() {
+        path.push(i);
+        f(path, ins);
+        if let Instruction::Repeat { body, .. } = ins {
+            walk_nodes(body.instructions(), path, f);
+        }
+        path.pop();
+    }
+}
+
+/// Walks instructions in execution order, unrolling REPEAT bodies
+/// (`count` passes over the same nodes — the path does not distinguish
+/// iterations). Cost is O(flattened); only call this on small or
+/// truncated circuits.
+pub(crate) fn walk_flat<'c>(
+    instrs: &'c [Instruction],
+    path: &mut Vec<usize>,
+    f: &mut impl FnMut(&[usize], &'c Instruction),
+) {
+    for (i, ins) in instrs.iter().enumerate() {
+        path.push(i);
+        if let Instruction::Repeat { count, body } = ins {
+            for _ in 0..*count {
+                walk_flat(body.instructions(), path, f);
+            }
+        } else {
+            f(path, ins);
+        }
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_and_unique() {
+        let codes: Vec<&str> = CODES.iter().map(|(c, _, _)| *c).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "codes must be sorted and unique");
+        assert!(is_known_code("SP001"));
+        assert!(!is_known_code("SP999"));
+        assert_eq!(slug("SP001"), Some("dead-gate"));
+    }
+
+    #[test]
+    fn parse_errors_classify() {
+        let d = &lint_text("FROB 0\n")[0];
+        assert_eq!((d.code, d.severity), ("SP000", Severity::Error));
+        assert_eq!(d.line, Some(1));
+
+        let d = &lint_text("M 0\nDETECTOR rec[-2]\n")[0];
+        assert_eq!((d.code, d.severity), ("SP006", Severity::Error));
+        assert_eq!(d.line, Some(2));
+
+        let d = &lint_text("REPEAT 3 {\n M 0\n DETECTOR rec[-1] rec[-2]\n}\n")[0];
+        assert_eq!(d.code, "SP006");
+
+        let d = &lint_text("MPP X0*Z0\n")[0];
+        assert_eq!((d.code, d.severity), ("SP007", Severity::Error));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        let diags = vec![diag("SP001", &[1, 2], "quote \" here".into())];
+        let json = render_json(&diags);
+        assert!(json.contains(r#""path":[1,2]"#), "{json}");
+        assert!(json.contains(r#""quote \" here""#), "{json}");
+        assert!(render_json(&[]).trim() == "[]");
+    }
+}

@@ -1,0 +1,293 @@
+//! Structural lints: facts read directly off the circuit's shape, no
+//! dataflow required — unused qubits (`SP005`), probability-zero noise
+//! (`SP008`), duplicate detectors (`SP009`), and shadowed
+//! `ELSE_CORRELATED_ERROR` branches (`SP010`).
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap};
+
+use symphase_circuit::{Circuit, Instruction};
+
+use crate::{diag, Diagnostic};
+
+pub fn structural_lints(circuit: &Circuit, diags: &mut Vec<Diagnostic>) {
+    unused_qubits(circuit, diags);
+    let mut walk = Walk {
+        diags,
+        seen_detectors: HashMap::new(),
+        m_before: 0,
+    };
+    let mut path = Vec::new();
+    walk.block(circuit.instructions(), &mut path, false);
+}
+
+/// `SP005`: qubits inside the circuit's index range that no operation ever
+/// touches. `QUBIT_COORDS` intentionally does *not* count as use — an
+/// annotated-but-idle qubit is exactly the mistake this catches.
+fn unused_qubits(circuit: &Circuit, diags: &mut Vec<Diagnostic>) {
+    let n = circuit.num_qubits() as usize;
+    let mut used = vec![false; n];
+    mark_used(circuit.instructions(), &mut used);
+    let idle: Vec<String> = (0..n)
+        .filter(|&q| !used[q])
+        .map(|q| q.to_string())
+        .collect();
+    if !idle.is_empty() {
+        diags.push(diag(
+            "SP005",
+            &[],
+            format!(
+                "unused qubit{}: {} {} never targeted by any gate, measurement, reset, or noise",
+                if idle.len() == 1 { "" } else { "s" },
+                idle.join(", "),
+                if idle.len() == 1 { "is" } else { "are" },
+            ),
+        ));
+    }
+}
+
+fn mark_used(instrs: &[Instruction], used: &mut [bool]) {
+    fn mark(used: &mut [bool], q: u32) {
+        if let Some(slot) = used.get_mut(q as usize) {
+            *slot = true;
+        }
+    }
+    for ins in instrs {
+        match ins {
+            Instruction::Gate { targets, .. }
+            | Instruction::Measure { targets, .. }
+            | Instruction::Reset { targets, .. }
+            | Instruction::MeasureReset { targets, .. }
+            | Instruction::Noise { targets, .. } => {
+                targets.iter().for_each(|&q| mark(used, q));
+            }
+            Instruction::MeasurePauliProduct { products } => {
+                for product in products {
+                    product.iter().for_each(|&(_, q)| mark(used, q));
+                }
+            }
+            Instruction::CorrelatedError { product, .. } => {
+                product.iter().for_each(|&(_, q)| mark(used, q));
+            }
+            Instruction::Feedback { target, .. } => mark(used, *target),
+            Instruction::Repeat { body, .. } => mark_used(body.instructions(), used),
+            Instruction::Detector { .. }
+            | Instruction::ObservableInclude { .. }
+            | Instruction::Tick
+            | Instruction::QubitCoords { .. }
+            | Instruction::ShiftCoords { .. } => {}
+        }
+    }
+}
+
+struct Walk<'a> {
+    diags: &'a mut Vec<Diagnostic>,
+    /// XOR-canonical absolute-measurement-index sets of detectors already
+    /// seen (first-iteration view for detectors inside `REPEAT` bodies),
+    /// mapped to the first declaring node's path.
+    seen_detectors: HashMap<Vec<u64>, Vec<usize>>,
+    /// Measurements recorded before the current position. Inside a
+    /// `REPEAT` body this is the first iteration's view; after the block
+    /// it advances by the full `count × body` amount (saturating).
+    m_before: u64,
+}
+
+impl Walk<'_> {
+    fn block(&mut self, instrs: &[Instruction], path: &mut Vec<usize>, in_zero_meas_loop: bool) {
+        // `SP010` chain state: whether some element of the *current*
+        // contiguous correlated-error chain fires with certainty.
+        let mut chain_saturated = false;
+        for (i, ins) in instrs.iter().enumerate() {
+            path.push(i);
+            match ins {
+                Instruction::CorrelatedError {
+                    probability,
+                    else_branch,
+                    ..
+                } => {
+                    if *else_branch {
+                        if chain_saturated {
+                            self.diags.push(diag(
+                                "SP010",
+                                path,
+                                "shadowed else branch: an earlier element of this correlated-error \
+                                 chain fires with probability 1, so this branch can never fire"
+                                    .to_string(),
+                            ));
+                        }
+                    } else {
+                        chain_saturated = false;
+                    }
+                    chain_saturated |= *probability >= 1.0;
+                    if *probability == 0.0 {
+                        self.diags.push(diag(
+                            "SP008",
+                            path,
+                            "probability-zero correlated error never fires".to_string(),
+                        ));
+                    }
+                }
+                other => {
+                    chain_saturated = false;
+                    self.instruction(other, path, in_zero_meas_loop);
+                }
+            }
+            self.m_before = self
+                .m_before
+                .saturating_add(ins.measurements_added() as u64);
+            path.pop();
+        }
+    }
+
+    fn instruction(&mut self, ins: &Instruction, path: &mut Vec<usize>, in_zero_meas_loop: bool) {
+        match ins {
+            Instruction::Noise { channel, .. } if channel.fire_probability() == 0.0 => {
+                self.diags.push(diag(
+                    "SP008",
+                    path,
+                    format!("probability-zero {} channel never fires", channel.name()),
+                ));
+            }
+            Instruction::Detector { lookbacks, .. } => {
+                // XOR-canonical key: a measurement referenced twice
+                // cancels out of the parity.
+                let mut key = BTreeSet::new();
+                for lb in lookbacks {
+                    let Some(idx) = self.m_before.checked_sub(lb.unsigned_abs()) else {
+                        return; // out-of-range: reported as SP006 at parse time
+                    };
+                    if !key.remove(&idx) {
+                        key.insert(idx);
+                    }
+                }
+                if in_zero_meas_loop {
+                    self.diags.push(diag(
+                        "SP009",
+                        path,
+                        "duplicate detector: the enclosing REPEAT records no measurements per \
+                         iteration, so every iteration re-declares a detector over the same \
+                         outcomes"
+                            .to_string(),
+                    ));
+                    return;
+                }
+                let key: Vec<u64> = key.into_iter().collect();
+                match self.seen_detectors.entry(key) {
+                    Entry::Occupied(first) => {
+                        self.diags.push(diag(
+                            "SP009",
+                            path,
+                            format!(
+                                "duplicate detector: covers exactly the same measurements as the \
+                                 detector at {}",
+                                display_path(first.get()),
+                            ),
+                        ));
+                    }
+                    Entry::Vacant(slot) => {
+                        slot.insert(path.clone());
+                    }
+                }
+            }
+            Instruction::Repeat { count, body } => {
+                let zero = in_zero_meas_loop || (*count >= 2 && body.measurements() == 0);
+                // The body is walked under the first iteration's record
+                // view; the caller then advances by the block's full
+                // `measurements_added` (count × body), so restore the
+                // pre-block count here to avoid double-advancing.
+                let m0 = self.m_before;
+                self.block(body.instructions(), path, zero);
+                self.m_before = m0;
+            }
+            _ => {}
+        }
+    }
+}
+
+fn display_path(path: &[usize]) -> String {
+    format!(
+        "instruction path [{}]",
+        path.iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symphase_circuit::Circuit;
+
+    fn codes(text: &str) -> Vec<String> {
+        let circuit = Circuit::parse(text).unwrap();
+        let mut diags = Vec::new();
+        structural_lints(&circuit, &mut diags);
+        diags.into_iter().map(|d| d.code.to_string()).collect()
+    }
+
+    #[test]
+    fn gap_qubit_is_unused() {
+        assert_eq!(codes("H 0\nM 2\n"), vec!["SP005"]);
+        assert!(codes("H 0 1 2\nM 2\n").is_empty());
+    }
+
+    #[test]
+    fn coords_only_qubit_is_unused() {
+        assert_eq!(
+            codes("QUBIT_COORDS(0, 1) 3\nH 0 1 2\nM 0 1 2\n"),
+            vec!["SP005"]
+        );
+    }
+
+    #[test]
+    fn zero_probability_channels_flagged() {
+        assert_eq!(codes("X_ERROR(0) 0\nM 0\n"), vec!["SP008"]);
+        assert_eq!(codes("E(0) X0\nM 0\n"), vec!["SP008"]);
+        assert_eq!(codes("PAULI_CHANNEL_1(0, 0, 0) 0\nM 0\n"), vec!["SP008"]);
+        assert!(codes("X_ERROR(0.001) 0\nM 0\n").is_empty());
+    }
+
+    #[test]
+    fn duplicate_detector_flagged_once() {
+        let text = "M 0 1\nDETECTOR rec[-1] rec[-2]\nDETECTOR rec[-2] rec[-1]\n";
+        assert_eq!(codes(text), vec!["SP009"]);
+        // Different measurement sets: clean.
+        assert!(codes("M 0 1\nDETECTOR rec[-1]\nDETECTOR rec[-2]\n").is_empty());
+    }
+
+    #[test]
+    fn cancelling_lookbacks_canonicalize() {
+        // rec[-1] rec[-1] cancels: both detectors cover the empty parity.
+        let text = "M 0 1\nDETECTOR rec[-1] rec[-1]\nDETECTOR rec[-2] rec[-2]\n";
+        assert_eq!(codes(text), vec!["SP009"]);
+    }
+
+    #[test]
+    fn detector_in_zero_measurement_loop_is_duplicate() {
+        let text = "M 0\nREPEAT 3 {\n H 0\n DETECTOR rec[-1]\n}\n";
+        assert_eq!(codes(text), vec!["SP009"]);
+        // With one measurement per iteration the detectors differ.
+        assert!(codes("M 0\nREPEAT 3 {\n M 0\n DETECTOR rec[-1]\n}\n").is_empty());
+    }
+
+    #[test]
+    fn detector_after_loop_uses_full_trip_count() {
+        // After the loop, rec[-1] is iteration 3's measurement — not the
+        // pre-loop one the first in-loop detector covered.
+        let text = "M 0\nREPEAT 3 {\n M 0\n}\nDETECTOR rec[-1]\nDETECTOR rec[-4]\n";
+        assert!(codes(text).is_empty());
+    }
+
+    #[test]
+    fn shadowed_else_branch() {
+        let text = "E(1) X0\nELSE_CORRELATED_ERROR(0.5) Z0\nM 0\n";
+        assert_eq!(codes(text), vec!["SP010"]);
+        // An unsaturated chain is fine.
+        assert!(codes("E(0.5) X0\nELSE_CORRELATED_ERROR(0.5) Z0\nM 0\n").is_empty());
+        // Saturation does not leak across chains (TICK breaks the chain
+        // and a fresh E restarts it).
+        let text = "E(1) X0\nTICK\nE(0.5) X0\nELSE_CORRELATED_ERROR(0.5) Z0\nM 0\n";
+        assert!(codes(text).is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! Verification of dead-code findings against the symbolic engine.
+//!
+//! `SP001`/`SP002` are *checkable* claims, and this module checks them:
+//!
+//! * [`dead_gate_check`] removes every `SP001`-flagged instruction and
+//!   asserts the symbolic initialization is **identical** — same
+//!   measurement matrix, same detector rows, same observable rows,
+//!   symbol for symbol. (Dead gates allocate no symbols and, by the
+//!   liveness criterion, change no collapse outcome, so the symbol
+//!   numbering of the stripped circuit lines up with the original.)
+//! * [`dead_noise_check`] replays the symbol table's allocation order
+//!   against the circuit's flattened noise sites to recover which symbol
+//!   ids each flagged channel introduced, then asserts none of those ids
+//!   appears in any detector or observable row.
+//!
+//! Both run over the fixture corpus and the built-in circuit generators
+//! in the test suite; they are `pub` so downstream tooling can gate on
+//! them too.
+
+use std::collections::HashSet;
+
+use symphase_circuit::{Block, Circuit, Instruction};
+use symphase_core::{SymPhaseSampler, SymbolGroup};
+
+use crate::{lint, walk_flat};
+
+/// Checks every `SP001` finding by removal: the stripped circuit must
+/// produce byte-identical symbolic matrices.
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch — which means the
+/// liveness pass flagged a gate that *does* influence an output.
+pub fn dead_gate_check(circuit: &Circuit) -> Result<(), String> {
+    let flagged: HashSet<Vec<usize>> = lint(circuit)
+        .into_iter()
+        .filter(|d| d.code == "SP001")
+        .map(|d| d.path)
+        .collect();
+    if flagged.is_empty() {
+        return Ok(());
+    }
+    let stripped = strip_paths(circuit, &flagged)?;
+    let original = SymPhaseSampler::new(circuit);
+    let reduced = SymPhaseSampler::new(&stripped);
+
+    compare_matrices(
+        "measurement",
+        original.measurement_matrix(),
+        reduced.measurement_matrix(),
+    )?;
+    compare_matrices(
+        "detector",
+        original.detector_rows(),
+        reduced.detector_rows(),
+    )?;
+    compare_matrices(
+        "observable",
+        original.observable_rows(),
+        reduced.observable_rows(),
+    )
+}
+
+fn compare_matrices(
+    what: &str,
+    a: &symphase_bitmat::SparseRowMatrix,
+    b: &symphase_bitmat::SparseRowMatrix,
+) -> Result<(), String> {
+    if a.rows() != b.rows() {
+        return Err(format!(
+            "{what} row count changed after stripping dead gates: {} -> {}",
+            a.rows(),
+            b.rows()
+        ));
+    }
+    for r in 0..a.rows() {
+        if a.row(r).indices() != b.row(r).indices() {
+            return Err(format!(
+                "{what} row {r} changed after stripping dead gates: {:?} -> {:?}",
+                a.row(r).indices(),
+                b.row(r).indices()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks every `SP002` finding by symbol provenance: the flagged
+/// channels' symbol ids must be absent from every detector and
+/// observable row.
+///
+/// # Errors
+///
+/// Returns a description of the first flagged symbol found in a row.
+pub fn dead_noise_check(circuit: &Circuit) -> Result<(), String> {
+    let flagged: HashSet<Vec<usize>> = lint(circuit)
+        .into_iter()
+        .filter(|d| d.code == "SP002")
+        .map(|d| d.path)
+        .collect();
+    if flagged.is_empty() {
+        return Ok(());
+    }
+    let sampler = SymPhaseSampler::new(circuit);
+
+    // Noise symbols are allocated in execution order, one group per
+    // channel application; coins interleave but belong to measurements.
+    let noise_groups: Vec<&SymbolGroup> = sampler
+        .symbol_table()
+        .groups()
+        .iter()
+        .filter(|g| !matches!(g, SymbolGroup::Coin { .. }))
+        .collect();
+
+    let mut dead_ids: HashSet<u32> = HashSet::new();
+    let mut gi = 0usize;
+    let mut misaligned = false;
+    let mut path = Vec::new();
+    walk_flat(circuit.instructions(), &mut path, &mut |path, ins| {
+        let applications = match ins {
+            Instruction::Noise { channel, targets } => targets.len() / channel.arity(),
+            Instruction::CorrelatedError { .. } => 1,
+            _ => 0,
+        };
+        for _ in 0..applications {
+            let Some(group) = noise_groups.get(gi) else {
+                misaligned = true;
+                return;
+            };
+            gi += 1;
+            if flagged.contains(path) {
+                dead_ids.extend(group_ids(group));
+            }
+        }
+    });
+    if misaligned || gi != noise_groups.len() {
+        return Err(format!(
+            "symbol-table replay misaligned: {} noise sites vs {} noise groups",
+            gi,
+            noise_groups.len()
+        ));
+    }
+
+    for (what, rows) in [
+        ("detector", sampler.detector_rows()),
+        ("observable", sampler.observable_rows()),
+    ] {
+        for r in 0..rows.rows() {
+            if let Some(&id) = rows
+                .row(r)
+                .indices()
+                .iter()
+                .find(|&&id| dead_ids.contains(&id))
+            {
+                return Err(format!(
+                    "symbol {id} of a channel flagged as dead noise appears in {what} row {r}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn group_ids(group: &SymbolGroup) -> Vec<u32> {
+    match group {
+        SymbolGroup::Coin { id }
+        | SymbolGroup::Bernoulli { id, .. }
+        | SymbolGroup::Correlated { id, .. } => vec![*id],
+        SymbolGroup::Depolarize1 { x_id, z_id, .. }
+        | SymbolGroup::PauliChannel1 { x_id, z_id, .. } => vec![*x_id, *z_id],
+        SymbolGroup::Depolarize2 { ids, .. } | SymbolGroup::PauliChannel2 { ids, .. } => {
+            ids.to_vec()
+        }
+    }
+}
+
+/// Rebuilds `circuit` without the instructions at `paths` (structural
+/// paths as reported in [`crate::Diagnostic::path`]).
+///
+/// # Errors
+///
+/// Returns the validation failure if the stripped circuit no longer
+/// validates — e.g. removing a chain head would orphan an
+/// `ELSE_CORRELATED_ERROR` (dead *gates* can never cause this; the
+/// error path exists for arbitrary caller-supplied paths).
+pub fn strip_paths(circuit: &Circuit, paths: &HashSet<Vec<usize>>) -> Result<Circuit, String> {
+    let mut out = Circuit::new(circuit.num_qubits());
+    let mut prefix = Vec::new();
+    for ins in strip_block(circuit.instructions(), &mut prefix, paths)? {
+        out.try_push(ins)?;
+    }
+    Ok(out)
+}
+
+fn strip_block(
+    instrs: &[Instruction],
+    prefix: &mut Vec<usize>,
+    paths: &HashSet<Vec<usize>>,
+) -> Result<Vec<Instruction>, String> {
+    let mut kept = Vec::new();
+    for (i, ins) in instrs.iter().enumerate() {
+        prefix.push(i);
+        if !paths.contains(prefix) {
+            if let Instruction::Repeat { count, body } = ins {
+                let mut new_body = Block::new();
+                for inner in strip_block(body.instructions(), prefix, paths)? {
+                    new_body.try_push(inner)?;
+                }
+                kept.push(Instruction::Repeat {
+                    count: *count,
+                    body: Box::new(new_body),
+                });
+            } else {
+                kept.push(ins.clone());
+            }
+        }
+        prefix.pop();
+    }
+    Ok(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_nested_nodes() {
+        let circuit = Circuit::parse("H 0\nREPEAT 2 {\n H 0\n M 0\n}\n").unwrap();
+        let mut paths = HashSet::new();
+        paths.insert(vec![0]);
+        paths.insert(vec![1, 0]);
+        let stripped = strip_paths(&circuit, &paths).unwrap();
+        assert_eq!(
+            Circuit::parse("REPEAT 2 {\n M 0\n}\n")
+                .unwrap()
+                .instructions(),
+            stripped.instructions(),
+        );
+    }
+
+    #[test]
+    fn checks_pass_on_flagging_circuits() {
+        // Dead gate after the last measurement + dead noise past the
+        // last detector reference.
+        let text = "X_ERROR(0.1) 0\nM 0\nDETECTOR rec[-1]\nZ_ERROR(0.2) 0\nM 0\nS 0\n";
+        let circuit = Circuit::parse(text).unwrap();
+        let diags = lint(&circuit);
+        assert!(diags.iter().any(|d| d.code == "SP001"), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == "SP002"), "{diags:?}");
+        dead_gate_check(&circuit).unwrap();
+        dead_noise_check(&circuit).unwrap();
+    }
+}

@@ -45,6 +45,11 @@
 //! [`symphase-core`]: https://github.com/symphase-repro/symphase
 //! [`symphase-frame`]: https://github.com/symphase-repro/symphase
 
+// Every `unsafe fn` in this crate must open its own `unsafe {}` block
+// with a `// SAFETY:` justification — an unsafe signature alone does not
+// license unsafe operations. CI greps for undocumented blocks.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bernoulli;
 mod bitmatrix;
 mod bitvec;

@@ -317,31 +317,37 @@ mod x86 {
     /// Caller must ensure the CPU supports AVX2 and `src.len() >= dst.len()`.
     #[target_feature(enable = "avx2")]
     pub unsafe fn xor_into_avx2(dst: &mut [Word], src: &[Word]) {
-        let n = dst.len();
-        let d = dst.as_mut_ptr();
-        let s = src.as_ptr();
-        let mut i = 0;
-        while i + 8 <= n {
-            let d0 = d.add(i) as *mut __m256i;
-            let s0 = s.add(i) as *const __m256i;
-            let a = _mm256_xor_si256(_mm256_loadu_si256(d0), _mm256_loadu_si256(s0));
-            let b = _mm256_xor_si256(_mm256_loadu_si256(d0.add(1)), _mm256_loadu_si256(s0.add(1)));
-            _mm256_storeu_si256(d0, a);
-            _mm256_storeu_si256(d0.add(1), b);
-            i += 8;
-        }
-        while i + 4 <= n {
-            let d0 = d.add(i) as *mut __m256i;
-            let s0 = s.add(i) as *const __m256i;
-            _mm256_storeu_si256(
-                d0,
-                _mm256_xor_si256(_mm256_loadu_si256(d0), _mm256_loadu_si256(s0)),
-            );
-            i += 4;
-        }
-        while i < n {
-            *d.add(i) ^= *s.add(i);
-            i += 1;
+        // SAFETY: the `# Safety` contract above holds — the caller has
+        // verified the required CPU features, and every pointer offset
+        // below stays within the slices/arrays passed in.
+        unsafe {
+            let n = dst.len();
+            let d = dst.as_mut_ptr();
+            let s = src.as_ptr();
+            let mut i = 0;
+            while i + 8 <= n {
+                let d0 = d.add(i) as *mut __m256i;
+                let s0 = s.add(i) as *const __m256i;
+                let a = _mm256_xor_si256(_mm256_loadu_si256(d0), _mm256_loadu_si256(s0));
+                let b =
+                    _mm256_xor_si256(_mm256_loadu_si256(d0.add(1)), _mm256_loadu_si256(s0.add(1)));
+                _mm256_storeu_si256(d0, a);
+                _mm256_storeu_si256(d0.add(1), b);
+                i += 8;
+            }
+            while i + 4 <= n {
+                let d0 = d.add(i) as *mut __m256i;
+                let s0 = s.add(i) as *const __m256i;
+                _mm256_storeu_si256(
+                    d0,
+                    _mm256_xor_si256(_mm256_loadu_si256(d0), _mm256_loadu_si256(s0)),
+                );
+                i += 4;
+            }
+            while i < n {
+                *d.add(i) ^= *s.add(i);
+                i += 1;
+            }
         }
     }
 
@@ -350,31 +356,37 @@ mod x86 {
     /// `src.len() >= dst.len()`.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn xor_into_avx512(dst: &mut [Word], src: &[Word]) {
-        let n = dst.len();
-        let d = dst.as_mut_ptr();
-        let s = src.as_ptr();
-        let mut i = 0;
-        while i + 16 <= n {
-            let d0 = d.add(i) as *mut __m512i;
-            let s0 = s.add(i) as *const __m512i;
-            let a = _mm512_xor_si512(_mm512_loadu_si512(d0), _mm512_loadu_si512(s0));
-            let b = _mm512_xor_si512(_mm512_loadu_si512(d0.add(1)), _mm512_loadu_si512(s0.add(1)));
-            _mm512_storeu_si512(d0, a);
-            _mm512_storeu_si512(d0.add(1), b);
-            i += 16;
-        }
-        while i + 8 <= n {
-            let d0 = d.add(i) as *mut __m512i;
-            let s0 = s.add(i) as *const __m512i;
-            _mm512_storeu_si512(
-                d0,
-                _mm512_xor_si512(_mm512_loadu_si512(d0), _mm512_loadu_si512(s0)),
-            );
-            i += 8;
-        }
-        while i < n {
-            *d.add(i) ^= *s.add(i);
-            i += 1;
+        // SAFETY: the `# Safety` contract above holds — the caller has
+        // verified the required CPU features, and every pointer offset
+        // below stays within the slices/arrays passed in.
+        unsafe {
+            let n = dst.len();
+            let d = dst.as_mut_ptr();
+            let s = src.as_ptr();
+            let mut i = 0;
+            while i + 16 <= n {
+                let d0 = d.add(i) as *mut __m512i;
+                let s0 = s.add(i) as *const __m512i;
+                let a = _mm512_xor_si512(_mm512_loadu_si512(d0), _mm512_loadu_si512(s0));
+                let b =
+                    _mm512_xor_si512(_mm512_loadu_si512(d0.add(1)), _mm512_loadu_si512(s0.add(1)));
+                _mm512_storeu_si512(d0, a);
+                _mm512_storeu_si512(d0.add(1), b);
+                i += 16;
+            }
+            while i + 8 <= n {
+                let d0 = d.add(i) as *mut __m512i;
+                let s0 = s.add(i) as *const __m512i;
+                _mm512_storeu_si512(
+                    d0,
+                    _mm512_xor_si512(_mm512_loadu_si512(d0), _mm512_loadu_si512(s0)),
+                );
+                i += 8;
+            }
+            while i < n {
+                *d.add(i) ^= *s.add(i);
+                i += 1;
+            }
         }
     }
 
@@ -383,26 +395,31 @@ mod x86 {
     /// cover `acc.len()`.
     #[target_feature(enable = "avx2")]
     pub unsafe fn xor_accum_copy_avx2(acc: &mut [Word], src: &[Word], out: &mut [Word]) {
-        let n = acc.len();
-        let a = acc.as_mut_ptr();
-        let s = src.as_ptr();
-        let o = out.as_mut_ptr();
-        let mut i = 0;
-        while i + 4 <= n {
-            let ap = a.add(i) as *mut __m256i;
-            let v = _mm256_xor_si256(
-                _mm256_loadu_si256(ap),
-                _mm256_loadu_si256(s.add(i) as *const __m256i),
-            );
-            _mm256_storeu_si256(ap, v);
-            _mm256_storeu_si256(o.add(i) as *mut __m256i, v);
-            i += 4;
-        }
-        while i < n {
-            let v = *a.add(i) ^ *s.add(i);
-            *a.add(i) = v;
-            *o.add(i) = v;
-            i += 1;
+        // SAFETY: the `# Safety` contract above holds — the caller has
+        // verified the required CPU features, and every pointer offset
+        // below stays within the slices/arrays passed in.
+        unsafe {
+            let n = acc.len();
+            let a = acc.as_mut_ptr();
+            let s = src.as_ptr();
+            let o = out.as_mut_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                let ap = a.add(i) as *mut __m256i;
+                let v = _mm256_xor_si256(
+                    _mm256_loadu_si256(ap),
+                    _mm256_loadu_si256(s.add(i) as *const __m256i),
+                );
+                _mm256_storeu_si256(ap, v);
+                _mm256_storeu_si256(o.add(i) as *mut __m256i, v);
+                i += 4;
+            }
+            while i < n {
+                let v = *a.add(i) ^ *s.add(i);
+                *a.add(i) = v;
+                *o.add(i) = v;
+                i += 1;
+            }
         }
     }
 
@@ -411,26 +428,31 @@ mod x86 {
     /// `out` cover `acc.len()`.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn xor_accum_copy_avx512(acc: &mut [Word], src: &[Word], out: &mut [Word]) {
-        let n = acc.len();
-        let a = acc.as_mut_ptr();
-        let s = src.as_ptr();
-        let o = out.as_mut_ptr();
-        let mut i = 0;
-        while i + 8 <= n {
-            let ap = a.add(i) as *mut __m512i;
-            let v = _mm512_xor_si512(
-                _mm512_loadu_si512(ap),
-                _mm512_loadu_si512(s.add(i) as *const __m512i),
-            );
-            _mm512_storeu_si512(ap, v);
-            _mm512_storeu_si512(o.add(i) as *mut __m512i, v);
-            i += 8;
-        }
-        while i < n {
-            let v = *a.add(i) ^ *s.add(i);
-            *a.add(i) = v;
-            *o.add(i) = v;
-            i += 1;
+        // SAFETY: the `# Safety` contract above holds — the caller has
+        // verified the required CPU features, and every pointer offset
+        // below stays within the slices/arrays passed in.
+        unsafe {
+            let n = acc.len();
+            let a = acc.as_mut_ptr();
+            let s = src.as_ptr();
+            let o = out.as_mut_ptr();
+            let mut i = 0;
+            while i + 8 <= n {
+                let ap = a.add(i) as *mut __m512i;
+                let v = _mm512_xor_si512(
+                    _mm512_loadu_si512(ap),
+                    _mm512_loadu_si512(s.add(i) as *const __m512i),
+                );
+                _mm512_storeu_si512(ap, v);
+                _mm512_storeu_si512(o.add(i) as *mut __m512i, v);
+                i += 8;
+            }
+            while i < n {
+                let v = *a.add(i) ^ *s.add(i);
+                *a.add(i) = v;
+                *o.add(i) = v;
+                i += 1;
+            }
         }
     }
 
@@ -438,26 +460,31 @@ mod x86 {
     /// Caller must ensure the CPU supports AVX2 and `b.len() >= a.len()`.
     #[target_feature(enable = "avx2")]
     pub unsafe fn and_count_avx2(a: &[Word], b: &[Word]) -> usize {
-        let n = a.len();
-        let ap = a.as_ptr();
-        let bp = b.as_ptr();
-        let mut total = 0usize;
-        let mut i = 0;
-        while i + 4 <= n {
-            let v = _mm256_and_si256(
-                _mm256_loadu_si256(ap.add(i) as *const __m256i),
-                _mm256_loadu_si256(bp.add(i) as *const __m256i),
-            );
-            let mut lanes = [0u64; 4];
-            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
-            total += lanes.iter().map(|w| w.count_ones() as usize).sum::<usize>();
-            i += 4;
+        // SAFETY: the `# Safety` contract above holds — the caller has
+        // verified the required CPU features, and every pointer offset
+        // below stays within the slices/arrays passed in.
+        unsafe {
+            let n = a.len();
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let mut total = 0usize;
+            let mut i = 0;
+            while i + 4 <= n {
+                let v = _mm256_and_si256(
+                    _mm256_loadu_si256(ap.add(i) as *const __m256i),
+                    _mm256_loadu_si256(bp.add(i) as *const __m256i),
+                );
+                let mut lanes = [0u64; 4];
+                _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
+                total += lanes.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+                i += 4;
+            }
+            while i < n {
+                total += (*ap.add(i) & *bp.add(i)).count_ones() as usize;
+                i += 1;
+            }
+            total
         }
-        while i < n {
-            total += (*ap.add(i) & *bp.add(i)).count_ones() as usize;
-            i += 1;
-        }
-        total
     }
 
     /// # Safety
@@ -465,26 +492,31 @@ mod x86 {
     /// `b.len() >= a.len()`.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn and_count_avx512(a: &[Word], b: &[Word]) -> usize {
-        let n = a.len();
-        let ap = a.as_ptr();
-        let bp = b.as_ptr();
-        let mut total = 0usize;
-        let mut i = 0;
-        while i + 8 <= n {
-            let v = _mm512_and_si512(
-                _mm512_loadu_si512(ap.add(i) as *const __m512i),
-                _mm512_loadu_si512(bp.add(i) as *const __m512i),
-            );
-            let mut lanes = [0u64; 8];
-            _mm512_storeu_si512(lanes.as_mut_ptr() as *mut __m512i, v);
-            total += lanes.iter().map(|w| w.count_ones() as usize).sum::<usize>();
-            i += 8;
+        // SAFETY: the `# Safety` contract above holds — the caller has
+        // verified the required CPU features, and every pointer offset
+        // below stays within the slices/arrays passed in.
+        unsafe {
+            let n = a.len();
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let mut total = 0usize;
+            let mut i = 0;
+            while i + 8 <= n {
+                let v = _mm512_and_si512(
+                    _mm512_loadu_si512(ap.add(i) as *const __m512i),
+                    _mm512_loadu_si512(bp.add(i) as *const __m512i),
+                );
+                let mut lanes = [0u64; 8];
+                _mm512_storeu_si512(lanes.as_mut_ptr() as *mut __m512i, v);
+                total += lanes.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+                i += 8;
+            }
+            while i < n {
+                total += (*ap.add(i) & *bp.add(i)).count_ones() as usize;
+                i += 1;
+            }
+            total
         }
-        while i < n {
-            total += (*ap.add(i) & *bp.add(i)).count_ones() as usize;
-            i += 1;
-        }
-        total
     }
 
     /// One swap scale of the 64×64 transpose network over 256-bit lanes:
@@ -496,22 +528,28 @@ mod x86 {
     /// words.
     #[target_feature(enable = "avx2")]
     unsafe fn transpose_scale_avx2(a: *mut Word, j: usize, m: Word) {
-        let mask = _mm256_set1_epi64x(m as i64);
-        let shift = _mm_cvtsi64_si128(j as i64);
-        let mut base = 0usize;
-        while base < 64 {
-            let mut k = base;
-            while k < base + j {
-                let lo = a.add(k) as *mut __m256i;
-                let hi = a.add(k + j) as *mut __m256i;
-                let vlo = _mm256_loadu_si256(lo);
-                let vhi = _mm256_loadu_si256(hi);
-                let t = _mm256_and_si256(_mm256_xor_si256(_mm256_srl_epi64(vlo, shift), vhi), mask);
-                _mm256_storeu_si256(hi, _mm256_xor_si256(vhi, t));
-                _mm256_storeu_si256(lo, _mm256_xor_si256(vlo, _mm256_sll_epi64(t, shift)));
-                k += 4;
+        // SAFETY: the `# Safety` contract above holds — the caller has
+        // verified the required CPU features, and every pointer offset
+        // below stays within the slices/arrays passed in.
+        unsafe {
+            let mask = _mm256_set1_epi64x(m as i64);
+            let shift = _mm_cvtsi64_si128(j as i64);
+            let mut base = 0usize;
+            while base < 64 {
+                let mut k = base;
+                while k < base + j {
+                    let lo = a.add(k) as *mut __m256i;
+                    let hi = a.add(k + j) as *mut __m256i;
+                    let vlo = _mm256_loadu_si256(lo);
+                    let vhi = _mm256_loadu_si256(hi);
+                    let t =
+                        _mm256_and_si256(_mm256_xor_si256(_mm256_srl_epi64(vlo, shift), vhi), mask);
+                    _mm256_storeu_si256(hi, _mm256_xor_si256(vhi, t));
+                    _mm256_storeu_si256(lo, _mm256_xor_si256(vlo, _mm256_sll_epi64(t, shift)));
+                    k += 4;
+                }
+                base += 2 * j;
             }
-            base += 2 * j;
         }
     }
 
@@ -522,40 +560,54 @@ mod x86 {
     /// words.
     #[target_feature(enable = "avx512f")]
     unsafe fn transpose_scale_avx512(a: *mut Word, j: usize, m: Word) {
-        let mask = _mm512_set1_epi64(m as i64);
-        let shift = _mm_cvtsi64_si128(j as i64);
-        let mut base = 0usize;
-        while base < 64 {
-            let mut k = base;
-            while k < base + j {
-                let lo = a.add(k) as *mut __m512i;
-                let hi = a.add(k + j) as *mut __m512i;
-                let vlo = _mm512_loadu_si512(lo);
-                let vhi = _mm512_loadu_si512(hi);
-                let t = _mm512_and_si512(_mm512_xor_si512(_mm512_srl_epi64(vlo, shift), vhi), mask);
-                _mm512_storeu_si512(hi, _mm512_xor_si512(vhi, t));
-                _mm512_storeu_si512(lo, _mm512_xor_si512(vlo, _mm512_sll_epi64(t, shift)));
-                k += 8;
+        // SAFETY: the `# Safety` contract above holds — the caller has
+        // verified the required CPU features, and every pointer offset
+        // below stays within the slices/arrays passed in.
+        unsafe {
+            let mask = _mm512_set1_epi64(m as i64);
+            let shift = _mm_cvtsi64_si128(j as i64);
+            let mut base = 0usize;
+            while base < 64 {
+                let mut k = base;
+                while k < base + j {
+                    let lo = a.add(k) as *mut __m512i;
+                    let hi = a.add(k + j) as *mut __m512i;
+                    let vlo = _mm512_loadu_si512(lo);
+                    let vhi = _mm512_loadu_si512(hi);
+                    let t =
+                        _mm512_and_si512(_mm512_xor_si512(_mm512_srl_epi64(vlo, shift), vhi), mask);
+                    _mm512_storeu_si512(hi, _mm512_xor_si512(vhi, t));
+                    _mm512_storeu_si512(lo, _mm512_xor_si512(vlo, _mm512_sll_epi64(t, shift)));
+                    k += 8;
+                }
+                base += 2 * j;
             }
-            base += 2 * j;
         }
     }
 
     /// The last two swap scales (`j ∈ {2, 1}`) stay scalar: partner rows
     /// are closer together than one vector of rows.
+    ///
+    /// # Safety
+    /// `a` must point at 64 valid, exclusively borrowed words.
     unsafe fn transpose_tail_scalar(a: *mut Word) {
-        let mut j = 2usize;
-        let mut m: Word = 0x3333_3333_3333_3333;
-        while j != 0 {
-            let mut k = 0usize;
-            while k < 64 {
-                let t = ((*a.add(k) >> j) ^ *a.add(k | j)) & m;
-                *a.add(k | j) ^= t;
-                *a.add(k) ^= t << j;
-                k = ((k | j) + 1) & !j;
+        // SAFETY: the `# Safety` contract above holds — the caller has
+        // verified the required CPU features, and every pointer offset
+        // below stays within the slices/arrays passed in.
+        unsafe {
+            let mut j = 2usize;
+            let mut m: Word = 0x3333_3333_3333_3333;
+            while j != 0 {
+                let mut k = 0usize;
+                while k < 64 {
+                    let t = ((*a.add(k) >> j) ^ *a.add(k | j)) & m;
+                    *a.add(k | j) ^= t;
+                    *a.add(k) ^= t << j;
+                    k = ((k | j) + 1) & !j;
+                }
+                j >>= 1;
+                m ^= m << j;
             }
-            j >>= 1;
-            m ^= m << j;
         }
     }
 
@@ -563,24 +615,34 @@ mod x86 {
     /// Caller must ensure the CPU supports AVX2.
     #[target_feature(enable = "avx2")]
     pub unsafe fn transpose_64x64_avx2(a: &mut [Word; 64]) {
-        let p = a.as_mut_ptr();
-        transpose_scale_avx2(p, 32, 0x0000_0000_FFFF_FFFF);
-        transpose_scale_avx2(p, 16, 0x0000_FFFF_0000_FFFF);
-        transpose_scale_avx2(p, 8, 0x00FF_00FF_00FF_00FF);
-        transpose_scale_avx2(p, 4, 0x0F0F_0F0F_0F0F_0F0F);
-        transpose_tail_scalar(p);
+        // SAFETY: the `# Safety` contract above holds — the caller has
+        // verified the required CPU features, and every pointer offset
+        // below stays within the slices/arrays passed in.
+        unsafe {
+            let p = a.as_mut_ptr();
+            transpose_scale_avx2(p, 32, 0x0000_0000_FFFF_FFFF);
+            transpose_scale_avx2(p, 16, 0x0000_FFFF_0000_FFFF);
+            transpose_scale_avx2(p, 8, 0x00FF_00FF_00FF_00FF);
+            transpose_scale_avx2(p, 4, 0x0F0F_0F0F_0F0F_0F0F);
+            transpose_tail_scalar(p);
+        }
     }
 
     /// # Safety
     /// Caller must ensure the CPU supports AVX-512F (which implies AVX2).
     #[target_feature(enable = "avx512f", enable = "avx2")]
     pub unsafe fn transpose_64x64_avx512(a: &mut [Word; 64]) {
-        let p = a.as_mut_ptr();
-        transpose_scale_avx512(p, 32, 0x0000_0000_FFFF_FFFF);
-        transpose_scale_avx512(p, 16, 0x0000_FFFF_0000_FFFF);
-        transpose_scale_avx512(p, 8, 0x00FF_00FF_00FF_00FF);
-        transpose_scale_avx2(p, 4, 0x0F0F_0F0F_0F0F_0F0F);
-        transpose_tail_scalar(p);
+        // SAFETY: the `# Safety` contract above holds — the caller has
+        // verified the required CPU features, and every pointer offset
+        // below stays within the slices/arrays passed in.
+        unsafe {
+            let p = a.as_mut_ptr();
+            transpose_scale_avx512(p, 32, 0x0000_0000_FFFF_FFFF);
+            transpose_scale_avx512(p, 16, 0x0000_FFFF_0000_FFFF);
+            transpose_scale_avx512(p, 8, 0x00FF_00FF_00FF_00FF);
+            transpose_scale_avx2(p, 4, 0x0F0F_0F0F_0F0F_0F0F);
+            transpose_tail_scalar(p);
+        }
     }
 }
 

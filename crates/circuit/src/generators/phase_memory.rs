@@ -84,8 +84,16 @@ pub fn mpp_phase_memory(config: &PhaseMemoryConfig) -> Circuit {
         });
     }
 
-    // Final transversal X readout; compare adjacent data parities against
-    // the last round's checks.
+    // Final data noise, then the transversal X readout; compare adjacent
+    // data parities against the last round's checks. Without this last
+    // noise layer the closing detectors re-measure the last round's
+    // checks noiselessly — symbolically constant, i.e. vacuous.
+    if config.data_error > 0.0 {
+        c.push(Instruction::Noise {
+            channel: NoiseChannel::ZError(config.data_error),
+            targets: data.to_vec(),
+        });
+    }
     c.measure_many_in(PauliKind::X, &data);
     let num_checks = d as i64 - 1;
     for i in 0..num_checks {
@@ -163,8 +171,9 @@ mod tests {
         assert_eq!(c.stats().measurements, 4 * 4 + 5);
         assert_eq!(c.num_detectors(), 4 * 4 + 4);
         assert_eq!(c.num_observables(), 1);
-        // Noise: 5 Z sites + 4 chain elements per round.
-        assert_eq!(c.stats().noise_sites, 4 * (5 + 4));
+        // Noise: 5 Z sites + 4 chain elements per round, plus the final
+        // pre-readout data layer.
+        assert_eq!(c.stats().noise_sites, 4 * (5 + 4) + 5);
     }
 
     #[test]

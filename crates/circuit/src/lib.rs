@@ -75,5 +75,5 @@ pub use instruction::{
     pauli_channel_2_bits, pauli_channel_2_select, pauli_product_plan, Instruction, NoiseChannel,
     PauliFactor, PlanOp,
 };
-pub use parser::ParseCircuitError;
+pub use parser::{ParseCircuitError, SourceMap};
 pub use traverse::FlatInstructions;

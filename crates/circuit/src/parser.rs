@@ -63,6 +63,93 @@ fn err(line: usize, message: impl Into<String>) -> ParseCircuitError {
     }
 }
 
+/// Maps every parsed [`Instruction`] back to its 1-based source line.
+///
+/// Index `i` corresponds to the `i`-th instruction of the block it
+/// describes; `REPEAT` nodes additionally carry a nested map for their
+/// body, addressed through [`SourceMap::child`]. Produced by
+/// [`Circuit::parse_with_sources`]; [`Circuit::parse`] pays nothing for
+/// it (the tracing hooks compile to no-ops there).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    lines: Vec<usize>,
+    children: Vec<Option<Box<SourceMap>>>,
+}
+
+impl SourceMap {
+    /// 1-based source line of instruction `i` in this block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn line(&self, i: usize) -> usize {
+        self.lines[i]
+    }
+
+    /// Body map of instruction `i` when it is a `REPEAT` node.
+    #[must_use]
+    pub fn child(&self, i: usize) -> Option<&SourceMap> {
+        self.children.get(i).and_then(|c| c.as_deref())
+    }
+
+    /// Number of instructions mapped in this block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether this block maps no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Resolves a structural path (indices into nested instruction
+    /// lists, outermost first) to its source line.
+    #[must_use]
+    pub fn line_at(&self, path: &[usize]) -> Option<usize> {
+        let (&first, rest) = path.split_first()?;
+        if rest.is_empty() {
+            self.lines.get(first).copied()
+        } else {
+            self.child(first)?.line_at(rest)
+        }
+    }
+}
+
+/// Parser hook recording where each successfully pushed instruction came
+/// from. `()` is the no-op tracer used by [`Circuit::parse`];
+/// [`SourceMap`] records line numbers for [`Circuit::parse_with_sources`].
+trait Tracer {
+    type Child: Tracer;
+    fn child(&mut self) -> Self::Child;
+    fn on_push(&mut self, line: usize);
+    fn on_repeat(&mut self, line: usize, body: Self::Child);
+}
+
+impl Tracer for () {
+    type Child = ();
+    fn child(&mut self) -> Self::Child {}
+    fn on_push(&mut self, _line: usize) {}
+    fn on_repeat(&mut self, _line: usize, _body: Self::Child) {}
+}
+
+impl Tracer for SourceMap {
+    type Child = SourceMap;
+    fn child(&mut self) -> Self::Child {
+        SourceMap::default()
+    }
+    fn on_push(&mut self, line: usize) {
+        self.lines.push(line);
+        self.children.push(None);
+    }
+    fn on_repeat(&mut self, line: usize, body: Self::Child) {
+        self.lines.push(line);
+        self.children.push(Some(Box::new(body)));
+    }
+}
+
 /// Where parsed instructions go: the top-level [`Circuit`] (strict record
 /// validation) or a `REPEAT` body [`Block`] (lenient per-iteration
 /// validation). Both expose the same fallible push.
@@ -96,19 +183,39 @@ impl Circuit {
         let lines: Vec<&str> = text.lines().collect();
         let mut circuit = Circuit::new(0);
         let mut pos = 0;
-        parse_block(&lines, &mut pos, &mut circuit, 0)?;
+        parse_block(&lines, &mut pos, &mut circuit, &mut (), 0)?;
         if pos < lines.len() {
             return Err(err(pos + 1, "unmatched '}'"));
         }
         Ok(circuit)
     }
+
+    /// Parses circuit text like [`Circuit::parse`], additionally
+    /// returning a [`SourceMap`] from instructions to 1-based source
+    /// lines (used by diagnostics tooling such as `symphase lint`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Circuit::parse`].
+    pub fn parse_with_sources(text: &str) -> Result<(Circuit, SourceMap), ParseCircuitError> {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut circuit = Circuit::new(0);
+        let mut map = SourceMap::default();
+        let mut pos = 0;
+        parse_block(&lines, &mut pos, &mut circuit, &mut map, 0)?;
+        if pos < lines.len() {
+            return Err(err(pos + 1, "unmatched '}'"));
+        }
+        Ok((circuit, map))
+    }
 }
 
 /// Parses until end of input or a closing `}` (when `depth > 0`).
-fn parse_block<S: Sink>(
+fn parse_block<S: Sink, T: Tracer>(
     lines: &[&str],
     pos: &mut usize,
     sink: &mut S,
+    tracer: &mut T,
     depth: usize,
 ) -> Result<(), ParseCircuitError> {
     while *pos < lines.len() {
@@ -145,7 +252,8 @@ fn parse_block<S: Sink>(
             *pos += 1;
             // Parse the body exactly once, whatever the trip count.
             let mut body = Block::new();
-            parse_block(lines, pos, &mut body, depth + 1)?;
+            let mut body_tracer = tracer.child();
+            parse_block(lines, pos, &mut body, &mut body_tracer, depth + 1)?;
             if *pos >= lines.len() || strip_comment(lines[*pos]).trim() != "}" {
                 return Err(err(line_no, "unterminated REPEAT block"));
             }
@@ -155,9 +263,10 @@ fn parse_block<S: Sink>(
                 body: Box::new(body),
             })
             .map_err(|msg| err(line_no, msg))?;
+            tracer.on_repeat(line_no, body_tracer);
             continue;
         }
-        parse_line(line, line_no, sink)?;
+        parse_line(line, line_no, sink, tracer)?;
         *pos += 1;
     }
     if depth > 0 {
@@ -173,7 +282,12 @@ fn strip_comment(line: &str) -> &str {
     }
 }
 
-fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), ParseCircuitError> {
+fn parse_line<S: Sink, T: Tracer>(
+    line: &str,
+    line_no: usize,
+    sink: &mut S,
+    tracer: &mut T,
+) -> Result<(), ParseCircuitError> {
     // Split `NAME(args…) targets…` on the whole line (not the first
     // whitespace token) so parenthesised arguments may contain spaces, as
     // in `QUBIT_COORDS(0, 1) 0`.
@@ -184,7 +298,7 @@ fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), P
         if !rest.is_empty() {
             return Err(err(line_no, "TICK takes no targets"));
         }
-        push_checked(sink, Instruction::Tick, line_no)?;
+        push_checked(sink, tracer, Instruction::Tick, line_no)?;
         return Ok(());
     }
 
@@ -194,7 +308,7 @@ fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), P
     // pair). Dispatch pair by pair rather than routing the whole line.
     if matches!(name, "CX" | "CNOT" | "CY" | "CZ") && rest.iter().any(|t| t.starts_with("rec[")) {
         reject_args(name, &args, line_no)?;
-        return parse_mixed_controlled(name, &rest, line_no, sink);
+        return parse_mixed_controlled(name, &rest, line_no, sink, tracer);
     }
 
     // Basis-general measurement / reset families: Z is the bare name.
@@ -213,19 +327,29 @@ fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), P
             reject_args(name, &args, line_no)?;
             let basis = basis_family("M").expect("matched above");
             let targets = parse_qubits(&rest, line_no)?;
-            push_checked(sink, Instruction::Measure { basis, targets }, line_no)?;
+            push_checked(
+                sink,
+                tracer,
+                Instruction::Measure { basis, targets },
+                line_no,
+            )?;
         }
         "R" | "RZ" | "RX" | "RY" => {
             reject_args(name, &args, line_no)?;
             let basis = basis_family("R").expect("matched above");
             let targets = parse_qubits(&rest, line_no)?;
-            push_checked(sink, Instruction::Reset { basis, targets }, line_no)?;
+            push_checked(sink, tracer, Instruction::Reset { basis, targets }, line_no)?;
         }
         "MR" | "MRZ" | "MRX" | "MRY" => {
             reject_args(name, &args, line_no)?;
             let basis = basis_family("MR").expect("matched above");
             let targets = parse_qubits(&rest, line_no)?;
-            push_checked(sink, Instruction::MeasureReset { basis, targets }, line_no)?;
+            push_checked(
+                sink,
+                tracer,
+                Instruction::MeasureReset { basis, targets },
+                line_no,
+            )?;
         }
         "MPP" => {
             reject_args(name, &args, line_no)?;
@@ -240,7 +364,12 @@ fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), P
                         .collect::<Result<Vec<_>, _>>()
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            push_checked(sink, Instruction::MeasurePauliProduct { products }, line_no)?;
+            push_checked(
+                sink,
+                tracer,
+                Instruction::MeasurePauliProduct { products },
+                line_no,
+            )?;
         }
         "E" | "CORRELATED_ERROR" | "ELSE_CORRELATED_ERROR" => {
             let probability = match args.as_slice() {
@@ -253,6 +382,7 @@ fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), P
                 .collect::<Result<Vec<_>, _>>()?;
             push_checked(
                 sink,
+                tracer,
                 Instruction::CorrelatedError {
                     probability,
                     product,
@@ -265,6 +395,7 @@ fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), P
             let lookbacks = parse_lookbacks(&rest, line_no)?;
             push_checked(
                 sink,
+                tracer,
                 Instruction::Detector {
                     coords: args,
                     lookbacks,
@@ -285,6 +416,7 @@ fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), P
             let lookbacks = parse_lookbacks(&rest, line_no)?;
             push_checked(
                 sink,
+                tracer,
                 Instruction::ObservableInclude { index, lookbacks },
                 line_no,
             )?;
@@ -293,6 +425,7 @@ fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), P
             let targets = parse_qubits(&rest, line_no)?;
             push_checked(
                 sink,
+                tracer,
                 Instruction::QubitCoords {
                     coords: args,
                     targets,
@@ -304,13 +437,23 @@ fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), P
             if !rest.is_empty() {
                 return Err(err(line_no, "SHIFT_COORDS takes no targets"));
             }
-            push_checked(sink, Instruction::ShiftCoords { coords: args }, line_no)?;
+            push_checked(
+                sink,
+                tracer,
+                Instruction::ShiftCoords { coords: args },
+                line_no,
+            )?;
         }
         "X_ERROR" | "Y_ERROR" | "Z_ERROR" | "DEPOLARIZE1" | "DEPOLARIZE2" | "PAULI_CHANNEL_1"
         | "PAULI_CHANNEL_2" => {
             let channel = parse_channel(name, &args, line_no)?;
             let targets = parse_qubits(&rest, line_no)?;
-            push_checked(sink, Instruction::Noise { channel, targets }, line_no)?;
+            push_checked(
+                sink,
+                tracer,
+                Instruction::Noise { channel, targets },
+                line_no,
+            )?;
         }
         _ => {
             let Some(gate) = Gate::from_name(name) else {
@@ -320,20 +463,24 @@ fn parse_line<S: Sink>(line: &str, line_no: usize, sink: &mut S) -> Result<(), P
                 return Err(err(line_no, format!("gate {name} takes no arguments")));
             }
             let targets = parse_qubits(&rest, line_no)?;
-            push_checked(sink, Instruction::Gate { gate, targets }, line_no)?;
+            push_checked(sink, tracer, Instruction::Gate { gate, targets }, line_no)?;
         }
     }
     Ok(())
 }
 
 /// Pushes via the sink's fallible push, attaching the line number to
-/// validation errors.
-fn push_checked<S: Sink>(
+/// validation errors and recording the source line on success.
+fn push_checked<S: Sink, T: Tracer>(
     sink: &mut S,
+    tracer: &mut T,
     instruction: Instruction,
     line_no: usize,
 ) -> Result<(), ParseCircuitError> {
-    sink.try_push(instruction).map_err(|msg| err(line_no, msg))
+    sink.try_push(instruction)
+        .map_err(|msg| err(line_no, msg))?;
+    tracer.on_push(line_no);
+    Ok(())
 }
 
 /// Splits a line into its instruction name, parenthesised numeric
@@ -473,11 +620,12 @@ fn parse_rec(token: &str, line_no: usize) -> Result<i64, ParseCircuitError> {
 /// target: each `(control, target)` pair is dispatched independently —
 /// pairs with a record target become [`Instruction::Feedback`], runs of
 /// plain pairs stay unitary gate applications, in line order.
-fn parse_mixed_controlled<S: Sink>(
+fn parse_mixed_controlled<S: Sink, T: Tracer>(
     name: &str,
     tokens: &[&str],
     line_no: usize,
     sink: &mut S,
+    tracer: &mut T,
 ) -> Result<(), ParseCircuitError> {
     if !tokens.len().is_multiple_of(2) {
         return Err(err(line_no, format!("{name} takes target pairs")));
@@ -489,6 +637,7 @@ fn parse_mixed_controlled<S: Sink>(
             if !plain.is_empty() {
                 push_checked(
                     sink,
+                    tracer,
                     Instruction::Gate {
                         gate,
                         targets: std::mem::take(&mut plain),
@@ -496,7 +645,7 @@ fn parse_mixed_controlled<S: Sink>(
                     line_no,
                 )?;
             }
-            parse_feedback_pair(name, pair[0], pair[1], line_no, sink)?;
+            parse_feedback_pair(name, pair[0], pair[1], line_no, sink, tracer)?;
         } else {
             for t in pair {
                 plain.push(
@@ -509,6 +658,7 @@ fn parse_mixed_controlled<S: Sink>(
     if !plain.is_empty() {
         push_checked(
             sink,
+            tracer,
             Instruction::Gate {
                 gate,
                 targets: plain,
@@ -521,12 +671,13 @@ fn parse_mixed_controlled<S: Sink>(
 
 /// Parses one `(control, target)` pair where one side is a `rec[...]`
 /// measurement-record target.
-fn parse_feedback_pair<S: Sink>(
+fn parse_feedback_pair<S: Sink, T: Tracer>(
     name: &str,
     first: &str,
     second: &str,
     line_no: usize,
     sink: &mut S,
+    tracer: &mut T,
 ) -> Result<(), ParseCircuitError> {
     let pauli = match name {
         "CX" | "CNOT" => PauliKind::X,
@@ -548,6 +699,7 @@ fn parse_feedback_pair<S: Sink>(
         .map_err(|_| err(line_no, format!("bad qubit target '{qubit_tok}'")))?;
     push_checked(
         sink,
+        tracer,
         Instruction::Feedback {
             pauli,
             lookback,
@@ -729,6 +881,31 @@ mod tests {
     }
 
     #[test]
+    fn source_map_tracks_lines_through_nesting() {
+        let text =
+            "# header\nH 0\n\nREPEAT 3 {\n  M 0\n  DETECTOR rec[-1]\n}\nM 0\nCX 0 1 rec[-1] 2\n";
+        let (c, map) = Circuit::parse_with_sources(text).unwrap();
+        assert_eq!(map.len(), c.instructions().len());
+        assert_eq!(map.line(0), 2); // H 0
+        assert_eq!(map.line(1), 4); // REPEAT header
+        let body = map.child(1).expect("REPEAT has a body map");
+        assert_eq!(body.line(0), 5); // M 0
+        assert_eq!(body.line(1), 6); // DETECTOR
+        assert_eq!(map.line(2), 8); // M 0
+                                    // The mixed controlled line splits into several instructions, all
+                                    // mapped to the same source line.
+        assert_eq!(map.line(3), 9);
+        assert_eq!(map.line(4), 9);
+        assert_eq!(map.child(0), None);
+        // Structural paths resolve through nesting.
+        assert_eq!(map.line_at(&[1, 1]), Some(6));
+        assert_eq!(map.line_at(&[1, 2]), None);
+        assert_eq!(map.line_at(&[]), None);
+        // Both entry points produce the same circuit.
+        assert_eq!(c, Circuit::parse(text).unwrap());
+    }
+
+    #[test]
     fn rejects_unknown_instruction() {
         let e = Circuit::parse("FROB 0\n").unwrap_err();
         assert_eq!(e.line, 1);
@@ -753,6 +930,25 @@ mod tests {
     #[test]
     fn rejects_deep_lookback() {
         let e = Circuit::parse("M 0\nDETECTOR rec[-2]\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(
+            e.message
+                .contains("rec[-2] reaches before the start of the record"),
+            "{}",
+            e.message
+        );
+        // OBSERVABLE_INCLUDE gets the same strict top-level check, with
+        // the line of the offending instruction (not the lookback count).
+        let e = Circuit::parse("M 0 1\nTICK\nOBSERVABLE_INCLUDE(0) rec[-1] rec[-3]\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(
+            e.message
+                .contains("rec[-3] reaches before the start of the record"),
+            "{}",
+            e.message
+        );
+        // Feedback lookbacks are validated identically.
+        let e = Circuit::parse("M 0\nCX rec[-2] 1\n").unwrap_err();
         assert_eq!(e.line, 2);
     }
 

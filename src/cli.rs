@@ -97,6 +97,7 @@ commands:
   sample     sample measurement records        (--shots, --seed, --format, --out, --engine, --par)
   detect     sample detectors and observables  (--shots, --seed, --format, --out, --obs-out, --engine, --par)
   analyze    print circuit statistics and symbolic measurement expressions
+  lint       run the static analyzer (--format text|json, --deny <code|warnings>)
   stats      print structural statistics only (O(file), REPEAT never expanded)
   dem        print the detector error model
   reference  print the noiseless reference sample
@@ -110,7 +111,11 @@ options:
       --seed <n>         RNG seed (default 0); output is bit-identical per seed,
                          serial or parallel
       --format <f>       sample output: 01 (default), counts, b8 (packed binary),
-                         hits, or dets (detect only) — see docs/formats.md
+                         hits, or dets (detect only) — see docs/formats.md;
+                         lint output: text (default) or json
+      --deny <c>         lint: treat diagnostic code <c> (e.g. SP001) — or all
+                         warnings with '--deny warnings' — as errors (exit 1);
+                         repeatable
       --out <path>       stream sample output to a file instead of stdout
       --obs-out <path>   detect: stream observables to their own file (the main
                          output then carries detectors only)
@@ -144,6 +149,7 @@ struct Options {
     shots: usize,
     seed: u64,
     format: String,
+    deny: Vec<String>,
     out: Option<String>,
     obs_out: Option<String>,
     engine: String,
@@ -205,6 +211,7 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                     .map_err(|_| fail("--seed must be an integer"))?;
             }
             "--format" => opts.format = value("--format")?,
+            "--deny" => opts.deny.push(value("--deny")?),
             "--out" => opts.out = Some(value("--out")?),
             "--obs-out" => opts.obs_out = Some(value("--obs-out")?),
             "--engine" => opts.engine = value("--engine")?,
@@ -340,6 +347,7 @@ pub fn run_to(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "sample" => cmd_sample(&opts, out),
         "detect" => cmd_detect(&opts, out),
         "analyze" => write_str(out, &cmd_analyze(&opts)?),
+        "lint" => cmd_lint(&opts, out),
         "stats" => write_str(out, &cmd_stats(&opts)?),
         "dem" => write_str(out, &cmd_dem(&opts)?),
         "reference" => write_str(out, &cmd_reference(&opts)?),
@@ -439,6 +447,81 @@ fn cmd_detect(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
             stream(sampler.as_ref(), opts, &cfg, &mut fanout)
         }
     }
+}
+
+/// `lint`: run the static analyzer over a circuit file.
+///
+/// Findings go to stdout (or `--out`); the exit code reports the worst
+/// severity *after* `--deny` escalation: `0` when everything surviving is
+/// a warning, `1` when any error-severity finding remains (parse errors
+/// always are; `--deny SP001` / `--deny warnings` promote findings).
+/// Option values are validated before the circuit is read, matching the
+/// rest of the CLI.
+fn cmd_lint(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    // "01" is the global default; lint renders text unless asked for json.
+    let json = match opts.format.as_str() {
+        "01" | "text" => false,
+        "json" => true,
+        other => {
+            return Err(fail(format!(
+                "unknown lint format '{other}' (expected text or json)"
+            )))
+        }
+    };
+    for d in &opts.deny {
+        if d != "warnings" && !symphase_analysis::is_known_code(d) {
+            return Err(fail(format!(
+                "--deny takes 'warnings' or a diagnostic code (SP000..SP010), got '{d}'"
+            )));
+        }
+    }
+
+    let path = opts
+        .circuit_path
+        .as_deref()
+        .ok_or_else(|| fail("missing --circuit"))?;
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| fail_run(format!("reading stdin: {e}")))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| fail_run(format!("reading {path}: {e}")))?
+    };
+
+    let deny_all = opts.deny.iter().any(|d| d == "warnings");
+    let mut diags = symphase_analysis::lint_text(&text);
+    for d in &mut diags {
+        if deny_all || opts.deny.iter().any(|c| c == d.code) {
+            d.severity = symphase_analysis::Severity::Error;
+        }
+    }
+
+    let rendered = if json {
+        symphase_analysis::render_json(&diags)
+    } else {
+        symphase_analysis::render_text(&diags)
+    };
+    let mut w = open_out(opts.out.as_deref(), out)?;
+    w.write_all(rendered.as_bytes())
+        .map_err(|e| fail_run(format!("writing output: {e}")))?;
+    w.flush()
+        .map_err(|e| fail_run(format!("writing output: {e}")))?;
+    drop(w);
+
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == symphase_analysis::Severity::Error)
+        .count();
+    if errors > 0 {
+        return Err(fail_run(format!(
+            "lint found {errors} error-severity finding{}",
+            if errors == 1 { "" } else { "s" }
+        )));
+    }
+    Ok(())
 }
 
 fn cmd_analyze(opts: &Options) -> Result<String, CliError> {

@@ -7,6 +7,7 @@
 //! | Module | Contents |
 //! |---|---|
 //! | [`circuit`] | Circuit IR, Stim-like text format, workload generators |
+//! | [`analysis`] | `symphase lint`: tableau-dataflow dead-code analysis, symbolic constant detection, structural lints |
 //! | [`sampler_api`] | The shared backend layer: `Sampler` trait, `SampleBatch`, `SimConfig`, `ShotSink` streaming, output formats |
 //! | [`backend`] | Backend construction: `build_sampler` turns a `SimConfig` into any engine as a `Box<dyn Sampler>` |
 //! | [`core`] | **Algorithm 1**: the SymPhase sampler (symbolic phases) |
@@ -46,6 +47,7 @@
 pub mod backend;
 pub mod cli;
 
+pub use symphase_analysis as analysis;
 pub use symphase_backend as sampler_api;
 pub use symphase_bitmat as bitmat;
 pub use symphase_circuit as circuit;

@@ -591,3 +591,75 @@ fn statevec_qubit_cap_is_a_runtime_error() {
     assert_eq!(e.code, 1);
     assert!(e.message.contains("exceed"), "{}", e.message);
 }
+
+// ---------------------------------------------------------------------
+// `symphase lint`
+// ---------------------------------------------------------------------
+
+#[test]
+fn lint_text_output_carries_lines_and_help() {
+    let f = write_circuit("H 0\nM 0\nH 0\n");
+    let out = run(&args(&["lint", "-c", f.as_str()])).expect("lints");
+    assert!(out.contains("warning[SP001] line 3:"), "{out}");
+    assert!(out.contains("= help:"), "{out}");
+}
+
+#[test]
+fn lint_clean_circuit_prints_nothing() {
+    let f = write_circuit("X_ERROR(0.1) 0\nM 0\nDETECTOR rec[-1]\n");
+    let out = run(&args(&["lint", "-c", f.as_str()])).expect("lints");
+    assert_eq!(out, "");
+}
+
+#[test]
+fn lint_json_output_is_structured() {
+    let f = write_circuit("H 0 2\nM 0 2\nH 0\n");
+    let out = run(&args(&["lint", "-c", f.as_str(), "--format", "json"])).expect("lints");
+    assert!(out.starts_with('['), "{out}");
+    assert!(out.contains("\"code\":\"SP001\""), "{out}");
+    // SP005 (unused qubit 1) is circuit-level: a null line.
+    assert!(out.contains("\"code\":\"SP005\""), "{out}");
+    assert!(out.contains("\"line\":null"), "{out}");
+}
+
+#[test]
+fn lint_deny_warnings_escalates_to_exit_1() {
+    let f = write_circuit("H 0\nM 0\nH 0\n");
+    let e = run(&args(&["lint", "-c", f.as_str(), "--deny", "warnings"])).unwrap_err();
+    assert_eq!(e.code, 1);
+    assert!(e.message.contains("error-severity"), "{}", e.message);
+}
+
+#[test]
+fn lint_deny_specific_code_only_escalates_that_code() {
+    // SP001 fires but only SP002 is denied — exit stays 0.
+    let f = write_circuit("H 0\nM 0\nH 0\n");
+    run(&args(&["lint", "-c", f.as_str(), "--deny", "SP002"])).expect("not denied");
+    let e = run(&args(&["lint", "-c", f.as_str(), "--deny", "SP001"])).unwrap_err();
+    assert_eq!(e.code, 1);
+}
+
+#[test]
+fn lint_rejects_unknown_deny_and_format() {
+    let f = write_circuit("M 0\n");
+    let e = run(&args(&["lint", "-c", f.as_str(), "--deny", "SP999"])).unwrap_err();
+    assert_eq!(e.code, 2);
+    let e = run(&args(&["lint", "-c", f.as_str(), "--format", "counts"])).unwrap_err();
+    assert_eq!(e.code, 2);
+}
+
+#[test]
+fn lint_parse_errors_render_as_diagnostics_and_exit_1() {
+    // Unknown instruction: SP000, error severity, exit 1 even without --deny.
+    let f = write_circuit("FROB 0\n");
+    let e = run(&args(&["lint", "-c", f.as_str()])).unwrap_err();
+    assert_eq!(e.code, 1);
+
+    // Out-of-range lookback: classified as SP006 with the offending line.
+    let f = write_circuit("M 0\nDETECTOR rec[-2]\n");
+    let mut out = Vec::new();
+    let e = symphase::cli::run_to(&args(&["lint", "-c", f.as_str()]), &mut out).unwrap_err();
+    assert_eq!(e.code, 1);
+    let text = String::from_utf8(out).expect("utf-8");
+    assert!(text.contains("error[SP006] line 2:"), "{text}");
+}

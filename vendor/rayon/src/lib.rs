@@ -34,6 +34,11 @@
 //! samplers' chunk-seeded determinism (serial ≡ parallel per seed) is
 //! preserved regardless of which thread executes which side.
 
+// Every `unsafe fn` here must open its own `unsafe {}` block with a
+// `// SAFETY:` justification — an unsafe signature alone does not license
+// unsafe operations. CI greps for undocumented blocks.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
@@ -66,8 +71,14 @@ struct JobRef {
 unsafe impl Send for JobRef {}
 
 impl JobRef {
+    /// # Safety
+    /// Must be called at most once; `data` must still be alive (stack
+    /// jobs: the forking frame has not unwound; heap jobs: not yet run).
     unsafe fn execute(self) {
-        (self.execute)(self.data);
+        // SAFETY: forwarded — `execute` was captured from the concrete
+        // job type alongside `data` in `as_job_ref`/`push`, so the
+        // pointer matches the function's expected pointee.
+        unsafe { (self.execute)(self.data) };
     }
 }
 
@@ -97,11 +108,22 @@ where
         }
     }
 
+    /// # Safety
+    /// `data` must point at a live `StackJob<F, R>` whose job has not
+    /// executed yet; no other thread may touch the job concurrently.
     unsafe fn execute_erased(data: *const ()) {
-        let this = &*(data as *const Self);
-        let func = (*this.func.get()).take().expect("job executed twice");
+        // SAFETY: per the contract, `data` is this job's address and the
+        // forking frame keeps it alive until `done` is set below.
+        let this = unsafe { &*(data as *const Self) };
+        // SAFETY: the cell accesses here and below are exclusive because
+        // a JobRef is executed by exactly one thread, exactly once, and
+        // the forking thread does not touch the cells before the latch.
+        let func = unsafe { &mut *this.func.get() }
+            .take()
+            .expect("job executed twice");
         let result = catch_unwind(AssertUnwindSafe(func));
-        *this.result.get() = Some(result);
+        // SAFETY: as above — still the sole accessor until `done` is set.
+        unsafe { *this.result.get() = Some(result) };
         // Release: the result write above happens-before any latch
         // observer's acquire load.
         this.done.store(true, Ordering::Release);
@@ -109,8 +131,17 @@ where
     }
 
     /// Takes the result after the latch is set.
+    ///
+    /// # Safety
+    /// `done` must have been observed `true` with acquire ordering, and
+    /// no other thread may access the job afterwards.
     unsafe fn take_result(&self) -> std::thread::Result<R> {
-        (*self.result.get()).take().expect("job result missing")
+        // SAFETY: the acquire load of `done` synchronizes with the
+        // executor's release store, so the result slot is written and the
+        // executor is finished with the cell.
+        unsafe { &mut *self.result.get() }
+            .take()
+            .expect("job result missing")
     }
 }
 
@@ -120,8 +151,14 @@ struct HeapJob {
 }
 
 impl HeapJob {
+    /// # Safety
+    /// `data` must be a pointer produced by `Box::into_raw` on a
+    /// `HeapJob`, and must not be executed twice (the Box is reclaimed
+    /// here).
     unsafe fn execute_erased(data: *const ()) {
-        let this = Box::from_raw(data as *mut HeapJob);
+        // SAFETY: per the contract, this is the unique owner of the
+        // allocation `Scope::spawn` leaked via `Box::into_raw`.
+        let this = unsafe { Box::from_raw(data as *mut HeapJob) };
         (this.job)();
     }
 }
