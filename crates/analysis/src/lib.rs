@@ -33,9 +33,16 @@ use std::fmt;
 use symphase_circuit::{Circuit, Instruction, SourceMap};
 
 pub mod liveness;
+pub mod opt;
+pub mod rewrite;
 pub mod structural;
 pub mod symbolic;
 pub mod verify;
+
+pub use opt::{
+    optimize, optimize_with, OptConfig, OptReport, OptResult, Pass, PassStats, ProofStatus,
+    RewriteProof,
+};
 
 /// How serious a finding is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -136,6 +143,11 @@ pub const CODES: &[(&str, &str, &str)] = &[
         "shadowed-else",
         "an earlier element of the E/ELSE chain fires with probability 1, so this element never fires; drop it or lower the earlier probability",
     ),
+    (
+        "SP011",
+        "fusable-clifford-run",
+        "adjacent single-qubit Clifford gates compose to a shorter canonical word; fuse them by hand or run `symphase opt`",
+    ),
 ];
 
 /// Short kebab-case name of a diagnostic code.
@@ -184,6 +196,7 @@ pub fn lint(circuit: &Circuit) -> Vec<Diagnostic> {
     liveness::dead_code_lints(circuit, &mut diags);
     structural::structural_lints(circuit, &mut diags);
     symbolic::symbolic_lints(circuit, &mut diags);
+    rewrite::fusable_run_lints(circuit, &mut diags);
     sort_diags(&mut diags);
     diags
 }

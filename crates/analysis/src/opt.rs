@@ -1,0 +1,415 @@
+//! The verified optimizer driver: `analysis::optimize`.
+//!
+//! [`optimize`] runs the rewrite passes of [`crate::rewrite`] (strip →
+//! fuse → propagate by default) in rounds until a full round changes
+//! nothing. Rounds matter for idempotence: propagate can conjugate a
+//! Pauli past a measurement to where strip can delete it, and fuse can
+//! *create* standalone Paulis (e.g. `S S → Z`) for propagate to absorb —
+//! a single linear sweep would leave work behind that a second
+//! `optimize` call would then find.
+//!
+//! Every proposed rewrite is **translation-validated** before it is
+//! accepted: [`crate::verify::rewrite_equiv_check`] proves the input and
+//! output circuits' detector and observable symbolic matrices
+//! row-identical, and the measurement matrices identical up to the
+//! pass's recorded sign flips and stripped invisible-noise symbols. A
+//! proposal whose proof fails is **rolled back** — the driver keeps the
+//! pre-pass circuit and reports the failure as an internal `SP100`
+//! diagnostic — so an unsound rule can never silently change semantics.
+//! The discharged obligations are returned as [`RewriteProof`] records.
+
+use std::collections::HashSet;
+
+use symphase_circuit::Circuit;
+
+use crate::rewrite::{self, PassChange};
+use crate::verify;
+use crate::{Diagnostic, Severity};
+
+/// Internal-diagnostic code for a rolled-back rewrite. Deliberately not
+/// in [`crate::CODES`]: it reports an optimizer bug, not a property of
+/// the user's circuit, so it has no fixture pair and cannot be
+/// `--deny`ed into existence by circuit text.
+pub const ROLLBACK_CODE: &str = "SP100";
+
+const ROLLBACK_HELP: &str = "internal: an optimizer rewrite failed translation validation and \
+     was rolled back; the circuit is unchanged — please report this as an optimizer bug";
+
+/// Safety bound on fixpoint rounds. Each productive round strictly
+/// shrinks the circuit or resolves sign flips, so real inputs converge
+/// in 2–3 rounds; the cap only guards against a (rolled-back) buggy
+/// pass oscillating.
+const MAX_ROUNDS: usize = 8;
+
+/// One rewrite pass.
+// Not a non-exhaustive marker: the hidden variant is a real, constructible
+// pass (the rollback-path test depends on it).
+#[allow(clippy::manual_non_exhaustive)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pass {
+    /// Delete `SP001` dead gates and `SP002` invisible noise.
+    Strip,
+    /// Collapse adjacent single-qubit Clifford runs to canonical words.
+    Fuse,
+    /// Push standalone Paulis into measurement-record sign flips.
+    Propagate,
+    /// Deliberately unsound rule used to pin the rollback path in tests.
+    #[doc(hidden)]
+    BrokenForTests,
+}
+
+impl Pass {
+    /// Stable pass name, as accepted by `--passes`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Strip => "strip",
+            Pass::Fuse => "fuse",
+            Pass::Propagate => "propagate",
+            Pass::BrokenForTests => "broken-for-tests",
+        }
+    }
+
+    /// Parses a public pass name (`strip`, `fuse`, `propagate`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Pass> {
+        match name {
+            "strip" => Some(Pass::Strip),
+            "fuse" => Some(Pass::Fuse),
+            "propagate" => Some(Pass::Propagate),
+            _ => None,
+        }
+    }
+
+    fn run(self, circuit: &Circuit) -> Result<Option<PassChange>, String> {
+        match self {
+            Pass::Strip => rewrite::strip(circuit),
+            Pass::Fuse => rewrite::fuse(circuit),
+            Pass::Propagate => rewrite::propagate(circuit),
+            Pass::BrokenForTests => rewrite::broken_for_tests(circuit),
+        }
+    }
+}
+
+/// Which passes to run, in order, each round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Pass list applied per round.
+    pub passes: Vec<Pass>,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig {
+            passes: vec![Pass::Strip, Pass::Fuse, Pass::Propagate],
+        }
+    }
+}
+
+/// Per-pass accounting across all rounds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Pass name.
+    pub pass: &'static str,
+    /// Verified rewrites applied.
+    pub applications: usize,
+    /// Proposals rejected by translation validation (or a pass error).
+    pub rollbacks: usize,
+    /// Gate applications removed (flattened counts, `REPEAT`-weighted).
+    pub gates_removed: usize,
+    /// Noise sites removed (flattened counts).
+    pub noise_sites_removed: usize,
+    /// Measurement-record sign flips introduced.
+    pub sign_flips: usize,
+    /// Pass-specific detail: liveness nodes stripped / runs fused /
+    /// Paulis absorbed.
+    pub detail: usize,
+}
+
+/// Summary of what [`optimize`] did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptReport {
+    /// Flattened gate applications before optimization.
+    pub gates_before: usize,
+    /// Flattened gate applications after optimization.
+    pub gates_after: usize,
+    /// Flattened noise sites before optimization.
+    pub noise_sites_before: usize,
+    /// Flattened noise sites after optimization.
+    pub noise_sites_after: usize,
+    /// Measurement count (invariant under every pass).
+    pub measurements: usize,
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+    /// Per-pass accounting, in configured pass order.
+    pub passes: Vec<PassStats>,
+}
+
+/// Outcome of one proof obligation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStatus {
+    /// The rewrite was proven equivalent and applied. `clamped` records
+    /// whether trip counts were reduced to bound the symbolic replay.
+    Verified {
+        /// Whether `REPEAT` counts were clamped for the replay.
+        clamped: bool,
+    },
+    /// The proof failed (or the pass errored); the rewrite was rolled
+    /// back.
+    RolledBack {
+        /// Validator/pass failure message.
+        reason: String,
+    },
+}
+
+/// One discharged (or failed) proof obligation: a pass proposed a
+/// rewrite, and the translation validator ruled on it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RewriteProof {
+    /// Pass that proposed the rewrite.
+    pub pass: &'static str,
+    /// 1-based fixpoint round.
+    pub round: usize,
+    /// Absolute measurement-record indices the rewrite sign-flips
+    /// (relative to the pass-input circuit; layout is invariant).
+    pub flips: Vec<usize>,
+    /// How the obligation was discharged.
+    pub status: ProofStatus,
+}
+
+/// What [`optimize`] returns: the (possibly unchanged) circuit, the
+/// report, and the proof trail.
+#[derive(Clone, Debug)]
+pub struct OptResult {
+    /// The optimized circuit. Semantics: detector and observable
+    /// distributions are preserved exactly; raw measurement records are
+    /// preserved up to [`OptResult::flipped_records`] and the symbols of
+    /// stripped invisible noise.
+    pub circuit: Circuit,
+    /// Accounting summary.
+    pub report: OptReport,
+    /// One entry per proposed rewrite, in application order.
+    pub proof: Vec<RewriteProof>,
+    /// Internal diagnostics (`SP100`) for rolled-back rewrites. Empty on
+    /// a healthy run.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Net set of measurement records whose recorded sign differs from
+    /// the input circuit's, sorted ascending.
+    pub flipped_records: Vec<usize>,
+}
+
+impl OptResult {
+    /// Whether any rewrite was applied.
+    #[must_use]
+    pub fn changed(&self) -> bool {
+        self.report.passes.iter().any(|p| p.applications > 0)
+    }
+}
+
+fn rollback_diag(pass: &'static str, reason: &str) -> Diagnostic {
+    Diagnostic {
+        code: ROLLBACK_CODE,
+        severity: Severity::Warning,
+        line: None,
+        path: Vec::new(),
+        message: format!("optimizer pass '{pass}' rolled back: {reason}"),
+        help: ROLLBACK_HELP,
+    }
+}
+
+/// Runs the default pass list (strip, fuse, propagate) to fixpoint with
+/// per-rewrite translation validation.
+#[must_use]
+pub fn optimize(circuit: &Circuit) -> OptResult {
+    optimize_with(circuit, &OptConfig::default())
+}
+
+/// Runs a configured pass list to fixpoint with per-rewrite translation
+/// validation. See the module docs for rollback semantics.
+#[must_use]
+pub fn optimize_with(circuit: &Circuit, config: &OptConfig) -> OptResult {
+    let before = circuit.stats();
+    let mut current = circuit.clone();
+    let mut stats: Vec<PassStats> = Vec::new();
+    for &pass in &config.passes {
+        if !stats.iter().any(|s| s.pass == pass.name()) {
+            stats.push(PassStats {
+                pass: pass.name(),
+                ..PassStats::default()
+            });
+        }
+    }
+    let mut proofs: Vec<RewriteProof> = Vec::new();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut flipped: HashSet<usize> = HashSet::new();
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let mut changed_this_round = false;
+        for &pass in &config.passes {
+            let slot = stats
+                .iter()
+                .position(|s| s.pass == pass.name())
+                .expect("stats seeded for every configured pass");
+            let change = match pass.run(&current) {
+                Ok(None) => continue,
+                Ok(Some(change)) => change,
+                Err(reason) => {
+                    diagnostics.push(rollback_diag(pass.name(), &reason));
+                    proofs.push(RewriteProof {
+                        pass: pass.name(),
+                        round: rounds,
+                        flips: Vec::new(),
+                        status: ProofStatus::RolledBack { reason },
+                    });
+                    stats[slot].rollbacks += 1;
+                    continue;
+                }
+            };
+            let abs_flips = match rewrite::absolute_flips(&current, &change.flips) {
+                Ok(abs) => abs,
+                Err(reason) => {
+                    diagnostics.push(rollback_diag(pass.name(), &reason));
+                    proofs.push(RewriteProof {
+                        pass: pass.name(),
+                        round: rounds,
+                        flips: Vec::new(),
+                        status: ProofStatus::RolledBack { reason },
+                    });
+                    stats[slot].rollbacks += 1;
+                    continue;
+                }
+            };
+            match verify::rewrite_equiv_check(
+                &current,
+                &change.circuit,
+                &change.flips,
+                &change.removed_noise_paths,
+            ) {
+                Ok(clamped) => {
+                    let old = current.stats();
+                    let new = change.circuit.stats();
+                    let s = &mut stats[slot];
+                    s.applications += 1;
+                    s.gates_removed += old.gates.saturating_sub(new.gates);
+                    s.noise_sites_removed += old.noise_sites.saturating_sub(new.noise_sites);
+                    s.sign_flips += abs_flips.len();
+                    s.detail += change.detail;
+                    for r in &abs_flips {
+                        // Two flips of one record cancel.
+                        if !flipped.remove(r) {
+                            flipped.insert(*r);
+                        }
+                    }
+                    proofs.push(RewriteProof {
+                        pass: pass.name(),
+                        round: rounds,
+                        flips: abs_flips,
+                        status: ProofStatus::Verified { clamped },
+                    });
+                    current = change.circuit;
+                    changed_this_round = true;
+                }
+                Err(reason) => {
+                    diagnostics.push(rollback_diag(pass.name(), &reason));
+                    proofs.push(RewriteProof {
+                        pass: pass.name(),
+                        round: rounds,
+                        flips: abs_flips,
+                        status: ProofStatus::RolledBack { reason },
+                    });
+                    stats[slot].rollbacks += 1;
+                }
+            }
+        }
+        if !changed_this_round || rounds >= MAX_ROUNDS {
+            break;
+        }
+    }
+    let after = current.stats();
+    let mut flipped_records: Vec<usize> = flipped.into_iter().collect();
+    flipped_records.sort_unstable();
+    OptResult {
+        circuit: current,
+        report: OptReport {
+            gates_before: before.gates,
+            gates_after: after.gates,
+            noise_sites_before: before.noise_sites,
+            noise_sites_after: after.noise_sites,
+            measurements: circuit.num_measurements(),
+            rounds,
+            passes: stats,
+        },
+        proof: proofs,
+        diagnostics,
+        flipped_records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Circuit {
+        Circuit::parse(text).unwrap()
+    }
+
+    #[test]
+    fn optimize_is_identity_on_minimal_circuits() {
+        let c = parse("H 0\nCX 0 1\nM 0 1\nDETECTOR rec[-1] rec[-2]\n");
+        let r = optimize(&c);
+        assert_eq!(r.circuit, c);
+        assert!(!r.changed());
+        assert!(r.diagnostics.is_empty());
+        assert!(r.flipped_records.is_empty());
+    }
+
+    #[test]
+    fn optimize_composes_passes_across_rounds() {
+        // S S on qubit 0 fuses to Z, which the next round's propagate
+        // absorbs into a sign flip of the (unreferenced) measurement.
+        let c = parse("S 0\nS 0\nM 0\n");
+        let r = optimize(&c);
+        assert_eq!(r.report.gates_after, 0, "{}", r.circuit);
+        assert!(r.diagnostics.is_empty());
+        assert!(r
+            .proof
+            .iter()
+            .all(|p| matches!(p.status, ProofStatus::Verified { .. })));
+        // Z commutes with M: no flip expected, just deletion.
+        assert!(r.flipped_records.is_empty());
+    }
+
+    #[test]
+    fn optimize_flips_unreferenced_records() {
+        let c = parse("X 0\nM 0\n");
+        let r = optimize(&c);
+        assert_eq!(r.report.gates_after, 0);
+        assert_eq!(r.flipped_records, vec![0]);
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn broken_rule_is_rolled_back_with_sp100() {
+        let c = parse("H 0\nM 0\n");
+        let config = OptConfig {
+            passes: vec![Pass::BrokenForTests],
+        };
+        let r = optimize_with(&c, &config);
+        assert_eq!(r.circuit, c, "rollback must keep the input circuit");
+        assert!(!r.changed());
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].code, ROLLBACK_CODE);
+        assert!(matches!(r.proof[0].status, ProofStatus::RolledBack { .. }));
+        assert_eq!(r.report.passes[0].rollbacks, 1);
+    }
+
+    #[test]
+    fn optimize_is_idempotent_on_a_mixed_circuit() {
+        let c = parse("H 0\nH 0\nX 1\nX_ERROR(0.1) 2\nS 2\nM 0 1 2\nDETECTOR rec[-3]\n");
+        let once = optimize(&c);
+        let twice = optimize(&once.circuit);
+        assert_eq!(once.circuit, twice.circuit);
+        assert!(!twice.changed(), "{:?}", twice.report);
+    }
+}

@@ -30,8 +30,9 @@ use symphase_core::SymPhaseSampler;
 use crate::{diag, walk_flat, walk_nodes, Diagnostic};
 
 /// Upper bound on flattened work (gates + measurements + resets + noise
-/// symbols) the symbolic pass will take on.
-const MAX_SYMBOLIC_WORK: usize = 200_000;
+/// symbols) the symbolic pass (and the optimizer's translation
+/// validator) will take on.
+pub(crate) const MAX_SYMBOLIC_WORK: usize = 200_000;
 
 /// Trip-count clamp applied before falling back to skipping.
 const CLAMP: u64 = 3;
@@ -131,7 +132,7 @@ pub fn symbolic_lints(circuit: &Circuit, diags: &mut Vec<Diagnostic>) {
     }
 }
 
-fn work(circuit: &Circuit) -> usize {
+pub(crate) fn work(circuit: &Circuit) -> usize {
     let s = circuit.stats();
     s.gates
         .saturating_add(s.measurements)
@@ -142,7 +143,7 @@ fn work(circuit: &Circuit) -> usize {
 /// Rebuilds `circuit` with every `REPEAT` trip count clamped to
 /// [`CLAMP`]. Returns `None` when the truncated circuit no longer
 /// validates (an after-loop lookback needed the removed iterations).
-fn clamp_circuit(circuit: &Circuit) -> Option<Circuit> {
+pub(crate) fn clamp_circuit(circuit: &Circuit) -> Option<Circuit> {
     let mut out = Circuit::new(circuit.num_qubits());
     for ins in circuit.instructions() {
         out.try_push(clamp_instruction(ins)?).ok()?;

@@ -18,11 +18,13 @@
 //! them too.
 
 use std::collections::HashSet;
+use std::mem::discriminant;
 
 use symphase_circuit::{Block, Circuit, Instruction};
-use symphase_core::{SymPhaseSampler, SymbolGroup};
+use symphase_core::{SymPhaseSampler, SymbolGroup, SymbolTable};
 
-use crate::{lint, walk_flat};
+use crate::rewrite::{absolute_flips, FlipSite};
+use crate::{lint, symbolic, walk_flat};
 
 /// Checks every `SP001` finding by removal: the stripped circuit must
 /// produce byte-identical symbolic matrices.
@@ -172,6 +174,232 @@ fn group_ids(group: &SymbolGroup) -> Vec<u32> {
             ids.to_vec()
         }
     }
+}
+
+/// Translation validation for the optimizer's rewrite passes: proves
+/// `rewritten` equivalent to `original` by comparing their symbolic
+/// initializations.
+///
+/// The obligation, phrased over the sparse symbolic matrices:
+///
+/// * **detector and observable rows** must be identical symbol for
+///   symbol (after renumbering for stripped noise groups — and a
+///   stripped group's symbols must not appear in any row, or the strip
+///   was unsound);
+/// * **measurement rows** must be identical after dropping stripped
+///   symbols and toggling the constant term (`s₀`, id 0) at exactly the
+///   records in `flips`;
+/// * the **symbol group sequences** must align one-to-one (same channel
+///   kinds, same coin positions) once stripped groups are skipped —
+///   which also proves that no pass changed any measurement's
+///   determinism.
+///
+/// Oversized circuits are clamped (both sides, identically) via the
+/// [`crate::symbolic`] trip-count clamp before replay; `flips` are
+/// structural [`FlipSite`]s, so they survive clamping. Returns whether
+/// clamping was applied.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first failed obligation —
+/// the driver treats any error as "roll the rewrite back".
+pub fn rewrite_equiv_check(
+    original: &Circuit,
+    rewritten: &Circuit,
+    flips: &[FlipSite],
+    removed_noise_paths: &HashSet<Vec<usize>>,
+) -> Result<bool, String> {
+    let clamped = symbolic::work(original) > symbolic::MAX_SYMBOLIC_WORK
+        || symbolic::work(rewritten) > symbolic::MAX_SYMBOLIC_WORK;
+    let (orig_c, rew_c);
+    let (orig, rew): (&Circuit, &Circuit) = if clamped {
+        orig_c = symbolic::clamp_circuit(original)
+            .ok_or("cannot clamp the original circuit for replay (after-loop lookback)")?;
+        rew_c = symbolic::clamp_circuit(rewritten)
+            .ok_or("cannot clamp the rewritten circuit for replay (after-loop lookback)")?;
+        if symbolic::work(&orig_c) > symbolic::MAX_SYMBOLIC_WORK
+            || symbolic::work(&rew_c) > symbolic::MAX_SYMBOLIC_WORK
+        {
+            return Err("circuit too large to translation-validate even after clamping".into());
+        }
+        (&orig_c, &rew_c)
+    } else {
+        (original, rewritten)
+    };
+
+    let a = SymPhaseSampler::new(orig);
+    let b = SymPhaseSampler::new(rew);
+    if a.num_measurements() != b.num_measurements() {
+        return Err(format!(
+            "rewrite changed the measurement count: {} -> {}",
+            a.num_measurements(),
+            b.num_measurements()
+        ));
+    }
+    if a.num_detectors() != b.num_detectors() || a.num_observables() != b.num_observables() {
+        return Err("rewrite changed the detector/observable count".into());
+    }
+
+    let map = symbol_map(
+        orig,
+        a.symbol_table(),
+        b.symbol_table(),
+        removed_noise_paths,
+    )?;
+    let flip_rows: HashSet<usize> = absolute_flips(orig, flips)?.into_iter().collect();
+
+    compare_remapped(
+        "measurement",
+        a.measurement_matrix(),
+        b.measurement_matrix(),
+        &map,
+        true,
+        Some(&flip_rows),
+    )?;
+    compare_remapped(
+        "detector",
+        a.detector_rows(),
+        b.detector_rows(),
+        &map,
+        false,
+        None,
+    )?;
+    compare_remapped(
+        "observable",
+        a.observable_rows(),
+        b.observable_rows(),
+        &map,
+        false,
+        None,
+    )?;
+    Ok(clamped)
+}
+
+/// Maps original symbol ids to rewritten ones by replaying both symbol
+/// tables' allocation orders in lockstep, skipping the groups of noise
+/// sites at `removed_paths`. `None` marks a stripped symbol. The map is
+/// monotone, so remapping preserves sparse-row index order.
+fn symbol_map(
+    original: &Circuit,
+    orig_table: &SymbolTable,
+    rew_table: &SymbolTable,
+    removed_paths: &HashSet<Vec<usize>>,
+) -> Result<Vec<Option<u32>>, String> {
+    // One flag per noise application, flattened execution order —
+    // aligned with the non-coin groups of the original table.
+    let mut removed_app: Vec<bool> = Vec::new();
+    let mut path = Vec::new();
+    walk_flat(original.instructions(), &mut path, &mut |path, ins| {
+        let applications = match ins {
+            Instruction::Noise { channel, targets } => targets.len() / channel.arity(),
+            Instruction::CorrelatedError { .. } => 1,
+            _ => 0,
+        };
+        for _ in 0..applications {
+            removed_app.push(removed_paths.contains(path));
+        }
+    });
+
+    let mut map: Vec<Option<u32>> = vec![None; orig_table.assignment_len()];
+    // Symbol 0 is the constant term s₀ in both tables.
+    if let Some(slot) = map.get_mut(0) {
+        *slot = Some(0);
+    }
+    let mut rew_groups = rew_table.groups().iter();
+    let mut app = 0usize;
+    for group in orig_table.groups() {
+        let removed = if matches!(group, SymbolGroup::Coin { .. }) {
+            false
+        } else {
+            let flag = *removed_app
+                .get(app)
+                .ok_or("symbol replay misaligned: more noise groups than noise applications")?;
+            app += 1;
+            flag
+        };
+        if removed {
+            continue;
+        }
+        let counterpart = rew_groups
+            .next()
+            .ok_or("rewritten circuit allocates fewer symbol groups than expected")?;
+        if discriminant(group) != discriminant(counterpart) {
+            return Err(format!(
+                "symbol group kind changed under rewrite: {group:?} -> {counterpart:?}"
+            ));
+        }
+        let (from, to) = (group_ids(group), group_ids(counterpart));
+        if from.len() != to.len() {
+            return Err("symbol group width changed under rewrite".into());
+        }
+        for (o, n) in from.into_iter().zip(to) {
+            map[o as usize] = Some(n);
+        }
+    }
+    if rew_groups.next().is_some() {
+        return Err("rewritten circuit allocates extra symbol groups".into());
+    }
+    if app != removed_app.len() {
+        return Err(format!(
+            "symbol replay misaligned: {} noise applications vs {} noise groups",
+            removed_app.len(),
+            app
+        ));
+    }
+    Ok(map)
+}
+
+/// Compares two sparse matrices under the symbol renumbering. With
+/// `allow_drop`, stripped (unmapped) symbols vanish from the original
+/// side; without it their presence is an error. Rows in `flip_rows` have
+/// their constant term (id 0) toggled before comparison.
+fn compare_remapped(
+    what: &str,
+    a: &symphase_bitmat::SparseRowMatrix,
+    b: &symphase_bitmat::SparseRowMatrix,
+    map: &[Option<u32>],
+    allow_drop: bool,
+    flip_rows: Option<&HashSet<usize>>,
+) -> Result<(), String> {
+    if a.rows() != b.rows() {
+        return Err(format!(
+            "{what} row count changed under rewrite: {} -> {}",
+            a.rows(),
+            b.rows()
+        ));
+    }
+    for r in 0..a.rows() {
+        let mut mapped: Vec<u32> = Vec::with_capacity(a.row(r).indices().len());
+        for &id in a.row(r).indices() {
+            match map.get(id as usize).copied().flatten() {
+                Some(n) => mapped.push(n),
+                None if allow_drop => {}
+                None => {
+                    return Err(format!(
+                        "symbol {id} of a stripped noise channel appears in {what} row {r}"
+                    ))
+                }
+            }
+        }
+        if flip_rows.is_some_and(|rows| rows.contains(&r)) {
+            match mapped.iter().position(|&i| i == 0) {
+                Some(pos) => {
+                    mapped.remove(pos);
+                }
+                None => mapped.push(0),
+            }
+        }
+        mapped.sort_unstable();
+        let mut expected: Vec<u32> = b.row(r).indices().to_vec();
+        expected.sort_unstable();
+        if mapped != expected {
+            return Err(format!(
+                "{what} row {r} not equivalent under rewrite: {mapped:?} (remapped original) \
+                 vs {expected:?}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Rebuilds `circuit` without the instructions at `paths` (structural

@@ -9,8 +9,8 @@
 //! fixpoints with cross-iteration lookbacks, basis-general collapses,
 //! MPP, feedback, correlated chains, and two-qubit entanglers.
 
-use symphase_analysis::{lint_text, verify};
-use symphase_circuit::Circuit;
+use symphase_analysis::{lint, lint_text, optimize, verify, ProofStatus};
+use symphase_circuit::{Circuit, Instruction};
 use symphase_tableau::reference_sample;
 
 /// Circuits that stress every transfer-function path. Each must parse,
@@ -102,6 +102,95 @@ fn corpus_flags_where_expected() {
             diags.iter().any(|d| d.code == code),
             "{name}: expected {code}, got {diags:?}"
         );
+    }
+}
+
+/// Resolves a structural diagnostic path to the instruction it names.
+fn instr_at<'a>(circuit: &'a Circuit, path: &[usize]) -> &'a Instruction {
+    let mut instrs = circuit.instructions();
+    let (last, prefix) = path.split_last().expect("non-empty path");
+    for &i in prefix {
+        match &instrs[i] {
+            Instruction::Repeat { body, .. } => instrs = body.instructions(),
+            other => panic!("path descends through non-repeat {other:?}"),
+        }
+    }
+    &instrs[*last]
+}
+
+/// The optimizer over the adversarial corpus: every proposed rewrite
+/// must discharge its translation-validation proof (no `SP100`
+/// rollbacks), and the fixpoint output must re-lint clean of everything
+/// the passes claim to remove — `SP001`, `SP011`, and `SP002` except on
+/// correlated-error chain elements, which the strip pass only removes
+/// suffix-first (deleting a middle element would change the firing
+/// condition of the surviving later elements).
+#[test]
+fn optimizer_discharges_every_proof_on_the_corpus() {
+    for (name, text) in CORPUS {
+        let circuit = Circuit::parse(text).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+        let result = optimize(&circuit);
+        for proof in &result.proof {
+            assert!(
+                matches!(proof.status, ProofStatus::Verified { .. }),
+                "{name}: rolled back {proof:?}"
+            );
+        }
+        assert!(
+            result.diagnostics.is_empty(),
+            "{name}: {:?}",
+            result.diagnostics
+        );
+        for d in lint(&result.circuit) {
+            match d.code {
+                "SP001" | "SP011" => panic!("{name}: optimized output still flags {d:?}"),
+                "SP002" => assert!(
+                    matches!(
+                        instr_at(&result.circuit, &d.path),
+                        Instruction::CorrelatedError { .. }
+                    ),
+                    "{name}: optimized output still flags strippable noise {d:?}"
+                ),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Concrete cross-check of the optimizer's flip ledger against the
+/// tableau simulator: the optimized circuit's reference sample must
+/// equal the original's at every record, XOR'd with membership in
+/// `flipped_records`. (Random records are forced to 0 on both sides and
+/// are never flipped; deterministic records carry the toggled constant.)
+#[test]
+fn optimizer_preserves_reference_samples_up_to_declared_flips() {
+    let redundant: &[&str] = &[
+        // A flip plus strippable trailing gates.
+        "X 0\nM 0\nM 1\nH 1\nH 1\n",
+        // The frame conjugates through CX and flips both records.
+        "R 0 1\nX 0\nCX 0 1\nM 0 1\n",
+        // Paulis created by fusion (S·S → Z) feed the next round.
+        "S 0\nS 0\nM 0\nZ 1\nH 1\nM 1\n",
+        // Flip after a collapse, with a live detector barring record 0.
+        "M 0\nX 0\nM 0\nM 1\nDETECTOR rec[-3]\n",
+    ];
+    for text in CORPUS
+        .iter()
+        .map(|(_, t)| *t)
+        .chain(redundant.iter().copied())
+    {
+        let circuit = Circuit::parse(text).expect("parse");
+        let result = optimize(&circuit);
+        let before = reference_sample(&circuit);
+        let after = reference_sample(&result.circuit);
+        assert_eq!(before.len(), after.len(), "{text}");
+        for m in 0..before.len() {
+            assert_eq!(
+                after.get(m),
+                before.get(m) ^ result.flipped_records.contains(&m),
+                "record {m} of:\n{text}"
+            );
+        }
     }
 }
 

@@ -260,6 +260,7 @@ pub struct SimConfig {
     seed: u64,
     threads: usize,
     chunk_shots: usize,
+    optimize: bool,
 }
 
 impl Default for SimConfig {
@@ -271,6 +272,7 @@ impl Default for SimConfig {
             seed: 0,
             threads: 1,
             chunk_shots: CHUNK_SHOTS,
+            optimize: false,
         }
     }
 }
@@ -349,6 +351,25 @@ impl SimConfig {
     pub fn with_chunk_shots(mut self, chunk_shots: usize) -> Self {
         self.chunk_shots = chunk_shots;
         self
+    }
+
+    /// Enables (or disables) the verified pre-simulation optimizer: when
+    /// set, the factory (`symphase::backend::build_sampler`) runs
+    /// `analysis::optimize` on the circuit *before* symbolic
+    /// initialization and builds the engine from the optimized circuit.
+    /// Sampling is then bit-identical per seed to sampling the
+    /// optimizer's output circuit directly; raw measurement records may
+    /// differ from the unoptimized circuit at the optimizer's reported
+    /// sign-flipped positions (detector and observable semantics are
+    /// preserved exactly).
+    pub fn with_optimize(mut self, optimize: bool) -> Self {
+        self.optimize = optimize;
+        self
+    }
+
+    /// Whether the factory optimizes the circuit before initialization.
+    pub fn optimize(&self) -> bool {
+        self.optimize
     }
 
     /// The selected engine.

@@ -12,7 +12,12 @@
 //!   via [`simd::with_level`], with `speedup_vs_scalar` per cell;
 //! * **end_to_end** — the streaming sampling path (`stream_with_config`,
 //!   the exact delivery the CLI runs) per circuit at each thread budget,
-//!   in shots/s, with `speedup_vs_serial` per threaded cell.
+//!   in shots/s, with `speedup_vs_serial` per threaded cell;
+//! * **opt** — the verified rewrite driver (`analysis::optimize`) as an
+//!   ablation: per workload, the optimizer's own wall time and what it
+//!   removed, plus serial streaming shots/s on the raw vs the optimized
+//!   circuit (`speedup_vs_raw`). Clean workloads pin the no-op overhead;
+//!   the `redundant_memory` workload carries deliberate body redundancy.
 //!
 //! The gate ([`check_regression`]) re-measures serial `surface_d5`
 //! streaming throughput and fails when it lands more than a tolerance
@@ -27,9 +32,11 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use symphase::analysis::{optimize, ProofStatus};
 use symphase::backend::{build_sampler, SimConfig};
 use symphase::sampler_api::{sink, CountingSink};
 use symphase_bitmat::simd::{self, SimdLevel};
+use symphase_circuit::Circuit;
 use symphase_core::SymPhaseSampler;
 
 use crate::json::Json;
@@ -130,6 +137,74 @@ pub fn serial_surface_throughput(stream_shots: usize) -> f64 {
         std::hint::black_box(out.measurement_ones);
     });
     stream_shots as f64 / secs
+}
+
+/// The optimizer-ablation workloads: every sampling-ablation circuit
+/// (clean — they price the optimizer's no-op overhead) plus a structured
+/// `REPEAT` memory with deliberate in-body redundancy (a fusable identity
+/// pair per round) that the driver must remove under a clamped proof.
+pub fn opt_ablation_circuits(n: usize) -> Vec<(&'static str, Circuit)> {
+    let mut out = sampling_ablation_circuits(n);
+    out.push((
+        "redundant_memory",
+        Circuit::parse(
+            "R 0 1\nM 1\nREPEAT 10000 {\n    H 0\n    H 0\n    X_ERROR(0.001) 1\n    M 1\n    \
+             DETECTOR rec[-1] rec[-2]\n}\nM 0\n",
+        )
+        .expect("redundant memory workload parses"),
+    ));
+    out
+}
+
+/// One row per optimizer-ablation workload: what `optimize` cost and
+/// removed, and serial streaming throughput raw vs optimized.
+fn opt_ablation_rows(n: usize, stream_shots: usize) -> Vec<Json> {
+    let mut rows = Vec::new();
+    for (name, circuit) in opt_ablation_circuits(n) {
+        let t = Instant::now();
+        let result = optimize(&circuit);
+        let opt_secs = t.elapsed().as_secs_f64();
+        let rollbacks = result
+            .proof
+            .iter()
+            .filter(|p| matches!(p.status, ProofStatus::RolledBack { .. }))
+            .count();
+
+        let throughput = |c: &Circuit| {
+            let sampler = build_sampler(c, &SimConfig::new()).expect("engine builds");
+            let secs = time_mean(|| {
+                let cfg = SimConfig::new().with_seed(1).with_threads(1);
+                let mut out = CountingSink::default();
+                sink::stream_with_config(sampler.as_ref(), stream_shots, &cfg, &mut out)
+                    .expect("counting sink cannot fail");
+                std::hint::black_box(out.measurement_ones);
+            });
+            stream_shots as f64 / secs
+        };
+        let raw = throughput(&circuit);
+        let opt = throughput(&result.circuit);
+
+        rows.push(Json::obj(vec![
+            ("circuit", Json::Str(name.to_owned())),
+            ("opt_time_s", Json::Num(opt_secs)),
+            ("gates_before", Json::Num(result.report.gates_before as f64)),
+            ("gates_after", Json::Num(result.report.gates_after as f64)),
+            (
+                "noise_before",
+                Json::Num(result.report.noise_sites_before as f64),
+            ),
+            (
+                "noise_after",
+                Json::Num(result.report.noise_sites_after as f64),
+            ),
+            ("flips", Json::Num(result.flipped_records.len() as f64)),
+            ("rollbacks", Json::Num(rollbacks as f64)),
+            ("raw_shots_per_sec", Json::Num(raw)),
+            ("opt_shots_per_sec", Json::Num(opt)),
+            ("speedup_vs_raw", Json::Num(opt / raw)),
+        ]));
+    }
+    rows
 }
 
 /// Runs the full kernel + end-to-end matrix and returns the report as a
@@ -281,6 +356,7 @@ pub fn run_perf_report(cfg: &PerfConfig) -> Json {
         ),
         ("kernels", Json::Arr(kernel_rows)),
         ("end_to_end", Json::Arr(end_rows)),
+        ("opt", Json::Arr(opt_ablation_rows(cfg.n, cfg.stream_shots))),
     ])
 }
 
@@ -356,6 +432,22 @@ mod tests {
         let ends = report.get("end_to_end").and_then(Json::as_arr).unwrap();
         assert_eq!(ends.len(), 6); // 3 circuits × 2 thread budgets.
         assert!(baseline_surface_throughput(&report).unwrap() > 0.0);
+
+        let opts = report.get("opt").and_then(Json::as_arr).unwrap();
+        assert_eq!(opts.len(), 4); // 3 ablation circuits + redundant_memory.
+        for row in opts {
+            assert_eq!(row.get("rollbacks").and_then(Json::as_f64), Some(0.0));
+            assert!(row.get("opt_shots_per_sec").and_then(Json::as_f64).unwrap() > 0.0);
+        }
+        let redundant = opts
+            .iter()
+            .find(|r| r.get("circuit").and_then(Json::as_str) == Some("redundant_memory"))
+            .unwrap();
+        assert!(
+            redundant.get("gates_after").and_then(Json::as_f64)
+                < redundant.get("gates_before").and_then(Json::as_f64),
+            "redundant workload must shrink"
+        );
 
         // Round-trip through text exactly as CI does.
         let parsed = Json::parse(&report.render()).unwrap();

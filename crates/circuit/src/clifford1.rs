@@ -1,0 +1,274 @@
+//! The 24-element single-qubit Clifford group, derived from
+//! [`Gate::conjugate`].
+//!
+//! A single-qubit Clifford is determined (up to global phase) by where it
+//! sends the Pauli generators `X` and `Z` under conjugation: a signed
+//! Pauli image for each, with the two images anticommuting. Six signed
+//! images for `X` times four anticommuting signed images for `Z` gives
+//! the familiar 24 elements.
+//!
+//! [`Clifford1`] stores exactly that pair of images, composes with
+//! [`Clifford1::then`], and canonicalizes through a lazily-built table
+//! mapping each of the 24 elements to its shortest named-gate word
+//! (length 0–2, deterministic tie-break in [`Gate::ALL`] order). The
+//! table is *derived* from `Gate::conjugate` at first use — there is no
+//! hand-written 24×24 array to drift from the reference semantics — and
+//! the tests in this module pin the derivation exhaustively against
+//! pairwise conjugation.
+//!
+//! This is the algebra behind the optimizer's fuse pass
+//! (`symphase-analysis`): a run of adjacent single-qubit gates on one
+//! qubit composes to one `Clifford1`, which then re-emits as its
+//! canonical word.
+
+use std::sync::OnceLock;
+
+use crate::gate::{Gate, SmallPauli};
+
+/// A single-qubit Clifford element, represented by the signed Pauli
+/// images of the `X` and `Z` generators under conjugation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Clifford1 {
+    x_img: SmallPauli,
+    z_img: SmallPauli,
+}
+
+impl Clifford1 {
+    /// The identity element (`X → X`, `Z → Z`).
+    #[must_use]
+    pub fn identity() -> Clifford1 {
+        Clifford1 {
+            x_img: SmallPauli::x0(),
+            z_img: SmallPauli::z0(),
+        }
+    }
+
+    /// The element implemented by a named single-qubit gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is not single-qubit.
+    #[must_use]
+    pub fn from_gate(gate: Gate) -> Clifford1 {
+        assert_eq!(
+            gate.arity(),
+            1,
+            "{} is not a single-qubit gate",
+            gate.name()
+        );
+        Clifford1 {
+            x_img: gate.conjugate(SmallPauli::x0()),
+            z_img: gate.conjugate(SmallPauli::z0()),
+        }
+    }
+
+    /// Conjugates a qubit-0 Pauli through this element: `P ↦ U P U†`.
+    ///
+    /// Mirrors the canonical-order expansion of [`Gate::conjugate`]: the
+    /// input's phase carries over and each present generator contributes
+    /// its image, `X` factor first.
+    #[must_use]
+    pub fn apply(self, p: SmallPauli) -> SmallPauli {
+        debug_assert!(!p.x1 && !p.z1, "Clifford1 acts on qubit 0 only");
+        let mut out = SmallPauli::identity().phased(p.phase);
+        if p.x0 {
+            out = out.mul(self.x_img);
+        }
+        if p.z0 {
+            out = out.mul(self.z_img);
+        }
+        out
+    }
+
+    /// Composition in circuit order: `self` acts first, `next` second.
+    ///
+    /// The combined conjugation map is `P ↦ U_next (U_self P U_self†)
+    /// U_next†`, so each generator image of `self` is pushed through
+    /// `next`.
+    #[must_use]
+    pub fn then(self, next: Clifford1) -> Clifford1 {
+        Clifford1 {
+            x_img: next.apply(self.x_img),
+            z_img: next.apply(self.z_img),
+        }
+    }
+
+    /// The canonical shortest named-gate word for this element, in
+    /// circuit order (`[]` for the identity, otherwise one or two gates).
+    ///
+    /// Deterministic: among equal-length words the first in
+    /// lexicographic [`Gate::ALL`] order wins, so re-canonicalizing a
+    /// canonical word is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not one of the 24 group elements (impossible
+    /// for values built from [`Clifford1::from_gate`] and
+    /// [`Clifford1::then`]).
+    #[must_use]
+    pub fn canonical_gates(self) -> &'static [Gate] {
+        let table = canonical_table();
+        table
+            .iter()
+            .find(|(c, _)| *c == self)
+            .map(|(_, word)| word.as_slice())
+            .expect("every composition of single-qubit gates is in the 24-element table")
+    }
+}
+
+/// The canonical table: each of the 24 elements paired with its shortest
+/// named-gate word. Built once from `Gate::conjugate` by enumerating
+/// words of length 0, 1, 2 over the named single-qubit gates in
+/// [`Gate::ALL`] order and keeping the first word reaching each element.
+fn canonical_table() -> &'static Vec<(Clifford1, Vec<Gate>)> {
+    static TABLE: OnceLock<Vec<(Clifford1, Vec<Gate>)>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let single: Vec<Gate> = Gate::ALL
+            .iter()
+            .copied()
+            .filter(|g| g.arity() == 1)
+            .collect();
+        let mut table: Vec<(Clifford1, Vec<Gate>)> = vec![(Clifford1::identity(), Vec::new())];
+        let insert = |table: &mut Vec<(Clifford1, Vec<Gate>)>, c: Clifford1, word: Vec<Gate>| {
+            if !table.iter().any(|(seen, _)| *seen == c) {
+                table.push((c, word));
+            }
+        };
+        for &g in &single {
+            insert(&mut table, Clifford1::from_gate(g), vec![g]);
+        }
+        for &a in &single {
+            for &b in &single {
+                let c = Clifford1::from_gate(a).then(Clifford1::from_gate(b));
+                insert(&mut table, c, vec![a, b]);
+            }
+        }
+        assert_eq!(
+            table.len(),
+            24,
+            "words of length ≤ 2 over the named gates must cover the group"
+        );
+        table
+    })
+}
+
+impl Gate {
+    /// The canonical named-gate word for a single-qubit gate — the word
+    /// the optimizer's fuse pass would replace it with. `I` canonicalizes
+    /// to the empty word; every other named single-qubit gate is its own
+    /// canonical representative (pinned by the module tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is a two-qubit gate.
+    #[must_use]
+    pub fn canonical_single_qubit(self) -> &'static [Gate] {
+        Clifford1::from_gate(self).canonical_gates()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::PauliKind;
+
+    fn single_qubit_gates() -> Vec<Gate> {
+        Gate::ALL
+            .iter()
+            .copied()
+            .filter(|g| g.arity() == 1)
+            .collect()
+    }
+
+    /// Composition through `then` agrees with pairwise conjugation
+    /// through `Gate::conjugate` for every ordered pair of named gates
+    /// and every signed single-qubit Pauli input.
+    #[test]
+    fn composition_matches_pairwise_conjugation() {
+        let inputs: Vec<SmallPauli> = [PauliKind::X, PauliKind::Y, PauliKind::Z]
+            .iter()
+            .flat_map(|&k| (0..4).map(move |q| SmallPauli::from_kind(k).phased(q)))
+            .collect();
+        for &a in &single_qubit_gates() {
+            for &b in &single_qubit_gates() {
+                let composed = Clifford1::from_gate(a).then(Clifford1::from_gate(b));
+                for &p in &inputs {
+                    assert_eq!(
+                        composed.apply(p),
+                        b.conjugate(a.conjugate(p)),
+                        "{} then {} on {p:?}",
+                        a.name(),
+                        b.name(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The canonical table covers exactly 24 elements and every word
+    /// reproduces its element when re-composed.
+    #[test]
+    fn canonical_words_reproduce_their_elements() {
+        let mut seen = std::collections::HashSet::new();
+        for &a in &single_qubit_gates() {
+            for &b in &single_qubit_gates() {
+                seen.insert(Clifford1::from_gate(a).then(Clifford1::from_gate(b)));
+            }
+        }
+        assert_eq!(seen.len(), 24, "pairwise products must cover the group");
+        for c in seen {
+            let word = c.canonical_gates();
+            assert!(word.len() <= 2);
+            let rebuilt = word.iter().fold(Clifford1::identity(), |acc, &g| {
+                acc.then(Clifford1::from_gate(g))
+            });
+            assert_eq!(
+                rebuilt, c,
+                "canonical word {word:?} does not reproduce {c:?}"
+            );
+        }
+    }
+
+    /// Canonicalization is idempotent: the canonical word of a canonical
+    /// word's composition is the same word.
+    #[test]
+    fn canonicalization_is_idempotent() {
+        for (c, word) in canonical_table() {
+            let rebuilt = word.iter().fold(Clifford1::identity(), |acc, &g| {
+                acc.then(Clifford1::from_gate(g))
+            });
+            assert_eq!(rebuilt.canonical_gates(), word.as_slice(), "{c:?}");
+        }
+    }
+
+    /// Every named single-qubit gate other than `I` is its own canonical
+    /// representative (the 15 names denote 15 distinct elements), and `I`
+    /// canonicalizes away entirely.
+    #[test]
+    fn named_gates_are_canonical_representatives() {
+        assert_eq!(Gate::I.canonical_single_qubit(), &[] as &[Gate]);
+        for &g in &single_qubit_gates() {
+            if g == Gate::I {
+                continue;
+            }
+            assert_eq!(g.canonical_single_qubit(), &[g], "{}", g.name());
+        }
+    }
+
+    /// Identity laws and inverses: `g then g.inverse()` is the identity
+    /// element for every named single-qubit gate.
+    #[test]
+    fn inverses_compose_to_identity() {
+        for &g in &single_qubit_gates() {
+            let c = Clifford1::from_gate(g).then(Clifford1::from_gate(g.inverse()));
+            assert_eq!(c, Clifford1::identity(), "{}", g.name());
+            assert_eq!(c.canonical_gates().len(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a single-qubit gate")]
+    fn two_qubit_gate_rejected() {
+        let _ = Clifford1::from_gate(Gate::Cx);
+    }
+}

@@ -61,6 +61,7 @@
 
 pub mod action;
 mod circuit;
+pub mod clifford1;
 pub mod gate;
 pub mod generators;
 mod instruction;
@@ -70,6 +71,7 @@ mod traverse;
 
 pub use action::{apply_action1, apply_action2, XZAction1, XZAction2};
 pub use circuit::{Block, Circuit, CircuitStats};
+pub use clifford1::Clifford1;
 pub use gate::{Gate, PauliKind, SmallPauli};
 pub use instruction::{
     pauli_channel_2_bits, pauli_channel_2_select, pauli_product_plan, Instruction, NoiseChannel,

@@ -21,6 +21,11 @@ use crate::symbol::{SymbolId, SymbolTable};
 pub(crate) struct InitResult {
     pub table: SymbolTable,
     pub measurements: Vec<SymExpr>,
+    /// Per record: whether the collapse drew a fresh coin (random
+    /// outcome) rather than reading a determined stabilizer phase.
+    /// Resets also collapse, but record nothing and so appear nowhere
+    /// here.
+    pub random_records: Vec<bool>,
 }
 
 /// Runs Initialization with the chosen symbolic phase store.
@@ -40,6 +45,7 @@ pub(crate) fn initialize<S: SymbolicPhases>(circuit: &Circuit) -> InitResult {
     tab.phases_mut().set_symbol_tracking_floor(n);
     let mut table = SymbolTable::new();
     let mut measurements: Vec<SymExpr> = Vec::with_capacity(circuit.num_measurements());
+    let mut random_records: Vec<bool> = Vec::with_capacity(circuit.num_measurements());
     // One shared fault-mask scratch row for the whole traversal: every
     // path that conjugates a (symbolic or expression-controlled) Pauli —
     // noise channels, the reset half of R/MR, and feedback — fills and
@@ -54,8 +60,10 @@ pub(crate) fn initialize<S: SymbolicPhases>(circuit: &Circuit) -> InitResult {
             }
             Instruction::Measure { basis, targets } => {
                 for &q in targets {
-                    let e = measure_basis_symbolic(&mut tab, &mut table, *basis, q as usize);
+                    let (e, random) =
+                        measure_basis_symbolic(&mut tab, &mut table, *basis, q as usize);
                     measurements.push(e);
+                    random_records.push(random);
                 }
             }
             Instruction::Reset { basis, targets } => {
@@ -65,18 +73,20 @@ pub(crate) fn initialize<S: SymbolicPhases>(circuit: &Circuit) -> InitResult {
             }
             Instruction::MeasureReset { basis, targets } => {
                 for &q in targets {
-                    let e = conjugated(&mut tab, *basis, q as usize, |tab| {
-                        let e = measure_symbolic(tab, &mut table, q as usize);
+                    let (e, random) = conjugated(&mut tab, *basis, q as usize, |tab| {
+                        let (e, random) = measure_symbolic(tab, &mut table, q as usize);
                         apply_expr_fault(tab, &mut mask, PauliKind::X, q as usize, &e);
-                        e
+                        (e, random)
                     });
                     measurements.push(e);
+                    random_records.push(random);
                 }
             }
             Instruction::MeasurePauliProduct { products } => {
                 for product in products {
-                    let e = measure_product_symbolic(&mut tab, &mut table, product);
+                    let (e, random) = measure_product_symbolic(&mut tab, &mut table, product);
                     measurements.push(e);
+                    random_records.push(random);
                 }
             }
             Instruction::CorrelatedError {
@@ -116,6 +126,7 @@ pub(crate) fn initialize<S: SymbolicPhases>(circuit: &Circuit) -> InitResult {
     InitResult {
         table,
         measurements,
+        random_records,
     }
 }
 
@@ -251,7 +262,7 @@ fn measure_symbolic<S: SymbolicPhases>(
     tab: &mut Tableau<S>,
     table: &mut SymbolTable,
     q: usize,
-) -> SymExpr {
+) -> (SymExpr, bool) {
     match tab.collapse_z(q) {
         Collapse::Random { pivot } => {
             let s = table.fresh_coin();
@@ -259,11 +270,11 @@ fn measure_symbolic<S: SymbolicPhases>(
             phases.ensure_symbol_capacity(s);
             let (w, b) = (pivot / 64, pivot % 64);
             phases.xor_symbol_word(s, w, 1u64 << b);
-            SymExpr::symbol(s)
+            (SymExpr::symbol(s), true)
         }
         Collapse::Deterministic => {
             tab.accumulate_deterministic(q);
-            tab.phases().row_expr(tab.scratch_row())
+            (tab.phases().row_expr(tab.scratch_row()), false)
         }
     }
 }
@@ -294,7 +305,7 @@ fn measure_basis_symbolic<S: SymbolicPhases>(
     table: &mut SymbolTable,
     basis: PauliKind,
     q: usize,
-) -> SymExpr {
+) -> (SymExpr, bool) {
     conjugated(tab, basis, q, |tab| measure_symbolic(tab, table, q))
 }
 
@@ -308,7 +319,7 @@ fn reset_basis_symbolic<S: SymbolicPhases>(
     q: usize,
 ) {
     conjugated(tab, basis, q, |tab| {
-        let e = measure_symbolic(tab, table, q);
+        let (e, _) = measure_symbolic(tab, table, q);
         apply_expr_fault(tab, mask, PauliKind::X, q, &e);
     });
 }
@@ -321,7 +332,7 @@ fn measure_product_symbolic<S: SymbolicPhases>(
     tab: &mut Tableau<S>,
     table: &mut SymbolTable,
     product: &[PauliFactor],
-) -> SymExpr {
+) -> (SymExpr, bool) {
     let (ops, anchor) = pauli_product_plan(product);
     for op in &ops {
         tab.apply_gate(op.gate, op.targets());

@@ -56,6 +56,7 @@ pub struct SymPhaseSampler {
     auto_method: SamplingMethod,
     table: SymbolTable,
     measurement_exprs: Vec<SymExpr>,
+    random_records: Vec<bool>,
     meas_rows: SparseRowMatrix,
     det_rows: SparseRowMatrix,
     obs_rows: SparseRowMatrix,
@@ -219,6 +220,7 @@ impl SymPhaseSampler {
             auto_method,
             table: init.table,
             measurement_exprs: init.measurements,
+            random_records: init.random_records,
             meas_rows,
             det_rows,
             obs_rows,
@@ -275,6 +277,16 @@ impl SymPhaseSampler {
     /// All measurement expressions in record order.
     pub fn measurement_exprs(&self) -> &[SymExpr] {
         &self.measurement_exprs
+    }
+
+    /// Per record, whether the measurement's collapse was **random** —
+    /// the outcome drew a fresh fair coin — as opposed to reading a
+    /// determined stabilizer phase. Exact (reported by Initialization at
+    /// collapse time), unlike any reconstruction from the symbol table:
+    /// resets also allocate coins without recording anything, and
+    /// re-measurements inherit earlier coins while staying deterministic.
+    pub fn random_measurement_records(&self) -> &[bool] {
+        &self.random_records
     }
 
     /// The symbolic expression of detector `d`. Coins always cancel here;

@@ -49,6 +49,16 @@ pub fn build_sampler(
     config: &SimConfig,
 ) -> Result<Box<dyn Sampler>, BuildError> {
     config.validate()?;
+    // With `optimize` set, the engine is built from the optimizer's
+    // verified output circuit — by construction bit-identical per seed
+    // to sampling that output directly (`tests/opt.rs` pins this).
+    let optimized;
+    let circuit = if config.optimize() {
+        optimized = symphase_analysis::optimize(circuit).circuit;
+        &optimized
+    } else {
+        circuit
+    };
     Ok(match config.engine() {
         EngineKind::SymPhase | EngineKind::SymPhaseSparse | EngineKind::SymPhaseDense => Box::new(
             SymPhaseSampler::with_config(circuit, config.effective_phase_repr(), config.sampling()),

@@ -98,6 +98,8 @@ commands:
   detect     sample detectors and observables  (--shots, --seed, --format, --out, --obs-out, --engine, --par)
   analyze    print circuit statistics and symbolic measurement expressions
   lint       run the static analyzer (--format text|json, --deny <code|warnings>)
+  opt        run the verified optimizer and print the optimized circuit
+             (--passes strip,fuse,propagate; --stats; --format text|json)
   stats      print structural statistics only (O(file), REPEAT never expanded)
   dem        print the detector error model
   reference  print the noiseless reference sample
@@ -116,6 +118,10 @@ options:
       --deny <c>         lint: treat diagnostic code <c> (e.g. SP001) — or all
                          warnings with '--deny warnings' — as errors (exit 1);
                          repeatable
+      --passes <list>    opt: comma-separated pass list run per fixpoint round
+                         (default strip,fuse,propagate)
+      --stats            opt: append the optimizer report (gates before/after,
+                         per-pass counts, proof outcomes) as # comment lines
       --out <path>       stream sample output to a file instead of stdout
       --obs-out <path>   detect: stream observables to their own file (the main
                          output then carries detectors only)
@@ -150,6 +156,8 @@ struct Options {
     seed: u64,
     format: String,
     deny: Vec<String>,
+    passes: Option<String>,
+    stats: bool,
     out: Option<String>,
     obs_out: Option<String>,
     engine: String,
@@ -212,6 +220,8 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
             }
             "--format" => opts.format = value("--format")?,
             "--deny" => opts.deny.push(value("--deny")?),
+            "--passes" => opts.passes = Some(value("--passes")?),
+            "--stats" => opts.stats = true,
             "--out" => opts.out = Some(value("--out")?),
             "--obs-out" => opts.obs_out = Some(value("--obs-out")?),
             "--engine" => opts.engine = value("--engine")?,
@@ -312,21 +322,28 @@ fn sampling_config(
     Ok((cfg, format))
 }
 
-fn load_circuit(opts: &Options) -> Result<Circuit, CliError> {
+/// Reads the `--circuit` file (or stdin for `-`) as raw text — the one
+/// loader every command shares, so `lint` and `opt` see the same bytes
+/// and can share the `parse_with_sources` line mapping.
+fn read_circuit_text(opts: &Options) -> Result<String, CliError> {
     let path = opts
         .circuit_path
         .as_deref()
         .ok_or_else(|| fail("missing --circuit"))?;
-    let text = if path == "-" {
+    if path == "-" {
         use std::io::Read;
         let mut buf = String::new();
         io::stdin()
             .read_to_string(&mut buf)
             .map_err(|e| fail_run(format!("reading stdin: {e}")))?;
-        buf
+        Ok(buf)
     } else {
-        std::fs::read_to_string(path).map_err(|e| fail_run(format!("reading {path}: {e}")))?
-    };
+        std::fs::read_to_string(path).map_err(|e| fail_run(format!("reading {path}: {e}")))
+    }
+}
+
+fn load_circuit(opts: &Options) -> Result<Circuit, CliError> {
+    let text = read_circuit_text(opts)?;
     Circuit::parse(&text).map_err(|e| fail_run(format!("parse error: {e}")))
 }
 
@@ -348,6 +365,7 @@ pub fn run_to(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "detect" => cmd_detect(&opts, out),
         "analyze" => write_str(out, &cmd_analyze(&opts)?),
         "lint" => cmd_lint(&opts, out),
+        "opt" => cmd_opt(&opts, out),
         "stats" => write_str(out, &cmd_stats(&opts)?),
         "dem" => write_str(out, &cmd_dem(&opts)?),
         "reference" => write_str(out, &cmd_reference(&opts)?),
@@ -471,25 +489,12 @@ fn cmd_lint(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     for d in &opts.deny {
         if d != "warnings" && !symphase_analysis::is_known_code(d) {
             return Err(fail(format!(
-                "--deny takes 'warnings' or a diagnostic code (SP000..SP010), got '{d}'"
+                "--deny takes 'warnings' or a diagnostic code (SP000..SP011), got '{d}'"
             )));
         }
     }
 
-    let path = opts
-        .circuit_path
-        .as_deref()
-        .ok_or_else(|| fail("missing --circuit"))?;
-    let text = if path == "-" {
-        use std::io::Read;
-        let mut buf = String::new();
-        io::stdin()
-            .read_to_string(&mut buf)
-            .map_err(|e| fail_run(format!("reading stdin: {e}")))?;
-        buf
-    } else {
-        std::fs::read_to_string(path).map_err(|e| fail_run(format!("reading {path}: {e}")))?
-    };
+    let text = read_circuit_text(opts)?;
 
     let deny_all = opts.deny.iter().any(|d| d == "warnings");
     let mut diags = symphase_analysis::lint_text(&text);
@@ -522,6 +527,229 @@ fn cmd_lint(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         )));
     }
     Ok(())
+}
+
+/// `opt`: run the verified optimizer and print the optimized circuit.
+///
+/// The default output is the optimized circuit text (which round-trips
+/// through `Circuit::parse`). `--stats` appends the optimizer report as
+/// `#` comment lines, so the output stays parseable; `--format json`
+/// emits a JSON object with the report, proof outcomes, sign-flipped
+/// records, and the circuit text. The parse shares `lint`'s
+/// `parse_with_sources` path, so rollback diagnostics resolve source
+/// lines the same way lint findings do; an unparsable file exits 1 with
+/// the same `SP000`-classified error `lint` would report.
+fn cmd_opt(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    use symphase_analysis::{optimize_with, OptConfig, Pass, ProofStatus};
+
+    let json = match opts.format.as_str() {
+        "01" | "text" => false,
+        "json" => true,
+        other => {
+            return Err(fail(format!(
+                "unknown opt format '{other}' (expected text or json)"
+            )))
+        }
+    };
+    let config = match opts.passes.as_deref() {
+        None => OptConfig::default(),
+        Some(list) => {
+            let mut passes = Vec::new();
+            for name in list.split(',').filter(|s| !s.is_empty()) {
+                passes.push(Pass::from_name(name).ok_or_else(|| {
+                    fail(format!(
+                        "--passes takes a comma-separated list of strip, fuse, propagate; \
+                         got '{name}'"
+                    ))
+                })?);
+            }
+            if passes.is_empty() {
+                return Err(fail("--passes needs at least one pass"));
+            }
+            OptConfig { passes }
+        }
+    };
+
+    let text = read_circuit_text(opts)?;
+    let (circuit, sources) = match Circuit::parse_with_sources(&text) {
+        Ok(parsed) => parsed,
+        Err(_) => {
+            // Same classification and rendering lint gives the file.
+            let diags = symphase_analysis::lint_text(&text);
+            let mut w = open_out(opts.out.as_deref(), out)?;
+            write!(w, "{}", symphase_analysis::render_text(&diags))
+                .map_err(|e| fail_run(format!("writing output: {e}")))?;
+            w.flush()
+                .map_err(|e| fail_run(format!("writing output: {e}")))?;
+            drop(w);
+            return Err(fail_run("opt: the circuit does not parse"));
+        }
+    };
+
+    let mut result = optimize_with(&circuit, &config);
+    for d in &mut result.diagnostics {
+        d.line = sources.line_at(&d.path);
+    }
+
+    let rendered =
+        if json {
+            render_opt_json(&result)
+        } else {
+            let mut s = result.circuit.to_string();
+            if opts.stats {
+                let r = &result.report;
+                let _ =
+                    writeln!(
+                s,
+                "# opt: gates {} -> {}, noise sites {} -> {}, {} measurement(s), {} round(s)",
+                r.gates_before, r.gates_after, r.noise_sites_before, r.noise_sites_after,
+                r.measurements, r.rounds,
+            );
+                for p in &r.passes {
+                    let _ = writeln!(
+                        s,
+                        "# opt: pass {}: {} applied, {} rolled back, {} gate(s) removed, \
+                     {} noise site(s) removed, {} sign flip(s)",
+                        p.pass,
+                        p.applications,
+                        p.rollbacks,
+                        p.gates_removed,
+                        p.noise_sites_removed,
+                        p.sign_flips,
+                    );
+                }
+                let verified = result
+                    .proof
+                    .iter()
+                    .filter(|p| matches!(p.status, ProofStatus::Verified { .. }))
+                    .count();
+                let _ = writeln!(
+                    s,
+                    "# opt: {} rewrite proof(s) discharged, {} rolled back",
+                    verified,
+                    result.proof.len() - verified,
+                );
+                if !result.flipped_records.is_empty() {
+                    let _ = writeln!(
+                        s,
+                        "# opt: sign-flipped measurement record(s): {}",
+                        result
+                            .flipped_records
+                            .iter()
+                            .map(|r| r.to_string())
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                    );
+                }
+            }
+            for d in &result.diagnostics {
+                let _ = write!(
+                    s,
+                    "# {}",
+                    symphase_analysis::render_text(std::slice::from_ref(d))
+                );
+            }
+            s
+        };
+    let mut w = open_out(opts.out.as_deref(), out)?;
+    w.write_all(rendered.as_bytes())
+        .map_err(|e| fail_run(format!("writing output: {e}")))?;
+    w.flush()
+        .map_err(|e| fail_run(format!("writing output: {e}")))
+}
+
+/// JSON rendering of an [`symphase_analysis::OptResult`] (stable field
+/// order, hand-rolled like the lint renderer).
+fn render_opt_json(result: &symphase_analysis::OptResult) -> String {
+    use symphase_analysis::ProofStatus;
+    let r = &result.report;
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"report\": {{\"gates_before\":{},\"gates_after\":{},\"noise_sites_before\":{},\
+         \"noise_sites_after\":{},\"measurements\":{},\"rounds\":{}}},",
+        r.gates_before,
+        r.gates_after,
+        r.noise_sites_before,
+        r.noise_sites_after,
+        r.measurements,
+        r.rounds,
+    );
+    out.push_str("  \"passes\": [");
+    for (i, p) in r.passes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ =
+            write!(
+            out,
+            "\n    {{\"pass\":\"{}\",\"applications\":{},\"rollbacks\":{},\"gates_removed\":{},\
+             \"noise_sites_removed\":{},\"sign_flips\":{}}}",
+            p.pass, p.applications, p.rollbacks, p.gates_removed, p.noise_sites_removed,
+            p.sign_flips,
+        );
+    }
+    out.push_str("\n  ],\n  \"proof\": [");
+    for (i, p) in result.proof.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (status, detail) = match &p.status {
+            ProofStatus::Verified { clamped } => ("verified", format!("\"clamped\":{clamped}")),
+            ProofStatus::RolledBack { reason } => {
+                ("rolled-back", format!("\"reason\":{}", json_string(reason)))
+            }
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"pass\":\"{}\",\"round\":{},\"status\":\"{status}\",{detail},\"flips\":[{}]}}",
+            p.pass,
+            p.round,
+            p.flips
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n  ],\n  \"flipped_records\": [{}],",
+        result
+            .flipped_records
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push_str("  \"diagnostics\": ");
+    out.push_str(symphase_analysis::render_json(&result.diagnostics).trim_end());
+    let _ = writeln!(
+        out,
+        ",\n  \"circuit\": {}\n}}",
+        json_string(&result.circuit.to_string())
+    );
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn cmd_analyze(opts: &Options) -> Result<String, CliError> {

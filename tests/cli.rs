@@ -648,6 +648,108 @@ fn lint_rejects_unknown_deny_and_format() {
     assert_eq!(e.code, 2);
 }
 
+// ---------------------------------------------------------------------
+// `symphase opt`
+// ---------------------------------------------------------------------
+
+#[test]
+fn opt_emits_optimized_circuit_that_reparses_and_relints_clean() {
+    let f = write_circuit("H 0\nH 0\nX_ERROR(0.1) 0\nM 0\nDETECTOR rec[-1]\nS 0\n");
+    let out = run(&args(&["opt", "-c", f.as_str()])).expect("optimizes");
+    // The fused H·H pair and the trailing dead S are gone; the live
+    // noise and the detector stay.
+    assert_eq!(out, "X_ERROR(0.1) 0\nM 0\nDETECTOR rec[-1]\n");
+    // The output round-trips through the parser and re-lints clean of
+    // everything the passes remove.
+    let g = write_circuit(&out);
+    run(&args(&[
+        "lint",
+        "-c",
+        g.as_str(),
+        "--deny",
+        "SP001",
+        "--deny",
+        "SP002",
+        "--deny",
+        "SP011",
+    ]))
+    .expect("optimized output re-lints clean");
+}
+
+#[test]
+fn opt_stats_reports_passes_and_flips() {
+    let f = write_circuit("X 0\nM 0\nM 1\n");
+    let out = run(&args(&["opt", "-c", f.as_str(), "--stats"])).expect("optimizes");
+    assert!(out.starts_with("M 0\nM 1\n"), "{out}");
+    assert!(out.contains("# opt: gates 1 -> 0"), "{out}");
+    assert!(out.contains("# opt: pass propagate: 1 applied"), "{out}");
+    assert!(
+        out.contains("rewrite proof(s) discharged, 0 rolled back"),
+        "{out}"
+    );
+    assert!(
+        out.contains("# opt: sign-flipped measurement record(s): 0"),
+        "{out}"
+    );
+}
+
+#[test]
+fn opt_json_output_carries_report_proof_and_circuit() {
+    let f = write_circuit("H 0\nH 0\nM 0\n");
+    let out = run(&args(&["opt", "-c", f.as_str(), "--format", "json"])).expect("optimizes");
+    assert!(out.contains("\"gates_before\":2"), "{out}");
+    assert!(out.contains("\"gates_after\":0"), "{out}");
+    assert!(out.contains("\"status\":\"verified\""), "{out}");
+    assert!(out.contains("\"flipped_records\": []"), "{out}");
+    assert!(out.contains("\"circuit\": \"M 0\\n\""), "{out}");
+}
+
+#[test]
+fn opt_passes_subset_runs_only_those() {
+    let f = write_circuit("H 0\nH 0\nX 1\nM 0 1\n");
+    // Fuse collapses H·H; the standalone X stays because propagate is
+    // not in the list.
+    let out = run(&args(&["opt", "-c", f.as_str(), "--passes", "fuse"])).expect("runs");
+    assert_eq!(out, "X 1\nM 0 1\n");
+}
+
+#[test]
+fn opt_unparsable_file_exits_1_with_sp000() {
+    // The bugfix pin: `opt` classifies parse failures through the same
+    // source-mapped path as `lint` — SP000 with the offending line, then
+    // exit 1.
+    let f = write_circuit("FROB 0\n");
+    let mut out = Vec::new();
+    let e = symphase::cli::run_to(&args(&["opt", "-c", f.as_str()]), &mut out).unwrap_err();
+    assert_eq!(e.code, 1);
+    assert!(e.message.contains("does not parse"), "{}", e.message);
+    let text = String::from_utf8(out).expect("utf-8");
+    assert!(text.contains("error[SP000] line 1:"), "{text}");
+}
+
+#[test]
+fn opt_rejects_bad_passes_and_format() {
+    let f = write_circuit("M 0\n");
+    let e = run(&args(&["opt", "-c", f.as_str(), "--passes", "warp"])).unwrap_err();
+    assert_eq!(e.code, 2);
+    assert!(
+        e.message.contains("strip, fuse, propagate"),
+        "{}",
+        e.message
+    );
+    let e = run(&args(&["opt", "-c", f.as_str(), "--passes", ","])).unwrap_err();
+    assert_eq!(e.code, 2);
+    let e = run(&args(&["opt", "-c", f.as_str(), "--format", "counts"])).unwrap_err();
+    assert_eq!(e.code, 2);
+}
+
+#[test]
+fn lint_deny_sp011_escalates_fusable_runs() {
+    let f = write_circuit("H 0\nH 0\nM 0\n");
+    let e = run(&args(&["lint", "-c", f.as_str(), "--deny", "SP011"])).unwrap_err();
+    assert_eq!(e.code, 1);
+}
+
 #[test]
 fn lint_parse_errors_render_as_diagnostics_and_exit_1() {
     // Unknown instruction: SP000, error severity, exit 1 even without --deny.

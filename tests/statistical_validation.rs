@@ -4,10 +4,18 @@
 //! Each engine samples the same circuit; per-measurement marginals and
 //! pairwise XOR correlations must agree within 6σ (fixed seeds, so the
 //! test is deterministic).
+//!
+//! The `optimized_*` tests close the loop on the rewrite driver: every
+//! engine samples the **optimized** circuit, the declared record flips
+//! are applied, and the result is compared against state-vector ground
+//! truth on the **original** — so fuse/strip/propagate must preserve
+//! whole distributions, not just symbolic expressions. (Valid only when
+//! no noise was stripped: `SP002` noise can still reach raw records.)
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use symphase::analysis::{optimize, ProofStatus};
 use symphase::circuit::{Circuit, NoiseChannel};
 use symphase::core::SymPhaseSampler;
 use symphase::frame::FrameSampler;
@@ -110,6 +118,84 @@ fn validate(circuit: &Circuit, shots: usize, statevec_shots: usize, label: &str)
     assert_close(&fr, &sv, &format!("{label}: frame vs statevec"));
     assert_close(&sp, &sv, &format!("{label}: symphase vs statevec"));
     assert_close(&sp, &fr, &format!("{label}: symphase vs frame"));
+}
+
+/// Samples the *optimized* circuit on every engine, XORs in the
+/// optimizer's declared record flips, and compares against state-vector
+/// ground truth on the *original* circuit.
+fn validate_optimized(circuit: &Circuit, shots: usize, statevec_shots: usize, label: &str) {
+    let r = optimize(circuit);
+    for p in &r.proof {
+        assert!(
+            matches!(p.status, ProofStatus::Verified { .. }),
+            "{label}: rolled back {p:?}"
+        );
+    }
+    assert!(r.changed(), "{label}: workload offers the passes nothing");
+    // Raw-record distributions only survive when no noise was stripped:
+    // `SP002` noise is invisible to detectors/observables but can still
+    // reach raw records.
+    assert_eq!(
+        r.report.noise_sites_after, r.report.noise_sites_before,
+        "{label}: stripped noise invalidates raw-record comparison"
+    );
+    let opt = &r.circuit;
+    let nm = circuit.num_measurements();
+    assert_eq!(opt.num_measurements(), nm, "{label}: record count changed");
+    let flip: Vec<bool> = (0..nm).map(|m| r.flipped_records.contains(&m)).collect();
+    let n = circuit.num_qubits() as usize;
+
+    // Ground truth: dense state vector on the ORIGINAL circuit.
+    let mut sv_rng = StateVecSimulator::new(StdRng::seed_from_u64(101));
+    let sv = collect(nm, statevec_shots, || {
+        let rec = sv_rng.run(circuit);
+        (0..nm).map(|m| rec.get(m)).collect()
+    });
+
+    // State vector on the optimized circuit (flip-corrected): the same
+    // ground-truth physics must also hold *after* the rewrite.
+    let mut svo_rng = StateVecSimulator::new(StdRng::seed_from_u64(111));
+    let svo = collect(nm, statevec_shots, || {
+        let rec = svo_rng.run(opt);
+        (0..nm).map(|m| rec.get(m) ^ flip[m]).collect()
+    });
+
+    let mut tsim = TableauSimulator::new(n, StdRng::seed_from_u64(202));
+    let tb = collect(nm, shots, || {
+        let rec = tsim.run(opt);
+        (0..nm).map(|m| rec.get(m) ^ flip[m]).collect()
+    });
+
+    let frame = FrameSampler::new(opt);
+    let fsamples = frame.sample(shots, &mut StdRng::seed_from_u64(303));
+    let mut col = 0usize;
+    let fr = collect(nm, shots, || {
+        let rec = (0..nm).map(|m| fsamples.get(m, col) ^ flip[m]).collect();
+        col += 1;
+        rec
+    });
+
+    let sym = SymPhaseSampler::new(opt);
+    let ssamples = sym.sample(shots, &mut StdRng::seed_from_u64(404));
+    let mut col = 0usize;
+    let sp = collect(nm, shots, || {
+        let rec = (0..nm).map(|m| ssamples.get(m, col) ^ flip[m]).collect();
+        col += 1;
+        rec
+    });
+
+    assert_close(
+        &svo,
+        &sv,
+        &format!("{label}: optimized statevec vs original"),
+    );
+    assert_close(&tb, &sv, &format!("{label}: optimized tableau vs original"));
+    assert_close(&fr, &sv, &format!("{label}: optimized frame vs original"));
+    assert_close(
+        &sp,
+        &sv,
+        &format!("{label}: optimized symphase vs original"),
+    );
 }
 
 #[test]
@@ -235,6 +321,80 @@ M 1
     )
     .expect("valid circuit");
     validate(&c, 40_000, 4_000, "correlated chain");
+}
+
+#[test]
+fn optimized_parity_round_distribution() {
+    // Live noise (both X_ERRORs reach the detector), a fusable identity
+    // pair, and a standalone Pauli that propagates into a flip of the
+    // unreferenced record `M 0`.
+    let c = Circuit::parse(
+        "\
+R 0 1 2
+X_ERROR(0.2) 0
+X_ERROR(0.1) 1
+CX 0 1
+M 1
+DETECTOR rec[-1]
+H 2
+H 2
+X 0
+M 0
+M 2
+",
+    )
+    .expect("valid circuit");
+    validate_optimized(&c, 40_000, 4_000, "optimized parity round");
+}
+
+#[test]
+fn optimized_entangled_remeasure_distribution() {
+    // The frame conjugates through `CX 1 0` onto both qubits, flipping
+    // two deterministic re-measurements whose expressions inherit the
+    // Bell pair's shared coin; the detector bars the first two records.
+    let c = Circuit::parse(
+        "\
+H 0
+CX 0 1
+X_ERROR(0.3) 1
+M 0 1
+DETECTOR rec[-1] rec[-2]
+X 1
+CX 1 0
+M 0
+S 0
+S_DAG 0
+M 1
+",
+    )
+    .expect("valid circuit");
+    validate_optimized(&c, 40_000, 4_000, "optimized entangled remeasure");
+}
+
+#[test]
+fn optimized_ancilla_recycling_distribution() {
+    // Measure-reset ancilla recycling with a fourth-power rotation run
+    // that fuses to identity, plus a propagated flip on `M 0`.
+    let c = Circuit::parse(
+        "\
+R 2
+X_ERROR(0.2) 0
+CX 0 2
+MR 2
+DETECTOR rec[-1]
+SQRT_X 1
+SQRT_X 1
+SQRT_X 1
+SQRT_X 1
+CX 1 2
+MR 2
+DETECTOR rec[-1]
+X 0
+M 0 1
+",
+    )
+    .expect("valid circuit");
+    validate_optimized(&c, 40_000, 4_000, "optimized ancilla recycling");
 }
 
 #[test]
