@@ -50,7 +50,10 @@ pub mod record;
 pub mod sink;
 
 pub use config::{BuildError, EngineKind, PhaseRepr, SamplingMethod, SimConfig};
-pub use sink::{CollectSink, CountingSink, FanoutSink, ShotSink, ShotSpec};
+pub use sink::{
+    range_chunk_spans, stream_range_par, stream_range_seeded, stream_range_with_config,
+    CollectSink, CountingSink, FanoutSink, ShotSink, ShotSpec,
+};
 
 /// Shots per sampling chunk: a multiple of 64 (so chunk boundaries stay
 /// word-aligned in the bit-packed output) that keeps per-chunk working
@@ -341,6 +344,47 @@ mod tests {
                 assert_eq!(a, c, "mismatch at {shots} shots / {threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn range_shards_reassemble_the_full_run_bit_for_bit() {
+        let s = FakeSampler { nm: 5 };
+        let cw = 64;
+        let total = 4 * cw + 17; // final chunk is partial
+        let seed = 0xB00F;
+        let mut full = CollectSink::new();
+        sink::stream_seeded(&s, total, seed, cw, &mut full).expect("in-memory");
+        let full = full.into_batch();
+        // Shard the run into chunk-aligned ranges (the serve daemon's
+        // contract), draw each independently — serial and threaded — and
+        // paste the shards back together: the reassembly must equal the
+        // full local run byte for byte.
+        for threads in [1, 3] {
+            let mut pasted = SampleBatch::zeros(5, 0, 0, total);
+            for (start, end) in [(0, cw), (cw, 3 * cw), (3 * cw, total)] {
+                let mut out = CollectSink::new();
+                stream_range_par(&s, start, end, seed, cw, threads, &mut out).expect("in-memory");
+                let shard = out.into_batch();
+                assert_eq!(shard.shots(), end - start);
+                pasted.paste_columns(&shard, start);
+            }
+            assert_eq!(
+                pasted, full,
+                "shard reassembly mismatch at {threads} threads"
+            );
+        }
+        // An empty range is a well-formed zero-shot stream.
+        let mut empty = CollectSink::new();
+        stream_range_seeded(&s, cw, cw, seed, cw, &mut empty).expect("in-memory");
+        assert_eq!(empty.into_batch().shots(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the chunk width")]
+    fn range_start_must_be_chunk_aligned() {
+        let s = FakeSampler { nm: 1 };
+        let mut out = CollectSink::new();
+        let _ = stream_range_seeded(&s, 32, 128, 0, 64, &mut out);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::SampleBatch;
-use crate::{chunk_seed, chunk_spans_with, Sampler};
+use crate::{chunk_seed, Sampler};
 
 /// The fixed per-request shape a sink learns before the first chunk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -195,6 +195,39 @@ fn check_chunk_shots(chunk_shots: usize) {
     );
 }
 
+/// Asserts the shot-range contract shared by the range streaming entry
+/// points: the start must sit on a chunk boundary (so the range is a
+/// suffix-aligned window of the global chunk schedule) and the range must
+/// not be inverted.
+fn check_range(start: usize, end: usize, chunk_shots: usize) {
+    assert!(
+        start.is_multiple_of(chunk_shots),
+        "shot-range start must be a multiple of the chunk width \
+         ({chunk_shots}), got {start} — unaligned ranges would re-draw a \
+         chunk at a different width and break byte-identity with the \
+         full-run schedule"
+    );
+    assert!(start <= end, "inverted shot range [{start}, {end})");
+}
+
+/// The chunk schedule covering shot range `[start, end)` of a request of
+/// `end` total shots: `(global_start, width)` spans, all but the last
+/// `chunk_shots` wide. `start` must be chunk-aligned, so the spans are
+/// exactly the suffix of [`crate::chunk_spans_with`]`(end, chunk_shots)` that
+/// begins at `start` — which is what makes range-streamed bytes identical
+/// to the corresponding window of a full local run.
+pub fn range_chunk_spans(
+    start: usize,
+    end: usize,
+    chunk_shots: usize,
+) -> impl Iterator<Item = (usize, usize)> {
+    check_chunk_shots(chunk_shots);
+    check_range(start, end, chunk_shots);
+    (start..end)
+        .step_by(chunk_shots)
+        .map(move |s| (s, chunk_shots.min(end - s)))
+}
+
 /// Streams `shots` shots into `sink` honoring every knob of `config`:
 /// seed, thread budget (`1` = serial, `0` = all cores), and chunk width.
 /// This is the config-driven entry point the CLI runs; the `Sampler`
@@ -210,12 +243,46 @@ pub fn stream_with_config<S: Sampler + ?Sized>(
     config: &crate::SimConfig,
     sink: &mut dyn ShotSink,
 ) -> io::Result<()> {
+    stream_range_with_config(sampler, 0, shots, config, sink)
+}
+
+/// [`stream_with_config`] restricted to the shot range `[start, end)` of
+/// a request of `end` total shots — the sharding entry point the
+/// `symphase serve` daemon runs.
+///
+/// `start` must be a multiple of the configured chunk width; the range is
+/// then exactly a window of the global chunk schedule, so the bytes a
+/// sink receives are **identical** to the corresponding window of a full
+/// `stream_with_config(sampler, end, ..)` run — whether the range is
+/// computed locally, by one worker, or split across machines. The sink
+/// sees chunk starts *relative to* `start` (a range request delivers a
+/// self-contained `[0, end - start)` stream).
+///
+/// # Panics
+///
+/// Panics if `start` is not chunk-aligned or `start > end` (the serve
+/// protocol validates ranges before sampling starts).
+pub fn stream_range_with_config<S: Sampler + ?Sized>(
+    sampler: &S,
+    start: usize,
+    end: usize,
+    config: &crate::SimConfig,
+    sink: &mut dyn ShotSink,
+) -> io::Result<()> {
     if config.threads() == 1 {
-        stream_seeded(sampler, shots, config.seed(), config.chunk_shots(), sink)
-    } else {
-        stream_par(
+        stream_range_seeded(
             sampler,
-            shots,
+            start,
+            end,
+            config.seed(),
+            config.chunk_shots(),
+            sink,
+        )
+    } else {
+        stream_range_par(
+            sampler,
+            start,
+            end,
             config.seed(),
             config.chunk_shots(),
             config.threads(),
@@ -240,10 +307,34 @@ pub fn stream_seeded<S: Sampler + ?Sized>(
     chunk_shots: usize,
     sink: &mut dyn ShotSink,
 ) -> io::Result<()> {
+    stream_range_seeded(sampler, 0, shots, seed, chunk_shots, sink)
+}
+
+/// [`stream_seeded`] restricted to the shot range `[start, end)` of a
+/// request of `end` total shots: serially streams exactly the chunks of
+/// the global schedule that cover the range, each seeded by its *global*
+/// chunk index, delivering chunk starts relative to `start`. The bytes a
+/// sink receives are therefore identical to the `[start, end)` window of
+/// `stream_seeded(sampler, end, seed, chunk_shots, ..)` — the property
+/// the serve daemon's shot-range sharding rests on.
+///
+/// # Panics
+///
+/// Panics if `chunk_shots` is zero or not a multiple of 64, if `start` is
+/// not a multiple of `chunk_shots`, or if `start > end`.
+pub fn stream_range_seeded<S: Sampler + ?Sized>(
+    sampler: &S,
+    start: usize,
+    end: usize,
+    seed: u64,
+    chunk_shots: usize,
+    sink: &mut dyn ShotSink,
+) -> io::Result<()> {
     check_chunk_shots(chunk_shots);
-    sink.begin(&ShotSpec::of(sampler, shots))?;
+    check_range(start, end, chunk_shots);
+    sink.begin(&ShotSpec::of(sampler, end - start))?;
     let mut buf: Option<SampleBatch> = None;
-    for (i, (start, width)) in chunk_spans_with(shots, chunk_shots).enumerate() {
+    for (gstart, width) in range_chunk_spans(start, end, chunk_shots) {
         if buf.as_ref().is_none_or(|b| b.shots() != width) {
             buf = Some(SampleBatch::zeros(
                 sampler.num_measurements(),
@@ -253,9 +344,10 @@ pub fn stream_seeded<S: Sampler + ?Sized>(
             ));
         }
         let chunk = buf.as_mut().expect("buffer just ensured");
-        let mut rng = StdRng::seed_from_u64(chunk_seed(seed, i as u64));
+        let chunk_index = (gstart / chunk_shots) as u64;
+        let mut rng = StdRng::seed_from_u64(chunk_seed(seed, chunk_index));
         sampler.sample_into(chunk, &mut rng);
-        sink.chunk(chunk, start)?;
+        sink.chunk(chunk, gstart - start)?;
     }
     sink.finish()
 }
@@ -282,17 +374,42 @@ pub fn stream_par<S: Sampler + ?Sized>(
     threads: usize,
     sink: &mut dyn ShotSink,
 ) -> io::Result<()> {
+    stream_range_par(sampler, 0, shots, seed, chunk_shots, threads, sink)
+}
+
+/// [`stream_par`] restricted to the shot range `[start, end)` of a
+/// request of `end` total shots — the parallel twin of
+/// [`stream_range_seeded`], bit-identical to it for the same arguments.
+/// Chunk RNGs are seeded by *global* chunk index, so a range drawn here
+/// matches the corresponding window of a full run regardless of the
+/// thread count on either side.
+///
+/// # Panics
+///
+/// Panics if `chunk_shots` is zero or not a multiple of 64, if `start` is
+/// not a multiple of `chunk_shots`, or if `start > end`.
+pub fn stream_range_par<S: Sampler + ?Sized>(
+    sampler: &S,
+    start: usize,
+    end: usize,
+    seed: u64,
+    chunk_shots: usize,
+    threads: usize,
+    sink: &mut dyn ShotSink,
+) -> io::Result<()> {
     check_chunk_shots(chunk_shots);
+    check_range(start, end, chunk_shots);
     let threads = if threads == 0 {
         rayon::current_num_threads()
     } else {
         threads
     };
-    let spans: Vec<(usize, usize)> = chunk_spans_with(shots, chunk_shots).collect();
+    let spans: Vec<(usize, usize)> = range_chunk_spans(start, end, chunk_shots).collect();
     if threads <= 1 || spans.len() <= 1 {
-        return stream_seeded(sampler, shots, seed, chunk_shots, sink);
+        return stream_range_seeded(sampler, start, end, seed, chunk_shots, sink);
     }
-    sink.begin(&ShotSpec::of(sampler, shots))?;
+    sink.begin(&ShotSpec::of(sampler, end - start))?;
+    let first_chunk = start / chunk_shots;
     let mut bufs: Vec<SampleBatch> = Vec::new();
     for (wave_index, wave) in spans.chunks(threads).enumerate() {
         while bufs.len() < wave.len() {
@@ -302,12 +419,12 @@ pub fn stream_par<S: Sampler + ?Sized>(
         fill_wave(
             sampler,
             wave,
-            wave_index * threads,
+            first_chunk + wave_index * threads,
             seed,
             &mut bufs[..wave.len()],
         );
-        for (lane, &(start, _)) in wave.iter().enumerate() {
-            sink.chunk(&bufs[lane], start)?;
+        for (lane, &(gstart, _)) in wave.iter().enumerate() {
+            sink.chunk(&bufs[lane], gstart - start)?;
         }
     }
     sink.finish()

@@ -14,6 +14,7 @@
 //! experiments sampling [--n 64] [--shots 10000]
 //! experiments opt [--n 64] [--shots 10000]
 //! experiments par [--n 96] [--shots 1048576] [--strict]
+//! experiments serve [--n 64] [--shots 1048576]
 //! experiments scale [--max-rounds 100000] [--shots 256]
 //! experiments bench-json [--out BENCH_7.json] [--simd scalar|avx2|avx512]
 //!                        [--n 64] [--shots 20000] [--kernel-shots 4096]
@@ -108,6 +109,10 @@ fn main() {
             arg_value(&args, "--shots").unwrap_or(1 << 20),
             arg_flag(&args, "--strict"),
         ),
+        "serve" => serve_scaling(
+            arg_value(&args, "--n").unwrap_or(64),
+            arg_value(&args, "--shots").unwrap_or(1 << 20),
+        ),
         "bench-json" => bench_json(&args),
         "bench-check" => bench_check(&args),
         "scale" => scale(
@@ -124,6 +129,7 @@ fn main() {
             sampling(64, shots);
             opt_ablation(64, shots);
             par_scaling(96, 1 << 20, false);
+            serve_scaling(64, 1 << 20);
             scale(20_000, 256);
         }
         other => {
@@ -429,6 +435,41 @@ fn par_scaling(n: usize, shots: usize, strict: bool) {
             std::process::exit(1);
         }
     }
+}
+
+/// Daemon scaling: `symphase serve` over loopback vs the offline path,
+/// swept over worker counts — cold first-request latency (parse +
+/// initialization), warm-cache request latency, and aggregate shots/s
+/// with the run sharded across that many concurrent clients.
+fn serve_scaling(n: usize, shots: usize) {
+    println!("\n== serve : loopback sampling daemon vs offline, n={n}, ~{shots} shots ==");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>16} {:>16} {:>8}",
+        "workers",
+        "cold_req_s",
+        "warm_req_s",
+        "warm_req_ps",
+        "served_shots_s",
+        "offline_shots_s",
+        "speedup"
+    );
+    for workers in [1usize, 2, 8] {
+        let p = symphase_bench::perf::serve_bench(n, shots, workers);
+        println!(
+            "{:>8} {:>12.6} {:>12.6} {:>12.0} {:>16.0} {:>16.0} {:>8.2}",
+            p.workers,
+            p.cold_first_request_s,
+            p.warm_request_s,
+            1.0 / p.warm_request_s.max(1e-9),
+            p.sharded_shots_per_sec,
+            p.offline_shots_per_sec,
+            p.sharded_shots_per_sec / p.offline_shots_per_sec
+        );
+    }
+    println!("expected shape: cold pays initialization once, warm requests are");
+    println!("loopback + one chunk of streaming; sharded throughput approaches");
+    println!("(and with enough workers exceeds) serial offline streaming, since");
+    println!("every shard replays the same global chunk-seeded schedule.");
 }
 
 /// `bench-json`: runs the kernel + end-to-end matrix and writes a

@@ -18,6 +18,11 @@
 //!   removed, plus serial streaming shots/s on the raw vs the optimized
 //!   circuit (`speedup_vs_raw`). Clean workloads pin the no-op overhead;
 //!   the `redundant_memory` workload carries deliberate body redundancy.
+//! * **serve** — the sampling daemon as an ablation against the offline
+//!   path: per worker count, the cold first-request latency (parse +
+//!   symbolic initialization), the warm-cache request latency, and the
+//!   aggregate shots/s when the run is sharded across that many
+//!   concurrent clients, vs serial offline streaming of the same shots.
 //!
 //! The gate ([`check_regression`]) re-measures serial `surface_d5`
 //! streaming throughput and fails when it lands more than a tolerance
@@ -33,8 +38,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use symphase::analysis::{optimize, ProofStatus};
-use symphase::backend::{build_sampler, SimConfig};
-use symphase::sampler_api::{sink, CountingSink};
+use symphase::backend::{build_sampler, EngineKind, SimConfig};
+use symphase::sampler_api::formats::{RecordSource, SampleFormat};
+use symphase::sampler_api::{sink, CountingSink, CHUNK_SHOTS};
+use symphase::serve::{request_sample, CircuitRef, SampleRequest, ServeOptions, Server};
 use symphase_bitmat::simd::{self, SimdLevel};
 use symphase_circuit::Circuit;
 use symphase_core::SymPhaseSampler;
@@ -63,6 +70,9 @@ pub struct PerfConfig {
     /// Thread budgets for the end-to-end matrix; 1 must be present (it
     /// is the serial baseline and the regression-gate reference).
     pub thread_counts: Vec<usize>,
+    /// Worker counts for the serve matrix (each measured against serial
+    /// offline streaming of the same shots).
+    pub serve_workers: Vec<usize>,
 }
 
 impl Default for PerfConfig {
@@ -73,6 +83,7 @@ impl Default for PerfConfig {
             stream_shots: 20_000,
             levels: simd::available_levels().collect(),
             thread_counts: vec![1, 2, 4],
+            serve_workers: vec![1, 2, 8],
         }
     }
 }
@@ -205,6 +216,152 @@ fn opt_ablation_rows(n: usize, stream_shots: usize) -> Vec<Json> {
         ]));
     }
     rows
+}
+
+/// One serve-daemon measurement at a fixed worker count (see
+/// [`serve_bench`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ServePoint {
+    /// Daemon worker threads (per-request sampling pinned serial, so any
+    /// scaling comes from the worker pool).
+    pub workers: usize,
+    /// Shots actually measured: `stream_shots` rounded up to whole
+    /// chunks, at least one chunk per worker.
+    pub shots: usize,
+    /// First-request latency on a cold cache: parse + symbolic
+    /// initialization + one chunk of samples over loopback.
+    pub cold_first_request_s: f64,
+    /// Same one-chunk request served warm from the cache.
+    pub warm_request_s: f64,
+    /// Aggregate shots/s with the run sharded across `workers`
+    /// concurrent clients (disjoint chunk-aligned ranges).
+    pub sharded_shots_per_sec: f64,
+    /// Serial offline streaming of the same shots (no daemon).
+    pub offline_shots_per_sec: f64,
+}
+
+/// Benchmarks an in-process loopback daemon against the offline path on
+/// the `surface_d5` ablation circuit: cold vs warm cache, and sharded
+/// throughput at `workers` concurrent clients.
+pub fn serve_bench(n: usize, stream_shots: usize, workers: usize) -> ServePoint {
+    let (_, circuit) = sampling_ablation_circuits(n)
+        .into_iter()
+        .find(|(name, _)| *name == "surface_d5")
+        .expect("surface_d5 is always in the ablation set");
+    let text = circuit.to_string();
+    let chunk = CHUNK_SHOTS;
+    let chunks = stream_shots.div_ceil(chunk).max(workers);
+    let shots = chunks * chunk;
+
+    // The offline baseline: serial streaming of the same shots.
+    let sampler = build_sampler(&circuit, &SimConfig::new()).expect("engine builds");
+    let offline_secs = time_mean(|| {
+        let cfg = SimConfig::new().with_seed(1).with_threads(1);
+        let mut out = CountingSink::default();
+        sink::stream_with_config(sampler.as_ref(), shots, &cfg, &mut out)
+            .expect("counting sink cannot fail");
+        std::hint::black_box(out.measurement_ones);
+    });
+    drop(sampler);
+
+    let options = ServeOptions {
+        workers,
+        threads: 1,
+        ..ServeOptions::default()
+    };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        options,
+        std::sync::Arc::new(build_sampler),
+        None,
+    )
+    .expect("bind loopback")
+    .spawn();
+    let addr = server.addr();
+    let request = |start: usize, end: usize| SampleRequest {
+        circuit: CircuitRef::Text(text.clone()),
+        engine: EngineKind::SymPhase,
+        source: RecordSource::Measurements,
+        format: SampleFormat::B8,
+        seed: 1,
+        start: start as u64,
+        end: end as u64,
+    };
+
+    // Cold: the first request pays parse + initialization once.
+    let t = Instant::now();
+    let reply = request_sample(addr, &request(0, chunk), &mut std::io::sink())
+        .expect("cold request succeeds");
+    let cold_first_request_s = t.elapsed().as_secs_f64();
+    assert!(
+        !reply.cache_hit,
+        "a fresh daemon cannot have this circuit cached"
+    );
+
+    // Warm: the identical request served from the cache.
+    let warm_request_s = time_mean(|| {
+        let reply = request_sample(addr, &request(0, chunk), &mut std::io::sink())
+            .expect("warm request succeeds");
+        assert!(reply.cache_hit, "warm requests must skip re-initialization");
+    });
+
+    // Sharded: `workers` concurrent clients tile [0, shots) with
+    // disjoint chunk-aligned ranges (bit-identity pinned by tests/serve.rs).
+    let per = chunks.div_ceil(workers);
+    let reps = 3;
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let lo = (w * per).min(chunks) * chunk;
+                let hi = ((w + 1) * per).min(chunks) * chunk;
+                if lo >= hi {
+                    continue;
+                }
+                let req = request(lo, hi);
+                s.spawn(move || {
+                    request_sample(addr, &req, &mut std::io::sink())
+                        .expect("shard request succeeds");
+                });
+            }
+        });
+    }
+    let sharded_secs = t.elapsed().as_secs_f64() / f64::from(reps);
+    server.shutdown().expect("clean daemon shutdown");
+
+    ServePoint {
+        workers,
+        shots,
+        cold_first_request_s,
+        warm_request_s,
+        sharded_shots_per_sec: shots as f64 / sharded_secs,
+        offline_shots_per_sec: shots as f64 / offline_secs,
+    }
+}
+
+fn serve_rows(n: usize, stream_shots: usize, worker_counts: &[usize]) -> Vec<Json> {
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let p = serve_bench(n, stream_shots, workers);
+            Json::obj(vec![
+                ("workers", Json::Num(p.workers as f64)),
+                ("shots", Json::Num(p.shots as f64)),
+                ("cold_first_request_s", Json::Num(p.cold_first_request_s)),
+                ("warm_request_s", Json::Num(p.warm_request_s)),
+                (
+                    "warm_requests_per_sec",
+                    Json::Num(1.0 / p.warm_request_s.max(1e-9)),
+                ),
+                ("sharded_shots_per_sec", Json::Num(p.sharded_shots_per_sec)),
+                ("offline_shots_per_sec", Json::Num(p.offline_shots_per_sec)),
+                (
+                    "speedup_vs_offline",
+                    Json::Num(p.sharded_shots_per_sec / p.offline_shots_per_sec),
+                ),
+            ])
+        })
+        .collect()
 }
 
 /// Runs the full kernel + end-to-end matrix and returns the report as a
@@ -357,6 +514,10 @@ pub fn run_perf_report(cfg: &PerfConfig) -> Json {
         ("kernels", Json::Arr(kernel_rows)),
         ("end_to_end", Json::Arr(end_rows)),
         ("opt", Json::Arr(opt_ablation_rows(cfg.n, cfg.stream_shots))),
+        (
+            "serve",
+            Json::Arr(serve_rows(cfg.n, cfg.stream_shots, &cfg.serve_workers)),
+        ),
     ])
 }
 
@@ -414,6 +575,7 @@ mod tests {
             stream_shots: 512,
             levels: vec![SimdLevel::Scalar],
             thread_counts: vec![1, 2],
+            serve_workers: vec![1, 2],
         };
         let report = run_perf_report(&cfg);
         assert_eq!(report.get("schema").and_then(Json::as_str), Some(SCHEMA));
@@ -448,6 +610,23 @@ mod tests {
                 < redundant.get("gates_before").and_then(Json::as_f64),
             "redundant workload must shrink"
         );
+
+        let serves = report.get("serve").and_then(Json::as_arr).unwrap();
+        assert_eq!(serves.len(), 2); // one row per worker count.
+        for (row, workers) in serves.iter().zip([1.0, 2.0]) {
+            assert_eq!(row.get("workers").and_then(Json::as_f64), Some(workers));
+            for field in [
+                "cold_first_request_s",
+                "warm_request_s",
+                "sharded_shots_per_sec",
+                "offline_shots_per_sec",
+            ] {
+                assert!(
+                    row.get(field).and_then(Json::as_f64).unwrap() > 0.0,
+                    "{field} must be positive"
+                );
+            }
+        }
 
         // Round-trip through text exactly as CI does.
         let parsed = Json::parse(&report.render()).unwrap();

@@ -1,0 +1,269 @@
+//! Content hashing for the circuit cache: a pure-`std` SHA-256 and the
+//! [`CircuitHash`] the serve cache keys on.
+//!
+//! The cache key is the SHA-256 of the parsed circuit's canonical
+//! [`Display`](std::fmt::Display) form — not of the raw file bytes — so
+//! whitespace/comment-equivalent circuit files share one cache entry,
+//! and any client that can parse a circuit can predict its key offline
+//! (`symphase hash -c FILE`). SHA-256 (rather than a fast 64-bit hash)
+//! because a key collision in a content-addressed cache would silently
+//! serve samples of the *wrong circuit*; at 256 bits that failure mode is
+//! off the table.
+
+use symphase_circuit::Circuit;
+
+/// Round constants: the first 32 bits of the fractional parts of the cube
+/// roots of the first 64 primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash state: the first 32 bits of the fractional parts of the
+/// square roots of the first 8 primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// An incremental SHA-256 (FIPS 180-4), implemented over `std` only —
+/// the build environment has no crates.io access, and the serve cache
+/// needs a collision-resistant key.
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    /// Total message bytes absorbed.
+    total: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self {
+            state: H0,
+            buf: [0; 64],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        self.total = self.total.wrapping_add(bytes.len() as u64);
+        if self.buf_len > 0 {
+            let take = bytes.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&bytes[..take]);
+            self.buf_len += take;
+            bytes = &bytes[take..];
+            if self.buf_len < 64 {
+                return; // input exhausted; remainder stays buffered
+            }
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+        while bytes.len() >= 64 {
+            let (block, rest) = bytes.split_at(64);
+            self.compress(block.try_into().expect("64-byte split"));
+            bytes = rest;
+        }
+        self.buf[..bytes.len()].copy_from_slice(bytes);
+        self.buf_len = bytes.len();
+    }
+
+    /// Pads, finalizes, and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // The length words are part of the final block; bypass `update`'s
+        // total accounting (already captured above).
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// One-shot SHA-256 of `bytes`.
+pub fn sha256(bytes: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+/// The canonical content hash of a circuit — SHA-256 of its canonical
+/// `Display` form. This is the serve cache key and the payload of
+/// by-hash requests.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CircuitHash(pub [u8; 32]);
+
+impl CircuitHash {
+    /// Lowercase hex, 64 chars — the `symphase hash` output line.
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            use std::fmt::Write as _;
+            write!(s, "{b:02x}").expect("string write");
+        }
+        s
+    }
+
+    /// Parses 64 hex chars (case-insensitive).
+    pub fn from_hex(hex: &str) -> Option<CircuitHash> {
+        let hex = hex.trim();
+        if hex.len() != 64 || !hex.is_ascii() {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, pair) in hex.as_bytes().chunks_exact(2).enumerate() {
+            let s = std::str::from_utf8(pair).ok()?;
+            out[i] = u8::from_str_radix(s, 16).ok()?;
+        }
+        Some(CircuitHash(out))
+    }
+}
+
+impl std::fmt::Display for CircuitHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl std::fmt::Debug for CircuitHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CircuitHash({})", self.to_hex())
+    }
+}
+
+/// The content hash of `circuit`: SHA-256 of its canonical `Display`
+/// rendering. Two source files that parse to the same circuit (different
+/// whitespace, comments, argument spelling) hash identically.
+pub fn circuit_hash(circuit: &Circuit) -> CircuitHash {
+    CircuitHash(sha256(circuit.to_string().as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        CircuitHash(sha256(bytes)).to_hex()
+    }
+
+    #[test]
+    fn sha256_fips_vectors() {
+        assert_eq!(
+            hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // A million 'a's, fed in awkward increments to exercise buffering.
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 997];
+        let mut left = 1_000_000;
+        while left > 0 {
+            let take = left.min(chunk.len());
+            h.update(&chunk[..take]);
+            left -= take;
+        }
+        assert_eq!(
+            CircuitHash(h.finalize()).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_across_split_points() {
+        let data: Vec<u8> = (0u32..300).map(|i| (i * 7 + 3) as u8).collect();
+        let whole = sha256(&data);
+        for split in [0, 1, 63, 64, 65, 128, 200, 299, 300] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let h = CircuitHash(sha256(b"round trip"));
+        assert_eq!(CircuitHash::from_hex(&h.to_hex()), Some(h));
+        assert_eq!(CircuitHash::from_hex(&h.to_hex().to_uppercase()), Some(h));
+        assert_eq!(CircuitHash::from_hex("abc"), None);
+        assert_eq!(CircuitHash::from_hex(&"zz".repeat(32)), None);
+    }
+
+    #[test]
+    fn equivalent_sources_share_a_hash_and_distinct_circuits_do_not() {
+        let a = Circuit::parse("H 0\nCX 0 1\nM 0 1\n").expect("parse");
+        let b = Circuit::parse("# a comment\n  H   0\n\nCX 0 1   # tail\nM 0 1").expect("parse");
+        let c = Circuit::parse("H 0\nCX 0 1\nM 1 0\n").expect("parse");
+        assert_eq!(circuit_hash(&a), circuit_hash(&b));
+        assert_ne!(circuit_hash(&a), circuit_hash(&c));
+    }
+}

@@ -13,9 +13,14 @@ fn main() {
     let mut out = std::io::BufWriter::new(stdout.lock());
     match symphase::cli::run_to(&args, &mut out) {
         Ok(()) => {
+            // A broken pipe at the final flush is a success: the reader
+            // (`| head`, a closed pager) finished first — exit 0 quietly,
+            // matching the streaming paths in `cli::run_to`.
             if let Err(e) = out.flush() {
-                eprintln!("error: writing stdout: {e}");
-                std::process::exit(1);
+                if e.kind() != std::io::ErrorKind::BrokenPipe {
+                    eprintln!("error: writing stdout: {e}");
+                    std::process::exit(1);
+                }
             }
         }
         Err(e) => {

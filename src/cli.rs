@@ -106,6 +106,12 @@ commands:
   gen        emit a generated circuit: surface-code, repetition-code, or
              phase-memory (--distance, --rounds, --data-error,
              --measure-error, --basis, --pair-error)
+  hash       print the canonical content hash of a circuit file (the
+             serve cache key; whitespace/comment-equivalent files match)
+  serve      run the sampling daemon (--addr, --workers, --max-queue,
+             --cache-size, --threads, --optimize, --lint) — docs/serve.md
+  request    query a running daemon (--addr, -c|--hash, --shots|--range,
+             --seed, --engine, --source, --format, --out, --stats)
 
 options:
   -c, --circuit <path>   circuit file in the Stim-like text format ('-' = stdin)
@@ -140,6 +146,23 @@ options:
                          x initializes RX and reads out MX)
       --pair-error <p>   gen phase-memory: per-round correlated Z⊗Z-pair
                          chain strength (E/ELSE_CORRELATED_ERROR; default 0)
+      --addr <host:port> serve: address to listen on; request: daemon to query
+      --workers <n>      serve: worker threads handling requests (default 2)
+      --max-queue <n>    serve: queued connections before BUSY (default 32)
+      --cache-size <n>   serve: circuits kept initialized in the LRU cache
+                         (default 64)
+      --optimize         serve: run the verified optimizer once per circuit
+                         before caching its sampler
+      --lint             serve: reject circuits with lint findings (typed
+                         Lint error frame carries the diagnostics)
+      --hash <hex>       request: name the circuit by content hash instead of
+                         sending its text (see 'symphase hash')
+      --range <s:e>      request: shot range [s, e) of an e-shot run; s must
+                         be a multiple of the server chunk width (4096).
+                         Default 0:<--shots>
+      --source <r>       request: record rows to stream — m (default), d, l,
+                         or dl (detectors+observables)
+      --stats            request: print the daemon's cache/queue counters
 
 exit codes: 0 success/help, 1 runtime error, 2 usage error
 ";
@@ -173,6 +196,15 @@ struct Options {
     measure_error: Option<f64>,
     basis: Option<String>,
     pair_error: Option<f64>,
+    addr: Option<String>,
+    workers: Option<usize>,
+    max_queue: Option<usize>,
+    cache_size: Option<usize>,
+    optimize: bool,
+    lint_gate: bool,
+    hash: Option<String>,
+    range: Option<String>,
+    source: Option<String>,
 }
 
 impl Options {
@@ -268,6 +300,33 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
                         .map_err(|_| fail("--pair-error must be a probability"))?,
                 );
             }
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--workers" => {
+                opts.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|_| fail("--workers must be an integer"))?,
+                );
+            }
+            "--max-queue" => {
+                opts.max_queue = Some(
+                    value("--max-queue")?
+                        .parse()
+                        .map_err(|_| fail("--max-queue must be an integer"))?,
+                );
+            }
+            "--cache-size" => {
+                opts.cache_size = Some(
+                    value("--cache-size")?
+                        .parse()
+                        .map_err(|_| fail("--cache-size must be an integer"))?,
+                );
+            }
+            "--optimize" => opts.optimize = true,
+            "--lint" => opts.lint_gate = true,
+            "--hash" => opts.hash = Some(value("--hash")?),
+            "--range" => opts.range = Some(value("--range")?),
+            "--source" => opts.source = Some(value("--source")?),
             "-h" | "--help" => {
                 return Err(CliError {
                     message: USAGE.into(),
@@ -370,6 +429,9 @@ pub fn run_to(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "dem" => write_str(out, &cmd_dem(&opts)?),
         "reference" => write_str(out, &cmd_reference(&opts)?),
         "gen" => write_str(out, &cmd_gen(&opts)?),
+        "hash" => write_str(out, &cmd_hash(&opts)?),
+        "serve" => cmd_serve(&opts, out),
+        "request" => cmd_request(&opts, out),
         other => Err(fail(format!("unknown command '{other}'\n{USAGE}"))),
     }
 }
@@ -397,21 +459,38 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     Ok(String::from_utf8(run_bytes(args)?).expect("non-binary output is UTF-8"))
 }
 
+/// Maps a write-path failure to a [`CliError`] — except a broken pipe,
+/// which is a *success*: the reader (`| head`, a closed pager) decided it
+/// had enough, and the Unix contract is to stop quietly with exit 0, not
+/// to panic or report an error.
+fn map_write_err(e: io::Error, what: &str) -> Result<(), CliError> {
+    if e.kind() == io::ErrorKind::BrokenPipe {
+        Ok(())
+    } else {
+        Err(fail_run(format!("{what}: {e}")))
+    }
+}
+
 fn write_str(out: &mut dyn Write, s: &str) -> Result<(), CliError> {
-    out.write_all(s.as_bytes())
-        .map_err(|e| fail_run(format!("writing output: {e}")))
+    match out.write_all(s.as_bytes()) {
+        Ok(()) => Ok(()),
+        Err(e) => map_write_err(e, "writing output"),
+    }
 }
 
 /// Streams `shots` chunk-seeded shots from `sampler` into `sink`,
-/// honoring the configured seed, thread budget, and chunk width.
+/// honoring the configured seed, thread budget, and chunk width. A broken
+/// output pipe ends the stream early and successfully (`… | head`).
 fn stream(
     sampler: &dyn Sampler,
     opts: &Options,
     cfg: &SimConfig,
     sink: &mut dyn ShotSink,
 ) -> Result<(), CliError> {
-    symphase_backend::sink::stream_with_config(sampler, opts.shots, cfg, sink)
-        .map_err(|e| fail_run(format!("writing samples: {e}")))
+    match symphase_backend::sink::stream_with_config(sampler, opts.shots, cfg, sink) {
+        Ok(()) => Ok(()),
+        Err(e) => map_write_err(e, "writing samples"),
+    }
 }
 
 /// Opens `--out`-style path as a buffered writer, or borrows `stdout`.
@@ -915,4 +994,135 @@ fn cmd_reference(opts: &Options) -> Result<String, CliError> {
         .collect();
     out.push('\n');
     Ok(out)
+}
+
+/// `hash`: print the canonical content hash a serve cache would key this
+/// circuit on — SHA-256 of the parsed circuit's canonical `Display` form,
+/// so whitespace/comment-equivalent files print the same hash.
+fn cmd_hash(opts: &Options) -> Result<String, CliError> {
+    let circuit = load_circuit(opts)?;
+    Ok(format!("{}\n", symphase_serve::circuit_hash(&circuit)))
+}
+
+/// `request --source` values.
+fn parse_source(source: Option<&str>) -> Result<RecordSource, CliError> {
+    match source.unwrap_or("m") {
+        "m" | "measurements" => Ok(RecordSource::Measurements),
+        "d" | "detectors" => Ok(RecordSource::Detectors),
+        "l" | "observables" => Ok(RecordSource::Observables),
+        "dl" | "detectors+observables" => Ok(RecordSource::DetectorsAndObservables),
+        other => Err(fail(format!(
+            "unknown --source '{other}' (expected m, d, l, or dl)"
+        ))),
+    }
+}
+
+/// `serve`: run the sampling daemon until the process is killed.
+///
+/// The per-request sampling budget defaults to **all cores** (`--threads`
+/// overrides), unlike the offline commands which default to serial: a
+/// daemon exists to saturate the machine. Everything else a request needs
+/// (engine, seed, format, range) arrives on the wire; see docs/serve.md.
+fn cmd_serve(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    use symphase_serve::{ServeOptions, Server};
+    let addr = opts
+        .addr
+        .as_deref()
+        .ok_or_else(|| fail("serve needs --addr <host:port>"))?;
+    let mut options = ServeOptions::default();
+    if let Some(w) = opts.workers {
+        if w == 0 {
+            return Err(fail("--workers must be at least 1"));
+        }
+        options.workers = w;
+    }
+    if let Some(q) = opts.max_queue {
+        if q == 0 {
+            return Err(fail("--max-queue must be at least 1"));
+        }
+        options.max_queue = q;
+    }
+    if let Some(c) = opts.cache_size {
+        if c == 0 {
+            return Err(fail("--cache-size must be at least 1"));
+        }
+        options.cache_capacity = c;
+    }
+    options.threads = opts.threads.unwrap_or(0);
+    options.optimize = opts.optimize;
+    let factory: symphase_serve::SamplerFactory = std::sync::Arc::new(build_sampler);
+    let lint: Option<symphase_serve::LintGate> = opts.lint_gate.then(|| {
+        std::sync::Arc::new(|circuit: &Circuit| {
+            let diags = symphase_analysis::lint(circuit);
+            if diags.is_empty() {
+                Ok(())
+            } else {
+                Err(symphase_analysis::render_text(&diags))
+            }
+        }) as symphase_serve::LintGate
+    });
+    let server = Server::bind(addr, options, factory, lint)
+        .map_err(|e| fail_run(format!("binding {addr}: {e}")))?;
+    // Announce readiness on stdout (flushed) so scripts can wait for it.
+    write_str(out, &format!("serving on {}\n", server.local_addr()))?;
+    let _ = out.flush();
+    server.run().map_err(|e| fail_run(format!("serve: {e}")))
+}
+
+/// `request`: one round-trip against a running daemon — a shot range
+/// (payload bytes to stdout or `--out`, byte-identical to the offline
+/// CLI), or `--stats` counters.
+fn cmd_request(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    use symphase_serve::{request_sample, request_stats, CircuitRef, SampleRequest};
+    let addr = opts
+        .addr
+        .as_deref()
+        .ok_or_else(|| fail("request needs --addr <host:port>"))?;
+    if opts.stats {
+        let s = request_stats(addr).map_err(|e| fail_run(e.to_string()))?;
+        return write_str(
+            out,
+            &format!(
+                "hits {}\nmisses {}\nentries {}\nserved {}\nbusy {}\n",
+                s.hits, s.misses, s.entries, s.served, s.busy
+            ),
+        );
+    }
+    // Validates format/engine names before any connection is made.
+    let (cfg, format) = sampling_config(opts, true)?;
+    let source = parse_source(opts.source.as_deref())?;
+    let (start, end) = match opts.range.as_deref() {
+        None => (0, opts.shots as u64),
+        Some(r) => {
+            let parsed = r.split_once(':').and_then(|(s, e)| {
+                Some((s.trim().parse::<u64>().ok()?, e.trim().parse::<u64>().ok()?))
+            });
+            parsed.ok_or_else(|| fail("--range must be <start>:<end> (shot indices)"))?
+        }
+    };
+    let circuit = match (&opts.hash, &opts.circuit_path) {
+        (Some(_), Some(_)) => {
+            return Err(fail("--hash and --circuit are mutually exclusive"));
+        }
+        (Some(h), None) => CircuitRef::Hash(
+            symphase_serve::CircuitHash::from_hex(h)
+                .ok_or_else(|| fail("--hash must be 64 hex characters"))?,
+        ),
+        (None, _) => CircuitRef::Text(read_circuit_text(opts)?),
+    };
+    let request = SampleRequest {
+        circuit,
+        engine: cfg.engine(),
+        source,
+        format,
+        seed: cfg.seed(),
+        start,
+        end,
+    };
+    let mut w = open_out(opts.out.as_deref(), out)?;
+    request_sample(addr, &request, &mut *w).map_err(|e| fail_run(e.to_string()))?;
+    match w.flush() {
+        Ok(()) => Ok(()),
+        Err(e) => map_write_err(e, "flushing output"),
+    }
 }

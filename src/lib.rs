@@ -15,6 +15,7 @@
 //! | [`tableau`] | Aaronson–Gottesman tableau simulator & reference samples |
 //! | [`statevec`] | Dense ground-truth simulator for validation |
 //! | [`bitmat`] | Packed F₂ linear algebra and the Fig. 2 tableau layouts |
+//! | [`serve`] | `symphase serve`/`request`: the sampling daemon — SPH1 wire protocol, content-hash circuit cache, shot-range sharding, BUSY backpressure |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use symphase_bitmat as bitmat;
 pub use symphase_circuit as circuit;
 pub use symphase_core as core;
 pub use symphase_frame as frame;
+pub use symphase_serve as serve;
 pub use symphase_statevec as statevec;
 pub use symphase_tableau as tableau;
 

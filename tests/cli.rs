@@ -750,6 +750,189 @@ fn lint_deny_sp011_escalates_fusable_runs() {
     assert_eq!(e.code, 1);
 }
 
+// ---------------------------------------------------------------------
+// `symphase hash`, broken pipes, and `serve`/`request`
+// ---------------------------------------------------------------------
+
+#[test]
+fn hash_is_canonical_over_parse_equivalent_sources() {
+    let a = write_circuit("H 0\nCX 0 1\nM 0 1\n");
+    let b = write_circuit("# preamble comment\n  H   0\n\nCX 0 1   # tail\nM 0 1");
+    let c = write_circuit("H 0\nCX 0 1\nM 1 0\n");
+    let ha = run(&args(&["hash", "-c", a.as_str()])).expect("hashes");
+    let hb = run(&args(&["hash", "-c", b.as_str()])).expect("hashes");
+    let hc = run(&args(&["hash", "-c", c.as_str()])).expect("hashes");
+    assert_eq!(ha, hb, "whitespace/comment-equivalent files must collide");
+    assert_ne!(ha, hc, "distinct circuits must not collide");
+    let line = ha.trim_end();
+    assert_eq!(line.len(), 64, "{line}");
+    assert!(line.chars().all(|ch| ch.is_ascii_hexdigit()));
+    // The printed hash is the serve cache key for the same circuit.
+    let circuit = symphase::circuit::Circuit::parse("H 0\nCX 0 1\nM 0 1\n").unwrap();
+    assert_eq!(line, symphase::serve::circuit_hash(&circuit).to_hex());
+}
+
+/// A writer that accepts `budget` bytes, then reports a broken pipe —
+/// what stdout looks like once `| head` has exited.
+struct BrokenPipe {
+    budget: usize,
+}
+
+impl Write for BrokenPipe {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.budget == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "reader hung up",
+            ));
+        }
+        let take = buf.len().min(self.budget);
+        self.budget -= take;
+        Ok(take)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.budget == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "reader hung up",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn broken_pipe_mid_stream_is_a_clean_success() {
+    // `symphase sample ... | head` must exit cleanly, not panic: once the
+    // reader hangs up, the stream stops and the run reports success.
+    let f = write_circuit("H 0\nX_ERROR(0.3) 1\nM 0 1\n");
+    for budget in [0usize, 1, 100] {
+        let mut w = BrokenPipe { budget };
+        symphase::cli::run_to(
+            &args(&["sample", "-c", f.as_str(), "--shots", "100000"]),
+            &mut w,
+        )
+        .unwrap_or_else(|e| panic!("broken pipe at {budget} bytes must be success, got: {e}"));
+    }
+    // Non-streaming output paths (help text and friends) get the same
+    // treatment.
+    let mut w = BrokenPipe { budget: 0 };
+    symphase::cli::run_to(&args(&["stats", "-c", f.as_str()]), &mut w)
+        .expect("broken pipe on text output must be success");
+    // Any other write failure still fails the run.
+    struct Full;
+    impl Write for Full {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                "disk full",
+            ))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let e = symphase::cli::run_to(
+        &args(&["sample", "-c", f.as_str(), "--shots", "100"]),
+        &mut Full,
+    )
+    .unwrap_err();
+    assert_eq!(e.code, 1);
+}
+
+#[test]
+fn serve_and_request_usage_errors() {
+    let f = write_circuit("M 0\n");
+    // Both daemon and client need an address.
+    for bad in [
+        vec!["serve"],
+        vec!["request", "-c", f.as_str()],
+        // Tuning flags must be sane before any bind happens.
+        vec!["serve", "--addr", "127.0.0.1:0", "--workers", "0"],
+        vec!["serve", "--addr", "127.0.0.1:0", "--max-queue", "0"],
+        vec!["serve", "--addr", "127.0.0.1:0", "--cache-size", "0"],
+        vec!["serve", "--addr", "127.0.0.1:0", "--workers", "many"],
+        // Client-side validation, before any connection is attempted.
+        vec!["request", "--addr", "127.0.0.1:1", "--range", "nope"],
+        vec!["request", "--addr", "127.0.0.1:1", "--source", "q"],
+        vec!["request", "--addr", "127.0.0.1:1", "--hash", "abc"],
+        vec![
+            "request",
+            "--addr",
+            "127.0.0.1:1",
+            "--hash",
+            "0000000000000000000000000000000000000000000000000000000000000000",
+            "-c",
+            f.as_str(),
+        ],
+    ] {
+        let e = run(&args(&bad)).unwrap_err();
+        assert_eq!(e.code, 2, "{bad:?}: {}", e.message);
+    }
+}
+
+#[test]
+fn request_command_round_trips_against_an_in_process_daemon() {
+    use std::sync::Arc;
+    let server = symphase::serve::Server::bind(
+        "127.0.0.1:0",
+        symphase::serve::ServeOptions::default(),
+        Arc::new(symphase::backend::build_sampler),
+        None,
+    )
+    .expect("bind loopback")
+    .spawn();
+    let addr = server.addr().to_string();
+    let f = write_circuit("H 0\nX_ERROR(0.3) 1\nM 0 1\nDETECTOR rec[-1]\n");
+    let offline = run_bytes(&args(&[
+        "sample",
+        "-c",
+        f.as_str(),
+        "--shots",
+        "500",
+        "--seed",
+        "5",
+        "--format",
+        "b8",
+    ]))
+    .expect("offline sample");
+    let served = run_bytes(&args(&[
+        "request",
+        "--addr",
+        &addr,
+        "-c",
+        f.as_str(),
+        "--shots",
+        "500",
+        "--seed",
+        "5",
+        "--format",
+        "b8",
+    ]))
+    .expect("served sample");
+    assert_eq!(served, offline, "served bytes must match the offline CLI");
+    // Stats round-trip over the wire via the CLI client.
+    let stats = run(&args(&["request", "--addr", &addr, "--stats"])).expect("stats");
+    assert!(stats.contains("misses 1"), "{stats}");
+    assert!(stats.contains("served 2"), "{stats}");
+    // A typed server error surfaces as a runtime (exit 1) CLI error.
+    let bad = write_circuit("FROB 0\n");
+    let e = run(&args(&[
+        "request",
+        "--addr",
+        &addr,
+        "-c",
+        bad.as_str(),
+        "--shots",
+        "10",
+    ]))
+    .unwrap_err();
+    assert_eq!(e.code, 1);
+    assert!(e.message.contains("parse"), "{}", e.message);
+    server.shutdown().expect("clean shutdown");
+}
+
 #[test]
 fn lint_parse_errors_render_as_diagnostics_and_exit_1() {
     // Unknown instruction: SP000, error severity, exit 1 even without --deny.
