@@ -1,7 +1,7 @@
 //! Static analysis for SymPhase circuits: the library behind
-//! `symphase lint`.
+//! `symphase lint` and `symphase analyze`.
 //!
-//! Three analysis families feed one [`Diagnostic`] stream:
+//! Four analysis families feed one [`Diagnostic`] stream:
 //!
 //! * **Tableau-dataflow liveness** ([`liveness`]): a backward pass over
 //!   per-qubit Pauli-component masks, propagated through
@@ -16,6 +16,14 @@
 //! * **Structural lints** ([`structural`]): unused qubits (`SP005`),
 //!   probability-zero channels (`SP008`), duplicate detectors (`SP009`),
 //!   and shadowed `ELSE_CORRELATED_ERROR` elements (`SP010`).
+//! * **DEM-level analysis** ([`dem_graph`], [`distance`], entered
+//!   through [`analyze_circuit`]/[`analyze_model`]): the extracted
+//!   detector error model is checked as a hypergraph — undecomposable
+//!   hyperedges (`SP012`), disconnected detectors (`SP013`), dominated
+//!   mechanisms (`SP014`) — and a bounded minimum-weight search reports
+//!   undetectable logical errors (`SP015`). Every `SP015` fault set is
+//!   discharged by fault injection before it is reported; a claim the
+//!   verifier cannot confirm is withdrawn as an internal `SP101`.
 //!
 //! Parse/validation failures surface as error-severity diagnostics
 //! (`SP000`, `SP006`, `SP007`) through [`lint_text`] — a valid
@@ -31,7 +39,10 @@
 use std::fmt;
 
 use symphase_circuit::{Circuit, Instruction, SourceMap};
+use symphase_core::{DetectorErrorModel, SymPhaseSampler, SymbolId};
 
+pub mod dem_graph;
+pub mod distance;
 pub mod liveness;
 pub mod opt;
 pub mod rewrite;
@@ -39,6 +50,8 @@ pub mod structural;
 pub mod symbolic;
 pub mod verify;
 
+pub use dem_graph::{DemGraph, GraphSummary};
+pub use distance::{min_weight_logical_error, Distance, FaultSet};
 pub use opt::{
     optimize, optimize_with, OptConfig, OptReport, OptResult, Pass, PassStats, ProofStatus,
     RewriteProof,
@@ -81,6 +94,53 @@ pub struct Diagnostic {
     pub message: String,
     /// Code-level guidance on how to fix it.
     pub help: &'static str,
+    /// Structured machine-readable detail, for findings whose substance
+    /// is a set of indices rather than a source span (the DEM-level
+    /// codes `SP012`–`SP015`). `None` for all other codes.
+    pub payload: Option<Payload>,
+}
+
+/// Structured payload of a DEM-level diagnostic. Rendered as a JSON
+/// object (with a `kind` discriminator) by [`render_json`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// A set of error mechanisms and their shared symptom
+    /// (`SP012`: the undecomposable hyperedge; `SP014`: the dominated
+    /// group).
+    Mechanisms {
+        /// Mechanism indices into the model's canonical order, sorted.
+        indices: Vec<usize>,
+        /// Detectors of the shared symptom.
+        detectors: Vec<u32>,
+        /// Observables of the shared symptom.
+        observables: Vec<u32>,
+    },
+    /// A single detector (`SP013`).
+    Detector {
+        /// The disconnected detector's index.
+        index: u32,
+    },
+    /// An undetectable logical error (`SP015`).
+    FaultSet {
+        /// Number of mechanisms in the set.
+        weight: usize,
+        /// Mechanism indices into the model's canonical order, sorted.
+        mechanisms: Vec<usize>,
+        /// Observables the set flips, sorted.
+        observables: Vec<u32>,
+        /// Fault symbols injected to discharge the claim (XOR of the
+        /// mechanisms' witnesses); empty when the model was parsed from
+        /// a file and carries no witnesses.
+        symbols: Vec<SymbolId>,
+        /// Whether fault injection confirmed the claim. `false` only for
+        /// parsed models, where no circuit exists to inject into — an
+        /// extracted model's failed confirmation withdraws the finding
+        /// instead (`SP101`).
+        verified: bool,
+        /// Whether the analyzed circuit was trip-count-clamped first, so
+        /// the claim speaks about the clamped circuit.
+        clamped: bool,
+    },
 }
 
 /// Catalog of every diagnostic code: `(code, slug, help)`.
@@ -148,6 +208,26 @@ pub const CODES: &[(&str, &str, &str)] = &[
         "fusable-clifford-run",
         "adjacent single-qubit Clifford gates compose to a shorter canonical word; fuse them by hand or run `symphase opt`",
     ),
+    (
+        "SP012",
+        "undecomposable-hyperedge",
+        "matching decoders need every hyperedge to split into graphlike (≤ 2-detector) mechanisms already in the model; add the missing component mechanisms or use a hypergraph decoder",
+    ),
+    (
+        "SP013",
+        "disconnected-detector",
+        "no error mechanism flips this detector, so it can never fire; remove it or add noise on the qubits it checks",
+    ),
+    (
+        "SP014",
+        "dominated-mechanism",
+        "mechanisms with identical detector/observable signatures should be merged into one with XOR-combined probability",
+    ),
+    (
+        "SP015",
+        "undetectable-logical-error",
+        "the listed mechanisms flip a logical observable while leaving every detector silent; the circuit distance is at most their count",
+    ),
 ];
 
 /// Short kebab-case name of a diagnostic code.
@@ -181,6 +261,7 @@ pub(crate) fn diag(code: &'static str, path: &[usize], message: String) -> Diagn
         path: path.to_vec(),
         message,
         help: help_for(code),
+        payload: None,
     }
 }
 
@@ -240,6 +321,7 @@ pub fn lint_text(text: &str) -> Vec<Diagnostic> {
                 path: Vec::new(),
                 message: e.message,
                 help: help_for(code),
+                payload: None,
             }]
         }
     }
@@ -277,7 +359,8 @@ pub fn render_text(diags: &[Diagnostic]) -> String {
 
 /// Renders findings as a JSON array (stable field order, one object per
 /// finding): `code`, `slug`, `severity`, `line` (null when absent),
-/// `path`, `message`, `help`.
+/// `path`, `message`, `help`, `payload` (null, or an object with a
+/// `kind` discriminator for the DEM-level codes).
 #[must_use]
 pub fn render_json(diags: &[Diagnostic]) -> String {
     let mut out = String::from("[");
@@ -286,7 +369,7 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n  {{\"code\":{},\"slug\":{},\"severity\":{},\"line\":{},\"path\":[{}],\"message\":{},\"help\":{}}}",
+            "\n  {{\"code\":{},\"slug\":{},\"severity\":{},\"line\":{},\"path\":[{}],\"message\":{},\"help\":{},\"payload\":{}}}",
             json_str(d.code),
             json_str(slug(d.code).unwrap_or("")),
             json_str(&d.severity.to_string()),
@@ -298,6 +381,9 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
                 .join(","),
             json_str(&d.message),
             json_str(d.help),
+            d.payload
+                .as_ref()
+                .map_or("null".to_string(), render_payload),
         ));
     }
     if !diags.is_empty() {
@@ -305,6 +391,46 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     }
     out.push_str("]\n");
     out
+}
+
+fn render_payload(p: &Payload) -> String {
+    fn list<T: fmt::Display>(xs: &[T]) -> String {
+        xs.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+    match p {
+        Payload::Mechanisms {
+            indices,
+            detectors,
+            observables,
+        } => format!(
+            "{{\"kind\":\"mechanisms\",\"indices\":[{}],\"detectors\":[{}],\"observables\":[{}]}}",
+            list(indices),
+            list(detectors),
+            list(observables),
+        ),
+        Payload::Detector { index } => {
+            format!("{{\"kind\":\"detector\",\"index\":{index}}}")
+        }
+        Payload::FaultSet {
+            weight,
+            mechanisms,
+            observables,
+            symbols,
+            verified,
+            clamped,
+        } => format!(
+            "{{\"kind\":\"fault-set\",\"weight\":{},\"mechanisms\":[{}],\"observables\":[{}],\"symbols\":[{}],\"verified\":{},\"clamped\":{}}}",
+            weight,
+            list(mechanisms),
+            list(observables),
+            list(symbols),
+            verified,
+            clamped,
+        ),
+    }
 }
 
 fn json_str(s: &str) -> String {
@@ -323,6 +449,238 @@ fn json_str(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// Internal-diagnostic code for a withdrawn distance claim. Deliberately
+/// not in [`CODES`]: it reports an analyzer bug (the search proposed a
+/// fault set that fault injection could not confirm), not a property of
+/// the user's circuit, so it has no fixture pair and cannot be
+/// `--deny`ed into existence by circuit text.
+pub const WITHDRAWN_CODE: &str = "SP101";
+
+const WITHDRAWN_HELP: &str = "internal: the distance search reported a fault set that \
+     fault-injection verification could not confirm; the claim was withdrawn — please report \
+     this as an analyzer bug";
+
+/// Knobs for [`analyze_circuit`]/[`analyze_model`].
+#[derive(Clone, Debug)]
+pub struct AnalyzeConfig {
+    /// Weight cap of the distance search: reaching no undetectable
+    /// logical error certifies `distance > max_weight`.
+    pub max_weight: usize,
+    /// State cap of the distance search; hitting it reports
+    /// [`Distance::Clamped`].
+    pub node_budget: usize,
+    /// Test-only: corrupt the fault-injection symbol set before
+    /// verification, so the verifier must reject the (correct) claim and
+    /// the withdraw path runs. Never set outside tests.
+    #[doc(hidden)]
+    pub broken_verify: bool,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig {
+            max_weight: 5,
+            node_budget: distance::DEFAULT_NODE_BUDGET,
+            broken_verify: false,
+        }
+    }
+}
+
+/// Everything `symphase analyze` prints: the extracted (or parsed)
+/// model, its hypergraph census, the distance search outcome, and the
+/// DEM-level diagnostics.
+#[derive(Clone, Debug)]
+pub struct AnalyzeReport {
+    /// The analyzed model.
+    pub dem: DetectorErrorModel,
+    /// Hypergraph census from [`DemGraph::lints`].
+    pub summary: GraphSummary,
+    /// Raw distance search outcome. When [`withdrawn`](Self::withdrawn)
+    /// is set, this claim failed verification and must be ignored.
+    pub distance: Distance,
+    /// Whether a reported fault set was confirmed by fault injection.
+    /// `false` when the search found none, or the model was parsed from
+    /// a file (nothing to inject into).
+    pub verified: bool,
+    /// Whether a reported fault set FAILED verification and the distance
+    /// claim was withdrawn (`SP101` in [`diagnostics`](Self::diagnostics)).
+    pub withdrawn: bool,
+    /// Whether the circuit was trip-count-clamped before extraction, so
+    /// every claim speaks about the clamped circuit.
+    pub clamped: bool,
+    /// `SP012`–`SP015` findings (plus `SP101` on a withdraw), sorted.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Extracts the circuit's detector error model and analyzes it:
+/// hypergraph lints, bounded distance search, and fault-injection
+/// verification of any reported fault set against the same circuit.
+///
+/// Circuits whose flattened work exceeds the symbolic budget are
+/// REPEAT-clamped first (reported via [`AnalyzeReport::clamped`]), so
+/// the cost stays O(file). Errors when the circuit is too large even
+/// after clamping, or tracks more than 64 observables.
+pub fn analyze_circuit(circuit: &Circuit, config: &AnalyzeConfig) -> Result<AnalyzeReport, String> {
+    let clamped_circuit;
+    let (target, clamped) = if symbolic::work(circuit) <= symbolic::MAX_SYMBOLIC_WORK {
+        (circuit, false)
+    } else {
+        match symbolic::clamp_circuit(circuit) {
+            Some(c) if symbolic::work(&c) <= symbolic::MAX_SYMBOLIC_WORK => {
+                clamped_circuit = c;
+                (&clamped_circuit, true)
+            }
+            _ => {
+                return Err(
+                    "circuit is too large to analyze even after clamping REPEAT counts".into(),
+                )
+            }
+        }
+    };
+    let sampler = SymPhaseSampler::new(target);
+    let dem = sampler
+        .detector_error_model()
+        .with_detector_coords(target.detector_coordinates());
+    analyze(dem, config, Some(target), clamped)
+}
+
+/// Analyzes a model parsed from a `.dem` file. No circuit exists to
+/// inject faults into, so any reported fault set carries
+/// `verified: false` in its payload. Errors when the model tracks more
+/// than 64 observables.
+pub fn analyze_model(
+    dem: DetectorErrorModel,
+    config: &AnalyzeConfig,
+) -> Result<AnalyzeReport, String> {
+    analyze(dem, config, None, false)
+}
+
+/// The DEM-level diagnostics of a circuit under the default
+/// [`AnalyzeConfig`], as one sorted stream — the `symphase analyze`
+/// counterpart of [`lint`]. Returns no findings for circuits the
+/// analyzer cannot take on (too large even after clamping, or more than
+/// 64 observables).
+#[must_use]
+pub fn analyze_dem(circuit: &Circuit) -> Vec<Diagnostic> {
+    analyze_circuit(circuit, &AnalyzeConfig::default())
+        .map(|r| r.diagnostics)
+        .unwrap_or_default()
+}
+
+fn analyze(
+    dem: DetectorErrorModel,
+    config: &AnalyzeConfig,
+    inject: Option<&Circuit>,
+    clamped: bool,
+) -> Result<AnalyzeReport, String> {
+    if dem.num_observables() > 64 {
+        return Err(format!(
+            "the model tracks {} observables; the distance search supports at most 64",
+            dem.num_observables()
+        ));
+    }
+    let mut diagnostics = Vec::new();
+    let graph = DemGraph::new(&dem);
+    let summary = graph.lints(&mut diagnostics);
+    let dist = distance::min_weight_logical_error(&dem, config.max_weight, config.node_budget);
+
+    let mut verified = false;
+    let mut withdrawn = false;
+    if let Distance::UpperBound { fault_set } = &dist {
+        // XOR of the mechanisms' witness symbol sets: by linearity of
+        // the symbolic rows, firing exactly these symbols produces the
+        // XOR of the mechanisms' symptoms.
+        let mut symbols: Vec<SymbolId> = Vec::new();
+        for &m in &fault_set.mechanisms {
+            for &s in &dem.errors()[m].witness {
+                match symbols.binary_search(&s) {
+                    Ok(pos) => {
+                        symbols.remove(pos);
+                    }
+                    Err(pos) => symbols.insert(pos, s),
+                }
+            }
+        }
+        let outcome = match inject {
+            Some(circuit) => {
+                let mut injected = symbols.clone();
+                if config.broken_verify {
+                    injected.pop();
+                }
+                Some(verify::fault_set_check(
+                    circuit,
+                    &injected,
+                    &fault_set.observables,
+                ))
+            }
+            None => None,
+        };
+        match outcome {
+            Some(Err(reason)) => {
+                withdrawn = true;
+                diagnostics.push(Diagnostic {
+                    code: WITHDRAWN_CODE,
+                    severity: Severity::Error,
+                    line: None,
+                    path: Vec::new(),
+                    message: format!(
+                        "distance claim withdrawn: fault injection of the reported weight-{} set \
+                         failed verification: {reason}",
+                        fault_set.weight()
+                    ),
+                    help: WITHDRAWN_HELP,
+                    payload: None,
+                });
+            }
+            outcome => {
+                verified = matches!(outcome, Some(Ok(())));
+                let obs: Vec<String> = fault_set
+                    .observables
+                    .iter()
+                    .map(|o| format!("L{o}"))
+                    .collect();
+                let scope = if clamped {
+                    " of the clamped circuit"
+                } else {
+                    ""
+                };
+                let mut d = diag(
+                    "SP015",
+                    &[],
+                    format!(
+                        "undetectable logical error: {} mechanism{} flip{} {} while every detector \
+                         stays silent (circuit distance{scope} is at most {})",
+                        fault_set.weight(),
+                        if fault_set.weight() == 1 { "" } else { "s" },
+                        if fault_set.weight() == 1 { "s" } else { "" },
+                        obs.join(" "),
+                        fault_set.weight(),
+                    ),
+                );
+                d.payload = Some(Payload::FaultSet {
+                    weight: fault_set.weight(),
+                    mechanisms: fault_set.mechanisms.clone(),
+                    observables: fault_set.observables.clone(),
+                    symbols,
+                    verified,
+                    clamped,
+                });
+                diagnostics.push(d);
+            }
+        }
+    }
+    sort_diags(&mut diagnostics);
+    Ok(AnalyzeReport {
+        dem,
+        summary,
+        distance: dist,
+        verified,
+        withdrawn,
+        clamped,
+        diagnostics,
+    })
 }
 
 /// Walks every instruction node once (REPEAT bodies are *not* unrolled),

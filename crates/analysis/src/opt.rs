@@ -214,6 +214,7 @@ fn rollback_diag(pass: &'static str, reason: &str) -> Diagnostic {
         path: Vec::new(),
         message: format!("optimizer pass '{pass}' rolled back: {reason}"),
         help: ROLLBACK_HELP,
+        payload: None,
     }
 }
 

@@ -20,8 +20,9 @@
 use std::collections::HashSet;
 use std::mem::discriminant;
 
-use symphase_circuit::{Block, Circuit, Instruction};
-use symphase_core::{SymPhaseSampler, SymbolGroup, SymbolTable};
+use symphase_bitmat::BitVec;
+use symphase_circuit::{Block, Circuit, Gate, Instruction, NoiseChannel, PauliKind};
+use symphase_core::{SymPhaseSampler, SymbolGroup, SymbolId, SymbolTable};
 
 use crate::rewrite::{absolute_flips, FlipSite};
 use crate::{lint, symbolic, walk_flat};
@@ -161,6 +162,283 @@ pub fn dead_noise_check(circuit: &Circuit) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Discharges an `SP015` fault-set claim by fault injection: setting
+/// exactly `symbols` (a XOR-combined union of mechanism witnesses) must
+/// leave **every detector silent** and flip **exactly**
+/// `expected_observables`.
+///
+/// Two independent proofs run, and both must pass:
+///
+/// 1. **Symbolic**: every detector row of the sampler must evaluate
+///    identically under the clean assignment (`s₀` only) and the injected
+///    one (`s₀` plus `symbols`); observable rows must differ exactly at
+///    `expected_observables`.
+/// 2. **Concrete**: the circuit is rebuilt with each noise site replaced
+///    by the explicit Pauli gates its fired symbols realize (the layout
+///    the cross-engine fault-injection suite pins: `X`/`Y`/`Z` errors
+///    apply their Pauli, `DEPOLARIZE1`/`PAULI_CHANNEL_1` apply `X`^fx
+///    `Z`^fz, the two-qubit channels their 4-bit `[xa, za, xb, zb]`
+///    pattern, `E`/`ELSE` their Pauli product). The tableau engine's
+///    [`reference_sample`](symphase_tableau::reference_sample) of the
+///    injected circuit is compared against the clean circuit's through
+///    the detector/observable measurement sets.
+///
+/// A disagreement means the analyzer's distance claim is wrong; the
+/// driver withdraws the claim and reports a rollback diagnostic instead.
+///
+/// # Errors
+///
+/// Returns a description of the first violated obligation.
+pub fn fault_set_check(
+    circuit: &Circuit,
+    symbols: &[SymbolId],
+    expected_observables: &[u32],
+) -> Result<(), String> {
+    let sampler = SymPhaseSampler::new(circuit);
+    let fired: HashSet<SymbolId> = symbols.iter().copied().collect();
+    for &s in symbols {
+        if s == 0 || s as usize >= sampler.symbol_table().assignment_len() {
+            return Err(format!("fault set names unknown symbol {s}"));
+        }
+    }
+
+    // -- Proof 1: symbolic row evaluation.
+    let len = sampler.symbol_table().assignment_len();
+    let mut clean = BitVec::zeros(len);
+    clean.set(0, true); // the constant term s₀
+    let mut injected = clean.clone();
+    for &s in symbols {
+        injected.set(s as usize, true);
+    }
+    for r in 0..sampler.detector_rows().rows() {
+        let row = sampler.detector_rows().row(r);
+        if row.eval(&clean) != row.eval(&injected) {
+            return Err(format!(
+                "symbolic: detector D{r} fires under the injected fault set"
+            ));
+        }
+    }
+    let mut symbolic_obs = Vec::new();
+    for r in 0..sampler.observable_rows().rows() {
+        let row = sampler.observable_rows().row(r);
+        if row.eval(&clean) != row.eval(&injected) {
+            symbolic_obs.push(r as u32);
+        }
+    }
+    if symbolic_obs != expected_observables {
+        return Err(format!(
+            "symbolic: injected fault set flips observables {symbolic_obs:?}, claimed \
+             {expected_observables:?}"
+        ));
+    }
+
+    // -- Proof 2: concrete Pauli injection through the tableau engine.
+    let concrete = inject_faults(circuit, &sampler, &fired)?;
+    let clean_ref = symphase_tableau::reference_sample(&circuit.flattened());
+    let fault_ref = symphase_tableau::reference_sample(&concrete);
+    if clean_ref.len() != fault_ref.len() {
+        return Err("concrete: injection changed the measurement count".into());
+    }
+    let (det_sets, obs_sets) = measurement_sets(circuit);
+    for (d, set) in det_sets.iter().enumerate() {
+        let flipped = set
+            .iter()
+            .fold(false, |p, &m| p ^ clean_ref.get(m) ^ fault_ref.get(m));
+        if flipped {
+            return Err(format!(
+                "concrete: detector D{d} fires under the injected fault set"
+            ));
+        }
+    }
+    let mut concrete_obs = Vec::new();
+    for (o, set) in obs_sets.iter().enumerate() {
+        let flipped = set
+            .iter()
+            .fold(false, |p, &m| p ^ clean_ref.get(m) ^ fault_ref.get(m));
+        if flipped {
+            concrete_obs.push(o as u32);
+        }
+    }
+    if concrete_obs != expected_observables {
+        return Err(format!(
+            "concrete: injected fault set flips observables {concrete_obs:?}, claimed \
+             {expected_observables:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Rebuilds `circuit` flattened, with every noise site replaced by the
+/// explicit Pauli gates its fired symbols realize (sites with no fired
+/// symbol vanish). Alignment between noise applications and symbol
+/// groups follows [`dead_noise_check`]'s replay.
+fn inject_faults(
+    circuit: &Circuit,
+    sampler: &SymPhaseSampler,
+    fired: &HashSet<SymbolId>,
+) -> Result<Circuit, String> {
+    let noise_groups: Vec<&SymbolGroup> = sampler
+        .symbol_table()
+        .groups()
+        .iter()
+        .filter(|g| !matches!(g, SymbolGroup::Coin { .. }))
+        .collect();
+    let mut out = Circuit::new(circuit.num_qubits());
+    let mut gi = 0usize;
+    let mut err: Option<String> = None;
+    let mut path = Vec::new();
+    walk_flat(circuit.instructions(), &mut path, &mut |_, ins| {
+        if err.is_some() {
+            return;
+        }
+        let mut pauli = |kind: PauliKind, q: u32| {
+            let gate = match kind {
+                PauliKind::X => Gate::X,
+                PauliKind::Y => Gate::Y,
+                PauliKind::Z => Gate::Z,
+            };
+            out.push(Instruction::Gate {
+                gate,
+                targets: vec![q],
+            });
+        };
+        match ins {
+            Instruction::Noise { channel, targets } => {
+                for chunk in targets.chunks(channel.arity()) {
+                    let Some(group) = noise_groups.get(gi) else {
+                        err = Some("symbol-table replay misaligned".into());
+                        return;
+                    };
+                    gi += 1;
+                    match (channel, group) {
+                        (NoiseChannel::XError(_), SymbolGroup::Bernoulli { id, .. }) => {
+                            if fired.contains(id) {
+                                pauli(PauliKind::X, chunk[0]);
+                            }
+                        }
+                        (NoiseChannel::YError(_), SymbolGroup::Bernoulli { id, .. }) => {
+                            if fired.contains(id) {
+                                pauli(PauliKind::Y, chunk[0]);
+                            }
+                        }
+                        (NoiseChannel::ZError(_), SymbolGroup::Bernoulli { id, .. }) => {
+                            if fired.contains(id) {
+                                pauli(PauliKind::Z, chunk[0]);
+                            }
+                        }
+                        (
+                            NoiseChannel::Depolarize1(_),
+                            SymbolGroup::Depolarize1 { x_id, z_id, .. },
+                        )
+                        | (
+                            NoiseChannel::PauliChannel1 { .. },
+                            SymbolGroup::PauliChannel1 { x_id, z_id, .. },
+                        ) => {
+                            if fired.contains(x_id) {
+                                pauli(PauliKind::X, chunk[0]);
+                            }
+                            if fired.contains(z_id) {
+                                pauli(PauliKind::Z, chunk[0]);
+                            }
+                        }
+                        (NoiseChannel::Depolarize2(_), SymbolGroup::Depolarize2 { ids, .. })
+                        | (
+                            NoiseChannel::PauliChannel2 { .. },
+                            SymbolGroup::PauliChannel2 { ids, .. },
+                        ) => {
+                            // `[xa, za, xb, zb]`, the pinned channel layout.
+                            for (j, id) in ids.iter().enumerate() {
+                                if fired.contains(id) {
+                                    pauli(
+                                        if j % 2 == 0 {
+                                            PauliKind::X
+                                        } else {
+                                            PauliKind::Z
+                                        },
+                                        chunk[j / 2],
+                                    );
+                                }
+                            }
+                        }
+                        _ => {
+                            err = Some(format!(
+                                "channel/symbol-group mismatch at noise site {gi}: {channel:?} \
+                                 vs {group:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+            Instruction::CorrelatedError { product, .. } => {
+                let Some(group) = noise_groups.get(gi) else {
+                    err = Some("symbol-table replay misaligned".into());
+                    return;
+                };
+                gi += 1;
+                let SymbolGroup::Correlated { id, .. } = group else {
+                    err = Some("E/ELSE site not aligned with a Correlated group".into());
+                    return;
+                };
+                if fired.contains(id) {
+                    for &(kind, q) in product {
+                        pauli(kind, q);
+                    }
+                }
+            }
+            ins => out.push(ins.clone()),
+        }
+    });
+    if let Some(err) = err {
+        return Err(err);
+    }
+    if gi != noise_groups.len() {
+        return Err(format!(
+            "symbol-table replay misaligned: {gi} noise sites vs {} noise groups",
+            noise_groups.len()
+        ));
+    }
+    Ok(out)
+}
+
+/// Absolute measurement-index sets of every detector and observable,
+/// streamed from the flattened circuit (duplicated lookbacks XOR-cancel).
+fn measurement_sets(circuit: &Circuit) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let mut dets: Vec<Vec<usize>> = Vec::new();
+    let mut obs: Vec<Vec<usize>> = vec![Vec::new(); circuit.num_observables()];
+    let mut mcount = 0usize;
+    for ins in circuit.flat_instructions() {
+        match ins {
+            Instruction::Detector { lookbacks, .. } => {
+                let mut set: Vec<usize> = Vec::with_capacity(lookbacks.len());
+                for &lb in lookbacks {
+                    let m = (mcount as i64 + lb) as usize;
+                    match set.iter().position(|&x| x == m) {
+                        Some(pos) => {
+                            set.remove(pos);
+                        }
+                        None => set.push(m),
+                    }
+                }
+                dets.push(set);
+            }
+            Instruction::ObservableInclude { index, lookbacks } => {
+                let set = &mut obs[*index as usize];
+                for &lb in lookbacks {
+                    let m = (mcount as i64 + lb) as usize;
+                    match set.iter().position(|&x| x == m) {
+                        Some(pos) => {
+                            set.remove(pos);
+                        }
+                        None => set.push(m),
+                    }
+                }
+            }
+            _ => mcount += ins.measurements_added(),
+        }
+    }
+    (dets, obs)
 }
 
 fn group_ids(group: &SymbolGroup) -> Vec<u32> {

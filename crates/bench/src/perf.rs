@@ -18,6 +18,12 @@
 //!   removed, plus serial streaming shots/s on the raw vs the optimized
 //!   circuit (`speedup_vs_raw`). Clean workloads pin the no-op overhead;
 //!   the `redundant_memory` workload carries deliberate body redundancy.
+//! * **analyze** — the DEM-level static analysis (`analysis::analyze_circuit`):
+//!   per workload, the full analyze wall time (extraction + hypergraph
+//!   lints + bounded distance search + fault-injection verification),
+//!   the mechanism census, and the distance verdict. The ablation set
+//!   plus a d=3 surface memory whose distance resolves within the
+//!   search bound, pinning the verified-claim path's cost;
 //! * **serve** — the sampling daemon as an ablation against the offline
 //!   path: per worker count, the cold first-request latency (parse +
 //!   symbolic initialization), the warm-cache request latency, and the
@@ -37,12 +43,13 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use symphase::analysis::{optimize, ProofStatus};
+use symphase::analysis::{analyze_circuit, optimize, AnalyzeConfig, Distance, ProofStatus};
 use symphase::backend::{build_sampler, EngineKind, SimConfig};
 use symphase::sampler_api::formats::{RecordSource, SampleFormat};
 use symphase::sampler_api::{sink, CountingSink, CHUNK_SHOTS};
 use symphase::serve::{request_sample, CircuitRef, SampleRequest, ServeOptions, Server};
 use symphase_bitmat::simd::{self, SimdLevel};
+use symphase_circuit::generators::{surface_code_memory, SurfaceCodeConfig};
 use symphase_circuit::Circuit;
 use symphase_core::SymPhaseSampler;
 
@@ -339,6 +346,63 @@ pub fn serve_bench(n: usize, stream_shots: usize, workers: usize) -> ServePoint 
     }
 }
 
+/// The analyze-ablation workloads: the sampling ablation set (the two
+/// non-QEC workloads price the no-detector fast paths) plus a d=3
+/// surface memory whose distance resolves — and is injection-verified —
+/// within the search bound.
+fn analyze_ablation_circuits(n: usize) -> Vec<(&'static str, Circuit)> {
+    let mut out = sampling_ablation_circuits(n);
+    out.push((
+        "surface_d3_memory",
+        surface_code_memory(&SurfaceCodeConfig {
+            distance: 3,
+            rounds: 3,
+            data_error: 0.001,
+            measure_error: 0.001,
+        }),
+    ));
+    out
+}
+
+/// One row per analyze-ablation workload: full analyze wall time
+/// (extraction + hypergraph lints + distance search + verification),
+/// the mechanism census, and the distance verdict. The search is
+/// bounded at weight 4 so the d=3 memory resolves its distance while
+/// the d=5 memory prices the exhausted-search (`AboveWeight`) path.
+fn analyze_rows(n: usize) -> Vec<Json> {
+    let config = AnalyzeConfig {
+        max_weight: 4,
+        ..AnalyzeConfig::default()
+    };
+    let mut rows = Vec::new();
+    for (name, circuit) in analyze_ablation_circuits(n) {
+        let mut report = None;
+        let secs = time_mean(|| {
+            report = Some(analyze_circuit(&circuit, &config).expect("bench workload analyzes"));
+        });
+        let report = report.expect("time_mean ran at least once");
+        let (kind, weight) = match &report.distance {
+            Distance::UpperBound { fault_set } => {
+                ("upper-bound", Json::Num(fault_set.weight() as f64))
+            }
+            Distance::AboveWeight { .. } => ("above-weight", Json::Null),
+            Distance::Clamped { .. } => ("clamped", Json::Null),
+            Distance::NoObservables => ("no-observables", Json::Null),
+        };
+        rows.push(Json::obj(vec![
+            ("circuit", Json::Str(name.to_owned())),
+            ("analyze_time_s", Json::Num(secs)),
+            ("mechanisms", Json::Num(report.summary.mechanisms as f64)),
+            ("graphlike", Json::Num(report.summary.graphlike as f64)),
+            ("hyperedges", Json::Num(report.summary.hyperedges as f64)),
+            ("distance_kind", Json::Str(kind.to_owned())),
+            ("distance", weight),
+            ("verified", Json::Bool(report.verified)),
+        ]));
+    }
+    rows
+}
+
 fn serve_rows(n: usize, stream_shots: usize, worker_counts: &[usize]) -> Vec<Json> {
     worker_counts
         .iter()
@@ -514,6 +578,7 @@ pub fn run_perf_report(cfg: &PerfConfig) -> Json {
         ("kernels", Json::Arr(kernel_rows)),
         ("end_to_end", Json::Arr(end_rows)),
         ("opt", Json::Arr(opt_ablation_rows(cfg.n, cfg.stream_shots))),
+        ("analyze", Json::Arr(analyze_rows(cfg.n))),
         (
             "serve",
             Json::Arr(serve_rows(cfg.n, cfg.stream_shots, &cfg.serve_workers)),
@@ -609,6 +674,18 @@ mod tests {
             redundant.get("gates_after").and_then(Json::as_f64)
                 < redundant.get("gates_before").and_then(Json::as_f64),
             "redundant workload must shrink"
+        );
+
+        let analyzes = report.get("analyze").and_then(Json::as_arr).unwrap();
+        assert_eq!(analyzes.len(), 4); // 3 ablation circuits + surface_d3_memory.
+        let d3 = analyzes
+            .iter()
+            .find(|r| r.get("circuit").and_then(Json::as_str) == Some("surface_d3_memory"))
+            .unwrap();
+        assert_eq!(d3.get("distance").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(
+            d3.get("distance_kind").and_then(Json::as_str),
+            Some("upper-bound")
         );
 
         let serves = report.get("serve").and_then(Json::as_arr).unwrap();

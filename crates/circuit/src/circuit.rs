@@ -617,6 +617,44 @@ impl Circuit {
         self.body.max_observable().map_or(0, |m| m as usize + 1)
     }
 
+    /// Per-detector coordinates in flattened execution order, with
+    /// `SHIFT_COORDS` offsets accumulated componentwise — the annotation
+    /// layer `symphase dem` attaches to extracted detector error models.
+    /// Detectors declared without coordinates yield an empty vec. Streams
+    /// the flattened circuit, so time is O(flattened) and memory is
+    /// O(detectors).
+    pub fn detector_coordinates(&self) -> Vec<Vec<f64>> {
+        let mut shift: Vec<f64> = Vec::new();
+        let mut out = Vec::with_capacity(self.num_detectors());
+        for inst in self.flat_instructions() {
+            match inst {
+                Instruction::ShiftCoords { coords } => {
+                    if coords.len() > shift.len() {
+                        shift.resize(coords.len(), 0.0);
+                    }
+                    for (s, c) in shift.iter_mut().zip(coords) {
+                        *s += c;
+                    }
+                }
+                Instruction::Detector { coords, .. } => {
+                    if coords.is_empty() {
+                        out.push(Vec::new());
+                    } else {
+                        out.push(
+                            coords
+                                .iter()
+                                .enumerate()
+                                .map(|(i, c)| c + shift.get(i).copied().unwrap_or(0.0))
+                                .collect(),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
     /// Appends an instruction after validating it.
     ///
     /// # Panics

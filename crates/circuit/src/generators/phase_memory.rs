@@ -100,7 +100,7 @@ pub fn mpp_phase_memory(config: &PhaseMemoryConfig) -> Circuit {
         let data_a = -(d as i64) + i;
         let data_b = data_a + 1;
         let last_check = -(d as i64) - num_checks + i;
-        c.detector(&[data_a, data_b, last_check]);
+        c.detector_at(&[i as f64 + 0.5, 0.0], &[data_a, data_b, last_check]);
     }
     // Logical X is any single data qubit's X value in the code space.
     c.observable_include(0, &[-(d as i64)]);
@@ -139,6 +139,8 @@ fn push_round(
         .map(|i| vec![(PauliKind::X, i), (PauliKind::X, i + 1)])
         .collect();
     push(Instruction::MeasurePauliProduct { products });
+    // Check `i` sits between data qubits `i` and `i+1`; SHIFT_COORDS
+    // advances `t` each round.
     for i in 0..num_checks {
         let this = -num_checks + i;
         let lookbacks = if first {
@@ -147,10 +149,13 @@ fn push_round(
             vec![this, this - num_checks]
         };
         push(Instruction::Detector {
-            coords: vec![],
+            coords: vec![i as f64 + 0.5, 0.0],
             lookbacks,
         });
     }
+    push(Instruction::ShiftCoords {
+        coords: vec![0.0, 1.0],
+    });
     push(Instruction::Tick);
 }
 

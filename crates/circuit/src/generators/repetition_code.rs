@@ -95,7 +95,7 @@ pub fn repetition_code_memory(config: &RepetitionCodeConfig) -> Circuit {
         let data_a = -(d as i64) + i;
         let data_b = data_a + 1;
         let last_anc = -(d as i64) - (num_anc as i64) + i;
-        c.detector(&[data_a, data_b, last_anc]);
+        c.detector_at(&[(2 * i + 1) as f64, 0.0], &[data_a, data_b, last_anc]);
     }
     // Logical Z is any single data qubit's value (all agree in the code
     // space); use the first.
@@ -147,21 +147,26 @@ fn push_round(
         targets: anc.to_vec(),
     });
     // Detectors: first round ancillas are deterministic 0; later rounds
-    // compare against the previous round.
+    // compare against the previous round. Coordinates are `(ancilla, t)`
+    // on the 1-D qubit line; SHIFT_COORDS advances `t` each round.
     for i in 0..num_anc as i64 {
         let this = -(num_anc as i64) + i;
+        let coords = vec![(2 * i + 1) as f64, 0.0];
         if first {
             push(Instruction::Detector {
-                coords: vec![],
+                coords,
                 lookbacks: vec![this],
             });
         } else {
             push(Instruction::Detector {
-                coords: vec![],
+                coords,
                 lookbacks: vec![this, this - num_anc as i64],
             });
         }
     }
+    push(Instruction::ShiftCoords {
+        coords: vec![0.0, 1.0],
+    });
     push(Instruction::Tick);
 }
 
@@ -226,13 +231,35 @@ mod tests {
         legacy.measure_many(&data);
         for i in 0..(d - 1) as i64 {
             let data_a = -(d as i64) + i;
-            legacy.detector(&[data_a, data_a + 1, -(d as i64) - ((d - 1) as i64) + i]);
+            legacy.detector_at(
+                &[(2 * i + 1) as f64, 0.0],
+                &[data_a, data_a + 1, -(d as i64) - ((d - 1) as i64) + i],
+            );
         }
         legacy.observable_include(0, &[-(d as i64)]);
 
         assert_eq!(c.flattened(), legacy);
         // And the text format round-trips the structure.
         assert_eq!(Circuit::parse(&c.to_string()).unwrap(), c);
+    }
+
+    #[test]
+    fn detector_coordinates_advance_with_rounds() {
+        let c = repetition_code_memory(&RepetitionCodeConfig {
+            distance: 3,
+            rounds: 3,
+            data_error: 0.01,
+            measure_error: 0.0,
+        });
+        let coords = c.detector_coordinates();
+        assert_eq!(coords.len(), c.num_detectors());
+        // Round 0 at t=0 on the ancilla line x = 1, 3.
+        assert_eq!(coords[0], vec![1.0, 0.0]);
+        assert_eq!(coords[1], vec![3.0, 0.0]);
+        // SHIFT_COORDS advances t through the REPEAT body…
+        assert_eq!(coords[2], vec![1.0, 1.0]);
+        // …and the final comparisons sit at t = rounds.
+        assert_eq!(coords.last().unwrap(), &vec![3.0, 3.0]);
     }
 
     #[test]

@@ -67,6 +67,9 @@ struct Plaquette {
     ancilla: u32,
     /// Data qubit indices (2 on the boundary, 4 in the bulk).
     data: Vec<u32>,
+    /// Vertex-grid position, used as the detector `(col, row, t)` coords.
+    row: usize,
+    col: usize,
 }
 
 /// Enumerates the plaquettes of the distance-`d` rotated code.
@@ -105,6 +108,8 @@ fn plaquettes(d: usize) -> Vec<Plaquette> {
                 z_type,
                 ancilla: next_ancilla,
                 data,
+                row: r,
+                col: c,
             });
             next_ancilla += 1;
         }
@@ -215,7 +220,7 @@ pub fn surface_code_memory_in(config: &SurfaceCodeConfig, basis: MemoryBasis) ->
                 // The Z outcomes of the last round sit `num_x` X outcomes
                 // behind the data block.
                 lookbacks.push(-nd - (num_x as i64) - (num_z as i64) + z_seen as i64);
-                c.detector(&lookbacks);
+                c.detector_at(&[p.col as f64, p.row as f64, 0.0], &lookbacks);
             }
             // Logical Z: the top row of data qubits (commutes with every X
             // check).
@@ -229,7 +234,7 @@ pub fn surface_code_memory_in(config: &SurfaceCodeConfig, basis: MemoryBasis) ->
                 // The X outcomes of the last round directly precede the
                 // data block.
                 lookbacks.push(-nd - (num_x as i64) + x_seen as i64);
-                c.detector(&lookbacks);
+                c.detector_at(&[p.col as f64, p.row as f64, 0.0], &lookbacks);
             }
             // Logical X: the left column of data qubits (commutes with
             // every Z check).
@@ -321,35 +326,41 @@ fn push_round(
     // -- Detectors. In round 0 only the checks matching the data
     // initialization basis are deterministic (Z checks on |0…0⟩, X checks
     // on |+…+⟩); from round 1 every check compares pairwise with the
-    // previous round.
-    for i in 0..num_z as i64 {
-        let this = -per_round + i;
+    // previous round. Coordinates are the plaquette's vertex-grid position
+    // at the current time slice (SHIFT_COORDS advances `t` each round).
+    for (i, p) in plaqs.iter().filter(|p| p.z_type).enumerate() {
+        let this = -per_round + i as i64;
+        let coords = vec![p.col as f64, p.row as f64, 0.0];
         match first {
             Some(MemoryBasis::Z) => push(Instruction::Detector {
-                coords: vec![],
+                coords,
                 lookbacks: vec![this],
             }),
             Some(MemoryBasis::X) => {}
             None => push(Instruction::Detector {
-                coords: vec![],
+                coords,
                 lookbacks: vec![this, this - per_round],
             }),
         }
     }
-    for i in 0..num_x as i64 {
-        let this = -(num_x as i64) + i;
+    for (i, p) in plaqs.iter().filter(|p| !p.z_type).enumerate() {
+        let this = -(num_x as i64) + i as i64;
+        let coords = vec![p.col as f64, p.row as f64, 0.0];
         match first {
             Some(MemoryBasis::Z) => {}
             Some(MemoryBasis::X) => push(Instruction::Detector {
-                coords: vec![],
+                coords,
                 lookbacks: vec![this],
             }),
             None => push(Instruction::Detector {
-                coords: vec![],
+                coords,
                 lookbacks: vec![this, this - per_round],
             }),
         }
     }
+    push(Instruction::ShiftCoords {
+        coords: vec![0.0, 0.0, 1.0],
+    });
     push(Instruction::Tick);
 }
 
@@ -469,7 +480,7 @@ mod tests {
         for (z_seen, p) in plaqs.iter().filter(|p| p.z_type).enumerate() {
             let mut lookbacks: Vec<i64> = p.data.iter().map(|&dq| -nd + dq as i64).collect();
             lookbacks.push(-nd - (num_x as i64) - (num_z as i64) + z_seen as i64);
-            legacy.detector(&lookbacks);
+            legacy.detector_at(&[p.col as f64, p.row as f64, 0.0], &lookbacks);
         }
         let top_row: Vec<i64> = (0..cfg.distance as i64).map(|i| -nd + i).collect();
         legacy.observable_include(0, &top_row);

@@ -11,6 +11,17 @@
 //! application of the paper's observation that the symbolic expressions
 //! "clearly show how the faults in the circuit affect the measurement
 //! outcomes" (§1).
+//!
+//! # Mechanism ordering
+//!
+//! Extracted models are **canonically ordered**: mechanisms are sorted by
+//! their detector list, then by their observable list (lexicographically),
+//! and equal symptoms are merged before sorting. Contributions to a merged
+//! mechanism accumulate in symbol-allocation order, so the printed text of
+//! two extractions of the same circuit is byte-identical — `symphase dem`
+//! output is diffable across runs. Parsed models ([`DetectorErrorModel::parse`])
+//! keep file order and are *not* re-merged, so external `.dem` files can be
+//! analyzed as written.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -31,6 +42,13 @@ pub struct DemError {
     pub detectors: Vec<u32>,
     /// Sorted observable indices flipped by the error.
     pub observables: Vec<u32>,
+    /// One concrete realization of the mechanism: the fault symbols of the
+    /// first noise-site outcome that produced this symptom, sorted. Setting
+    /// exactly these fault bits in an assignment reproduces the symptom —
+    /// this is what lets `symphase analyze` discharge its distance claims
+    /// through fault injection. Empty for parsed models (text carries no
+    /// symbol identities) and not printed by `Display`.
+    pub witness: Vec<SymbolId>,
 }
 
 impl fmt::Display for DemError {
@@ -63,13 +81,52 @@ impl fmt::Display for DemError {
 /// let dem = SymPhaseSampler::new(&c).detector_error_model();
 /// // Every data-qubit X error triggers one or two detectors.
 /// assert_eq!(dem.errors().len(), 3);
+/// assert_eq!(dem.num_detectors(), 4);
 /// ```
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct DetectorErrorModel {
     errors: Vec<DemError>,
+    num_detectors: usize,
+    num_observables: usize,
+    /// Per-detector coordinates (empty vec = no coordinates known).
+    detector_coords: Vec<Vec<f64>>,
 }
 
 impl DetectorErrorModel {
+    /// Builds a model from parts, in canonical order (sorted by detectors,
+    /// then observables). Detector/observable counts are raised to cover
+    /// the highest index mentioned by any mechanism.
+    pub fn from_parts(
+        mut errors: Vec<DemError>,
+        num_detectors: usize,
+        num_observables: usize,
+    ) -> Self {
+        errors.sort_by(|a, b| {
+            a.detectors
+                .cmp(&b.detectors)
+                .then(a.observables.cmp(&b.observables))
+        });
+        let mut dem = DetectorErrorModel {
+            errors,
+            num_detectors,
+            num_observables,
+            detector_coords: Vec::new(),
+        };
+        dem.cover_indices();
+        dem
+    }
+
+    fn cover_indices(&mut self) {
+        for e in &self.errors {
+            if let Some(&d) = e.detectors.last() {
+                self.num_detectors = self.num_detectors.max(d as usize + 1);
+            }
+            if let Some(&o) = e.observables.last() {
+                self.num_observables = self.num_observables.max(o as usize + 1);
+            }
+        }
+    }
+
     /// The error mechanisms, sorted by symptom.
     pub fn errors(&self) -> &[DemError] {
         &self.errors
@@ -84,10 +141,160 @@ impl DetectorErrorModel {
     pub fn is_empty(&self) -> bool {
         self.errors.is_empty()
     }
+
+    /// Number of detectors in the originating circuit (or covering the
+    /// highest `D` index for parsed models).
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Number of observables in the originating circuit (or covering the
+    /// highest `L` index for parsed models).
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    /// Per-detector coordinates; an empty inner vec means "no coordinates".
+    /// May be shorter than [`Self::num_detectors`].
+    pub fn detector_coords(&self) -> &[Vec<f64>] {
+        &self.detector_coords
+    }
+
+    /// Attaches per-detector coordinates (index = detector), as produced by
+    /// `Circuit::detector_coordinates`. Printed as `detector(x, y, t) Dk`
+    /// annotation lines ahead of the mechanisms.
+    pub fn with_detector_coords(mut self, coords: Vec<Vec<f64>>) -> Self {
+        self.num_detectors = self.num_detectors.max(coords.len());
+        self.detector_coords = coords;
+        self
+    }
+
+    /// Parses the text form emitted by `Display`: `error(p) D.. L..`
+    /// mechanism lines and optional `detector(x, y, t) Dk` coordinate
+    /// annotations. `#` starts a comment; blank lines are skipped.
+    ///
+    /// Parsed models keep the file's mechanism order and are **not**
+    /// merged: duplicate symptoms stay distinct (the analyzer reports them
+    /// as SP014 `dominated-mechanism`). Witnesses are left empty — text
+    /// carries no fault-symbol identities.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut errors = Vec::new();
+        let mut detector_coords: Vec<Vec<f64>> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let ln = idx + 1;
+            if let Some(rest) = line.strip_prefix("error") {
+                let (p, tail) = parse_paren_args(rest, ln)?;
+                if p.len() != 1 {
+                    return Err(format!("line {ln}: error() takes exactly one probability"));
+                }
+                let probability = p[0];
+                if !(0.0..=1.0).contains(&probability) {
+                    return Err(format!(
+                        "line {ln}: probability {probability} not in [0, 1]"
+                    ));
+                }
+                let mut detectors = Vec::new();
+                let mut observables = Vec::new();
+                for tok in tail.split_whitespace() {
+                    if let Some(d) = tok.strip_prefix('D') {
+                        let d: u32 = d
+                            .parse()
+                            .map_err(|_| format!("line {ln}: bad detector target `{tok}`"))?;
+                        xor_into(&mut detectors, &[d]);
+                    } else if let Some(o) = tok.strip_prefix('L') {
+                        let o: u32 = o
+                            .parse()
+                            .map_err(|_| format!("line {ln}: bad observable target `{tok}`"))?;
+                        xor_into(&mut observables, &[o]);
+                    } else {
+                        return Err(format!("line {ln}: unknown target `{tok}`"));
+                    }
+                }
+                errors.push(DemError {
+                    probability,
+                    detectors,
+                    observables,
+                    witness: Vec::new(),
+                });
+            } else if let Some(rest) = line.strip_prefix("detector") {
+                let (coords, tail) = parse_paren_args(rest, ln)?;
+                let mut targets = tail.split_whitespace();
+                let tok = targets
+                    .next()
+                    .ok_or_else(|| format!("line {ln}: detector annotation needs a D target"))?;
+                if targets.next().is_some() {
+                    return Err(format!(
+                        "line {ln}: detector annotation takes exactly one D target"
+                    ));
+                }
+                let d: usize = tok
+                    .strip_prefix('D')
+                    .and_then(|d| d.parse().ok())
+                    .ok_or_else(|| format!("line {ln}: bad detector target `{tok}`"))?;
+                if d >= detector_coords.len() {
+                    detector_coords.resize(d + 1, Vec::new());
+                }
+                detector_coords[d] = coords;
+            } else {
+                return Err(format!(
+                    "line {ln}: expected `error(...)` or `detector(...)`, got `{line}`"
+                ));
+            }
+        }
+        let mut dem = DetectorErrorModel {
+            errors,
+            num_detectors: detector_coords.len(),
+            num_observables: 0,
+            detector_coords,
+        };
+        dem.cover_indices();
+        Ok(dem)
+    }
+}
+
+/// Splits `"(a, b, c) tail"` into the parsed f64 arguments and the tail.
+fn parse_paren_args(rest: &str, ln: usize) -> Result<(Vec<f64>, &str), String> {
+    let rest = rest.trim_start();
+    let inner = rest
+        .strip_prefix('(')
+        .ok_or_else(|| format!("line {ln}: expected `(`"))?;
+    let close = inner
+        .find(')')
+        .ok_or_else(|| format!("line {ln}: missing `)`"))?;
+    let args = &inner[..close];
+    let mut parsed = Vec::new();
+    for a in args.split(',') {
+        let a = a.trim();
+        if a.is_empty() {
+            continue;
+        }
+        parsed.push(
+            a.parse::<f64>()
+                .map_err(|_| format!("line {ln}: bad number `{a}`"))?,
+        );
+    }
+    Ok((parsed, &inner[close + 1..]))
 }
 
 impl fmt::Display for DetectorErrorModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (d, coords) in self.detector_coords.iter().enumerate() {
+            if coords.is_empty() {
+                continue;
+            }
+            write!(f, "detector(")?;
+            for (i, c) in coords.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            writeln!(f, ") D{d}")?;
+        }
         for e in &self.errors {
             writeln!(f, "{e}")?;
         }
@@ -128,13 +335,16 @@ impl SymPhaseSampler {
     ///
     /// Outcomes of one noise site that trigger no detector and no
     /// observable are dropped; distinct sites producing the same symptom
-    /// are merged with XOR-combined probabilities.
+    /// are merged with XOR-combined probabilities. Each mechanism records
+    /// the fault symbols of its first contribution as a [`DemError::witness`].
     pub fn detector_error_model(&self) -> DetectorErrorModel {
         let len = self.symbol_table().assignment_len();
         let det_cols = columns(self.detector_rows(), len);
         let obs_cols = columns(self.observable_rows(), len);
 
-        let mut merged: HashMap<(Vec<u32>, Vec<u32>), f64> = HashMap::new();
+        // Symptom (detectors, observables) → (probability, witness).
+        type Merged = HashMap<(Vec<u32>, Vec<u32>), (f64, Vec<SymbolId>)>;
+        let mut merged: Merged = HashMap::new();
         let mut add = |symbols: &[SymbolId], probability: f64| {
             if probability <= 0.0 {
                 return;
@@ -148,8 +358,12 @@ impl SymPhaseSampler {
             if dets.is_empty() && obs.is_empty() {
                 return;
             }
-            let p = merged.entry((dets, obs)).or_insert(0.0);
-            *p = *p * (1.0 - probability) + probability * (1.0 - *p);
+            let entry = merged.entry((dets, obs)).or_insert_with(|| {
+                let mut witness = symbols.to_vec();
+                witness.sort_unstable();
+                (0.0, witness)
+            });
+            entry.0 = entry.0 * (1.0 - probability) + probability * (1.0 - entry.0);
         };
 
         // Probability that the current correlated chain has not fired yet
@@ -212,20 +426,22 @@ impl SymPhaseSampler {
             }
         }
 
-        let mut errors: Vec<DemError> = merged
+        let errors: Vec<DemError> = merged
             .into_iter()
-            .map(|((detectors, observables), probability)| DemError {
-                probability,
-                detectors,
-                observables,
-            })
+            .map(
+                |((detectors, observables), (probability, witness))| DemError {
+                    probability,
+                    detectors,
+                    observables,
+                    witness,
+                },
+            )
             .collect();
-        errors.sort_by(|a, b| {
-            a.detectors
-                .cmp(&b.detectors)
-                .then(a.observables.cmp(&b.observables))
-        });
-        DetectorErrorModel { errors }
+        DetectorErrorModel::from_parts(
+            errors,
+            self.detector_rows().rows(),
+            self.observable_rows().rows(),
+        )
     }
 }
 
@@ -249,6 +465,8 @@ mod tests {
         });
         let dem = SymPhaseSampler::new(&c).detector_error_model();
         assert_eq!(dem.len(), 4);
+        assert_eq!(dem.num_detectors(), c.num_detectors());
+        assert_eq!(dem.num_observables(), 1);
         let weights: Vec<usize> = dem.errors().iter().map(|e| e.detectors.len()).collect();
         let mut sorted = weights.clone();
         sorted.sort_unstable();
@@ -262,6 +480,8 @@ mod tests {
             .collect();
         assert_eq!(logical.len(), 1);
         assert!((dem.errors()[0].probability - 0.01).abs() < 1e-12);
+        // Every mechanism carries a concrete witness symbol.
+        assert!(dem.errors().iter().all(|e| e.witness.len() == 1));
     }
 
     #[test]
@@ -277,6 +497,8 @@ mod tests {
         assert_eq!(dem.len(), 1);
         let expect = 0.1 * 0.8 + 0.2 * 0.9;
         assert!((dem.errors()[0].probability - expect).abs() < 1e-12);
+        // The witness is the *first* contribution's symbol set only.
+        assert_eq!(dem.errors()[0].witness.len(), 1);
     }
 
     #[test]
@@ -287,6 +509,7 @@ mod tests {
         c.detector(&[-1]);
         let dem = SymPhaseSampler::new(&c).detector_error_model();
         assert!(dem.is_empty());
+        assert_eq!(dem.num_detectors(), 1);
     }
 
     #[test]
@@ -314,13 +537,56 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let dem = DetectorErrorModel {
-            errors: vec![DemError {
+        let dem = DetectorErrorModel::from_parts(
+            vec![DemError {
                 probability: 0.125,
                 detectors: vec![0, 2],
                 observables: vec![1],
+                witness: vec![4],
             }],
-        };
+            3,
+            2,
+        );
         assert_eq!(dem.to_string(), "error(0.125) D0 D2 L1\n");
+        let with_coords = dem.with_detector_coords(vec![vec![], vec![1.0, 2.5, 0.0]]);
+        assert_eq!(
+            with_coords.to_string(),
+            "detector(1, 2.5, 0) D1\nerror(0.125) D0 D2 L1\n"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        let text = "detector(0, 1) D0\ndetector(2, 1) D2\nerror(0.125) D0 D2 L1\nerror(0.25) D1\n";
+        let dem = DetectorErrorModel::parse(text).unwrap();
+        assert_eq!(dem.to_string(), text);
+        assert_eq!(dem.num_detectors(), 3);
+        assert_eq!(dem.num_observables(), 2);
+        assert_eq!(dem.len(), 2);
+        assert!(dem.errors().iter().all(|e| e.witness.is_empty()));
+    }
+
+    #[test]
+    fn parse_skips_comments_and_keeps_duplicates() {
+        let text = "# comment\n\nerror(0.1) D0 L0   # trailing\nerror(0.2) D0 L0\n";
+        let dem = DetectorErrorModel::parse(text).unwrap();
+        assert_eq!(dem.len(), 2, "parsed models are not merged");
+        assert_eq!(dem.errors()[0].probability, 0.1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(DetectorErrorModel::parse("error(2) D0").is_err());
+        assert!(DetectorErrorModel::parse("error(0.1) Q0").is_err());
+        assert!(DetectorErrorModel::parse("oops").is_err());
+        assert!(DetectorErrorModel::parse("detector(1) D0 D1").is_err());
+        assert!(DetectorErrorModel::parse("error 0.1 D0").is_err());
+    }
+
+    #[test]
+    fn parse_xor_combines_repeated_targets() {
+        // `D0 D0` cancels, like repeated lookbacks in a DETECTOR.
+        let dem = DetectorErrorModel::parse("error(0.1) D0 D0 D1 L0\n").unwrap();
+        assert_eq!(dem.errors()[0].detectors, vec![1]);
     }
 }

@@ -96,7 +96,10 @@ usage: symphase <command> [options]
 commands:
   sample     sample measurement records        (--shots, --seed, --format, --out, --engine, --par)
   detect     sample detectors and observables  (--shots, --seed, --format, --out, --obs-out, --engine, --par)
-  analyze    print circuit statistics and symbolic measurement expressions
+  analyze    print circuit statistics, symbolic expressions, and the
+             DEM-level analysis: detector-hypergraph lints (SP012..SP014)
+             and a verified bounded circuit-distance search (SP015)
+             (--dem <file>, --max-weight <k>, --format text|json, --deny)
   lint       run the static analyzer (--format text|json, --deny <code|warnings>)
   opt        run the verified optimizer and print the optimized circuit
              (--passes strip,fuse,propagate; --stats; --format text|json)
@@ -121,9 +124,14 @@ options:
       --format <f>       sample output: 01 (default), counts, b8 (packed binary),
                          hits, or dets (detect only) — see docs/formats.md;
                          lint output: text (default) or json
-      --deny <c>         lint: treat diagnostic code <c> (e.g. SP001) — or all
-                         warnings with '--deny warnings' — as errors (exit 1);
-                         repeatable
+      --deny <c>         lint/analyze: treat diagnostic code <c> (e.g. SP001) —
+                         or all warnings with '--deny warnings' — as errors
+                         (exit 1); repeatable
+      --dem <path>       analyze: read a detector error model file instead of
+                         extracting one from a circuit (fault sets are then
+                         reported unverified — no circuit to inject into)
+      --max-weight <k>   analyze: distance-search weight cap (default 5);
+                         finding nothing certifies distance > k
       --passes <list>    opt: comma-separated pass list run per fixpoint round
                          (default strip,fuse,propagate)
       --stats            opt: append the optimizer report (gates before/after,
@@ -175,6 +183,8 @@ struct Options {
     /// name for `gen`.
     positional: Vec<String>,
     circuit_path: Option<String>,
+    dem_path: Option<String>,
+    max_weight: Option<usize>,
     shots: usize,
     seed: u64,
     format: String,
@@ -240,6 +250,14 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         };
         match a.as_str() {
             "-c" | "--circuit" => opts.circuit_path = Some(value("--circuit")?),
+            "--dem" => opts.dem_path = Some(value("--dem")?),
+            "--max-weight" => {
+                opts.max_weight = Some(
+                    value("--max-weight")?
+                        .parse()
+                        .map_err(|_| fail("--max-weight must be an integer"))?,
+                );
+            }
             "--shots" => {
                 opts.shots = value("--shots")?
                     .parse()
@@ -422,7 +440,7 @@ pub fn run_to(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     match opts.command.as_str() {
         "sample" => cmd_sample(&opts, out),
         "detect" => cmd_detect(&opts, out),
-        "analyze" => write_str(out, &cmd_analyze(&opts)?),
+        "analyze" => cmd_analyze(&opts, out),
         "lint" => cmd_lint(&opts, out),
         "opt" => cmd_opt(&opts, out),
         "stats" => write_str(out, &cmd_stats(&opts)?),
@@ -568,7 +586,7 @@ fn cmd_lint(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     for d in &opts.deny {
         if d != "warnings" && !symphase_analysis::is_known_code(d) {
             return Err(fail(format!(
-                "--deny takes 'warnings' or a diagnostic code (SP000..SP011), got '{d}'"
+                "--deny takes 'warnings' or a diagnostic code (SP000..SP015), got '{d}'"
             )));
         }
     }
@@ -577,6 +595,29 @@ fn cmd_lint(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
 
     let deny_all = opts.deny.iter().any(|d| d == "warnings");
     let mut diags = symphase_analysis::lint_text(&text);
+    // The DEM-level findings (SP012..SP015) join the stream whenever the
+    // circuit parses; they carry no source line and sort last. SP015 is
+    // kept only at weight 1 — a logical observable flipped by a single
+    // undetected fault is a coverage bug, while any higher weight is the
+    // ordinary finite code distance, reported by `analyze`, not lint.
+    if !diags
+        .iter()
+        .any(|d| d.severity == symphase_analysis::Severity::Error)
+    {
+        if let Ok(circuit) = Circuit::parse(&text) {
+            diags.extend(
+                symphase_analysis::analyze_dem(&circuit)
+                    .into_iter()
+                    .filter(|d| {
+                        d.code != "SP015"
+                            || matches!(
+                                d.payload,
+                                Some(symphase_analysis::Payload::FaultSet { weight: 1, .. })
+                            )
+                    }),
+            );
+        }
+    }
     for d in &mut diags {
         if deny_all || opts.deny.iter().any(|c| c == d.code) {
             d.severity = symphase_analysis::Severity::Error;
@@ -831,30 +872,209 @@ fn json_string(s: &str) -> String {
     out
 }
 
-fn cmd_analyze(opts: &Options) -> Result<String, CliError> {
-    let circuit = load_circuit(opts)?;
-    let stats = circuit.stats();
-    let sampler = SymPhaseSampler::new(&circuit);
-    let mut out = String::new();
-    let _ = writeln!(out, "qubits:        {}", circuit.num_qubits());
-    let _ = writeln!(out, "gates:         {}", stats.gates);
-    let _ = writeln!(out, "measurements:  {}", stats.measurements);
-    let _ = writeln!(out, "noise sites:   {}", stats.noise_sites);
-    let _ = writeln!(out, "noise symbols: {}", stats.noise_symbols);
-    let _ = writeln!(out, "detectors:     {}", circuit.num_detectors());
-    let _ = writeln!(out, "observables:   {}", circuit.num_observables());
-    let _ = writeln!(out, "coins:         {}", sampler.symbol_table().num_coins());
-    let _ = writeln!(out, "\nmeasurement expressions:");
-    for (m, e) in sampler.measurement_exprs().iter().enumerate() {
-        let _ = writeln!(out, "  m{m} = {e}");
-    }
-    if sampler.num_detectors() > 0 {
-        let _ = writeln!(out, "\ndetector expressions:");
-        for d in 0..sampler.num_detectors() {
-            let _ = writeln!(out, "  D{d} = {}", sampler.detector_expr(d));
+/// `analyze`: circuit statistics and symbolic expressions (as before),
+/// plus the DEM-level analysis — detector-hypergraph census and lints
+/// (`SP012`..`SP014`) and the bounded, fault-injection-verified
+/// circuit-distance search (`SP015`). With `--dem FILE` the model is
+/// parsed from a file instead of extracted, the circuit sections are
+/// skipped, and fault sets are reported unverified.
+fn cmd_analyze(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    use symphase_analysis::{
+        analyze_circuit, analyze_model, render_json, render_text, AnalyzeConfig, Distance, Severity,
+    };
+    use symphase_core::DetectorErrorModel;
+
+    let json = match opts.format.as_str() {
+        "01" | "text" => false,
+        "json" => true,
+        other => {
+            return Err(fail(format!(
+                "unknown analyze format '{other}' (expected text or json)"
+            )))
+        }
+    };
+    for d in &opts.deny {
+        if d != "warnings" && !symphase_analysis::is_known_code(d) {
+            return Err(fail(format!(
+                "--deny takes 'warnings' or a diagnostic code (SP000..SP015), got '{d}'"
+            )));
         }
     }
-    Ok(out)
+    let config = AnalyzeConfig {
+        max_weight: opts
+            .max_weight
+            .unwrap_or(AnalyzeConfig::default().max_weight),
+        ..AnalyzeConfig::default()
+    };
+
+    let mut text = String::new();
+    let report = if let Some(path) = &opts.dem_path {
+        if opts.circuit_path.is_some() {
+            return Err(fail("--dem and --circuit are mutually exclusive"));
+        }
+        let dem_text =
+            std::fs::read_to_string(path).map_err(|e| fail_run(format!("reading {path}: {e}")))?;
+        let dem =
+            DetectorErrorModel::parse(&dem_text).map_err(|e| fail_run(format!("{path}: {e}")))?;
+        analyze_model(dem, &config).map_err(fail_run)?
+    } else {
+        let circuit = load_circuit(opts)?;
+        let report = analyze_circuit(&circuit, &config).map_err(fail_run)?;
+        if !json {
+            let stats = circuit.stats();
+            let _ = writeln!(text, "qubits:        {}", circuit.num_qubits());
+            let _ = writeln!(text, "gates:         {}", stats.gates);
+            let _ = writeln!(text, "measurements:  {}", stats.measurements);
+            let _ = writeln!(text, "noise sites:   {}", stats.noise_sites);
+            let _ = writeln!(text, "noise symbols: {}", stats.noise_symbols);
+            let _ = writeln!(text, "detectors:     {}", circuit.num_detectors());
+            let _ = writeln!(text, "observables:   {}", circuit.num_observables());
+            if report.clamped {
+                let _ = writeln!(
+                    text,
+                    "\n(symbolic expressions omitted: REPEAT counts were clamped for analysis)"
+                );
+            } else {
+                let sampler = SymPhaseSampler::new(&circuit);
+                let _ = writeln!(
+                    text,
+                    "coins:         {}",
+                    sampler.symbol_table().num_coins()
+                );
+                let _ = writeln!(text, "\nmeasurement expressions:");
+                for (m, e) in sampler.measurement_exprs().iter().enumerate() {
+                    let _ = writeln!(text, "  m{m} = {e}");
+                }
+                if sampler.num_detectors() > 0 {
+                    let _ = writeln!(text, "\ndetector expressions:");
+                    for d in 0..sampler.num_detectors() {
+                        let _ = writeln!(text, "  D{d} = {}", sampler.detector_expr(d));
+                    }
+                }
+            }
+        }
+        report
+    };
+
+    let mut diags = report.diagnostics.clone();
+    let deny_all = opts.deny.iter().any(|d| d == "warnings");
+    for d in &mut diags {
+        if deny_all || opts.deny.iter().any(|c| c == d.code) {
+            d.severity = Severity::Error;
+        }
+    }
+
+    let scope = if report.clamped {
+        " [REPEAT-clamped circuit]"
+    } else {
+        ""
+    };
+    let dist_text = if report.withdrawn {
+        format!(
+            "distance: n/a (claim withdrawn: fault-injection verification failed; see {})",
+            symphase_analysis::WITHDRAWN_CODE
+        )
+    } else {
+        match &report.distance {
+            Distance::UpperBound { fault_set } => {
+                let mechs: Vec<String> =
+                    fault_set.mechanisms.iter().map(|m| m.to_string()).collect();
+                format!(
+                    "distance: {} (minimum-weight undetectable logical error: mechanisms {}; {}){scope}",
+                    fault_set.weight(),
+                    mechs.join(" "),
+                    if report.verified {
+                        "verified by fault injection"
+                    } else {
+                        "unverified: no circuit to inject into"
+                    },
+                )
+            }
+            Distance::AboveWeight { max_weight } => format!(
+                "distance: > {max_weight} (no undetectable logical error within weight {max_weight}){scope}"
+            ),
+            Distance::Clamped { completed_weight } => format!(
+                "distance: > {completed_weight} (search clamped by node budget after exhausting \
+                 weight {completed_weight}){scope}"
+            ),
+            Distance::NoObservables => {
+                "distance: n/a (the model flips no logical observable)".to_string()
+            }
+        }
+    };
+
+    if json {
+        let s = &report.summary;
+        let dist_json = if report.withdrawn {
+            "{\"kind\":\"withdrawn\"}".to_string()
+        } else {
+            match &report.distance {
+                Distance::UpperBound { fault_set } => format!(
+                    "{{\"kind\":\"upper-bound\",\"weight\":{},\"mechanisms\":[{}],\"observables\":[{}],\"verified\":{}}}",
+                    fault_set.weight(),
+                    fault_set
+                        .mechanisms
+                        .iter()
+                        .map(|m| m.to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    fault_set
+                        .observables
+                        .iter()
+                        .map(|o| o.to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    report.verified,
+                ),
+                Distance::AboveWeight { max_weight } => {
+                    format!("{{\"kind\":\"above-weight\",\"max_weight\":{max_weight}}}")
+                }
+                Distance::Clamped { completed_weight } => format!(
+                    "{{\"kind\":\"clamped\",\"completed_weight\":{completed_weight}}}"
+                ),
+                Distance::NoObservables => "{\"kind\":\"no-observables\"}".to_string(),
+            }
+        };
+        let _ = writeln!(
+            text,
+            "{{\n  \"summary\":{{\"mechanisms\":{},\"graphlike\":{},\"hyperedges\":{},\"undecomposable\":{},\"disconnected\":{},\"dominated\":{}}},\n  \"clamped\":{},\n  \"distance\":{},\n  \"diagnostics\":{}}}",
+            s.mechanisms,
+            s.graphlike,
+            s.hyperedges,
+            s.undecomposable,
+            s.disconnected,
+            s.dominated,
+            report.clamped,
+            dist_json,
+            render_json(&diags).trim_end(),
+        );
+    } else {
+        let s = &report.summary;
+        let _ = writeln!(text, "\ndetector error model:");
+        let _ = writeln!(text, "  mechanisms:     {}", s.mechanisms);
+        let _ = writeln!(text, "  graphlike:      {}", s.graphlike);
+        let _ = writeln!(text, "  hyperedges:     {}", s.hyperedges);
+        let _ = writeln!(text, "  undecomposable: {}", s.undecomposable);
+        let _ = writeln!(text, "  disconnected:   {}", s.disconnected);
+        let _ = writeln!(text, "  dominated:      {}", s.dominated);
+        if !diags.is_empty() {
+            let _ = writeln!(text, "\n{}", render_text(&diags).trim_end());
+        }
+        let _ = writeln!(text, "\n{dist_text}");
+    }
+    write_str(out, &text)?;
+
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if errors > 0 {
+        return Err(fail_run(format!(
+            "analyze found {errors} error-severity finding{}",
+            if errors == 1 { "" } else { "s" }
+        )));
+    }
+    Ok(())
 }
 
 /// `stats`: parse + structural statistics, no engine initialization.
@@ -983,7 +1203,10 @@ fn cmd_gen(opts: &Options) -> Result<String, CliError> {
 fn cmd_dem(opts: &Options) -> Result<String, CliError> {
     let circuit = load_circuit(opts)?;
     let sampler = SymPhaseSampler::new(&circuit);
-    Ok(sampler.detector_error_model().to_string())
+    Ok(sampler
+        .detector_error_model()
+        .with_detector_coords(circuit.detector_coordinates())
+        .to_string())
 }
 
 fn cmd_reference(opts: &Options) -> Result<String, CliError> {

@@ -1,0 +1,304 @@
+//! `symphase analyze` end to end: pinned circuit distances for the
+//! built-in generators, verified fault sets, hypergraph-lint cleanliness,
+//! the broken-verifier rollback pin, and DEM round-trips.
+
+use symphase::analysis::{
+    analyze_circuit, analyze_dem, analyze_model, AnalyzeConfig, Distance, Payload, WITHDRAWN_CODE,
+};
+use symphase::circuit::generators::{
+    mpp_phase_memory, repetition_code_memory, surface_code_memory_in, MemoryBasis,
+    PhaseMemoryConfig, RepetitionCodeConfig, SurfaceCodeConfig,
+};
+use symphase::circuit::Circuit;
+use symphase::core::{DetectorErrorModel, SymPhaseSampler};
+
+fn distance_of(c: &Circuit, max_weight: usize) -> Distance {
+    let report = analyze_circuit(
+        c,
+        &AnalyzeConfig {
+            max_weight,
+            ..AnalyzeConfig::default()
+        },
+    )
+    .expect("analyzable");
+    assert!(!report.withdrawn, "{:?}", report.diagnostics);
+    if let Distance::UpperBound { .. } = &report.distance {
+        assert!(report.verified, "fault set must be discharged by injection");
+    }
+    report.distance
+}
+
+fn exact_distance(c: &Circuit, max_weight: usize) -> usize {
+    match distance_of(c, max_weight) {
+        Distance::UpperBound { fault_set } => fault_set.weight(),
+        other => panic!("expected a fault set within weight {max_weight}: {other:?}"),
+    }
+}
+
+#[test]
+fn surface_code_distance_is_pinned_both_bases() {
+    for (d, rounds) in [(3usize, 2usize), (5, 2)] {
+        for basis in [MemoryBasis::Z, MemoryBasis::X] {
+            let c = surface_code_memory_in(
+                &SurfaceCodeConfig {
+                    distance: d,
+                    rounds,
+                    data_error: 0.001,
+                    measure_error: 0.0,
+                },
+                basis,
+            );
+            assert_eq!(
+                exact_distance(&c, d + 1),
+                d,
+                "surface d={d} basis={basis:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn surface_code_with_measure_noise_keeps_distance() {
+    let c = surface_code_memory_in(
+        &SurfaceCodeConfig {
+            distance: 3,
+            rounds: 3,
+            data_error: 0.001,
+            measure_error: 0.002,
+        },
+        MemoryBasis::Z,
+    );
+    assert_eq!(exact_distance(&c, 4), 3);
+}
+
+#[test]
+fn repetition_code_distance_is_pinned() {
+    for (d, rounds) in [(3usize, 2usize), (5, 3)] {
+        let c = repetition_code_memory(&RepetitionCodeConfig {
+            distance: d,
+            rounds,
+            data_error: 0.01,
+            measure_error: 0.01,
+        });
+        assert_eq!(exact_distance(&c, d + 1), d, "repetition d={d}");
+    }
+}
+
+#[test]
+fn phase_memory_distance_depends_on_pair_noise() {
+    // Without the correlated pair chain, flipping the MX-basis memory
+    // takes a Z on every data qubit: distance d.
+    let single_only = mpp_phase_memory(&PhaseMemoryConfig {
+        distance: 3,
+        rounds: 2,
+        data_error: 0.01,
+        pair_error: 0.0,
+    });
+    assert_eq!(exact_distance(&single_only, 4), 3);
+
+    // The Z⊗Z pair mechanism covers two data qubits at once, so a pair
+    // plus one single error crosses the d=3 code at weight 2.
+    let with_pairs = mpp_phase_memory(&PhaseMemoryConfig {
+        distance: 3,
+        rounds: 2,
+        data_error: 0.01,
+        pair_error: 0.01,
+    });
+    assert_eq!(exact_distance(&with_pairs, 4), 2);
+}
+
+#[test]
+fn distance_cap_certifies_above_weight() {
+    let c = surface_code_memory_in(
+        &SurfaceCodeConfig {
+            distance: 5,
+            rounds: 2,
+            data_error: 0.001,
+            measure_error: 0.0,
+        },
+        MemoryBasis::Z,
+    );
+    assert_eq!(distance_of(&c, 4), Distance::AboveWeight { max_weight: 4 });
+}
+
+#[test]
+fn generator_models_are_decomposable_and_connected() {
+    // Every built-in generator must extract to a decoder-ready model:
+    // no undecomposable hyperedge, no disconnected detector.
+    let mut circuits: Vec<(String, Circuit)> = Vec::new();
+    for d in [3usize, 5] {
+        for rounds in [1usize, 2] {
+            circuits.push((
+                format!("rep d={d} r={rounds}"),
+                repetition_code_memory(&RepetitionCodeConfig {
+                    distance: d,
+                    rounds,
+                    data_error: 0.01,
+                    measure_error: 0.01,
+                }),
+            ));
+            for basis in [MemoryBasis::Z, MemoryBasis::X] {
+                circuits.push((
+                    format!("surface d={d} r={rounds} {basis:?}"),
+                    surface_code_memory_in(
+                        &SurfaceCodeConfig {
+                            distance: d,
+                            rounds,
+                            data_error: 0.002,
+                            measure_error: 0.001,
+                        },
+                        basis,
+                    ),
+                ));
+            }
+            circuits.push((
+                format!("phase d={d} r={rounds}"),
+                mpp_phase_memory(&PhaseMemoryConfig {
+                    distance: d,
+                    rounds,
+                    data_error: 0.01,
+                    pair_error: 0.01,
+                }),
+            ));
+        }
+    }
+    for (name, c) in &circuits {
+        let report = analyze_circuit(c, &AnalyzeConfig::default()).expect("analyzable");
+        assert_eq!(report.summary.undecomposable, 0, "{name}");
+        assert_eq!(report.summary.disconnected, 0, "{name}");
+        assert_eq!(report.summary.dominated, 0, "{name}");
+        for diag in &report.diagnostics {
+            assert!(
+                diag.code == "SP015",
+                "{name}: unexpected {} — {}",
+                diag.code,
+                diag.message
+            );
+        }
+    }
+}
+
+#[test]
+fn broken_verifier_withdraws_the_claim() {
+    // A corrupted fault-injection symbol set must be caught by the
+    // verifier and turn the distance claim into an SP101 diagnostic —
+    // this pins the rollback path that makes a wrong claim a loud error
+    // instead of a wrong answer.
+    let c = repetition_code_memory(&RepetitionCodeConfig {
+        distance: 3,
+        rounds: 2,
+        data_error: 0.01,
+        measure_error: 0.0,
+    });
+    let report = analyze_circuit(
+        &c,
+        &AnalyzeConfig {
+            broken_verify: true,
+            ..AnalyzeConfig::default()
+        },
+    )
+    .expect("analyzable");
+    assert!(report.withdrawn);
+    assert!(!report.verified);
+    let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert!(codes.contains(&WITHDRAWN_CODE), "{codes:?}");
+    assert!(
+        !codes.contains(&"SP015"),
+        "withdrawn claim must not also report SP015"
+    );
+}
+
+#[test]
+fn analyze_dem_reports_fault_set_payload() {
+    let c = repetition_code_memory(&RepetitionCodeConfig {
+        distance: 3,
+        rounds: 2,
+        data_error: 0.01,
+        measure_error: 0.0,
+    });
+    let diags = analyze_dem(&c);
+    let sp015: Vec<_> = diags.iter().filter(|d| d.code == "SP015").collect();
+    assert_eq!(sp015.len(), 1, "{diags:?}");
+    let Some(Payload::FaultSet {
+        weight,
+        mechanisms,
+        symbols,
+        verified,
+        clamped,
+        ..
+    }) = &sp015[0].payload
+    else {
+        panic!("SP015 must carry a FaultSet payload: {:?}", sp015[0]);
+    };
+    assert_eq!(*weight, 3);
+    assert_eq!(mechanisms.len(), 3);
+    assert!(!symbols.is_empty());
+    assert!(*verified);
+    assert!(!*clamped);
+}
+
+#[test]
+fn parsed_model_analyzes_without_verification() {
+    // Round-trip an extracted model through its text form: the census
+    // and distance survive, but with no circuit the fault set cannot be
+    // verified.
+    let c = repetition_code_memory(&RepetitionCodeConfig {
+        distance: 3,
+        rounds: 2,
+        data_error: 0.01,
+        measure_error: 0.0,
+    });
+    let dem = SymPhaseSampler::new(&c)
+        .detector_error_model()
+        .with_detector_coords(c.detector_coordinates());
+    let reparsed = DetectorErrorModel::parse(&dem.to_string()).expect("round-trip");
+    assert_eq!(reparsed.num_detectors(), dem.num_detectors());
+    let report = analyze_model(reparsed, &AnalyzeConfig::default()).expect("analyzable");
+    assert!(!report.verified);
+    assert!(!report.withdrawn);
+    let Distance::UpperBound { fault_set } = &report.distance else {
+        panic!("{:?}", report.distance);
+    };
+    assert_eq!(fault_set.weight(), 3);
+    let sp015 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "SP015")
+        .expect("SP015 present");
+    assert!(matches!(
+        sp015.payload,
+        Some(Payload::FaultSet {
+            verified: false,
+            ..
+        })
+    ));
+}
+
+#[test]
+fn repeat_heavy_circuit_is_clamped_not_skipped() {
+    // A million-round memory must still analyze in O(file) via the
+    // REPEAT clamp, and say so.
+    let c = repetition_code_memory(&RepetitionCodeConfig {
+        distance: 3,
+        rounds: 1_000_000,
+        data_error: 0.01,
+        measure_error: 0.0,
+    });
+    let report = analyze_circuit(&c, &AnalyzeConfig::default()).expect("analyzable");
+    assert!(report.clamped);
+    assert!(report.verified, "{:?}", report.diagnostics);
+    let Distance::UpperBound { fault_set } = &report.distance else {
+        panic!("{:?}", report.distance);
+    };
+    assert_eq!(fault_set.weight(), 3);
+    let sp015 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "SP015")
+        .expect("SP015 present");
+    assert!(matches!(
+        sp015.payload,
+        Some(Payload::FaultSet { clamped: true, .. })
+    ));
+    assert!(sp015.message.contains("clamped"), "{}", sp015.message);
+}

@@ -16,12 +16,13 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use symphase::analysis::{self, verify, Severity, CODES};
+use symphase::analysis::{self, verify, AnalyzeConfig, Diagnostic, Severity, CODES};
 use symphase::circuit::generators::{
     mpp_phase_memory, repetition_code_memory, surface_code_memory_in, MemoryBasis,
     PhaseMemoryConfig, RepetitionCodeConfig, SurfaceCodeConfig,
 };
 use symphase::circuit::Circuit;
+use symphase::core::DetectorErrorModel;
 
 fn fixture_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/lint")
@@ -32,11 +33,40 @@ fn fixture(name: &str) -> String {
     fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
 }
 
+/// The file extension and analysis driver a code's fixtures use. Most
+/// codes lint circuit text; the DEM-level codes run the `analyze` path
+/// (`SP014` needs a hand-written `.dem` — extraction always merges
+/// duplicate signatures, so no circuit can produce one).
+fn fixture_ext(code: &str) -> &'static str {
+    if code == "SP014" {
+        "dem"
+    } else {
+        "stim"
+    }
+}
+
+fn diags_for(code: &str, kind: &str) -> Vec<Diagnostic> {
+    let name = format!("{code}_{kind}.{}", fixture_ext(code));
+    match code {
+        "SP014" => {
+            let dem = DetectorErrorModel::parse(&fixture(&name)).expect("fixture parses");
+            analysis::analyze_model(dem, &AnalyzeConfig::default())
+                .expect("fixture analyzes")
+                .diagnostics
+        }
+        "SP012" | "SP013" | "SP015" => {
+            let circuit = Circuit::parse(&fixture(&name)).expect("fixture parses");
+            analysis::analyze_dem(&circuit)
+        }
+        _ => analysis::lint_text(&fixture(&name)),
+    }
+}
+
 #[test]
 fn every_code_has_positive_and_negative_fixtures() {
     for (code, _, _) in CODES {
         for kind in ["pos", "neg"] {
-            let path = fixture_dir().join(format!("{code}_{kind}.stim"));
+            let path = fixture_dir().join(format!("{code}_{kind}.{}", fixture_ext(code)));
             assert!(path.exists(), "missing fixture {}", path.display());
         }
     }
@@ -45,13 +75,14 @@ fn every_code_has_positive_and_negative_fixtures() {
 #[test]
 fn positive_fixtures_fire_their_code() {
     for (code, _, _) in CODES {
-        let diags = analysis::lint_text(&fixture(&format!("{code}_pos.stim")));
+        let diags = diags_for(code, "pos");
         assert!(
             diags.iter().any(|d| d.code == *code),
             "{code} positive fixture did not fire: {diags:?}"
         );
         // Positive findings carry a line number (fixture-level findings
-        // like SP005 are exempt) and the catalog help text.
+        // like SP005 and the DEM-level codes are exempt) and the catalog
+        // help text.
         for d in diags.iter().filter(|d| d.code == *code) {
             assert!(!d.help.is_empty());
             assert!(
@@ -65,12 +96,12 @@ fn positive_fixtures_fire_their_code() {
 #[test]
 fn negative_fixtures_stay_clean() {
     for (code, _, _) in CODES {
-        let diags = analysis::lint_text(&fixture(&format!("{code}_neg.stim")));
+        let diags = diags_for(code, "neg");
         assert!(
             diags.iter().all(|d| d.code != *code),
             "{code} negative fixture fired its own code: {diags:?}"
         );
-        // Negative fixtures are valid circuits: no error-severity
+        // Negative fixtures are valid inputs: no error-severity
         // findings at all.
         assert!(
             diags.iter().all(|d| d.severity != Severity::Error),
